@@ -1,0 +1,334 @@
+//! Maximum flow values in a multiterminal network (§5.6.1's application,
+//! inherited from \[AS87\]/\[Tar79\]).
+//!
+//! The max-flow value between every pair of vertices of an undirected
+//! capacitated network is encoded by a **Gomory–Hu tree**: the value for
+//! `(u, v)` is the *minimum* edge on the tree path between them. That is
+//! an online tree-product query over the `min` semigroup — so the k-hop
+//! navigation structure answers each multiterminal flow query with `k-1`
+//! semigroup operations after O(n·α_k(n)) preprocessing.
+//!
+//! Substrate built here from scratch: Dinic's max-flow and Gusfield's
+//! variant of the Gomory–Hu construction (n−1 max-flow runs, no
+//! contraction).
+
+use std::collections::VecDeque;
+
+use hopspan_metric::Graph;
+use hopspan_treealg::RootedTree;
+
+use crate::TreeProduct;
+use hopspan_tree_spanner::TreeSpannerError;
+
+/// Dinic's max-flow on an undirected capacitated graph.
+#[derive(Debug, Clone)]
+pub struct MaxFlow {
+    n: usize,
+    // Arc lists: to, capacity, and the index of the reverse arc.
+    to: Vec<usize>,
+    cap: Vec<f64>,
+    head: Vec<Vec<usize>>,
+}
+
+impl MaxFlow {
+    /// Builds the flow network from undirected capacitated edges.
+    pub fn new(n: usize, edges: &[(usize, usize, f64)]) -> Self {
+        let mut mf = MaxFlow {
+            n,
+            to: Vec::new(),
+            cap: Vec::new(),
+            head: vec![Vec::new(); n],
+        };
+        for &(u, v, c) in edges {
+            if u == v {
+                continue;
+            }
+            // Undirected edge: both arcs get the full capacity.
+            let a = mf.to.len();
+            mf.to.push(v);
+            mf.cap.push(c);
+            mf.head[u].push(a);
+            let b = mf.to.len();
+            mf.to.push(u);
+            mf.cap.push(c);
+            mf.head[v].push(b);
+        }
+        mf
+    }
+
+    /// Computes the max-flow value from `s` to `t` and returns it along
+    /// with the s-side of a minimum cut. The residual state is reset on
+    /// every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t` or either is out of range.
+    pub fn max_flow(&self, s: usize, t: usize) -> (f64, Vec<bool>) {
+        assert!(s != t && s < self.n && t < self.n, "bad terminals");
+        let mut cap = self.cap.clone();
+        let mut total = 0.0f64;
+        loop {
+            // BFS level graph on the residual.
+            let level = self.bfs_levels(&cap, s);
+            if level[t] == usize::MAX {
+                break;
+            }
+            let mut it = vec![0usize; self.n];
+            loop {
+                let pushed = self.dfs_push(&mut cap, &level, &mut it, s, t, f64::INFINITY);
+                if pushed <= 0.0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+        // Min cut: residual-reachable side of s.
+        let level = self.bfs_levels(&cap, s);
+        let side: Vec<bool> = level.iter().map(|&l| l != usize::MAX).collect();
+        (total, side)
+    }
+
+    fn bfs_levels(&self, cap: &[f64], s: usize) -> Vec<usize> {
+        let mut level = vec![usize::MAX; self.n];
+        let mut q = VecDeque::new();
+        level[s] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &a in &self.head[u] {
+                let v = self.to[a];
+                if cap[a] > 1e-12 && level[v] == usize::MAX {
+                    level[v] = level[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        level
+    }
+
+    fn dfs_push(
+        &self,
+        cap: &mut [f64],
+        level: &[usize],
+        it: &mut [usize],
+        u: usize,
+        t: usize,
+        limit: f64,
+    ) -> f64 {
+        if u == t {
+            return limit;
+        }
+        while it[u] < self.head[u].len() {
+            let a = self.head[u][it[u]];
+            let v = self.to[a];
+            if cap[a] > 1e-12 && level[v] == level[u] + 1 {
+                let pushed = self.dfs_push(cap, level, it, v, t, limit.min(cap[a]));
+                if pushed > 0.0 {
+                    cap[a] -= pushed;
+                    cap[a ^ 1] += pushed;
+                    return pushed;
+                }
+            }
+            it[u] += 1;
+        }
+        0.0
+    }
+}
+
+/// Builds a Gomory–Hu (cut-equivalent) tree with Gusfield's algorithm:
+/// n−1 max-flow computations, output as edges `(v, parent, flow value)`.
+/// The max-flow value between any pair equals the minimum edge weight on
+/// their tree path.
+pub fn gomory_hu_tree(graph: &Graph) -> Vec<(usize, usize, f64)> {
+    let n = graph.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mf = MaxFlow::new(n, graph.edges());
+    let mut parent = vec![0usize; n];
+    let mut value = vec![f64::INFINITY; n];
+    for i in 1..n {
+        let (f, side) = mf.max_flow(i, parent[i]);
+        value[i] = f;
+        for j in (i + 1)..n {
+            if side[j] && parent[j] == parent[i] {
+                parent[j] = i;
+            }
+        }
+    }
+    (1..n).map(|v| (v, parent[v], value[v])).collect()
+}
+
+/// Multiterminal max-flow queries: a Gomory–Hu tree annotated for k-hop
+/// min-queries (Theorem 5.6 applied to the `min` semigroup).
+pub struct MultiterminalFlow {
+    product: TreeProduct<f64, fn(&f64, &f64) -> f64>,
+}
+
+impl std::fmt::Debug for MultiterminalFlow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiterminalFlow")
+            .field("k", &self.product.k())
+            .finish()
+    }
+}
+
+fn min_semigroup(a: &f64, b: &f64) -> f64 {
+    a.min(*b)
+}
+
+impl MultiterminalFlow {
+    /// Preprocesses the capacitated network: Gomory–Hu tree (n−1 Dinic
+    /// runs) plus the k-hop tree-product structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree-spanner construction failures.
+    ///
+    /// Disconnected graphs are fine: cross-component pairs get max-flow
+    /// value 0 (a zero-weight Gomory–Hu edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has fewer than 2 vertices.
+    pub fn new(graph: &Graph, k: usize) -> Result<Self, TreeSpannerError> {
+        assert!(graph.len() >= 2, "need at least two terminals");
+        let gh = gomory_hu_tree(graph);
+        let tree = RootedTree::from_edges(graph.len(), 0, &gh)
+            .expect("Gomory-Hu edges form a tree");
+        let caps: Vec<f64> = (0..graph.len())
+            .map(|v| {
+                if v == tree.root() {
+                    f64::INFINITY
+                } else {
+                    tree.parent_weight(v)
+                }
+            })
+            .collect();
+        let product =
+            TreeProduct::new(&tree, &caps, min_semigroup as fn(&f64, &f64) -> f64, k)?;
+        Ok(MultiterminalFlow { product })
+    }
+
+    /// The max-flow value between `u` and `v`, answered with at most
+    /// `k - 1` semigroup (min) operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bad-endpoint errors.
+    pub fn max_flow_value(&self, u: usize, v: usize) -> Result<f64, TreeSpannerError> {
+        Ok(self
+            .product
+            .query(u, v)?
+            .expect("u != v implies a non-empty path")
+        )
+    }
+
+    /// Semigroup operations spent by queries so far.
+    pub fn query_operations(&self) -> usize {
+        self.product.query_operations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn dinic_on_a_known_network() {
+        // Two disjoint-ish paths of capacity 3 and 2 from 0 to 3.
+        let g = vec![
+            (0usize, 1usize, 3.0),
+            (1, 3, 3.0),
+            (0, 2, 2.0),
+            (2, 3, 2.0),
+            (1, 2, 1.0),
+        ];
+        let mf = MaxFlow::new(4, &g);
+        let (f, side) = mf.max_flow(0, 3);
+        assert!((f - 5.0).abs() < 1e-9, "flow {f}");
+        assert!(side[0] && !side[3]);
+    }
+
+    #[test]
+    fn gomory_hu_matches_direct_flows() {
+        let mut r = ChaCha8Rng::seed_from_u64(404);
+        for trial in 0..5 {
+            let n = 10 + trial;
+            // Random connected capacitated graph.
+            let mut edges: Vec<(usize, usize, f64)> = (1..n)
+                .map(|v| (r.gen_range(0..v), v, 1.0 + r.gen::<f64>() * 5.0))
+                .collect();
+            for _ in 0..n {
+                let (a, b) = (r.gen_range(0..n), r.gen_range(0..n));
+                if a != b {
+                    edges.push((a, b, 1.0 + r.gen::<f64>() * 5.0));
+                }
+            }
+            let g = Graph::new(n, &edges).unwrap();
+            let gh = gomory_hu_tree(&g);
+            let tree = RootedTree::from_edges(n, 0, &gh).unwrap();
+            let mf = MaxFlow::new(n, g.edges());
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let (direct, _) = mf.max_flow(u, v);
+                    // Min edge on the tree path.
+                    let path = tree.path(u, v);
+                    let via_tree = path
+                        .windows(2)
+                        .map(|w| {
+                            let c = if tree.parent(w[0]) == Some(w[1]) { w[0] } else { w[1] };
+                            tree.parent_weight(c)
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    assert!(
+                        (direct - via_tree).abs() < 1e-6 * direct.max(1.0),
+                        "trial {trial} pair ({u},{v}): {direct} vs {via_tree}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_components_have_zero_flow() {
+        let g = Graph::new(4, &[(0, 1, 5.0), (2, 3, 7.0)]).unwrap();
+        let mtf = MultiterminalFlow::new(&g, 2).unwrap();
+        assert_eq!(mtf.max_flow_value(0, 2).unwrap(), 0.0);
+        assert_eq!(mtf.max_flow_value(0, 1).unwrap(), 5.0);
+        assert_eq!(mtf.max_flow_value(2, 3).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn multiterminal_queries_match_dinic() {
+        let mut r = ChaCha8Rng::seed_from_u64(777);
+        let n = 16;
+        let mut edges: Vec<(usize, usize, f64)> = (1..n)
+            .map(|v| (r.gen_range(0..v), v, 1.0 + r.gen::<f64>() * 3.0))
+            .collect();
+        for _ in 0..10 {
+            let (a, b) = (r.gen_range(0..n), r.gen_range(0..n));
+            if a != b {
+                edges.push((a, b, 1.0 + r.gen::<f64>() * 3.0));
+            }
+        }
+        let g = Graph::new(n, &edges).unwrap();
+        let mtf = MultiterminalFlow::new(&g, 2).unwrap();
+        let mf = MaxFlow::new(n, g.edges());
+        let mut queries = 0usize;
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                let fast = mtf.max_flow_value(u, v).unwrap();
+                let (slow, _) = mf.max_flow(u, v);
+                assert!((fast - slow).abs() < 1e-6 * slow.max(1.0), "({u},{v})");
+                queries += 1;
+            }
+        }
+        // k = 2: at most one min-operation per query.
+        assert!(mtf.query_operations() <= queries);
+    }
+}

@@ -1,0 +1,42 @@
+//! Applications of the navigation scheme (paper §5).
+//!
+//! Everything here consumes *only* the navigation interface — not the raw
+//! metric structure — which is exactly the paper's point: once you can
+//! efficiently find k-hop spanner paths, a toolbox of classic primitives
+//! follows:
+//!
+//! * [`sparsify`] — spanner sparsification without losing stretch or
+//!   lightness beyond a γ factor (Theorem 5.3);
+//! * [`approximate_spt`] — approximate shortest-path trees that live
+//!   inside the spanner (Algorithm 3, Theorem 5.4);
+//! * [`approximate_mst`] — approximate minimum spanning trees inside the
+//!   spanner (Theorem 5.5);
+//! * [`TreeProduct`] — online tree (semigroup) product queries with `k-1`
+//!   operations per query (Theorem 5.6);
+//! * [`MstVerifier`] — online MST verification with one weight comparison
+//!   per query after a sorting pass, plus MST updates after cost
+//!   increases (§5.6.2);
+//! * [`MultiterminalFlow`] — max-flow values between all terminal pairs
+//!   via a Gomory–Hu tree and `min`-semigroup tree products (§5.6.1's
+//!   flow application, with a Dinic max-flow substrate);
+//! * [`shallow_light_tree`] — the \[KRY93\] SPT/MST combination the
+//!   paper's §1.3 derives from the navigated SPT and MST.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod flow;
+mod mst;
+mod mst_verify;
+mod slt;
+mod sparsify;
+mod spt;
+mod tree_product;
+
+pub use flow::{gomory_hu_tree, MaxFlow, MultiterminalFlow};
+pub use mst::approximate_mst;
+pub use mst_verify::MstVerifier;
+pub use slt::shallow_light_tree;
+pub use sparsify::sparsify;
+pub use spt::{approximate_spt, SptResult};
+pub use tree_product::TreeProduct;

@@ -1,0 +1,98 @@
+//! Approximate minimum spanning trees inside the spanner (Theorem 5.5,
+//! §5.5).
+//!
+//! Seed with an (exact, Prim) MST of the metric — our substitute for
+//! \[Cha08\]'s O(n) approximate Euclidean MST, see DESIGN.md §4 — replace
+//! each seed edge by its navigated k-hop path, and return a minimum
+//! spanning tree of the union. The result is a subgraph of `H_X` of
+//! weight at most γ·w(MST).
+
+use hopspan_core::MetricNavigator;
+use hopspan_metric::{minimum_spanning_tree, Metric};
+
+use crate::sparsify;
+
+/// Builds a γ-approximate MST that is a subgraph of the navigator's
+/// spanner, in O(n²) + O(n·τ) time. Returns the tree edges.
+pub fn approximate_mst<M: Metric>(
+    metric: &M,
+    nav: &MetricNavigator,
+) -> Vec<(usize, usize, f64)> {
+    let seed = minimum_spanning_tree(metric);
+    let union = sparsify(metric, nav, &seed);
+    // Kruskal over the (small) union graph.
+    let mut edges = union;
+    edges.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+    let n = metric.len();
+    let mut dsu: Vec<usize> = (0..n).collect();
+    fn find(dsu: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while dsu[r] != r {
+            r = dsu[r];
+        }
+        let mut c = x;
+        while dsu[c] != r {
+            let nx = dsu[c];
+            dsu[c] = r;
+            c = nx;
+        }
+        r
+    }
+    let mut out = Vec::with_capacity(n.saturating_sub(1));
+    for (a, b, w) in edges {
+        let (ra, rb) = (find(&mut dsu, a), find(&mut dsu, b));
+        if ra != rb {
+            dsu[ra] = rb;
+            out.push((a, b, w));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::{gen, mst_weight};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn approx_mst_weight_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(909);
+        let m = gen::uniform_points(35, 2, &mut rng);
+        let nav = MetricNavigator::doubling(&m, 0.25, 3).unwrap();
+        let amst = approximate_mst(&m, &nav);
+        assert_eq!(amst.len(), 34, "spanning tree size");
+        let w: f64 = amst.iter().map(|e| e.2).sum();
+        let exact = mst_weight(&m);
+        assert!(w >= exact - 1e-9, "cannot beat the exact MST");
+        assert!(w <= 2.5 * exact, "approx MST weight {w} vs exact {exact}");
+    }
+
+    #[test]
+    fn approx_mst_lives_in_spanner() {
+        let mut rng = ChaCha8Rng::seed_from_u64(910);
+        let m = gen::uniform_points(20, 2, &mut rng);
+        let nav = MetricNavigator::doubling(&m, 0.5, 2).unwrap();
+        let hx: std::collections::HashSet<(usize, usize)> = nav
+            .spanner_edges()
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect();
+        for (a, b, _) in approximate_mst(&m, &nav) {
+            let key = (a.min(b), a.max(b));
+            assert!(hx.contains(&key), "MST edge ({a},{b}) outside H_X");
+        }
+    }
+
+    #[test]
+    fn line_mst_is_exact() {
+        let m = hopspan_metric::EuclideanSpace::from_points(
+            &(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>(),
+        );
+        let nav = MetricNavigator::doubling(&m, 0.25, 2).unwrap();
+        let amst = approximate_mst(&m, &nav);
+        let w: f64 = amst.iter().map(|e| e.2).sum();
+        assert!((w - 19.0).abs() < 1e-9, "line MST weight {w}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Shallow-light trees inside the spanner (§1.3 / \[KRY93\]).
+//!
+//! An SLT combines an SPT and an MST: distances from the root are within
+//! a factor `1 + β` of optimal *and* the total weight is within
+//! `1 + 2/β` of the MST. The paper points out (§1.3) that given the
+//! navigated approximate SPT and MST, an SLT that is a subgraph of the
+//! spanner follows in linear extra time — this module implements the
+//! \[KRY93\] breakpoint construction on top of the navigator.
+
+use hopspan_core::MetricNavigator;
+use hopspan_metric::Metric;
+
+use crate::{approximate_mst, SptResult};
+
+/// Builds a shallow-light tree rooted at `root` with trade-off `beta > 0`:
+/// root-stretch ≈ (1+β)·γ and weight ≈ (1 + 2/β)·γ·w(MST), as a subgraph
+/// of the navigator's spanner. Returns the tree in [`SptResult`] form.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range or `beta ≤ 0`.
+pub fn shallow_light_tree<M: Metric>(
+    metric: &M,
+    nav: &MetricNavigator,
+    root: usize,
+    beta: f64,
+) -> SptResult {
+    let n = metric.len();
+    assert!(root < n, "root out of range");
+    assert!(beta > 0.0, "beta must be positive");
+    // 1. Approximate MST inside the spanner.
+    let mst = approximate_mst(metric, nav);
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for &(a, b, w) in &mst {
+        adj[a].push((b, w));
+        adj[b].push((a, w));
+    }
+    // 2. Walk the MST Euler tour, accumulating walked weight; when the
+    //    debt exceeds β·δ(root, v), declare v a breakpoint and shortcut
+    //    it to the root through the navigator ([KRY93]).
+    let mut breakpoints = Vec::new();
+    let mut debt = 0.0f64;
+    let mut visited = vec![false; n];
+    let mut stack: Vec<(usize, f64)> = vec![(root, 0.0)];
+    while let Some((v, w_in)) = stack.pop() {
+        debt += w_in;
+        if visited[v] {
+            continue;
+        }
+        visited[v] = true;
+        if debt > beta * metric.dist(root, v) && v != root {
+            breakpoints.push(v);
+            debt = 0.0;
+        }
+        for &(c, w) in &adj[v] {
+            if !visited[c] {
+                stack.push((c, w));
+            }
+        }
+    }
+    // 3. Candidate edge set: MST ∪ navigated root paths to breakpoints.
+    let mut edges = mst;
+    for &b in &breakpoints {
+        let path = nav.find_path(root, b).expect("valid endpoints");
+        for w in path.windows(2) {
+            edges.push((w[0], w[1], metric.dist(w[0], w[1])));
+        }
+    }
+    // 4. Shortest-path tree of the candidate graph from the root.
+    let mut cadj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    for &(a, b, w) in &edges {
+        cadj[a].push((b, w));
+        cadj[b].push((a, w));
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    dist[root] = 0.0;
+    heap.push(Entry(0.0, root));
+    while let Some(Entry(d, u)) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in &cadj[u] {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                parent[v] = Some(u);
+                heap.push(Entry(nd, v));
+            }
+        }
+    }
+    SptResult { root, parent, dist }
+}
+
+#[derive(PartialEq)]
+struct Entry(f64, usize);
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::{gen, mst_weight};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup(n: usize) -> (hopspan_metric::EuclideanSpace, MetricNavigator) {
+        let mut rng = ChaCha8Rng::seed_from_u64(5150);
+        let m = gen::uniform_points(n, 2, &mut rng);
+        let nav = MetricNavigator::doubling(&m, 0.25, 3).unwrap();
+        (m, nav)
+    }
+
+    #[test]
+    fn slt_balances_depth_and_weight() {
+        let (m, nav) = setup(60);
+        let slt = shallow_light_tree(&m, &nav, 0, 1.0);
+        // It's a spanning tree.
+        assert_eq!(slt.edges(&m).len(), 59);
+        // Root stretch bounded.
+        let s = slt.measured_stretch(&m);
+        assert!(s <= 2.0 * (1.0 + 1.0) + 1.0, "root stretch {s}");
+        // Weight within a constant of the MST.
+        let w: f64 = slt.edges(&m).iter().map(|e| e.2).sum();
+        assert!(w <= 6.0 * mst_weight(&m), "weight {w}");
+    }
+
+    #[test]
+    fn beta_tradeoff_direction() {
+        let (m, nav) = setup(80);
+        let tight = shallow_light_tree(&m, &nav, 0, 0.2);
+        let loose = shallow_light_tree(&m, &nav, 0, 4.0);
+        // Small β: shallower (better root distances), heavier.
+        let s_tight = tight.measured_stretch(&m);
+        let s_loose = loose.measured_stretch(&m);
+        assert!(
+            s_tight <= s_loose + 1e-9,
+            "smaller β must not be deeper: {s_tight} vs {s_loose}"
+        );
+        let w_tight: f64 = tight.edges(&m).iter().map(|e| e.2).sum();
+        let w_loose: f64 = loose.edges(&m).iter().map(|e| e.2).sum();
+        assert!(
+            w_loose <= w_tight + 1e-9,
+            "larger β must not be heavier: {w_loose} vs {w_tight}"
+        );
+    }
+
+    #[test]
+    fn slt_lives_in_spanner() {
+        let (m, nav) = setup(40);
+        let hx: std::collections::HashSet<(usize, usize)> = nav
+            .spanner_edges()
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect();
+        let slt = shallow_light_tree(&m, &nav, 3, 1.0);
+        for (a, b, _) in slt.edges(&m) {
+            assert!(hx.contains(&(a.min(b), a.max(b))), "edge ({a},{b})");
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Approximate shortest-path trees inside the spanner (Algorithm 3,
+//! Theorem 5.4, §5.4).
+//!
+//! The metric's exact SPT is a star, which is (almost surely) not a
+//! subgraph of the spanner. `ApproximateSPT` queries the navigator once
+//! per vertex and relaxes the k-hop path edges in path order, producing a
+//! γ-approximate SPT that *is* a subgraph of `H_X`, in O(n·τ) time —
+//! no Dijkstra, no explicit access to the spanner.
+
+use hopspan_core::MetricNavigator;
+use hopspan_metric::Metric;
+
+/// The result of [`approximate_spt`].
+#[derive(Debug, Clone)]
+pub struct SptResult {
+    /// The root.
+    pub root: usize,
+    /// Parent per vertex (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Tree distance from the root per vertex.
+    pub dist: Vec<f64>,
+}
+
+impl SptResult {
+    /// The tree edges `(child, parent, weight)`.
+    pub fn edges<M: Metric>(&self, metric: &M) -> Vec<(usize, usize, f64)> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &p)| p.map(|p| (v, p, metric.dist(v, p))))
+            .collect()
+    }
+
+    /// Maximum ratio `dist(v) / δ(root, v)` over vertices (the realized
+    /// SPT stretch).
+    pub fn measured_stretch<M: Metric>(&self, metric: &M) -> f64 {
+        let mut worst: f64 = 1.0;
+        for v in 0..self.dist.len() {
+            let d = metric.dist(self.root, v);
+            if d > 0.0 {
+                worst = worst.max(self.dist[v] / d);
+            }
+        }
+        worst
+    }
+}
+
+/// Algorithm 3: builds a γ-approximate SPT rooted at `root` that is a
+/// subgraph of the navigator's spanner, in O(n·τ) time.
+///
+/// # Panics
+///
+/// Panics if `root` is out of range.
+pub fn approximate_spt<M: Metric>(
+    metric: &M,
+    nav: &MetricNavigator,
+    root: usize,
+) -> SptResult {
+    let n = metric.len();
+    assert!(root < n, "root out of range");
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    dist[root] = 0.0;
+    for v in 0..n {
+        if v == root {
+            continue;
+        }
+        let path = nav.find_path(root, v).expect("valid endpoints");
+        // Relax the path edges from the root outward (procedure Relax);
+        // relaxing in path order keeps dist[x] finite before its
+        // successor, and strict improvement keeps the parent pointers
+        // acyclic (Claims 5.1–5.2).
+        for w in path.windows(2) {
+            let (x, y) = (w[0], w[1]);
+            let cand = dist[x] + metric.dist(x, y);
+            if cand < dist[y] && y != root {
+                dist[y] = cand;
+                parent[y] = Some(x);
+            }
+        }
+    }
+    SptResult { root, parent, dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::gen;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn spt_is_a_tree_with_bounded_stretch() {
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        let m = gen::uniform_points(30, 2, &mut rng);
+        let nav = MetricNavigator::doubling(&m, 0.25, 3).unwrap();
+        let spt = approximate_spt(&m, &nav, 0);
+        // Tree: n-1 parented vertices, acyclic by construction of dist.
+        let edges = spt.edges(&m);
+        assert_eq!(edges.len(), 29);
+        for (v, p, _) in &edges {
+            assert!(spt.dist[*v] > spt.dist[*p] - 1e-12, "child above parent");
+        }
+        let s = spt.measured_stretch(&m);
+        assert!(s <= 2.5, "SPT stretch {s}");
+    }
+
+    #[test]
+    fn spt_edges_live_in_spanner() {
+        let mut rng = ChaCha8Rng::seed_from_u64(78);
+        let m = gen::uniform_points(20, 2, &mut rng);
+        let nav = MetricNavigator::doubling(&m, 0.5, 2).unwrap();
+        let hx: std::collections::HashSet<(usize, usize)> = nav
+            .spanner_edges()
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect();
+        let spt = approximate_spt(&m, &nav, 3);
+        for (v, p, _) in spt.edges(&m) {
+            let key = (v.min(p), v.max(p));
+            assert!(hx.contains(&key), "SPT edge ({v},{p}) outside H_X");
+        }
+    }
+
+    #[test]
+    fn line_spt_is_exact() {
+        let m = hopspan_metric::EuclideanSpace::from_points(
+            &(0..16).map(|i| vec![i as f64]).collect::<Vec<_>>(),
+        );
+        let nav = MetricNavigator::doubling(&m, 0.25, 2).unwrap();
+        let spt = approximate_spt(&m, &nav, 0);
+        assert!(spt.measured_stretch(&m) <= 1.0 + 1e-9);
+    }
+}

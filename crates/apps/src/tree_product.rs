@@ -1,0 +1,278 @@
+//! Online tree (semigroup) product queries (Theorem 5.6, §5.6.1).
+//!
+//! Each tree edge carries an element of a semigroup `(S, ∘)`; a query
+//! `(u, v)` asks for the ordered product of the elements along the tree
+//! path from `u` to `v`. Annotating every spanner edge with the product
+//! of its shortcut (in both directions — the semigroup need not be
+//! commutative) lets the k-hop navigation answer queries with at most
+//! `k - 1` semigroup operations, improving the 2k-hop paths of \[AS87\]
+//! by a factor of two (Remark 5.4).
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+use hopspan_tree_spanner::{TreeHopSpanner, TreeSpannerError};
+use hopspan_treealg::RootedTree;
+
+/// An online tree-product structure over a semigroup given by `combine`.
+///
+/// # Examples
+///
+/// ```
+/// use hopspan_apps::TreeProduct;
+/// use hopspan_treealg::RootedTree;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Edge lengths: 0 -(2)- 1 -(3)- 2.
+/// let tree = RootedTree::from_edges(3, 0, &[(0, 1, 2.0), (1, 2, 3.0)])?;
+/// let lengths = vec![0.0, 2.0, 3.0]; // value of the edge to the parent
+/// let tp = TreeProduct::new(&tree, &lengths, |a, b| a + b, 2)?;
+/// assert_eq!(tp.query(0, 2)?, Some(5.0));
+/// # Ok(())
+/// # }
+/// ```
+pub struct TreeProduct<T, F> {
+    spanner: TreeHopSpanner,
+    /// Directed edge products: `(a, b)` → product of edge elements along
+    /// the tree path from `a` to `b`.
+    products: HashMap<(usize, usize), T>,
+    combine: F,
+    query_ops: Cell<usize>,
+    preprocessing_ops: usize,
+}
+
+impl<T, F> std::fmt::Debug for TreeProduct<T, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TreeProduct")
+            .field("k", &self.spanner.k())
+            .field("edges", &self.products.len())
+            .finish()
+    }
+}
+
+impl<T: Clone, F: Fn(&T, &T) -> T> TreeProduct<T, F> {
+    /// Preprocesses `tree` whose edge `(v, parent(v))` carries
+    /// `edge_values[v]` (the root's entry is ignored), for queries with at
+    /// most `k - 1` semigroup operations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree-spanner construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_values.len() != tree.len()`.
+    pub fn new(
+        tree: &RootedTree,
+        edge_values: &[T],
+        combine: F,
+        k: usize,
+    ) -> Result<Self, TreeSpannerError> {
+        assert_eq!(edge_values.len(), tree.len(), "one value per vertex edge");
+        let spanner = TreeHopSpanner::new(tree, k)?;
+        let mut preprocessing_ops = 0usize;
+        let mut products = HashMap::with_capacity(2 * spanner.edge_count());
+        for &(a, b, _) in spanner.edges() {
+            let path = tree.path(a, b);
+            let fwd = fold_path(tree, &path, edge_values, &combine, &mut preprocessing_ops);
+            let mut rev_path = path.clone();
+            rev_path.reverse();
+            let bwd =
+                fold_path(tree, &rev_path, edge_values, &combine, &mut preprocessing_ops);
+            products.insert((a, b), fwd);
+            products.insert((b, a), bwd);
+        }
+        Ok(TreeProduct {
+            spanner,
+            products,
+            combine,
+            query_ops: Cell::new(0),
+            preprocessing_ops,
+        })
+    }
+
+    /// The ordered product along the tree path from `u` to `v`, using at
+    /// most `k - 1` semigroup operations. `None` when `u == v` (the empty
+    /// product — semigroups have no identity).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TreeSpannerError::NotRequired`] for bad endpoints.
+    pub fn query(&self, u: usize, v: usize) -> Result<Option<T>, TreeSpannerError> {
+        if u == v {
+            return Ok(None);
+        }
+        let path = self.spanner.find_path(u, v)?;
+        let mut acc: Option<T> = None;
+        for w in path.windows(2) {
+            let piece = &self.products[&(w[0], w[1])];
+            acc = Some(match acc {
+                None => piece.clone(),
+                Some(a) => {
+                    self.query_ops.set(self.query_ops.get() + 1);
+                    (self.combine)(&a, piece)
+                }
+            });
+        }
+        Ok(acc)
+    }
+
+    /// Total semigroup operations spent by queries so far.
+    pub fn query_operations(&self) -> usize {
+        self.query_ops.get()
+    }
+
+    /// Semigroup operations spent during preprocessing.
+    pub fn preprocessing_operations(&self) -> usize {
+        self.preprocessing_ops
+    }
+
+    /// The hop bound k.
+    pub fn k(&self) -> usize {
+        self.spanner.k()
+    }
+}
+
+/// Folds edge values along a vertex path (child-edge value of the deeper
+/// endpoint of each step).
+fn fold_path<T: Clone, F: Fn(&T, &T) -> T>(
+    tree: &RootedTree,
+    path: &[usize],
+    edge_values: &[T],
+    combine: &F,
+    ops: &mut usize,
+) -> T {
+    let mut acc: Option<T> = None;
+    for w in path.windows(2) {
+        // The tree edge between w[0] and w[1] is keyed by the deeper one.
+        let child = if tree.parent(w[0]) == Some(w[1]) {
+            w[0]
+        } else {
+            debug_assert_eq!(tree.parent(w[1]), Some(w[0]));
+            w[1]
+        };
+        let val = &edge_values[child];
+        acc = Some(match acc {
+            None => val.clone(),
+            Some(a) => {
+                *ops += 1;
+                combine(&a, val)
+            }
+        });
+    }
+    acc.expect("paths between distinct spanner endpoints are non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_tree(n: usize, seed: u64) -> RootedTree {
+        let mut s = seed;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let edges: Vec<_> = (1..n)
+            .map(|v| ((next() as usize) % v, v, 1.0))
+            .collect();
+        RootedTree::from_edges(n, 0, &edges).unwrap()
+    }
+
+    fn brute<T: Clone, F: Fn(&T, &T) -> T>(
+        tree: &RootedTree,
+        vals: &[T],
+        combine: &F,
+        u: usize,
+        v: usize,
+    ) -> Option<T> {
+        let path = tree.path(u, v);
+        let mut acc: Option<T> = None;
+        for w in path.windows(2) {
+            let child = if tree.parent(w[0]) == Some(w[1]) { w[0] } else { w[1] };
+            acc = Some(match acc {
+                None => vals[child].clone(),
+                Some(a) => combine(&a, &vals[child]),
+            });
+        }
+        acc
+    }
+
+    #[test]
+    fn sums_match_brute_force() {
+        let tree = random_tree(40, 0xFEED);
+        let vals: Vec<i64> = (0..40).map(|v| v as i64 + 1).collect();
+        let add = |a: &i64, b: &i64| a + b;
+        for k in [2usize, 3, 4, 5] {
+            let tp = TreeProduct::new(&tree, &vals, add, k).unwrap();
+            for u in 0..40 {
+                for v in 0..40 {
+                    assert_eq!(
+                        tp.query(u, v).unwrap(),
+                        brute(&tree, &vals, &add, u, v),
+                        "k={k} ({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_commutative_concat() {
+        // String concatenation is non-commutative: direction matters.
+        let tree = random_tree(20, 0xC0FFEE);
+        let vals: Vec<String> = (0..20).map(|v| format!("[{v}]")).collect();
+        let cat = |a: &String, b: &String| format!("{a}{b}");
+        let tp = TreeProduct::new(&tree, &vals, cat, 3).unwrap();
+        for u in 0..20 {
+            for v in 0..20 {
+                assert_eq!(tp.query(u, v).unwrap(), brute(&tree, &vals, &cat, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn query_ops_at_most_k_minus_1() {
+        let tree = random_tree(100, 0xABCD);
+        let vals: Vec<i64> = vec![1; 100];
+        for k in [2usize, 3, 4, 6] {
+            let tp = TreeProduct::new(&tree, &vals, |a, b| a + b, k).unwrap();
+            let mut queries = 0usize;
+            for u in (0..100).step_by(7) {
+                for v in (0..100).step_by(11) {
+                    if u != v {
+                        tp.query(u, v).unwrap();
+                        queries += 1;
+                    }
+                }
+            }
+            assert!(
+                tp.query_operations() <= queries * (k - 1),
+                "k={k}: {} ops for {queries} queries",
+                tp.query_operations()
+            );
+        }
+    }
+
+    #[test]
+    fn max_semigroup() {
+        let tree = random_tree(25, 0x1234);
+        let vals: Vec<f64> = (0..25).map(|v| ((v * 7919) % 100) as f64).collect();
+        let max = |a: &f64, b: &f64| a.max(*b);
+        let tp = TreeProduct::new(&tree, &vals, max, 2).unwrap();
+        for u in 0..25 {
+            for v in 0..25 {
+                assert_eq!(tp.query(u, v).unwrap(), brute(&tree, &vals, &max, u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn self_query_is_empty() {
+        let tree = random_tree(5, 1);
+        let tp = TreeProduct::new(&tree, &[1i64; 5], |a, b| a + b, 2).unwrap();
+        assert_eq!(tp.query(3, 3).unwrap(), None);
+    }
+}

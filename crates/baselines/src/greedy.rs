@@ -1,0 +1,137 @@
+//! The path-greedy t-spanner \[ADD+93, NS07\].
+//!
+//! Sort the pairs by distance; add an edge whenever the spanner built so
+//! far cannot already connect the pair within stretch `t`. Produces
+//! spanners with the optimal stretch/size trade-off in doubling metrics,
+//! but — as the paper's introduction stresses — with unbounded
+//! hop-diameter, which is exactly the gap the k-hop schemes fill.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use hopspan_metric::Metric;
+
+/// Builds the path-greedy `t`-spanner. O(n² · (m + n log n)) worst case —
+/// fine at experiment scale.
+///
+/// # Examples
+///
+/// ```
+/// use hopspan_baselines::greedy_spanner;
+/// use hopspan_metric::{gen, spanner_max_stretch};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+/// let m = gen::uniform_points(20, 2, &mut rng);
+/// let spanner = greedy_spanner(&m, 1.5);
+/// assert!(spanner_max_stretch(&m, &spanner) <= 1.5 + 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `t < 1`.
+pub fn greedy_spanner<M: Metric>(metric: &M, t: f64) -> Vec<(usize, usize, f64)> {
+    assert!(t >= 1.0, "stretch must be at least 1");
+    let n = metric.len();
+    let mut pairs = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs.push((metric.dist(i, j), i, j));
+        }
+    }
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal));
+    let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut edges = Vec::new();
+    for (d, i, j) in pairs {
+        // Bounded Dijkstra from i: stop when everything in the frontier
+        // exceeds t·d.
+        if bounded_distance(&adj, i, j, t * d) > t * d * (1.0 + 1e-12) {
+            adj[i].push((j, d));
+            adj[j].push((i, d));
+            edges.push((i, j, d));
+        }
+    }
+    edges
+}
+
+fn bounded_distance(adj: &[Vec<(usize, f64)>], s: usize, t: usize, bound: f64) -> f64 {
+    let n = adj.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut heap = BinaryHeap::new();
+    dist[s] = 0.0;
+    heap.push(HeapEntry(0.0, s));
+    while let Some(HeapEntry(d, u)) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        if u == t {
+            return d;
+        }
+        if d > bound {
+            break;
+        }
+        for &(v, w) in &adj[u] {
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(HeapEntry(nd, v));
+            }
+        }
+    }
+    dist[t]
+}
+
+#[derive(PartialEq)]
+struct HeapEntry(f64, usize);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::{gen, spanner_max_stretch};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn greedy_meets_its_stretch() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = gen::uniform_points(60, 2, &mut rng);
+        for t in [1.1, 1.5, 2.0] {
+            let sp = greedy_spanner(&m, t);
+            let s = spanner_max_stretch(&m, &sp);
+            assert!(s <= t * (1.0 + 1e-9), "stretch {s} > {t}");
+        }
+    }
+
+    #[test]
+    fn greedy_is_sparse() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let m = gen::uniform_points(80, 2, &mut rng);
+        let sp = greedy_spanner(&m, 1.5);
+        assert!(sp.len() < 80 * 79 / 2 / 4, "greedy too dense: {}", sp.len());
+    }
+
+    #[test]
+    fn stretch_one_is_complete() {
+        let m = gen::uniform_points(10, 2, &mut ChaCha8Rng::seed_from_u64(5));
+        let sp = greedy_spanner(&m, 1.0);
+        assert_eq!(sp.len(), 45);
+    }
+}

@@ -1,0 +1,109 @@
+//! Baseline spanners, oracles and navigation algorithms that the paper
+//! compares against (or that its introduction motivates):
+//!
+//! * [`greedy_spanner`] — the path-greedy t-spanner (optimal size/weight
+//!   trade-offs, but inherently Ω(log n) hop-diameter at low degree);
+//! * [`theta_graph`] — the Θ-graph for planar Euclidean point sets (easy
+//!   navigation, but Ω(n)-hop paths in the worst case);
+//! * [`TzOracle`] — the Thorup–Zwick distance oracle specialized to
+//!   metrics: stretch `2ℓ-1` distances and 2-hop paths in O(ℓ) time
+//!   (the general-metric comparison point of §1.1);
+//! * [`DijkstraNavigator`] — navigation on an explicit spanner by
+//!   shortest-path search (the "obvious" baseline the O(k) scheme beats);
+//! * [`stretch_and_hops`] — measures the realized stretch/hop frontier of
+//!   any spanner edge set.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dijkstra_nav;
+mod greedy;
+mod theta;
+mod tz;
+
+pub use dijkstra_nav::DijkstraNavigator;
+pub use greedy::greedy_spanner;
+pub use theta::theta_graph;
+pub use tz::TzOracle;
+
+use hopspan_metric::{Graph, Metric};
+
+/// For every pair, finds the minimum-weight (then minimum-hop) path in the
+/// spanner and reports `(max stretch, max hops)` over all pairs.
+/// O(n · m log n); intended for experiments at moderate sizes.
+pub fn stretch_and_hops<M: Metric>(metric: &M, edges: &[(usize, usize, f64)]) -> (f64, usize) {
+    let n = metric.len();
+    let g = Graph::new(n, edges).expect("valid spanner edges");
+    let mut stretch: f64 = 1.0;
+    let mut hops = 0usize;
+    for s in 0..n {
+        // Dijkstra on (weight, hops) lexicographic.
+        let mut dist = vec![(f64::INFINITY, usize::MAX); n];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[s] = (0.0, 0);
+        heap.push(Entry(0.0, 0, s));
+        while let Some(Entry(d, h, u)) = heap.pop() {
+            if (d, h) > dist[u] {
+                continue;
+            }
+            for (v, w) in g.neighbors(u) {
+                let cand = (d + w, h + 1);
+                if cand < dist[v] {
+                    dist[v] = cand;
+                    heap.push(Entry(cand.0, cand.1, v));
+                }
+            }
+        }
+        for t in 0..n {
+            if t == s {
+                continue;
+            }
+            let d = metric.dist(s, t);
+            assert!(dist[t].0.is_finite(), "spanner disconnected at ({s},{t})");
+            if d > 0.0 {
+                stretch = stretch.max(dist[t].0 / d);
+            }
+            hops = hops.max(dist[t].1);
+        }
+    }
+    (stretch, hops)
+}
+
+#[derive(PartialEq)]
+struct Entry(f64, usize, usize);
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+            .then_with(|| other.2.cmp(&self.2))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::EuclideanSpace;
+
+    #[test]
+    fn stretch_and_hops_on_path() {
+        let m = EuclideanSpace::from_points(
+            &(0..8).map(|i| vec![i as f64]).collect::<Vec<_>>(),
+        );
+        let edges: Vec<_> = (1..8).map(|v| (v - 1, v, 1.0)).collect();
+        let (s, h) = stretch_and_hops(&m, &edges);
+        assert!((s - 1.0).abs() < 1e-9);
+        assert_eq!(h, 7);
+    }
+}

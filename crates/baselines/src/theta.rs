@@ -1,0 +1,87 @@
+//! The Θ-graph spanner for planar Euclidean point sets \[Cla87, Kei88\].
+//!
+//! Space around every point is divided into `cones` equal angular cones;
+//! each point connects to the point whose *projection on the cone axis*
+//! is nearest, within every non-empty cone. Stretch is
+//! `1/(cos θ - sin θ)` for θ = 2π/cones; navigation is trivially greedy
+//! but paths can take Ω(n) hops — the textbook example the paper opens
+//! with.
+
+use hopspan_metric::{EuclideanSpace, Metric};
+
+/// Builds the Θ-graph with `cones ≥ 9` cones over a 2-D point set.
+///
+/// # Panics
+///
+/// Panics if the space is not 2-dimensional or `cones < 9` (the stretch
+/// formula needs θ < π/4).
+pub fn theta_graph(space: &EuclideanSpace, cones: usize) -> Vec<(usize, usize, f64)> {
+    assert_eq!(space.dim(), 2, "theta graphs are for planar point sets");
+    assert!(cones >= 9, "need at least 9 cones for a finite stretch bound");
+    let n = space.len();
+    let theta = std::f64::consts::TAU / cones as f64;
+    let mut edges = std::collections::HashMap::new();
+    for i in 0..n {
+        let (xi, yi) = (space.point(i)[0], space.point(i)[1]);
+        // Best projection distance per cone.
+        let mut best: Vec<Option<(f64, usize)>> = vec![None; cones];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (dx, dy) = (space.point(j)[0] - xi, space.point(j)[1] - yi);
+            let ang = dy.atan2(dx).rem_euclid(std::f64::consts::TAU);
+            let cone = ((ang / theta) as usize).min(cones - 1);
+            // Projection of (dx, dy) onto the cone's axis direction.
+            let axis = (cone as f64 + 0.5) * theta;
+            let proj = dx * axis.cos() + dy * axis.sin();
+            if best[cone].is_none_or(|(b, _)| proj < b) {
+                best[cone] = Some((proj, j));
+            }
+        }
+        for slot in best.into_iter().flatten() {
+            let j = slot.1;
+            let key = (i.min(j), i.max(j));
+            edges.entry(key).or_insert_with(|| {
+                let d = {
+                    let (dx, dy) = (space.point(j)[0] - xi, space.point(j)[1] - yi);
+                    (dx * dx + dy * dy).sqrt()
+                };
+                d
+            });
+        }
+    }
+    let mut out: Vec<(usize, usize, f64)> =
+        edges.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+    out.sort_by_key(|a| (a.0, a.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::{gen, spanner_max_stretch};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn theta_graph_is_a_spanner() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let m = gen::uniform_points(70, 2, &mut rng);
+        let sp = theta_graph(&m, 12);
+        let s = spanner_max_stretch(&m, &sp);
+        // 1/(cos θ - sin θ) for θ = 2π/12 ≈ 0.524: bound ≈ 2.8.
+        assert!(s <= 2.9, "stretch {s}");
+        // Out-degree ≤ cones ⇒ O(n · cones) edges.
+        assert!(sp.len() <= 70 * 12);
+    }
+
+    #[test]
+    fn more_cones_tighter_stretch() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let m = gen::uniform_points(50, 2, &mut rng);
+        let coarse = spanner_max_stretch(&m, &theta_graph(&m, 9));
+        let fine = spanner_max_stretch(&m, &theta_graph(&m, 24));
+        assert!(fine <= coarse + 1e-9, "{fine} vs {coarse}");
+    }
+}

@@ -1,0 +1,223 @@
+//! The Thorup–Zwick distance oracle \[TZ01a\] specialized to metrics.
+//!
+//! Levels `A_0 ⊇ A_1 ⊇ … ⊇ A_{ℓ-1}` are sampled with probability
+//! `n^{-1/ℓ}` each; every point stores its *pivots* `p_i(v)` (nearest
+//! level-i point) and its *bunch*. Queries walk the pivots and answer
+//! with stretch `2ℓ - 1` in O(ℓ) time; the reported paths have 2 hops
+//! (`u → p_i(u) → v` shaped) and all live on the union-of-bunches
+//! spanner of `O(ℓ·n^{1+1/ℓ})` expected edges — the paper's §1.1 baseline
+//! for general metrics.
+
+use std::collections::HashMap;
+
+use hopspan_metric::Metric;
+use rand::Rng;
+
+/// A Thorup–Zwick approximate distance oracle over a metric.
+///
+/// # Examples
+///
+/// ```
+/// use hopspan_baselines::TzOracle;
+/// use hopspan_metric::{gen, Metric};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let m = gen::random_bounded_metric(10, &mut rng);
+/// let oracle = TzOracle::new(&m, 2, &mut rng);
+/// let (estimate, _mid) = oracle.query(0, 7);
+/// assert!(estimate >= m.dist(0, 7) - 1e-9);
+/// assert!(estimate <= 3.0 * m.dist(0, 7) + 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct TzOracle {
+    ell: usize,
+    /// `pivot[i][v]` = (nearest level-i point, its distance); absent
+    /// levels are None.
+    pivot: Vec<Vec<Option<(usize, f64)>>>,
+    /// Bunch of each point: candidate (w, δ(v, w)) pairs.
+    bunch: Vec<HashMap<usize, f64>>,
+}
+
+impl TzOracle {
+    /// Builds the oracle with `ell ≥ 1` levels. O(ℓ·n²) preprocessing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ell == 0` or the metric is empty.
+    pub fn new<M: Metric, R: Rng>(metric: &M, ell: usize, rng: &mut R) -> Self {
+        assert!(ell >= 1, "ell must be at least 1");
+        let n = metric.len();
+        assert!(n > 0, "empty metric");
+        let p = (n as f64).powf(-1.0 / ell as f64);
+        // Levels: A_0 = everything; A_i sampled from A_{i-1}.
+        let mut levels: Vec<Vec<bool>> = vec![vec![true; n]];
+        for i in 1..ell {
+            let prev = &levels[i - 1];
+            let cur: Vec<bool> = (0..n)
+                .map(|v| prev[v] && rng.gen::<f64>() < p)
+                .collect();
+            levels.push(cur);
+        }
+        // Pivots.
+        let mut pivot: Vec<Vec<Option<(usize, f64)>>> = Vec::with_capacity(ell);
+        for level in &levels {
+            let row: Vec<Option<(usize, f64)>> = (0..n)
+                .map(|v| {
+                    let mut best: Option<(usize, f64)> = None;
+                    for w in 0..n {
+                        if level[w] {
+                            let d = metric.dist(v, w);
+                            if best.is_none_or(|(_, bd)| d < bd) {
+                                best = Some((w, d));
+                            }
+                        }
+                    }
+                    best
+                })
+                .collect();
+            pivot.push(row);
+        }
+        // Bunches: w ∈ A_i \ A_{i+1} joins B(v) iff δ(v,w) < δ(v, p_{i+1}(v)).
+        let mut bunch: Vec<HashMap<usize, f64>> = vec![HashMap::new(); n];
+        for v in 0..n {
+            for w in 0..n {
+                let mut level_w = 0usize;
+                for (i, level) in levels.iter().enumerate() {
+                    if level[w] {
+                        level_w = i;
+                    }
+                }
+                let include = if level_w + 1 >= ell {
+                    true // top-level points join every bunch
+                } else {
+                    match pivot[level_w + 1][v] {
+                        None => true,
+                        Some((_, dnext)) => metric.dist(v, w) < dnext,
+                    }
+                };
+                if include {
+                    bunch[v].insert(w, metric.dist(v, w));
+                }
+            }
+        }
+        TzOracle { ell, pivot, bunch }
+    }
+
+    /// The stretch parameter ℓ (stretch bound `2ℓ - 1`).
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// Approximate distance query with the standard pivot walk: O(ℓ)
+    /// time, stretch ≤ 2ℓ-1. Returns `(estimate, midpoint)` where the
+    /// 2-hop witness path is `u → midpoint → v`.
+    pub fn query(&self, u: usize, v: usize) -> (f64, usize) {
+        let (mut a, mut b) = (u, v);
+        let mut w = a;
+        let mut i = 0usize;
+        loop {
+            if let Some(d) = self.bunch[b].get(&w) {
+                let du = self.bunch[a].get(&w).copied().unwrap_or_else(|| {
+                    self.pivot[i][a].map(|(_, d)| d).unwrap_or(f64::INFINITY)
+                });
+                return (du + d, w);
+            }
+            i += 1;
+            debug_assert!(i < self.ell, "pivot walk must terminate");
+            std::mem::swap(&mut a, &mut b);
+            w = match self.pivot[i][a] {
+                Some((p, _)) => p,
+                None => {
+                    // No level-i points at all: fall back to the previous
+                    // pivot of the other side (guaranteed in bunches).
+                    std::mem::swap(&mut a, &mut b);
+                    i -= 1;
+                    self.pivot[i][a].expect("level 0 always exists").0
+                }
+            };
+        }
+    }
+
+    /// The union-of-bunches spanner (the edges the witness paths use).
+    pub fn spanner_edges<M: Metric>(&self, metric: &M) -> Vec<(usize, usize, f64)> {
+        let mut set: HashMap<(usize, usize), f64> = HashMap::new();
+        for (v, b) in self.bunch.iter().enumerate() {
+            for &w in b.keys() {
+                if v != w {
+                    set.entry((v.min(w), v.max(w)))
+                        .or_insert_with(|| metric.dist(v, w));
+                }
+            }
+        }
+        let mut out: Vec<(usize, usize, f64)> =
+            set.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+        out.sort_by_key(|a| (a.0, a.1));
+        out
+    }
+
+    /// Total bunch entries (the oracle's space, in words).
+    pub fn space_words(&self) -> usize {
+        self.bunch.iter().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::gen;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1112)
+    }
+
+    #[test]
+    fn stretch_bound_holds() {
+        let m = gen::random_graph_metric(40, 25, &mut rng());
+        for ell in [1usize, 2, 3] {
+            let oracle = TzOracle::new(&m, ell, &mut rng());
+            for u in 0..40 {
+                for v in 0..40 {
+                    if u == v {
+                        continue;
+                    }
+                    let (est, mid) = oracle.query(u, v);
+                    let d = m.dist(u, v);
+                    assert!(est >= d * (1.0 - 1e-9), "underestimate ({u},{v})");
+                    assert!(
+                        est <= (2 * ell - 1) as f64 * d * (1.0 + 1e-9),
+                        "ell={ell}: {est} vs {d}"
+                    );
+                    // The witness is a genuine 2-hop path.
+                    let w = m.dist(u, mid) + m.dist(mid, v);
+                    assert!(w <= est * (1.0 + 1e-9));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ell_one_is_exact_and_dense() {
+        let m = gen::random_bounded_metric(15, &mut rng());
+        let oracle = TzOracle::new(&m, 1, &mut rng());
+        for u in 0..15 {
+            for v in 0..15 {
+                if u != v {
+                    let (est, _) = oracle.query(u, v);
+                    assert!((est - m.dist(u, v)).abs() < 1e-9);
+                }
+            }
+        }
+        assert_eq!(oracle.spanner_edges(&m).len(), 15 * 14 / 2);
+    }
+
+    #[test]
+    fn larger_ell_less_space() {
+        let m = gen::random_bounded_metric(60, &mut rng());
+        let s1 = TzOracle::new(&m, 1, &mut rng()).space_words();
+        let s3 = TzOracle::new(&m, 3, &mut rng()).space_words();
+        assert!(s3 < s1, "space must shrink with ell: {s3} vs {s1}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Criterion benches for the §5 applications.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hopspan_apps::{approximate_spt, MstVerifier, TreeProduct};
+use hopspan_bench::rng;
+use hopspan_core::MetricNavigator;
+use hopspan_metric::gen;
+use rand::Rng;
+
+fn bench_apps(c: &mut Criterion) {
+    let n = 4096;
+    let tree = gen::random_tree(n, &mut rng(40));
+    let lens: Vec<f64> = (0..n).map(|v| tree.parent_weight(v)).collect();
+    let tp = TreeProduct::new(&tree, &lens, |a, b| a + b, 2).unwrap();
+    let mut r = rng(41);
+    c.bench_function("tree_product_query_k2", |b| {
+        b.iter(|| {
+            let u = r.gen_range(0..n);
+            let v = r.gen_range(0..n);
+            tp.query(u, v).unwrap()
+        })
+    });
+
+    let mv = MstVerifier::new(&tree, 2).unwrap();
+    let mut r2 = rng(42);
+    c.bench_function("mst_verify_query_k2", |b| {
+        b.iter(|| {
+            let u = r2.gen_range(0..n);
+            let v = r2.gen_range(0..n);
+            mv.query(u, v, 10.0).unwrap()
+        })
+    });
+
+    let m = gen::uniform_points(128, 2, &mut rng(43));
+    let nav = MetricNavigator::doubling(&m, 0.5, 2).unwrap();
+    let mut g = c.benchmark_group("spt");
+    g.sample_size(10);
+    g.bench_function("approx_spt_128", |b| {
+        b.iter(|| approximate_spt(&m, &nav, 0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

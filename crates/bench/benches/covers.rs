@@ -1,0 +1,29 @@
+//! Criterion benches for the tree cover constructions (§2.1, §4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hopspan_bench::rng;
+use hopspan_metric::gen;
+use hopspan_tree_cover::{RamseyTreeCover, RobustTreeCover, SeparatorTreeCover};
+
+fn bench_covers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cover_build");
+    group.sample_size(10);
+    for &n in &[64usize, 128] {
+        let m = gen::uniform_points(n, 2, &mut rng(30));
+        group.bench_with_input(BenchmarkId::new("robust_eps0.5", n), &m, |b, m| {
+            b.iter(|| RobustTreeCover::new(m, 0.5).unwrap())
+        });
+        let gm = gen::random_graph_metric(n, n / 2, &mut rng(31));
+        group.bench_with_input(BenchmarkId::new("ramsey_l2", n), &gm, |b, gm| {
+            b.iter(|| RamseyTreeCover::new(gm, 2, &mut rng(32)).unwrap())
+        });
+    }
+    let g = gen::grid_graph(10, 10);
+    group.bench_function("separator_grid10x10", |b| {
+        b.iter(|| SeparatorTreeCover::new(&g, 0.5).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_covers);
+criterion_main!(benches);

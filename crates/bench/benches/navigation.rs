@@ -1,0 +1,38 @@
+//! Criterion benches for Theorem 1.2: O(k) metric navigation vs the
+//! Dijkstra-on-the-spanner baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hopspan_baselines::DijkstraNavigator;
+use hopspan_bench::rng;
+use hopspan_core::MetricNavigator;
+use hopspan_metric::gen;
+use rand::Rng;
+
+fn bench_navigation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric_navigation_query");
+    for &n in &[128usize, 256] {
+        let m = gen::uniform_points(n, 2, &mut rng(10));
+        let nav = MetricNavigator::doubling(&m, 0.5, 2).unwrap();
+        let dij = DijkstraNavigator::new(n, nav.spanner_edges());
+        let mut r = rng(11);
+        group.bench_function(BenchmarkId::new("hopspan_k2", n), |b| {
+            b.iter(|| {
+                let u = r.gen_range(0..n);
+                let v = r.gen_range(0..n);
+                nav.find_path(u, v).unwrap()
+            })
+        });
+        let mut r2 = rng(12);
+        group.bench_function(BenchmarkId::new("dijkstra_baseline", n), |b| {
+            b.iter(|| {
+                let u = r2.gen_range(0..n);
+                let v = r2.gen_range(0..n);
+                dij.find_path(u, v)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_navigation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for Theorems 5.1/1.3: routing decisions and
+//! end-to-end packet delivery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hopspan_bench::rng;
+use hopspan_metric::gen;
+use hopspan_routing::{MetricRoutingScheme, TreeRoutingScheme};
+use rand::Rng;
+
+fn bench_tree_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_route");
+    for &n in &[1024usize, 8192] {
+        let tree = gen::random_tree(n, &mut rng(20));
+        let rs = TreeRoutingScheme::new(&tree, &mut rng(21)).unwrap();
+        let mut r = rng(22);
+        group.bench_function(BenchmarkId::from_parameter(n), |b| {
+            b.iter(|| {
+                let u = r.gen_range(0..n);
+                let v = r.gen_range(0..n);
+                rs.route(u, v).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_metric_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric_route");
+    let n = 128;
+    let m = gen::uniform_points(n, 2, &mut rng(23));
+    let rs = MetricRoutingScheme::doubling(&m, 0.5, &mut rng(24)).unwrap();
+    let mut r = rng(25);
+    group.bench_function("doubling_128", |b| {
+        b.iter(|| {
+            let u = r.gen_range(0..n);
+            let v = r.gen_range(0..n);
+            rs.route(u, v).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_routing, bench_metric_routing);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches for Theorem 1.1: spanner construction and O(k)
+//! path queries on tree metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hopspan_bench::rng;
+use hopspan_metric::gen;
+use hopspan_tree_spanner::TreeHopSpanner;
+use rand::Rng;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_spanner_build");
+    for &n in &[1024usize, 8192] {
+        for &k in &[2usize, 4] {
+            let tree = gen::random_tree(n, &mut rng(1));
+            group.bench_with_input(
+                BenchmarkId::new(format!("k{k}"), n),
+                &tree,
+                |b, tree| b.iter(|| TreeHopSpanner::new(tree, k).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_spanner_query");
+    for &n in &[1024usize, 8192, 65536] {
+        for &k in &[2usize, 4] {
+            let tree = gen::random_tree(n, &mut rng(2));
+            let sp = TreeHopSpanner::new(&tree, k).unwrap();
+            let mut r = rng(3);
+            group.bench_function(BenchmarkId::new(format!("k{k}"), n), |b| {
+                b.iter(|| {
+                    let u = r.gen_range(0..n);
+                    let v = r.gen_range(0..n);
+                    sp.find_path(u, v).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Prints the e01_ackermann experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e01_ackermann());
+}

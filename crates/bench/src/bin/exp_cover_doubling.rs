@@ -1,0 +1,5 @@
+//! Prints the e04_cover_doubling experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e04_cover_doubling());
+}

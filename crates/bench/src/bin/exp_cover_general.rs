@@ -1,0 +1,5 @@
+//! Prints the e05_cover_general experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e05_cover_general());
+}

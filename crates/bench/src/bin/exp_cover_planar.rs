@@ -1,0 +1,5 @@
+//! Prints the e06_cover_planar experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e06_cover_planar());
+}

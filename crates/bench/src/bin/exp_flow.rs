@@ -1,0 +1,5 @@
+//! Prints the e19_flow experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e19_flow());
+}

@@ -1,0 +1,5 @@
+//! Prints the e17_frontier experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e17_frontier());
+}

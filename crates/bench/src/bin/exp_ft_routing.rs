@@ -1,0 +1,5 @@
+//! Prints the e11_ft_routing experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e11_ft_routing());
+}

@@ -1,0 +1,5 @@
+//! Prints the e09_ft_spanner experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e09_ft_spanner());
+}

@@ -1,0 +1,5 @@
+//! Prints the e14_mst experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e14_mst());
+}

@@ -1,0 +1,5 @@
+//! Prints the e16_mst_verify experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e16_mst_verify());
+}

@@ -1,0 +1,5 @@
+//! Prints the e07_pairing_cover experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e07_pairing_cover());
+}

@@ -1,0 +1,5 @@
+//! Prints the e03_recursion_tree experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e03_recursion_tree());
+}

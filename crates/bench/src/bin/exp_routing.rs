@@ -1,0 +1,5 @@
+//! Prints the e10_routing experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e10_routing());
+}

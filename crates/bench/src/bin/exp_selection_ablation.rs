@@ -1,0 +1,5 @@
+//! Prints the e20_selection_ablation experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e20_selection_ablation());
+}

@@ -1,0 +1,5 @@
+//! Prints the e18_slt experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e18_slt());
+}

@@ -1,0 +1,5 @@
+//! Prints the e12_sparsify experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e12_sparsify());
+}

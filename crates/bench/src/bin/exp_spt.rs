@@ -1,0 +1,5 @@
+//! Prints the e13_spt experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e13_spt());
+}

@@ -1,0 +1,5 @@
+//! Prints the e15_tree_product experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e15_tree_product());
+}

@@ -1,0 +1,5 @@
+//! Prints the e02_tree_spanner experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e02_tree_spanner());
+}

@@ -1,0 +1,54 @@
+//! Benchmark and experiment harness for the `hopspan` workspace.
+//!
+//! Every table and figure-shaped artifact of the paper maps to one
+//! experiment function in [`experiments`] (the E1–E17 index of
+//! DESIGN.md §3). Each function measures the relevant quantities and
+//! returns a markdown section; the `exp_*` binaries print single
+//! sections and the `exp_all` binary regenerates `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The fixed seed used across experiments (determinism).
+pub const SEED: u64 = 0x20260706;
+
+/// A deterministic RNG for experiment `tag`.
+pub fn rng(tag: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(SEED ^ tag)
+}
+
+/// Times a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// Renders a markdown table.
+pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Formats a duration in ms with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}

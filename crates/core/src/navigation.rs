@@ -1,0 +1,490 @@
+//! The two-step navigation scheme for metric spaces (Theorem 1.2, §3.2).
+//!
+//! Preprocessing: build a tree cover, then run the Theorem 1.1
+//! construction (spanner + navigation structure) on every tree, with the
+//! tree's leaves as required vertices. The metric spanner `H_X` is the
+//! union over trees of the tree-spanner edges, with every tree vertex
+//! materialized as its associated point.
+//!
+//! Query: pick the tree — the home tree for Ramsey covers (O(1)), the
+//! minimum-tree-distance tree otherwise (O(ζ), one O(1) LCA distance per
+//! tree) — then run the O(k) tree navigation and map tree vertices to
+//! points.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hopspan_metric::{Graph, Metric};
+use hopspan_tree_cover::{
+    CoverError, DominatingTree, RamseyTreeCover, RobustTreeCover, SeparatorTreeCover, TreeCover,
+};
+use hopspan_tree_spanner::{TreeHopSpanner, TreeSpannerError};
+use rand::Rng;
+
+/// Error type for [`MetricNavigator`].
+#[derive(Debug)]
+pub enum NavigationError {
+    /// The underlying tree cover could not be built.
+    Cover(CoverError),
+    /// The underlying tree spanner could not be built.
+    Spanner(TreeSpannerError),
+    /// A query endpoint is out of range.
+    PointOutOfRange {
+        /// The offending point id.
+        point: usize,
+    },
+}
+
+impl fmt::Display for NavigationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NavigationError::Cover(e) => write!(f, "tree cover construction failed: {e}"),
+            NavigationError::Spanner(e) => write!(f, "tree spanner construction failed: {e}"),
+            NavigationError::PointOutOfRange { point } => {
+                write!(f, "point {point} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NavigationError {}
+
+impl From<CoverError> for NavigationError {
+    fn from(e: CoverError) -> Self {
+        NavigationError::Cover(e)
+    }
+}
+
+impl From<TreeSpannerError> for NavigationError {
+    fn from(e: TreeSpannerError) -> Self {
+        NavigationError::Spanner(e)
+    }
+}
+
+/// One cover tree with its Theorem 1.1 navigation structure.
+#[derive(Debug)]
+pub(crate) struct NavTree {
+    pub dom: DominatingTree,
+    pub spanner: TreeHopSpanner,
+}
+
+impl NavTree {
+    pub(crate) fn new(dom: DominatingTree, k: usize) -> Result<Self, TreeSpannerError> {
+        let tree = dom.tree();
+        let required: Vec<bool> = (0..tree.len()).map(|v| tree.child_count(v) == 0).collect();
+        let spanner = TreeHopSpanner::with_required(tree, &required, k)?;
+        Ok(NavTree { dom, spanner })
+    }
+
+    /// The k-hop tree-vertex path between the leaves of two points.
+    pub(crate) fn tree_vertex_path(&self, p: usize, q: usize) -> Option<Vec<usize>> {
+        let (a, b) = (self.dom.leaf_of(p)?, self.dom.leaf_of(q)?);
+        Some(
+            self.spanner
+                .find_path(a, b)
+                .expect("leaves are required vertices"),
+        )
+    }
+}
+
+/// The navigation scheme of Theorem 1.2: k-hop approximate paths on a
+/// sparse spanner of the metric, in O(k) query time.
+#[derive(Debug)]
+pub struct MetricNavigator {
+    trees: Vec<NavTree>,
+    /// Ramsey home tree per point, when available.
+    home: Option<Vec<usize>>,
+    k: usize,
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl MetricNavigator {
+    /// Builds the navigator for a doubling metric from the robust tree
+    /// cover (Theorem 4.1): stretch `1 + O(ε)`, `ζ = ε^{-O(d)}` trees.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover/spanner construction failures.
+    pub fn doubling<M: Metric + Sync>(
+        metric: &M,
+        eps: f64,
+        k: usize,
+    ) -> Result<Self, NavigationError> {
+        let cover = RobustTreeCover::new(metric, eps)?;
+        Self::from_cover(metric, cover_into_trees(cover_into_cover(cover)), None, k)
+    }
+
+    /// Builds the navigator for a general metric from a Ramsey tree cover:
+    /// stretch `O(ℓ)`, `ζ = Õ(ℓ·n^{1/ℓ})` trees, O(1) tree selection via
+    /// home trees.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover/spanner construction failures.
+    pub fn general<M: Metric, R: Rng>(
+        metric: &M,
+        ell: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<Self, NavigationError> {
+        let cover = RamseyTreeCover::new(metric, ell, rng)?;
+        let home: Vec<usize> = (0..metric.len()).map(|p| cover.home(p)).collect();
+        Self::from_cover(
+            metric,
+            cover_into_trees(ramsey_into_cover(cover)),
+            Some(home),
+            k,
+        )
+    }
+
+    /// Builds the navigator for a general metric from a Ramsey cover with
+    /// **at most `budget` trees** — the second general-metric trade-off of
+    /// the paper's Table 1 (γ grows like a root of n when ζ is pinned).
+    /// Returns the navigator with the realized padding parameter γ (the
+    /// stretch guarantee is ≤ 32γ).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover/spanner construction failures.
+    pub fn general_budgeted<M: Metric, R: Rng>(
+        metric: &M,
+        budget: usize,
+        k: usize,
+        rng: &mut R,
+    ) -> Result<(Self, f64), NavigationError> {
+        let (cover, gamma) = RamseyTreeCover::with_tree_budget(metric, budget, rng)?;
+        let home: Vec<usize> = (0..metric.len()).map(|p| cover.home(p)).collect();
+        let nav = Self::from_cover(
+            metric,
+            cover.into_cover().into_trees(),
+            Some(home),
+            k,
+        )?;
+        Ok((nav, gamma))
+    }
+
+    /// Builds the navigator for a planar graph metric from the separator
+    /// tree cover. `metric` must be the shortest-path metric of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover/spanner construction failures.
+    pub fn planar<M: Metric>(
+        graph: &Graph,
+        metric: &M,
+        eps: f64,
+        k: usize,
+    ) -> Result<Self, NavigationError> {
+        let cover = SeparatorTreeCover::new(graph, eps)?;
+        Self::from_cover(metric, cover_into_trees(planar_into_cover(cover)), None, k)
+    }
+
+    /// Builds the navigator from an arbitrary tree cover. `home`, when
+    /// given, maps each point to a tree guaranteeing its stretch (Ramsey
+    /// covers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree-spanner construction failures.
+    pub fn from_cover<M: Metric>(
+        metric: &M,
+        doms: Vec<DominatingTree>,
+        home: Option<Vec<usize>>,
+        k: usize,
+    ) -> Result<Self, NavigationError> {
+        let n = metric.len();
+        let mut trees = Vec::with_capacity(doms.len());
+        for dom in doms {
+            trees.push(NavTree::new(dom, k)?);
+        }
+        // Materialize H_X: every tree-spanner edge becomes a point edge.
+        let mut edge_set: HashMap<(usize, usize), f64> = HashMap::new();
+        for t in &trees {
+            for &(a, b, _) in t.spanner.edges() {
+                let (pa, pb) = (t.dom.point_of(a), t.dom.point_of(b));
+                if pa != pb {
+                    let key = (pa.min(pb), pa.max(pb));
+                    edge_set.entry(key).or_insert_with(|| metric.dist(pa, pb));
+                }
+            }
+        }
+        let mut edges: Vec<(usize, usize, f64)> = edge_set
+            .into_iter()
+            .map(|((a, b), w)| (a, b, w))
+            .collect();
+        edges.sort_by_key(|a| (a.0, a.1));
+        Ok(MetricNavigator {
+            trees,
+            home,
+            k,
+            n,
+            edges,
+        })
+    }
+
+    /// The hop bound `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn point_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of trees ζ in the underlying cover.
+    #[inline]
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// The edges of the spanner `H_X` (point pairs with metric weights).
+    /// Theorem 1.2 bounds this by `O(n·α_k(n)·ζ)`.
+    #[inline]
+    pub fn spanner_edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Number of spanner edges.
+    #[inline]
+    pub fn spanner_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The index of the tree the query for `(u, v)` would use, with the
+    /// tree distance: the home tree for Ramsey covers, otherwise the tree
+    /// minimizing the tree distance.
+    pub fn select_tree(&self, u: usize, v: usize) -> Option<(usize, f64)> {
+        if let Some(home) = &self.home {
+            let t = home[u];
+            return self.trees[t].dom.distance(u, v).map(|d| (t, d));
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, t) in self.trees.iter().enumerate() {
+            if let Some(d) = t.dom.distance(u, v) {
+                if best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((i, d));
+                }
+            }
+        }
+        best
+    }
+
+    /// Approximate distance oracle interface (the paper's Question 1.2):
+    /// the selected tree's distance, an upper bound on δ(u, v) within the
+    /// cover stretch, in O(1) time with home trees and O(ζ) otherwise.
+    /// `None` when no tree covers both points.
+    pub fn approx_distance(&self, u: usize, v: usize) -> Option<f64> {
+        if u == v {
+            return Some(0.0);
+        }
+        self.select_tree(u, v).map(|(_, d)| d)
+    }
+
+    /// Returns a k-hop path `u = p₀, p₁, …, p_h = v` (`h ≤ k`) in the
+    /// spanner `H_X`, or `None` if no cover tree contains both points
+    /// (never the case for the built-in constructions). O(k + ζ) time
+    /// (O(k) with home trees).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NavigationError::PointOutOfRange`] for invalid ids.
+    pub fn find_path(&self, u: usize, v: usize) -> Result<Vec<usize>, NavigationError> {
+        if u >= self.n {
+            return Err(NavigationError::PointOutOfRange { point: u });
+        }
+        if v >= self.n {
+            return Err(NavigationError::PointOutOfRange { point: v });
+        }
+        if u == v {
+            return Ok(vec![u]);
+        }
+        let (ti, _) = match self.select_tree(u, v) {
+            Some(x) => x,
+            None => {
+                return Ok(Vec::new());
+            }
+        };
+        let t = &self.trees[ti];
+        let tree_path = t.tree_vertex_path(u, v).expect("selected tree covers both");
+        let mut path: Vec<usize> = tree_path.iter().map(|&tv| t.dom.point_of(tv)).collect();
+        path.dedup();
+        Ok(path)
+    }
+
+    /// The weight of a point path under `metric`.
+    pub fn path_weight<M: Metric>(metric: &M, path: &[usize]) -> f64 {
+        path.windows(2).map(|w| metric.dist(w[0], w[1])).sum()
+    }
+
+    /// Measures the realized worst-case stretch and hop count over all
+    /// pairs (O(n²·(k+ζ)); for tests and experiments).
+    pub fn measured_stretch_and_hops<M: Metric>(&self, metric: &M) -> (f64, usize) {
+        let mut worst = 1.0f64;
+        let mut hops = 0usize;
+        for u in 0..self.n {
+            for v in (u + 1)..self.n {
+                let d = metric.dist(u, v);
+                let path = self.find_path(u, v).expect("valid ids");
+                assert!(!path.is_empty(), "pair ({u},{v}) not covered");
+                let w = Self::path_weight(metric, &path);
+                if d > 0.0 {
+                    worst = worst.max(w / d);
+                }
+                hops = hops.max(path.len() - 1);
+            }
+        }
+        (worst, hops)
+    }
+}
+
+// The cover structs expose their trees by reference; navigation needs
+// ownership. These helpers unwrap the cover wrappers into their trees.
+fn cover_into_cover(c: RobustTreeCover) -> TreeCover {
+    c.into_cover()
+}
+
+fn ramsey_into_cover(c: RamseyTreeCover) -> TreeCover {
+    c.into_cover()
+}
+
+fn planar_into_cover(c: SeparatorTreeCover) -> TreeCover {
+    c.into_cover()
+}
+
+fn cover_into_trees(c: TreeCover) -> Vec<DominatingTree> {
+    c.into_trees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::{gen, GraphMetric};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    fn verify_spanner_paths<M: Metric>(nav: &MetricNavigator, metric: &M, budget: f64) {
+        // Every returned path uses only H_X edges.
+        let mut edge_set = std::collections::HashSet::new();
+        for &(a, b, _) in nav.spanner_edges() {
+            edge_set.insert((a, b));
+            edge_set.insert((b, a));
+        }
+        for u in 0..metric.len() {
+            for v in 0..metric.len() {
+                let path = nav.find_path(u, v).unwrap();
+                assert!(!path.is_empty());
+                assert_eq!(path[0], u);
+                assert_eq!(*path.last().unwrap(), v);
+                assert!(path.len() - 1 <= nav.k(), "hops {} > k", path.len() - 1);
+                for w in path.windows(2) {
+                    assert!(
+                        edge_set.contains(&(w[0], w[1])),
+                        "path edge ({}, {}) not in H_X",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
+        let (stretch, hops) = nav.measured_stretch_and_hops(metric);
+        assert!(stretch <= budget, "stretch {stretch} > {budget}");
+        assert!(hops <= nav.k());
+    }
+
+    #[test]
+    fn doubling_navigation_2d() {
+        let m = gen::uniform_points(25, 2, &mut rng());
+        for k in [2usize, 3, 4] {
+            let nav = MetricNavigator::doubling(&m, 0.25, k).unwrap();
+            verify_spanner_paths(&nav, &m, 2.5);
+        }
+    }
+
+    #[test]
+    fn doubling_line_exact() {
+        let m = hopspan_metric::EuclideanSpace::from_points(
+            &(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>(),
+        );
+        let nav = MetricNavigator::doubling(&m, 0.25, 2).unwrap();
+        let (stretch, hops) = nav.measured_stretch_and_hops(&m);
+        assert!(stretch <= 1.0 + 1e-9, "line stretch {stretch}");
+        assert!(hops <= 2);
+    }
+
+    #[test]
+    fn general_navigation_ramsey() {
+        let m = gen::random_graph_metric(22, 12, &mut rng());
+        let nav = MetricNavigator::general(&m, 2, 3, &mut rng()).unwrap();
+        // Home-tree dispatch: O(ℓ)-ish stretch with our constants ≤ 32ℓ.
+        verify_spanner_paths(&nav, &m, 64.0);
+    }
+
+    #[test]
+    fn planar_navigation_grid() {
+        let g = gen::grid_graph(4, 4);
+        let m = GraphMetric::new(&g).unwrap();
+        let nav = MetricNavigator::planar(&g, &m, 0.5, 2).unwrap();
+        verify_spanner_paths(&nav, &m, 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn spanner_is_sparser_than_complete() {
+        let m = gen::uniform_points(60, 2, &mut rng());
+        let nav = MetricNavigator::doubling(&m, 1.0, 3).unwrap();
+        assert!(
+            nav.spanner_edge_count() < 60 * 59 / 2,
+            "H_X should be sparser than the complete graph"
+        );
+    }
+
+    #[test]
+    fn budgeted_general_navigation() {
+        let m = gen::random_graph_metric(30, 5, &mut rng());
+        for budget in [1usize, 3] {
+            let (nav, gamma) = MetricNavigator::general_budgeted(&m, budget, 2, &mut rng()).unwrap();
+            assert!(nav.tree_count() <= budget);
+            let (stretch, hops) = nav.measured_stretch_and_hops(&m);
+            assert!(hops <= 2);
+            assert!(stretch <= 32.0 * gamma + 1e-9, "stretch {stretch} vs γ {gamma}");
+        }
+    }
+
+    #[test]
+    fn approx_distance_is_an_upper_bound_within_stretch() {
+        let m = gen::uniform_points(20, 2, &mut rng());
+        let nav = MetricNavigator::doubling(&m, 0.25, 2).unwrap();
+        for u in 0..20 {
+            for v in 0..20 {
+                let est = nav.approx_distance(u, v).unwrap();
+                let d = m.dist(u, v);
+                assert!(est >= d * (1.0 - 1e-9), "underestimate ({u},{v})");
+                assert!(est <= 2.0 * d + 1e-9, "loose estimate ({u},{v}): {est} vs {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let m = gen::uniform_points(10, 2, &mut rng());
+        let nav = MetricNavigator::doubling(&m, 0.5, 2).unwrap();
+        assert!(matches!(
+            nav.find_path(0, 99),
+            Err(NavigationError::PointOutOfRange { point: 99 })
+        ));
+    }
+
+    #[test]
+    fn trivial_paths() {
+        let m = gen::uniform_points(10, 2, &mut rng());
+        let nav = MetricNavigator::doubling(&m, 0.5, 2).unwrap();
+        assert_eq!(nav.find_path(4, 4).unwrap(), vec![4]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Deterministic workload generators (all take an explicit RNG).
+//!
+//! These produce the inputs used throughout the test suite and the
+//! experiment harness: Euclidean point sets of controlled shape, tree
+//! metrics of extremal shapes (paths, stars, caterpillars, balanced trees),
+//! grid graphs for the planar experiments, and general metrics.
+
+use hopspan_treealg::RootedTree;
+use rand::Rng;
+
+use crate::{EuclideanSpace, Graph, MatrixMetric};
+
+/// `n` points drawn uniformly from the unit cube `[0, 1]^dim`.
+pub fn uniform_points<R: Rng>(n: usize, dim: usize, rng: &mut R) -> EuclideanSpace {
+    let coords = (0..n * dim).map(|_| rng.gen::<f64>()).collect();
+    EuclideanSpace::new(coords, dim)
+}
+
+/// `n` points in `[0, 1]^dim` grouped into `clusters` Gaussian-ish blobs of
+/// radius `spread`.
+pub fn clustered_points<R: Rng>(
+    n: usize,
+    dim: usize,
+    clusters: usize,
+    spread: f64,
+    rng: &mut R,
+) -> EuclideanSpace {
+    assert!(clusters > 0, "need at least one cluster");
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+        .collect();
+    let mut coords = Vec::with_capacity(n * dim);
+    for i in 0..n {
+        let c = &centers[i % clusters];
+        for d in 0..dim {
+            coords.push(c[d] + (rng.gen::<f64>() - 0.5) * 2.0 * spread);
+        }
+    }
+    EuclideanSpace::new(coords, dim)
+}
+
+/// `n` points on a line with exponentially growing gaps — a doubling metric
+/// with aspect ratio ~2^n, the adversarial case for `log ρ`-type schemes.
+pub fn exponential_line(n: usize) -> EuclideanSpace {
+    let mut coords = Vec::with_capacity(n);
+    let mut x = 0.0f64;
+    let mut gap = 1.0f64;
+    for _ in 0..n {
+        coords.push(x);
+        x += gap;
+        gap *= 2.0;
+    }
+    EuclideanSpace::new(coords, 1)
+}
+
+/// A uniformly random recursive tree: vertex `v ≥ 1` attaches to a uniform
+/// parent in `0..v` with weight in `[1, 2)`.
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> RootedTree {
+    assert!(n >= 1);
+    let edges: Vec<_> = (1..n)
+        .map(|v| (rng.gen_range(0..v), v, 1.0 + rng.gen::<f64>()))
+        .collect();
+    RootedTree::from_edges(n, 0, &edges).expect("generated edges form a tree")
+}
+
+/// The path `0 - 1 - … - n-1` with unit weights, rooted at 0.
+pub fn path_tree(n: usize) -> RootedTree {
+    assert!(n >= 1);
+    let edges: Vec<_> = (1..n).map(|v| (v - 1, v, 1.0)).collect();
+    RootedTree::from_edges(n, 0, &edges).expect("path is a tree")
+}
+
+/// The star with center 0 and `n - 1` unit-weight leaves.
+pub fn star_tree(n: usize) -> RootedTree {
+    assert!(n >= 1);
+    let edges: Vec<_> = (1..n).map(|v| (0, v, 1.0)).collect();
+    RootedTree::from_edges(n, 0, &edges).expect("star is a tree")
+}
+
+/// A caterpillar: a spine of `spine` vertices with `legs` unit-weight
+/// leaves per spine vertex.
+pub fn caterpillar_tree(spine: usize, legs: usize) -> RootedTree {
+    assert!(spine >= 1);
+    let n = spine * (legs + 1);
+    let mut edges = Vec::with_capacity(n - 1);
+    for i in 1..spine {
+        edges.push((i - 1, i, 1.0));
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            edges.push((s, spine + s * legs + l, 1.0));
+        }
+    }
+    RootedTree::from_edges(n, 0, &edges).expect("caterpillar is a tree")
+}
+
+/// A complete binary tree on `n` vertices (heap indexing) with unit
+/// weights.
+pub fn balanced_binary_tree(n: usize) -> RootedTree {
+    assert!(n >= 1);
+    let edges: Vec<_> = (1..n).map(|v| ((v - 1) / 2, v, 1.0)).collect();
+    RootedTree::from_edges(n, 0, &edges).expect("binary tree is a tree")
+}
+
+/// The `w × h` grid graph with unit weights (a canonical planar graph).
+pub fn grid_graph(w: usize, h: usize) -> Graph {
+    assert!(w >= 1 && h >= 1);
+    let id = |x: usize, y: usize| y * w + x;
+    let mut edges = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                edges.push((id(x, y), id(x + 1, y), 1.0));
+            }
+            if y + 1 < h {
+                edges.push((id(x, y), id(x, y + 1), 1.0));
+            }
+        }
+    }
+    Graph::new(w * h, &edges).expect("grid edges valid")
+}
+
+/// The `w × h` grid with random weights in `[1, 2)` (still planar).
+pub fn weighted_grid_graph<R: Rng>(w: usize, h: usize, rng: &mut R) -> Graph {
+    let base = grid_graph(w, h);
+    let edges: Vec<_> = base
+        .edges()
+        .iter()
+        .map(|&(u, v, _)| (u, v, 1.0 + rng.gen::<f64>()))
+        .collect();
+    Graph::new(w * h, &edges).expect("grid edges valid")
+}
+
+/// A unit-ball graph (the intro's practical restriction of doubling
+/// metrics): `n` uniform points in `[0, 1]^dim` with an edge between every
+/// pair at distance at most `radius`, weighted by the Euclidean distance.
+/// Returns the points together with the graph; the graph may be
+/// disconnected for small radii.
+pub fn unit_ball_graph<R: Rng>(
+    n: usize,
+    dim: usize,
+    radius: f64,
+    rng: &mut R,
+) -> (EuclideanSpace, Graph) {
+    let pts = uniform_points(n, dim, rng);
+    let mut edges = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = crate::Metric::dist(&pts, i, j);
+            if d <= radius {
+                edges.push((i, j, d));
+            }
+        }
+    }
+    let g = Graph::new(n, &edges).expect("edges valid");
+    (pts, g)
+}
+
+/// A random general metric: all pairwise distances drawn uniformly from
+/// `[1, 2)`, which satisfies the triangle inequality by construction.
+pub fn random_bounded_metric<R: Rng>(n: usize, rng: &mut R) -> MatrixMetric {
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = 1.0 + rng.gen::<f64>();
+            d[i * n + j] = v;
+            d[j * n + i] = v;
+        }
+    }
+    MatrixMetric::new(n, d).expect("bounded random matrix is a metric")
+}
+
+/// A "hard" general metric: the shortest-path closure of a sparse random
+/// connected graph with weights in `[1, 2)`. Unlike
+/// [`random_bounded_metric`], distances here span a wide range.
+pub fn random_graph_metric<R: Rng>(n: usize, extra_edges: usize, rng: &mut R) -> MatrixMetric {
+    assert!(n >= 1);
+    let mut edges: Vec<(usize, usize, f64)> = (1..n)
+        .map(|v| (rng.gen_range(0..v), v, 1.0 + rng.gen::<f64>()))
+        .collect();
+    for _ in 0..extra_edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            edges.push((u, v, 1.0 + rng.gen::<f64>()));
+        }
+    }
+    let g = Graph::new(n, &edges).expect("random edges valid");
+    let gm = crate::GraphMetric::new(&g).expect("spanning-tree edges keep it connected");
+    MatrixMetric::from_metric(&gm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{validate_metric, Metric};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_points_in_cube() {
+        let s = uniform_points(50, 3, &mut rng());
+        assert_eq!(s.len(), 50);
+        for i in 0..50 {
+            for &c in s.point(i) {
+                assert!((0.0..=1.0).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = uniform_points(10, 2, &mut rng());
+        let b = uniform_points(10, 2, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_points_cluster() {
+        let s = clustered_points(60, 2, 3, 0.01, &mut rng());
+        assert_eq!(s.len(), 60);
+        // Points in the same cluster (same index mod 3) are close.
+        assert!(s.dist(0, 3) < 0.1);
+    }
+
+    #[test]
+    fn exponential_line_aspect() {
+        let s = exponential_line(10);
+        assert!(crate::aspect_ratio(&s) > 100.0);
+        validate_metric(&s).unwrap();
+    }
+
+    #[test]
+    fn tree_shapes() {
+        assert_eq!(path_tree(5).depth(4), 4);
+        assert_eq!(star_tree(5).depth(4), 1);
+        let cat = caterpillar_tree(4, 2);
+        assert_eq!(cat.len(), 12);
+        assert_eq!(balanced_binary_tree(15).depth(14), 3);
+        let rt = random_tree(30, &mut rng());
+        assert_eq!(rt.len(), 30);
+    }
+
+    #[test]
+    fn grid_is_connected_planar_sized() {
+        let g = grid_graph(5, 4);
+        assert_eq!(g.len(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 5 * 3 + 16 - 16 + 15 - 15); // 31
+        assert!(g.is_connected());
+        let wg = weighted_grid_graph(3, 3, &mut rng());
+        assert!(wg.is_connected());
+    }
+
+    #[test]
+    fn unit_ball_graph_edges_respect_radius() {
+        let (pts, g) = unit_ball_graph(40, 2, 0.4, &mut rng());
+        for &(u, v, w) in g.edges() {
+            assert!(w <= 0.4 + 1e-12);
+            assert!((w - pts.dist(u, v)).abs() < 1e-12);
+        }
+        // Large radius connects everything.
+        let (_, g2) = unit_ball_graph(20, 2, 2.0, &mut rng());
+        assert!(g2.is_connected());
+    }
+
+    #[test]
+    fn random_metrics_are_metrics() {
+        let m = random_bounded_metric(12, &mut rng());
+        validate_metric(&m).unwrap();
+        let g = random_graph_metric(12, 8, &mut rng());
+        validate_metric(&g).unwrap();
+    }
+}

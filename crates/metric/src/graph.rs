@@ -1,0 +1,292 @@
+//! A weighted undirected graph with Dijkstra shortest paths.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Error returned when building a [`Graph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge referenced a vertex id `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: usize,
+        /// The number of vertices.
+        n: usize,
+    },
+    /// An edge weight was negative, NaN or infinite.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "edge endpoint {vertex} out of range for {n} vertices")
+            }
+            GraphError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} is negative or not finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A weighted undirected graph in CSR form.
+///
+/// # Examples
+///
+/// ```
+/// use hopspan_metric::Graph;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let g = Graph::new(3, &[(0, 1, 1.0), (1, 2, 2.0)])?;
+/// assert_eq!(g.dijkstra(0), vec![0.0, 1.0, 3.0]);
+/// assert_eq!(g.shortest_path(0, 2), Some(vec![0, 1, 2]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    start: Vec<usize>,
+    targets: Vec<usize>,
+    weights: Vec<f64>,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+#[derive(PartialEq)]
+struct HeapEntry(f64, usize);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance: reverse the comparison.
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from undirected edges `(u, v, w)`.
+    /// Parallel edges and self-loops are permitted (self-loops are inert).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] for out-of-range endpoints or invalid
+    /// weights.
+    pub fn new(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self, GraphError> {
+        for &(u, v, w) in edges {
+            if u >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: u, n });
+            }
+            if v >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n });
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(GraphError::InvalidWeight { weight: w });
+            }
+        }
+        let mut deg = vec![0usize; n];
+        for &(u, v, _) in edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let mut start = vec![0usize; n + 1];
+        for i in 0..n {
+            start[i + 1] = start[i] + deg[i];
+        }
+        let mut targets = vec![0usize; 2 * edges.len()];
+        let mut weights = vec![0.0f64; 2 * edges.len()];
+        let mut cursor = start.clone();
+        for &(u, v, w) in edges {
+            targets[cursor[u]] = v;
+            weights[cursor[u]] = w;
+            cursor[u] += 1;
+            targets[cursor[v]] = u;
+            weights[cursor[v]] = w;
+            cursor[v] += 1;
+        }
+        Ok(Graph {
+            n,
+            start,
+            targets,
+            weights,
+            edges: edges.to_vec(),
+        })
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The undirected edge list `(u, v, w)` as supplied.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize, f64)] {
+        &self.edges
+    }
+
+    /// Total edge weight.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// Neighbors of `u` as `(target, weight)` pairs.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let range = self.start[u]..self.start[u + 1];
+        self.targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
+    }
+
+    /// Single-source shortest-path distances from `s` (∞ for unreachable).
+    pub fn dijkstra(&self, s: usize) -> Vec<f64> {
+        self.dijkstra_with_parents(s).0
+    }
+
+    /// Dijkstra returning `(distances, parents)`; `parents[s]` is `None`,
+    /// as is the parent of any unreachable vertex.
+    pub fn dijkstra_with_parents(&self, s: usize) -> (Vec<f64>, Vec<Option<usize>>) {
+        let mut dist = vec![f64::INFINITY; self.n];
+        let mut parent = vec![None; self.n];
+        let mut heap = BinaryHeap::new();
+        dist[s] = 0.0;
+        heap.push(HeapEntry(0.0, s));
+        while let Some(HeapEntry(d, u)) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for (v, w) in self.neighbors(u) {
+                let nd = d + w;
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    parent[v] = Some(u);
+                    heap.push(HeapEntry(nd, v));
+                }
+            }
+        }
+        (dist, parent)
+    }
+
+    /// Shortest path from `s` to `t` as a vertex sequence, or `None` if
+    /// unreachable.
+    pub fn shortest_path(&self, s: usize, t: usize) -> Option<Vec<usize>> {
+        let (dist, parent) = self.dijkstra_with_parents(s);
+        if !dist[t].is_finite() {
+            return None;
+        }
+        let mut path = vec![t];
+        let mut cur = t;
+        while let Some(p) = parent[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Whether the graph is connected (true for the empty graph).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let dist = self.dijkstra(0);
+        dist.iter().all(|d| d.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -3- 2 -1- 3, plus a heavy direct 0-3 edge.
+        Graph::new(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 3, 1.0),
+                (0, 2, 3.0),
+                (2, 3, 1.0),
+                (0, 3, 10.0),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dijkstra_distances() {
+        let g = diamond();
+        let d = g.dijkstra(0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn shortest_path_reconstruction() {
+        let g = diamond();
+        assert_eq!(g.shortest_path(0, 3).unwrap(), vec![0, 1, 3]);
+        assert_eq!(g.shortest_path(2, 1).unwrap(), vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = Graph::new(3, &[(0, 1, 1.0)]).unwrap();
+        assert!(g.shortest_path(0, 2).is_none());
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        assert!(matches!(
+            Graph::new(2, &[(0, 5, 1.0)]),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert!(matches!(
+            Graph::new(2, &[(0, 1, -2.0)]),
+            Err(GraphError::InvalidWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn handles_parallel_edges_and_loops() {
+        let g = Graph::new(2, &[(0, 1, 5.0), (0, 1, 2.0), (0, 0, 1.0)]).unwrap();
+        assert_eq!(g.dijkstra(0)[1], 2.0);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::new(0, &[]).unwrap();
+        assert!(g.is_connected());
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Exact minimum spanning trees of metric spaces (Prim, O(n²)).
+//!
+//! The paper's lightness measure normalizes spanner weight by
+//! `w(MST(M_X))`; the approximate-MST application (§5.5) needs a seed tree
+//! of weight ≤ (1+ε)·MST. We use the exact MST for both (see DESIGN.md §4
+//! for why this substitution for \[Cha08\] is sound).
+
+use crate::Metric;
+
+/// Computes an exact MST of `m` with Prim's algorithm in O(n²) time.
+/// Returns the edge list `(u, v, weight)`; empty for n ≤ 1.
+///
+/// # Examples
+///
+/// ```
+/// use hopspan_metric::{minimum_spanning_tree, EuclideanSpace};
+///
+/// let m = EuclideanSpace::from_points(&[vec![0.0], vec![1.0], vec![3.0]]);
+/// let mst = minimum_spanning_tree(&m);
+/// assert_eq!(mst.len(), 2);
+/// assert_eq!(mst.iter().map(|e| e.2).sum::<f64>(), 3.0);
+/// ```
+pub fn minimum_spanning_tree<M: Metric>(m: &M) -> Vec<(usize, usize, f64)> {
+    let n = m.len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    let mut in_tree = vec![false; n];
+    let mut best = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    in_tree[0] = true;
+    for j in 1..n {
+        best[j] = m.dist(0, j);
+        best_from[j] = 0;
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_d = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best[j] < pick_d {
+                pick = j;
+                pick_d = best[j];
+            }
+        }
+        debug_assert!(pick != usize::MAX, "metric distances must be finite");
+        in_tree[pick] = true;
+        edges.push((best_from[pick], pick, pick_d));
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = m.dist(pick, j);
+                if d < best[j] {
+                    best[j] = d;
+                    best_from[j] = pick;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Total weight of the MST of `m`.
+pub fn mst_weight<M: Metric>(m: &M) -> f64 {
+    minimum_spanning_tree(m).iter().map(|&(_, _, w)| w).sum()
+}
+
+/// Lightness of a spanner edge set with respect to `m`:
+/// `w(edges) / w(MST(m))`. Returns ∞ when the MST weight is zero but the
+/// spanner weight is positive, and 1.0 when both are zero.
+pub fn spanner_lightness<M: Metric>(m: &M, edges: &[(usize, usize, f64)]) -> f64 {
+    let w: f64 = edges.iter().map(|&(_, _, w)| w).sum();
+    let base = mst_weight(m);
+    if base > 0.0 {
+        w / base
+    } else if w > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    }
+}
+
+/// Maximum stretch of a spanner edge set over `m`: the max over pairs of
+/// (shortest-path distance in the spanner graph) / (metric distance).
+/// Returns ∞ if the spanner is disconnected. O(n·(m + n log n)).
+pub fn spanner_max_stretch<M: Metric>(m: &M, edges: &[(usize, usize, f64)]) -> f64 {
+    let n = m.len();
+    let g = match crate::Graph::new(n, edges) {
+        Ok(g) => g,
+        Err(_) => return f64::INFINITY,
+    };
+    let mut worst: f64 = 1.0;
+    for s in 0..n {
+        let dist = g.dijkstra(s);
+        for t in (s + 1)..n {
+            let d = m.dist(s, t);
+            if !dist[t].is_finite() {
+                return f64::INFINITY;
+            }
+            if d > 0.0 {
+                worst = worst.max(dist[t] / d);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EuclideanSpace;
+
+    #[test]
+    fn mst_of_line() {
+        let pts: Vec<Vec<f64>> = (0..5).map(|i| vec![(i * i) as f64]).collect();
+        let s = EuclideanSpace::from_points(&pts);
+        let mst = minimum_spanning_tree(&s);
+        assert_eq!(mst.len(), 4);
+        // Consecutive points on a line form the MST.
+        let w = mst_weight(&s);
+        assert!((w - 16.0).abs() < 1e-9); // 1 + 3 + 5 + 7
+    }
+
+    #[test]
+    fn mst_small_and_empty() {
+        let one = EuclideanSpace::from_points(&[vec![0.0]]);
+        assert!(minimum_spanning_tree(&one).is_empty());
+        assert_eq!(mst_weight(&one), 0.0);
+    }
+
+    #[test]
+    fn mst_matches_brute_force_on_square() {
+        let s = EuclideanSpace::from_points(&[
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+        ]);
+        assert!((mst_weight(&s) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stretch_of_mst_and_complete() {
+        let s = EuclideanSpace::from_points(&[vec![0.0], vec![1.0], vec![3.0]]);
+        let mst = minimum_spanning_tree(&s);
+        assert!((spanner_max_stretch(&s, &mst) - 1.0).abs() < 1e-9);
+        // Disconnected spanner has infinite stretch.
+        assert!(spanner_max_stretch(&s, &[(0, 1, 1.0)]).is_infinite());
+    }
+
+    #[test]
+    fn lightness() {
+        let s = EuclideanSpace::from_points(&[vec![0.0], vec![1.0], vec![2.0]]);
+        // MST weight 2. A spanner with all three edges weighs 1+1+2 = 4.
+        let edges = vec![(0, 1, 1.0), (1, 2, 1.0), (0, 2, 2.0)];
+        assert!((spanner_lightness(&s, &edges) - 2.0).abs() < 1e-9);
+    }
+}

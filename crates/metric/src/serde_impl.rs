@@ -1,0 +1,86 @@
+//! Serde support (feature `serde`): every type serializes as its natural
+//! construction input and deserializes through its validating constructor,
+//! so crafted input cannot bypass the invariants.
+
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+use crate::{EuclideanSpace, Graph, MatrixMetric, Metric};
+
+#[derive(Serialize, Deserialize)]
+struct SpaceProxy {
+    dim: usize,
+    coords: Vec<f64>,
+}
+
+impl Serialize for EuclideanSpace {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let dim = self.dim();
+        let coords = (0..self.len())
+            .flat_map(|i| self.point(i).to_vec())
+            .collect();
+        SpaceProxy { dim, coords }.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for EuclideanSpace {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let p = SpaceProxy::deserialize(deserializer)?;
+        if p.dim == 0 || p.coords.len() % p.dim != 0 {
+            return Err(D::Error::custom("coords length not a multiple of dim"));
+        }
+        if p.coords.iter().any(|c| !c.is_finite()) {
+            return Err(D::Error::custom("non-finite coordinate"));
+        }
+        Ok(EuclideanSpace::new(p.coords, p.dim))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct MatrixProxy {
+    n: usize,
+    d: Vec<f64>,
+}
+
+impl Serialize for MatrixMetric {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let n = self.len();
+        let mut d = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                d.push(self.dist(i, j));
+            }
+        }
+        MatrixProxy { n, d }.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for MatrixMetric {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let p = MatrixProxy::deserialize(deserializer)?;
+        MatrixMetric::new(p.n, p.d).map_err(|e| D::Error::custom(e.to_string()))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct GraphProxy {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+}
+
+impl Serialize for Graph {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        GraphProxy {
+            n: self.len(),
+            edges: self.edges().to_vec(),
+        }
+        .serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Graph {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let p = GraphProxy::deserialize(deserializer)?;
+        Graph::new(p.n, &p.edges).map_err(|e| D::Error::custom(e.to_string()))
+    }
+}

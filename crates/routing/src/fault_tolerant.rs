@@ -1,0 +1,322 @@
+//! Fault-tolerant 2-hop routing in doubling metrics (Theorem 5.2, §5.2).
+//!
+//! Built like [`crate::MetricRoutingScheme`] over the robust tree cover,
+//! but every label/table entry stores the ports of all `f + 1` candidates
+//! `R(w)` of the relevant cut vertex, and the overlay is the biclique
+//! spanner of Theorem 4.2. The local decision scans the candidates for a
+//! non-faulty one — O(f) decision time; label and table sizes grow by a
+//! factor of `f + 1`.
+
+use std::collections::{HashMap, HashSet};
+
+use hopspan_metric::Metric;
+use hopspan_tree_cover::{DominatingTree, RobustTreeCover};
+use hopspan_tree_spanner::TreeHopSpanner;
+use hopspan_treealg::DistanceLabeling;
+use rand::Rng;
+
+use crate::network::{Header, Network, RouteTrace};
+use crate::scheme::{route_on_tree, PerTreeScheme, RoutingError, SchemeStats};
+use crate::NavBuildError;
+
+/// An f-fault-tolerant 2-hop routing scheme for doubling metrics.
+#[derive(Debug)]
+pub struct FtMetricRoutingScheme {
+    net: Network,
+    trees: Vec<FtTreeUnit>,
+    f: usize,
+    n: usize,
+    stats: SchemeStats,
+}
+
+#[derive(Debug)]
+struct FtTreeUnit {
+    dom: DominatingTree,
+    scheme: PerTreeScheme,
+    labeling: DistanceLabeling,
+}
+
+impl FtMetricRoutingScheme {
+    /// Builds the f-fault-tolerant scheme over the robust tree cover with
+    /// parameter `eps`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover and spanner construction failures.
+    pub fn new<M: Metric + Sync, R: Rng>(
+        metric: &M,
+        eps: f64,
+        f: usize,
+        rng: &mut R,
+    ) -> Result<Self, NavBuildError> {
+        let n = metric.len();
+        let cover = RobustTreeCover::new(metric, eps)?;
+        let doms = cover.into_cover().into_trees();
+        // Candidate sets and the biclique overlay (Theorem 4.2).
+        let mut spanners = Vec::with_capacity(doms.len());
+        let mut cand_sets: Vec<Vec<Vec<usize>>> = Vec::with_capacity(doms.len());
+        let mut overlay: HashMap<(usize, usize), ()> = HashMap::new();
+        for dom in &doms {
+            let tree = dom.tree();
+            let required: Vec<bool> =
+                (0..tree.len()).map(|v| tree.child_count(v) == 0).collect();
+            let spanner = TreeHopSpanner::with_required(tree, &required, 2)?;
+            // Anchor-first R(v): the associated point (a descendant leaf
+            // by robustness), then up to f other distinct leaf points.
+            let cands: Vec<Vec<usize>> = (0..tree.len())
+                .map(|v| {
+                    let mut out = vec![dom.point_of(v)];
+                    for &leaf in dom.descendant_leaves(v) {
+                        if out.len() > f {
+                            break;
+                        }
+                        let p = dom.point_of(leaf);
+                        if !out.contains(&p) {
+                            out.push(p);
+                        }
+                    }
+                    out
+                })
+                .collect();
+            for &(a, b, _) in spanner.edges() {
+                for &pa in &cands[a] {
+                    for &pb in &cands[b] {
+                        if pa != pb {
+                            overlay.insert((pa.min(pb), pa.max(pb)), ());
+                        }
+                    }
+                }
+            }
+            spanners.push(spanner);
+            cand_sets.push(cands);
+        }
+        let mut overlay: Vec<(usize, usize)> = overlay.into_keys().collect();
+        overlay.sort_unstable();
+        let net = Network::new(n, &overlay, rng);
+        let mut trees = Vec::with_capacity(doms.len());
+        for ((dom, spanner), cands) in doms.into_iter().zip(spanners).zip(cand_sets) {
+            let point_of = {
+                let d = &dom;
+                move |tv: usize| d.point_of(tv)
+            };
+            let candidates = {
+                let c = &cands;
+                move |tv: usize| c[tv].clone()
+            };
+            let scheme =
+                PerTreeScheme::build(dom.tree(), &spanner, &point_of, &candidates, &net, n);
+            let labeling = DistanceLabeling::new(dom.tree());
+            trees.push(FtTreeUnit {
+                dom,
+                scheme,
+                labeling,
+            });
+        }
+        let (id_bits, port_bits) = (net.id_bits(), net.port_bits());
+        let mut stats = SchemeStats {
+            header_bits: Header::PortHint(0).bits(id_bits, port_bits),
+            ..Default::default()
+        };
+        for p in 0..n {
+            let mut label = 0usize;
+            let mut table = 0usize;
+            for t in &trees {
+                label += t.scheme.label_bits(p, id_bits, port_bits);
+                table += t.scheme.table_bits(p, id_bits, port_bits);
+                if let Some(leaf) = t.dom.leaf_of(p) {
+                    let dl = t.labeling.label_bits(leaf);
+                    label += dl;
+                    table += dl;
+                }
+            }
+            stats.max_label_bits = stats.max_label_bits.max(label);
+            stats.max_table_bits = stats.max_table_bits.max(table);
+        }
+        Ok(FtMetricRoutingScheme {
+            net,
+            trees,
+            f,
+            n,
+            stats,
+        })
+    }
+
+    /// The fault-tolerance parameter f.
+    pub fn fault_tolerance(&self) -> usize {
+        self.f
+    }
+
+    /// Number of trees ζ.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Size statistics (bits).
+    pub fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    /// The overlay network (the Theorem 4.2 biclique spanner with ports).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Routes from `u` to `v` while avoiding `faulty` nodes: tries trees
+    /// in order of decoded tree distance and returns the first surviving
+    /// delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RoutingError`] for invalid/faulty endpoints or when
+    /// more than `f` faults break every tree (cannot happen for
+    /// `|faulty| ≤ f`).
+    pub fn route_avoiding(
+        &self,
+        u: usize,
+        v: usize,
+        faulty: &HashSet<usize>,
+    ) -> Result<RouteTrace, RoutingError> {
+        if u >= self.n || faulty.contains(&u) {
+            return Err(RoutingError::BadEndpoint { node: u });
+        }
+        if v >= self.n || faulty.contains(&v) {
+            return Err(RoutingError::BadEndpoint { node: v });
+        }
+        if u == v {
+            return Ok(RouteTrace {
+                path: vec![u],
+                max_header_bits: 0,
+                decision_steps: 0,
+            });
+        }
+        // Order trees by decoded tree distance.
+        let mut order: Vec<(usize, f64)> = self
+            .trees
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                let (lu, lv) = (t.dom.leaf_of(u)?, t.dom.leaf_of(v)?);
+                Some((i, t.labeling.distance(lu, lv)))
+            })
+            .collect();
+        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut extra_steps = order.len();
+        for (ti, _) in order {
+            match route_on_tree(&self.trees[ti].scheme, &self.net, u, v, faulty) {
+                Ok(mut trace) => {
+                    if trace.path.iter().any(|p| faulty.contains(p)) {
+                        continue;
+                    }
+                    trace.decision_steps += extra_steps;
+                    return Ok(trace);
+                }
+                Err(RoutingError::Undeliverable) => {
+                    extra_steps += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(RoutingError::Undeliverable)
+    }
+
+    /// Measured stretch/hops over all non-faulty pairs.
+    pub fn measured_stretch_and_hops<M: Metric>(
+        &self,
+        metric: &M,
+        faulty: &HashSet<usize>,
+    ) -> (f64, usize) {
+        let mut worst = 1.0f64;
+        let mut hops = 0usize;
+        for u in 0..self.n {
+            if faulty.contains(&u) {
+                continue;
+            }
+            for v in 0..self.n {
+                if u == v || faulty.contains(&v) {
+                    continue;
+                }
+                let trace = self.route_avoiding(u, v, faulty).expect("valid pair");
+                assert_eq!(*trace.path.last().unwrap(), v);
+                for p in &trace.path {
+                    assert!(!faulty.contains(p), "routed through a faulty node");
+                }
+                let w: f64 = trace
+                    .path
+                    .windows(2)
+                    .map(|x| metric.dist(x[0], x[1]))
+                    .sum();
+                let d = metric.dist(u, v);
+                if d > 0.0 {
+                    worst = worst.max(w / d);
+                }
+                hops = hops.max(trace.hops());
+            }
+        }
+        (worst, hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::gen;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(606)
+    }
+
+    #[test]
+    fn delivers_under_faults() {
+        let m = gen::uniform_points(16, 2, &mut rng());
+        for f in [1usize, 2] {
+            let rs = FtMetricRoutingScheme::new(&m, 0.25, f, &mut rng()).unwrap();
+            let mut ids: Vec<usize> = (0..16).collect();
+            ids.shuffle(&mut rng());
+            let faulty: HashSet<usize> = ids.into_iter().take(f).collect();
+            let (stretch, hops) = rs.measured_stretch_and_hops(&m, &faulty);
+            assert!(hops <= 2, "hops {hops} (f={f})");
+            // 1 + O(ε) with the paper's constants, plus the detour cost of
+            // the fixed f+1 candidate sets.
+            assert!(stretch <= 8.0, "stretch {stretch} (f={f})");
+        }
+    }
+
+    #[test]
+    fn bits_grow_with_f() {
+        let m = gen::uniform_points(16, 2, &mut rng());
+        let s0 = FtMetricRoutingScheme::new(&m, 0.5, 0, &mut rng()).unwrap().stats();
+        let s3 = FtMetricRoutingScheme::new(&m, 0.5, 3, &mut rng()).unwrap().stats();
+        assert!(
+            s3.max_label_bits > s0.max_label_bits,
+            "labels must grow with f: {} vs {}",
+            s0.max_label_bits,
+            s3.max_label_bits
+        );
+        // Theorem 5.2 shape: growth is at most a factor ~(f+1).
+        assert!(s3.max_label_bits <= 5 * s0.max_label_bits);
+    }
+
+    #[test]
+    fn rejects_faulty_endpoints() {
+        let m = gen::uniform_points(10, 2, &mut rng());
+        let rs = FtMetricRoutingScheme::new(&m, 0.5, 1, &mut rng()).unwrap();
+        let faulty: HashSet<usize> = [2usize].into_iter().collect();
+        assert!(matches!(
+            rs.route_avoiding(2, 5, &faulty),
+            Err(RoutingError::BadEndpoint { node: 2 })
+        ));
+    }
+
+    #[test]
+    fn zero_faults_routes_everywhere() {
+        let m = gen::uniform_points(12, 2, &mut rng());
+        let rs = FtMetricRoutingScheme::new(&m, 0.5, 1, &mut rng()).unwrap();
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m, &HashSet::new());
+        assert!(hops <= 2);
+        assert!(stretch <= 10.0);
+    }
+}

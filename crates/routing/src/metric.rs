@@ -1,0 +1,381 @@
+//! Routing in metric spaces via tree covers (Theorem 1.3, §5.1.2).
+//!
+//! Every node carries, per tree of the cover, its tree-routing label and
+//! table (§5.1.1), plus a distance label used to select the tree. The
+//! overlay is the union of the materialized tree spanners — the same
+//! spanner `H_X` that Theorem 1.2 navigates. For Ramsey covers the
+//! destination's label names its home tree and selection is O(1); for
+//! plain covers the source decodes ζ distance labels and picks the
+//! minimum.
+
+use std::collections::{HashMap, HashSet};
+
+use hopspan_metric::{Graph, Metric};
+use hopspan_tree_cover::{DominatingTree, RamseyTreeCover, RobustTreeCover, SeparatorTreeCover};
+use hopspan_tree_spanner::TreeHopSpanner;
+use hopspan_treealg::DistanceLabeling;
+use rand::Rng;
+
+use crate::network::{Header, Network, RouteTrace};
+use crate::scheme::{route_on_tree, PerTreeScheme, RoutingError, SchemeStats};
+use crate::NavBuildError;
+
+/// How the query selects the tree to route on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeSelection {
+    /// Decode ζ distance labels, pick the minimum (doubling/planar).
+    MinDistanceLabel,
+    /// Use the destination's home tree (Ramsey covers; O(1)).
+    HomeTree,
+}
+
+/// One tree of the cover with its routing structures.
+#[derive(Debug)]
+struct TreeUnit {
+    dom: DominatingTree,
+    scheme: PerTreeScheme,
+    labeling: DistanceLabeling,
+}
+
+/// A 2-hop routing scheme for a metric space (Theorem 1.3).
+///
+/// # Examples
+///
+/// ```
+/// use hopspan_metric::gen;
+/// use hopspan_routing::MetricRoutingScheme;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
+/// let points = gen::uniform_points(16, 2, &mut rng);
+/// let scheme = MetricRoutingScheme::doubling(&points, 0.5, &mut rng)?;
+/// let trace = scheme.route(2, 13)?;
+/// assert!(trace.hops() <= 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MetricRoutingScheme {
+    net: Network,
+    trees: Vec<TreeUnit>,
+    selection: TreeSelection,
+    home: Option<Vec<usize>>,
+    n: usize,
+    stats: SchemeStats,
+}
+
+impl MetricRoutingScheme {
+    /// Builds the scheme for a doubling metric ((1+O(ε)) stretch).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover and spanner construction failures.
+    pub fn doubling<M: Metric + Sync, R: Rng>(
+        metric: &M,
+        eps: f64,
+        rng: &mut R,
+    ) -> Result<Self, NavBuildError> {
+        let cover = RobustTreeCover::new(metric, eps)?;
+        Self::from_trees(
+            metric,
+            cover.into_cover().into_trees(),
+            TreeSelection::MinDistanceLabel,
+            None,
+            rng,
+        )
+    }
+
+    /// Builds the scheme for a general metric via a Ramsey cover
+    /// (O(ℓ) stretch, O(1) selection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover and spanner construction failures.
+    pub fn general<M: Metric, R: Rng>(
+        metric: &M,
+        ell: usize,
+        rng: &mut R,
+    ) -> Result<Self, NavBuildError> {
+        let cover = RamseyTreeCover::new(metric, ell, rng)?;
+        let home: Vec<usize> = (0..metric.len()).map(|p| cover.home(p)).collect();
+        Self::from_trees(
+            metric,
+            cover.into_cover().into_trees(),
+            TreeSelection::HomeTree,
+            Some(home),
+            rng,
+        )
+    }
+
+    /// Builds the scheme for a planar graph metric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover and spanner construction failures.
+    pub fn planar<M: Metric, R: Rng>(
+        graph: &Graph,
+        metric: &M,
+        eps: f64,
+        rng: &mut R,
+    ) -> Result<Self, NavBuildError> {
+        let cover = SeparatorTreeCover::new(graph, eps)?;
+        Self::from_trees(
+            metric,
+            cover.into_cover().into_trees(),
+            TreeSelection::MinDistanceLabel,
+            None,
+            rng,
+        )
+    }
+
+    fn from_trees<M: Metric, R: Rng>(
+        metric: &M,
+        doms: Vec<DominatingTree>,
+        selection: TreeSelection,
+        home: Option<Vec<usize>>,
+        rng: &mut R,
+    ) -> Result<Self, NavBuildError> {
+        let n = metric.len();
+        // Build the spanners first to materialize the overlay.
+        let mut spanners = Vec::with_capacity(doms.len());
+        let mut overlay: HashMap<(usize, usize), ()> = HashMap::new();
+        for dom in &doms {
+            let tree = dom.tree();
+            let required: Vec<bool> =
+                (0..tree.len()).map(|v| tree.child_count(v) == 0).collect();
+            let spanner = TreeHopSpanner::with_required(tree, &required, 2)?;
+            for &(a, b, _) in spanner.edges() {
+                let (pa, pb) = (dom.point_of(a), dom.point_of(b));
+                if pa != pb {
+                    overlay.insert((pa.min(pb), pa.max(pb)), ());
+                }
+            }
+            spanners.push(spanner);
+        }
+        let mut overlay: Vec<(usize, usize)> = overlay.into_keys().collect();
+        overlay.sort_unstable();
+        let net = Network::new(n, &overlay, rng);
+        let mut trees = Vec::with_capacity(doms.len());
+        for (dom, spanner) in doms.into_iter().zip(spanners) {
+            let point_of = {
+                let d = &dom;
+                move |tv: usize| d.point_of(tv)
+            };
+            let candidates = {
+                let d = &dom;
+                move |tv: usize| vec![d.point_of(tv)]
+            };
+            let scheme =
+                PerTreeScheme::build(dom.tree(), &spanner, &point_of, &candidates, &net, n);
+            let labeling = DistanceLabeling::new(dom.tree());
+            trees.push(TreeUnit {
+                dom,
+                scheme,
+                labeling,
+            });
+        }
+        let (id_bits, port_bits) = (net.id_bits(), net.port_bits());
+        let mut stats = SchemeStats {
+            header_bits: Header::PortHint(0).bits(id_bits, port_bits),
+            ..Default::default()
+        };
+        for p in 0..n {
+            let mut label = 0usize;
+            let mut table = 0usize;
+            for t in &trees {
+                label += t.scheme.label_bits(p, id_bits, port_bits);
+                table += t.scheme.table_bits(p, id_bits, port_bits);
+                if let Some(leaf) = t.dom.leaf_of(p) {
+                    // The distance label rides along in both (paper
+                    // §5.1.2: "each node stores ζ distance labels, one per
+                    // tree, both as part of its routing table and label").
+                    let dl = t.labeling.label_bits(leaf);
+                    label += dl;
+                    table += dl;
+                }
+            }
+            if home.is_some() {
+                label += id_bits; // home tree index
+            }
+            stats.max_label_bits = stats.max_label_bits.max(label);
+            stats.max_table_bits = stats.max_table_bits.max(table);
+        }
+        Ok(MetricRoutingScheme {
+            net,
+            trees,
+            selection,
+            home,
+            n,
+            stats,
+        })
+    }
+
+    /// Number of trees ζ.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Size statistics (bits), including the distance labels.
+    pub fn stats(&self) -> SchemeStats {
+        self.stats
+    }
+
+    /// The overlay network (the spanner `H_X` with ports).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The tree the query for `(u, v)` selects: the destination's home
+    /// tree for Ramsey covers, else the minimum over decoded distance
+    /// labels.
+    pub fn select_tree(&self, u: usize, v: usize) -> Option<usize> {
+        match self.selection {
+            TreeSelection::HomeTree => Some(self.home.as_ref()?[v]),
+            TreeSelection::MinDistanceLabel => {
+                let mut best: Option<(usize, f64)> = None;
+                for (i, t) in self.trees.iter().enumerate() {
+                    let (Some(lu), Some(lv)) = (t.dom.leaf_of(u), t.dom.leaf_of(v)) else {
+                        continue;
+                    };
+                    let d = t.labeling.distance(lu, lv);
+                    if best.is_none_or(|(_, bd)| d < bd) {
+                        best = Some((i, d));
+                    }
+                }
+                best.map(|(i, _)| i)
+            }
+        }
+    }
+
+    /// Routes a packet from `u` to `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RoutingError`] for invalid endpoints.
+    pub fn route(&self, u: usize, v: usize) -> Result<RouteTrace, RoutingError> {
+        if u >= self.n {
+            return Err(RoutingError::BadEndpoint { node: u });
+        }
+        if v >= self.n {
+            return Err(RoutingError::BadEndpoint { node: v });
+        }
+        if u == v {
+            return Ok(RouteTrace {
+                path: vec![u],
+                max_header_bits: 0,
+                decision_steps: 0,
+            });
+        }
+        let ti = self
+            .select_tree(u, v)
+            .ok_or(RoutingError::BadEndpoint { node: v })?;
+        let mut trace = route_on_tree(&self.trees[ti].scheme, &self.net, u, v, &HashSet::new())?;
+        if self.selection == TreeSelection::MinDistanceLabel {
+            // Account for the ζ label decodes of the selection step.
+            trace.decision_steps += self.trees.len();
+        }
+        Ok(trace)
+    }
+
+    /// Measured stretch/hops over all pairs (tests and experiments).
+    pub fn measured_stretch_and_hops<M: Metric>(&self, metric: &M) -> (f64, usize) {
+        let mut worst = 1.0f64;
+        let mut hops = 0usize;
+        for u in 0..self.n {
+            for v in 0..self.n {
+                if u == v {
+                    continue;
+                }
+                let trace = self.route(u, v).expect("valid pair");
+                assert_eq!(*trace.path.last().unwrap(), v, "misrouted ({u},{v})");
+                let w: f64 = trace
+                    .path
+                    .windows(2)
+                    .map(|x| metric.dist(x[0], x[1]))
+                    .sum();
+                let d = metric.dist(u, v);
+                if d > 0.0 {
+                    worst = worst.max(w / d);
+                }
+                hops = hops.max(trace.hops());
+            }
+        }
+        (worst, hops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::{gen, GraphMetric};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(404)
+    }
+
+    #[test]
+    fn doubling_routing_2d() {
+        let m = gen::uniform_points(20, 2, &mut rng());
+        let rs = MetricRoutingScheme::doubling(&m, 0.25, &mut rng()).unwrap();
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+        assert!(hops <= 2, "hops {hops}");
+        assert!(stretch <= 2.5, "stretch {stretch}");
+    }
+
+    #[test]
+    fn doubling_routing_line_exact() {
+        let m = hopspan_metric::EuclideanSpace::from_points(
+            &(0..16).map(|i| vec![i as f64]).collect::<Vec<_>>(),
+        );
+        let rs = MetricRoutingScheme::doubling(&m, 0.25, &mut rng()).unwrap();
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+        assert!(hops <= 2);
+        assert!(stretch <= 1.0 + 1e-9, "stretch {stretch}");
+    }
+
+    #[test]
+    fn general_routing_ramsey() {
+        let m = gen::random_graph_metric(18, 10, &mut rng());
+        let rs = MetricRoutingScheme::general(&m, 2, &mut rng()).unwrap();
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+        assert!(hops <= 2);
+        assert!(stretch <= 64.0, "stretch {stretch}");
+    }
+
+    #[test]
+    fn planar_routing_grid() {
+        let g = gen::grid_graph(4, 4);
+        let m = GraphMetric::new(&g).unwrap();
+        let rs = MetricRoutingScheme::planar(&g, &m, 0.5, &mut rng()).unwrap();
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+        assert!(hops <= 2);
+        assert!(stretch <= 3.0 + 1e-9, "stretch {stretch}");
+    }
+
+    #[test]
+    fn bits_do_not_grow_linearly() {
+        let m1 = gen::uniform_points(16, 1, &mut rng());
+        let m2 = gen::uniform_points(128, 1, &mut rng());
+        let s1 = MetricRoutingScheme::doubling(&m1, 0.5, &mut rng()).unwrap().stats();
+        let s2 = MetricRoutingScheme::doubling(&m2, 0.5, &mut rng()).unwrap().stats();
+        // 8x more points: label bits should grow by far less than 8x
+        // (polylog per tree; ζ saturates to its ε-dependent constant).
+        assert!(
+            s2.max_label_bits <= 6 * s1.max_label_bits,
+            "{} -> {}",
+            s1.max_label_bits,
+            s2.max_label_bits
+        );
+    }
+
+    #[test]
+    fn bad_endpoints() {
+        let m = gen::uniform_points(8, 2, &mut rng());
+        let rs = MetricRoutingScheme::doubling(&m, 0.5, &mut rng()).unwrap();
+        assert!(rs.route(0, 50).is_err());
+        assert_eq!(rs.route(3, 3).unwrap().hops(), 0);
+    }
+}

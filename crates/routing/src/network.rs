@@ -1,0 +1,175 @@
+//! The fixed-port overlay network simulator.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A packet header (at most O(log n) bits in every scheme here).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Header {
+    /// Nothing: the next node is the destination.
+    Empty,
+    /// The port the *next* node must forward on (2-hop schemes).
+    PortHint(usize),
+}
+
+impl Header {
+    /// Serialized size in bits, given id/port widths.
+    pub fn bits(&self, id_bits: usize, port_bits: usize) -> usize {
+        let _ = id_bits;
+        1 + match self {
+            Header::Empty => 0,
+            Header::PortHint(_) => port_bits,
+        }
+    }
+}
+
+/// An undirected overlay network with adversarially permuted fixed ports.
+#[derive(Debug)]
+pub struct Network {
+    /// `ports[v][p]` = neighbor reached from `v` through port `p`.
+    ports: Vec<Vec<usize>>,
+    /// `(v, neighbor)` -> port at `v`.
+    port_of: HashMap<(usize, usize), usize>,
+}
+
+impl Network {
+    /// Builds the network over `n` nodes from undirected edges, permuting
+    /// each node's port order with `rng` (the adversary).
+    pub fn new<R: Rng>(n: usize, edges: &[(usize, usize)], rng: &mut R) -> Self {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut seen = HashMap::new();
+        for &(u, v) in edges {
+            if u == v {
+                continue;
+            }
+            let key = (u.min(v), u.max(v));
+            if seen.insert(key, ()).is_none() {
+                adj[u].push(v);
+                adj[v].push(u);
+            }
+        }
+        let mut ports = Vec::with_capacity(n);
+        let mut port_of = HashMap::new();
+        for (v, mut nb) in adj.into_iter().enumerate() {
+            nb.shuffle(rng);
+            for (p, &w) in nb.iter().enumerate() {
+                port_of.insert((v, w), p);
+            }
+            ports.push(nb);
+        }
+        Network { ports, port_of }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.ports.is_empty()
+    }
+
+    /// The port at `from` leading to `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the overlay has no `(from, to)` edge.
+    pub fn port(&self, from: usize, to: usize) -> usize {
+        *self
+            .port_of
+            .get(&(from, to))
+            .unwrap_or_else(|| panic!("no overlay edge ({from}, {to})"))
+    }
+
+    /// The node reached from `v` through port `p`.
+    pub fn target(&self, v: usize, p: usize) -> usize {
+        self.ports[v][p]
+    }
+
+    /// Degree of `v` in the overlay.
+    pub fn degree(&self, v: usize) -> usize {
+        self.ports[v].len()
+    }
+
+    /// Maximum degree (determines port width in bits).
+    pub fn max_degree(&self) -> usize {
+        self.ports.iter().map(|p| p.len()).max().unwrap_or(0)
+    }
+
+    /// Number of overlay edges.
+    pub fn edge_count(&self) -> usize {
+        self.ports.iter().map(|p| p.len()).sum::<usize>() / 2
+    }
+
+    /// Bits needed for a port number.
+    pub fn port_bits(&self) -> usize {
+        bits_for(self.max_degree().max(1))
+    }
+
+    /// Bits needed for a node id.
+    pub fn id_bits(&self) -> usize {
+        bits_for(self.len().max(1))
+    }
+}
+
+/// ⌈log₂(x)⌉ for x ≥ 1 (at least 1).
+pub(crate) fn bits_for(x: usize) -> usize {
+    (usize::BITS - x.saturating_sub(1).leading_zeros()).max(1) as usize
+}
+
+/// The trace of one delivered packet.
+#[derive(Debug, Clone)]
+pub struct RouteTrace {
+    /// Nodes visited, source first, destination last.
+    pub path: Vec<usize>,
+    /// Maximum header size (bits) seen in flight.
+    pub max_header_bits: usize,
+    /// Total local decision steps (comparisons/lookups) performed.
+    pub decision_steps: usize,
+}
+
+impl RouteTrace {
+    /// Number of hops taken.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn ports_are_consistent() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let net = Network::new(4, &[(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)], &mut rng);
+        for v in 0..4 {
+            for p in 0..net.degree(v) {
+                let w = net.target(v, p);
+                assert_eq!(net.port(v, w), p);
+            }
+        }
+        assert_eq!(net.edge_count(), 5);
+        assert_eq!(net.degree(0), 3);
+        assert!(net.port_bits() >= 2);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let net = Network::new(3, &[(0, 1), (1, 0), (2, 2)], &mut rng);
+        assert_eq!(net.edge_count(), 1);
+        assert_eq!(net.degree(2), 0);
+    }
+
+    #[test]
+    fn header_bits() {
+        assert_eq!(Header::Empty.bits(10, 4), 1);
+        assert_eq!(Header::PortHint(3).bits(10, 4), 5);
+    }
+}

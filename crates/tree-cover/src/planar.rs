@@ -1,0 +1,567 @@
+//! Tree covers for planar graph metrics via shortest-path separators
+//! (the \[BFN19\] fixed-minor-free row of Table 1, simplified — see
+//! DESIGN.md §4).
+//!
+//! The graph is recursively split by a separator made of two shortest
+//! paths through an SPT root. For each separator path `P` the cover gets:
+//!
+//! * a **spine tree**: `P` itself plus a shortest-path forest attaching
+//!   every region vertex to `P` (stretch ≤ 3 for every pair whose
+//!   shortest path crosses `P`, because distances along a shortest path
+//!   are exact);
+//! * optional **portal trees**: SPTs rooted at geometrically spaced
+//!   portals of `P`, which bring the realized stretch close to `1 + ε` on
+//!   grid-like inputs.
+//!
+//! Trees of the *same recursion level and role* over disjoint regions are
+//! unioned into a single dominating tree (linked by edges of weight equal
+//! to the total graph weight, which preserves domination), so the number
+//! of trees is `O(depth · (1/ε) · log ρ)` rather than `O(n)`. Every pair
+//! of vertices is separated at some level (covered by that level's spine
+//! trees) or ends together in a tiny leaf region (covered by the unioned
+//! leaf star trees).
+
+use std::collections::HashMap;
+
+use hopspan_metric::Graph;
+
+use crate::cover::TreeAssembler;
+use crate::{CoverError, DominatingTree, TreeCover};
+
+/// A separator-based tree cover for a connected (planar) graph metric.
+///
+/// # Examples
+///
+/// ```
+/// use hopspan_metric::gen;
+/// use hopspan_tree_cover::SeparatorTreeCover;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let grid = gen::grid_graph(4, 4);
+/// let cover = SeparatorTreeCover::new(&grid, 0.5)?;
+/// assert!(cover.tree_count() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SeparatorTreeCover {
+    cover: TreeCover,
+    eps: f64,
+    depth: usize,
+}
+
+/// An unfinished per-region tree: parents/weights/points with local ids.
+struct RegionTree {
+    parent: Vec<Option<usize>>,
+    weight: Vec<f64>,
+    point_of: Vec<usize>,
+    root: usize,
+}
+
+/// Bucket key: trees with the same key are unioned into one cover tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Role {
+    /// Spine tree of separator path `p` (0 or 1) at a recursion level.
+    Spine(usize),
+    /// Portal SPT `m` of separator path `p` at a recursion level.
+    Portal(usize, usize),
+    /// Star tree around the `i`-th vertex of a leaf region.
+    Star(usize),
+}
+
+impl SeparatorTreeCover {
+    /// Builds the cover for the metric of `graph` with portal parameter
+    /// `eps ∈ (0, 1]` (smaller ε ⇒ more portals ⇒ better stretch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::Empty`] for an empty graph and
+    /// [`CoverError::InvalidParameter`] if `eps` is out of range or the
+    /// graph is disconnected.
+    pub fn new(graph: &Graph, eps: f64) -> Result<Self, CoverError> {
+        if graph.is_empty() {
+            return Err(CoverError::Empty);
+        }
+        if eps <= 0.0 || eps.is_nan() || eps > 1.0 {
+            return Err(CoverError::InvalidParameter {
+                what: "eps must be in (0, 1]",
+            });
+        }
+        if !graph.is_connected() {
+            return Err(CoverError::InvalidParameter {
+                what: "graph must be connected",
+            });
+        }
+        let n = graph.len();
+        let big = graph.total_weight().max(1.0);
+        let mut buckets: HashMap<(usize, Role), Vec<RegionTree>> = HashMap::new();
+        let mut regions: Vec<(usize, Vec<usize>)> = vec![(0, (0..n).collect())];
+        let mut max_depth = 0usize;
+        while let Some((level, region)) = regions.pop() {
+            max_depth = max_depth.max(level);
+            if region.len() <= 3 {
+                for (i, &c) in region.iter().enumerate() {
+                    buckets
+                        .entry((level, Role::Star(i)))
+                        .or_default()
+                        .push(star_tree(graph, &region, c));
+                }
+                continue;
+            }
+            let (paths, components) = separate(graph, &region);
+            for (pi, path) in paths.iter().enumerate() {
+                buckets
+                    .entry((level, Role::Spine(pi)))
+                    .or_default()
+                    .push(spine_tree(graph, &region, path));
+                for (mi, &portal) in geometric_portals(graph, path, eps).iter().enumerate() {
+                    buckets
+                        .entry((level, Role::Portal(pi, mi)))
+                        .or_default()
+                        .push(spt_tree(graph, &region, portal));
+                }
+            }
+            for comp in components {
+                regions.push((level + 1, comp));
+            }
+        }
+        let mut keys: Vec<(usize, Role)> = buckets.keys().copied().collect();
+        keys.sort_unstable();
+        let trees: Vec<DominatingTree> = keys
+            .into_iter()
+            .map(|k| union_trees(buckets.remove(&k).expect("key exists"), big, n))
+            .collect();
+        Ok(SeparatorTreeCover {
+            cover: TreeCover::new(trees),
+            eps,
+            depth: max_depth + 1,
+        })
+    }
+
+    /// Consumes the cover wrapper and returns the underlying tree cover.
+    pub fn into_cover(self) -> TreeCover {
+        self.cover
+    }
+
+    /// The underlying tree cover (trees cover subsets; every vertex pair
+    /// is covered by at least one common tree).
+    #[inline]
+    pub fn cover(&self) -> &TreeCover {
+        &self.cover
+    }
+
+    /// The portal parameter ε.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Number of trees ζ.
+    #[inline]
+    pub fn tree_count(&self) -> usize {
+        self.cover.len()
+    }
+
+    /// Depth of the separator recursion.
+    #[inline]
+    pub fn recursion_depth(&self) -> usize {
+        self.depth
+    }
+}
+
+/// Unions disjoint-region trees into one dominating tree by linking all
+/// region roots under a fresh root with huge edge weights (≥ any metric
+/// distance, so domination is preserved for cross-region pairs).
+fn union_trees(parts: Vec<RegionTree>, big: f64, n_points: usize) -> DominatingTree {
+    let mut asm = TreeAssembler::new();
+    let mut roots = Vec::with_capacity(parts.len());
+    for part in &parts {
+        let offset = asm.parent.len();
+        for i in 0..part.parent.len() {
+            asm.add(part.point_of[i]);
+            debug_assert_eq!(asm.parent.len() - 1, offset + i);
+        }
+        for i in 0..part.parent.len() {
+            if let Some(p) = part.parent[i] {
+                asm.attach(offset + i, offset + p, part.weight[i]);
+            }
+        }
+        roots.push(offset + part.root);
+    }
+    let root = if roots.len() == 1 {
+        roots[0]
+    } else {
+        let anchor = asm.point_of[roots[0]];
+        let r = asm.add(anchor);
+        for &nd in &roots {
+            asm.attach(nd, r, big);
+        }
+        r
+    };
+    asm.finish(root, n_points)
+}
+
+/// Dijkstra restricted to `region`; returns `(dist, parent)` indexed by
+/// global vertex ids (∞ / None outside the region).
+fn region_dijkstra(
+    graph: &Graph,
+    in_region: &[bool],
+    sources: &[(usize, f64)],
+) -> (Vec<f64>, Vec<Option<usize>>) {
+    let n = graph.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut heap = std::collections::BinaryHeap::new();
+    for &(s, d0) in sources {
+        if d0 < dist[s] {
+            dist[s] = d0;
+            heap.push(MinEntry(d0, s));
+        }
+    }
+    while let Some(MinEntry(d, u)) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        for (v, w) in graph.neighbors(u) {
+            if !in_region[v] {
+                continue;
+            }
+            let cand = d + w;
+            if cand < dist[v] {
+                dist[v] = cand;
+                parent[v] = Some(u);
+                heap.push(MinEntry(cand, v));
+            }
+        }
+    }
+    (dist, parent)
+}
+
+/// Min-heap entry on (distance, vertex) for `BinaryHeap` (which is a
+/// max-heap, so the ordering is reversed).
+#[derive(PartialEq)]
+struct MinEntry(f64, usize);
+
+impl Eq for MinEntry {}
+
+impl Ord for MinEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.1.cmp(&self.1))
+    }
+}
+
+impl PartialOrd for MinEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Picks a two-shortest-path separator of the region and returns the
+/// paths plus the components of the region minus the paths.
+fn separate(graph: &Graph, region: &[usize]) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let n = graph.len();
+    let mut in_region = vec![false; n];
+    for &v in region {
+        in_region[v] = true;
+    }
+    let root = region[0];
+    let (dist, parent) = region_dijkstra(graph, &in_region, &[(root, 0.0)]);
+    let far = |d: &Vec<f64>| -> usize {
+        *region
+            .iter()
+            .filter(|&&v| d[v].is_finite())
+            .max_by(|&&a, &&b| d[a].partial_cmp(&d[b]).unwrap().then(a.cmp(&b)))
+            .expect("region connected")
+    };
+    let u = far(&dist);
+    let path1 = walk_up(&parent, u);
+    let sep1: Vec<(usize, f64)> = path1.iter().map(|&v| (v, 0.0)).collect();
+    let (dist_from_p1, _) = region_dijkstra(graph, &in_region, &sep1);
+    let v = far(&dist_from_p1);
+    let path2 = walk_up(&parent, v);
+    let mut paths = vec![path1];
+    if path2 != paths[0] {
+        paths.push(path2);
+    }
+    // Components of the region minus the separator vertices.
+    let mut removed = vec![false; n];
+    for p in &paths {
+        for &x in p {
+            removed[x] = true;
+        }
+    }
+    let mut seen: HashMap<usize, ()> = HashMap::new();
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    for &s in region {
+        if removed[s] || seen.contains_key(&s) {
+            continue;
+        }
+        let mut stack = vec![s];
+        seen.insert(s, ());
+        let mut comp = vec![s];
+        while let Some(x) = stack.pop() {
+            for (y, _) in graph.neighbors(x) {
+                if in_region[y] && !removed[y] && !seen.contains_key(&y) {
+                    seen.insert(y, ());
+                    comp.push(y);
+                    stack.push(y);
+                }
+            }
+        }
+        comps.push(comp);
+    }
+    (paths, comps)
+}
+
+fn walk_up(parent: &[Option<usize>], mut v: usize) -> Vec<usize> {
+    let mut path = vec![v];
+    while let Some(p) = parent[v] {
+        path.push(p);
+        v = p;
+    }
+    path
+}
+
+fn min_edge_weight(graph: &Graph, a: usize, b: usize) -> f64 {
+    graph
+        .neighbors(a)
+        .filter(|&(t, _)| t == b)
+        .map(|(_, w)| w)
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The spine tree: the separator path `P` plus a shortest-path forest
+/// attaching every region vertex to `P`, with pendant leaves so that
+/// leaves are 1-to-1 with region vertices.
+fn spine_tree(graph: &Graph, region: &[usize], path: &[usize]) -> RegionTree {
+    let n = graph.len();
+    let mut in_region = vec![false; n];
+    for &v in region {
+        in_region[v] = true;
+    }
+    let sources: Vec<(usize, f64)> = path.iter().map(|&v| (v, 0.0)).collect();
+    let (_, att_parent) = region_dijkstra(graph, &in_region, &sources);
+    let mut on_path = vec![false; n];
+    for &v in path {
+        on_path[v] = true;
+    }
+    let mut rt = RegionTreeBuilder::new(region);
+    for win in path.windows(2) {
+        rt.attach(win[0], win[1], min_edge_weight(graph, win[0], win[1]));
+    }
+    for &v in region {
+        if !on_path[v] {
+            let p = att_parent[v].expect("region connected to path");
+            rt.attach(v, p, min_edge_weight(graph, v, p));
+        }
+    }
+    rt.finish(*path.last().expect("non-empty path"))
+}
+
+/// An SPT tree rooted at `root` over the region (with pendant leaves).
+fn spt_tree(graph: &Graph, region: &[usize], root: usize) -> RegionTree {
+    let n = graph.len();
+    let mut in_region = vec![false; n];
+    for &v in region {
+        in_region[v] = true;
+    }
+    let (_, parent) = region_dijkstra(graph, &in_region, &[(root, 0.0)]);
+    let mut rt = RegionTreeBuilder::new(region);
+    for &v in region {
+        if let Some(p) = parent[v] {
+            rt.attach(v, p, min_edge_weight(graph, v, p));
+        }
+    }
+    rt.finish(root)
+}
+
+/// A star tree over the region centered at `c`, using region shortest
+/// path distances (used only for tiny leaf regions).
+fn star_tree(graph: &Graph, region: &[usize], c: usize) -> RegionTree {
+    let n = graph.len();
+    let mut in_region = vec![false; n];
+    for &v in region {
+        in_region[v] = true;
+    }
+    let (dist, _) = region_dijkstra(graph, &in_region, &[(c, 0.0)]);
+    let mut parent = vec![None; region.len() + 1];
+    let mut weight = vec![0.0; region.len() + 1];
+    let mut point_of = vec![c];
+    for (i, &v) in region.iter().enumerate() {
+        point_of.push(v);
+        parent[i + 1] = Some(0);
+        weight[i + 1] = dist[v];
+    }
+    RegionTree {
+        parent,
+        weight,
+        point_of,
+        root: 0,
+    }
+}
+
+/// Builds a region tree over the region's vertices (structural layer)
+/// plus one pendant zero-weight leaf per vertex.
+struct RegionTreeBuilder {
+    ids: HashMap<usize, usize>,
+    order: Vec<usize>,
+    parent: Vec<Option<usize>>,
+    weight: Vec<f64>,
+}
+
+impl RegionTreeBuilder {
+    fn new(region: &[usize]) -> Self {
+        let mut ids = HashMap::new();
+        for (i, &v) in region.iter().enumerate() {
+            ids.insert(v, i);
+        }
+        RegionTreeBuilder {
+            ids,
+            order: region.to_vec(),
+            parent: vec![None; region.len()],
+            weight: vec![0.0; region.len()],
+        }
+    }
+
+    fn attach(&mut self, child: usize, parent: usize, w: f64) {
+        let c = self.ids[&child];
+        debug_assert!(self.parent[c].is_none(), "re-attaching {child}");
+        self.parent[c] = Some(self.ids[&parent]);
+        self.weight[c] = w;
+    }
+
+    fn finish(self, root: usize) -> RegionTree {
+        let m = self.order.len();
+        let mut parent = self.parent;
+        let mut weight = self.weight;
+        let mut point_of = self.order.clone();
+        // Pendant leaves.
+        for i in 0..m {
+            parent.push(Some(i));
+            weight.push(0.0);
+            point_of.push(self.order[i]);
+        }
+        RegionTree {
+            parent,
+            weight,
+            point_of,
+            root: self.ids[&root],
+        }
+    }
+}
+
+/// Geometrically spaced portals along a shortest path: positions at
+/// prefix distance ≈ (1+ε)^m from either endpoint.
+fn geometric_portals(graph: &Graph, path: &[usize], eps: f64) -> Vec<usize> {
+    if path.len() <= 2 {
+        return path.to_vec();
+    }
+    let mut prefix = vec![0.0f64];
+    for win in path.windows(2) {
+        prefix.push(prefix.last().unwrap() + min_edge_weight(graph, win[0], win[1]));
+    }
+    let total = *prefix.last().unwrap();
+    let mut marks: Vec<usize> = vec![0, path.len() - 1];
+    // Forward sweep from the start, backward sweep from the end.
+    let mut target = prefix[1].max(total * 1e-6);
+    while target < total {
+        if let Some(i) = (0..path.len()).find(|&i| prefix[i] >= target) {
+            marks.push(i);
+        }
+        target *= 1.0 + eps;
+    }
+    let mut target = (total - prefix[path.len() - 2]).max(total * 1e-6);
+    while target < total {
+        if let Some(i) = (0..path.len()).rev().find(|&i| total - prefix[i] >= target) {
+            marks.push(i);
+        }
+        target *= 1.0 + eps;
+    }
+    marks.sort_unstable();
+    marks.dedup();
+    marks.into_iter().map(|i| path[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_metric::{gen, GraphMetric};
+
+    #[test]
+    fn grid_cover_valid_and_tight() {
+        let g = gen::grid_graph(5, 5);
+        let m = GraphMetric::new(&g).unwrap();
+        let sc = SeparatorTreeCover::new(&g, 0.5).unwrap();
+        sc.cover().validate(&m).unwrap();
+        let s = sc.cover().measured_stretch(&m);
+        assert!(s <= 3.0 + 1e-9, "stretch {s} above the guaranteed bound");
+    }
+
+    #[test]
+    fn weighted_grid() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(8);
+        let g = gen::weighted_grid_graph(4, 5, &mut rng);
+        let m = GraphMetric::new(&g).unwrap();
+        let sc = SeparatorTreeCover::new(&g, 0.5).unwrap();
+        sc.cover().validate(&m).unwrap();
+        assert!(sc.cover().measured_stretch(&m) <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn portals_improve_stretch() {
+        let g = gen::grid_graph(6, 6);
+        let m = GraphMetric::new(&g).unwrap();
+        let coarse = SeparatorTreeCover::new(&g, 1.0).unwrap();
+        let fine = SeparatorTreeCover::new(&g, 0.2).unwrap();
+        let sc = coarse.cover().measured_stretch(&m);
+        let sf = fine.cover().measured_stretch(&m);
+        assert!(sf <= sc + 1e-9, "more portals should not hurt: {sf} vs {sc}");
+        assert!(fine.tree_count() >= coarse.tree_count());
+    }
+
+    #[test]
+    fn path_graph_cover() {
+        // A path graph: the separator is the whole path; the spine tree
+        // reproduces the metric exactly.
+        let n = 10;
+        let edges: Vec<_> = (1..n).map(|v| (v - 1, v, 1.0)).collect();
+        let g = Graph::new(n, &edges).unwrap();
+        let m = GraphMetric::new(&g).unwrap();
+        let sc = SeparatorTreeCover::new(&g, 0.5).unwrap();
+        let s = sc.cover().measured_stretch(&m);
+        assert!(s <= 1.0 + 1e-9, "path metric should be covered exactly, got {s}");
+    }
+
+    #[test]
+    fn rejects_disconnected_and_empty() {
+        let g = Graph::new(3, &[(0, 1, 1.0)]).unwrap();
+        assert!(SeparatorTreeCover::new(&g, 0.5).is_err());
+        let e = Graph::new(0, &[]).unwrap();
+        assert!(SeparatorTreeCover::new(&e, 0.5).is_err());
+    }
+
+    #[test]
+    fn zeta_polylog_shaped() {
+        let g1 = gen::grid_graph(8, 8);
+        let g2 = gen::grid_graph(16, 16);
+        let t1 = SeparatorTreeCover::new(&g1, 0.5).unwrap().tree_count();
+        let t2 = SeparatorTreeCover::new(&g2, 0.5).unwrap().tree_count();
+        // Trees per vertex must decrease: ζ is polylog-shaped, not linear.
+        assert!(
+            (t2 as f64) / 256.0 <= 0.9 * (t1 as f64) / 64.0,
+            "trees-per-vertex did not shrink: {t1}/64 -> {t2}/256"
+        );
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = Graph::new(1, &[]).unwrap();
+        let sc = SeparatorTreeCover::new(&g, 0.5).unwrap();
+        assert!(sc.tree_count() >= 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Ackermann-function variants and their inverses (paper §2.2).
+//!
+//! The spanner construction sets its decomposition parameter to
+//! `ℓ = α'_{k-2}(n)` (Definition 2.3), and its size/time bounds are stated
+//! in terms of `α_k(n)` (Definition 2.2), the inverse of the `A(k, ·)` /
+//! `B(k, ·)` hierarchy of Definition 2.1. All computations saturate at a
+//! large cap instead of overflowing.
+
+/// Saturation cap for Ackermann values (anything ≥ this is "huge").
+const CAP: u128 = u128::MAX >> 2;
+
+fn sat_add(a: u128, b: u128) -> u128 {
+    a.saturating_add(b).min(CAP)
+}
+
+fn sat_mul(a: u128, b: u128) -> u128 {
+    a.saturating_mul(b).min(CAP)
+}
+
+fn sat_pow2(e: u128) -> u128 {
+    if e >= 126 {
+        CAP
+    } else {
+        (1u128 << e).min(CAP)
+    }
+}
+
+/// `A(k, n)` from Definition 2.1, saturating at a large cap:
+/// `A(0, n) = 2n`, `A(k, 0) = 1`, `A(k, n) = A(k-1, A(k, n-1))`.
+pub fn ack_a(k: usize, n: u128) -> u128 {
+    match k {
+        0 => sat_mul(2, n),
+        1 => {
+            // A(1, n) = 2^n.
+            if n == 0 {
+                1
+            } else {
+                sat_pow2(n)
+            }
+        }
+        _ => {
+            if n == 0 {
+                return 1;
+            }
+            let mut x: u128 = 1; // A(k, 0)
+            for _ in 0..n {
+                if x >= CAP {
+                    return CAP;
+                }
+                x = ack_a(k - 1, x);
+            }
+            x
+        }
+    }
+}
+
+/// `B(k, n)` from Definition 2.1, saturating at a large cap:
+/// `B(0, n) = n²`, `B(k, 0) = 2`, `B(k, n) = B(k-1, B(k, n-1))`.
+pub fn ack_b(k: usize, n: u128) -> u128 {
+    match k {
+        0 => sat_mul(n, n),
+        _ => {
+            if n == 0 {
+                return 2;
+            }
+            let mut x: u128 = 2; // B(k, 0)
+            for _ in 0..n {
+                if x >= CAP {
+                    return CAP;
+                }
+                x = ack_b(k - 1, x);
+            }
+            x
+        }
+    }
+}
+
+/// The inverse `α_k(n)` of Definition 2.2:
+/// `α_{2k}(n) = min{s ≥ 0 : A(k, s) ≥ n}` and
+/// `α_{2k+1}(n) = min{s ≥ 0 : B(k, s) ≥ n}`.
+///
+/// Closed forms for small `k`: `α₀(n) = ⌈n/2⌉`, `α₁(n) = ⌈√n⌉`,
+/// `α₂(n) = ⌈log n⌉`, `α₃(n) = ⌈log log n⌉`, `α₄(n) = log* n`.
+pub fn alpha(k: usize, n: u128) -> u128 {
+    // Closed forms for the two linearly/polynomially growing rows; the
+    // rows for k ≥ 2 grow at least exponentially so a linear scan of the
+    // inverse takes O(log n) steps.
+    if k == 0 {
+        return n.div_ceil(2);
+    }
+    if k == 1 {
+        return isqrt_ceil(n);
+    }
+    let half = k / 2;
+    let f: fn(usize, u128) -> u128 = if k.is_multiple_of(2) { ack_a } else { ack_b };
+    let mut s: u128 = 0;
+    while f(half, s) < n {
+        s += 1;
+        debug_assert!(s < 1 << 20, "alpha iteration runaway");
+    }
+    s
+}
+
+/// `⌈√n⌉` for u128.
+fn isqrt_ceil(n: u128) -> u128 {
+    if n == 0 {
+        return 0;
+    }
+    let mut r = (n as f64).sqrt() as u128;
+    while r.saturating_mul(r) < n {
+        r += 1;
+    }
+    while r > 0 && (r - 1).saturating_mul(r - 1) >= n {
+        r -= 1;
+    }
+    r
+}
+
+/// The variant `α'_k(n)` of Definition 2.3 used by the construction:
+/// `α'_k = α_k` for `k ≤ 1` or `n ≤ k+1`, and
+/// `α'_k(n) = 2 + α'_k(α'_{k-2}(n))` otherwise.
+pub fn alpha_prime(k: usize, n: u128) -> u128 {
+    if k <= 1 || n <= (k as u128) + 1 {
+        return alpha(k, n);
+    }
+    let inner = alpha_prime(k - 2, n);
+    sat_add(2, alpha_prime(k, inner))
+}
+
+/// One-argument Ackermann inverse `α(n) = min{s ≥ 0 : A(s, s) ≥ n}`.
+pub fn alpha_one(n: u128) -> u128 {
+    let mut s: usize = 0;
+    while ack_a(s, s as u128) < n {
+        s += 1;
+    }
+    s as u128
+}
+
+/// Pettie's row inverse `λ_i(n) = min{j ≥ 0 : P(i, j) ≥ n}` where
+/// `P(1, j) = 2^j`, `P(i, 0) = P(i-1, 1)`, and
+/// `P(i, j) = P(i-1, 2^{2^{P(i, j-1)}})` (paper §2.2, used by the MST
+/// verification comparison bounds).
+pub fn lambda(i: usize, n: u128) -> u128 {
+    assert!(i >= 1, "lambda is defined for rows i >= 1");
+    let mut j: u128 = 0;
+    while pettie_p(i, j) < n {
+        j += 1;
+        debug_assert!(j < 1 << 40, "lambda iteration runaway");
+    }
+    j
+}
+
+fn pettie_p(i: usize, j: u128) -> u128 {
+    if i == 1 {
+        return sat_pow2(j);
+    }
+    if j >= 126 {
+        // P is monotone in both arguments and P(1, 126) already saturates.
+        return CAP;
+    }
+    if j == 0 {
+        return pettie_p(i - 1, 1);
+    }
+    let inner = pettie_p(i, j - 1);
+    if inner >= 126 {
+        return CAP;
+    }
+    let tower = sat_pow2(sat_pow2(inner));
+    pettie_p(i - 1, tower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_values() {
+        assert_eq!(ack_a(0, 5), 10);
+        assert_eq!(ack_a(1, 6), 64);
+        assert_eq!(ack_a(2, 0), 1);
+        assert_eq!(ack_a(2, 1), 2);
+        assert_eq!(ack_a(2, 2), 4);
+        assert_eq!(ack_a(2, 3), 16);
+        assert_eq!(ack_a(2, 4), 65536);
+        assert_eq!(ack_b(0, 7), 49);
+        assert_eq!(ack_b(1, 0), 2);
+        assert_eq!(ack_b(1, 1), 4);
+        assert_eq!(ack_b(1, 2), 16);
+        assert_eq!(ack_b(1, 3), 256);
+    }
+
+    #[test]
+    fn alpha0_is_ceil_half() {
+        for n in 0..200u128 {
+            assert_eq!(alpha(0, n), n.div_ceil(2), "n={n}");
+        }
+    }
+
+    #[test]
+    fn alpha1_is_ceil_sqrt() {
+        for n in 0..500u128 {
+            let want = (0..).find(|s| s * s >= n).unwrap();
+            assert_eq!(alpha(1, n), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn alpha2_is_ceil_log2() {
+        for n in 2..1000u128 {
+            let want = (0..).find(|s| (1u128 << s) >= n).unwrap();
+            assert_eq!(alpha(2, n), want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn alpha3_is_ceil_loglog() {
+        // B(1, s) = 2^(2^s): α₃(16) = 2, α₃(17) = 3, α₃(65536) = 4.
+        assert_eq!(alpha(3, 16), 2);
+        assert_eq!(alpha(3, 17), 3);
+        assert_eq!(alpha(3, 65536), 4);
+        assert_eq!(alpha(3, 65537), 5);
+    }
+
+    #[test]
+    fn alpha4_is_log_star() {
+        // A(2, s) = tower of s twos: 1, 2, 4, 16, 65536, ...
+        assert_eq!(alpha(4, 2), 1);
+        assert_eq!(alpha(4, 4), 2);
+        assert_eq!(alpha(4, 5), 3);
+        assert_eq!(alpha(4, 16), 3);
+        assert_eq!(alpha(4, 17), 4);
+        assert_eq!(alpha(4, 65536), 4);
+        assert_eq!(alpha(4, 65537), 5);
+        assert_eq!(alpha(4, u128::from(u64::MAX)), 5);
+    }
+
+    #[test]
+    fn alpha_prime_close_to_alpha() {
+        // Lemma 2.4 of [Sol13]: α_k(n) ≤ α'_k(n) ≤ 2 α_k(n) + 4.
+        for k in 0..=8usize {
+            for &n in &[0u128, 1, 2, 3, 10, 100, 1000, 1 << 20, 1 << 40] {
+                let a = alpha(k, n);
+                let ap = alpha_prime(k, n);
+                assert!(ap >= a, "k={k} n={n}: {ap} < {a}");
+                assert!(ap <= 2 * a + 4, "k={k} n={n}: {ap} > 2*{a}+4");
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_is_monotone_in_k_roughly() {
+        // Larger k ⇒ slower-growing inverse (for the even/odd chains).
+        let n = 1u128 << 40;
+        assert!(alpha(2, n) > alpha(4, n));
+        assert!(alpha(4, n) >= alpha(6, n));
+        assert!(alpha(3, n) > alpha(5, n));
+    }
+
+    #[test]
+    fn alpha_one_small() {
+        // A(1,1) = 2, A(2,2) = 4, A(3,3) is astronomically large.
+        assert_eq!(alpha_one(0), 0);
+        assert_eq!(alpha_one(2), 1);
+        assert_eq!(alpha_one(4), 2);
+        assert_eq!(alpha_one(5), 3);
+        // A(3, 3) = 2^16, so n = 2^60 needs s = 4 (and A(4, 4) is huge).
+        assert_eq!(alpha_one(1 << 60), 4);
+    }
+
+    #[test]
+    fn lambda_vs_alpha() {
+        // The paper's §2.2 lemma: α_{2i}(n)/3 ≤ λ_i(n) ≤ α_{2i}(n)
+        // whenever λ_i(n) > 0.
+        for i in 1..=3usize {
+            for &n in &[10u128, 1000, 1 << 30, 1 << 60] {
+                let l = lambda(i, n);
+                let a = alpha(2 * i, n);
+                if l > 0 {
+                    // The paper's bound is asymptotic; allow a small
+                    // additive slack at tiny values.
+                    assert!(3 * l + 4 >= a, "i={i} n={n}: 3*{l}+4 < {a}");
+                    assert!(l <= a, "i={i} n={n}: {l} > {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_does_not_loop() {
+        assert_eq!(ack_a(5, 100), CAP);
+        assert_eq!(ack_b(5, 100), CAP);
+        assert!(alpha(10, 1 << 100) < 10);
+    }
+}

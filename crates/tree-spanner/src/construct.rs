@@ -1,0 +1,330 @@
+//! `PreprocessTree` (Algorithm 1): builds Solomon's 1-spanner of
+//! hop-diameter `k` together with the augmented recursion tree Φ, the
+//! contracted trees 𝒯_β, and the per-vertex navigation pointers.
+//!
+//! One [`Navigator`] owns one same-`k` recursion hierarchy over one tree;
+//! for `k ≥ 4`, every non-base Φ node also owns a boxed sub-[`Navigator`]
+//! for the `(k-2)`-construction over the pruned copy `T'` whose required
+//! vertices are the cut vertices (paper line 10 of Algorithm 1).
+
+use std::collections::HashMap;
+
+use hopspan_treealg::{Lca, LevelAncestor, RootedTree};
+
+use crate::ackermann::alpha_prime;
+use crate::local_tree::LocalTree;
+
+/// Role of a contracted-tree vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ContractedKind {
+    /// Represents a whole component `T_i` of `T ∖ CV`.
+    Rep,
+    /// A cut vertex; carries the original vertex id.
+    Cut(usize),
+}
+
+/// The contracted tree 𝒯_β of a non-base Φ node (`k ≥ 3` only): the
+/// quotient of the call tree by its components, preprocessed for LCA/LA.
+#[derive(Debug)]
+pub(crate) struct Contracted {
+    pub tree: RootedTree,
+    pub lca: Lca,
+    pub la: LevelAncestor,
+    pub kind: Vec<ContractedKind>,
+    /// Φ child id -> contracted representative vertex of its component.
+    pub rep_of_child: HashMap<usize, usize>,
+    /// Original cut-vertex id -> contracted vertex id.
+    pub cut_id: HashMap<usize, usize>,
+}
+
+/// One node of the augmented recursion tree Φ.
+#[derive(Debug)]
+pub(crate) struct PhiNode {
+    /// Inner vertices (original ids): the cut vertices of this call, or
+    /// the required vertices of a base case.
+    pub inner: Vec<usize>,
+    /// Whether this node is a `HandleBaseCase` leaf.
+    pub is_base: bool,
+    /// Contracted tree (`k ≥ 3`, non-base nodes).
+    pub contracted: Option<Contracted>,
+    /// Sub-navigator for the `(k-2)`-construction (`k ≥ 4`, non-base).
+    pub sub: Option<Box<Navigator>>,
+}
+
+/// A complete navigation structure for one same-`k` recursion hierarchy.
+#[derive(Debug)]
+pub(crate) struct Navigator {
+    pub k: usize,
+    pub nodes: Vec<PhiNode>,
+    pub phi: RootedTree,
+    pub phi_lca: Lca,
+    pub phi_la: LevelAncestor,
+    /// Required original id -> home Φ node (`u.ptr(Φ).h` in the paper).
+    pub home: HashMap<usize, usize>,
+    /// Base-case adjacency (original ids) for the BFS of Algorithm 2.
+    pub base_adj: HashMap<usize, Vec<(usize, f64)>>,
+}
+
+#[derive(Default)]
+struct Builder {
+    parents: Vec<Option<usize>>,
+    nodes: Vec<PhiNode>,
+    home: HashMap<usize, usize>,
+    base_adj: HashMap<usize, Vec<(usize, f64)>>,
+}
+
+impl Builder {
+    fn new_node(&mut self, node: PhiNode) -> usize {
+        self.parents.push(None);
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+}
+
+/// Builds a navigator (and appends spanner edges) for `tree` with
+/// hop-diameter `k ≥ 2`. Returns `None` when the tree has no required
+/// vertices.
+pub(crate) fn build_navigator(
+    tree: LocalTree,
+    k: usize,
+    edges: &mut Vec<(usize, usize, f64)>,
+) -> Option<Navigator> {
+    debug_assert!(k >= 2);
+    let mut b = Builder::default();
+    let root = build_call(&mut b, tree, k, edges)?;
+    let n = b.nodes.len();
+    let weights = vec![1.0; n];
+    let phi = RootedTree::from_parents(root, &b.parents, &weights)
+        .expect("recursion tree parents are consistent");
+    let phi_lca = Lca::new(&phi);
+    let phi_la = LevelAncestor::new(&phi);
+    Some(Navigator {
+        k,
+        nodes: b.nodes,
+        phi,
+        phi_lca,
+        phi_la,
+        home: b.home,
+        base_adj: b.base_adj,
+    })
+}
+
+/// One recursive call of `PreprocessTree`. Returns the Φ node id for the
+/// call, or `None` when the subtree has no required vertices.
+fn build_call(
+    b: &mut Builder,
+    tree: LocalTree,
+    k: usize,
+    edges: &mut Vec<(usize, usize, f64)>,
+) -> Option<usize> {
+    let t = tree.prune()?;
+    let n_req = t.required_count();
+    if n_req <= k + 1 {
+        return Some(handle_base_case(b, &t, k, edges));
+    }
+    let ell = usize::try_from(alpha_prime(k - 2, n_req as u128)).expect("ℓ fits usize");
+    let cuts = t.decompose(ell);
+    debug_assert!(!cuts.is_empty(), "n_req > ℓ forces at least one cut");
+    let beta = b.new_node(PhiNode {
+        inner: cuts.iter().map(|&c| t.orig[c]).collect(),
+        is_base: false,
+        contracted: None,
+        sub: None,
+    });
+    for &c in &cuts {
+        if t.required[c] {
+            b.home.insert(t.orig[c], beta);
+        }
+    }
+    let mut is_cut = vec![false; t.len()];
+    for &c in &cuts {
+        is_cut[c] = true;
+    }
+    let children = t.children();
+
+    // E'' (line 12): edges from every cut vertex to the required vertices
+    // of its adjacent components, weighted by the exact tree distance. A
+    // DFS from each cut vertex bounded by the other cut vertices visits
+    // exactly the adjacent components.
+    for &c in &cuts {
+        for (v, d) in collect_adjacent(&t, &children, c, &is_cut) {
+            if t.required[v] && !is_cut[v] {
+                edges.push((t.orig[c], t.orig[v], d));
+            }
+        }
+    }
+
+    // E' (lines 6-10): interconnect the cut vertices.
+    let mut sub = None;
+    if k >= 3 {
+        let mut t_cv = t.clone();
+        t_cv.required.copy_from_slice(&is_cut);
+        if k == 3 {
+            // Clique over CV with exact distances, computed on the pruned
+            // copy (O(|CV|·|T'|) = O(n) total).
+            let t_cv = t_cv.prune().expect("cut set is non-empty");
+            let ch = t_cv.children();
+            let cut_locals: Vec<usize> =
+                (0..t_cv.len()).filter(|&v| t_cv.required[v]).collect();
+            let unblocked = vec![false; t_cv.len()];
+            for &cl in &cut_locals {
+                let d = collect_adjacent(&t_cv, &ch, cl, &unblocked);
+                let dist: HashMap<usize, f64> = d.into_iter().collect();
+                for &cl2 in &cut_locals {
+                    if t_cv.orig[cl2] > t_cv.orig[cl] {
+                        edges.push((t_cv.orig[cl], t_cv.orig[cl2], dist[&cl2]));
+                    }
+                }
+            }
+        } else {
+            // Recursive (k-2)-construction over the pruned copy.
+            sub = build_navigator(t_cv, k - 2, edges).map(Box::new);
+        }
+    }
+
+    // Components of T ∖ CV, recursed with the same k (line 14).
+    let (comp_id, comps) = t.components(&cuts);
+    let comp_count = comps.len();
+    let mut child_of_comp: Vec<Option<usize>> = vec![None; comp_count];
+    for (i, comp) in comps.into_iter().enumerate() {
+        if let Some(child) = build_call(b, comp, k, edges) {
+            b.parents[child] = Some(beta);
+            child_of_comp[i] = Some(child);
+        }
+    }
+
+    // Contracted tree 𝒯_β (line 16, k ≥ 3): the quotient of T by its
+    // components. Unlike the paper's prose we also keep cut–cut edges for
+    // adjacent cut vertices, otherwise the quotient may be disconnected
+    // (DESIGN.md §2).
+    if k >= 3 {
+        let p = comp_count;
+        let mut cut_pos = HashMap::new();
+        for (i, &c) in cuts.iter().enumerate() {
+            cut_pos.insert(c, p + i);
+        }
+        let cv_vertex = |v: usize| -> usize {
+            if is_cut[v] {
+                cut_pos[&v]
+            } else {
+                comp_id[v]
+            }
+        };
+        let mut ct_edges = Vec::new();
+        for v in 0..t.len() {
+            if let Some(q) = t.parent[v] {
+                let (a, bb) = (cv_vertex(v), cv_vertex(q));
+                if a != bb {
+                    ct_edges.push((a.min(bb), a.max(bb), 1.0));
+                }
+            }
+        }
+        ct_edges.sort_by_key(|x| (x.0, x.1));
+        ct_edges.dedup_by(|x, y| (x.0, x.1) == (y.0, y.1));
+        let ct_tree = RootedTree::from_edges(p + cuts.len(), cv_vertex(t.root), &ct_edges)
+            .expect("quotient of a tree is a tree");
+        let lca = Lca::new(&ct_tree);
+        let la = LevelAncestor::new(&ct_tree);
+        let mut kind = vec![ContractedKind::Rep; p + cuts.len()];
+        let mut cut_id = HashMap::new();
+        for (i, &c) in cuts.iter().enumerate() {
+            kind[p + i] = ContractedKind::Cut(t.orig[c]);
+            cut_id.insert(t.orig[c], p + i);
+        }
+        let mut rep_of_child = HashMap::new();
+        for (i, child) in child_of_comp.iter().enumerate() {
+            if let Some(ch) = child {
+                rep_of_child.insert(*ch, i);
+            }
+        }
+        b.nodes[beta].contracted = Some(Contracted {
+            tree: ct_tree,
+            lca,
+            la,
+            kind,
+            rep_of_child,
+            cut_id,
+        });
+    }
+    b.nodes[beta].sub = sub;
+    Some(beta)
+}
+
+/// `HandleBaseCase` (lines 18-23): spanner edges are the (pruned) tree
+/// edges, plus the root shortcut when `n = k + 1` and the root has exactly
+/// two children. Records the base adjacency used by the query BFS.
+fn handle_base_case(
+    b: &mut Builder,
+    t: &LocalTree,
+    k: usize,
+    edges: &mut Vec<(usize, usize, f64)>,
+) -> usize {
+    let children = t.children();
+    let mut local_edges: Vec<(usize, usize, f64)> = Vec::new();
+    for v in 0..t.len() {
+        if let Some(p) = t.parent[v] {
+            local_edges.push((t.orig[v], t.orig[p], t.weight[v]));
+        }
+    }
+    let n_req = t.required_count();
+    if n_req == k + 1 && children[t.root].len() == 2 {
+        let (u, v) = (children[t.root][0], children[t.root][1]);
+        local_edges.push((t.orig[u], t.orig[v], t.weight[u] + t.weight[v]));
+    }
+    for &(u, v, w) in &local_edges {
+        edges.push((u, v, w));
+        b.base_adj.entry(u).or_default().push((v, w));
+        b.base_adj.entry(v).or_default().push((u, w));
+    }
+    // Ensure every base vertex (even isolated singletons) has an entry.
+    for v in 0..t.len() {
+        b.base_adj.entry(t.orig[v]).or_default();
+    }
+    let inner: Vec<usize> = (0..t.len())
+        .filter(|&v| t.required[v])
+        .map(|v| t.orig[v])
+        .collect();
+    let node = b.new_node(PhiNode {
+        inner: inner.clone(),
+        is_base: true,
+        contracted: None,
+        sub: None,
+    });
+    for u in inner {
+        b.home.insert(u, node);
+    }
+    node
+}
+
+/// DFS from `src` that does not expand past `blocked` vertices; returns
+/// `(vertex, distance)` for every vertex reached (blocked vertices are
+/// reached but not expanded). Cost is proportional to the region visited.
+fn collect_adjacent(
+    t: &LocalTree,
+    children: &[Vec<usize>],
+    src: usize,
+    blocked: &[bool],
+) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    let mut seen = HashMap::new();
+    seen.insert(src, ());
+    let mut stack = vec![(src, 0.0f64)];
+    while let Some((v, dv)) = stack.pop() {
+        let mut visit = |w: usize, edge: f64, stack: &mut Vec<(usize, f64)>, out: &mut Vec<(usize, f64)>| {
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(w) {
+                e.insert(());
+                out.push((w, dv + edge));
+                if !blocked[w] {
+                    stack.push((w, dv + edge));
+                }
+            }
+        };
+        if let Some(p) = t.parent[v] {
+            visit(p, t.weight[v], &mut stack, &mut out);
+        }
+        for &c in &children[v] {
+            visit(c, t.weight[c], &mut stack, &mut out);
+        }
+    }
+    out
+}

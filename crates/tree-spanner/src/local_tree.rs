@@ -1,0 +1,374 @@
+//! Internal working representation for the recursive spanner construction.
+//!
+//! Each recursive call of `PreprocessTree` (Algorithm 1) operates on a
+//! [`LocalTree`]: a rooted, edge-weighted subtree whose vertices are local
+//! indices carrying their original vertex id, plus a required/Steiner flag
+//! per vertex. The module implements the paper's two primitives:
+//!
+//! * [`LocalTree::prune`] — the `Prune` procedure: drop Steiner-only
+//!   subtrees and splice out unary Steiner vertices, keeping at most
+//!   `|R| - 1` (branching) Steiner vertices while preserving distances;
+//! * [`LocalTree::decompose`] — the `Decompose` procedure: a greedy
+//!   post-order cut selection such that every remaining component has at
+//!   most `ℓ` required vertices and `|CV| ≤ ⌊n/(ℓ+1)⌋` (Lemma 3.1).
+
+#[derive(Debug, Clone)]
+pub(crate) struct LocalTree {
+    /// Local index -> original vertex id.
+    pub orig: Vec<usize>,
+    /// Local parent pointers (`None` for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Weight of the edge to the parent (0.0 for the root).
+    pub weight: Vec<f64>,
+    /// Required flag per local vertex.
+    pub required: Vec<bool>,
+    /// Local root index.
+    pub root: usize,
+}
+
+impl LocalTree {
+    pub(crate) fn len(&self) -> usize {
+        self.orig.len()
+    }
+
+    pub(crate) fn required_count(&self) -> usize {
+        self.required.iter().filter(|&&r| r).count()
+    }
+
+    /// Child adjacency lists.
+    pub(crate) fn children(&self) -> Vec<Vec<usize>> {
+        let mut ch = vec![Vec::new(); self.len()];
+        for v in 0..self.len() {
+            if let Some(p) = self.parent[v] {
+                ch[p].push(v);
+            }
+        }
+        ch
+    }
+
+    /// Vertices in an order where parents precede children.
+    pub(crate) fn topo_order(&self, children: &[Vec<usize>]) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            order.push(v);
+            stack.extend_from_slice(&children[v]);
+        }
+        order
+    }
+
+    /// The `Prune` procedure: returns the distance-preserving tree over the
+    /// required vertices plus the necessary (branching) Steiner vertices.
+    /// Returns `None` when there are no required vertices at all.
+    pub(crate) fn prune(&self) -> Option<LocalTree> {
+        let n = self.len();
+        let children = self.children();
+        let order = self.topo_order(&children);
+        // Required counts per subtree (children before parents).
+        let mut req_in_subtree = vec![0usize; n];
+        for &v in order.iter().rev() {
+            let mut c = usize::from(self.required[v]);
+            for &w in &children[v] {
+                c += req_in_subtree[w];
+            }
+            req_in_subtree[v] = c;
+        }
+        if req_in_subtree[self.root] == 0 {
+            return None;
+        }
+        let kept = |v: usize| req_in_subtree[v] > 0;
+        // Descend the root past unary Steiner vertices.
+        let kept_children = |v: usize| -> Vec<usize> {
+            children[v].iter().copied().filter(|&c| kept(c)).collect()
+        };
+        let mut new_root = self.root;
+        loop {
+            if self.required[new_root] {
+                break;
+            }
+            let kc = kept_children(new_root);
+            if kc.len() == 1 {
+                new_root = kc[0];
+            } else {
+                break;
+            }
+        }
+        // BFS from the new root, splicing out unary Steiner chains.
+        let mut orig = Vec::new();
+        let mut parent = Vec::new();
+        let mut weight = Vec::new();
+        let mut required = Vec::new();
+        let mut queue: Vec<(usize, Option<usize>, f64)> = vec![(new_root, None, 0.0)];
+        while let Some((v, new_parent, w)) = queue.pop() {
+            let id = orig.len();
+            orig.push(self.orig[v]);
+            parent.push(new_parent);
+            weight.push(w);
+            required.push(self.required[v]);
+            for &c0 in &children[v] {
+                if !kept(c0) {
+                    continue;
+                }
+                // Slide down the unary Steiner chain starting at c0.
+                let mut c = c0;
+                let mut cw = self.weight[c];
+                loop {
+                    if self.required[c] {
+                        break;
+                    }
+                    let kc = kept_children(c);
+                    debug_assert!(!kc.is_empty(), "kept Steiner leaf cannot exist");
+                    if kc.len() == 1 {
+                        let nxt = kc[0];
+                        cw += self.weight[nxt];
+                        c = nxt;
+                    } else {
+                        break;
+                    }
+                }
+                queue.push((c, Some(id), cw));
+            }
+        }
+        Some(LocalTree {
+            orig,
+            parent,
+            weight,
+            required,
+            root: 0,
+        })
+    }
+
+    /// The `Decompose` procedure: returns local indices of cut vertices
+    /// such that every component of the tree minus the cut vertices has at
+    /// most `ell` required vertices.
+    pub(crate) fn decompose(&self, ell: usize) -> Vec<usize> {
+        let children = self.children();
+        let order = self.topo_order(&children);
+        let mut residual = vec![0usize; self.len()];
+        let mut cuts = Vec::new();
+        for &v in order.iter().rev() {
+            let mut r = usize::from(self.required[v]);
+            for &c in &children[v] {
+                r += residual[c];
+            }
+            if r > ell {
+                cuts.push(v);
+                residual[v] = 0;
+            } else {
+                residual[v] = r;
+            }
+        }
+        cuts
+    }
+
+    /// Splits the tree minus `cuts` into connected components. Returns
+    /// `(comp_id per vertex, components)`; cut vertices get id
+    /// `usize::MAX`. Component vertices keep their original ids and
+    /// parent-edge weights.
+    pub(crate) fn components(&self, cuts: &[usize]) -> (Vec<usize>, Vec<LocalTree>) {
+        let n = self.len();
+        let mut is_cut = vec![false; n];
+        for &c in cuts {
+            is_cut[c] = true;
+        }
+        let children = self.children();
+        let order = self.topo_order(&children);
+        let mut comp_id = vec![usize::MAX; n];
+        // Per-component builders.
+        let mut comp_vertices: Vec<Vec<usize>> = Vec::new();
+        for &v in &order {
+            if is_cut[v] {
+                continue;
+            }
+            let parent_comp = match self.parent[v] {
+                Some(p) if !is_cut[p] => Some(comp_id[p]),
+                _ => None,
+            };
+            let id = match parent_comp {
+                Some(id) => id,
+                None => {
+                    comp_vertices.push(Vec::new());
+                    comp_vertices.len() - 1
+                }
+            };
+            comp_id[v] = id;
+            comp_vertices[id].push(v);
+        }
+        // Materialize each component as a LocalTree (vertices arrive in
+        // topo order, so a component's first vertex is its root).
+        let mut local_of = vec![usize::MAX; n];
+        let comps: Vec<LocalTree> = comp_vertices
+            .iter()
+            .map(|vs| {
+                for (i, &v) in vs.iter().enumerate() {
+                    local_of[v] = i;
+                }
+                let orig = vs.iter().map(|&v| self.orig[v]).collect();
+                let required = vs.iter().map(|&v| self.required[v]).collect();
+                let parent = vs
+                    .iter()
+                    .map(|&v| match self.parent[v] {
+                        Some(p) if !is_cut[p] => Some(local_of[p]),
+                        _ => None,
+                    })
+                    .collect();
+                let weight = vs
+                    .iter()
+                    .map(|&v| match self.parent[v] {
+                        Some(p) if !is_cut[p] => self.weight[v],
+                        _ => 0.0,
+                    })
+                    .collect();
+                LocalTree {
+                    orig,
+                    parent,
+                    weight,
+                    required,
+                    root: 0,
+                }
+            })
+            .collect();
+        (comp_id, comps)
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tree where vertices 0..n have parent (v-1)/2 (heap shape).
+    fn heap_tree(n: usize, required: Vec<bool>) -> LocalTree {
+        LocalTree {
+            orig: (0..n).collect(),
+            parent: (0..n)
+                .map(|v| if v == 0 { None } else { Some((v - 1) / 2) })
+                .collect(),
+            weight: (0..n).map(|v| if v == 0 { 0.0 } else { 1.0 }).collect(),
+            required,
+            root: 0,
+        }
+    }
+
+    #[test]
+    fn prune_keeps_everything_when_all_required() {
+        let t = heap_tree(7, vec![true; 7]);
+        let p = t.prune().unwrap();
+        assert_eq!(p.len(), 7);
+        assert_eq!(p.required_count(), 7);
+    }
+
+    #[test]
+    fn prune_contracts_steiner_chain() {
+        // Path 0-1-2-3-4 with only endpoints required.
+        let t = LocalTree {
+            orig: vec![0, 1, 2, 3, 4],
+            parent: vec![None, Some(0), Some(1), Some(2), Some(3)],
+            weight: vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            required: vec![true, false, false, false, true],
+            root: 0,
+        };
+        let p = t.prune().unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.required_count(), 2);
+        // Contracted edge weight preserves distance 1+2+3+4 = 10.
+        assert_eq!(p.weight.iter().sum::<f64>(), 10.0);
+    }
+
+    #[test]
+    fn prune_descends_root_and_keeps_branching_steiner() {
+        // Root 0 (Steiner) - 1 (Steiner, branching) - {2, 3} required.
+        let t = LocalTree {
+            orig: vec![0, 1, 2, 3],
+            parent: vec![None, Some(0), Some(1), Some(1)],
+            weight: vec![0.0, 5.0, 1.0, 2.0],
+            required: vec![false, false, true, true],
+            root: 0,
+        };
+        let p = t.prune().unwrap();
+        assert_eq!(p.len(), 3); // Steiner branching vertex 1 + two leaves.
+        assert_eq!(p.orig[p.root], 1);
+        assert!(!p.required[p.root]);
+    }
+
+    #[test]
+    fn prune_drops_steiner_only_subtrees() {
+        // 0 required, child 1 required, child 2 Steiner leaf.
+        let t = LocalTree {
+            orig: vec![0, 1, 2],
+            parent: vec![None, Some(0), Some(0)],
+            weight: vec![0.0, 1.0, 7.0],
+            required: vec![true, true, false],
+            root: 0,
+        };
+        let p = t.prune().unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn prune_empty_when_no_required() {
+        let t = heap_tree(3, vec![false; 3]);
+        assert!(t.prune().is_none());
+    }
+
+    #[test]
+    fn prune_steiner_bound() {
+        // Random-ish tree, half required: Steiner count < required count.
+        let n = 33;
+        let required: Vec<bool> = (0..n).map(|v| v % 2 == 0).collect();
+        let t = heap_tree(n, required);
+        let p = t.prune().unwrap();
+        let req = p.required_count();
+        let steiner = p.len() - req;
+        assert!(steiner <= req.saturating_sub(1), "{steiner} vs {req}");
+        // Every Steiner vertex branches (except possibly none).
+        let ch = p.children();
+        for v in 0..p.len() {
+            if !p.required[v] {
+                assert!(ch[v].len() >= 2, "unary Steiner vertex survived");
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_bounds_components() {
+        for n in [8usize, 15, 31, 64] {
+            let t = heap_tree(n, vec![true; n]);
+            for ell in 1..8 {
+                let cuts = t.decompose(ell);
+                assert!(cuts.len() <= n / (ell + 1), "too many cuts");
+                let (_, comps) = t.components(&cuts);
+                for c in &comps {
+                    assert!(c.required_count() <= ell, "component too big");
+                }
+                // All vertices accounted for.
+                let total: usize = comps.iter().map(|c| c.len()).sum();
+                assert_eq!(total + cuts.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_single_cut_for_large_ell() {
+        let n = 15;
+        let t = heap_tree(n, vec![true; n]);
+        let ell = n.div_ceil(2); // ⌈n/2⌉ as for k = 2.
+        let cuts = t.decompose(ell);
+        assert_eq!(cuts.len(), 1);
+    }
+
+    #[test]
+    fn components_preserve_structure() {
+        let t = heap_tree(7, vec![true; 7]);
+        let cuts = vec![0usize];
+        let (comp_id, comps) = t.components(&cuts);
+        assert_eq!(comp_id[0], usize::MAX);
+        assert_eq!(comps.len(), 2);
+        for c in &comps {
+            assert_eq!(c.len(), 3);
+            assert_eq!(c.parent[c.root], None);
+        }
+    }
+
+
+}

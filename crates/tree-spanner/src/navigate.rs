@@ -1,0 +1,179 @@
+//! `FindPath` (Algorithm 2): O(k)-time queries for k-hop 1-spanner paths.
+
+use std::collections::HashMap;
+
+use crate::construct::{Contracted, ContractedKind, Navigator};
+
+impl Navigator {
+    /// Returns a 1-spanner path (original vertex ids, endpoints included)
+    /// between required vertices `u` and `v` with at most `k` hops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is not a required vertex of this navigator
+    /// (the public wrapper validates first).
+    pub(crate) fn find_path(&self, u: usize, v: usize) -> Vec<usize> {
+        if u == v {
+            return vec![u];
+        }
+        let hu = *self.home.get(&u).expect("u must be required");
+        let hv = *self.home.get(&v).expect("v must be required");
+        // Base case: both endpoints in the same HandleBaseCase leaf.
+        if hu == hv && self.nodes[hu].is_base {
+            return self.base_path(u, v);
+        }
+        let beta = self.phi_lca.lca(hu, hv);
+        let node = &self.nodes[beta];
+        if self.k == 2 {
+            // β corresponds to a single cut vertex (|CV| = 1 for k = 2).
+            return dedup(vec![u, node.inner[0], v]);
+        }
+        let ct = node
+            .contracted
+            .as_ref()
+            .expect("non-base node with k >= 3 has a contracted tree");
+        let u_cv = self.locate_contracted(u, hu, beta, ct);
+        let v_cv = self.locate_contracted(v, hv, beta, ct);
+        debug_assert_ne!(u_cv, v_cv, "distinct homes map to distinct quotient vertices");
+        let c = ct.lca.lca(u_cv, v_cv);
+        let x_cv = find_cut(hu, beta, u_cv, v_cv, ct, c);
+        let y_cv = find_cut(hv, beta, v_cv, u_cv, ct, c);
+        let x = cut_orig(ct, x_cv);
+        let y = cut_orig(ct, y_cv);
+        if self.k == 3 {
+            dedup(vec![u, x, y, v])
+        } else {
+            let sub = node
+                .sub
+                .as_ref()
+                .expect("non-base node with k >= 4 has a sub-navigator");
+            let mut path = Vec::with_capacity(self.k + 1);
+            path.push(u);
+            path.extend(sub.find_path(x, y));
+            path.push(v);
+            dedup(path)
+        }
+    }
+
+    /// `LocateContracted` (Algorithm 2): the vertex of 𝒯_β corresponding
+    /// to `u` — its cut vertex if `u` is an inner vertex of β, otherwise
+    /// the representative of the component containing `u`.
+    fn locate_contracted(&self, u: usize, hu: usize, beta: usize, ct: &Contracted) -> usize {
+        if hu == beta {
+            ct.cut_id[&u]
+        } else {
+            let child = self
+                .phi_la
+                .level_ancestor(hu, self.phi.depth(beta) + 1);
+            ct.rep_of_child[&child]
+        }
+    }
+
+    /// Min-weight (then min-hop) path between two vertices of the same
+    /// base case, over the O(k)-vertex base subgraph.
+    fn base_path(&self, u: usize, v: usize) -> Vec<usize> {
+        // Collect the base component by BFS over the base adjacency.
+        let mut verts = vec![u];
+        let mut index: HashMap<usize, usize> = HashMap::new();
+        index.insert(u, 0);
+        let mut head = 0;
+        while head < verts.len() {
+            let w = verts[head];
+            head += 1;
+            for &(x, _) in &self.base_adj[&w] {
+                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(x) {
+                    e.insert(verts.len());
+                    verts.push(x);
+                }
+            }
+        }
+        let m = verts.len();
+        let src = 0usize;
+        let dst = index[&v];
+        // Lexicographic (weight, hops) Bellman–Ford; graphs here have O(k)
+        // vertices so the O(m²·deg) cost is constant-bounded.
+        let mut dist = vec![(f64::INFINITY, usize::MAX); m];
+        let mut pred = vec![usize::MAX; m];
+        dist[src] = (0.0, 0);
+        for _ in 0..m {
+            let mut changed = false;
+            for a in 0..m {
+                let (da, ha) = dist[a];
+                if !da.is_finite() {
+                    continue;
+                }
+                for &(x, w) in &self.base_adj[&verts[a]] {
+                    let bidx = index[&x];
+                    let cand = (da + w, ha + 1);
+                    if lex_better(cand, dist[bidx]) {
+                        dist[bidx] = cand;
+                        pred[bidx] = a;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        debug_assert!(dist[dst].0.is_finite(), "base case is connected");
+        let mut path = vec![verts[dst]];
+        let mut cur = dst;
+        while cur != src {
+            cur = pred[cur];
+            path.push(verts[cur]);
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// `FindCut` (Algorithm 2): the first cut vertex on the path from `u_cv`
+/// toward `v_cv` in the contracted tree.
+fn find_cut(
+    hu: usize,
+    beta: usize,
+    u_cv: usize,
+    v_cv: usize,
+    ct: &Contracted,
+    c: usize,
+) -> usize {
+    if hu == beta {
+        return u_cv; // u is itself a cut vertex of this level.
+    }
+    let first = if u_cv == c {
+        ct.la.child_toward(u_cv, v_cv)
+    } else {
+        ct.tree.parent(u_cv).expect("non-LCA vertex has a parent")
+    };
+    debug_assert!(
+        matches!(ct.kind[first], ContractedKind::Cut(_)),
+        "representatives are only adjacent to cut vertices"
+    );
+    first
+}
+
+fn cut_orig(ct: &Contracted, cv: usize) -> usize {
+    match ct.kind[cv] {
+        ContractedKind::Cut(orig) => orig,
+        ContractedKind::Rep => unreachable!("FindCut returns cut vertices"),
+    }
+}
+
+/// Epsilon-aware lexicographic comparison of (weight, hops).
+fn lex_better(a: (f64, usize), b: (f64, usize)) -> bool {
+    let eps = 1e-9 * a.0.abs().max(b.0.abs()).max(1.0);
+    if a.0 < b.0 - eps {
+        true
+    } else if a.0 > b.0 + eps {
+        false
+    } else {
+        a.1 < b.1
+    }
+}
+
+/// Removes consecutive duplicate vertices (the paper's "braces" notation).
+fn dedup(mut path: Vec<usize>) -> Vec<usize> {
+    path.dedup();
+    path
+}

@@ -1,0 +1,254 @@
+//! Centroid decomposition of a rooted tree.
+//!
+//! Used by the routing schemes (§5.1.2 of the paper) to build exact
+//! tree-distance labels of O(log²n) bits (our substitute for the \[FGNW17\]
+//! approximate labels — see DESIGN.md §4).
+
+use crate::RootedTree;
+
+/// A centroid decomposition: a hierarchy of centroids in which every vertex
+/// has O(log n) centroid ancestors, and any tree path passes through the
+/// highest centroid ancestor shared by its endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use hopspan_treealg::{CentroidDecomposition, RootedTree};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = RootedTree::from_edges(3, 0, &[(0, 1, 2.0), (1, 2, 3.0)])?;
+/// let cd = CentroidDecomposition::new(&tree);
+/// assert_eq!(cd.distance(0, 2), 5.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CentroidDecomposition {
+    /// Parent in the centroid tree (`None` for the top centroid).
+    centroid_parent: Vec<Option<usize>>,
+    /// Depth in the centroid tree.
+    centroid_depth: Vec<usize>,
+    /// For each vertex, the list of `(centroid, weighted distance)` pairs
+    /// for all its centroid ancestors, ordered top (shallowest) first.
+    ancestors: Vec<Vec<(usize, f64)>>,
+}
+
+impl CentroidDecomposition {
+    /// Builds the decomposition in O(n log n) time.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.len();
+        // Undirected adjacency (parent + children), CSR-ish via Vecs.
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            if let Some(p) = tree.parent(v) {
+                let w = tree.parent_weight(v);
+                adj[v].push((p, w));
+                adj[p].push((v, w));
+            }
+        }
+        let mut removed = vec![false; n];
+        let mut size = vec![0usize; n];
+        let mut centroid_parent = vec![None; n];
+        let mut centroid_depth = vec![0usize; n];
+        let mut ancestors: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+
+        // Iterative worklist of (component representative, centroid parent,
+        // centroid depth).
+        let mut work: Vec<(usize, Option<usize>, usize)> = vec![(tree.root(), None, 0)];
+        // Scratch buffers reused across components.
+        let mut stack: Vec<usize> = Vec::new();
+        let mut comp: Vec<usize> = Vec::new();
+
+        while let Some((rep, cpar, cdepth)) = work.pop() {
+            // Collect the component containing `rep` (DFS over non-removed).
+            comp.clear();
+            stack.clear();
+            stack.push(rep);
+            // Use `size` as a visited marker epoch: collect then compute.
+            let mut parent_in_comp = std::collections::HashMap::new();
+            parent_in_comp.insert(rep, usize::MAX);
+            while let Some(u) = stack.pop() {
+                comp.push(u);
+                for &(w, _) in &adj[u] {
+                    if !removed[w] && !parent_in_comp.contains_key(&w) {
+                        parent_in_comp.insert(w, u);
+                        stack.push(w);
+                    }
+                }
+            }
+            let m = comp.len();
+            // Subtree sizes via reverse collection order is not guaranteed
+            // post-order; recompute with an explicit post-order pass.
+            for &u in &comp {
+                size[u] = 1;
+            }
+            for &u in comp.iter().rev() {
+                let p = parent_in_comp[&u];
+                if p != usize::MAX {
+                    size[p] += size[u];
+                }
+            }
+            // Find the centroid: a vertex whose largest piece is <= m/2.
+            let mut c = rep;
+            'descend: loop {
+                for &(w, _) in &adj[c] {
+                    if !removed[w]
+                        && parent_in_comp.get(&w) == Some(&c)
+                        && size[w] * 2 > m
+                    {
+                        c = w;
+                        continue 'descend;
+                    }
+                }
+                break;
+            }
+            // `size` computed with rep as root: the piece "above" c has
+            // m - size[c] vertices; pieces below are its children sizes.
+            // The descend loop only moves toward the largest child, which
+            // is the standard centroid search; verify with the upper piece.
+            // (If the upper piece were > m/2 the loop would have stayed at
+            // an ancestor, so c is a true centroid.)
+            removed[c] = true;
+            centroid_parent[c] = cpar;
+            centroid_depth[c] = cdepth;
+            // BFS distances from c within the component; record ancestor
+            // entry for every vertex of the component (including c).
+            stack.clear();
+            stack.push(c);
+            let mut dist = std::collections::HashMap::new();
+            dist.insert(c, 0.0f64);
+            let mut order = vec![c];
+            while let Some(u) = stack.pop() {
+                let du = dist[&u];
+                for &(w, wt) in &adj[u] {
+                    if !removed[w] && !dist.contains_key(&w) {
+                        dist.insert(w, du + wt);
+                        order.push(w);
+                        stack.push(w);
+                    }
+                }
+            }
+            for &u in &order {
+                ancestors[u].push((c, dist[&u]));
+            }
+            // Recurse into remaining pieces.
+            for &(w, _) in &adj[c] {
+                if !removed[w] {
+                    work.push((w, Some(c), cdepth + 1));
+                }
+            }
+        }
+        CentroidDecomposition {
+            centroid_parent,
+            centroid_depth,
+            ancestors,
+        }
+    }
+
+    /// Parent of `v` in the centroid tree.
+    #[inline]
+    pub fn centroid_parent(&self, v: usize) -> Option<usize> {
+        self.centroid_parent[v]
+    }
+
+    /// Depth of `v` in the centroid tree (O(log n) deep).
+    #[inline]
+    pub fn centroid_depth(&self, v: usize) -> usize {
+        self.centroid_depth[v]
+    }
+
+    /// The `(centroid, distance)` ancestor list of `v`, top first.
+    #[inline]
+    pub fn ancestor_list(&self, v: usize) -> &[(usize, f64)] {
+        &self.ancestors[v]
+    }
+
+    /// Exact weighted tree distance between `u` and `v` via the
+    /// decomposition (O(log n) time): minimize `d(u,c) + d(c,v)` over
+    /// common centroid ancestors `c`.
+    pub fn distance(&self, u: usize, v: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        let (au, av) = (&self.ancestors[u], &self.ancestors[v]);
+        // Two root-to-node paths in the centroid tree share exactly a
+        // prefix, so the common ancestors are a prefix of both lists.
+        for (&(c, du), &(c2, dv)) in au.iter().zip(av.iter()) {
+            if c != c2 {
+                break;
+            }
+            best = best.min(du + dv);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_tree(tree: &RootedTree) {
+        let cd = CentroidDecomposition::new(tree);
+        let n = tree.len();
+        // Depth bound: centroid tree depth is O(log n).
+        let max_depth = (0..n).map(|v| cd.centroid_depth(v)).max().unwrap();
+        let bound = (usize::BITS - n.leading_zeros()) as usize + 1;
+        assert!(max_depth <= bound, "depth {max_depth} > log bound {bound}");
+        // Distances agree with the slow path walk.
+        for u in 0..n {
+            for v in 0..n {
+                let got = cd.distance(u, v);
+                let want = tree.distance_slow(u, v);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "u={u} v={v} got={got} want={want}"
+                );
+            }
+        }
+        // Ancestor lists are O(log n) long.
+        for v in 0..n {
+            assert!(cd.ancestor_list(v).len() <= bound + 1);
+        }
+    }
+
+    #[test]
+    fn singleton() {
+        check_tree(&RootedTree::from_edges(1, 0, &[]).unwrap());
+    }
+
+    #[test]
+    fn path() {
+        let n = 32;
+        let edges: Vec<_> = (1..n).map(|v| (v - 1, v, (v % 3 + 1) as f64)).collect();
+        check_tree(&RootedTree::from_edges(n, 0, &edges).unwrap());
+    }
+
+    #[test]
+    fn star() {
+        let n = 17;
+        let edges: Vec<_> = (1..n).map(|v| (0, v, v as f64)).collect();
+        check_tree(&RootedTree::from_edges(n, 0, &edges).unwrap());
+    }
+
+    #[test]
+    fn binary_tree() {
+        let n = 31;
+        let edges: Vec<_> = (1..n).map(|v| ((v - 1) / 2, v, 1.5)).collect();
+        check_tree(&RootedTree::from_edges(n, 0, &edges).unwrap());
+    }
+
+    #[test]
+    fn random_trees() {
+        let mut state = 0xDEADBEEFCAFEF00Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [2usize, 5, 23, 64] {
+            let edges: Vec<_> = (1..n)
+                .map(|v| ((next() as usize) % v, v, ((next() % 9) + 1) as f64))
+                .collect();
+            check_tree(&RootedTree::from_edges(n, 0, &edges).unwrap());
+        }
+    }
+}

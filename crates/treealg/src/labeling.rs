@@ -1,0 +1,122 @@
+//! Exact tree-distance labeling built on centroid decomposition.
+//!
+//! Each vertex gets a label of O(log n) `(centroid id, distance)` entries —
+//! O(log²n) bits counting ⌈log n⌉ bits per id and one fixed-width float per
+//! distance. Two labels alone determine the exact tree distance. This is
+//! the workspace's substitute for the \[FGNW17\] `(1+ε)`-approximate labels
+//! used in §5.1.2 of the paper (ours are exact; see DESIGN.md §4).
+
+use crate::{CentroidDecomposition, RootedTree};
+
+/// A distance labeling scheme: per-vertex labels from which pairwise tree
+/// distances are decoded without access to the tree.
+///
+/// # Examples
+///
+/// ```
+/// use hopspan_treealg::{DistanceLabeling, RootedTree};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let tree = RootedTree::from_edges(3, 0, &[(0, 1, 1.5), (0, 2, 2.5)])?;
+/// let labels = DistanceLabeling::new(&tree);
+/// assert_eq!(labels.distance(1, 2), 4.0);
+/// assert!(labels.label_bits(1) > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistanceLabeling {
+    labels: Vec<Vec<(usize, f64)>>,
+    n: usize,
+}
+
+/// Number of bits in a fixed-width serialized distance entry
+/// (we count an f64 distance as 64 bits).
+const DIST_BITS: usize = 64;
+
+impl DistanceLabeling {
+    /// Builds labels for every vertex of `tree` in O(n log n) time.
+    pub fn new(tree: &RootedTree) -> Self {
+        let cd = CentroidDecomposition::new(tree);
+        let labels = (0..tree.len())
+            .map(|v| cd.ancestor_list(v).to_vec())
+            .collect();
+        DistanceLabeling {
+            labels,
+            n: tree.len(),
+        }
+    }
+
+    /// The label of vertex `v`.
+    #[inline]
+    pub fn label(&self, v: usize) -> &[(usize, f64)] {
+        &self.labels[v]
+    }
+
+    /// Exact tree distance decoded from the two labels in O(log n) time.
+    pub fn distance(&self, u: usize, v: usize) -> f64 {
+        let mut best = f64::INFINITY;
+        for (&(c, du), &(c2, dv)) in self.labels[u].iter().zip(self.labels[v].iter()) {
+            if c != c2 {
+                break;
+            }
+            best = best.min(du + dv);
+        }
+        best
+    }
+
+    /// Serialized size of `v`'s label in bits: one `(id, distance)` entry is
+    /// ⌈log n⌉ + 64 bits.
+    pub fn label_bits(&self, v: usize) -> usize {
+        let id_bits = usize::BITS as usize - (self.n.max(2) - 1).leading_zeros() as usize;
+        self.labels[v].len() * (id_bits + DIST_BITS)
+    }
+
+    /// Maximum label size over all vertices, in bits.
+    pub fn max_label_bits(&self) -> usize {
+        (0..self.labels.len())
+            .map(|v| self.label_bits(v))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_exact_distances() {
+        let n = 40;
+        let mut state = 0xABCDEF1234567u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let edges: Vec<_> = (1..n)
+            .map(|v| ((next() as usize) % v, v, ((next() % 5) + 1) as f64))
+            .collect();
+        let tree = RootedTree::from_edges(n, 0, &edges).unwrap();
+        let labels = DistanceLabeling::new(&tree);
+        for u in 0..n {
+            for v in 0..n {
+                let got = labels.distance(u, v);
+                let want = tree.distance_slow(u, v);
+                assert!((got - want).abs() < 1e-9, "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn label_bits_are_polylog() {
+        let n = 256;
+        let edges: Vec<_> = (1..n).map(|v| (v - 1, v, 1.0)).collect();
+        let tree = RootedTree::from_edges(n, 0, &edges).unwrap();
+        let labels = DistanceLabeling::new(&tree);
+        let log_n = 8usize;
+        // O(log n) entries, each O(log n + 64) bits.
+        assert!(labels.max_label_bits() <= (log_n + 2) * (log_n + 64));
+    }
+}

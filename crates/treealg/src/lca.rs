@@ -1,0 +1,190 @@
+//! O(1) lowest common ancestor via Euler tour + sparse table.
+//!
+//! Preprocessing is O(n log n) time and space; queries are two table
+//! lookups. This realizes the \[BFC00\]-style black box the paper's
+//! Property 1 assumes. (The ±1 RMQ refinement that achieves truly linear
+//! preprocessing changes nothing observable at our scales.)
+
+use crate::RootedTree;
+
+/// Constant-time LCA queries on a [`RootedTree`].
+#[derive(Debug, Clone)]
+pub struct Lca {
+    /// First occurrence of each vertex in the Euler tour.
+    first: Vec<usize>,
+    /// Euler tour as (depth, vertex) pairs.
+    euler: Vec<(usize, usize)>,
+    /// Sparse table over the Euler tour: `table[j][i]` is the index of the
+    /// minimum-depth entry in `euler[i..i + 2^j]`.
+    table: Vec<Vec<usize>>,
+    /// `log2_floor[i]` for i in 1..=len(euler).
+    log2: Vec<usize>,
+}
+
+impl Lca {
+    /// Preprocesses `tree` for O(1) LCA queries.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.len();
+        let mut first = vec![usize::MAX; n];
+        let mut euler = Vec::with_capacity(2 * n);
+        // Iterative Euler tour: push (vertex, next-child-index).
+        let mut stack: Vec<(usize, usize)> = vec![(tree.root(), 0)];
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if *ci == 0 {
+                first[v] = euler.len();
+            }
+            // A vertex with c children appears c + 1 times in the tour:
+            // once on entry and once after each child returns.
+            euler.push((tree.depth(v), v));
+            let children = tree.children(v);
+            if *ci < children.len() {
+                let c = children[*ci];
+                *ci += 1;
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+            }
+        }
+        let m = euler.len();
+        let mut log2 = vec![0usize; m + 1];
+        for i in 2..=m {
+            log2[i] = log2[i / 2] + 1;
+        }
+        let levels = log2[m.max(1)] + 1;
+        let mut table = Vec::with_capacity(levels);
+        table.push((0..m).collect::<Vec<usize>>());
+        for j in 1..levels {
+            let half = 1usize << (j - 1);
+            let prev = &table[j - 1];
+            let size = m + 1 - (1usize << j).min(m + 1);
+            let mut row = Vec::with_capacity(size);
+            for i in 0..size {
+                let a = prev[i];
+                let b = prev[i + half];
+                row.push(if euler[a] <= euler[b] { a } else { b });
+            }
+            table.push(row);
+        }
+        Lca {
+            first,
+            euler,
+            table,
+            log2,
+        }
+    }
+
+    /// The lowest common ancestor of `u` and `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range for the preprocessed tree.
+    #[inline]
+    pub fn lca(&self, u: usize, v: usize) -> usize {
+        let (mut a, mut b) = (self.first[u], self.first[v]);
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let len = b - a + 1;
+        let j = self.log2[len];
+        let x = self.table[j][a];
+        let y = self.table[j][b + 1 - (1usize << j)];
+        let idx = if self.euler[x] <= self.euler[y] { x } else { y };
+        self.euler[idx].1
+    }
+
+    /// Whether `a` is an ancestor of (or equal to) `d`.
+    #[inline]
+    pub fn is_ancestor(&self, a: usize, d: usize) -> bool {
+        self.lca(a, d) == a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_lca(tree: &RootedTree, mut u: usize, mut v: usize) -> usize {
+        while tree.depth(u) > tree.depth(v) {
+            u = tree.parent(u).unwrap();
+        }
+        while tree.depth(v) > tree.depth(u) {
+            v = tree.parent(v).unwrap();
+        }
+        while u != v {
+            u = tree.parent(u).unwrap();
+            v = tree.parent(v).unwrap();
+        }
+        u
+    }
+
+    fn check_all_pairs(tree: &RootedTree) {
+        let lca = Lca::new(tree);
+        for u in 0..tree.len() {
+            for v in 0..tree.len() {
+                assert_eq!(lca.lca(u, v), naive_lca(tree, u, v), "u={u} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton() {
+        let t = RootedTree::from_edges(1, 0, &[]).unwrap();
+        let lca = Lca::new(&t);
+        assert_eq!(lca.lca(0, 0), 0);
+    }
+
+    #[test]
+    fn path() {
+        let n = 17;
+        let edges: Vec<_> = (1..n).map(|v| (v - 1, v, 1.0)).collect();
+        let t = RootedTree::from_edges(n, 0, &edges).unwrap();
+        check_all_pairs(&t);
+    }
+
+    #[test]
+    fn star() {
+        let n = 12;
+        let edges: Vec<_> = (1..n).map(|v| (0, v, 1.0)).collect();
+        let t = RootedTree::from_edges(n, 0, &edges).unwrap();
+        check_all_pairs(&t);
+    }
+
+    #[test]
+    fn binary_tree() {
+        let n = 31;
+        let edges: Vec<_> = (1..n).map(|v| ((v - 1) / 2, v, 1.0)).collect();
+        let t = RootedTree::from_edges(n, 0, &edges).unwrap();
+        check_all_pairs(&t);
+    }
+
+    #[test]
+    fn random_trees() {
+        // Deterministic pseudo-random parents.
+        let mut state = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [2usize, 3, 5, 20, 57] {
+            let edges: Vec<_> = (1..n)
+                .map(|v| ((next() as usize) % v, v, 1.0))
+                .collect();
+            let t = RootedTree::from_edges(n, 0, &edges).unwrap();
+            check_all_pairs(&t);
+        }
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let n = 15;
+        let edges: Vec<_> = (1..n).map(|v| ((v - 1) / 2, v, 1.0)).collect();
+        let t = RootedTree::from_edges(n, 0, &edges).unwrap();
+        let lca = Lca::new(&t);
+        assert!(lca.is_ancestor(0, 14));
+        assert!(lca.is_ancestor(3, 7));
+        assert!(!lca.is_ancestor(7, 3));
+        assert!(lca.is_ancestor(5, 5));
+    }
+}

@@ -1,0 +1,287 @@
+//! O(1) level-ancestor queries via jump pointers + ladder decomposition.
+//!
+//! This is the classic \[BFC04\]-style scheme: decompose the tree into
+//! vertex-disjoint *long paths* (each vertex continues into its tallest
+//! child), extend every path upward by its own length into a *ladder*, and
+//! store binary-lifting jump pointers. A query first jumps `2^⌊log δ⌋ ≥ δ/2`
+//! levels with one table lookup; the vertex reached has height at least the
+//! remaining distance, so its ladder contains the answer.
+
+use crate::RootedTree;
+
+/// Constant-time level-ancestor queries on a [`RootedTree`].
+///
+/// # Examples
+///
+/// ```
+/// use hopspan_treealg::{LevelAncestor, RootedTree};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // A path 0 - 1 - 2 - 3.
+/// let tree = RootedTree::from_edges(4, 0, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])?;
+/// let la = LevelAncestor::new(&tree);
+/// assert_eq!(la.level_ancestor(3, 1), 1);
+/// assert_eq!(la.child_toward(0, 3), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LevelAncestor {
+    depth: Vec<usize>,
+    /// Binary lifting: `jump[j][v]` = ancestor of `v` at distance `2^j`
+    /// (or the root if shallower).
+    jump: Vec<Vec<usize>>,
+    /// `ladder_id[v]`, `ladder_pos[v]`: which ladder contains `v` and at
+    /// which index; ladders are stored root-end first.
+    ladder_id: Vec<usize>,
+    ladder_pos: Vec<usize>,
+    ladders: Vec<Vec<usize>>,
+    log2: Vec<usize>,
+}
+
+impl LevelAncestor {
+    /// Preprocesses `tree` in O(n log n) time for O(1) queries.
+    pub fn new(tree: &RootedTree) -> Self {
+        let n = tree.len();
+        let depth: Vec<usize> = (0..n).map(|v| tree.depth(v)).collect();
+        // Heights via reverse preorder (children before parents).
+        let mut height = vec![0usize; n];
+        for &v in tree.preorder().iter().rev() {
+            if let Some(p) = tree.parent(v) {
+                height[p] = height[p].max(height[v] + 1);
+            }
+        }
+        // Long-path decomposition: each vertex's path successor is its
+        // tallest child. Paths start at vertices that are not the tallest
+        // child of their parent.
+        let mut tallest_child = vec![usize::MAX; n];
+        for v in 0..n {
+            let mut best = usize::MAX;
+            let mut best_h = 0usize;
+            for &c in tree.children(v) {
+                if best == usize::MAX || height[c] + 1 > best_h {
+                    best = c;
+                    best_h = height[c] + 1;
+                }
+            }
+            tallest_child[v] = best;
+        }
+        let mut ladder_id = vec![usize::MAX; n];
+        let mut ladder_pos = vec![0usize; n];
+        let mut ladders: Vec<Vec<usize>> = Vec::new();
+        for &v in tree.preorder() {
+            let is_path_head = match tree.parent(v) {
+                None => true,
+                Some(p) => tallest_child[p] != v,
+            };
+            if !is_path_head {
+                continue;
+            }
+            // Collect the long path downward from v.
+            let mut path = Vec::new();
+            let mut cur = v;
+            loop {
+                path.push(cur);
+                let next = tallest_child[cur];
+                if next == usize::MAX {
+                    break;
+                }
+                cur = next;
+            }
+            // Extend upward by |path| vertices to form the ladder.
+            let len = path.len();
+            let mut top = Vec::new();
+            let mut up = tree.parent(v);
+            for _ in 0..len {
+                match up {
+                    Some(u) => {
+                        top.push(u);
+                        up = tree.parent(u);
+                    }
+                    None => break,
+                }
+            }
+            top.reverse();
+            let offset = top.len();
+            let id = ladders.len();
+            let mut ladder = top;
+            ladder.extend_from_slice(&path);
+            // Only the path's own vertices point at this ladder; the
+            // extension vertices belong to their own paths.
+            for (i, &u) in path.iter().enumerate() {
+                ladder_id[u] = id;
+                ladder_pos[u] = offset + i;
+            }
+            ladders.push(ladder);
+        }
+        // Binary lifting.
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let mut log2 = vec![0usize; max_depth.max(1) + 1];
+        for i in 2..log2.len() {
+            log2[i] = log2[i / 2] + 1;
+        }
+        let levels = if max_depth == 0 { 1 } else { log2[max_depth] + 1 };
+        let mut jump = Vec::with_capacity(levels);
+        let first: Vec<usize> = (0..n)
+            .map(|v| tree.parent(v).unwrap_or(tree.root()))
+            .collect();
+        jump.push(first);
+        for j in 1..levels {
+            let prev = &jump[j - 1];
+            let row: Vec<usize> = (0..n).map(|v| prev[prev[v]]).collect();
+            jump.push(row);
+        }
+        LevelAncestor {
+            depth,
+            jump,
+            ladder_id,
+            ladder_pos,
+            ladders,
+            log2,
+        }
+    }
+
+    /// The ancestor of `v` at depth `d` (so `level_ancestor(v, depth(v))`
+    /// is `v` itself and `level_ancestor(v, 0)` is the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d > depth(v)` or `v` is out of range.
+    #[inline]
+    pub fn level_ancestor(&self, v: usize, d: usize) -> usize {
+        let dv = self.depth[v];
+        assert!(d <= dv, "requested depth {d} below vertex depth {dv}");
+        let delta = dv - d;
+        if delta == 0 {
+            return v;
+        }
+        let j = self.log2[delta];
+        let u = self.jump[j][v];
+        // u is at depth dv - 2^j; the remainder is < 2^j ≤ height coverage
+        // of u's ladder.
+        let ladder = &self.ladders[self.ladder_id[u]];
+        let pos = self.ladder_pos[u];
+        let remaining = self.depth[u] - d;
+        debug_assert!(pos >= remaining, "ladder too short: {} < {}", pos, remaining);
+        ladder[pos - remaining]
+    }
+
+    /// The ancestor `u` of `v` with `depth(v) - depth(u) = steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps > depth(v)`.
+    #[inline]
+    pub fn ancestor_at_distance(&self, v: usize, steps: usize) -> usize {
+        self.level_ancestor(v, self.depth[v] - steps)
+    }
+
+    /// The child of `a` on the path from `a` down to its descendant `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not a strict ancestor of `d`.
+    #[inline]
+    pub fn child_toward(&self, a: usize, d: usize) -> usize {
+        assert!(self.depth[d] > self.depth[a], "a must be a strict ancestor");
+        self.level_ancestor(d, self.depth[a] + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_la(tree: &RootedTree, mut v: usize, d: usize) -> usize {
+        while tree.depth(v) > d {
+            v = tree.parent(v).unwrap();
+        }
+        v
+    }
+
+    fn check_all(tree: &RootedTree) {
+        let la = LevelAncestor::new(tree);
+        for v in 0..tree.len() {
+            for d in 0..=tree.depth(v) {
+                assert_eq!(la.level_ancestor(v, d), naive_la(tree, v, d), "v={v} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn singleton() {
+        let t = RootedTree::from_edges(1, 0, &[]).unwrap();
+        let la = LevelAncestor::new(&t);
+        assert_eq!(la.level_ancestor(0, 0), 0);
+    }
+
+    #[test]
+    fn path() {
+        let n = 33;
+        let edges: Vec<_> = (1..n).map(|v| (v - 1, v, 1.0)).collect();
+        check_all(&RootedTree::from_edges(n, 0, &edges).unwrap());
+    }
+
+    #[test]
+    fn star() {
+        let n = 9;
+        let edges: Vec<_> = (1..n).map(|v| (0, v, 1.0)).collect();
+        check_all(&RootedTree::from_edges(n, 0, &edges).unwrap());
+    }
+
+    #[test]
+    fn binary_tree() {
+        let n = 63;
+        let edges: Vec<_> = (1..n).map(|v| ((v - 1) / 2, v, 1.0)).collect();
+        check_all(&RootedTree::from_edges(n, 0, &edges).unwrap());
+    }
+
+    #[test]
+    fn caterpillar() {
+        // Spine of 10 with a leaf on each spine vertex.
+        let mut edges = Vec::new();
+        for i in 1..10 {
+            edges.push((i - 1, i, 1.0));
+        }
+        for i in 0..10 {
+            edges.push((i, 10 + i, 1.0));
+        }
+        check_all(&RootedTree::from_edges(20, 0, &edges).unwrap());
+    }
+
+    #[test]
+    fn random_trees() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in [2usize, 3, 7, 40, 100] {
+            let edges: Vec<_> = (1..n)
+                .map(|v| ((next() as usize) % v, v, 1.0))
+                .collect();
+            check_all(&RootedTree::from_edges(n, 0, &edges).unwrap());
+        }
+    }
+
+    #[test]
+    fn child_toward_works() {
+        let n = 15;
+        let edges: Vec<_> = (1..n).map(|v| ((v - 1) / 2, v, 1.0)).collect();
+        let t = RootedTree::from_edges(n, 0, &edges).unwrap();
+        let la = LevelAncestor::new(&t);
+        assert_eq!(la.child_toward(0, 14), 2);
+        assert_eq!(la.child_toward(2, 14), 6);
+        assert_eq!(la.child_toward(6, 14), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "below vertex depth")]
+    fn panics_below() {
+        let t = RootedTree::from_edges(2, 0, &[(0, 1, 1.0)]).unwrap();
+        let la = LevelAncestor::new(&t);
+        la.level_ancestor(0, 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! The §5 application toolbox in one sitting: sparsify a dense spanner,
+//! build an approximate SPT and MST *inside* the spanner, answer online
+//! tree-product queries with k-1 semigroup operations, and verify an MST
+//! with one comparison per query.
+//!
+//! Run with: `cargo run --release --example spanner_toolkit`
+
+use hopspan::apps::{
+    approximate_mst, approximate_spt, shallow_light_tree, sparsify, MstVerifier,
+    MultiterminalFlow, TreeProduct,
+};
+use hopspan::metric::Graph;
+use hopspan::core::MetricNavigator;
+use hopspan::metric::{gen, minimum_spanning_tree, mst_weight, spanner_lightness, Metric};
+use hopspan::treealg::RootedTree;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(1717);
+    let n = 120;
+    let m = gen::uniform_points(n, 2, &mut rng);
+    let nav = MetricNavigator::doubling(&m, 0.25, 3)?;
+    println!("{n} points; navigator: k=3, {} spanner edges\n", nav.spanner_edge_count());
+
+    // 1. Sparsification (Theorem 5.3): dense input -> sparse output.
+    let mut dense = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            dense.push((i, j, m.dist(i, j)));
+        }
+    }
+    let sparse = sparsify(&m, &nav, &dense);
+    println!(
+        "sparsify: {} edges -> {} edges (lightness {:.2} -> {:.2})",
+        dense.len(),
+        sparse.len(),
+        spanner_lightness(&m, &dense),
+        spanner_lightness(&m, &sparse)
+    );
+
+    // 2. Approximate SPT (Algorithm 3).
+    let spt = approximate_spt(&m, &nav, 0);
+    println!(
+        "approx SPT from 0: stretch {:.3}, built from {} navigation queries",
+        spt.measured_stretch(&m),
+        n - 1
+    );
+
+    // 3. Approximate MST (Theorem 5.5).
+    let amst = approximate_mst(&m, &nav);
+    let w: f64 = amst.iter().map(|e| e.2).sum();
+    println!(
+        "approx MST inside the spanner: weight {:.4} vs exact {:.4}",
+        w,
+        mst_weight(&m)
+    );
+
+    // 4. Online tree products (Theorem 5.6) on the exact MST.
+    let mst_edges = minimum_spanning_tree(&m);
+    let tree = RootedTree::from_edges(n, 0, &mst_edges)?;
+    let lengths: Vec<f64> = (0..n).map(|v| tree.parent_weight(v)).collect();
+    let tp = TreeProduct::new(&tree, &lengths, |a, b| a + b, 4)?;
+    let total = tp.query(3, 77)?.unwrap();
+    println!(
+        "tree product (path length 3→77 on the MST): {:.4} using {} semigroup ops (k-1 = 3 max)",
+        total,
+        tp.query_operations()
+    );
+
+    // 5. Online MST verification (§5.6.2): 1 weight comparison per query.
+    let mv = MstVerifier::new(&tree, 2)?;
+    let verified = mv.verify_against(&dense, &tree)?;
+    println!(
+        "MST verification over {} candidate edges: {} ({} weight comparisons, {} at preprocessing)",
+        dense.len(),
+        if verified { "genuine MST" } else { "NOT an MST" },
+        mv.query_comparisons(),
+        mv.preprocessing_comparisons()
+    );
+    // 6. Shallow-light tree (§1.3): SPT-like depth at MST-like weight.
+    let slt = shallow_light_tree(&m, &nav, 0, 1.0);
+    let slt_w: f64 = slt.edges(&m).iter().map(|e| e.2).sum();
+    println!(
+        "shallow-light tree (β=1): root stretch {:.3}, weight {:.2}x MST",
+        slt.measured_stretch(&m),
+        slt_w / mst_weight(&m)
+    );
+
+    // 7. Multiterminal max-flow (§5.6.1): Gomory–Hu + min tree products.
+    let cap_edges: Vec<(usize, usize, f64)> = mst_edges
+        .iter()
+        .map(|&(a, b, w)| (a, b, 1.0 / w))
+        .chain((0..n).map(|i| (i, (i + 7) % n, 0.5)))
+        .filter(|&(a, b, _)| a != b)
+        .collect();
+    let net = Graph::new(n, &cap_edges)?;
+    let mtf = MultiterminalFlow::new(&net, 2)?;
+    println!(
+        "multiterminal flow: max-flow(3, 77) = {:.3} via a single min-op",
+        mtf.max_flow_value(3, 77)?
+    );
+    Ok(())
+}

@@ -1,0 +1,184 @@
+//! Property-based tests (proptest) for the core invariants of the paper:
+//! stretch-1 / hop-bounded tree spanner paths, cover domination, bounded
+//! navigation stretch, routing delivery, and application correctness —
+//! over randomized tree shapes, weights and point sets.
+
+use std::collections::HashMap;
+
+use hopspan::apps::TreeProduct;
+use hopspan::core::ackermann::{ack_a, ack_b, alpha, alpha_prime};
+use hopspan::core::{FaultTolerantSpanner, MetricNavigator};
+use hopspan::metric::{EuclideanSpace, Metric};
+use hopspan::routing::TreeRoutingScheme;
+use hopspan::tree_cover::RobustTreeCover;
+use hopspan::tree_spanner::TreeHopSpanner;
+use hopspan::treealg::{Lca, RootedTree};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// Strategy: a random tree given by parent indices + weights.
+fn tree_strategy(max_n: usize) -> impl Strategy<Value = RootedTree> {
+    (2..max_n)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(0usize..1_000_000, n - 1),
+                proptest::collection::vec(0.0f64..100.0, n - 1),
+            )
+                .prop_map(move |(parents, weights)| {
+                    let edges: Vec<(usize, usize, f64)> = parents
+                        .iter()
+                        .zip(weights)
+                        .enumerate()
+                        .map(|(i, (&p, w))| (p % (i + 1), i + 1, w))
+                        .collect();
+                    RootedTree::from_edges(n, 0, &edges).expect("valid random tree")
+                })
+        })
+        .no_shrink()
+}
+
+/// Strategy: distinct 2-D points on a grid (no duplicates).
+fn points_strategy(max_n: usize) -> impl Strategy<Value = EuclideanSpace> {
+    proptest::collection::hash_set((0i32..50, 0i32..50), 2..max_n).prop_map(|set| {
+        let pts: Vec<Vec<f64>> = set
+            .into_iter()
+            .map(|(x, y)| vec![x as f64, y as f64])
+            .collect();
+        EuclideanSpace::from_points(&pts)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1.1: every returned tree-spanner path has ≤ k hops, uses
+    /// only spanner edges, and has weight exactly the tree distance.
+    #[test]
+    fn tree_spanner_paths_are_exact(tree in tree_strategy(120), k in 2usize..6) {
+        let sp = TreeHopSpanner::new(&tree, k).unwrap();
+        let lca = Lca::new(&tree);
+        let mut edges: HashMap<(usize, usize), f64> = HashMap::new();
+        for &(a, b, w) in sp.edges() {
+            edges.insert((a.min(b), a.max(b)), w);
+        }
+        let n = tree.len();
+        for step in 1..n.min(17) {
+            let (u, v) = (step, (step * 7) % n);
+            let path = sp.find_path(u, v).unwrap();
+            prop_assert!(path.len() - 1 <= k || u == v);
+            let mut w = 0.0;
+            for win in path.windows(2) {
+                let key = (win[0].min(win[1]), win[0].max(win[1]));
+                prop_assert!(edges.contains_key(&key), "non-spanner edge {key:?}");
+                w += edges[&key];
+            }
+            let want = tree.distance_with(&lca, u, v);
+            prop_assert!((w - want).abs() <= 1e-6 * want.max(1.0));
+        }
+    }
+
+    /// Tree covers dominate: tree distances never undercut the metric.
+    #[test]
+    fn robust_cover_dominates(m in points_strategy(24)) {
+        let rc = RobustTreeCover::new(&m, 0.5).unwrap();
+        prop_assert!(rc.cover().validate(&m).is_ok());
+        // And every pair is covered with finite stretch.
+        prop_assert!(rc.cover().measured_stretch(&m).is_finite());
+    }
+
+    /// Theorem 1.2: navigation paths respect the hop bound and a global
+    /// stretch budget on doubling inputs.
+    #[test]
+    fn navigation_bounded(m in points_strategy(20), k in 2usize..4) {
+        let nav = MetricNavigator::doubling(&m, 0.5, k).unwrap();
+        let n = m.len();
+        for u in 0..n {
+            let v = (u * 5 + 1) % n;
+            let path = nav.find_path(u, v).unwrap();
+            prop_assert!(!path.is_empty());
+            prop_assert!(path.len() - 1 <= k);
+            let w = MetricNavigator::path_weight(&m, &path);
+            prop_assert!(w <= 3.0 * m.dist(u, v) + 1e-9);
+        }
+    }
+
+    /// §2.2: the Ackermann inverses are monotone in n and consistent with
+    /// their defining functions.
+    #[test]
+    fn ackermann_inverses_consistent(k in 0usize..8, n in 1u128..1_000_000) {
+        let a = alpha(k, n);
+        // Defining property: the function at a reaches n, at a-1 it doesn't.
+        let f = |s: u128| if k % 2 == 0 { ack_a(k / 2, s) } else { ack_b(k / 2, s) };
+        prop_assert!(f(a) >= n);
+        if a > 0 {
+            prop_assert!(f(a - 1) < n);
+        }
+        // Monotonicity in n and the α' sandwich (Lemma 2.4 of [Sol13]).
+        prop_assert!(alpha(k, n + 1) >= a);
+        let ap = alpha_prime(k, n);
+        prop_assert!(a <= ap && ap <= 2 * a + 4);
+    }
+
+    /// Theorem 4.2 / §4.4: under any fault set of size ≤ f, every
+    /// surviving pair still gets a ≤ k-hop path avoiding the faults.
+    #[test]
+    fn fault_tolerant_paths_avoid_faults(
+        m in points_strategy(14),
+        faults in proptest::collection::hash_set(0usize..14, 0..3),
+    ) {
+        let n = m.len();
+        // f must leave at least two live points (f ≤ n - 2).
+        let f = 2usize.min(n.saturating_sub(2));
+        let faulty: std::collections::HashSet<usize> =
+            faults.into_iter().filter(|&x| x < n).take(f).collect();
+        let sp = FaultTolerantSpanner::new(&m, 0.5, f, 2).unwrap();
+        for u in 0..n {
+            if faulty.contains(&u) { continue; }
+            let v = (u * 3 + 1) % n;
+            if v == u || faulty.contains(&v) { continue; }
+            let path = sp.find_path_avoiding(&m, u, v, &faulty).unwrap();
+            prop_assert!(path.len() - 1 <= 2);
+            for p in &path {
+                prop_assert!(!faulty.contains(p));
+            }
+        }
+    }
+
+    /// Theorem 5.6: tree products agree with a direct path fold for the
+    /// (max, f64) semigroup on arbitrary random trees.
+    #[test]
+    fn tree_products_match_fold(tree in tree_strategy(60), k in 2usize..5) {
+        let n = tree.len();
+        let vals: Vec<f64> = (0..n).map(|v| ((v * 2654435761) % 97) as f64).collect();
+        let max = |a: &f64, b: &f64| a.max(*b);
+        let tp = TreeProduct::new(&tree, &vals, max, k).unwrap();
+        for u in 0..n.min(10) {
+            let v = (u * 17 + 5) % n;
+            if u == v { continue; }
+            let path = tree.path(u, v);
+            let want = path.windows(2).map(|w| {
+                let c = if tree.parent(w[0]) == Some(w[1]) { w[0] } else { w[1] };
+                vals[c]
+            }).fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(tp.query(u, v).unwrap(), Some(want));
+        }
+    }
+
+    /// Theorem 5.1: tree routing always delivers in ≤ 2 hops at stretch 1,
+    /// under any port adversary.
+    #[test]
+    fn tree_routing_delivers(tree in tree_strategy(80), seed in 0u64..1000) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let rs = TreeRoutingScheme::new(&tree, &mut rng).unwrap();
+        let n = tree.len();
+        for u in 0..n.min(12) {
+            let v = (u * 11 + 3) % n;
+            let trace = rs.route(u, v).unwrap();
+            prop_assert_eq!(*trace.path.last().unwrap(), v);
+            prop_assert!(trace.hops() <= 2);
+            let w: f64 = trace.path.windows(2).map(|x| tree.distance_slow(x[0], x[1])).sum();
+            let want = tree.distance_slow(u, v);
+            prop_assert!((w - want).abs() <= 1e-6 * want.max(1.0));
+        }
+    }
+}
