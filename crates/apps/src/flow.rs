@@ -193,8 +193,8 @@ impl MultiterminalFlow {
     pub fn new(graph: &Graph, k: usize) -> Result<Self, TreeSpannerError> {
         assert!(graph.len() >= 2, "need at least two terminals");
         let gh = gomory_hu_tree(graph);
-        let tree = RootedTree::from_edges(graph.len(), 0, &gh)
-            .expect("Gomory-Hu edges form a tree");
+        let tree =
+            RootedTree::from_edges(graph.len(), 0, &gh).expect("Gomory-Hu edges form a tree");
         let caps: Vec<f64> = (0..graph.len())
             .map(|v| {
                 if v == tree.root() {
@@ -204,8 +204,7 @@ impl MultiterminalFlow {
                 }
             })
             .collect();
-        let product =
-            TreeProduct::new(&tree, &caps, min_semigroup as fn(&f64, &f64) -> f64, k)?;
+        let product = TreeProduct::new(&tree, &caps, min_semigroup as fn(&f64, &f64) -> f64, k)?;
         Ok(MultiterminalFlow { product })
     }
 
@@ -219,8 +218,7 @@ impl MultiterminalFlow {
         Ok(self
             .product
             .query(u, v)?
-            .expect("u != v implies a non-empty path")
-        )
+            .expect("u != v implies a non-empty path"))
     }
 
     /// Semigroup operations spent by queries so far.
@@ -278,7 +276,11 @@ mod tests {
                     let via_tree = path
                         .windows(2)
                         .map(|w| {
-                            let c = if tree.parent(w[0]) == Some(w[1]) { w[0] } else { w[1] };
+                            let c = if tree.parent(w[0]) == Some(w[1]) {
+                                w[0]
+                            } else {
+                                w[1]
+                            };
                             tree.parent_weight(c)
                         })
                         .fold(f64::INFINITY, f64::min);

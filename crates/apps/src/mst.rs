@@ -14,10 +14,7 @@ use crate::sparsify;
 
 /// Builds a γ-approximate MST that is a subgraph of the navigator's
 /// spanner, in O(n²) + O(n·τ) time. Returns the tree edges.
-pub fn approximate_mst<M: Metric>(
-    metric: &M,
-    nav: &MetricNavigator,
-) -> Vec<(usize, usize, f64)> {
+pub fn approximate_mst<M: Metric>(metric: &M, nav: &MetricNavigator) -> Vec<(usize, usize, f64)> {
     let seed = minimum_spanning_tree(metric);
     let union = sparsify(metric, nav, &seed);
     // Kruskal over the (small) union graph.

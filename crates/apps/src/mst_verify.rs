@@ -78,7 +78,11 @@ impl MstVerifier {
             let path = tree.path(a, b);
             let mut best = 0usize;
             for w in path.windows(2) {
-                let child = if tree.parent(w[0]) == Some(w[1]) { w[0] } else { w[1] };
+                let child = if tree.parent(w[0]) == Some(w[1]) {
+                    w[0]
+                } else {
+                    w[1]
+                };
                 best = best.max(rank_of_child[child]);
             }
             max_rank.insert((a.min(b), a.max(b)), best);
@@ -172,7 +176,10 @@ impl MstVerifier {
         new_cost: f64,
         candidates: &[(usize, usize, f64)],
     ) -> Option<(usize, usize, f64)> {
-        assert!(tree.parent(child).is_some(), "child must have a parent edge");
+        assert!(
+            tree.parent(child).is_some(),
+            "child must have a parent edge"
+        );
         // Euler intervals of the tree for O(1) "inside subtree(child)?".
         let n = tree.len();
         let mut tin = vec![0usize; n];
@@ -250,7 +257,11 @@ mod tests {
                     let want = path
                         .windows(2)
                         .map(|w| {
-                            let c = if tree.parent(w[0]) == Some(w[1]) { w[0] } else { w[1] };
+                            let c = if tree.parent(w[0]) == Some(w[1]) {
+                                w[0]
+                            } else {
+                                w[1]
+                            };
                             tree.parent_weight(c)
                         })
                         .fold(f64::NEG_INFINITY, f64::max);
@@ -272,7 +283,11 @@ mod tests {
                 mv.query(u, v, 50.0).unwrap();
             }
         }
-        assert!(mv.query_comparisons() <= q, "{} comparisons", mv.query_comparisons());
+        assert!(
+            mv.query_comparisons() <= q,
+            "{} comparisons",
+            mv.query_comparisons()
+        );
         // Preprocessing used O(n log n) comparisons.
         assert!(mv.preprocessing_comparisons() <= 60 * 12);
     }
@@ -309,13 +324,15 @@ mod tests {
         for child in 1..20 {
             let old = tree.parent_weight(child);
             // A tiny increase changes nothing (the MST cut rule had slack).
-            assert!(mv
-                .replacement_after_increase(&tree, child, old + 1e-12, &candidates)
-                .is_none() || {
-                    // …unless another crossing edge ties exactly; accept a
-                    // replacement only if it is genuinely cheaper.
-                    true
-                });
+            assert!(
+                mv.replacement_after_increase(&tree, child, old + 1e-12, &candidates)
+                    .is_none()
+                    || {
+                        // …unless another crossing edge ties exactly; accept a
+                        // replacement only if it is genuinely cheaper.
+                        true
+                    }
+            );
             // A huge increase always yields a cheaper crossing edge (the
             // complete metric graph has plenty).
             let rep = mv
@@ -331,7 +348,10 @@ mod tests {
                 .map(|&v| (v, tree.parent(v).unwrap(), tree.parent_weight(v)))
                 .collect();
             swapped.push(rep);
-            assert!(RootedTree::from_edges(20, 0, &swapped).is_ok(), "not a tree");
+            assert!(
+                RootedTree::from_edges(20, 0, &swapped).is_ok(),
+                "not a tree"
+            );
         }
     }
 

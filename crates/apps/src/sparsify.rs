@@ -28,8 +28,7 @@ pub fn sparsify<M: Metric>(
         let path = nav.find_path(u, v).expect("valid endpoints");
         for w in path.windows(2) {
             let key = (w[0].min(w[1]), w[0].max(w[1]));
-            out.entry(key)
-                .or_insert_with(|| metric.dist(w[0], w[1]));
+            out.entry(key).or_insert_with(|| metric.dist(w[0], w[1]));
         }
     }
     let mut edges: Vec<(usize, usize, f64)> =
@@ -41,9 +40,7 @@ pub fn sparsify<M: Metric>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hopspan_metric::{
-        gen, spanner_lightness, spanner_max_stretch, EuclideanSpace, Metric,
-    };
+    use hopspan_metric::{gen, spanner_lightness, spanner_max_stretch, EuclideanSpace, Metric};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -77,9 +74,7 @@ mod tests {
 
     #[test]
     fn lightness_inflated_by_at_most_gamma() {
-        let m = EuclideanSpace::from_points(
-            &(0..24).map(|i| vec![i as f64]).collect::<Vec<_>>(),
-        );
+        let m = EuclideanSpace::from_points(&(0..24).map(|i| vec![i as f64]).collect::<Vec<_>>());
         let nav = MetricNavigator::doubling(&m, 0.25, 2).unwrap();
         // Input: the MST itself (lightness 1).
         let mst = hopspan_metric::minimum_spanning_tree(&m);

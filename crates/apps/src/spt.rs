@@ -51,11 +51,7 @@ impl SptResult {
 /// # Panics
 ///
 /// Panics if `root` is out of range.
-pub fn approximate_spt<M: Metric>(
-    metric: &M,
-    nav: &MetricNavigator,
-    root: usize,
-) -> SptResult {
+pub fn approximate_spt<M: Metric>(metric: &M, nav: &MetricNavigator, root: usize) -> SptResult {
     let n = metric.len();
     assert!(root < n, "root out of range");
     let mut dist = vec![f64::INFINITY; n];

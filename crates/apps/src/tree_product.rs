@@ -77,8 +77,13 @@ impl<T: Clone, F: Fn(&T, &T) -> T> TreeProduct<T, F> {
             let fwd = fold_path(tree, &path, edge_values, &combine, &mut preprocessing_ops);
             let mut rev_path = path.clone();
             rev_path.reverse();
-            let bwd =
-                fold_path(tree, &rev_path, edge_values, &combine, &mut preprocessing_ops);
+            let bwd = fold_path(
+                tree,
+                &rev_path,
+                edge_values,
+                &combine,
+                &mut preprocessing_ops,
+            );
             products.insert((a, b), fwd);
             products.insert((b, a), bwd);
         }
@@ -175,9 +180,7 @@ mod tests {
             s ^= s << 17;
             s
         };
-        let edges: Vec<_> = (1..n)
-            .map(|v| ((next() as usize) % v, v, 1.0))
-            .collect();
+        let edges: Vec<_> = (1..n).map(|v| ((next() as usize) % v, v, 1.0)).collect();
         RootedTree::from_edges(n, 0, &edges).unwrap()
     }
 
@@ -191,7 +194,11 @@ mod tests {
         let path = tree.path(u, v);
         let mut acc: Option<T> = None;
         for w in path.windows(2) {
-            let child = if tree.parent(w[0]) == Some(w[1]) { w[0] } else { w[1] };
+            let child = if tree.parent(w[0]) == Some(w[1]) {
+                w[0]
+            } else {
+                w[1]
+            };
             acc = Some(match acc {
                 None => vals[child].clone(),
                 Some(a) => combine(&a, &vals[child]),

@@ -99,9 +99,7 @@ mod tests {
 
     #[test]
     fn finds_shortest_paths() {
-        let m = EuclideanSpace::from_points(
-            &(0..6).map(|i| vec![i as f64]).collect::<Vec<_>>(),
-        );
+        let m = EuclideanSpace::from_points(&(0..6).map(|i| vec![i as f64]).collect::<Vec<_>>());
         let edges: Vec<_> = (1..6).map(|v| (v - 1, v, 1.0)).collect();
         let nav = DijkstraNavigator::new(6, &edges);
         let p = nav.find_path(0, 5).unwrap();

@@ -98,9 +98,7 @@ mod tests {
 
     #[test]
     fn stretch_and_hops_on_path() {
-        let m = EuclideanSpace::from_points(
-            &(0..8).map(|i| vec![i as f64]).collect::<Vec<_>>(),
-        );
+        let m = EuclideanSpace::from_points(&(0..8).map(|i| vec![i as f64]).collect::<Vec<_>>());
         let edges: Vec<_> = (1..8).map(|v| (v - 1, v, 1.0)).collect();
         let (s, h) = stretch_and_hops(&m, &edges);
         assert!((s - 1.0).abs() < 1e-9);

@@ -17,7 +17,10 @@ use hopspan_metric::{EuclideanSpace, Metric};
 /// formula needs θ < π/4).
 pub fn theta_graph(space: &EuclideanSpace, cones: usize) -> Vec<(usize, usize, f64)> {
     assert_eq!(space.dim(), 2, "theta graphs are for planar point sets");
-    assert!(cones >= 9, "need at least 9 cones for a finite stretch bound");
+    assert!(
+        cones >= 9,
+        "need at least 9 cones for a finite stretch bound"
+    );
     let n = space.len();
     let theta = std::f64::consts::TAU / cones as f64;
     let mut edges = std::collections::HashMap::new();

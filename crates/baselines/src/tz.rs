@@ -54,9 +54,7 @@ impl TzOracle {
         let mut levels: Vec<Vec<bool>> = vec![vec![true; n]];
         for i in 1..ell {
             let prev = &levels[i - 1];
-            let cur: Vec<bool> = (0..n)
-                .map(|v| prev[v] && rng.gen::<f64>() < p)
-                .collect();
+            let cur: Vec<bool> = (0..n).map(|v| prev[v] && rng.gen::<f64>() < p).collect();
             levels.push(cur);
         }
         // Pivots.
@@ -118,9 +116,10 @@ impl TzOracle {
         let mut i = 0usize;
         loop {
             if let Some(d) = self.bunch[b].get(&w) {
-                let du = self.bunch[a].get(&w).copied().unwrap_or_else(|| {
-                    self.pivot[i][a].map(|(_, d)| d).unwrap_or(f64::INFINITY)
-                });
+                let du = self.bunch[a]
+                    .get(&w)
+                    .copied()
+                    .unwrap_or_else(|| self.pivot[i][a].map(|(_, d)| d).unwrap_or(f64::INFINITY));
                 return (du + d, w);
             }
             i += 1;

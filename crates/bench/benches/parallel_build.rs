@@ -1,0 +1,44 @@
+//! Criterion bench for the parallel preprocessing pipeline: navigator
+//! build wall time with 1 worker vs `available_parallelism` on an
+//! n = 2^12 doubling workload (a line metric — doubling dimension 1 —
+//! so the per-tree spanner phase dominates and the cover stays small).
+//!
+//! On a single-core container both configurations degenerate to the
+//! same sequential build; the comparison is meaningful on multicore
+//! hosts. Determinism across worker counts is asserted inside the
+//! bench setup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hopspan_core::MetricNavigator;
+use hopspan_metric::EuclideanSpace;
+
+const N: usize = 1 << 12;
+const EPS: f64 = 0.5;
+const K: usize = 2;
+
+fn line_metric(n: usize) -> EuclideanSpace {
+    EuclideanSpace::from_points(&(0..n).map(|i| vec![i as f64]).collect::<Vec<_>>())
+}
+
+fn bench_parallel_build(c: &mut Criterion) {
+    let m = line_metric(N);
+    let auto = hopspan_pipeline::auto_workers();
+    // The pipeline contract: worker count never changes the output.
+    let (seq, _) = MetricNavigator::doubling_with_stats(&m, EPS, K, Some(1)).unwrap();
+    let (par, _) = MetricNavigator::doubling_with_stats(&m, EPS, K, None).unwrap();
+    assert_eq!(seq.spanner_edges(), par.spanner_edges());
+
+    let mut group = c.benchmark_group("parallel_preprocessing");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("doubling_build_1_worker", N), |b| {
+        b.iter(|| MetricNavigator::doubling_with_stats(&m, EPS, K, Some(1)).unwrap())
+    });
+    group.bench_function(
+        BenchmarkId::new(format!("doubling_build_{auto}_workers"), N),
+        |b| b.iter(|| MetricNavigator::doubling_with_stats(&m, EPS, K, None).unwrap()),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_build);
+criterion_main!(benches);

@@ -12,11 +12,9 @@ fn bench_build(c: &mut Criterion) {
     for &n in &[1024usize, 8192] {
         for &k in &[2usize, 4] {
             let tree = gen::random_tree(n, &mut rng(1));
-            group.bench_with_input(
-                BenchmarkId::new(format!("k{k}"), n),
-                &tree,
-                |b, tree| b.iter(|| TreeHopSpanner::new(tree, k).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &tree, |b, tree| {
+                b.iter(|| TreeHopSpanner::new(tree, k).unwrap())
+            });
         }
     }
     group.finish();

@@ -1,0 +1,5 @@
+//! Prints the e21_parallel_build experiment section (see DESIGN.md §3).
+
+fn main() {
+    println!("{}", hopspan_bench::experiments::e21_parallel_build());
+}

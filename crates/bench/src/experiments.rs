@@ -7,7 +7,9 @@
 use std::collections::HashSet;
 
 use hopspan_apps::{approximate_mst, approximate_spt, sparsify, MstVerifier, TreeProduct};
-use hopspan_baselines::{greedy_spanner, stretch_and_hops, theta_graph, DijkstraNavigator, TzOracle};
+use hopspan_baselines::{
+    greedy_spanner, stretch_and_hops, theta_graph, DijkstraNavigator, TzOracle,
+};
 use hopspan_core::ackermann::{alpha, alpha_one, alpha_prime};
 use hopspan_core::{FaultTolerantSpanner, MetricNavigator};
 use hopspan_metric::{
@@ -33,25 +35,90 @@ pub type Experiment = (&'static str, &'static str, fn() -> String);
 pub fn all() -> Vec<Experiment> {
     vec![
         ("E1", "Ackermann inverses (paper §2.2)", e01_ackermann),
-        ("E2", "Tree 1-spanners: size/hops/stretch/query (Theorem 1.1, Lemma 3.2)", e02_tree_spanner),
-        ("E3", "Recursion-tree structure (Figure 1, Observation 3.1)", e03_recursion_tree),
-        ("E4", "Doubling tree covers & navigation (Table 1 row 1, Theorem 1.2)", e04_cover_doubling),
-        ("E5", "Ramsey covers for general metrics (Table 1 rows 3–4)", e05_cover_general),
-        ("E6", "Planar separator covers (Table 1 row 2)", e06_cover_planar),
-        ("E7", "Pairing covers (Definition 4.2, Figure 2)", e07_pairing_cover),
-        ("E8", "Robustness under leaf substitution (Theorem 4.1)", e08_robust_cover),
-        ("E9", "Fault-tolerant spanners (Theorem 4.2)", e09_ft_spanner),
-        ("E10", "Compact 2-hop routing (Theorem 1.3, Table 3)", e10_routing),
-        ("E11", "Fault-tolerant routing (Theorem 5.2)", e11_ft_routing),
-        ("E12", "Spanner sparsification (Theorem 5.3, Table 4)", e12_sparsify),
+        (
+            "E2",
+            "Tree 1-spanners: size/hops/stretch/query (Theorem 1.1, Lemma 3.2)",
+            e02_tree_spanner,
+        ),
+        (
+            "E3",
+            "Recursion-tree structure (Figure 1, Observation 3.1)",
+            e03_recursion_tree,
+        ),
+        (
+            "E4",
+            "Doubling tree covers & navigation (Table 1 row 1, Theorem 1.2)",
+            e04_cover_doubling,
+        ),
+        (
+            "E5",
+            "Ramsey covers for general metrics (Table 1 rows 3–4)",
+            e05_cover_general,
+        ),
+        (
+            "E6",
+            "Planar separator covers (Table 1 row 2)",
+            e06_cover_planar,
+        ),
+        (
+            "E7",
+            "Pairing covers (Definition 4.2, Figure 2)",
+            e07_pairing_cover,
+        ),
+        (
+            "E8",
+            "Robustness under leaf substitution (Theorem 4.1)",
+            e08_robust_cover,
+        ),
+        (
+            "E9",
+            "Fault-tolerant spanners (Theorem 4.2)",
+            e09_ft_spanner,
+        ),
+        (
+            "E10",
+            "Compact 2-hop routing (Theorem 1.3, Table 3)",
+            e10_routing,
+        ),
+        (
+            "E11",
+            "Fault-tolerant routing (Theorem 5.2)",
+            e11_ft_routing,
+        ),
+        (
+            "E12",
+            "Spanner sparsification (Theorem 5.3, Table 4)",
+            e12_sparsify,
+        ),
         ("E13", "Approximate SPT (Algorithm 3, Theorem 5.4)", e13_spt),
         ("E14", "Approximate MST (Theorem 5.5)", e14_mst),
-        ("E15", "Online tree products (Theorem 5.6, Remark 5.4)", e15_tree_product),
+        (
+            "E15",
+            "Online tree products (Theorem 5.6, Remark 5.4)",
+            e15_tree_product,
+        ),
         ("E16", "Online MST verification (§5.6.2)", e16_mst_verify),
         ("E17", "Hop/size frontier vs baselines (§1.1)", e17_frontier),
-        ("E18", "Shallow-light trees from the navigator (§1.3)", e18_slt),
-        ("E19", "Multiterminal max-flow via tree products (§5.6.1)", e19_flow),
-        ("E20", "Ablation: Ramsey tree selection policy", e20_selection_ablation),
+        (
+            "E18",
+            "Shallow-light trees from the navigator (§1.3)",
+            e18_slt,
+        ),
+        (
+            "E19",
+            "Multiterminal max-flow via tree products (§5.6.1)",
+            e19_flow,
+        ),
+        (
+            "E20",
+            "Ablation: Ramsey tree selection policy",
+            e20_selection_ablation,
+        ),
+        (
+            "E21",
+            "Parallel preprocessing pipeline telemetry",
+            e21_parallel_build,
+        ),
     ]
 }
 
@@ -118,7 +185,17 @@ pub fn e02_tree_spanner() -> String {
         }
     }
     let table = md_table(
-        &["n", "k", "edges", "edges/n", "α_k(n)", "edges/(n·α_k)", "max hops", "build ms", "query µs"],
+        &[
+            "n",
+            "k",
+            "edges",
+            "edges/n",
+            "α_k(n)",
+            "edges/(n·α_k)",
+            "max hops",
+            "build ms",
+            "query µs",
+        ],
         &rows,
     );
     format!(
@@ -181,7 +258,16 @@ pub fn e04_cover_doubling() -> String {
         ]);
     }
     let table = md_table(
-        &["n", "ε", "ζ (trees)", "cover stretch", "|H_X| (k=2)", "nav stretch", "max hops", "build ms"],
+        &[
+            "n",
+            "ε",
+            "ζ (trees)",
+            "cover stretch",
+            "|H_X| (k=2)",
+            "nav stretch",
+            "max hops",
+            "build ms",
+        ],
         &rows,
     );
     format!(
@@ -220,7 +306,16 @@ pub fn e05_cover_general() -> String {
         }
     }
     let table = md_table(
-        &["n", "ℓ", "ζ", "ℓ·n^(1/ℓ)", "home stretch", "bound 32ℓ", "nav stretch", "hops"],
+        &[
+            "n",
+            "ℓ",
+            "ζ",
+            "ℓ·n^(1/ℓ)",
+            "home stretch",
+            "bound 32ℓ",
+            "nav stretch",
+            "hops",
+        ],
         &rows,
     );
     // The second trade-off (Table 1 row 4): pin ζ = ℓ, let γ grow.
@@ -231,8 +326,7 @@ pub fn e05_cover_general() -> String {
     );
     for &budget in &[1usize, 2, 4, 8] {
         let (rc, gamma) =
-            RamseyTreeCover::with_tree_budget(&m, budget, &mut rng(5300 + budget as u64))
-                .unwrap();
+            RamseyTreeCover::with_tree_budget(&m, budget, &mut rng(5300 + budget as u64)).unwrap();
         rows2.push(vec![
             budget.to_string(),
             rc.tree_count().to_string(),
@@ -240,10 +334,7 @@ pub fn e05_cover_general() -> String {
             format!("{:.1}", rc.measured_home_stretch(&m)),
         ]);
     }
-    let table2 = md_table(
-        &["budget ℓ", "ζ used", "padding γ", "home stretch"],
-        &rows2,
-    );
+    let table2 = md_table(&["budget ℓ", "ζ used", "padding γ", "home stretch"], &rows2);
     format!(
         "Paper: Ramsey (O(ℓ), O(ℓ·n^{{1/ℓ}}))-tree covers for general \
          metrics ([MN06]); our randomized construction guarantees stretch \
@@ -321,7 +412,14 @@ pub fn e07_pairing_cover() -> String {
         ]);
     }
     let table = md_table(
-        &["metric", "n", "ε", "levels", "σ₃ = max|𝒞_i|", "Def 4.2 holds"],
+        &[
+            "metric",
+            "n",
+            "ε",
+            "levels",
+            "σ₃ = max|𝒞_i|",
+            "Def 4.2 holds",
+        ],
         &rows,
     );
     format!(
@@ -404,7 +502,13 @@ pub fn e09_ft_spanner() -> String {
         ]);
     }
     let table = md_table(
-        &["f", "edges", "stretch under f faults", "max hops", "build ms"],
+        &[
+            "f",
+            "edges",
+            "stretch under f faults",
+            "max hops",
+            "build ms",
+        ],
         &rows,
     );
     format!(
@@ -432,7 +536,11 @@ pub fn e10_routing() -> String {
             let t = rs.route(u, v).unwrap();
             max_hops = max_hops.max(t.hops());
             max_steps = max_steps.max(t.decision_steps);
-            let w: f64 = t.path.windows(2).map(|x| tree.distance_slow(x[0], x[1])).sum();
+            let w: f64 = t
+                .path
+                .windows(2)
+                .map(|x| tree.distance_slow(x[0], x[1]))
+                .sum();
             let d = tree.distance_slow(u, v);
             if d > 0.0 {
                 worst = worst.max(w / d);
@@ -508,7 +616,16 @@ pub fn e10_routing() -> String {
         ]);
     }
     let table = md_table(
-        &["instance", "label bits", "table bits", "label/log²n", "header bits", "stretch", "hops", "max decisions"],
+        &[
+            "instance",
+            "label bits",
+            "table bits",
+            "label/log²n",
+            "header bits",
+            "stretch",
+            "hops",
+            "max decisions",
+        ],
         &rows,
     );
     format!(
@@ -541,7 +658,13 @@ pub fn e11_ft_routing() -> String {
         ]);
     }
     let table = md_table(
-        &["f", "label bits", "table bits", "stretch under f faults", "hops"],
+        &[
+            "f",
+            "label bits",
+            "table bits",
+            "stretch under f faults",
+            "hops",
+        ],
         &rows,
     );
     format!(
@@ -598,7 +721,15 @@ pub fn e12_sparsify() -> String {
         format!("{:.1}", spanner_lightness(&gm, &gout)),
     ]);
     let table = md_table(
-        &["input", "edges in", "edges out", "stretch in", "stretch out", "lightness in", "lightness out"],
+        &[
+            "input",
+            "edges in",
+            "edges out",
+            "stretch in",
+            "stretch out",
+            "lightness in",
+            "lightness out",
+        ],
         &rows,
     );
     format!(
@@ -630,7 +761,12 @@ pub fn e13_spt() -> String {
         ]);
     }
     let table = md_table(
-        &["k", "SPT stretch", "navigated SPT build ms (n queries)", "one Dijkstra query ms"],
+        &[
+            "k",
+            "SPT stretch",
+            "navigated SPT build ms (n queries)",
+            "one Dijkstra query ms",
+        ],
         &rows,
     );
     format!(
@@ -660,7 +796,13 @@ pub fn e14_mst() -> String {
         ]);
     }
     let table = md_table(
-        &["n", "exact MST", "approx MST (in-spanner)", "ratio", "time ms"],
+        &[
+            "n",
+            "exact MST",
+            "approx MST (in-spanner)",
+            "ratio",
+            "time ms",
+        ],
         &rows,
     );
     format!(
@@ -698,7 +840,13 @@ pub fn e15_tree_product() -> String {
         ]);
     }
     let table = md_table(
-        &["k", "ops/query (avg)", "our bound k-1", "[AS87] bound 2k-1", "preprocessing ops"],
+        &[
+            "k",
+            "ops/query (avg)",
+            "our bound k-1",
+            "[AS87] bound 2k-1",
+            "preprocessing ops",
+        ],
         &rows,
     );
     format!(
@@ -734,7 +882,12 @@ pub fn e16_mst_verify() -> String {
         ]);
     }
     let table = md_table(
-        &["k", "weight comparisons/query", "preprocessing comparisons", "n·log n"],
+        &[
+            "k",
+            "weight comparisons/query",
+            "preprocessing comparisons",
+            "n·log n",
+        ],
         &rows,
     );
     format!(
@@ -816,7 +969,13 @@ pub fn e17_frontier() -> String {
         ]);
     }
     let table = md_table(
-        &["construction", "edges", "stretch", "max hops (min-weight paths)", "notes"],
+        &[
+            "construction",
+            "edges",
+            "stretch",
+            "max hops (min-weight paths)",
+            "notes",
+        ],
         &rows,
     );
     format!(
@@ -903,7 +1062,16 @@ pub fn e19_flow() -> String {
         }
     }
     let table = md_table(
-        &["n", "k", "pairs", "mismatches vs Dinic", "min-ops/query", "bound k-1", "preprocess ms", "all-pairs query ms (incl. Dinic check)"],
+        &[
+            "n",
+            "k",
+            "pairs",
+            "mismatches vs Dinic",
+            "min-ops/query",
+            "bound k-1",
+            "preprocess ms",
+            "all-pairs query ms (incl. Dinic check)",
+        ],
         &rows,
     );
     format!(
@@ -964,5 +1132,61 @@ pub fn e20_selection_ablation() -> String {
          at O(ζ) per query. Expected shape: scan ≤ home stretch; scan \
          slower.\n\n{table}\n",
         nav_scan.tree_count(),
+    )
+}
+
+/// E21: the parallel preprocessing pipeline — per-phase build telemetry
+/// and worker-count determinism on a doubling workload.
+pub fn e21_parallel_build() -> String {
+    let n = 1024;
+    let m = hopspan_metric::EuclideanSpace::from_points(
+        &(0..n).map(|i| vec![i as f64]).collect::<Vec<_>>(),
+    );
+    let auto = hopspan_pipeline::auto_workers();
+    let mut rows = Vec::new();
+    let mut navs = Vec::new();
+    for workers in [Some(1), None] {
+        let ((nav, stats), t) =
+            time(|| MetricNavigator::doubling_with_stats(&m, 0.5, 2, workers).unwrap());
+        rows.push(vec![
+            stats.workers.to_string(),
+            ms(t),
+            stats
+                .phase_duration("cover/trees")
+                .map_or_else(|| "-".into(), |d| format!("{:.1}", d.as_secs_f64() * 1e3)),
+            stats
+                .phase_duration("spanners")
+                .map_or_else(|| "-".into(), |d| format!("{:.1}", d.as_secs_f64() * 1e3)),
+            stats
+                .phase_duration("materialize")
+                .map_or_else(|| "-".into(), |d| format!("{:.1}", d.as_secs_f64() * 1e3)),
+            stats.tree_count.to_string(),
+            stats.edge_instances.to_string(),
+            format!("{} (x{:.2})", stats.edges_after_dedup, stats.dedup_ratio()),
+        ]);
+        navs.push(nav);
+    }
+    let identical = navs[0].spanner_edges() == navs[1].spanner_edges();
+    let table = md_table(
+        &[
+            "workers",
+            "build ms",
+            "cover trees ms",
+            "spanners ms",
+            "materialize ms",
+            "trees",
+            "edge instances",
+            "after dedup",
+        ],
+        &rows,
+    );
+    format!(
+        "Per-tree spanner builds fan out over scoped worker threads and \
+         join in tree index order, so `H_X` is bit-identical for every \
+         worker count (available parallelism here: {auto}). Expected \
+         shape: identical edge sets; the `spanners` phase shrinks with \
+         workers on multicore hosts while `cover trees` + `materialize` \
+         stay sequential. Edge sets identical across worker counts: \
+         **{identical}** (n = {n}, line metric, ε = 0.5, k = 2).\n\n{table}\n",
     )
 }

@@ -1,0 +1,184 @@
+//! Offline, in-tree ChaCha8 generator with the `rand_chacha` 0.3 layout:
+//! a genuine 8-round ChaCha keystream (RFC 8439 quarter-round, 64-bit
+//! block counter in words 12–13, 64-bit stream id in words 14–15),
+//! consumed word-by-word in little-endian order. Seeded streams are
+//! reproducible and of cryptographic keystream quality, which is far more
+//! than the experiments need.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const BLOCK_WORDS: usize = 16;
+
+/// A ChaCha keystream generator with `R` double-rounds.
+#[derive(Debug, Clone)]
+struct ChaCha<const DOUBLE_ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    stream: u64,
+    buf: [u32; BLOCK_WORDS],
+    /// Next unconsumed word of `buf`; `BLOCK_WORDS` forces a refill.
+    word_pos: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; BLOCK_WORDS], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaCha<DOUBLE_ROUNDS> {
+    fn new(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; BLOCK_WORDS],
+            word_pos: BLOCK_WORDS,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut state: [u32; BLOCK_WORDS] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let initial = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial) {
+            *word = word.wrapping_add(init);
+        }
+        self.buf = state;
+        self.word_pos = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.word_pos >= BLOCK_WORDS {
+            self.refill();
+        }
+        let w = self.buf[self.word_pos];
+        self.word_pos += 1;
+        w
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $double_rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            core: ChaCha<$double_rounds>,
+        }
+
+        impl $name {
+            /// Selects the 64-bit stream id (word positions 14–15).
+            pub fn set_stream(&mut self, stream: u64) {
+                self.core.stream = stream;
+                self.core.word_pos = BLOCK_WORDS;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.core.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.core.next_word() as u64;
+                let hi = self.core.next_word() as u64;
+                (hi << 32) | lo
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                $name {
+                    core: ChaCha::new(seed),
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    4,
+    "ChaCha with 8 rounds (the workspace default)."
+);
+chacha_rng!(ChaCha12Rng, 6, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 10, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chacha20_rfc8439_vector() {
+        // RFC 8439 §2.3.2 test vector: key 00..1f, counter 1,
+        // nonce 00:00:00:09:00:00:00:4a:00:00:00:00. rand_chacha's layout
+        // only exposes a 64-bit nonce, so check the zero-nonce keystream
+        // against the independently computable block instead: the first
+        // word of block 0 for the all-zero key must match the reference
+        // value 0xade0b876 (ChaCha20, widely published zero-key vector).
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        assert_eq!(rng.next_u32(), 0xade0_b876);
+    }
+
+    #[test]
+    fn deterministic_and_distinct_seeds() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn streams_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        b.set_stream(7);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

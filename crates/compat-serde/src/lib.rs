@@ -1,0 +1,12 @@
+//! Offline placeholder for the optional `serde` dependency.
+//!
+//! The build container cannot reach crates.io, and `hopspan-metric` /
+//! `hopspan-treealg` declare *optional* `serde` dependencies that cargo
+//! must still resolve. This crate keeps resolution offline. It does NOT
+//! implement the serde data model: enabling the workspace `serde`
+//! features requires swapping this path dependency for the real crate.
+
+#![forbid(unsafe_code)]
+
+/// Marker that the in-tree placeholder (not the real serde) is resolved.
+pub const OFFLINE_PLACEHOLDER: bool = true;

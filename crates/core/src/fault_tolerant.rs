@@ -15,7 +15,9 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use hopspan_metric::Metric;
+use hopspan_pipeline::BuildStats;
 use hopspan_tree_cover::RobustTreeCover;
+use hopspan_tree_spanner::TreeSpannerError;
 
 use crate::navigation::NavTree;
 use crate::NavigationError;
@@ -73,6 +75,9 @@ pub enum FtError {
         /// Tolerance f.
         f: usize,
     },
+    /// A per-tree navigation structure failed during the query — a
+    /// corrupted spanner, surfaced instead of panicking.
+    Spanner(TreeSpannerError),
 }
 
 impl fmt::Display for FtError {
@@ -84,6 +89,7 @@ impl fmt::Display for FtError {
             FtError::TooManyFaults { got, f: tol } => {
                 write!(f, "{got} faults exceed tolerance f = {tol}")
             }
+            FtError::Spanner(e) => write!(f, "tree spanner query failed: {e}"),
         }
     }
 }
@@ -93,11 +99,7 @@ impl std::error::Error for FtError {}
 /// `R(v)`: the vertex's associated point first (the robust-cover anchor,
 /// which is always a descendant leaf), then up to `f` other distinct
 /// descendant-leaf points.
-fn candidate_points(
-    dom: &hopspan_tree_cover::DominatingTree,
-    v: usize,
-    f: usize,
-) -> Vec<usize> {
+fn candidate_points(dom: &hopspan_tree_cover::DominatingTree, v: usize, f: usize) -> Vec<usize> {
     let anchor = dom.point_of(v);
     let mut out = vec![anchor];
     for &leaf in dom.descendant_leaves(v) {
@@ -126,6 +128,29 @@ impl FaultTolerantSpanner {
         f: usize,
         k: usize,
     ) -> Result<Self, NavigationError> {
+        Self::new_with_stats(metric, eps, f, k, None).map(|(sp, _)| sp)
+    }
+
+    /// Like [`FaultTolerantSpanner::new`], with explicit control over
+    /// the preprocessing worker count (`None` = automatic) and the
+    /// build telemetry returned alongside the spanner.
+    ///
+    /// The per-tree spanner/candidate/biclique computation fans out over
+    /// scoped worker threads; the biclique pair lists are merged
+    /// sequentially in tree-index order, so the edge set is identical
+    /// for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover/spanner construction failures; rejects `f > n-2`
+    /// via [`hopspan_tree_cover::CoverError::InvalidParameter`].
+    pub fn new_with_stats<M: Metric + Sync>(
+        metric: &M,
+        eps: f64,
+        f: usize,
+        k: usize,
+        workers: Option<usize>,
+    ) -> Result<(Self, BuildStats), NavigationError> {
         let n = metric.len();
         if n >= 2 && f > n - 2 {
             return Err(NavigationError::Cover(
@@ -134,40 +159,73 @@ impl FaultTolerantSpanner {
                 },
             ));
         }
-        let cover = RobustTreeCover::new(metric, eps)?;
+        let workers = hopspan_pipeline::resolve_workers(workers);
+        let mut stats = BuildStats::new(workers);
+        let (cover, cover_stats) = RobustTreeCover::new_with_stats(metric, eps, Some(workers))?;
+        stats.absorb("cover", cover_stats);
+        stats.tree_count = 0;
         let doms = cover.into_cover().into_trees();
-        let mut trees = Vec::with_capacity(doms.len());
-        let mut edge_set: HashMap<(usize, usize), f64> = HashMap::new();
-        for dom in doms {
-            let nav = NavTree::new(dom, k)?;
-            let m = nav.dom.tree().len();
-            let candidates: Vec<Vec<usize>> =
-                (0..m).map(|v| candidate_points(&nav.dom, v, f)).collect();
-            // Bicliques R(u) × R(v) over the tree-spanner edges.
-            for &(a, b, _) in nav.spanner.edges() {
-                for &pa in &candidates[a] {
-                    for &pb in &candidates[b] {
-                        if pa != pb {
-                            let key = (pa.min(pb), pa.max(pb));
-                            edge_set.entry(key).or_insert_with(|| metric.dist(pa, pb));
+        // Per-tree spanner + candidate sets + biclique point pairs, in
+        // parallel; metric access happens only in the sequential
+        // materialization below, where distances are attached to the
+        // deduplicated pairs in tree order.
+        let built: Vec<(FtTree, Vec<(usize, usize)>)> = stats.phase("spanners", || {
+            hopspan_pipeline::parallel_map_owned(workers, doms, |_, dom| {
+                let nav = NavTree::new(dom, k)?;
+                let m = nav.dom.tree().len();
+                let candidates: Vec<Vec<usize>> =
+                    (0..m).map(|v| candidate_points(&nav.dom, v, f)).collect();
+                // Bicliques R(u) × R(v) over the tree-spanner edges.
+                let mut pairs = Vec::new();
+                for &(a, b, _) in nav.spanner.edges() {
+                    for &pa in &candidates[a] {
+                        for &pb in &candidates[b] {
+                            if pa != pb {
+                                pairs.push((pa.min(pb), pa.max(pb)));
+                            }
                         }
                     }
                 }
-            }
-            trees.push(FtTree { nav, candidates });
-        }
-        let mut edges: Vec<(usize, usize, f64)> = edge_set
+                Ok((FtTree { nav, candidates }, pairs))
+            })
             .into_iter()
-            .map(|((a, b), w)| (a, b, w))
+            .collect::<Result<_, hopspan_tree_spanner::TreeSpannerError>>()
+        })?;
+        stats.tree_count = built.len();
+        stats.per_tree_spanner_edges = built
+            .iter()
+            .map(|(t, _)| t.nav.spanner.edges().len())
             .collect();
-        edges.sort_by_key(|x| (x.0, x.1));
-        Ok(FaultTolerantSpanner {
-            trees,
-            f,
-            k,
-            n,
-            edges,
-        })
+        let (trees, edges, instances) = stats.phase("materialize", || {
+            let mut edge_set: HashMap<(usize, usize), f64> = HashMap::new();
+            let mut instances = 0usize;
+            let mut trees = Vec::with_capacity(built.len());
+            for (t, pairs) in built {
+                instances += pairs.len();
+                for key in pairs {
+                    edge_set
+                        .entry(key)
+                        .or_insert_with(|| metric.dist(key.0, key.1));
+                }
+                trees.push(t);
+            }
+            let mut edges: Vec<(usize, usize, f64)> =
+                edge_set.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+            edges.sort_by_key(|x| (x.0, x.1));
+            (trees, edges, instances)
+        });
+        stats.edge_instances = instances;
+        stats.edges_after_dedup = edges.len();
+        Ok((
+            FaultTolerantSpanner {
+                trees,
+                f,
+                k,
+                n,
+                edges,
+            },
+            stats,
+        ))
     }
 
     /// The fault tolerance parameter f.
@@ -239,7 +297,7 @@ impl FaultTolerantSpanner {
         }
         let mut best: Option<(f64, Vec<usize>)> = None;
         for t in &self.trees {
-            let Some(tree_path) = t.nav.tree_vertex_path(u, v) else {
+            let Some(tree_path) = t.nav.tree_vertex_path(u, v).map_err(FtError::Spanner)? else {
                 continue;
             };
             // Substitute every vertex by a non-faulty candidate; endpoints
@@ -376,10 +434,19 @@ mod tests {
     #[test]
     fn size_grows_with_f() {
         let m = gen::uniform_points(24, 2, &mut rng());
-        let e0 = FaultTolerantSpanner::new(&m, 0.5, 0, 3).unwrap().edge_count();
-        let e2 = FaultTolerantSpanner::new(&m, 0.5, 2, 3).unwrap().edge_count();
-        let e4 = FaultTolerantSpanner::new(&m, 0.5, 4, 3).unwrap().edge_count();
-        assert!(e0 < e2 && e2 < e4, "sizes must grow with f: {e0}, {e2}, {e4}");
+        let e0 = FaultTolerantSpanner::new(&m, 0.5, 0, 3)
+            .unwrap()
+            .edge_count();
+        let e2 = FaultTolerantSpanner::new(&m, 0.5, 2, 3)
+            .unwrap()
+            .edge_count();
+        let e4 = FaultTolerantSpanner::new(&m, 0.5, 4, 3)
+            .unwrap()
+            .edge_count();
+        assert!(
+            e0 < e2 && e2 < e4,
+            "sizes must grow with f: {e0}, {e2}, {e4}"
+        );
     }
 
     #[test]
@@ -389,7 +456,7 @@ mod tests {
         let m = gen::uniform_points(24, 2, &mut rng());
         let f = 3;
         let sp = FaultTolerantSpanner::new(&m, 0.25, f, 2).unwrap();
-        let mut frequency = vec![0usize; 24];
+        let mut frequency = [0usize; 24];
         for t in &sp.trees {
             for cand in &t.candidates {
                 for &p in cand {

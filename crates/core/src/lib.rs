@@ -44,6 +44,10 @@ mod navigation;
 pub use fault_tolerant::{FaultTolerantSpanner, FtError};
 pub use navigation::{MetricNavigator, NavigationError};
 
+/// Build telemetry produced by the `_with_stats` constructors,
+/// re-exported from the pipeline crate.
+pub use hopspan_pipeline::BuildStats;
+
 /// Ackermann-function variants and inverses (paper §2.2), re-exported from
 /// the tree-spanner crate.
 pub use hopspan_tree_spanner::ackermann;

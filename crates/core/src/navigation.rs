@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use hopspan_metric::{Graph, Metric};
+use hopspan_pipeline::BuildStats;
 use hopspan_tree_cover::{
     CoverError, DominatingTree, RamseyTreeCover, RobustTreeCover, SeparatorTreeCover, TreeCover,
 };
@@ -33,6 +34,14 @@ pub enum NavigationError {
         /// The offending point id.
         point: usize,
     },
+    /// No tree of the cover contains both query points (never the case
+    /// for the built-in constructions, which cover all pairs).
+    PairNotCovered {
+        /// First query point.
+        u: usize,
+        /// Second query point.
+        v: usize,
+    },
 }
 
 impl fmt::Display for NavigationError {
@@ -42,6 +51,9 @@ impl fmt::Display for NavigationError {
             NavigationError::Spanner(e) => write!(f, "tree spanner construction failed: {e}"),
             NavigationError::PointOutOfRange { point } => {
                 write!(f, "point {point} out of range")
+            }
+            NavigationError::PairNotCovered { u, v } => {
+                write!(f, "no cover tree contains both {u} and {v}")
             }
         }
     }
@@ -77,13 +89,18 @@ impl NavTree {
     }
 
     /// The k-hop tree-vertex path between the leaves of two points.
-    pub(crate) fn tree_vertex_path(&self, p: usize, q: usize) -> Option<Vec<usize>> {
-        let (a, b) = (self.dom.leaf_of(p)?, self.dom.leaf_of(q)?);
-        Some(
-            self.spanner
-                .find_path(a, b)
-                .expect("leaves are required vertices"),
-        )
+    /// `Ok(None)` when the tree does not contain one of the points;
+    /// spanner-level failures (a corrupted navigation structure) are
+    /// propagated instead of panicking.
+    pub(crate) fn tree_vertex_path(
+        &self,
+        p: usize,
+        q: usize,
+    ) -> Result<Option<Vec<usize>>, TreeSpannerError> {
+        let (Some(a), Some(b)) = (self.dom.leaf_of(p), self.dom.leaf_of(q)) else {
+            return Ok(None);
+        };
+        Ok(Some(self.spanner.find_path(a, b)?))
     }
 }
 
@@ -111,8 +128,38 @@ impl MetricNavigator {
         eps: f64,
         k: usize,
     ) -> Result<Self, NavigationError> {
-        let cover = RobustTreeCover::new(metric, eps)?;
-        Self::from_cover(metric, cover_into_trees(cover_into_cover(cover)), None, k)
+        Self::doubling_with_stats(metric, eps, k, None).map(|(nav, _)| nav)
+    }
+
+    /// Like [`MetricNavigator::doubling`], with explicit control over
+    /// the preprocessing worker count (`None` = automatic) and the
+    /// cover→spanner→materialization [`BuildStats`] returned alongside
+    /// the navigator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover/spanner construction failures.
+    pub fn doubling_with_stats<M: Metric + Sync>(
+        metric: &M,
+        eps: f64,
+        k: usize,
+        workers: Option<usize>,
+    ) -> Result<(Self, BuildStats), NavigationError> {
+        let workers = hopspan_pipeline::resolve_workers(workers);
+        let mut stats = BuildStats::new(workers);
+        let (cover, cover_stats) = RobustTreeCover::new_with_stats(metric, eps, Some(workers))?;
+        stats.absorb("cover", cover_stats);
+        // The sub-build's tree count is re-counted by from_cover below.
+        stats.tree_count = 0;
+        let (nav, nav_stats) = Self::from_cover_with_stats(
+            metric,
+            cover_into_trees(cover_into_cover(cover)),
+            None,
+            k,
+            Some(workers),
+        )?;
+        stats.absorb("", nav_stats);
+        Ok((nav, stats))
     }
 
     /// Builds the navigator for a general metric from a Ramsey tree cover:
@@ -155,12 +202,7 @@ impl MetricNavigator {
     ) -> Result<(Self, f64), NavigationError> {
         let (cover, gamma) = RamseyTreeCover::with_tree_budget(metric, budget, rng)?;
         let home: Vec<usize> = (0..metric.len()).map(|p| cover.home(p)).collect();
-        let nav = Self::from_cover(
-            metric,
-            cover.into_cover().into_trees(),
-            Some(home),
-            k,
-        )?;
+        let nav = Self::from_cover(metric, cover.into_cover().into_trees(), Some(home), k)?;
         Ok((nav, gamma))
     }
 
@@ -193,34 +235,72 @@ impl MetricNavigator {
         home: Option<Vec<usize>>,
         k: usize,
     ) -> Result<Self, NavigationError> {
+        Self::from_cover_with_stats(metric, doms, home, k, None).map(|(nav, _)| nav)
+    }
+
+    /// Like [`MetricNavigator::from_cover`], with explicit control over
+    /// the preprocessing worker count (`None` = automatic) and the build
+    /// telemetry returned alongside the navigator.
+    ///
+    /// The per-tree Theorem 1.1 spanners are built on scoped worker
+    /// threads in tree-index order, so the materialized `H_X` edge set
+    /// is identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree-spanner construction failures.
+    pub fn from_cover_with_stats<M: Metric>(
+        metric: &M,
+        doms: Vec<DominatingTree>,
+        home: Option<Vec<usize>>,
+        k: usize,
+        workers: Option<usize>,
+    ) -> Result<(Self, BuildStats), NavigationError> {
         let n = metric.len();
-        let mut trees = Vec::with_capacity(doms.len());
-        for dom in doms {
-            trees.push(NavTree::new(dom, k)?);
-        }
+        let workers = hopspan_pipeline::resolve_workers(workers);
+        let mut stats = BuildStats::new(workers);
+        // Per-tree spanner builds touch only their own dominating tree
+        // (never the metric), so they fan out without an `M: Sync` bound.
+        let trees: Vec<NavTree> = stats.phase("spanners", || {
+            hopspan_pipeline::parallel_map_owned(workers, doms, |_, dom| NavTree::new(dom, k))
+                .into_iter()
+                .collect::<Result<_, _>>()
+        })?;
+        stats.tree_count = trees.len();
+        stats.per_tree_spanner_edges = trees.iter().map(|t| t.spanner.edges().len()).collect();
         // Materialize H_X: every tree-spanner edge becomes a point edge.
-        let mut edge_set: HashMap<(usize, usize), f64> = HashMap::new();
-        for t in &trees {
-            for &(a, b, _) in t.spanner.edges() {
-                let (pa, pb) = (t.dom.point_of(a), t.dom.point_of(b));
-                if pa != pb {
-                    let key = (pa.min(pb), pa.max(pb));
-                    edge_set.entry(key).or_insert_with(|| metric.dist(pa, pb));
+        // Sequential, in tree order — the dedup winner per point pair is
+        // deterministic.
+        let (edges, instances) = stats.phase("materialize", || {
+            let mut edge_set: HashMap<(usize, usize), f64> = HashMap::new();
+            let mut instances = 0usize;
+            for t in &trees {
+                for &(a, b, _) in t.spanner.edges() {
+                    let (pa, pb) = (t.dom.point_of(a), t.dom.point_of(b));
+                    if pa != pb {
+                        instances += 1;
+                        let key = (pa.min(pb), pa.max(pb));
+                        edge_set.entry(key).or_insert_with(|| metric.dist(pa, pb));
+                    }
                 }
             }
-        }
-        let mut edges: Vec<(usize, usize, f64)> = edge_set
-            .into_iter()
-            .map(|((a, b), w)| (a, b, w))
-            .collect();
-        edges.sort_by_key(|a| (a.0, a.1));
-        Ok(MetricNavigator {
-            trees,
-            home,
-            k,
-            n,
-            edges,
-        })
+            let mut edges: Vec<(usize, usize, f64)> =
+                edge_set.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+            edges.sort_by_key(|a| (a.0, a.1));
+            (edges, instances)
+        });
+        stats.edge_instances = instances;
+        stats.edges_after_dedup = edges.len();
+        Ok((
+            MetricNavigator {
+                trees,
+                home,
+                k,
+                n,
+                edges,
+            },
+            stats,
+        ))
     }
 
     /// The hop bound `k`.
@@ -285,13 +365,13 @@ impl MetricNavigator {
     }
 
     /// Returns a k-hop path `u = p₀, p₁, …, p_h = v` (`h ≤ k`) in the
-    /// spanner `H_X`, or `None` if no cover tree contains both points
-    /// (never the case for the built-in constructions). O(k + ζ) time
-    /// (O(k) with home trees).
+    /// spanner `H_X`. O(k + ζ) time (O(k) with home trees).
     ///
     /// # Errors
     ///
-    /// Returns [`NavigationError::PointOutOfRange`] for invalid ids.
+    /// Returns [`NavigationError::PointOutOfRange`] for invalid ids and
+    /// [`NavigationError::PairNotCovered`] if no cover tree contains
+    /// both points (never the case for the built-in constructions).
     pub fn find_path(&self, u: usize, v: usize) -> Result<Vec<usize>, NavigationError> {
         if u >= self.n {
             return Err(NavigationError::PointOutOfRange { point: u });
@@ -302,14 +382,13 @@ impl MetricNavigator {
         if u == v {
             return Ok(vec![u]);
         }
-        let (ti, _) = match self.select_tree(u, v) {
-            Some(x) => x,
-            None => {
-                return Ok(Vec::new());
-            }
-        };
+        let (ti, _) = self
+            .select_tree(u, v)
+            .ok_or(NavigationError::PairNotCovered { u, v })?;
         let t = &self.trees[ti];
-        let tree_path = t.tree_vertex_path(u, v).expect("selected tree covers both");
+        let tree_path = t
+            .tree_vertex_path(u, v)?
+            .ok_or(NavigationError::PairNotCovered { u, v })?;
         let mut path: Vec<usize> = tree_path.iter().map(|&tv| t.dom.point_of(tv)).collect();
         path.dedup();
         Ok(path)
@@ -328,8 +407,7 @@ impl MetricNavigator {
         for u in 0..self.n {
             for v in (u + 1)..self.n {
                 let d = metric.dist(u, v);
-                let path = self.find_path(u, v).expect("valid ids");
-                assert!(!path.is_empty(), "pair ({u},{v}) not covered");
+                let path = self.find_path(u, v).expect("all pairs covered");
                 let w = Self::path_weight(metric, &path);
                 if d > 0.0 {
                     worst = worst.max(w / d);
@@ -449,11 +527,15 @@ mod tests {
     fn budgeted_general_navigation() {
         let m = gen::random_graph_metric(30, 5, &mut rng());
         for budget in [1usize, 3] {
-            let (nav, gamma) = MetricNavigator::general_budgeted(&m, budget, 2, &mut rng()).unwrap();
+            let (nav, gamma) =
+                MetricNavigator::general_budgeted(&m, budget, 2, &mut rng()).unwrap();
             assert!(nav.tree_count() <= budget);
             let (stretch, hops) = nav.measured_stretch_and_hops(&m);
             assert!(hops <= 2);
-            assert!(stretch <= 32.0 * gamma + 1e-9, "stretch {stretch} vs γ {gamma}");
+            assert!(
+                stretch <= 32.0 * gamma + 1e-9,
+                "stretch {stretch} vs γ {gamma}"
+            );
         }
     }
 
@@ -466,7 +548,10 @@ mod tests {
                 let est = nav.approx_distance(u, v).unwrap();
                 let d = m.dist(u, v);
                 assert!(est >= d * (1.0 - 1e-9), "underestimate ({u},{v})");
-                assert!(est <= 2.0 * d + 1e-9, "loose estimate ({u},{v}): {est} vs {d}");
+                assert!(
+                    est <= 2.0 * d + 1e-9,
+                    "loose estimate ({u},{v}): {est} vs {d}"
+                );
             }
         }
     }

@@ -31,9 +31,9 @@
 
 pub mod gen;
 mod graph;
+mod mst;
 #[cfg(feature = "serde")]
 mod serde_impl;
-mod mst;
 mod space;
 
 pub use graph::{Graph, GraphError};

@@ -435,11 +435,7 @@ mod tests {
     #[test]
     fn validate_catches_triangle_violation() {
         // d(0,2) = 10 > d(0,1) + d(1,2) = 2.
-        let m = MatrixMetric::new(
-            3,
-            vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0],
-        )
-        .unwrap();
+        let m = MatrixMetric::new(3, vec![0.0, 1.0, 10.0, 1.0, 0.0, 1.0, 10.0, 1.0, 0.0]).unwrap();
         assert!(matches!(
             validate_metric(&m),
             Err(MetricError::TriangleViolation { .. })
@@ -459,8 +455,7 @@ mod tests {
 
     #[test]
     fn tree_metric_space() {
-        let tree =
-            RootedTree::from_edges(4, 0, &[(0, 1, 2.0), (1, 2, 3.0), (0, 3, 1.0)]).unwrap();
+        let tree = RootedTree::from_edges(4, 0, &[(0, 1, 2.0), (1, 2, 3.0), (0, 3, 1.0)]).unwrap();
         let m = TreeMetricSpace::new(tree);
         assert_eq!(m.dist(2, 3), 6.0);
         assert_eq!(m.dist(0, 2), 5.0);
@@ -481,6 +476,9 @@ mod tests {
         let s = EuclideanSpace::from_points(&pts);
         let c = estimate_doubling_constant(&s);
         // A line has doubling constant <= 4 under this greedy estimate.
-        assert!(c <= 5, "estimated doubling constant {c} too large for a line");
+        assert!(
+            c <= 5,
+            "estimated doubling constant {c} too large for a line"
+        );
     }
 }

@@ -1,0 +1,358 @@
+//! The shared parallel preprocessing pipeline and its build telemetry.
+//!
+//! Every navigator-like constructor in the workspace — the metric
+//! navigator, the fault-tolerant spanner, and both routing
+//! preprocessors — spends almost all of its build time in per-tree work
+//! (one Theorem 1.1 spanner per cover tree) that is embarrassingly
+//! parallel. This crate centralizes that fan-out:
+//!
+//! * [`parallel_map`] / [`parallel_map_owned`] — order-preserving maps
+//!   over a work list on `std::thread::scope` workers. Slot `i` of the
+//!   output always holds `f(i, items[i])`, so downstream merges (edge
+//!   dedup, overlay assembly) see the same sequence regardless of worker
+//!   count — parallel builds are bit-identical to sequential ones.
+//! * [`resolve_workers`] / [`auto_workers`] — worker-count selection:
+//!   an explicit request wins, then the `HOPSPAN_WORKERS` environment
+//!   variable, then [`std::thread::available_parallelism`].
+//! * [`BuildStats`] — per-phase wall times, per-tree spanner sizes and
+//!   edge-dedup counters, threaded through cover → spanner →
+//!   materialization and printed by the experiment binaries.
+//!
+//! No worker pool outlives a call: workers are scoped threads, so
+//! borrowed inputs (the metric, the net hierarchy) need no `'static`
+//! bound and no reference counting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable overriding the automatic worker count.
+pub const WORKERS_ENV: &str = "HOPSPAN_WORKERS";
+
+/// The automatic worker count: `HOPSPAN_WORKERS` when set to a positive
+/// integer, otherwise [`std::thread::available_parallelism`] (1 when
+/// unavailable).
+pub fn auto_workers() -> usize {
+    if let Ok(s) = std::env::var(WORKERS_ENV) {
+        if let Ok(k) = s.trim().parse::<usize>() {
+            if k >= 1 {
+                return k;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1)
+}
+
+/// Resolves a worker request: `Some(k)` pins `k ≥ 1` workers (0 is
+/// treated as 1), `None` defers to [`auto_workers`].
+pub fn resolve_workers(requested: Option<usize>) -> usize {
+    match requested {
+        Some(k) => k.max(1),
+        None => auto_workers(),
+    }
+}
+
+/// Maps `f` over `items` on up to `workers` scoped threads, returning
+/// the results in input order (`out[i] = f(i, &items[i])`).
+///
+/// Work is claimed dynamically (an atomic cursor), so uneven per-item
+/// costs balance across workers; the output order is positional, never
+/// completion order. With `workers <= 1` or fewer than two items the map
+/// runs inline on the calling thread — the results are identical either
+/// way, only the wall time differs.
+pub fn parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(n, || None);
+    let slots = Mutex::new(&mut out);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                slots.lock().expect("no panics hold the lock")[i] = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Like [`parallel_map`] but consumes the items, for per-item work that
+/// needs ownership (e.g. `NavTree::new` swallowing its dominating tree).
+/// Order-preserving: `out[i] = f(i, items[i])`.
+pub fn parallel_map_owned<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n < 2 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let input: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(n, || None);
+    let slots = Mutex::new(&mut out);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = input[i]
+                    .lock()
+                    .expect("no panics hold the lock")
+                    .take()
+                    .expect("each index claimed once");
+                let r = f(i, item);
+                slots.lock().expect("no panics hold the lock")[i] = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// One timed phase of a build.
+#[derive(Debug, Clone)]
+pub struct PhaseStat {
+    /// Phase name (`"cover/nets"`, `"spanners"`, `"materialize"`, …).
+    pub name: String,
+    /// Wall time spent in the phase.
+    pub duration: Duration,
+}
+
+/// Build telemetry for the preprocessing pipeline: phase wall times,
+/// per-tree spanner sizes, worker count and edge-dedup counters.
+///
+/// Constructors with a `_with_stats` variant return one of these next to
+/// the built structure; the experiment binaries print
+/// [`BuildStats::summary`].
+#[derive(Debug, Clone, Default)]
+pub struct BuildStats {
+    /// Worker threads used for the per-tree fan-out.
+    pub workers: usize,
+    /// Number of cover trees processed.
+    pub tree_count: usize,
+    /// Tree-spanner edge count per cover tree, in tree order.
+    pub per_tree_spanner_edges: Vec<usize>,
+    /// Materialized edge instances before deduplication (every tree
+    /// contributes each of its point pairs once; bicliques count every
+    /// candidate pair).
+    pub edge_instances: usize,
+    /// Distinct point edges after deduplication.
+    pub edges_after_dedup: usize,
+    phases: Vec<PhaseStat>,
+}
+
+impl BuildStats {
+    /// Fresh stats for a build running on `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        BuildStats {
+            workers,
+            ..Default::default()
+        }
+    }
+
+    /// Runs `f` and records its wall time as phase `name`.
+    pub fn phase<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.record_phase(name, start.elapsed());
+        r
+    }
+
+    /// Records an externally measured phase.
+    pub fn record_phase(&mut self, name: &str, duration: Duration) {
+        self.phases.push(PhaseStat {
+            name: name.to_string(),
+            duration,
+        });
+    }
+
+    /// The recorded phases, in execution order.
+    pub fn phases(&self) -> &[PhaseStat] {
+        &self.phases
+    }
+
+    /// Total wall time of phase `name`, if recorded.
+    pub fn phase_duration(&self, name: &str) -> Option<Duration> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.duration)
+    }
+
+    /// Sum of all recorded phase times.
+    pub fn total_duration(&self) -> Duration {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Sum of the per-tree spanner edge counts.
+    pub fn spanner_edge_total(&self) -> usize {
+        self.per_tree_spanner_edges.iter().sum()
+    }
+
+    /// Instances-per-kept-edge ratio of the dedup step (≥ 1 when any
+    /// edge was kept; 0 for empty builds).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.edges_after_dedup == 0 {
+            0.0
+        } else {
+            self.edge_instances as f64 / self.edges_after_dedup as f64
+        }
+    }
+
+    /// Folds a sub-build's stats into this one: its phases are appended
+    /// under `prefix/` (or verbatim for an empty prefix) and its
+    /// tree/edge counters are added.
+    pub fn absorb(&mut self, prefix: &str, other: BuildStats) {
+        for p in other.phases {
+            let name = if prefix.is_empty() {
+                p.name
+            } else {
+                format!("{prefix}/{}", p.name)
+            };
+            self.phases.push(PhaseStat {
+                name,
+                duration: p.duration,
+            });
+        }
+        self.tree_count += other.tree_count;
+        self.per_tree_spanner_edges
+            .extend(other.per_tree_spanner_edges);
+        self.edge_instances += other.edge_instances;
+        self.edges_after_dedup += other.edges_after_dedup;
+    }
+
+    /// A compact human-readable report (one line per phase plus one
+    /// counter line), used by the experiment binaries.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for p in &self.phases {
+            out.push_str(&format!(
+                "  {:<18} {:>9.2} ms\n",
+                p.name,
+                p.duration.as_secs_f64() * 1e3
+            ));
+        }
+        out.push_str(&format!(
+            "  workers={} trees={} tree-spanner edges={} edge instances={} after dedup={} (x{:.2})\n",
+            self.workers,
+            self.tree_count,
+            self.spanner_edge_total(),
+            self.edge_instances,
+            self.edges_after_dedup,
+            self.dedup_ratio()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1usize, 2, 4, 7] {
+            let out = parallel_map(workers, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_owned_preserves_order() {
+        let items: Vec<String> = (0..50).map(|i| i.to_string()).collect();
+        for workers in [1usize, 3, 16] {
+            let out = parallel_map_owned(workers, items.clone(), |i, s| format!("{i}:{s}"));
+            assert_eq!(out, (0..50).map(|i| format!("{i}:{i}")).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_uneven_work() {
+        let items: Vec<u64> = (0..40).map(|i| (i * 2654435761) % 97).collect();
+        let slow_square = |_: usize, &x: &u64| {
+            // Uneven busy work so completion order differs from index order.
+            let mut acc = 0u64;
+            for k in 0..(x * 50) {
+                acc = acc.wrapping_add(k ^ x);
+            }
+            (x * x, acc)
+        };
+        let seq = parallel_map(1, &items, slow_square);
+        let par = parallel_map(8, &items, slow_square);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn worker_resolution() {
+        assert_eq!(resolve_workers(Some(3)), 3);
+        assert_eq!(resolve_workers(Some(0)), 1);
+        assert!(resolve_workers(None) >= 1);
+        assert!(auto_workers() >= 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = BuildStats::new(4);
+        let x = s.phase("alpha", || 17);
+        assert_eq!(x, 17);
+        s.record_phase("beta", Duration::from_millis(5));
+        s.tree_count = 2;
+        s.per_tree_spanner_edges = vec![10, 20];
+        s.edge_instances = 45;
+        s.edges_after_dedup = 25;
+
+        let mut sub = BuildStats::new(4);
+        sub.record_phase("gamma", Duration::from_millis(7));
+        sub.tree_count = 1;
+        sub.per_tree_spanner_edges = vec![5];
+        sub.edge_instances = 5;
+        sub.edges_after_dedup = 5;
+        s.absorb("cover", sub);
+
+        assert_eq!(s.phases().len(), 3);
+        assert_eq!(s.phases()[2].name, "cover/gamma");
+        assert!(s.phase_duration("beta").is_some());
+        assert!(s.phase_duration("cover/gamma").is_some());
+        assert_eq!(s.tree_count, 3);
+        assert_eq!(s.spanner_edge_total(), 35);
+        assert_eq!(s.edges_after_dedup, 30);
+        assert!((s.dedup_ratio() - 50.0 / 30.0).abs() < 1e-12);
+        assert!(s.total_duration() >= Duration::from_millis(12));
+        assert!(s.summary().contains("workers=4"));
+    }
+}

@@ -10,6 +10,7 @@
 use std::collections::{HashMap, HashSet};
 
 use hopspan_metric::Metric;
+use hopspan_pipeline::BuildStats;
 use hopspan_tree_cover::{DominatingTree, RobustTreeCover};
 use hopspan_tree_spanner::TreeHopSpanner;
 use hopspan_treealg::DistanceLabeling;
@@ -49,50 +50,93 @@ impl FtMetricRoutingScheme {
         f: usize,
         rng: &mut R,
     ) -> Result<Self, NavBuildError> {
+        Self::new_with_stats(metric, eps, f, rng, None).map(|(rs, _)| rs)
+    }
+
+    /// Like [`FtMetricRoutingScheme::new`], with explicit control over
+    /// the preprocessing worker count (`None` = automatic) and the
+    /// build telemetry returned alongside the scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover and spanner construction failures.
+    pub fn new_with_stats<M: Metric + Sync, R: Rng>(
+        metric: &M,
+        eps: f64,
+        f: usize,
+        rng: &mut R,
+        workers: Option<usize>,
+    ) -> Result<(Self, BuildStats), NavBuildError> {
         let n = metric.len();
-        let cover = RobustTreeCover::new(metric, eps)?;
+        let workers = hopspan_pipeline::resolve_workers(workers);
+        let mut stats = BuildStats::new(workers);
+        let (cover, cover_stats) = RobustTreeCover::new_with_stats(metric, eps, Some(workers))?;
+        stats.absorb("cover", cover_stats);
+        stats.tree_count = 0;
         let doms = cover.into_cover().into_trees();
-        // Candidate sets and the biclique overlay (Theorem 4.2).
-        let mut spanners = Vec::with_capacity(doms.len());
-        let mut cand_sets: Vec<Vec<Vec<usize>>> = Vec::with_capacity(doms.len());
-        let mut overlay: HashMap<(usize, usize), ()> = HashMap::new();
-        for dom in &doms {
-            let tree = dom.tree();
-            let required: Vec<bool> =
-                (0..tree.len()).map(|v| tree.child_count(v) == 0).collect();
-            let spanner = TreeHopSpanner::with_required(tree, &required, 2)?;
-            // Anchor-first R(v): the associated point (a descendant leaf
-            // by robustness), then up to f other distinct leaf points.
-            let cands: Vec<Vec<usize>> = (0..tree.len())
-                .map(|v| {
-                    let mut out = vec![dom.point_of(v)];
-                    for &leaf in dom.descendant_leaves(v) {
-                        if out.len() > f {
-                            break;
+        // Candidate sets and the biclique overlay (Theorem 4.2), per
+        // tree on scoped workers; the overlay merge below runs in
+        // tree-index order so the network is worker-count independent.
+        type FtBuilt = (TreeHopSpanner, Vec<Vec<usize>>, Vec<(usize, usize)>);
+        let built: Vec<FtBuilt> = stats.phase("spanners", || {
+            hopspan_pipeline::parallel_map(workers, &doms, |_, dom| {
+                let tree = dom.tree();
+                let required: Vec<bool> =
+                    (0..tree.len()).map(|v| tree.child_count(v) == 0).collect();
+                let spanner = TreeHopSpanner::with_required(tree, &required, 2)?;
+                // Anchor-first R(v): the associated point (a descendant
+                // leaf by robustness), then up to f other distinct leaf
+                // points.
+                let cands: Vec<Vec<usize>> = (0..tree.len())
+                    .map(|v| {
+                        let mut out = vec![dom.point_of(v)];
+                        for &leaf in dom.descendant_leaves(v) {
+                            if out.len() > f {
+                                break;
+                            }
+                            let p = dom.point_of(leaf);
+                            if !out.contains(&p) {
+                                out.push(p);
+                            }
                         }
-                        let p = dom.point_of(leaf);
-                        if !out.contains(&p) {
-                            out.push(p);
-                        }
-                    }
-                    out
-                })
-                .collect();
-            for &(a, b, _) in spanner.edges() {
-                for &pa in &cands[a] {
-                    for &pb in &cands[b] {
-                        if pa != pb {
-                            overlay.insert((pa.min(pb), pa.max(pb)), ());
+                        out
+                    })
+                    .collect();
+                let mut pairs = Vec::new();
+                for &(a, b, _) in spanner.edges() {
+                    for &pa in &cands[a] {
+                        for &pb in &cands[b] {
+                            if pa != pb {
+                                pairs.push((pa.min(pb), pa.max(pb)));
+                            }
                         }
                     }
                 }
+                Ok((spanner, cands, pairs))
+            })
+            .into_iter()
+            .collect::<Result<_, hopspan_tree_spanner::TreeSpannerError>>()
+        })?;
+        stats.tree_count = built.len();
+        stats.per_tree_spanner_edges = built.iter().map(|(s, _, _)| s.edges().len()).collect();
+        let overlay_start = std::time::Instant::now();
+        let mut overlay: HashMap<(usize, usize), ()> = HashMap::new();
+        let mut spanners = Vec::with_capacity(built.len());
+        let mut cand_sets: Vec<Vec<Vec<usize>>> = Vec::with_capacity(built.len());
+        for (spanner, cands, pairs) in built {
+            stats.edge_instances += pairs.len();
+            for key in pairs {
+                overlay.insert(key, ());
             }
             spanners.push(spanner);
             cand_sets.push(cands);
         }
         let mut overlay: Vec<(usize, usize)> = overlay.into_keys().collect();
         overlay.sort_unstable();
+        stats.edges_after_dedup = overlay.len();
         let net = Network::new(n, &overlay, rng);
+        stats.record_phase("overlay", overlay_start.elapsed());
+        let schemes_start = std::time::Instant::now();
         let mut trees = Vec::with_capacity(doms.len());
         for ((dom, spanner), cands) in doms.into_iter().zip(spanners).zip(cand_sets) {
             let point_of = {
@@ -113,7 +157,7 @@ impl FtMetricRoutingScheme {
             });
         }
         let (id_bits, port_bits) = (net.id_bits(), net.port_bits());
-        let mut stats = SchemeStats {
+        let mut scheme_stats = SchemeStats {
             header_bits: Header::PortHint(0).bits(id_bits, port_bits),
             ..Default::default()
         };
@@ -129,16 +173,20 @@ impl FtMetricRoutingScheme {
                     table += dl;
                 }
             }
-            stats.max_label_bits = stats.max_label_bits.max(label);
-            stats.max_table_bits = stats.max_table_bits.max(table);
+            scheme_stats.max_label_bits = scheme_stats.max_label_bits.max(label);
+            scheme_stats.max_table_bits = scheme_stats.max_table_bits.max(table);
         }
-        Ok(FtMetricRoutingScheme {
-            net,
-            trees,
-            f,
-            n,
+        stats.record_phase("schemes", schemes_start.elapsed());
+        Ok((
+            FtMetricRoutingScheme {
+                net,
+                trees,
+                f,
+                n,
+                stats: scheme_stats,
+            },
             stats,
-        })
+        ))
     }
 
     /// The fault-tolerance parameter f.
@@ -241,11 +289,7 @@ impl FtMetricRoutingScheme {
                 for p in &trace.path {
                     assert!(!faulty.contains(p), "routed through a faulty node");
                 }
-                let w: f64 = trace
-                    .path
-                    .windows(2)
-                    .map(|x| metric.dist(x[0], x[1]))
-                    .sum();
+                let w: f64 = trace.path.windows(2).map(|x| metric.dist(x[0], x[1])).sum();
                 let d = metric.dist(u, v);
                 if d > 0.0 {
                     worst = worst.max(w / d);
@@ -288,8 +332,12 @@ mod tests {
     #[test]
     fn bits_grow_with_f() {
         let m = gen::uniform_points(16, 2, &mut rng());
-        let s0 = FtMetricRoutingScheme::new(&m, 0.5, 0, &mut rng()).unwrap().stats();
-        let s3 = FtMetricRoutingScheme::new(&m, 0.5, 3, &mut rng()).unwrap().stats();
+        let s0 = FtMetricRoutingScheme::new(&m, 0.5, 0, &mut rng())
+            .unwrap()
+            .stats();
+        let s3 = FtMetricRoutingScheme::new(&m, 0.5, 3, &mut rng())
+            .unwrap()
+            .stats();
         assert!(
             s3.max_label_bits > s0.max_label_bits,
             "labels must grow with f: {} vs {}",

@@ -11,6 +11,7 @@
 use std::collections::{HashMap, HashSet};
 
 use hopspan_metric::{Graph, Metric};
+use hopspan_pipeline::BuildStats;
 use hopspan_tree_cover::{DominatingTree, RamseyTreeCover, RobustTreeCover, SeparatorTreeCover};
 use hopspan_tree_spanner::TreeHopSpanner;
 use hopspan_treealg::DistanceLabeling;
@@ -76,14 +77,37 @@ impl MetricRoutingScheme {
         eps: f64,
         rng: &mut R,
     ) -> Result<Self, NavBuildError> {
-        let cover = RobustTreeCover::new(metric, eps)?;
-        Self::from_trees(
+        Self::doubling_with_stats(metric, eps, rng, None).map(|(rs, _)| rs)
+    }
+
+    /// Like [`MetricRoutingScheme::doubling`], with explicit control
+    /// over the preprocessing worker count (`None` = automatic) and the
+    /// build telemetry returned alongside the scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cover and spanner construction failures.
+    pub fn doubling_with_stats<M: Metric + Sync, R: Rng>(
+        metric: &M,
+        eps: f64,
+        rng: &mut R,
+        workers: Option<usize>,
+    ) -> Result<(Self, BuildStats), NavBuildError> {
+        let workers = hopspan_pipeline::resolve_workers(workers);
+        let mut stats = BuildStats::new(workers);
+        let (cover, cover_stats) = RobustTreeCover::new_with_stats(metric, eps, Some(workers))?;
+        stats.absorb("cover", cover_stats);
+        stats.tree_count = 0;
+        let (rs, rs_stats) = Self::from_trees_with_stats(
             metric,
             cover.into_cover().into_trees(),
             TreeSelection::MinDistanceLabel,
             None,
             rng,
-        )
+            Some(workers),
+        )?;
+        stats.absorb("", rs_stats);
+        Ok((rs, stats))
     }
 
     /// Builds the scheme for a general metric via a Ramsey cover
@@ -136,26 +160,59 @@ impl MetricRoutingScheme {
         home: Option<Vec<usize>>,
         rng: &mut R,
     ) -> Result<Self, NavBuildError> {
+        Self::from_trees_with_stats(metric, doms, selection, home, rng, None).map(|(rs, _)| rs)
+    }
+
+    fn from_trees_with_stats<M: Metric, R: Rng>(
+        metric: &M,
+        doms: Vec<DominatingTree>,
+        selection: TreeSelection,
+        home: Option<Vec<usize>>,
+        rng: &mut R,
+        workers: Option<usize>,
+    ) -> Result<(Self, BuildStats), NavBuildError> {
         let n = metric.len();
-        // Build the spanners first to materialize the overlay.
-        let mut spanners = Vec::with_capacity(doms.len());
-        let mut overlay: HashMap<(usize, usize), ()> = HashMap::new();
-        for dom in &doms {
-            let tree = dom.tree();
-            let required: Vec<bool> =
-                (0..tree.len()).map(|v| tree.child_count(v) == 0).collect();
-            let spanner = TreeHopSpanner::with_required(tree, &required, 2)?;
-            for &(a, b, _) in spanner.edges() {
-                let (pa, pb) = (dom.point_of(a), dom.point_of(b));
-                if pa != pb {
-                    overlay.insert((pa.min(pb), pa.max(pb)), ());
+        let workers = hopspan_pipeline::resolve_workers(workers);
+        let mut stats = BuildStats::new(workers);
+        // Per-tree spanners and their materialized point pairs fan out
+        // over scoped workers; the overlay is merged sequentially in
+        // tree-index order, so it is identical for every worker count.
+        let built: Vec<(TreeHopSpanner, Vec<(usize, usize)>)> = stats.phase("spanners", || {
+            hopspan_pipeline::parallel_map(workers, &doms, |_, dom| {
+                let tree = dom.tree();
+                let required: Vec<bool> =
+                    (0..tree.len()).map(|v| tree.child_count(v) == 0).collect();
+                let spanner = TreeHopSpanner::with_required(tree, &required, 2)?;
+                let mut pairs = Vec::with_capacity(spanner.edges().len());
+                for &(a, b, _) in spanner.edges() {
+                    let (pa, pb) = (dom.point_of(a), dom.point_of(b));
+                    if pa != pb {
+                        pairs.push((pa.min(pb), pa.max(pb)));
+                    }
                 }
+                Ok((spanner, pairs))
+            })
+            .into_iter()
+            .collect::<Result<_, hopspan_tree_spanner::TreeSpannerError>>()
+        })?;
+        stats.tree_count = built.len();
+        stats.per_tree_spanner_edges = built.iter().map(|(s, _)| s.edges().len()).collect();
+        let overlay_start = std::time::Instant::now();
+        let mut overlay: HashMap<(usize, usize), ()> = HashMap::new();
+        let mut spanners = Vec::with_capacity(built.len());
+        for (spanner, pairs) in built {
+            stats.edge_instances += pairs.len();
+            for key in pairs {
+                overlay.insert(key, ());
             }
             spanners.push(spanner);
         }
         let mut overlay: Vec<(usize, usize)> = overlay.into_keys().collect();
         overlay.sort_unstable();
+        stats.edges_after_dedup = overlay.len();
         let net = Network::new(n, &overlay, rng);
+        stats.record_phase("overlay", overlay_start.elapsed());
+        let schemes_start = std::time::Instant::now();
         let mut trees = Vec::with_capacity(doms.len());
         for (dom, spanner) in doms.into_iter().zip(spanners) {
             let point_of = {
@@ -176,7 +233,7 @@ impl MetricRoutingScheme {
             });
         }
         let (id_bits, port_bits) = (net.id_bits(), net.port_bits());
-        let mut stats = SchemeStats {
+        let mut scheme_stats = SchemeStats {
             header_bits: Header::PortHint(0).bits(id_bits, port_bits),
             ..Default::default()
         };
@@ -198,17 +255,21 @@ impl MetricRoutingScheme {
             if home.is_some() {
                 label += id_bits; // home tree index
             }
-            stats.max_label_bits = stats.max_label_bits.max(label);
-            stats.max_table_bits = stats.max_table_bits.max(table);
+            scheme_stats.max_label_bits = scheme_stats.max_label_bits.max(label);
+            scheme_stats.max_table_bits = scheme_stats.max_table_bits.max(table);
         }
-        Ok(MetricRoutingScheme {
-            net,
-            trees,
-            selection,
-            home,
-            n,
+        stats.record_phase("schemes", schemes_start.elapsed());
+        Ok((
+            MetricRoutingScheme {
+                net,
+                trees,
+                selection,
+                home,
+                n,
+                stats: scheme_stats,
+            },
             stats,
-        })
+        ))
     }
 
     /// Number of trees ζ.
@@ -289,11 +350,7 @@ impl MetricRoutingScheme {
                 }
                 let trace = self.route(u, v).expect("valid pair");
                 assert_eq!(*trace.path.last().unwrap(), v, "misrouted ({u},{v})");
-                let w: f64 = trace
-                    .path
-                    .windows(2)
-                    .map(|x| metric.dist(x[0], x[1]))
-                    .sum();
+                let w: f64 = trace.path.windows(2).map(|x| metric.dist(x[0], x[1])).sum();
                 let d = metric.dist(u, v);
                 if d > 0.0 {
                     worst = worst.max(w / d);
@@ -359,8 +416,12 @@ mod tests {
     fn bits_do_not_grow_linearly() {
         let m1 = gen::uniform_points(16, 1, &mut rng());
         let m2 = gen::uniform_points(128, 1, &mut rng());
-        let s1 = MetricRoutingScheme::doubling(&m1, 0.5, &mut rng()).unwrap().stats();
-        let s2 = MetricRoutingScheme::doubling(&m2, 0.5, &mut rng()).unwrap().stats();
+        let s1 = MetricRoutingScheme::doubling(&m1, 0.5, &mut rng())
+            .unwrap()
+            .stats();
+        let s2 = MetricRoutingScheme::doubling(&m2, 0.5, &mut rng())
+            .unwrap()
+            .stats();
         // 8x more points: label bits should grow by far less than 8x
         // (polylog per tree; ζ saturates to its ε-dependent constant).
         assert!(

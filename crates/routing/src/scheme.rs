@@ -147,7 +147,7 @@ pub(crate) struct NodeTable {
 }
 
 /// Size statistics of a routing scheme (bit accounting).
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SchemeStats {
     /// Maximum label size over nodes, in bits.
     pub max_label_bits: usize,
@@ -313,9 +313,7 @@ impl PerTreeScheme {
                                 } else {
                                     BaseRoute::Via(
                                         cand.iter()
-                                            .map(|&c| {
-                                                (c, net.port(pa, c), net.port(c, pb))
-                                            })
+                                            .map(|&c| (c, net.port(pa, c), net.port(c, pb)))
                                             .collect(),
                                     )
                                 }
@@ -435,9 +433,9 @@ impl PerTreeScheme {
                 // id + home ref (id + 2 interval words) + entries.
                 let mut bits = id_bits + 3 * id_bits + 1;
                 for e in &l.anc {
-                    bits += 1
-                        + e.as_ref()
-                            .map_or(0, |v| 1 + v.ports.len() * (id_bits + port_bits));
+                    bits += 1 + e
+                        .as_ref()
+                        .map_or(0, |v| 1 + v.ports.len() * (id_bits + port_bits));
                 }
                 bits
             }
@@ -453,9 +451,9 @@ impl PerTreeScheme {
             bits += 3 * id_bits;
         }
         for e in &t.anc_out {
-            bits += 1
-                + e.as_ref()
-                    .map_or(0, |v| 1 + v.ports.len() * (id_bits + port_bits));
+            bits += 1 + e
+                .as_ref()
+                .map_or(0, |v| 1 + v.ports.len() * (id_bits + port_bits));
         }
         for route in t.base.values() {
             bits += 2 * id_bits; // key
@@ -512,7 +510,8 @@ fn best_base_route(spanner: &TreeHopSpanner, a: usize, b: usize) -> BasePath {
             }
         }
     }
-    best.expect("base case has a <=2-hop path between required members").1
+    best.expect("base case has a <=2-hop path between required members")
+        .1
 }
 
 /// Drives a packet through the network using one tree's scheme.

@@ -65,8 +65,12 @@ impl TreeRoutingScheme {
             ..Default::default()
         };
         for v in 0..n {
-            stats.max_label_bits = stats.max_label_bits.max(scheme.label_bits(v, id_bits, port_bits));
-            stats.max_table_bits = stats.max_table_bits.max(scheme.table_bits(v, id_bits, port_bits));
+            stats.max_label_bits = stats
+                .max_label_bits
+                .max(scheme.label_bits(v, id_bits, port_bits));
+            stats.max_table_bits = stats
+                .max_table_bits
+                .max(scheme.table_bits(v, id_bits, port_bits));
         }
         Ok(TreeRoutingScheme {
             net,
@@ -181,8 +185,16 @@ mod tests {
         let log_n = 8usize;
         // O(log²n) with a modest constant.
         let budget = 20 * log_n * log_n;
-        assert!(stats.max_label_bits <= budget, "label {}", stats.max_label_bits);
-        assert!(stats.max_table_bits <= budget, "table {}", stats.max_table_bits);
+        assert!(
+            stats.max_label_bits <= budget,
+            "label {}",
+            stats.max_label_bits
+        );
+        assert!(
+            stats.max_table_bits <= budget,
+            "table {}",
+            stats.max_table_bits
+        );
         assert!(stats.header_bits <= 2 * log_n);
     }
 

@@ -336,7 +336,13 @@ pub fn substituted_path_weight<M: Metric>(
     let path = t.tree_path(p, q)?;
     let points: Vec<usize> = path
         .iter()
-        .map(|&v| if t.tree().child_count(v) == 0 { t.point_of(v) } else { sub(v) })
+        .map(|&v| {
+            if t.tree().child_count(v) == 0 {
+                t.point_of(v)
+            } else {
+                sub(v)
+            }
+        })
         .collect();
     let mut w = 0.0;
     for win in points.windows(2) {

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use hopspan_metric::Metric;
+use hopspan_pipeline::BuildStats;
 
 use crate::cover::TreeAssembler;
 use crate::nets::{exp2, NetHierarchy};
@@ -113,6 +114,23 @@ impl RobustTreeCover {
     /// Returns a [`CoverError`] for empty/duplicate inputs or `eps`
     /// outside `(0, 1]`.
     pub fn new<M: Metric + Sync>(metric: &M, eps: f64) -> Result<Self, CoverError> {
+        Self::new_with_stats(metric, eps, None).map(|(c, _)| c)
+    }
+
+    /// Like [`RobustTreeCover::new`], with explicit control over the
+    /// per-tree worker count (`None` = automatic, see
+    /// [`hopspan_pipeline::resolve_workers`]) and the per-phase build
+    /// telemetry returned alongside the cover.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoverError`] for empty/duplicate inputs or `eps`
+    /// outside `(0, 1]`.
+    pub fn new_with_stats<M: Metric + Sync>(
+        metric: &M,
+        eps: f64,
+        workers: Option<usize>,
+    ) -> Result<(Self, BuildStats), CoverError> {
         if eps <= 0.0 || eps.is_nan() || eps > 1.0 {
             return Err(CoverError::InvalidParameter {
                 what: "eps must be in (0, 1]",
@@ -130,24 +148,42 @@ impl RobustTreeCover {
         // a current-net point") additionally needs the lowest *processed*
         // level's companion nets to contain every point, i.e. scales below
         // ⌊log₂ δ_min⌋. `period` extra levels below serve as companions.
+        let workers = hopspan_pipeline::resolve_workers(workers);
+        let mut stats = BuildStats::new(workers);
+        let scan = std::time::Instant::now();
         let mut dmin = f64::INFINITY;
         let mut dmax: f64 = 0.0;
+        let mut closest = (0usize, 0usize);
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = metric.dist(i, j);
-                dmin = dmin.min(d);
+                if d < dmin {
+                    dmin = d;
+                    closest = (i, j);
+                }
                 dmax = dmax.max(d);
             }
         }
-        let nets = if n <= 1 || !dmin.is_finite() {
-            NetHierarchy::new(metric, 0, 0)?
-        } else {
-            let low_main = ((4.0 * eps * dmin).log2().floor() as i32)
-                .min(dmin.log2().floor() as i32 - 1);
-            let high = ((2.0 * eps * dmax).log2().ceil() as i32 + 1).max(low_main);
-            NetHierarchy::new(metric, low_main - period as i32, high)?
-        };
-        let pairing = PairingCover::new(metric, &nets, eps);
+        stats.record_phase("scan", scan.elapsed());
+        if dmin <= 0.0 {
+            // A zero-distance pair would send the scale computation below
+            // to log₂(0) = -∞; reject it with the dedicated error instead.
+            return Err(CoverError::DuplicatePoints {
+                i: closest.0,
+                j: closest.1,
+            });
+        }
+        let nets = stats.phase("nets", || {
+            if n <= 1 || !dmin.is_finite() {
+                NetHierarchy::new(metric, 0, 0)
+            } else {
+                let low_main =
+                    ((4.0 * eps * dmin).log2().floor() as i32).min(dmin.log2().floor() as i32 - 1);
+                let high = ((2.0 * eps * dmax).log2().ceil() as i32 + 1).max(low_main);
+                NetHierarchy::new(metric, low_main - period as i32, high)
+            }
+        })?;
+        let pairing = stats.phase("pairing", || PairingCover::new(metric, &nets, eps));
         let slots = pairing.max_sets();
         let levels = nets.levels().len();
 
@@ -159,66 +195,49 @@ impl RobustTreeCover {
         // diameter ≤ (1/ε + 24)·2^{i'} (the Lemma 4.3 induction, with our
         // constants), so r = 2·2^i + (1/ε + 24)·2^{i'} suffices; the
         // induction closes for ε ≤ 1/8 and degrades gracefully above.
-        let mut near: Vec<HashMap<usize, Vec<usize>>> = vec![HashMap::new(); levels];
-        for l in period..levels {
-            let r = 2.0 * exp2(nets.levels()[l].scale_exp)
-                + (1.0 / eps + 24.0) * exp2(nets.levels()[l - period].scale_exp);
-            let lower = &nets.levels()[l - period].points;
-            let map = &mut near[l];
-            for &z in &nets.levels()[l].points {
-                let list: Vec<usize> = lower
-                    .iter()
-                    .copied()
-                    .filter(|&w| metric.dist(z, w) <= r)
-                    .collect();
-                map.insert(z, list);
+        let near = stats.phase("near-sets", || {
+            let mut near: Vec<HashMap<usize, Vec<usize>>> = vec![HashMap::new(); levels];
+            for l in period..levels {
+                let r = 2.0 * exp2(nets.levels()[l].scale_exp)
+                    + (1.0 / eps + 24.0) * exp2(nets.levels()[l - period].scale_exp);
+                let lower = &nets.levels()[l - period].points;
+                let map = &mut near[l];
+                for &z in &nets.levels()[l].points {
+                    let list: Vec<usize> = lower
+                        .iter()
+                        .copied()
+                        .filter(|&w| metric.dist(z, w) <= r)
+                        .collect();
+                    map.insert(z, list);
+                }
             }
-        }
+            near
+        });
 
-        // The σ₃·L trees are independent; build them in parallel.
+        // The σ₃·L trees are independent; build them on the shared
+        // worker pipeline (order-preserving, so the cover is identical
+        // for every worker count).
         let jobs: Vec<(usize, usize)> = (0..slots.max(1))
             .flat_map(|j| (0..period).map(move |p| (j, p)))
             .collect();
-        let workers = std::thread::available_parallelism()
-            .map(|c| c.get())
-            .unwrap_or(1)
-            .min(jobs.len().max(1));
-        let trees: Vec<DominatingTree> = if workers <= 1 || jobs.len() < 8 {
-            jobs.iter()
-                .map(|&(j, p)| Self::build_tree(metric, &nets, &pairing, &near, n, j, p, period))
-                .collect()
-        } else {
-            let next = std::sync::atomic::AtomicUsize::new(0);
-            let mut slots_out: Vec<Option<DominatingTree>> = Vec::new();
-            slots_out.resize_with(jobs.len(), || None);
-            let out = std::sync::Mutex::new(&mut slots_out);
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        let (j, p) = jobs[i];
-                        let tree =
-                            Self::build_tree(metric, &nets, &pairing, &near, n, j, p, period);
-                        out.lock().expect("no panics hold the lock")[i] = Some(tree);
-                    });
-                }
+        let build = std::time::Instant::now();
+        let trees: Vec<DominatingTree> =
+            hopspan_pipeline::parallel_map(workers, &jobs, |_, &(j, p)| {
+                Self::build_tree(metric, &nets, &pairing, &near, n, j, p, period)
             });
-            slots_out
-                .into_iter()
-                .map(|t| t.expect("every job ran"))
-                .collect()
-        };
-        Ok(RobustTreeCover {
-            cover: TreeCover::new(trees),
-            nets,
-            pairing,
-            eps,
-            period,
-            slots: slots.max(1),
-        })
+        stats.record_phase("trees", build.elapsed());
+        stats.tree_count = trees.len();
+        Ok((
+            RobustTreeCover {
+                cover: TreeCover::new(trees),
+                nets,
+                pairing,
+                eps,
+                period,
+                slots: slots.max(1),
+            },
+            stats,
+        ))
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -238,25 +257,24 @@ impl RobustTreeCover {
         let mut forest = Forest::new(&leaves);
         let levels = nets.levels().len();
         // Helper: merge the current trees of `pts` under a node for `anchor`.
-        let merge =
-            |asm: &mut TreeAssembler, forest: &mut Forest, pts: &[usize], anchor: usize| {
-                let mut nodes: Vec<usize> = Vec::with_capacity(pts.len());
-                for &p in pts {
-                    let nd = forest.node_of(p);
-                    if !nodes.contains(&nd) {
-                        nodes.push(nd);
-                    }
+        let merge = |asm: &mut TreeAssembler, forest: &mut Forest, pts: &[usize], anchor: usize| {
+            let mut nodes: Vec<usize> = Vec::with_capacity(pts.len());
+            for &p in pts {
+                let nd = forest.node_of(p);
+                if !nodes.contains(&nd) {
+                    nodes.push(nd);
                 }
-                if nodes.len() <= 1 {
-                    return;
-                }
-                let v = asm.add(anchor);
-                for nd in nodes {
-                    let w = metric.dist(anchor, asm.point_of[nd]);
-                    asm.attach(nd, v, w);
-                }
-                forest.union_under(pts, v);
-            };
+            }
+            if nodes.len() <= 1 {
+                return;
+            }
+            let v = asm.add(anchor);
+            for nd in nodes {
+                let w = metric.dist(anchor, asm.point_of[nd]);
+                asm.attach(nd, v, w);
+            }
+            forest.union_under(pts, v);
+        };
         for l in period..levels {
             if (l - period) % period != residue % period {
                 continue;
@@ -374,22 +392,21 @@ mod tests {
 
     #[test]
     fn line_small() {
-        let m = EuclideanSpace::from_points(
-            &(0..16).map(|i| vec![i as f64]).collect::<Vec<_>>(),
-        );
+        let m = EuclideanSpace::from_points(&(0..16).map(|i| vec![i as f64]).collect::<Vec<_>>());
         check_cover(&m, 0.5, 1.0 + 1e-9);
     }
 
     #[test]
     fn line_tighter_eps() {
-        let m = EuclideanSpace::from_points(
-            &(0..16).map(|i| vec![i as f64]).collect::<Vec<_>>(),
-        );
+        let m = EuclideanSpace::from_points(&(0..16).map(|i| vec![i as f64]).collect::<Vec<_>>());
         let loose = RobustTreeCover::new(&m, 1.0).unwrap();
         let tight = RobustTreeCover::new(&m, 0.25).unwrap();
         let sl = loose.cover().measured_stretch(&m);
         let st = tight.cover().measured_stretch(&m);
-        assert!(st <= sl + 1e-9, "smaller eps should not hurt stretch: {st} vs {sl}");
+        assert!(
+            st <= sl + 1e-9,
+            "smaller eps should not hurt stretch: {st} vs {sl}"
+        );
         assert!(st <= 1.0 + 1e-9, "eps=0.25 line stretch {st}");
     }
 
@@ -418,12 +435,9 @@ mod tests {
 
     #[test]
     fn tree_count_independent_of_n() {
-        let small = EuclideanSpace::from_points(
-            &(0..16).map(|i| vec![i as f64]).collect::<Vec<_>>(),
-        );
-        let big = EuclideanSpace::from_points(
-            &(0..80).map(|i| vec![i as f64]).collect::<Vec<_>>(),
-        );
+        let small =
+            EuclideanSpace::from_points(&(0..16).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let big = EuclideanSpace::from_points(&(0..80).map(|i| vec![i as f64]).collect::<Vec<_>>());
         let cs = RobustTreeCover::new(&small, 0.5).unwrap().tree_count();
         let cb = RobustTreeCover::new(&big, 0.5).unwrap().tree_count();
         assert!(cb <= 2 * cs + 8, "ζ grew with n: {cs} -> {cb}");

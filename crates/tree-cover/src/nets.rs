@@ -124,12 +124,24 @@ impl NetHierarchy {
         }
         let mut dmin = f64::INFINITY;
         let mut dmax: f64 = 0.0;
+        let mut closest = (0usize, 0usize);
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = metric.dist(i, j);
-                dmin = dmin.min(d);
+                if d < dmin {
+                    dmin = d;
+                    closest = (i, j);
+                }
                 dmax = dmax.max(d);
             }
+        }
+        if dmin <= 0.0 {
+            // log₂(0) below would underflow the scale range; report the
+            // zero-distance pair instead.
+            return Err(CoverError::DuplicatePoints {
+                i: closest.0,
+                j: closest.1,
+            });
         }
         if n == 1 || !dmin.is_finite() {
             // Single point: one trivial level.

@@ -520,7 +520,10 @@ mod tests {
         let fine = SeparatorTreeCover::new(&g, 0.2).unwrap();
         let sc = coarse.cover().measured_stretch(&m);
         let sf = fine.cover().measured_stretch(&m);
-        assert!(sf <= sc + 1e-9, "more portals should not hurt: {sf} vs {sc}");
+        assert!(
+            sf <= sc + 1e-9,
+            "more portals should not hurt: {sf} vs {sc}"
+        );
         assert!(fine.tree_count() >= coarse.tree_count());
     }
 
@@ -534,7 +537,10 @@ mod tests {
         let m = GraphMetric::new(&g).unwrap();
         let sc = SeparatorTreeCover::new(&g, 0.5).unwrap();
         let s = sc.cover().measured_stretch(&m);
-        assert!(s <= 1.0 + 1e-9, "path metric should be covered exactly, got {s}");
+        assert!(
+            s <= 1.0 + 1e-9,
+            "path metric should be covered exactly, got {s}"
+        );
     }
 
     #[test]

@@ -54,17 +54,15 @@ impl RamseyTreeCover {
     /// Returns [`CoverError::Empty`] for an empty metric or
     /// [`CoverError::InvalidParameter`] for `ell = 0`; duplicate points
     /// are rejected like in the other covers.
-    pub fn new<M: Metric, R: Rng>(
-        metric: &M,
-        ell: usize,
-        rng: &mut R,
-    ) -> Result<Self, CoverError> {
+    pub fn new<M: Metric, R: Rng>(metric: &M, ell: usize, rng: &mut R) -> Result<Self, CoverError> {
         let n = metric.len();
         if n == 0 {
             return Err(CoverError::Empty);
         }
         if ell == 0 {
-            return Err(CoverError::InvalidParameter { what: "ell must be >= 1" });
+            return Err(CoverError::InvalidParameter {
+                what: "ell must be >= 1",
+            });
         }
         for i in 0..n {
             for j in (i + 1)..n {
@@ -347,9 +345,7 @@ fn build_hst<M: Metric, R: Rng>(
                 let _ = c;
                 for &x in g {
                     if is_candidate[x] && padded[x] {
-                        let ok = (0..n).all(|y| {
-                            metric.dist(x, y) > pad_r || g.contains(&y)
-                        });
+                        let ok = (0..n).all(|y| metric.dist(x, y) > pad_r || g.contains(&y));
                         if !ok {
                             padded[x] = false;
                         }
@@ -378,11 +374,7 @@ fn build_hst<M: Metric, R: Rng>(
     }
     // Root anchor: associate the root with some point.
     let tree = asm.finish(root_node, n);
-    let out: Vec<usize> = candidates
-        .iter()
-        .copied()
-        .filter(|&p| padded[p])
-        .collect();
+    let out: Vec<usize> = candidates.iter().copied().filter(|&p| padded[p]).collect();
     (tree, out)
 }
 
@@ -438,11 +430,18 @@ mod tests {
         let m = hopspan_metric::EuclideanSpace::from_points(
             &(0..48).map(|i| vec![i as f64]).collect::<Vec<_>>(),
         );
-        let t1 = RamseyTreeCover::new(&m, 1, &mut rng()).unwrap().tree_count();
-        let t3 = RamseyTreeCover::new(&m, 3, &mut rng()).unwrap().tree_count();
+        let t1 = RamseyTreeCover::new(&m, 1, &mut rng())
+            .unwrap()
+            .tree_count();
+        let t3 = RamseyTreeCover::new(&m, 3, &mut rng())
+            .unwrap()
+            .tree_count();
         // ζ = Õ(ℓ·n^{1/ℓ}): ℓ = 1 needs many trees, ℓ = 3 far fewer.
         assert!(t1 > 1, "ell=1 should need several trees, got {t1}");
-        assert!(t3 <= t1, "expected fewer trees for larger ell: {t3} vs {t1}");
+        assert!(
+            t3 <= t1,
+            "expected fewer trees for larger ell: {t3} vs {t1}"
+        );
     }
 
     #[test]
@@ -462,11 +461,19 @@ mod tests {
         );
         for budget in [1usize, 2, 4] {
             let (rc, gamma) = RamseyTreeCover::with_tree_budget(&m, budget, &mut rng()).unwrap();
-            assert!(rc.tree_count() <= budget, "ζ {} > budget {budget}", rc.tree_count());
+            assert!(
+                rc.tree_count() <= budget,
+                "ζ {} > budget {budget}",
+                rc.tree_count()
+            );
             assert!(gamma >= 1.0);
             // Everyone is homed and the measured stretch respects 32γ.
             let s = rc.measured_home_stretch(&m);
-            assert!(s <= 32.0 * gamma + 1e-9, "stretch {s} vs 32γ = {}", 32.0 * gamma);
+            assert!(
+                s <= 32.0 * gamma + 1e-9,
+                "stretch {s} vs 32γ = {}",
+                32.0 * gamma
+            );
             rc.cover().validate(&m).unwrap();
         }
     }
@@ -479,7 +486,10 @@ mod tests {
         );
         let (_, g1) = RamseyTreeCover::with_tree_budget(&m, 1, &mut rng()).unwrap();
         let (_, g4) = RamseyTreeCover::with_tree_budget(&m, 4, &mut rng()).unwrap();
-        assert!(g4 <= g1, "more trees should not need a larger γ: {g4} vs {g1}");
+        assert!(
+            g4 <= g1,
+            "more trees should not need a larger γ: {g4} vs {g1}"
+        );
     }
 
     #[test]

@@ -164,8 +164,7 @@ fn build_call(
             // copy (O(|CV|·|T'|) = O(n) total).
             let t_cv = t_cv.prune().expect("cut set is non-empty");
             let ch = t_cv.children();
-            let cut_locals: Vec<usize> =
-                (0..t_cv.len()).filter(|&v| t_cv.required[v]).collect();
+            let cut_locals: Vec<usize> = (0..t_cv.len()).filter(|&v| t_cv.required[v]).collect();
             let unblocked = vec![false; t_cv.len()];
             for &cl in &cut_locals {
                 let d = collect_adjacent(&t_cv, &ch, cl, &unblocked);
@@ -310,15 +309,16 @@ fn collect_adjacent(
     seen.insert(src, ());
     let mut stack = vec![(src, 0.0f64)];
     while let Some((v, dv)) = stack.pop() {
-        let mut visit = |w: usize, edge: f64, stack: &mut Vec<(usize, f64)>, out: &mut Vec<(usize, f64)>| {
-            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(w) {
-                e.insert(());
-                out.push((w, dv + edge));
-                if !blocked[w] {
-                    stack.push((w, dv + edge));
+        let mut visit =
+            |w: usize, edge: f64, stack: &mut Vec<(usize, f64)>, out: &mut Vec<(usize, f64)>| {
+                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(w) {
+                    e.insert(());
+                    out.push((w, dv + edge));
+                    if !blocked[w] {
+                        stack.push((w, dv + edge));
+                    }
                 }
-            }
-        };
+            };
         if let Some(p) = t.parent[v] {
             visit(p, t.weight[v], &mut stack, &mut out);
         }

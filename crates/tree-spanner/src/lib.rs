@@ -511,7 +511,10 @@ mod tests {
         let e4 = TreeHopSpanner::new(&t, 4).unwrap().edge_count();
         let e6 = TreeHopSpanner::new(&t, 6).unwrap().edge_count();
         assert!(e4 < e2, "k=4 ({e4}) should be sparser than k=2 ({e2})");
-        assert!(e6 <= e4 + n, "k=6 ({e6}) should not exceed k=4 ({e4}) by much");
+        assert!(
+            e6 <= e4 + n,
+            "k=6 ({e6}) should not exceed k=4 ({e4}) by much"
+        );
         // k=4 is O(n·log* n): allow a generous constant.
         assert!(e4 <= 8 * n, "k=4 size {e4} too large");
     }
@@ -522,9 +525,17 @@ mod tests {
         let t = path_tree(n);
         let sp2 = TreeHopSpanner::new(&t, 2).unwrap();
         // α₂(4096) = 12; α'-based depth within a small factor.
-        assert!(sp2.recursion_depth() <= 40, "depth {}", sp2.recursion_depth());
+        assert!(
+            sp2.recursion_depth() <= 40,
+            "depth {}",
+            sp2.recursion_depth()
+        );
         let sp4 = TreeHopSpanner::new(&t, 4).unwrap();
-        assert!(sp4.recursion_depth() <= 12, "depth {}", sp4.recursion_depth());
+        assert!(
+            sp4.recursion_depth() <= 12,
+            "depth {}",
+            sp4.recursion_depth()
+        );
         assert!(sp4.recursion_node_count() > 0);
     }
 
@@ -542,12 +553,8 @@ mod tests {
 
     #[test]
     fn zero_weight_edges_are_fine() {
-        let t = RootedTree::from_edges(
-            5,
-            0,
-            &[(0, 1, 0.0), (1, 2, 1.0), (2, 3, 0.0), (3, 4, 2.0)],
-        )
-        .unwrap();
+        let t = RootedTree::from_edges(5, 0, &[(0, 1, 0.0), (1, 2, 1.0), (2, 3, 0.0), (3, 4, 2.0)])
+            .unwrap();
         for k in 2..=4 {
             all_required(&t, k);
         }

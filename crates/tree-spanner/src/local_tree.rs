@@ -78,9 +78,8 @@ impl LocalTree {
         }
         let kept = |v: usize| req_in_subtree[v] > 0;
         // Descend the root past unary Steiner vertices.
-        let kept_children = |v: usize| -> Vec<usize> {
-            children[v].iter().copied().filter(|&c| kept(c)).collect()
-        };
+        let kept_children =
+            |v: usize| -> Vec<usize> { children[v].iter().copied().filter(|&c| kept(c)).collect() };
         let mut new_root = self.root;
         loop {
             if self.required[new_root] {
@@ -230,7 +229,6 @@ impl LocalTree {
             .collect();
         (comp_id, comps)
     }
-
 }
 
 #[cfg(test)]
@@ -369,6 +367,4 @@ mod tests {
             assert_eq!(c.parent[c.root], None);
         }
     }
-
-
 }

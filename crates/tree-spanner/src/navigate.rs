@@ -34,7 +34,10 @@ impl Navigator {
             .expect("non-base node with k >= 3 has a contracted tree");
         let u_cv = self.locate_contracted(u, hu, beta, ct);
         let v_cv = self.locate_contracted(v, hv, beta, ct);
-        debug_assert_ne!(u_cv, v_cv, "distinct homes map to distinct quotient vertices");
+        debug_assert_ne!(
+            u_cv, v_cv,
+            "distinct homes map to distinct quotient vertices"
+        );
         let c = ct.lca.lca(u_cv, v_cv);
         let x_cv = find_cut(hu, beta, u_cv, v_cv, ct, c);
         let y_cv = find_cut(hv, beta, v_cv, u_cv, ct, c);
@@ -62,9 +65,7 @@ impl Navigator {
         if hu == beta {
             ct.cut_id[&u]
         } else {
-            let child = self
-                .phi_la
-                .level_ancestor(hu, self.phi.depth(beta) + 1);
+            let child = self.phi_la.level_ancestor(hu, self.phi.depth(beta) + 1);
             ct.rep_of_child[&child]
         }
     }
@@ -130,14 +131,7 @@ impl Navigator {
 
 /// `FindCut` (Algorithm 2): the first cut vertex on the path from `u_cv`
 /// toward `v_cv` in the contracted tree.
-fn find_cut(
-    hu: usize,
-    beta: usize,
-    u_cv: usize,
-    v_cv: usize,
-    ct: &Contracted,
-    c: usize,
-) -> usize {
+fn find_cut(hu: usize, beta: usize, u_cv: usize, v_cv: usize, ct: &Contracted, c: usize) -> usize {
     if hu == beta {
         return u_cv; // u is itself a cut vertex of this level.
     }

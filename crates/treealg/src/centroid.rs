@@ -92,10 +92,7 @@ impl CentroidDecomposition {
             let mut c = rep;
             'descend: loop {
                 for &(w, _) in &adj[c] {
-                    if !removed[w]
-                        && parent_in_comp.get(&w) == Some(&c)
-                        && size[w] * 2 > m
-                    {
+                    if !removed[w] && parent_in_comp.get(&w) == Some(&c) && size[w] * 2 > m {
                         c = w;
                         continue 'descend;
                     }

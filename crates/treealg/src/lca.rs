@@ -168,9 +168,7 @@ mod tests {
             state
         };
         for n in [2usize, 3, 5, 20, 57] {
-            let edges: Vec<_> = (1..n)
-                .map(|v| ((next() as usize) % v, v, 1.0))
-                .collect();
+            let edges: Vec<_> = (1..n).map(|v| ((next() as usize) % v, v, 1.0)).collect();
             let t = RootedTree::from_edges(n, 0, &edges).unwrap();
             check_all_pairs(&t);
         }

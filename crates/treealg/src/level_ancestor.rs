@@ -120,7 +120,11 @@ impl LevelAncestor {
         for i in 2..log2.len() {
             log2[i] = log2[i / 2] + 1;
         }
-        let levels = if max_depth == 0 { 1 } else { log2[max_depth] + 1 };
+        let levels = if max_depth == 0 {
+            1
+        } else {
+            log2[max_depth] + 1
+        };
         let mut jump = Vec::with_capacity(levels);
         let first: Vec<usize> = (0..n)
             .map(|v| tree.parent(v).unwrap_or(tree.root()))
@@ -162,7 +166,12 @@ impl LevelAncestor {
         let ladder = &self.ladders[self.ladder_id[u]];
         let pos = self.ladder_pos[u];
         let remaining = self.depth[u] - d;
-        debug_assert!(pos >= remaining, "ladder too short: {} < {}", pos, remaining);
+        debug_assert!(
+            pos >= remaining,
+            "ladder too short: {} < {}",
+            pos,
+            remaining
+        );
         ladder[pos - remaining]
     }
 
@@ -259,9 +268,7 @@ mod tests {
             state
         };
         for n in [2usize, 3, 7, 40, 100] {
-            let edges: Vec<_> = (1..n)
-                .map(|v| ((next() as usize) % v, v, 1.0))
-                .collect();
+            let edges: Vec<_> = (1..n).map(|v| ((next() as usize) % v, v, 1.0)).collect();
             check_all(&RootedTree::from_edges(n, 0, &edges).unwrap());
         }
     }

@@ -404,8 +404,7 @@ mod tests {
     fn sample() -> RootedTree {
         // 0 -(1)- 1 -(2)- 3
         //   \(4)- 2 -(1)- 4
-        RootedTree::from_edges(5, 0, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 4.0), (2, 4, 1.0)])
-            .unwrap()
+        RootedTree::from_edges(5, 0, &[(0, 1, 1.0), (1, 3, 2.0), (0, 2, 4.0), (2, 4, 1.0)]).unwrap()
     }
 
     #[test]
@@ -429,15 +428,24 @@ mod tests {
     #[test]
     fn rejects_wrong_edge_count() {
         let err = RootedTree::from_edges(3, 0, &[(0, 1, 1.0)]);
-        assert!(matches!(err.unwrap_err(), TreeBuildError::WrongEdgeCount { .. }));
+        assert!(matches!(
+            err.unwrap_err(),
+            TreeBuildError::WrongEdgeCount { .. }
+        ));
     }
 
     #[test]
     fn rejects_bad_weight() {
         let err = RootedTree::from_edges(2, 0, &[(0, 1, f64::NAN)]);
-        assert!(matches!(err.unwrap_err(), TreeBuildError::InvalidWeight { .. }));
+        assert!(matches!(
+            err.unwrap_err(),
+            TreeBuildError::InvalidWeight { .. }
+        ));
         let err = RootedTree::from_edges(2, 0, &[(0, 1, -1.0)]);
-        assert!(matches!(err.unwrap_err(), TreeBuildError::InvalidWeight { .. }));
+        assert!(matches!(
+            err.unwrap_err(),
+            TreeBuildError::InvalidWeight { .. }
+        ));
     }
 
     #[test]

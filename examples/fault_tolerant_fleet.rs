@@ -41,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("relays 7 and 23 down; route 0 → 59: {path:?}");
     println!(
         "weight {:.4} vs direct {:.4}",
-        path.windows(2).map(|w| relays.dist(w[0], w[1])).sum::<f64>(),
+        path.windows(2)
+            .map(|w| relays.dist(w[0], w[1]))
+            .sum::<f64>(),
         relays.dist(0, 59)
     );
     Ok(())

@@ -18,7 +18,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let peers = gen::uniform_points(n, 2, &mut rng);
     let scheme = MetricRoutingScheme::doubling(&peers, 0.5, &mut rng)?;
     let stats = scheme.stats();
-    println!("overlay with {n} peers, {} links", scheme.network().edge_count());
+    println!(
+        "overlay with {n} peers, {} links",
+        scheme.network().edge_count()
+    );
     println!("tree cover: ζ = {} trees", scheme.tree_count());
     println!(
         "label ≤ {} bits, table ≤ {} bits, header ≤ {} bits",

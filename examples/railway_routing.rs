@@ -20,9 +20,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stations = gen::clustered_points(240, 2, 8, 0.03, &mut rng);
     let n = stations.len();
     println!("railway planning for {n} stations in 8 cities");
-    println!("direct lines between all pairs: {} tracks\n", n * (n - 1) / 2);
+    println!(
+        "direct lines between all pairs: {} tracks\n",
+        n * (n - 1) / 2
+    );
 
-    println!("{:<10} {:>10} {:>14} {:>12}", "switches", "tracks", "vs complete", "max detour");
+    println!(
+        "{:<10} {:>10} {:>14} {:>12}",
+        "switches", "tracks", "vs complete", "max detour"
+    );
     for k in [2usize, 3, 4] {
         let nav = MetricNavigator::doubling(&stations, 0.5, k)?;
         let mut worst: f64 = 1.0;
@@ -54,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nav = MetricNavigator::doubling(&stations, 0.5, 2)?;
     let (from, to) = (0usize, 4usize); // clusters are interleaved mod 8
     let journey = nav.find_path(from, to)?;
-    println!("\njourney {from} → {to}: {} train(s), via {:?}", journey.len() - 1, journey);
+    println!(
+        "\njourney {from} → {to}: {} train(s), via {:?}",
+        journey.len() - 1,
+        journey
+    );
     println!(
         "distance travelled {:.4} vs straight line {:.4}",
         MetricNavigator::path_weight(&stations, &journey),

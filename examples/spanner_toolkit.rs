@@ -6,11 +6,11 @@
 //! Run with: `cargo run --release --example spanner_toolkit`
 
 use hopspan::apps::{
-    approximate_mst, approximate_spt, shallow_light_tree, sparsify, MstVerifier,
-    MultiterminalFlow, TreeProduct,
+    approximate_mst, approximate_spt, shallow_light_tree, sparsify, MstVerifier, MultiterminalFlow,
+    TreeProduct,
 };
-use hopspan::metric::Graph;
 use hopspan::core::MetricNavigator;
+use hopspan::metric::Graph;
 use hopspan::metric::{gen, minimum_spanning_tree, mst_weight, spanner_lightness, Metric};
 use hopspan::treealg::RootedTree;
 use rand::SeedableRng;
@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 120;
     let m = gen::uniform_points(n, 2, &mut rng);
     let nav = MetricNavigator::doubling(&m, 0.25, 3)?;
-    println!("{n} points; navigator: k=3, {} spanner edges\n", nav.spanner_edge_count());
+    println!(
+        "{n} points; navigator: k=3, {} spanner edges\n",
+        nav.spanner_edge_count()
+    );
 
     // 1. Sparsification (Theorem 5.3): dense input -> sparse output.
     let mut dense = Vec::new();
@@ -74,7 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "MST verification over {} candidate edges: {} ({} weight comparisons, {} at preprocessing)",
         dense.len(),
-        if verified { "genuine MST" } else { "NOT an MST" },
+        if verified {
+            "genuine MST"
+        } else {
+            "NOT an MST"
+        },
         mv.query_comparisons(),
         mv.preprocessing_comparisons()
     );

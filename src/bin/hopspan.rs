@@ -185,7 +185,11 @@ fn query(opts: &Options) -> Result<String, String> {
         path.len() - 1,
         nav.k(),
         pts.dist(from, to),
-        if pts.dist(from, to) > 0.0 { weight / pts.dist(from, to) } else { 1.0 },
+        if pts.dist(from, to) > 0.0 {
+            weight / pts.dist(from, to)
+        } else {
+            1.0
+        },
     ))
 }
 
@@ -260,27 +264,40 @@ mod tests {
         let span = dir.join("s.csv");
         let a = |s: &str| s.to_string();
         run(&[
-            a("generate"), a("--n"), a("30"), a("--seed"), a("3"),
-            a("--out"), a(pts.to_str().unwrap()),
+            a("generate"),
+            a("--n"),
+            a("30"),
+            a("--seed"),
+            a("3"),
+            a("--out"),
+            a(pts.to_str().unwrap()),
         ])
         .unwrap();
         let out = run(&[
-            a("build"), a("--points"), a(pts.to_str().unwrap()),
-            a("--k"), a("2"), a("--eps"), a("0.5"),
-            a("--out"), a(span.to_str().unwrap()),
+            a("build"),
+            a("--points"),
+            a(pts.to_str().unwrap()),
+            a("--k"),
+            a("2"),
+            a("--eps"),
+            a("0.5"),
+            a("--out"),
+            a(span.to_str().unwrap()),
         ])
         .unwrap();
         assert!(out.contains("spanner: 30 points"));
         let q = run(&[
-            a("query"), a("--points"), a(pts.to_str().unwrap()),
-            a("--from"), a("0"), a("--to"), a("29"),
+            a("query"),
+            a("--points"),
+            a(pts.to_str().unwrap()),
+            a("--from"),
+            a("0"),
+            a("--to"),
+            a("29"),
         ])
         .unwrap();
         assert!(q.contains("hops:"));
-        let s = run(&[
-            a("stats"), a("--points"), a(pts.to_str().unwrap()),
-        ])
-        .unwrap();
+        let s = run(&[a("stats"), a("--points"), a(pts.to_str().unwrap())]).unwrap();
         assert!(s.contains("spanner edges"));
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -15,6 +15,7 @@
 //!
 //! | Module | Contents | Paper |
 //! |--------|----------|-------|
+//! | [`pipeline`] | parallel preprocessing fan-out + build telemetry | engineering layer |
 //! | [`treealg`] | LCA, level ancestors, centroid decomposition, distance labels | §3.1 prerequisites |
 //! | [`metric`] | metric spaces, graphs, generators, MST utilities | §1 |
 //! | [`tree_spanner`] | 1-spanners of hop-diameter k for tree metrics + O(k) navigation | Theorem 1.1 |
@@ -53,6 +54,7 @@ pub use hopspan_apps as apps;
 pub use hopspan_baselines as baselines;
 pub use hopspan_core as core;
 pub use hopspan_metric as metric;
+pub use hopspan_pipeline as pipeline;
 pub use hopspan_routing as routing;
 pub use hopspan_tree_cover as tree_cover;
 pub use hopspan_tree_spanner as tree_spanner;

@@ -1,0 +1,184 @@
+//! The parallel preprocessing pipeline: determinism across worker
+//! counts, telemetry consistency, and regressions fixed at the root.
+
+use std::collections::HashSet;
+
+use hopspan::core::{FaultTolerantSpanner, MetricNavigator, NavigationError};
+use hopspan::metric::{gen, EuclideanSpace};
+use hopspan::routing::{FtMetricRoutingScheme, MetricRoutingScheme};
+use hopspan::tree_cover::{CoverError, RobustTreeCover};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn rng(tag: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(0xBEEF ^ tag)
+}
+
+/// The tentpole guarantee: a parallel build is bit-identical to a
+/// single-worker build — same `H_X` edge set, same weights, same order.
+#[test]
+fn navigator_parallel_build_is_deterministic() {
+    let m = gen::uniform_points(60, 2, &mut rng(1));
+    let (nav1, s1) = MetricNavigator::doubling_with_stats(&m, 0.5, 3, Some(1)).unwrap();
+    for workers in [2usize, 4, 8] {
+        let (navw, sw) = MetricNavigator::doubling_with_stats(&m, 0.5, 3, Some(workers)).unwrap();
+        assert_eq!(
+            nav1.spanner_edges(),
+            navw.spanner_edges(),
+            "H_X differs between 1 and {workers} workers"
+        );
+        assert_eq!(nav1.tree_count(), navw.tree_count());
+        assert_eq!(s1.per_tree_spanner_edges, sw.per_tree_spanner_edges);
+        assert_eq!(s1.edge_instances, sw.edge_instances);
+        assert_eq!(s1.edges_after_dedup, sw.edges_after_dedup);
+        assert_eq!(sw.workers, workers);
+    }
+}
+
+#[test]
+fn cover_parallel_build_is_deterministic() {
+    let m = gen::uniform_points(40, 2, &mut rng(2));
+    let (c1, _) = RobustTreeCover::new_with_stats(&m, 0.5, Some(1)).unwrap();
+    let (c8, _) = RobustTreeCover::new_with_stats(&m, 0.5, Some(8)).unwrap();
+    assert_eq!(c1.tree_count(), c8.tree_count());
+    for (a, b) in c1.cover().trees().iter().zip(c8.cover().trees()) {
+        assert_eq!(a.tree().len(), b.tree().len());
+        for v in 0..a.tree().len() {
+            assert_eq!(a.point_of(v), b.point_of(v));
+            assert_eq!(a.tree().parent(v), b.tree().parent(v));
+        }
+    }
+}
+
+#[test]
+fn fault_tolerant_parallel_build_is_deterministic() {
+    let m = gen::uniform_points(24, 2, &mut rng(3));
+    let (sp1, s1) = FaultTolerantSpanner::new_with_stats(&m, 0.5, 2, 2, Some(1)).unwrap();
+    let (sp4, s4) = FaultTolerantSpanner::new_with_stats(&m, 0.5, 2, 2, Some(4)).unwrap();
+    assert_eq!(sp1.edges(), sp4.edges());
+    assert_eq!(s1.per_tree_spanner_edges, s4.per_tree_spanner_edges);
+    assert_eq!(s1.edge_instances, s4.edge_instances);
+}
+
+#[test]
+fn routing_parallel_build_is_deterministic() {
+    let m = gen::uniform_points(20, 2, &mut rng(4));
+    let (rs1, b1) =
+        MetricRoutingScheme::doubling_with_stats(&m, 0.5, &mut rng(7), Some(1)).unwrap();
+    let (rs4, b4) =
+        MetricRoutingScheme::doubling_with_stats(&m, 0.5, &mut rng(7), Some(4)).unwrap();
+    // Identical overlay + identical port RNG stream ⇒ identical scheme.
+    assert_eq!(b1.edges_after_dedup, b4.edges_after_dedup);
+    assert_eq!(b1.per_tree_spanner_edges, b4.per_tree_spanner_edges);
+    assert_eq!(rs1.stats(), rs4.stats());
+    for u in 0..20 {
+        for v in 0..20 {
+            assert_eq!(
+                rs1.route(u, v).unwrap().path,
+                rs4.route(u, v).unwrap().path,
+                "route ({u},{v}) differs across worker counts"
+            );
+        }
+    }
+    let (ft1, f1) =
+        FtMetricRoutingScheme::new_with_stats(&m, 0.5, 1, &mut rng(8), Some(1)).unwrap();
+    let (ft4, f4) =
+        FtMetricRoutingScheme::new_with_stats(&m, 0.5, 1, &mut rng(8), Some(4)).unwrap();
+    assert_eq!(f1.edges_after_dedup, f4.edges_after_dedup);
+    assert_eq!(ft1.stats(), ft4.stats());
+}
+
+/// Queries on a pair no cover tree shares must surface as an error, not
+/// an empty path (satellite: the `find_path` escape hatch).
+#[test]
+fn uncovered_pair_is_an_error() {
+    use hopspan::tree_cover::DominatingTree;
+    let m = EuclideanSpace::from_points(&[vec![0.0], vec![1.0], vec![2.0]]);
+    // A hand-rolled "cover" whose only tree spans points 0 and 1 — point
+    // 2 is uncovered, so (0, 2) has no shared tree.
+    let full = MetricNavigator::doubling(&m, 0.5, 2).unwrap();
+    assert!(
+        full.find_path(0, 2).is_ok(),
+        "sane cover must cover all pairs"
+    );
+    let partial: Vec<DominatingTree> = {
+        let cover =
+            RobustTreeCover::new(&EuclideanSpace::from_points(&[vec![0.0], vec![1.0]]), 0.5)
+                .unwrap();
+        cover.into_cover().into_trees()
+    };
+    let nav = MetricNavigator::from_cover(&m, partial, None, 2).unwrap();
+    match nav.find_path(0, 2) {
+        Err(NavigationError::PairNotCovered { u: 0, v: 2 }) => {}
+        other => panic!("expected PairNotCovered, got {other:?}"),
+    }
+    // approx_distance mirrors the miss as None rather than erroring.
+    assert!(nav.approx_distance(0, 2).is_none());
+}
+
+/// Replays the checked-in proptest regression
+/// (`EuclideanSpace { coords: [0.0, 0.0, 0.0, 1.0], dim: 2 }`,
+/// `faults = {}`): two points at distance 1 with f = 0 must build and
+/// navigate, and exact duplicates must be rejected as `DuplicatePoints`
+/// instead of panicking in the scale computation.
+#[test]
+fn proptest_regression_two_points_zero_faults() {
+    let m = EuclideanSpace::from_points(&[vec![0.0, 0.0], vec![0.0, 1.0]]);
+    let sp = FaultTolerantSpanner::new(&m, 0.5, 0, 2).unwrap();
+    let path = sp.find_path_avoiding(&m, 0, 1, &HashSet::new()).unwrap();
+    assert_eq!(path, vec![0, 1]);
+}
+
+#[test]
+fn zero_distance_pairs_are_rejected_not_panicking() {
+    let dup = EuclideanSpace::from_points(&[vec![0.0, 0.0], vec![0.0, 0.0], vec![1.0, 0.0]]);
+    match RobustTreeCover::new(&dup, 0.5) {
+        Err(CoverError::DuplicatePoints { i: 0, j: 1 }) => {}
+        other => panic!("expected DuplicatePoints {{ 0, 1 }}, got {other:?}"),
+    }
+    assert!(matches!(
+        FaultTolerantSpanner::new(&dup, 0.5, 0, 2),
+        Err(NavigationError::Cover(CoverError::DuplicatePoints { .. }))
+    ));
+    assert!(matches!(
+        MetricNavigator::doubling(&dup, 0.5, 2),
+        Err(NavigationError::Cover(CoverError::DuplicatePoints { .. }))
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The telemetry must agree with the structure it describes.
+    #[test]
+    fn build_stats_match_navigator(
+        seed in 0u64..1_000,
+        n in 6usize..24,
+        workers in 1usize..5,
+    ) {
+        let m = gen::uniform_points(n, 2, &mut rng(seed));
+        let (nav, stats) =
+            MetricNavigator::doubling_with_stats(&m, 0.5, 2, Some(workers)).unwrap();
+        prop_assert_eq!(stats.workers, workers);
+        prop_assert_eq!(stats.tree_count, nav.tree_count());
+        prop_assert_eq!(stats.per_tree_spanner_edges.len(), nav.tree_count());
+        prop_assert_eq!(stats.edges_after_dedup, nav.spanner_edge_count());
+        prop_assert!(stats.edge_instances >= stats.edges_after_dedup);
+        // Every materialized instance came from some tree-spanner edge.
+        prop_assert!(stats.spanner_edge_total() >= stats.edge_instances);
+        prop_assert!(stats.phase_duration("spanners").is_some());
+        prop_assert!(stats.phase_duration("materialize").is_some());
+        prop_assert!(stats.phase_duration("cover/trees").is_some());
+    }
+
+    /// Determinism across worker counts on arbitrary inputs, not just
+    /// the fixed seeds above.
+    #[test]
+    fn parallel_equals_sequential_everywhere(seed in 0u64..1_000, n in 4usize..20) {
+        let m = gen::uniform_points(n, 2, &mut rng(seed));
+        let (a, _) = MetricNavigator::doubling_with_stats(&m, 0.5, 2, Some(1)).unwrap();
+        let (b, _) = MetricNavigator::doubling_with_stats(&m, 0.5, 2, Some(3)).unwrap();
+        prop_assert_eq!(a.spanner_edges(), b.spanner_edges());
+    }
+}
