@@ -245,7 +245,7 @@ pub fn e04_cover_doubling() -> String {
         let zeta = rc.tree_count();
         let stretch = rc.cover().measured_stretch(&m);
         let nav = MetricNavigator::from_cover(&m, rc.into_cover().into_trees(), None, 2).unwrap();
-        let (nav_stretch, hops) = nav.measured_stretch_and_hops(&m);
+        let (nav_stretch, hops) = nav.measured_stretch_and_hops(&m).unwrap();
         rows.push(vec![
             n.to_string(),
             format!("{eps}"),
@@ -292,7 +292,7 @@ pub fn e05_cover_general() -> String {
             let shape = ell as f64 * (n as f64).powf(1.0 / ell as f64);
             let hs = rc.measured_home_stretch(&m);
             let nav = MetricNavigator::general(&m, ell, 2, &mut rng(5200 + ell as u64)).unwrap();
-            let (ns, hops) = nav.measured_stretch_and_hops(&m);
+            let (ns, hops) = nav.measured_stretch_and_hops(&m).unwrap();
             rows.push(vec![
                 n.to_string(),
                 ell.to_string(),
@@ -492,7 +492,7 @@ pub fn e09_ft_spanner() -> String {
         let mut ids: Vec<usize> = (0..n).collect();
         ids.shuffle(&mut rng(9100 + f as u64));
         let faulty: HashSet<usize> = ids.into_iter().take(f).collect();
-        let (stretch, hops) = sp.measured_stretch_and_hops(&m, &faulty);
+        let (stretch, hops) = sp.measured_stretch_and_hops(&m, &faulty).unwrap();
         rows.push(vec![
             f.to_string(),
             sp.edge_count().to_string(),
@@ -563,7 +563,7 @@ pub fn e10_routing() -> String {
         let n = 96;
         let m = gen::uniform_points(n, 2, &mut rng(10_300));
         let rs = MetricRoutingScheme::doubling(&m, 0.25, &mut rng(10_301)).unwrap();
-        let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m).unwrap();
         let s = rs.stats();
         let log2 = (n as f64).log2();
         rows.push(vec![
@@ -582,7 +582,7 @@ pub fn e10_routing() -> String {
         let m = gen::random_graph_metric(n, n / 2, &mut rng(10_400));
         for ell in [2usize, 3] {
             let rs = MetricRoutingScheme::general(&m, ell, &mut rng(10_401 + ell as u64)).unwrap();
-            let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+            let (stretch, hops) = rs.measured_stretch_and_hops(&m).unwrap();
             let s = rs.stats();
             let log2 = (n as f64).log2();
             rows.push(vec![
@@ -601,7 +601,7 @@ pub fn e10_routing() -> String {
         let g = gen::grid_graph(8, 8);
         let m = GraphMetric::new(&g).unwrap();
         let rs = MetricRoutingScheme::planar(&g, &m, 0.5, &mut rng(10_500)).unwrap();
-        let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m).unwrap();
         let s = rs.stats();
         let log2 = 64f64.log2();
         rows.push(vec![
@@ -647,7 +647,7 @@ pub fn e11_ft_routing() -> String {
         let mut ids: Vec<usize> = (0..n).collect();
         ids.shuffle(&mut rng(11_200 + f as u64));
         let faulty: HashSet<usize> = ids.into_iter().take(f).collect();
-        let (stretch, hops) = rs.measured_stretch_and_hops(&m, &faulty);
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m, &faulty).unwrap();
         let s = rs.stats();
         rows.push(vec![
             f.to_string(),
@@ -905,7 +905,7 @@ pub fn e17_frontier() -> String {
     let mut rows = Vec::new();
     for &k in &[2usize, 3, 4] {
         let nav = MetricNavigator::doubling(&m, 0.5, k).unwrap();
-        let (stretch, hops) = nav.measured_stretch_and_hops(&m);
+        let (stretch, hops) = nav.measured_stretch_and_hops(&m).unwrap();
         rows.push(vec![
             format!("hopspan k={k} (ε=0.5)"),
             nav.spanner_edge_count().to_string(),
@@ -1104,8 +1104,8 @@ pub fn e20_selection_ablation() -> String {
     let nav_home =
         MetricNavigator::from_cover(&m, cover2.into_cover().into_trees(), Some(home), 2).unwrap();
     let nav_scan = MetricNavigator::from_cover(&m, doms, None, 2).unwrap();
-    let ((s_home, h_home), t_home) = time(|| nav_home.measured_stretch_and_hops(&m));
-    let ((s_scan, h_scan), t_scan) = time(|| nav_scan.measured_stretch_and_hops(&m));
+    let ((s_home, h_home), t_home) = time(|| nav_home.measured_stretch_and_hops(&m).unwrap());
+    let ((s_scan, h_scan), t_scan) = time(|| nav_scan.measured_stretch_and_hops(&m).unwrap());
     let rows = vec![
         vec![
             "home tree (paper, O(1) select)".to_string(),
@@ -1143,11 +1143,13 @@ pub fn e21_parallel_build() -> String {
         &(0..n).map(|i| vec![i as f64]).collect::<Vec<_>>(),
     );
     let auto = hopspan_pipeline::auto_workers();
+    let lint_clean = workspace_lint_clean();
     let mut rows = Vec::new();
     let mut navs = Vec::new();
     for workers in [Some(1), None] {
-        let ((nav, stats), t) =
+        let ((nav, mut stats), t) =
             time(|| MetricNavigator::doubling_with_stats(&m, 0.5, 2, workers).unwrap());
+        stats.lint_clean = lint_clean;
         rows.push(vec![
             stats.workers.to_string(),
             ms(t),
@@ -1187,6 +1189,22 @@ pub fn e21_parallel_build() -> String {
          shape: identical edge sets; the `spanners` phase shrinks with \
          workers on multicore hosts while `cover trees` + `materialize` \
          stay sequential. Edge sets identical across worker counts: \
-         **{identical}** (n = {n}, line metric, ε = 0.5, k = 2).\n\n{table}\n",
+         **{identical}** (n = {n}, line metric, ε = 0.5, k = 2). \
+         Source tree lint-clean (`hopspan-lint` in-process, stamped into \
+         `BuildStats.lint_clean`): **{lint_clean}**.\n\n{table}\n",
     )
+}
+
+/// Runs `hopspan-lint` in-process over the workspace this binary was
+/// built from and reports whether it came back with zero findings.
+/// `CARGO_MANIFEST_DIR` is a compile-time path, which is exactly right:
+/// the stamp certifies the source tree of the running binary. Returns
+/// `false` when the tree is gone (e.g. an installed binary) — "not
+/// checkable" must not read as "certified clean".
+fn workspace_lint_clean() -> bool {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root");
+    matches!(hopspan_lint::analyze_workspace(root), Ok(f) if f.is_empty())
 }

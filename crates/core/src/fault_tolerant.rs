@@ -11,7 +11,7 @@
 //! `x, y` retains a non-faulty point (a set smaller than `f+1` consists of
 //! ancestors of `x` or `y` only), so a k-hop `(1+ε)`-path survives.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
 use hopspan_metric::Metric;
@@ -78,6 +78,15 @@ pub enum FtError {
     /// A per-tree navigation structure failed during the query — a
     /// corrupted spanner, surfaced instead of panicking.
     Spanner(TreeSpannerError),
+    /// No cover tree yielded a fault-free path for the pair. The f-FT
+    /// construction (Theorem 4.2) guarantees a survivor for ≤ f faults,
+    /// so this indicates a broken cover invariant rather than bad input.
+    NoSurvivingPath {
+        /// First endpoint.
+        u: usize,
+        /// Second endpoint.
+        v: usize,
+    },
 }
 
 impl fmt::Display for FtError {
@@ -90,6 +99,12 @@ impl fmt::Display for FtError {
                 write!(f, "{got} faults exceed tolerance f = {tol}")
             }
             FtError::Spanner(e) => write!(f, "tree spanner query failed: {e}"),
+            FtError::NoSurvivingPath { u, v } => {
+                write!(
+                    f,
+                    "no cover tree survives the fault set for pair ({u}, {v})"
+                )
+            }
         }
     }
 }
@@ -196,8 +211,11 @@ impl FaultTolerantSpanner {
             .iter()
             .map(|(t, _)| t.nav.spanner.edges().len())
             .collect();
+        // The BTreeMap leaves the dedup'd edge list sorted by (u, v)
+        // regardless of insertion order — part of the bit-identical
+        // build guarantee.
         let (trees, edges, instances) = stats.phase("materialize", || {
-            let mut edge_set: HashMap<(usize, usize), f64> = HashMap::new();
+            let mut edge_set: BTreeMap<(usize, usize), f64> = BTreeMap::new();
             let mut instances = 0usize;
             let mut trees = Vec::with_capacity(built.len());
             for (t, pairs) in built {
@@ -209,9 +227,8 @@ impl FaultTolerantSpanner {
                 }
                 trees.push(t);
             }
-            let mut edges: Vec<(usize, usize, f64)> =
+            let edges: Vec<(usize, usize, f64)> =
                 edge_set.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-            edges.sort_by_key(|x| (x.0, x.1));
             (trees, edges, instances)
         });
         stats.edge_instances = instances;
@@ -305,6 +322,9 @@ impl FaultTolerantSpanner {
             // only when small, but endpoints are leaves anyway).
             let mut pts = Vec::with_capacity(tree_path.len());
             let mut ok = true;
+            // The endpoint pushed below seeds `prev`, so inner vertices
+            // always have a predecessor without unwrapping.
+            let mut prev = u;
             for (i, &tv) in tree_path.iter().enumerate() {
                 if i == 0 {
                     pts.push(u);
@@ -318,7 +338,6 @@ impl FaultTolerantSpanner {
                 // Any non-faulty candidate is valid (robustness); pick the
                 // one closest to the previous path point to keep the
                 // realized constant small.
-                let prev = *pts.last().expect("endpoint pushed first");
                 let pick = cand
                     .iter()
                     .copied()
@@ -330,12 +349,17 @@ impl FaultTolerantSpanner {
                             .unwrap_or(std::cmp::Ordering::Equal)
                     });
                 match pick {
-                    Some(p) => pts.push(p),
+                    Some(p) => {
+                        pts.push(p);
+                        prev = p;
+                    }
                     None => {
                         // Candidate sets smaller than f+1 hold only
                         // ancestors of u or v; fall back to the endpoints.
                         if cand.len() <= self.f {
-                            pts.push(if cand.contains(&u) { u } else { v });
+                            let fallback = if cand.contains(&u) { u } else { v };
+                            pts.push(fallback);
+                            prev = fallback;
                         } else {
                             ok = false;
                             break;
@@ -352,16 +376,21 @@ impl FaultTolerantSpanner {
                 best = Some((w, pts));
             }
         }
-        Ok(best.expect("the covering tree always survives f faults").1)
+        best.map(|(_, pts)| pts)
+            .ok_or(FtError::NoSurvivingPath { u, v })
     }
 
     /// Measures worst-case stretch and hops over all non-faulty pairs for
     /// a given faulty set (for tests and experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FtError`] if any non-faulty pair fails to resolve.
     pub fn measured_stretch_and_hops<M: Metric>(
         &self,
         metric: &M,
         faulty: &HashSet<usize>,
-    ) -> (f64, usize) {
+    ) -> Result<(f64, usize), FtError> {
         let mut worst = 1.0f64;
         let mut hops = 0;
         for u in 0..self.n {
@@ -372,9 +401,7 @@ impl FaultTolerantSpanner {
                 if faulty.contains(&v) {
                     continue;
                 }
-                let path = self
-                    .find_path_avoiding(metric, u, v, faulty)
-                    .expect("valid query");
+                let path = self.find_path_avoiding(metric, u, v, faulty)?;
                 for &p in &path {
                     assert!(!faulty.contains(&p), "path uses faulty point {p}");
                 }
@@ -386,7 +413,7 @@ impl FaultTolerantSpanner {
                 hops = hops.max(path.len() - 1);
             }
         }
-        (worst, hops)
+        Ok((worst, hops))
     }
 }
 
@@ -410,7 +437,7 @@ mod tests {
             let mut ids: Vec<usize> = (0..20).collect();
             ids.shuffle(&mut rng());
             let faulty: HashSet<usize> = ids.into_iter().take(f).collect();
-            let (stretch, hops) = sp.measured_stretch_and_hops(&m, &faulty);
+            let (stretch, hops) = sp.measured_stretch_and_hops(&m, &faulty).unwrap();
             assert!(hops <= 2, "hops {hops} > 2 with f={f}");
             assert!(stretch <= 8.0, "stretch {stretch} with f={f}");
         }
@@ -423,7 +450,7 @@ mod tests {
         );
         let sp = FaultTolerantSpanner::new(&m, 0.25, 2, 2).unwrap();
         let faulty: HashSet<usize> = [5usize, 11].into_iter().collect();
-        let (stretch, hops) = sp.measured_stretch_and_hops(&m, &faulty);
+        let (stretch, hops) = sp.measured_stretch_and_hops(&m, &faulty).unwrap();
         assert!(hops <= 2);
         // The robust cover keeps stretch bounded even under substitution;
         // the R(v) sets are fixed f+1 candidates, so short pairs routed
@@ -467,7 +494,7 @@ mod tests {
         let mut by_freq: Vec<usize> = (0..24).collect();
         by_freq.sort_by_key(|&p| std::cmp::Reverse(frequency[p]));
         let faulty: HashSet<usize> = by_freq.into_iter().take(f).collect();
-        let (stretch, hops) = sp.measured_stretch_and_hops(&m, &faulty);
+        let (stretch, hops) = sp.measured_stretch_and_hops(&m, &faulty).unwrap();
         assert!(hops <= 2, "hops {hops} under adversarial faults");
         assert!(stretch <= 8.0, "stretch {stretch} under adversarial faults");
     }
@@ -496,7 +523,7 @@ mod tests {
     fn zero_faults_matches_plain_navigation() {
         let m = gen::uniform_points(15, 2, &mut rng());
         let sp = FaultTolerantSpanner::new(&m, 0.5, 0, 2).unwrap();
-        let (stretch, hops) = sp.measured_stretch_and_hops(&m, &HashSet::new());
+        let (stretch, hops) = sp.measured_stretch_and_hops(&m, &HashSet::new()).unwrap();
         assert!(hops <= 2);
         assert!(stretch <= 8.0);
     }

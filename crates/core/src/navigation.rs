@@ -11,7 +11,7 @@
 //! tree) — then run the O(k) tree navigation and map tree vertices to
 //! points.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use hopspan_metric::{Graph, Metric};
@@ -76,7 +76,9 @@ impl From<TreeSpannerError> for NavigationError {
 /// One cover tree with its Theorem 1.1 navigation structure.
 #[derive(Debug)]
 pub(crate) struct NavTree {
+    /// The dominating tree (cover tree plus point mapping).
     pub dom: DominatingTree,
+    /// Theorem 1.1 k-hop 1-spanner over the tree's required vertices.
     pub spanner: TreeHopSpanner,
 }
 
@@ -270,9 +272,10 @@ impl MetricNavigator {
         stats.per_tree_spanner_edges = trees.iter().map(|t| t.spanner.edges().len()).collect();
         // Materialize H_X: every tree-spanner edge becomes a point edge.
         // Sequential, in tree order — the dedup winner per point pair is
-        // deterministic.
+        // deterministic, and the BTreeMap leaves the edge list sorted by
+        // (u, v) regardless of insertion order.
         let (edges, instances) = stats.phase("materialize", || {
-            let mut edge_set: HashMap<(usize, usize), f64> = HashMap::new();
+            let mut edge_set: BTreeMap<(usize, usize), f64> = BTreeMap::new();
             let mut instances = 0usize;
             for t in &trees {
                 for &(a, b, _) in t.spanner.edges() {
@@ -284,9 +287,8 @@ impl MetricNavigator {
                     }
                 }
             }
-            let mut edges: Vec<(usize, usize, f64)> =
+            let edges: Vec<(usize, usize, f64)> =
                 edge_set.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-            edges.sort_by_key(|a| (a.0, a.1));
             (edges, instances)
         });
         stats.edge_instances = instances;
@@ -401,13 +403,21 @@ impl MetricNavigator {
 
     /// Measures the realized worst-case stretch and hop count over all
     /// pairs (O(n²·(k+ζ)); for tests and experiments).
-    pub fn measured_stretch_and_hops<M: Metric>(&self, metric: &M) -> (f64, usize) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NavigationError`] if any pair fails to resolve —
+    /// which would indicate a broken cover invariant.
+    pub fn measured_stretch_and_hops<M: Metric>(
+        &self,
+        metric: &M,
+    ) -> Result<(f64, usize), NavigationError> {
         let mut worst = 1.0f64;
         let mut hops = 0usize;
         for u in 0..self.n {
             for v in (u + 1)..self.n {
                 let d = metric.dist(u, v);
-                let path = self.find_path(u, v).expect("all pairs covered");
+                let path = self.find_path(u, v)?;
                 let w = Self::path_weight(metric, &path);
                 if d > 0.0 {
                     worst = worst.max(w / d);
@@ -415,7 +425,7 @@ impl MetricNavigator {
                 hops = hops.max(path.len() - 1);
             }
         }
-        (worst, hops)
+        Ok((worst, hops))
     }
 }
 
@@ -472,7 +482,7 @@ mod tests {
                 }
             }
         }
-        let (stretch, hops) = nav.measured_stretch_and_hops(metric);
+        let (stretch, hops) = nav.measured_stretch_and_hops(metric).unwrap();
         assert!(stretch <= budget, "stretch {stretch} > {budget}");
         assert!(hops <= nav.k());
     }
@@ -492,7 +502,7 @@ mod tests {
             &(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>(),
         );
         let nav = MetricNavigator::doubling(&m, 0.25, 2).unwrap();
-        let (stretch, hops) = nav.measured_stretch_and_hops(&m);
+        let (stretch, hops) = nav.measured_stretch_and_hops(&m).unwrap();
         assert!(stretch <= 1.0 + 1e-9, "line stretch {stretch}");
         assert!(hops <= 2);
     }
@@ -530,7 +540,7 @@ mod tests {
             let (nav, gamma) =
                 MetricNavigator::general_budgeted(&m, budget, 2, &mut rng()).unwrap();
             assert!(nav.tree_count() <= budget);
-            let (stretch, hops) = nav.measured_stretch_and_hops(&m);
+            let (stretch, hops) = nav.measured_stretch_and_hops(&m).unwrap();
             assert!(hops <= 2);
             assert!(
                 stretch <= 32.0 * gamma + 1e-9,

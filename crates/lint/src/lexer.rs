@@ -1,0 +1,402 @@
+//! A minimal Rust lexer with just enough fidelity for line-accurate
+//! pattern rules: it skips string literals, raw strings (`r#"…"#`),
+//! byte strings, char literals (including `'"'`), lifetimes, and
+//! (nested) block comments, and it records every comment with its
+//! starting line so the rule engine can honour suppression pragmas.
+//!
+//! Doc comments (`///`, `//!`, `/** */`, `/*! */`) are treated as
+//! comments, never as code: a `panic!` mentioned in documentation must
+//! not trip the panic-policy rule.
+
+/// Classification of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `for`, `HashMap`, …).
+    Ident,
+    /// Integer literal (including hex/octal/binary, with any suffix).
+    IntLit,
+    /// Float literal (`0.0`, `1e-9`, `2.5f64`, …).
+    FloatLit,
+    /// String or byte-string literal (raw or not); content discarded.
+    StrLit,
+    /// Char or byte-char literal; content discarded.
+    CharLit,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Punctuation; `text` holds the operator (`==`, `.`, `(`, …).
+    Punct,
+}
+
+/// A single token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Source text for identifiers and punctuation; literals keep only
+    /// a placeholder since rules never inspect literal contents.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+/// A comment (line or block), with its 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment body, without the `//` / `/*` delimiters.
+    pub text: String,
+    /// 1-based line on which the comment starts.
+    pub line: u32,
+    /// True for doc comments (`///`, `//!`, `/**`, `/*!`).
+    pub doc: bool,
+}
+
+/// Result of lexing one source file.
+pub struct Lexed {
+    /// Code tokens in source order (comments excluded).
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// 1-based lines on which a doc comment starts or continues.
+    pub fn doc_lines(&self) -> Vec<u32> {
+        let mut lines = Vec::new();
+        for c in self.comments.iter().filter(|c| c.doc) {
+            let span = c.text.matches('\n').count() as u32;
+            for l in c.line..=c.line + span {
+                lines.push(l);
+            }
+        }
+        lines
+    }
+}
+
+/// Tokenizes `src`. Never fails: malformed input degrades to
+/// best-effort tokens rather than an error, which is the right
+/// behaviour for a linter that runs before the compiler.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+        comments: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    tokens: Vec<Tok>,
+    comments: Vec<Comment>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: impl Into<String>, line: u32) {
+        self.tokens.push(Tok {
+            kind,
+            text: text.into(),
+            line,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                'r' if matches!(self.peek(1), Some('"') | Some('#'))
+                    && self.raw_string_ahead(1) =>
+                {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.bump();
+                    self.string(line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump();
+                    self.char_or_lifetime(line);
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if is_ident_start(c) => self.ident(line),
+                _ => self.punct(line),
+            }
+        }
+        Lexed {
+            tokens: self.tokens,
+            comments: self.comments,
+        }
+    }
+
+    /// True if, starting `ahead` chars past `pos`, the input looks like
+    /// the body of a raw string: zero or more `#` then `"`.
+    fn raw_string_ahead(&self, ahead: usize) -> bool {
+        let mut i = ahead;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('/') | Some('!')) && self.peek(1) != Some('/');
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(Comment { text, line, doc });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), Some('*') | Some('!')) && self.peek(1) != Some('/');
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.comments.push(Comment { text, line, doc });
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::StrLit, "\"…\"", line);
+    }
+
+    /// Raw (byte) string, positioned at the first `#` or `"`.
+    fn raw_string(&mut self, line: u32) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::StrLit, "r\"…\"", line);
+    }
+
+    /// Disambiguates `'a'` / `'"'` / `'\n'` (char literals) from `'a` /
+    /// `'static` (lifetimes). Positioned at the opening `'`.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // '
+        match self.peek(0) {
+            Some('\\') => {
+                // Escape: definitely a char literal.
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::CharLit, "'…'", line);
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                // Could be `'x'` (char) or `'x`/`'static` (lifetime):
+                // consume the identifier run and check for a closing quote.
+                let mut name = String::new();
+                while let Some(c) = self.peek(0) {
+                    if is_ident_continue(c) {
+                        name.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                    self.push(TokKind::CharLit, "'…'", line);
+                } else {
+                    self.push(TokKind::Lifetime, format!("'{name}"), line);
+                }
+            }
+            Some(_) => {
+                // Any other single char, e.g. `'"'` or `'('`.
+                self.bump();
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                self.push(TokKind::CharLit, "'…'", line);
+            }
+            None => {}
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut kind = TokKind::IntLit;
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x') | Some('o') | Some('b')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_ascii_alphanumeric() || c == '_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(kind, "0x…", line);
+            return;
+        }
+        while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+        // Fractional part: a dot followed by a digit (so `0..n` and
+        // `x.0` tuple access stay integers).
+        if self.peek(0) == Some('.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            kind = TokKind::FloatLit;
+            self.bump();
+            while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                self.bump();
+            }
+        } else if self.peek(0) == Some('.')
+            && !matches!(self.peek(1), Some(c) if c == '.' || is_ident_start(c))
+        {
+            // Trailing-dot float such as `1.`.
+            kind = TokKind::FloatLit;
+            self.bump();
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e') | Some('E')) {
+            let sign = usize::from(matches!(self.peek(1), Some('+') | Some('-')));
+            if matches!(self.peek(1 + sign), Some(c) if c.is_ascii_digit()) {
+                kind = TokKind::FloatLit;
+                self.bump();
+                if sign == 1 {
+                    self.bump();
+                }
+                while matches!(self.peek(0), Some(c) if c.is_ascii_digit() || c == '_') {
+                    self.bump();
+                }
+            }
+        }
+        // Suffix (`f64`, `u32`, …) — keeps the literal one token.
+        let mut suffix = String::new();
+        while matches!(self.peek(0), Some(c) if is_ident_continue(c)) {
+            suffix.push(self.peek(0).unwrap_or_default());
+            self.bump();
+        }
+        if suffix.starts_with('f') {
+            kind = TokKind::FloatLit;
+        }
+        self.push(kind, "<num>", line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+
+    fn punct(&mut self, line: u32) {
+        let c = self.peek(0).unwrap_or_default();
+        let two: Option<&str> = match (c, self.peek(1)) {
+            ('=', Some('=')) => Some("=="),
+            ('!', Some('=')) => Some("!="),
+            (':', Some(':')) => Some("::"),
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('>')) => Some("=>"),
+            ('.', Some('.')) => Some(".."),
+            _ => None,
+        };
+        if let Some(op) = two {
+            self.bump();
+            self.bump();
+            self.push(TokKind::Punct, op, line);
+        } else {
+            self.bump();
+            self.push(TokKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}

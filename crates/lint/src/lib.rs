@@ -1,0 +1,206 @@
+//! `hopspan-lint` — an offline, zero-dependency static analyzer for
+//! the hopspan workspace.
+//!
+//! The paper's guarantees (Kahalon–Le–Milenković–Solomon, PODC'22) are
+//! exact combinatorial bounds, and PR 1 promised bit-identical spanner
+//! builds for any worker count. Both properties rest on source-level
+//! invariants that `rustc` does not check:
+//!
+//! * **R1 `panic-in-lib`** — library crates propagate typed errors
+//!   instead of panicking (`unwrap`/`expect`/`panic!`/`unreachable!`).
+//! * **R2 `nondeterministic-iteration`** — no iteration over
+//!   `HashMap`/`HashSet` on paths that materialize spanner edges,
+//!   labels, or routes; use `BTreeMap`/`BTreeSet` or an explicit sort.
+//! * **R3 `float-eq`** — no `==`/`!=` against float expressions
+//!   outside documented exactness contracts.
+//! * **R4 `offline-deps`** — every manifest dependency is a workspace
+//!   path dep (the vendored-compat policy; crates.io is unreachable).
+//! * **R5 `pub-undocumented`** — public items of `hopspan-core` and
+//!   `hopspan-tree-spanner` carry doc comments.
+//!
+//! Findings can be suppressed inline, one line up or on the offending
+//! line, with a mandatory reason:
+//!
+//! ```text
+//! // hopspan:allow(panic-in-lib) -- mutex poisoning is unrecoverable here
+//! ```
+//!
+//! A reason-less pragma is itself a finding (`bad-pragma`). The
+//! analyzer is hand-rolled (lexer included) because this environment
+//! has no crates.io access: no `syn`, no `dylint`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+pub mod toml_scan;
+
+use std::path::Path;
+
+/// Crates whose `src/` must satisfy R1–R3 (the library crates on the
+/// spanner/label/route materialization paths).
+pub const LIB_POLICY_CRATES: [&str; 7] = [
+    "hopspan-core",
+    "hopspan-routing",
+    "hopspan-tree-spanner",
+    "hopspan-tree-cover",
+    "hopspan-treealg",
+    "hopspan-metric",
+    "hopspan-pipeline",
+];
+
+/// Crates whose public items must be documented (R5).
+pub const DOC_POLICY_CRATES: [&str; 2] = ["hopspan-core", "hopspan-tree-spanner"];
+
+/// One diagnostic produced by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `panic-in-lib`.
+    pub rule: String,
+    /// Path of the offending file, relative to the workspace root
+    /// where possible.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation with the suggested remedy.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line: [rule] message` — the human diagnostic format.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Analyzes a single Rust source string under the given rules.
+/// `label` is the file path used in diagnostics.
+pub fn analyze_source(label: &str, source: &str, active_rules: &[&str]) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    rules::run_rules(label, &lexed, active_rules)
+}
+
+/// Analyzes the whole workspace rooted at `root`: R4 on every member
+/// manifest, R1–R3 on the `src/` trees of [`LIB_POLICY_CRATES`], and
+/// R5 on [`DOC_POLICY_CRATES`]. Findings come back in a deterministic
+/// order (members sorted, files sorted, lines ascending).
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let manifest_path = root.join("Cargo.toml");
+    let manifest = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+    if !manifest.contains("[workspace]") {
+        return Err(format!(
+            "{} is not a workspace manifest",
+            manifest_path.display()
+        ));
+    }
+
+    let mut findings = Vec::new();
+    for member in toml_scan::workspace_members(root, &manifest) {
+        let member_manifest_path = member.join("Cargo.toml");
+        let Ok(member_manifest) = std::fs::read_to_string(&member_manifest_path) else {
+            continue;
+        };
+        let label = rel_label(root, &member_manifest_path);
+        findings.extend(toml_scan::scan_manifest(&label, &member_manifest));
+
+        let Some(name) = toml_scan::package_name(&member_manifest) else {
+            continue;
+        };
+        let mut active: Vec<&str> = Vec::new();
+        if LIB_POLICY_CRATES.contains(&name.as_str()) {
+            active.extend([
+                rules::R1_PANIC_IN_LIB,
+                rules::R2_NONDET_ITERATION,
+                rules::R3_FLOAT_EQ,
+            ]);
+        }
+        if DOC_POLICY_CRATES.contains(&name.as_str()) {
+            active.push(rules::R5_PUB_UNDOCUMENTED);
+        }
+        if active.is_empty() {
+            continue;
+        }
+        for file in rust_sources(&member.join("src")) {
+            let src = std::fs::read_to_string(&file)
+                .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+            findings.extend(analyze_source(&rel_label(root, &file), &src, &active));
+        }
+    }
+    Ok(findings)
+}
+
+/// All `.rs` files under `dir`, recursively, in sorted order.
+fn rust_sources(dir: &Path) -> Vec<std::path::PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let p = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+/// Serializes findings as a stable JSON document:
+/// `{"count": N, "findings": [{"rule", "file", "line", "message"}…]}`.
+/// Hand-rolled because the analyzer must stay dependency-free.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"count\":");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        json_str(&mut out, &f.rule);
+        out.push_str(",\"file\":");
+        json_str(&mut out, &f.file);
+        out.push_str(",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"message\":");
+        json_str(&mut out, &f.message);
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

@@ -1,0 +1,114 @@
+//! CLI for `hopspan-lint`.
+//!
+//! ```text
+//! hopspan-lint [--root <path>] [--format human|json] [--deny-all]
+//! ```
+//!
+//! Exit codes: 0 — clean (or findings reported without `--deny-all`);
+//! 1 — findings present under `--deny-all`; 2 — usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
+    let mut deny_all = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(p) = argv.next() else {
+                    return usage("--root requires a path");
+                };
+                root = Some(PathBuf::from(p));
+            }
+            "--format" => match argv.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => {
+                    return usage(&format!(
+                        "--format expects `human` or `json`, got {other:?}"
+                    ));
+                }
+            },
+            "--deny-all" => deny_all = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => match find_workspace_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("hopspan-lint: no workspace Cargo.toml found; use --root");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let findings = match hopspan_lint::analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("hopspan-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Json => println!("{}", hopspan_lint::to_json(&findings)),
+        Format::Human => {
+            for f in &findings {
+                println!("{}", f.render());
+            }
+            println!(
+                "hopspan-lint: {} finding{} across the workspace",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+
+    if deny_all && !findings.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Format {
+    Human,
+    Json,
+}
+
+const USAGE: &str = "usage: hopspan-lint [--root <path>] [--format human|json] [--deny-all]";
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("hopspan-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory (or `CARGO_MANIFEST_DIR` when
+/// run via `cargo run`) to the first `Cargo.toml` declaring a
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let start = std::env::current_dir().ok()?;
+    let mut dir = Some(start.as_path());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(src) = std::fs::read_to_string(&manifest) {
+            if src.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}

@@ -1,0 +1,490 @@
+//! The per-file rule engine: R1 `panic-in-lib`, R2
+//! `nondeterministic-iteration`, R3 `float-eq`, R5 `pub-undocumented`,
+//! plus suppression-pragma validation (`bad-pragma`). R4
+//! `offline-deps` lives in [`crate::toml_scan`] because it reads
+//! manifests, not Rust source.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{Lexed, Tok, TokKind};
+use crate::Finding;
+
+/// R1: no `unwrap()`/`expect()`/`panic!`/`unreachable!` in library code.
+pub const R1_PANIC_IN_LIB: &str = "panic-in-lib";
+/// R2: no iteration over `HashMap`/`HashSet` in materialization paths.
+pub const R2_NONDET_ITERATION: &str = "nondeterministic-iteration";
+/// R3: no `==`/`!=` against float expressions.
+pub const R3_FLOAT_EQ: &str = "float-eq";
+/// R4: every workspace dependency must be a workspace path dep.
+pub const R4_OFFLINE_DEPS: &str = "offline-deps";
+/// R5: public items need doc comments.
+pub const R5_PUB_UNDOCUMENTED: &str = "pub-undocumented";
+/// Meta-rule: malformed `hopspan:allow` pragmas (never suppressible).
+pub const BAD_PRAGMA: &str = "bad-pragma";
+
+/// All source-code rules (R4 is manifest-level and handled separately).
+pub const CODE_RULES: [&str; 4] = [
+    R1_PANIC_IN_LIB,
+    R2_NONDET_ITERATION,
+    R3_FLOAT_EQ,
+    R5_PUB_UNDOCUMENTED,
+];
+
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// A parsed `// hopspan:allow(<rule>) -- <reason>` pragma.
+struct Allow {
+    rule: String,
+    line: u32,
+}
+
+/// Runs the requested source rules over one lexed file and applies
+/// suppression pragmas. `label` is the path reported in diagnostics.
+pub fn run_rules(label: &str, lexed: &Lexed, rules: &[&str]) -> Vec<Finding> {
+    let toks = &lexed.tokens;
+    let skip = test_ranges(toks);
+    let in_test = |i: usize| skip.iter().any(|&(lo, hi)| i >= lo && i <= hi);
+
+    let mut findings = Vec::new();
+    let (allows, mut pragma_findings) = parse_pragmas(label, lexed);
+    findings.append(&mut pragma_findings);
+
+    if rules.contains(&R1_PANIC_IN_LIB) {
+        rule_panic_in_lib(label, toks, &in_test, &mut findings);
+    }
+    if rules.contains(&R2_NONDET_ITERATION) {
+        rule_nondet_iteration(label, toks, &in_test, &mut findings);
+    }
+    if rules.contains(&R3_FLOAT_EQ) {
+        rule_float_eq(label, toks, &in_test, &mut findings);
+    }
+    if rules.contains(&R5_PUB_UNDOCUMENTED) {
+        rule_pub_undocumented(label, lexed, &in_test, &mut findings);
+    }
+
+    // A pragma on line L suppresses same-rule findings on L and L+1
+    // (i.e. it may sit on the offending line or the line above).
+    findings.retain(|f| {
+        f.rule == BAD_PRAGMA
+            || !allows
+                .iter()
+                .any(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
+    });
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+    findings
+}
+
+/// Extracts `hopspan:allow` pragmas from comments; malformed ones
+/// (missing rule, unknown rule, or missing `-- <reason>`) become
+/// `bad-pragma` findings.
+fn parse_pragmas(label: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for c in &lexed.comments {
+        let Some(at) = c.text.find("hopspan:allow") else {
+            continue;
+        };
+        let rest = &c.text[at + "hopspan:allow".len()..];
+        let bad = |why: &str| Finding {
+            rule: BAD_PRAGMA.to_string(),
+            file: label.to_string(),
+            line: c.line,
+            message: format!("malformed hopspan:allow pragma: {why}"),
+        };
+        let Some(inner) = rest.strip_prefix('(') else {
+            findings.push(bad("expected `(<rule>)` after hopspan:allow"));
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            findings.push(bad("unclosed rule list"));
+            continue;
+        };
+        let rule = inner[..close].trim().to_string();
+        if !CODE_RULES.contains(&rule.as_str()) && rule != R4_OFFLINE_DEPS {
+            findings.push(bad(&format!("unknown rule `{rule}`")));
+            continue;
+        }
+        let after = inner[close + 1..].trim_start();
+        let Some(reason) = after.strip_prefix("--") else {
+            findings.push(bad("a reason is required: `-- <reason>`"));
+            continue;
+        };
+        if reason.trim().is_empty() {
+            findings.push(bad("the reason after `--` must be non-empty"));
+            continue;
+        }
+        allows.push(Allow { rule, line: c.line });
+    }
+    (allows, findings)
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items:
+/// rules do not apply inside tests or test modules.
+fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+            if let Some((end, is_test)) = attr_is_test(toks, i + 1) {
+                if is_test {
+                    if let Some(body) = brace_block_after(toks, end + 1) {
+                        ranges.push((i, body));
+                        i = body + 1;
+                        continue;
+                    }
+                }
+                i = end + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Given the index of an attribute's `[`, returns the index of its
+/// matching `]` and whether the attribute marks test-only code
+/// (`#[test]`, `#[cfg(test)]`, `#[cfg(all(test, …))]`, `#[bench]`).
+fn attr_is_test(toks: &[Tok], open: usize) -> Option<(usize, bool)> {
+    let mut depth = 0usize;
+    let mut saw_cfg = false;
+    let mut is_test = false;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((j, is_test));
+                }
+            }
+            "cfg" => saw_cfg = true,
+            "test" if saw_cfg || depth == 1 => is_test = true,
+            "bench" if depth == 1 => is_test = true,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Index of the `}` closing the first `{` found at or after `from`.
+fn brace_block_after(toks: &[Tok], from: usize) -> Option<usize> {
+    let open = toks[from..]
+        .iter()
+        .position(|t| matches!(t.text.as_str(), "{" | ";"))
+        .map(|p| p + from)?;
+    if toks[open].text == ";" {
+        // Item without a body, e.g. `#[cfg(test)] mod tests;`.
+        return Some(open);
+    }
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn rule_panic_in_lib(
+    label: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if in_test(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+        if PANIC_METHODS.contains(&name) && prev == Some(".") && next == Some("(") {
+            out.push(Finding {
+                rule: R1_PANIC_IN_LIB.to_string(),
+                file: label.to_string(),
+                line: toks[i].line,
+                message: format!(
+                    "`.{name}()` in library code; propagate a typed error \
+                     or add a reasoned hopspan:allow"
+                ),
+            });
+        } else if PANIC_MACROS.contains(&name) && next == Some("!") {
+            out.push(Finding {
+                rule: R1_PANIC_IN_LIB.to_string(),
+                file: label.to_string(),
+                line: toks[i].line,
+                message: format!(
+                    "`{name}!` in library code; propagate a typed error \
+                     or add a reasoned hopspan:allow"
+                ),
+            });
+        }
+    }
+}
+
+/// Identifiers bound to a `HashMap`/`HashSet` in this file: let
+/// bindings (`let m = HashMap::new()`), typed bindings, struct fields
+/// and fn params (`m: &HashMap<…>`). The tracking is name-based and
+/// file-local — a deliberate over-approximation: membership-only maps
+/// are fine to keep, but any *iteration* over a tracked name is
+/// flagged.
+fn hash_bound_names(toks: &[Tok], in_test: &dyn Fn(usize) -> bool) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if in_test(i)
+            || t.kind != TokKind::Ident
+            || !matches!(t.text.as_str(), "HashMap" | "HashSet")
+        {
+            continue;
+        }
+        // Walk back over the path / reference prefix (`std ::
+        // collections ::`, `&`, `'a`, `mut`, `dyn`) to the `:` or `=`
+        // that links this type/constructor to a name.
+        let mut j = i;
+        while j > 0 {
+            let p = &toks[j - 1];
+            let skip = matches!(p.text.as_str(), "::" | "&" | "mut" | "dyn")
+                || p.kind == TokKind::Lifetime
+                || (p.kind == TokKind::Ident && toks[j].text == "::");
+            // Path segments before `HashMap` itself (e.g. `std`,
+            // `collections`) are only reachable through `::`.
+            if skip
+                || (p.kind == TokKind::Ident && matches!(p.text.as_str(), "std" | "collections"))
+            {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        let Some(link) = j.checked_sub(1) else {
+            continue;
+        };
+        match toks[link].text.as_str() {
+            // `name: HashMap<…>` — field, param, or typed let.
+            ":" => {
+                if let Some(name) = ident_before(toks, link) {
+                    names.insert(name);
+                }
+            }
+            // `name = HashMap::new()` / `= HashSet::with_capacity(…)`.
+            "=" => {
+                if let Some(name) = ident_before(toks, link) {
+                    names.insert(name);
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
+
+fn ident_before(toks: &[Tok], idx: usize) -> Option<String> {
+    let t = toks.get(idx.checked_sub(1)?)?;
+    (t.kind == TokKind::Ident && !is_keyword(&t.text)).then(|| t.text.clone())
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let" | "mut" | "ref" | "pub" | "fn" | "if" | "else" | "in" | "for" | "return"
+    )
+}
+
+fn rule_nondet_iteration(
+    label: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let names = hash_bound_names(toks, in_test);
+    if names.is_empty() {
+        return;
+    }
+    let flag = |out: &mut Vec<Finding>, line: u32, what: &str| {
+        out.push(Finding {
+            rule: R2_NONDET_ITERATION.to_string(),
+            file: label.to_string(),
+            line,
+            message: format!(
+                "{what} iterates a HashMap/HashSet: order can leak into \
+                 materialized output; use BTreeMap/BTreeSet or sort explicitly"
+            ),
+        });
+    };
+    for i in 0..toks.len() {
+        if in_test(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `name.iter()` / `name.keys()` / … where `name` is hash-bound.
+        if names.contains(&toks[i].text)
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some(".")
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()))
+            && toks.get(i + 3).map(|t| t.text.as_str()) == Some("(")
+        {
+            let method = &toks[i + 2].text;
+            flag(out, toks[i].line, &format!("`{}.{method}()`", toks[i].text));
+        }
+        // `for pat in [&][mut] [self.]name {` — iterating the
+        // collection itself rather than an explicit iterator method.
+        if toks[i].text == "in" {
+            let mut j = i + 1;
+            while toks
+                .get(j)
+                .is_some_and(|t| matches!(t.text.as_str(), "&" | "mut"))
+            {
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.text.as_str()) == Some("self")
+                && toks.get(j + 1).map(|t| t.text.as_str()) == Some(".")
+            {
+                j += 2;
+            }
+            let Some(name_tok) = toks.get(j) else {
+                continue;
+            };
+            if name_tok.kind == TokKind::Ident
+                && names.contains(&name_tok.text)
+                && toks.get(j + 1).map(|t| t.text.as_str()) == Some("{")
+            {
+                flag(out, name_tok.line, &format!("`for … in {}`", name_tok.text));
+            }
+        }
+    }
+}
+
+fn rule_float_eq(
+    label: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if in_test(i) || toks[i].kind != TokKind::Punct {
+            continue;
+        }
+        let op = toks[i].text.as_str();
+        if op != "==" && op != "!=" {
+            continue;
+        }
+        let lhs_float = i
+            .checked_sub(1)
+            .is_some_and(|p| toks[p].kind == TokKind::FloatLit);
+        let rhs_float = toks.get(i + 1).is_some_and(|t| t.kind == TokKind::FloatLit);
+        if lhs_float || rhs_float {
+            out.push(Finding {
+                rule: R3_FLOAT_EQ.to_string(),
+                file: label.to_string(),
+                line: toks[i].line,
+                message: format!(
+                    "`{op}` against a float literal; use an exactness helper \
+                     with a documented contract, or an epsilon comparison"
+                ),
+            });
+        }
+    }
+}
+
+fn rule_pub_undocumented(
+    label: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &lexed.tokens;
+    let doc_lines: BTreeSet<u32> = lexed.doc_lines().into_iter().collect();
+    for i in 0..toks.len() {
+        if in_test(i) || toks[i].kind != TokKind::Ident || toks[i].text != "pub" {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        // `pub(crate)` / `pub(super)` are not public API.
+        if next.text == "(" {
+            continue;
+        }
+        let item = match next.text.as_str() {
+            "fn" | "struct" | "enum" | "trait" | "type" | "const" | "static" | "mod" | "union" => {
+                let name = toks
+                    .get(i + 2)
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone());
+                Some((next.text.clone(), name))
+            }
+            // Re-exports inherit upstream docs; `pub unsafe fn` is
+            // forbidden workspace-wide anyway.
+            "use" | "unsafe" | "async" => None,
+            _ => {
+                // `pub name: Type` — a public struct field.
+                (next.kind == TokKind::Ident
+                    && toks.get(i + 2).map(|t| t.text.as_str()) == Some(":"))
+                .then(|| ("field".to_string(), Some(next.text.clone())))
+            }
+        };
+        let Some((kind, name)) = item else {
+            continue;
+        };
+        // Walk back over any attribute block(s) directly above.
+        let mut first = i;
+        while first >= 2 && toks[first - 1].text == "]" {
+            let mut depth = 0usize;
+            let mut k = first - 1;
+            loop {
+                match toks[k].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].text == "#" {
+                first = k - 1;
+            } else {
+                break;
+            }
+        }
+        let first_line = toks[first].line;
+        let documented = first_line >= 2 && doc_lines.contains(&(first_line - 1))
+            || doc_lines.contains(&first_line);
+        if !documented {
+            let name = name.unwrap_or_else(|| "<unnamed>".to_string());
+            out.push(Finding {
+                rule: R5_PUB_UNDOCUMENTED.to_string(),
+                file: label.to_string(),
+                line: toks[i].line,
+                message: format!("public {kind} `{name}` has no doc comment"),
+            });
+        }
+    }
+}

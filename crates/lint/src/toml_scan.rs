@@ -1,0 +1,230 @@
+//! A deliberately small TOML scanner: enough to enumerate workspace
+//! members (including `crates/*` globs) and to enforce R4
+//! `offline-deps` — every dependency in every workspace manifest must
+//! resolve to a local path (directly or via `workspace = true`), never
+//! to a registry version or a git URL. This guards the vendored-compat
+//! policy: the build environment has no crates.io access.
+
+use std::path::{Path, PathBuf};
+
+use crate::rules::R4_OFFLINE_DEPS;
+use crate::Finding;
+
+/// Returns the member directories of the workspace rooted at `root`
+/// (which must contain the top-level `Cargo.toml`), expanding
+/// single-level `dir/*` globs. The root itself is included when its
+/// manifest also declares a `[package]`.
+pub fn workspace_members(root: &Path, manifest_src: &str) -> Vec<PathBuf> {
+    let mut members = Vec::new();
+    if section_lines(manifest_src, "package").next().is_some() || manifest_src.contains("[package]")
+    {
+        members.push(root.to_path_buf());
+    }
+    for pat in member_patterns(manifest_src) {
+        if let Some(dir) = pat.strip_suffix("/*") {
+            let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
+                continue;
+            };
+            let mut found: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.join("Cargo.toml").is_file())
+                .collect();
+            found.sort();
+            members.extend(found);
+        } else {
+            let p = root.join(&pat);
+            if p.join("Cargo.toml").is_file() {
+                members.push(p);
+            }
+        }
+    }
+    members
+}
+
+/// The string entries of `members = [ … ]` under `[workspace]`.
+fn member_patterns(src: &str) -> Vec<String> {
+    let mut pats = Vec::new();
+    let mut in_members = false;
+    for raw in src.lines() {
+        let line = strip_comment(raw).trim().to_string();
+        if !in_members {
+            if let Some(rest) = line.strip_prefix("members") {
+                let rest = rest.trim_start();
+                if let Some(list) = rest.strip_prefix('=') {
+                    in_members = true;
+                    collect_strings(list, &mut pats);
+                    if list.contains(']') {
+                        break;
+                    }
+                }
+            }
+        } else {
+            collect_strings(&line, &mut pats);
+            if line.contains(']') {
+                break;
+            }
+        }
+    }
+    pats
+}
+
+fn collect_strings(fragment: &str, out: &mut Vec<String>) {
+    let mut rest = fragment;
+    while let Some(start) = rest.find('"') {
+        let Some(len) = rest[start + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[start + 1..start + 1 + len].to_string());
+        rest = &rest[start + 2 + len..];
+    }
+}
+
+/// The `name = "…"` of the `[package]` section, if any.
+pub fn package_name(src: &str) -> Option<String> {
+    for line in section_lines(src, "package") {
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(v) = rest.strip_prefix('=') {
+                let mut names = Vec::new();
+                collect_strings(v, &mut names);
+                return names.into_iter().next();
+            }
+        }
+    }
+    None
+}
+
+/// Lines (comment-stripped, trimmed) belonging to `[section]`.
+fn section_lines<'a>(src: &'a str, section: &'a str) -> impl Iterator<Item = String> + 'a {
+    let mut active = false;
+    src.lines().filter_map(move |raw| {
+        let line = strip_comment(raw).trim().to_string();
+        if line.starts_with('[') {
+            active = line == format!("[{section}]");
+            return None;
+        }
+        (active && !line.is_empty()).then_some(line)
+    })
+}
+
+fn strip_comment(line: &str) -> &str {
+    // Good enough for our manifests: `#` never appears inside strings.
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// R4 `offline-deps`: scans one manifest. Every entry of a
+/// `*dependencies*` section must carry `path = …` or `workspace =
+/// true`, and must not carry `git = …` or be a bare registry version.
+pub fn scan_manifest(label: &str, src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut section = String::new();
+    // For `[dependencies.NAME]`-style tables: (name, line, ok, git).
+    let mut open_table: Option<(String, u32, bool, bool)> = None;
+
+    let flush = |table: &mut Option<(String, u32, bool, bool)>, out: &mut Vec<Finding>| {
+        if let Some((name, line, ok, git)) = table.take() {
+            if git || !ok {
+                out.push(offline_violation(label, line, &name, git));
+            }
+        }
+    };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            flush(&mut open_table, &mut findings);
+            section = line.trim_matches(['[', ']']).to_string();
+            if is_dep_section(&section) {
+                if let Some(name) = dep_table_entry(&section) {
+                    open_table = Some((name, line_no, false, false));
+                }
+            }
+            continue;
+        }
+        if let Some(entry) = open_table.as_mut() {
+            if line.starts_with("path") || (line.starts_with("workspace") && line.contains("true"))
+            {
+                entry.2 = true;
+            } else if line.starts_with("git") {
+                entry.3 = true;
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            continue;
+        };
+        let key = line[..eq].trim();
+        let value = line[eq + 1..].trim();
+        // `name.workspace = true` / `name.path = "…"` dotted keys.
+        if let Some((_, attr)) = key.split_once('.') {
+            if attr == "workspace" || attr == "path" {
+                continue;
+            }
+        }
+        let ok = value.starts_with('{')
+            && (value.contains("path") || value.contains("workspace = true"))
+            && !value.contains("git");
+        if !ok {
+            findings.push(offline_violation(
+                label,
+                line_no,
+                key,
+                value.contains("git"),
+            ));
+        }
+    }
+    flush(&mut open_table, &mut findings);
+    findings
+}
+
+fn offline_violation(label: &str, line: u32, name: &str, git: bool) -> Finding {
+    let why = if git {
+        "a git dependency"
+    } else {
+        "not a workspace path dependency"
+    };
+    Finding {
+        rule: R4_OFFLINE_DEPS.to_string(),
+        file: label.to_string(),
+        line,
+        message: format!(
+            "dependency `{name}` is {why}; vendor it under crates/compat-* \
+             and reference it by path (offline build policy)"
+        ),
+    }
+}
+
+fn is_dep_section(section: &str) -> bool {
+    let base = section
+        .split('.')
+        .take_while(|seg| !seg.is_empty())
+        .collect::<Vec<_>>();
+    base.iter().any(|seg| {
+        matches!(
+            *seg,
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        )
+    })
+}
+
+/// For `[dependencies.NAME]`, returns `NAME`.
+fn dep_table_entry(section: &str) -> Option<String> {
+    let segs: Vec<&str> = section.split('.').collect();
+    let pos = segs.iter().position(|s| {
+        matches!(
+            *s,
+            "dependencies" | "dev-dependencies" | "build-dependencies"
+        )
+    })?;
+    segs.get(pos + 1).map(|s| s.to_string())
+}

@@ -1,0 +1,21 @@
+//! Fixture: malformed suppression pragmas are themselves findings.
+
+pub fn missing_reason(x: Option<usize>) -> usize {
+    // hopspan:allow(panic-in-lib)
+    x.unwrap() // pragma above has no reason: both bad-pragma and panic-in-lib fire
+}
+
+pub fn empty_reason(x: Option<usize>) -> usize {
+    // hopspan:allow(panic-in-lib) --
+    x.unwrap()
+}
+
+pub fn unknown_rule(x: Option<usize>) -> usize {
+    // hopspan:allow(no-such-rule) -- the rule name is wrong
+    x.unwrap()
+}
+
+pub fn well_formed(x: Option<usize>) -> usize {
+    // hopspan:allow(panic-in-lib) -- fixture: suppressed with a proper reason
+    x.unwrap()
+}

@@ -1,0 +1,22 @@
+//! Fixture: R3 `float-eq` violations and allowed comparisons.
+
+pub fn violation_eq(x: f64) -> bool {
+    x == 0.0 // line 4: violation
+}
+
+pub fn violation_ne(d: f64) -> bool {
+    1.5 != d // line 8: violation
+}
+
+pub fn epsilon_compare_is_fine(a: f64, b: f64) -> bool {
+    (a - b).abs() < 1e-9
+}
+
+pub fn integer_eq_is_fine(n: usize) -> bool {
+    n == 0
+}
+
+pub fn allowed_with_reason(d: f64) -> bool {
+    // hopspan:allow(float-eq) -- fixture: documented exactness contract
+    d == 0.0
+}

@@ -1,0 +1,49 @@
+//! Fixture: R2 `nondeterministic-iteration` violations and allowed uses.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Labels {
+    table: HashMap<(usize, usize), f64>,
+}
+
+pub fn violation_iter() -> Vec<usize> {
+    let mut seen: HashMap<usize, usize> = HashMap::new();
+    seen.insert(1, 2);
+    seen.keys().copied().collect() // line 12: violation (.keys())
+}
+
+pub fn violation_for_loop() -> usize {
+    let mut ids = HashSet::new();
+    ids.insert(7usize);
+    let mut acc = 0;
+    for id in &ids {
+        // line 19: violation (for … in over a HashSet)
+        acc += id;
+    }
+    acc
+}
+
+impl Labels {
+    pub fn violation_field_values(&self) -> f64 {
+        self.table.values().sum() // line 28: violation (field iteration)
+    }
+}
+
+pub fn membership_only_is_fine() -> bool {
+    let mut seen: HashSet<usize> = HashSet::new();
+    seen.insert(3);
+    seen.contains(&3) // lookups don't leak order: no violation
+}
+
+pub fn btree_iteration_is_fine() -> Vec<usize> {
+    let mut m: BTreeMap<usize, usize> = BTreeMap::new();
+    m.insert(1, 2);
+    m.keys().copied().collect() // sorted: no violation
+}
+
+pub fn allowed_with_reason() -> usize {
+    let mut ws: HashSet<usize> = HashSet::new();
+    ws.insert(9);
+    // hopspan:allow(nondeterministic-iteration) -- fixture: result is order-insensitive (a sum)
+    ws.iter().sum()
+}

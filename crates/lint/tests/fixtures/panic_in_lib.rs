@@ -1,0 +1,53 @@
+//! Fixture: R1 `panic-in-lib` violations and non-violations.
+//! The lexer must NOT fire on panic words inside strings, raw strings,
+//! char literals, comments, or doc comments.
+
+/// Mentions unwrap() and panic! in a doc comment — not a violation.
+pub fn documented() -> Option<usize> {
+    None
+}
+
+pub fn violation_unwrap(x: Option<usize>) -> usize {
+    x.unwrap() // line 11: violation
+}
+
+pub fn violation_expect(x: Option<usize>) -> usize {
+    x.expect("present") // line 15: violation
+}
+
+pub fn violation_panic() {
+    panic!("boom"); // line 19: violation
+}
+
+pub fn violation_unreachable() {
+    unreachable!(); // line 23: violation
+}
+
+pub fn allowed_with_reason(x: Option<usize>) -> usize {
+    // hopspan:allow(panic-in-lib) -- fixture: invariant documented here
+    x.unwrap()
+}
+
+pub fn not_violations() -> String {
+    let s = "don't .unwrap() here or panic!";
+    let r = r#"raw string: x.unwrap() and "quoted" panic!"#;
+    let c = '"'; // a char literal holding a quote must not open a string
+    let l = 'a'; // plain char literal
+    /* block comment: .unwrap() is fine
+       /* nested block: panic!("nope") still fine */
+       tail of outer comment .expect("x") */
+    let unwrap_or = Some(1).unwrap_or(2); // unwrap_or is not unwrap
+    format!("{s}{r}{c}{l}{unwrap_or}")
+}
+
+fn keeps_lexing_after_tricky_literals(x: Option<usize>) -> usize {
+    let _mix = (r##"double-hash "# raw"##, b"bytes", b'q', 0x2f, 1.5e-3);
+    x.unwrap() // line 45: violation — proves the lexer resynced
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_code_is_exempt(x: Option<usize>) -> usize {
+        x.unwrap() // in cfg(test): not a violation
+    }
+}

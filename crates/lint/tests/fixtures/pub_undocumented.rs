@@ -1,0 +1,34 @@
+//! Fixture: R5 `pub-undocumented` violations and non-violations.
+
+pub struct Undocumented {} // line 3: violation (pub struct, no doc)
+
+/// Documented struct.
+pub struct Documented {
+    /// Documented field.
+    pub with_doc: usize,
+    pub without_doc: usize, // line 9: violation (pub field, no doc)
+}
+
+/// Documented, attribute between doc and item.
+#[derive(Debug)]
+pub enum AttrBetween {
+    /// Variant docs are free-form.
+    A,
+}
+
+#[derive(Debug)]
+pub struct AttrNoDoc {} // line 20: violation (attr but no doc)
+
+pub(crate) struct CrateVisible {} // pub(crate): not public API
+
+pub use std::collections::BTreeMap as ReexportsAreFine;
+
+/// Documented function.
+pub fn documented() {}
+
+pub fn undocumented() {} // line 29: violation
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helpers_are_exempt() {}
+}

@@ -1,0 +1,177 @@
+//! Fixture-driven tests for the rule engine: each fixture under
+//! `tests/fixtures/` seeds known violations, and these tests assert the
+//! exact `(rule, line)` diagnostics — nothing missing, nothing extra.
+
+use hopspan_lint::rules::{
+    BAD_PRAGMA, R1_PANIC_IN_LIB, R2_NONDET_ITERATION, R3_FLOAT_EQ, R4_OFFLINE_DEPS,
+    R5_PUB_UNDOCUMENTED,
+};
+use hopspan_lint::{analyze_source, to_json, toml_scan, Finding};
+
+/// Reduces findings to comparable `(rule, line)` pairs.
+fn pairs(findings: &[Finding]) -> Vec<(&str, u32)> {
+    findings.iter().map(|f| (f.rule.as_str(), f.line)).collect()
+}
+
+#[test]
+fn panic_in_lib_fixture_exact_lines() {
+    let src = include_str!("fixtures/panic_in_lib.rs");
+    let findings = analyze_source("fixtures/panic_in_lib.rs", src, &[R1_PANIC_IN_LIB]);
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (R1_PANIC_IN_LIB, 11), // x.unwrap()
+            (R1_PANIC_IN_LIB, 15), // x.expect("present")
+            (R1_PANIC_IN_LIB, 19), // panic!
+            (R1_PANIC_IN_LIB, 23), // unreachable!
+            (R1_PANIC_IN_LIB, 45), // unwrap after raw/byte literals
+        ],
+        "got: {:#?}",
+        findings
+    );
+    // The doc comment mentioning unwrap()/panic!, the string and raw
+    // string bodies, the '"' char literal, the nested block comment,
+    // `unwrap_or`, the reasoned allow, and the #[cfg(test)] module must
+    // all stay silent — covered by the exact-set assertion above.
+}
+
+#[test]
+fn nondet_iteration_fixture_exact_lines() {
+    let src = include_str!("fixtures/nondet_iteration.rs");
+    let findings = analyze_source("fixtures/nondet_iteration.rs", src, &[R2_NONDET_ITERATION]);
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (R2_NONDET_ITERATION, 12), // seen.keys()
+            (R2_NONDET_ITERATION, 19), // for id in &ids {
+            (R2_NONDET_ITERATION, 28), // self.table.values()
+        ],
+        "got: {:#?}",
+        findings
+    );
+}
+
+#[test]
+fn float_eq_fixture_exact_lines() {
+    let src = include_str!("fixtures/float_eq.rs");
+    let findings = analyze_source("fixtures/float_eq.rs", src, &[R3_FLOAT_EQ]);
+    assert_eq!(
+        pairs(&findings),
+        vec![(R3_FLOAT_EQ, 4), (R3_FLOAT_EQ, 8)],
+        "got: {:#?}",
+        findings
+    );
+}
+
+#[test]
+fn pub_undocumented_fixture_exact_lines() {
+    let src = include_str!("fixtures/pub_undocumented.rs");
+    let findings = analyze_source("fixtures/pub_undocumented.rs", src, &[R5_PUB_UNDOCUMENTED]);
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (R5_PUB_UNDOCUMENTED, 3),  // pub struct Undocumented
+            (R5_PUB_UNDOCUMENTED, 9),  // pub without_doc field
+            (R5_PUB_UNDOCUMENTED, 20), // attr but no doc
+            (R5_PUB_UNDOCUMENTED, 29), // pub fn undocumented
+        ],
+        "got: {:#?}",
+        findings
+    );
+}
+
+#[test]
+fn reasonless_and_unknown_pragmas_are_rejected() {
+    let src = include_str!("fixtures/bad_pragma.rs");
+    let findings = analyze_source("fixtures/bad_pragma.rs", src, &[R1_PANIC_IN_LIB]);
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (BAD_PRAGMA, 4),       // no `-- <reason>` at all
+            (R1_PANIC_IN_LIB, 5),  // …so the unwrap below still fires
+            (BAD_PRAGMA, 9),       // empty reason after `--`
+            (R1_PANIC_IN_LIB, 10), // …still fires
+            (BAD_PRAGMA, 14),      // unknown rule name
+            (R1_PANIC_IN_LIB, 15), // …still fires
+        ],
+        "got: {:#?}",
+        findings
+    );
+    assert!(
+        findings
+            .iter()
+            .filter(|f| f.rule == BAD_PRAGMA && f.line != 14)
+            .all(|f| f.message.contains("reason")),
+        "reason-less pragma diagnostics should say a reason is required"
+    );
+}
+
+#[test]
+fn bad_pragmas_are_never_suppressible() {
+    // Even a well-formed allow(bad-pragma) must not silence the
+    // meta-rule; `bad-pragma` is not a known rule name on purpose.
+    let src = "// hopspan:allow(bad-pragma) -- trying to silence the meta-rule\n\
+               // hopspan:allow(panic-in-lib)\n\
+               pub fn f() {}\n";
+    let findings = analyze_source("inline.rs", src, &[R1_PANIC_IN_LIB]);
+    assert_eq!(pairs(&findings), vec![(BAD_PRAGMA, 1), (BAD_PRAGMA, 2)]);
+}
+
+#[test]
+fn pragma_covers_its_own_line_and_the_next() {
+    let same_line =
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() } // hopspan:allow(panic-in-lib) -- same line\n";
+    assert!(analyze_source("s.rs", same_line, &[R1_PANIC_IN_LIB]).is_empty());
+
+    let two_below = "// hopspan:allow(panic-in-lib) -- too far away\n\
+                     fn g() {}\n\
+                     fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+    assert_eq!(
+        pairs(&analyze_source("t.rs", two_below, &[R1_PANIC_IN_LIB])),
+        vec![(R1_PANIC_IN_LIB, 3)],
+        "a pragma two lines above the violation must not suppress it"
+    );
+}
+
+#[test]
+fn offline_deps_fixture_exact_lines() {
+    let src = include_str!("fixtures/bad_deps.toml");
+    let findings = toml_scan::scan_manifest("fixtures/bad_deps.toml", src);
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (R4_OFFLINE_DEPS, 6),  // serde = "1.0"
+            (R4_OFFLINE_DEPS, 7),  // rand = { version = "0.8" }
+            (R4_OFFLINE_DEPS, 8),  // git dependency
+            (R4_OFFLINE_DEPS, 15), // [dependencies.tabled] without path
+        ],
+        "got: {:#?}",
+        findings
+    );
+    assert!(
+        findings[2].message.contains("git"),
+        "the git dep should be called out as such: {}",
+        findings[2].message
+    );
+}
+
+#[test]
+fn render_and_json_formats() {
+    let f = Finding {
+        rule: "float-eq".to_string(),
+        file: "crates/x/src/lib.rs".to_string(),
+        line: 7,
+        message: "a \"quoted\" message".to_string(),
+    };
+    assert_eq!(
+        f.render(),
+        "crates/x/src/lib.rs:7: [float-eq] a \"quoted\" message"
+    );
+    assert_eq!(
+        to_json(std::slice::from_ref(&f)),
+        "{\"count\":1,\"findings\":[{\"rule\":\"float-eq\",\
+         \"file\":\"crates/x/src/lib.rs\",\"line\":7,\
+         \"message\":\"a \\\"quoted\\\" message\"}]}"
+    );
+    assert_eq!(to_json(&[]), "{\"count\":0,\"findings\":[]}");
+}

@@ -1,0 +1,44 @@
+//! The analyzer run against its own workspace: the hopspan repo must
+//! be lint-clean. This is the test CI's `hopspan-lint` job relies on —
+//! if a panic site, hash iteration, or undocumented public item sneaks
+//! into a policy crate, this fails with the exact diagnostics.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root");
+    let findings = hopspan_lint::analyze_workspace(root).expect("workspace analysis runs");
+    assert!(
+        findings.is_empty(),
+        "workspace has {} lint finding(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(hopspan_lint::Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn workspace_members_are_discovered() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let manifest = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
+    let members = hopspan_lint::toml_scan::workspace_members(root, &manifest);
+    // The root package plus every crates/* member, lint included.
+    assert!(
+        members.iter().any(|m| m.ends_with("crates/lint")),
+        "crates/* glob expansion should find the lint crate: {members:?}"
+    );
+    assert!(
+        members.len() > 8,
+        "expected the root package and all crates/* members, got {members:?}"
+    );
+}

@@ -53,6 +53,14 @@ pub fn exponential_line(n: usize) -> EuclideanSpace {
     EuclideanSpace::new(coords, 1)
 }
 
+/// Unwraps a constructor result that is infallible by generator
+/// construction (e.g. edge lists built as explicit trees). Funnels all
+/// generator-side unwrapping through one audited site.
+fn assume_valid<T, E: std::fmt::Debug>(r: Result<T, E>, what: &str) -> T {
+    // hopspan:allow(panic-in-lib) -- generators construct their inputs to satisfy the invariant by design
+    r.expect(what)
+}
+
 /// A uniformly random recursive tree: vertex `v ≥ 1` attaches to a uniform
 /// parent in `0..v` with weight in `[1, 2)`.
 pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> RootedTree {
@@ -60,21 +68,24 @@ pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> RootedTree {
     let edges: Vec<_> = (1..n)
         .map(|v| (rng.gen_range(0..v), v, 1.0 + rng.gen::<f64>()))
         .collect();
-    RootedTree::from_edges(n, 0, &edges).expect("generated edges form a tree")
+    assume_valid(
+        RootedTree::from_edges(n, 0, &edges),
+        "generated edges form a tree",
+    )
 }
 
 /// The path `0 - 1 - … - n-1` with unit weights, rooted at 0.
 pub fn path_tree(n: usize) -> RootedTree {
     assert!(n >= 1);
     let edges: Vec<_> = (1..n).map(|v| (v - 1, v, 1.0)).collect();
-    RootedTree::from_edges(n, 0, &edges).expect("path is a tree")
+    assume_valid(RootedTree::from_edges(n, 0, &edges), "path is a tree")
 }
 
 /// The star with center 0 and `n - 1` unit-weight leaves.
 pub fn star_tree(n: usize) -> RootedTree {
     assert!(n >= 1);
     let edges: Vec<_> = (1..n).map(|v| (0, v, 1.0)).collect();
-    RootedTree::from_edges(n, 0, &edges).expect("star is a tree")
+    assume_valid(RootedTree::from_edges(n, 0, &edges), "star is a tree")
 }
 
 /// A caterpillar: a spine of `spine` vertices with `legs` unit-weight
@@ -91,7 +102,10 @@ pub fn caterpillar_tree(spine: usize, legs: usize) -> RootedTree {
             edges.push((s, spine + s * legs + l, 1.0));
         }
     }
-    RootedTree::from_edges(n, 0, &edges).expect("caterpillar is a tree")
+    assume_valid(
+        RootedTree::from_edges(n, 0, &edges),
+        "caterpillar is a tree",
+    )
 }
 
 /// A complete binary tree on `n` vertices (heap indexing) with unit
@@ -99,7 +113,10 @@ pub fn caterpillar_tree(spine: usize, legs: usize) -> RootedTree {
 pub fn balanced_binary_tree(n: usize) -> RootedTree {
     assert!(n >= 1);
     let edges: Vec<_> = (1..n).map(|v| ((v - 1) / 2, v, 1.0)).collect();
-    RootedTree::from_edges(n, 0, &edges).expect("binary tree is a tree")
+    assume_valid(
+        RootedTree::from_edges(n, 0, &edges),
+        "binary tree is a tree",
+    )
 }
 
 /// The `w × h` grid graph with unit weights (a canonical planar graph).
@@ -117,7 +134,7 @@ pub fn grid_graph(w: usize, h: usize) -> Graph {
             }
         }
     }
-    Graph::new(w * h, &edges).expect("grid edges valid")
+    assume_valid(Graph::new(w * h, &edges), "grid edges valid")
 }
 
 /// The `w × h` grid with random weights in `[1, 2)` (still planar).
@@ -128,7 +145,7 @@ pub fn weighted_grid_graph<R: Rng>(w: usize, h: usize, rng: &mut R) -> Graph {
         .iter()
         .map(|&(u, v, _)| (u, v, 1.0 + rng.gen::<f64>()))
         .collect();
-    Graph::new(w * h, &edges).expect("grid edges valid")
+    assume_valid(Graph::new(w * h, &edges), "grid edges valid")
 }
 
 /// A unit-ball graph (the intro's practical restriction of doubling
@@ -152,7 +169,7 @@ pub fn unit_ball_graph<R: Rng>(
             }
         }
     }
-    let g = Graph::new(n, &edges).expect("edges valid");
+    let g = assume_valid(Graph::new(n, &edges), "edges valid");
     (pts, g)
 }
 
@@ -167,7 +184,7 @@ pub fn random_bounded_metric<R: Rng>(n: usize, rng: &mut R) -> MatrixMetric {
             d[j * n + i] = v;
         }
     }
-    MatrixMetric::new(n, d).expect("bounded random matrix is a metric")
+    assume_valid(MatrixMetric::new(n, d), "bounded random matrix is a metric")
 }
 
 /// A "hard" general metric: the shortest-path closure of a sparse random
@@ -185,8 +202,11 @@ pub fn random_graph_metric<R: Rng>(n: usize, extra_edges: usize, rng: &mut R) ->
             edges.push((u, v, 1.0 + rng.gen::<f64>()));
         }
     }
-    let g = Graph::new(n, &edges).expect("random edges valid");
-    let gm = crate::GraphMetric::new(&g).expect("spanning-tree edges keep it connected");
+    let g = assume_valid(Graph::new(n, &edges), "random edges valid");
+    let gm = assume_valid(
+        crate::GraphMetric::new(&g),
+        "spanning-tree edges keep it connected",
+    );
     MatrixMetric::from_metric(&gm)
 }
 

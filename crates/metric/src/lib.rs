@@ -39,6 +39,6 @@ mod space;
 pub use graph::{Graph, GraphError};
 pub use mst::{minimum_spanning_tree, mst_weight, spanner_lightness, spanner_max_stretch};
 pub use space::{
-    aspect_ratio, estimate_doubling_constant, validate_metric, EuclideanSpace, GraphMetric,
-    MatrixMetric, Metric, MetricError, TreeMetricSpace,
+    aspect_ratio, estimate_doubling_constant, exactly_zero, validate_metric, EuclideanSpace,
+    GraphMetric, MatrixMetric, Metric, MetricError, TreeMetricSpace,
 };

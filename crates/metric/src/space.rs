@@ -68,6 +68,18 @@ impl std::error::Error for MetricError {}
 ///
 /// Implementations must return symmetric, non-negative, finite distances
 /// with zero diagonal; [`validate_metric`] checks the axioms exhaustively.
+///
+/// # Self-distance exactness contract
+///
+/// `dist(i, i)` must return **exactly** `0.0` — bit-exact, not merely
+/// within an epsilon. Every built-in implementation satisfies this for
+/// free: `EuclideanSpace` subtracts a coordinate vector from itself,
+/// `MatrixMetric` validates its diagonal at construction,
+/// `GraphMetric`/`TreeMetricSpace` compute self-distances as empty path
+/// sums. Validators therefore check the diagonal with
+/// [`exactly_zero`], the one sanctioned float-equality site of the
+/// workspace, rather than an epsilon band that could mask a corrupted
+/// diagonal.
 pub trait Metric {
     /// Number of points.
     fn len(&self) -> usize;
@@ -79,6 +91,18 @@ pub trait Metric {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Whether a self-distance honours the exactness contract of
+/// [`Metric`]: the diagonal must be bit-exact `0.0` (`-0.0` compares
+/// equal and is also accepted). This is the single sanctioned
+/// float-equality comparison in the workspace; everything else goes
+/// through epsilon bands.
+#[inline]
+#[must_use]
+pub fn exactly_zero(d: f64) -> bool {
+    // hopspan:allow(float-eq) -- the Metric contract demands a bit-exact 0.0 diagonal
+    d == 0.0
 }
 
 impl<M: Metric + ?Sized> Metric for &M {
@@ -181,7 +205,7 @@ impl MatrixMetric {
             return Err(MetricError::NotSquare);
         }
         for i in 0..n {
-            if d[i * n + i] != 0.0 {
+            if !exactly_zero(d[i * n + i]) {
                 return Err(MetricError::NonZeroDiagonal { i });
             }
             for j in 0..n {
@@ -310,7 +334,7 @@ impl Metric for TreeMetricSpace {
 pub fn validate_metric<M: Metric>(m: &M) -> Result<(), MetricError> {
     let n = m.len();
     for i in 0..n {
-        if m.dist(i, i) != 0.0 {
+        if !exactly_zero(m.dist(i, i)) {
             return Err(MetricError::NonZeroDiagonal { i });
         }
         for j in 0..n {

@@ -87,13 +87,21 @@ where
                     break;
                 }
                 let r = f(i, &items[i]);
-                slots.lock().expect("no panics hold the lock")[i] = Some(r);
+                lock_resilient(&slots)[i] = Some(r);
             });
         }
     });
     out.into_iter()
+        // hopspan:allow(panic-in-lib) -- the scope joins all workers, so every slot was written
         .map(|r| r.expect("every slot filled"))
         .collect()
+}
+
+/// Acquires a mutex, recovering from poisoning: the protected data is
+/// an index-addressed slot vector that stays consistent even if a
+/// sibling worker panicked while holding the lock.
+fn lock_resilient<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Like [`parallel_map`] but consumes the items, for per-item work that
@@ -125,17 +133,17 @@ where
                 if i >= n {
                     break;
                 }
-                let item = input[i]
-                    .lock()
-                    .expect("no panics hold the lock")
+                let item = lock_resilient(&input[i])
                     .take()
+                    // hopspan:allow(panic-in-lib) -- the atomic counter hands each index to exactly one worker
                     .expect("each index claimed once");
                 let r = f(i, item);
-                slots.lock().expect("no panics hold the lock")[i] = Some(r);
+                lock_resilient(&slots)[i] = Some(r);
             });
         }
     });
     out.into_iter()
+        // hopspan:allow(panic-in-lib) -- the scope joins all workers, so every slot was written
         .map(|r| r.expect("every slot filled"))
         .collect()
 }
@@ -169,6 +177,13 @@ pub struct BuildStats {
     pub edge_instances: usize,
     /// Distinct point edges after deduplication.
     pub edges_after_dedup: usize,
+    /// True when an in-process `hopspan-lint` run over the workspace
+    /// reported zero findings for the source tree this binary was built
+    /// from. Stamped by the E21 experiment runner so recorded telemetry
+    /// certifies the tree it was measured on; plain builds leave the
+    /// default `false` ("not checked"). A workspace-level stamp, so
+    /// [`BuildStats::absorb`] deliberately does not fold it.
+    pub lint_clean: bool,
     phases: Vec<PhaseStat>,
 }
 
@@ -264,13 +279,14 @@ impl BuildStats {
             ));
         }
         out.push_str(&format!(
-            "  workers={} trees={} tree-spanner edges={} edge instances={} after dedup={} (x{:.2})\n",
+            "  workers={} trees={} tree-spanner edges={} edge instances={} after dedup={} (x{:.2}) lint_clean={}\n",
             self.workers,
             self.tree_count,
             self.spanner_edge_total(),
             self.edge_instances,
             self.edges_after_dedup,
-            self.dedup_ratio()
+            self.dedup_ratio(),
+            self.lint_clean
         ));
         out
     }

@@ -7,7 +7,7 @@
 //! non-faulty one — O(f) decision time; label and table sizes grow by a
 //! factor of `f + 1`.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 
 use hopspan_metric::Metric;
 use hopspan_pipeline::BuildStats;
@@ -120,19 +120,18 @@ impl FtMetricRoutingScheme {
         stats.tree_count = built.len();
         stats.per_tree_spanner_edges = built.iter().map(|(s, _, _)| s.edges().len()).collect();
         let overlay_start = std::time::Instant::now();
-        let mut overlay: HashMap<(usize, usize), ()> = HashMap::new();
+        // BTreeSet iteration yields the overlay sorted by (u, v),
+        // independent of tree processing order.
+        let mut overlay: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut spanners = Vec::with_capacity(built.len());
         let mut cand_sets: Vec<Vec<Vec<usize>>> = Vec::with_capacity(built.len());
         for (spanner, cands, pairs) in built {
             stats.edge_instances += pairs.len();
-            for key in pairs {
-                overlay.insert(key, ());
-            }
+            overlay.extend(pairs);
             spanners.push(spanner);
             cand_sets.push(cands);
         }
-        let mut overlay: Vec<(usize, usize)> = overlay.into_keys().collect();
-        overlay.sort_unstable();
+        let overlay: Vec<(usize, usize)> = overlay.into_iter().collect();
         stats.edges_after_dedup = overlay.len();
         let net = Network::new(n, &overlay, rng);
         stats.record_phase("overlay", overlay_start.elapsed());
@@ -269,11 +268,15 @@ impl FtMetricRoutingScheme {
     }
 
     /// Measured stretch/hops over all non-faulty pairs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RoutingError`] if any non-faulty pair fails to route.
     pub fn measured_stretch_and_hops<M: Metric>(
         &self,
         metric: &M,
         faulty: &HashSet<usize>,
-    ) -> (f64, usize) {
+    ) -> Result<(f64, usize), RoutingError> {
         let mut worst = 1.0f64;
         let mut hops = 0usize;
         for u in 0..self.n {
@@ -284,8 +287,8 @@ impl FtMetricRoutingScheme {
                 if u == v || faulty.contains(&v) {
                     continue;
                 }
-                let trace = self.route_avoiding(u, v, faulty).expect("valid pair");
-                assert_eq!(*trace.path.last().unwrap(), v);
+                let trace = self.route_avoiding(u, v, faulty)?;
+                assert_eq!(trace.path.last(), Some(&v));
                 for p in &trace.path {
                     assert!(!faulty.contains(p), "routed through a faulty node");
                 }
@@ -297,7 +300,7 @@ impl FtMetricRoutingScheme {
                 hops = hops.max(trace.hops());
             }
         }
-        (worst, hops)
+        Ok((worst, hops))
     }
 }
 
@@ -321,7 +324,7 @@ mod tests {
             let mut ids: Vec<usize> = (0..16).collect();
             ids.shuffle(&mut rng());
             let faulty: HashSet<usize> = ids.into_iter().take(f).collect();
-            let (stretch, hops) = rs.measured_stretch_and_hops(&m, &faulty);
+            let (stretch, hops) = rs.measured_stretch_and_hops(&m, &faulty).unwrap();
             assert!(hops <= 2, "hops {hops} (f={f})");
             // 1 + O(ε) with the paper's constants, plus the detour cost of
             // the fixed f+1 candidate sets.
@@ -363,7 +366,7 @@ mod tests {
     fn zero_faults_routes_everywhere() {
         let m = gen::uniform_points(12, 2, &mut rng());
         let rs = FtMetricRoutingScheme::new(&m, 0.5, 1, &mut rng()).unwrap();
-        let (stretch, hops) = rs.measured_stretch_and_hops(&m, &HashSet::new());
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m, &HashSet::new()).unwrap();
         assert!(hops <= 2);
         assert!(stretch <= 10.0);
     }

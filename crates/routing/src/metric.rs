@@ -8,7 +8,7 @@
 //! plain covers the source decodes ζ distance labels and picks the
 //! minimum.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashSet};
 
 use hopspan_metric::{Graph, Metric};
 use hopspan_pipeline::BuildStats;
@@ -198,17 +198,16 @@ impl MetricRoutingScheme {
         stats.tree_count = built.len();
         stats.per_tree_spanner_edges = built.iter().map(|(s, _)| s.edges().len()).collect();
         let overlay_start = std::time::Instant::now();
-        let mut overlay: HashMap<(usize, usize), ()> = HashMap::new();
+        // BTreeSet iteration yields the overlay sorted by (u, v),
+        // independent of tree processing order.
+        let mut overlay: BTreeSet<(usize, usize)> = BTreeSet::new();
         let mut spanners = Vec::with_capacity(built.len());
         for (spanner, pairs) in built {
             stats.edge_instances += pairs.len();
-            for key in pairs {
-                overlay.insert(key, ());
-            }
+            overlay.extend(pairs);
             spanners.push(spanner);
         }
-        let mut overlay: Vec<(usize, usize)> = overlay.into_keys().collect();
-        overlay.sort_unstable();
+        let overlay: Vec<(usize, usize)> = overlay.into_iter().collect();
         stats.edges_after_dedup = overlay.len();
         let net = Network::new(n, &overlay, rng);
         stats.record_phase("overlay", overlay_start.elapsed());
@@ -340,7 +339,14 @@ impl MetricRoutingScheme {
     }
 
     /// Measured stretch/hops over all pairs (tests and experiments).
-    pub fn measured_stretch_and_hops<M: Metric>(&self, metric: &M) -> (f64, usize) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RoutingError`] if any pair fails to route.
+    pub fn measured_stretch_and_hops<M: Metric>(
+        &self,
+        metric: &M,
+    ) -> Result<(f64, usize), RoutingError> {
         let mut worst = 1.0f64;
         let mut hops = 0usize;
         for u in 0..self.n {
@@ -348,8 +354,8 @@ impl MetricRoutingScheme {
                 if u == v {
                     continue;
                 }
-                let trace = self.route(u, v).expect("valid pair");
-                assert_eq!(*trace.path.last().unwrap(), v, "misrouted ({u},{v})");
+                let trace = self.route(u, v)?;
+                assert_eq!(trace.path.last(), Some(&v), "misrouted ({u},{v})");
                 let w: f64 = trace.path.windows(2).map(|x| metric.dist(x[0], x[1])).sum();
                 let d = metric.dist(u, v);
                 if d > 0.0 {
@@ -358,7 +364,7 @@ impl MetricRoutingScheme {
                 hops = hops.max(trace.hops());
             }
         }
-        (worst, hops)
+        Ok((worst, hops))
     }
 }
 
@@ -377,7 +383,7 @@ mod tests {
     fn doubling_routing_2d() {
         let m = gen::uniform_points(20, 2, &mut rng());
         let rs = MetricRoutingScheme::doubling(&m, 0.25, &mut rng()).unwrap();
-        let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m).unwrap();
         assert!(hops <= 2, "hops {hops}");
         assert!(stretch <= 2.5, "stretch {stretch}");
     }
@@ -388,7 +394,7 @@ mod tests {
             &(0..16).map(|i| vec![i as f64]).collect::<Vec<_>>(),
         );
         let rs = MetricRoutingScheme::doubling(&m, 0.25, &mut rng()).unwrap();
-        let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m).unwrap();
         assert!(hops <= 2);
         assert!(stretch <= 1.0 + 1e-9, "stretch {stretch}");
     }
@@ -397,7 +403,7 @@ mod tests {
     fn general_routing_ramsey() {
         let m = gen::random_graph_metric(18, 10, &mut rng());
         let rs = MetricRoutingScheme::general(&m, 2, &mut rng()).unwrap();
-        let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m).unwrap();
         assert!(hops <= 2);
         assert!(stretch <= 64.0, "stretch {stretch}");
     }
@@ -407,7 +413,7 @@ mod tests {
         let g = gen::grid_graph(4, 4);
         let m = GraphMetric::new(&g).unwrap();
         let rs = MetricRoutingScheme::planar(&g, &m, 0.5, &mut rng()).unwrap();
-        let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+        let (stretch, hops) = rs.measured_stretch_and_hops(&m).unwrap();
         assert!(hops <= 2);
         assert!(stretch <= 3.0 + 1e-9, "stretch {stretch}");
     }

@@ -81,6 +81,7 @@ impl Network {
         *self
             .port_of
             .get(&(from, to))
+            // hopspan:allow(panic-in-lib) -- documented # Panics: port() is a programmer-error API
             .unwrap_or_else(|| panic!("no overlay edge ({from}, {to})"))
     }
 

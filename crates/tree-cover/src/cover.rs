@@ -182,6 +182,7 @@ impl DominatingTree {
         let pts: Vec<usize> = (0..metric.len()).filter(|&p| self.contains(p)).collect();
         for (ii, &p) in pts.iter().enumerate() {
             for &q in &pts[ii + 1..] {
+                // hopspan:allow(panic-in-lib) -- pts was filtered through self.contains above
                 let dt = self.distance(p, q).expect("both covered");
                 if dt < metric.dist(p, q) * (1.0 - 1e-9) {
                     return Err((p, q));
@@ -318,6 +319,7 @@ impl TreeAssembler {
     /// Finalizes into a dominating tree rooted at `root`.
     pub(crate) fn finish(self, root: usize, n_points: usize) -> DominatingTree {
         let tree = RootedTree::from_parents(root, &self.parent, &self.weight)
+            // hopspan:allow(panic-in-lib) -- builders attach every child below an existing parent
             .expect("assembled parents form a tree");
         DominatingTree::new(tree, self.point_of, n_points)
     }

@@ -87,7 +87,10 @@ impl Forest {
     /// merged class gets `new_node` as its tree node.
     fn union_under(&mut self, points: &[usize], new_node: usize) {
         let mut iter = points.iter();
-        let first = *iter.next().expect("non-empty merge");
+        let Some(&first) = iter.next() else {
+            // An empty merge is a no-op rather than a panic.
+            return;
+        };
         let mut root = self.find(first);
         for &p in iter {
             let r = self.find(p);

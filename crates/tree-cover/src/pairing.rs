@@ -66,13 +66,13 @@ impl PairingCover {
                     nb.sort_by(|&a, &b| {
                         metric
                             .dist(x, a)
-                            .partial_cmp(&metric.dist(x, b))
-                            .unwrap()
+                            .total_cmp(&metric.dist(x, b))
                             .then(a.cmp(&b))
                     });
                     nb
                 })
                 .collect();
+            // hopspan:allow(panic-in-lib) -- idx_of is only called on members of pts (the net itself)
             let idx_of = |x: usize| pts.iter().position(|&p| p == x).expect("net point");
             let sigma2 = neighbors.iter().map(|nb| nb.len()).max().unwrap_or(0);
             let mut level_sets = Vec::new();

@@ -21,7 +21,7 @@
 //! trees) or ends together in a tiny leaf region (covered by the unioned
 //! leaf star trees).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use hopspan_metric::Graph;
 
@@ -94,7 +94,7 @@ impl SeparatorTreeCover {
         }
         let n = graph.len();
         let big = graph.total_weight().max(1.0);
-        let mut buckets: HashMap<(usize, Role), Vec<RegionTree>> = HashMap::new();
+        let mut buckets: BTreeMap<(usize, Role), Vec<RegionTree>> = BTreeMap::new();
         let mut regions: Vec<(usize, Vec<usize>)> = vec![(0, (0..n).collect())];
         let mut max_depth = 0usize;
         while let Some((level, region)) = regions.pop() {
@@ -125,11 +125,11 @@ impl SeparatorTreeCover {
                 regions.push((level + 1, comp));
             }
         }
-        let mut keys: Vec<(usize, Role)> = buckets.keys().copied().collect();
-        keys.sort_unstable();
-        let trees: Vec<DominatingTree> = keys
-            .into_iter()
-            .map(|k| union_trees(buckets.remove(&k).expect("key exists"), big, n))
+        // BTreeMap iteration is already sorted by (level, role), so the
+        // tree order of the cover is deterministic by construction.
+        let trees: Vec<DominatingTree> = buckets
+            .into_values()
+            .map(|group| union_trees(group, big, n))
             .collect();
         Ok(SeparatorTreeCover {
             cover: TreeCover::new(trees),
@@ -274,7 +274,8 @@ fn separate(graph: &Graph, region: &[usize]) -> (Vec<Vec<usize>>, Vec<Vec<usize>
         *region
             .iter()
             .filter(|&&v| d[v].is_finite())
-            .max_by(|&&a, &&b| d[a].partial_cmp(&d[b]).unwrap().then(a.cmp(&b)))
+            .max_by(|&&a, &&b| d[a].total_cmp(&d[b]).then(a.cmp(&b)))
+            // hopspan:allow(panic-in-lib) -- the Dijkstra source is in the region, so d has a finite entry
             .expect("region connected")
     };
     let u = far(&dist);
@@ -355,10 +356,12 @@ fn spine_tree(graph: &Graph, region: &[usize], path: &[usize]) -> RegionTree {
     }
     for &v in region {
         if !on_path[v] {
+            // hopspan:allow(panic-in-lib) -- the region is connected, so every off-path vertex attaches
             let p = att_parent[v].expect("region connected to path");
             rt.attach(v, p, min_edge_weight(graph, v, p));
         }
     }
+    // hopspan:allow(panic-in-lib) -- separate() never emits an empty separator path
     rt.finish(*path.last().expect("non-empty path"))
 }
 
@@ -461,10 +464,12 @@ fn geometric_portals(graph: &Graph, path: &[usize], eps: f64) -> Vec<usize> {
         return path.to_vec();
     }
     let mut prefix = vec![0.0f64];
+    let mut acc = 0.0f64;
     for win in path.windows(2) {
-        prefix.push(prefix.last().unwrap() + min_edge_weight(graph, win[0], win[1]));
+        acc += min_edge_weight(graph, win[0], win[1]);
+        prefix.push(acc);
     }
-    let total = *prefix.last().unwrap();
+    let total = acc;
     let mut marks: Vec<usize> = vec![0, path.len() - 1];
     // Forward sweep from the start, backward sweep from the end.
     let mut target = prefix[1].max(total * 1e-6);

@@ -256,6 +256,7 @@ impl RamseyTreeCover {
                     continue;
                 }
                 let d = metric.dist(x, y);
+                // hopspan:allow(panic-in-lib) -- Ramsey trees are spanning: every tree covers all points
                 let td = t.distance(x, y).expect("trees span all points");
                 worst = worst.max(td / d);
             }

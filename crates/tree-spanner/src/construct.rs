@@ -7,7 +7,7 @@
 //! for the `(k-2)`-construction over the pruned copy `T'` whose required
 //! vertices are the cut vertices (paper line 10 of Algorithm 1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hopspan_treealg::{Lca, LevelAncestor, RootedTree};
 
@@ -27,14 +27,18 @@ pub(crate) enum ContractedKind {
 /// quotient of the call tree by its components, preprocessed for LCA/LA.
 #[derive(Debug)]
 pub(crate) struct Contracted {
+    /// The quotient tree itself (unit weights).
     pub tree: RootedTree,
+    /// LCA structure over [`Contracted::tree`].
     pub lca: Lca,
+    /// Level-ancestor structure over [`Contracted::tree`].
     pub la: LevelAncestor,
+    /// Per-vertex classification: component representative or cut vertex.
     pub kind: Vec<ContractedKind>,
     /// Φ child id -> contracted representative vertex of its component.
-    pub rep_of_child: HashMap<usize, usize>,
+    pub rep_of_child: BTreeMap<usize, usize>,
     /// Original cut-vertex id -> contracted vertex id.
-    pub cut_id: HashMap<usize, usize>,
+    pub cut_id: BTreeMap<usize, usize>,
 }
 
 /// One node of the augmented recursion tree Φ.
@@ -54,23 +58,28 @@ pub(crate) struct PhiNode {
 /// A complete navigation structure for one same-`k` recursion hierarchy.
 #[derive(Debug)]
 pub(crate) struct Navigator {
+    /// Hop budget of this construction level.
     pub k: usize,
+    /// Φ nodes, indexed by vertex id of [`Navigator::phi`].
     pub nodes: Vec<PhiNode>,
+    /// The augmented recursion tree Φ (unit weights).
     pub phi: RootedTree,
+    /// LCA structure over Φ.
     pub phi_lca: Lca,
+    /// Level-ancestor structure over Φ.
     pub phi_la: LevelAncestor,
     /// Required original id -> home Φ node (`u.ptr(Φ).h` in the paper).
-    pub home: HashMap<usize, usize>,
+    pub home: BTreeMap<usize, usize>,
     /// Base-case adjacency (original ids) for the BFS of Algorithm 2.
-    pub base_adj: HashMap<usize, Vec<(usize, f64)>>,
+    pub base_adj: BTreeMap<usize, Vec<(usize, f64)>>,
 }
 
 #[derive(Default)]
 struct Builder {
     parents: Vec<Option<usize>>,
     nodes: Vec<PhiNode>,
-    home: HashMap<usize, usize>,
-    base_adj: HashMap<usize, Vec<(usize, f64)>>,
+    home: BTreeMap<usize, usize>,
+    base_adj: BTreeMap<usize, Vec<(usize, f64)>>,
 }
 
 impl Builder {
@@ -95,6 +104,7 @@ pub(crate) fn build_navigator(
     let n = b.nodes.len();
     let weights = vec![1.0; n];
     let phi = RootedTree::from_parents(root, &b.parents, &weights)
+        // hopspan:allow(panic-in-lib) -- parents come from Builder::new_node, consistent by construction
         .expect("recursion tree parents are consistent");
     let phi_lca = Lca::new(&phi);
     let phi_la = LevelAncestor::new(&phi);
@@ -122,6 +132,7 @@ fn build_call(
     if n_req <= k + 1 {
         return Some(handle_base_case(b, &t, k, edges));
     }
+    // hopspan:allow(panic-in-lib) -- α'_{k-2}(n_req) ≤ n_req, which is already a usize
     let ell = usize::try_from(alpha_prime(k - 2, n_req as u128)).expect("ℓ fits usize");
     let cuts = t.decompose(ell);
     debug_assert!(!cuts.is_empty(), "n_req > ℓ forces at least one cut");
@@ -162,13 +173,14 @@ fn build_call(
         if k == 3 {
             // Clique over CV with exact distances, computed on the pruned
             // copy (O(|CV|·|T'|) = O(n) total).
+            // hopspan:allow(panic-in-lib) -- decompose returned at least one cut above
             let t_cv = t_cv.prune().expect("cut set is non-empty");
             let ch = t_cv.children();
             let cut_locals: Vec<usize> = (0..t_cv.len()).filter(|&v| t_cv.required[v]).collect();
             let unblocked = vec![false; t_cv.len()];
             for &cl in &cut_locals {
                 let d = collect_adjacent(&t_cv, &ch, cl, &unblocked);
-                let dist: HashMap<usize, f64> = d.into_iter().collect();
+                let dist: BTreeMap<usize, f64> = d.into_iter().collect();
                 for &cl2 in &cut_locals {
                     if t_cv.orig[cl2] > t_cv.orig[cl] {
                         edges.push((t_cv.orig[cl], t_cv.orig[cl2], dist[&cl2]));
@@ -198,7 +210,7 @@ fn build_call(
     // (DESIGN.md §2).
     if k >= 3 {
         let p = comp_count;
-        let mut cut_pos = HashMap::new();
+        let mut cut_pos = BTreeMap::new();
         for (i, &c) in cuts.iter().enumerate() {
             cut_pos.insert(c, p + i);
         }
@@ -221,16 +233,17 @@ fn build_call(
         ct_edges.sort_by_key(|x| (x.0, x.1));
         ct_edges.dedup_by(|x, y| (x.0, x.1) == (y.0, y.1));
         let ct_tree = RootedTree::from_edges(p + cuts.len(), cv_vertex(t.root), &ct_edges)
+            // hopspan:allow(panic-in-lib) -- the quotient of a tree by connected components is a tree
             .expect("quotient of a tree is a tree");
         let lca = Lca::new(&ct_tree);
         let la = LevelAncestor::new(&ct_tree);
         let mut kind = vec![ContractedKind::Rep; p + cuts.len()];
-        let mut cut_id = HashMap::new();
+        let mut cut_id = BTreeMap::new();
         for (i, &c) in cuts.iter().enumerate() {
             kind[p + i] = ContractedKind::Cut(t.orig[c]);
             cut_id.insert(t.orig[c], p + i);
         }
-        let mut rep_of_child = HashMap::new();
+        let mut rep_of_child = BTreeMap::new();
         for (i, child) in child_of_comp.iter().enumerate() {
             if let Some(ch) = child {
                 rep_of_child.insert(*ch, i);
@@ -305,13 +318,13 @@ fn collect_adjacent(
     blocked: &[bool],
 ) -> Vec<(usize, f64)> {
     let mut out = Vec::new();
-    let mut seen = HashMap::new();
+    let mut seen = BTreeMap::new();
     seen.insert(src, ());
     let mut stack = vec![(src, 0.0f64)];
     while let Some((v, dv)) = stack.pop() {
         let mut visit =
             |w: usize, edge: f64, stack: &mut Vec<(usize, f64)>, out: &mut Vec<(usize, f64)>| {
-                if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(w) {
+                if let std::collections::btree_map::Entry::Vacant(e) = seen.entry(w) {
                     e.insert(());
                     out.push((w, dv + edge));
                     if !blocked[w] {

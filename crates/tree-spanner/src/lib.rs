@@ -34,12 +34,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Inverse-Ackermann-style functions (α, α', αₖ) from \[NS07\].
 pub mod ackermann;
 mod construct;
 mod local_tree;
 mod navigate;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use hopspan_treealg::RootedTree;
@@ -137,14 +138,14 @@ impl TreeHopSpanner {
         let nav = construct::build_navigator(local, k, &mut edges)
             .ok_or(TreeSpannerError::NoRequiredVertices)?;
         // Deduplicate edges that can be produced by several recursion
-        // levels (identical weight either way).
-        let mut seen: HashMap<(usize, usize), f64> = HashMap::new();
+        // levels (identical weight either way); BTreeMap iteration
+        // leaves them sorted by (u, v), independent of insertion order.
+        let mut seen: BTreeMap<(usize, usize), f64> = BTreeMap::new();
         for (u, v, w) in edges {
             seen.entry((u.min(v), u.max(v))).or_insert(w);
         }
-        let mut edges: Vec<(usize, usize, f64)> =
+        let edges: Vec<(usize, usize, f64)> =
             seen.into_iter().map(|((u, v), w)| (u, v, w)).collect();
-        edges.sort_by_key(|a| (a.0, a.1));
         Ok(TreeHopSpanner {
             k,
             n: tree.len(),
@@ -164,6 +165,7 @@ impl TreeHopSpanner {
     /// Propagates the errors of [`TreeHopSpanner::new`].
     pub fn with_linear_size(tree: &RootedTree) -> Result<Self, TreeSpannerError> {
         let k = 2 * usize::try_from(ackermann::alpha_one(tree.len() as u128))
+            // hopspan:allow(panic-in-lib) -- alpha_one(n) ≤ 4 for any feasible n, far below usize::MAX
             .expect("alpha fits usize")
             + 2;
         Self::new(tree, k.max(2))
@@ -297,7 +299,7 @@ mod tests {
     fn verify_spanner(tree: &RootedTree, required: &[bool], k: usize) {
         let sp = TreeHopSpanner::with_required(tree, required, k).unwrap();
         let lca = Lca::new(tree);
-        let mut edge_w: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut edge_w: BTreeMap<(usize, usize), f64> = BTreeMap::new();
         for &(u, v, w) in sp.edges() {
             edge_w.insert((u.min(v), u.max(v)), w);
             // Every spanner edge weight equals the tree distance.

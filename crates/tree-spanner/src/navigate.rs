@@ -1,6 +1,6 @@
 //! `FindPath` (Algorithm 2): O(k)-time queries for k-hop 1-spanner paths.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::construct::{Contracted, ContractedKind, Navigator};
 
@@ -16,7 +16,9 @@ impl Navigator {
         if u == v {
             return vec![u];
         }
+        // hopspan:allow(panic-in-lib) -- documented # Panics: the public wrapper validates required vertices
         let hu = *self.home.get(&u).expect("u must be required");
+        // hopspan:allow(panic-in-lib) -- documented # Panics: the public wrapper validates required vertices
         let hv = *self.home.get(&v).expect("v must be required");
         // Base case: both endpoints in the same HandleBaseCase leaf.
         if hu == hv && self.nodes[hu].is_base {
@@ -31,6 +33,7 @@ impl Navigator {
         let ct = node
             .contracted
             .as_ref()
+            // hopspan:allow(panic-in-lib) -- build_call always attaches a contracted tree for k ≥ 3
             .expect("non-base node with k >= 3 has a contracted tree");
         let u_cv = self.locate_contracted(u, hu, beta, ct);
         let v_cv = self.locate_contracted(v, hv, beta, ct);
@@ -49,6 +52,7 @@ impl Navigator {
             let sub = node
                 .sub
                 .as_ref()
+                // hopspan:allow(panic-in-lib) -- build_call always attaches a sub-navigator for k ≥ 4
                 .expect("non-base node with k >= 4 has a sub-navigator");
             let mut path = Vec::with_capacity(self.k + 1);
             path.push(u);
@@ -75,14 +79,14 @@ impl Navigator {
     fn base_path(&self, u: usize, v: usize) -> Vec<usize> {
         // Collect the base component by BFS over the base adjacency.
         let mut verts = vec![u];
-        let mut index: HashMap<usize, usize> = HashMap::new();
+        let mut index: BTreeMap<usize, usize> = BTreeMap::new();
         index.insert(u, 0);
         let mut head = 0;
         while head < verts.len() {
             let w = verts[head];
             head += 1;
             for &(x, _) in &self.base_adj[&w] {
-                if let std::collections::hash_map::Entry::Vacant(e) = index.entry(x) {
+                if let std::collections::btree_map::Entry::Vacant(e) = index.entry(x) {
                     e.insert(verts.len());
                     verts.push(x);
                 }
@@ -138,6 +142,7 @@ fn find_cut(hu: usize, beta: usize, u_cv: usize, v_cv: usize, ct: &Contracted, c
     let first = if u_cv == c {
         ct.la.child_toward(u_cv, v_cv)
     } else {
+        // hopspan:allow(panic-in-lib) -- u_cv ≠ c, and only the LCA can be the contracted root here
         ct.tree.parent(u_cv).expect("non-LCA vertex has a parent")
     };
     debug_assert!(
@@ -150,6 +155,7 @@ fn find_cut(hu: usize, beta: usize, u_cv: usize, v_cv: usize, ct: &Contracted, c
 fn cut_orig(ct: &Contracted, cv: usize) -> usize {
     match ct.kind[cv] {
         ContractedKind::Cut(orig) => orig,
+        // hopspan:allow(panic-in-lib) -- FindCut lands on cut vertices by Lemma 2.4's invariant
         ContractedKind::Rep => unreachable!("FindCut returns cut vertices"),
     }
 }

@@ -304,6 +304,15 @@ impl RootedTree {
         self.weighted_depth[u] + self.weighted_depth[v] - 2.0 * self.weighted_depth[a]
     }
 
+    /// The parent of a vertex known to be a non-root: the `depth`
+    /// comparisons in the walk loops below guarantee the vertex is
+    /// strictly below some other vertex, hence below the root.
+    #[inline]
+    fn parent_unchecked(&self, v: usize) -> usize {
+        // hopspan:allow(panic-in-lib) -- depth[v] > depth[other] ≥ 0 proves v is not the root
+        self.parent[v].expect("non-root has parent")
+    }
+
     /// The unique tree path from `u` to `v` as a vertex sequence
     /// (inclusive). O(path length).
     pub fn path(&self, u: usize, v: usize) -> Vec<usize> {
@@ -313,16 +322,16 @@ impl RootedTree {
         let mut up_a = vec![a];
         let mut up_b = vec![b];
         while self.depth[a] > self.depth[b] {
-            a = self.parent[a].expect("non-root has parent");
+            a = self.parent_unchecked(a);
             up_a.push(a);
         }
         while self.depth[b] > self.depth[a] {
-            b = self.parent[b].expect("non-root has parent");
+            b = self.parent_unchecked(b);
             up_b.push(b);
         }
         while a != b {
-            a = self.parent[a].expect("non-root has parent");
-            b = self.parent[b].expect("non-root has parent");
+            a = self.parent_unchecked(a);
+            b = self.parent_unchecked(b);
             up_a.push(a);
             up_b.push(b);
         }
@@ -341,16 +350,16 @@ impl RootedTree {
         let mut total = 0.0;
         while self.depth[a] > self.depth[b] {
             total += self.parent_weight[a];
-            a = self.parent[a].expect("non-root has parent");
+            a = self.parent_unchecked(a);
         }
         while self.depth[b] > self.depth[a] {
             total += self.parent_weight[b];
-            b = self.parent[b].expect("non-root has parent");
+            b = self.parent_unchecked(b);
         }
         while a != b {
             total += self.parent_weight[a] + self.parent_weight[b];
-            a = self.parent[a].expect("non-root has parent");
-            b = self.parent[b].expect("non-root has parent");
+            a = self.parent_unchecked(a);
+            b = self.parent_unchecked(b);
         }
         total
     }

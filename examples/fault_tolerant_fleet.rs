@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut ids: Vec<usize> = (0..n).collect();
         ids.shuffle(&mut rng);
         let faulty: HashSet<usize> = ids.into_iter().take(f).collect();
-        let (stretch, hops) = sp.measured_stretch_and_hops(&relays, &faulty);
+        let (stretch, hops) = sp.measured_stretch_and_hops(&relays, &faulty).unwrap();
         assert!(hops <= 2);
         println!("{:<4} {:>10} {:>15.2}x", f, sp.edge_count(), stretch);
     }

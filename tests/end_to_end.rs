@@ -46,7 +46,7 @@ fn doubling_pipeline_with_baseline_cross_check() {
 fn general_pipeline() {
     let m = gen::random_graph_metric(40, 6, &mut rng(2));
     let nav = MetricNavigator::general(&m, 2, 2, &mut rng(3)).unwrap();
-    let (stretch, hops) = nav.measured_stretch_and_hops(&m);
+    let (stretch, hops) = nav.measured_stretch_and_hops(&m).unwrap();
     assert!(hops <= 2);
     assert!(stretch <= 64.0, "stretch {stretch}");
 }
@@ -57,7 +57,7 @@ fn planar_pipeline() {
     let g = gen::grid_graph(5, 5);
     let m = GraphMetric::new(&g).unwrap();
     let nav = MetricNavigator::planar(&g, &m, 0.5, 2).unwrap();
-    let (stretch, hops) = nav.measured_stretch_and_hops(&m);
+    let (stretch, hops) = nav.measured_stretch_and_hops(&m).unwrap();
     assert!(hops <= 2);
     assert!(stretch <= 3.0 + 1e-9, "stretch {stretch}");
 }
@@ -68,7 +68,7 @@ fn planar_pipeline() {
 fn routing_pipeline() {
     let m = gen::uniform_points(32, 2, &mut rng(4));
     let rs = MetricRoutingScheme::doubling(&m, 0.25, &mut rng(5)).unwrap();
-    let (stretch, hops) = rs.measured_stretch_and_hops(&m);
+    let (stretch, hops) = rs.measured_stretch_and_hops(&m).unwrap();
     assert!(hops <= 2);
     assert!(stretch <= 2.0, "stretch {stretch}");
 
@@ -91,8 +91,8 @@ fn fault_tolerance_pipeline() {
     let mut ids: Vec<usize> = (0..24).collect();
     ids.shuffle(&mut rng(10));
     let faulty: HashSet<usize> = ids.into_iter().take(f).collect();
-    let (s1, h1) = sp.measured_stretch_and_hops(&m, &faulty);
-    let (s2, h2) = rs.measured_stretch_and_hops(&m, &faulty);
+    let (s1, h1) = sp.measured_stretch_and_hops(&m, &faulty).unwrap();
+    let (s2, h2) = rs.measured_stretch_and_hops(&m, &faulty).unwrap();
     assert!(h1 <= 2 && h2 <= 2);
     assert!(s1 <= 4.0, "spanner stretch {s1}");
     assert!(s2 <= 6.0, "routing stretch {s2}");
@@ -159,7 +159,7 @@ fn near_duplicate_points_still_navigate() {
     }
     let m = hopspan::metric::EuclideanSpace::from_points(&pts);
     let nav = MetricNavigator::doubling(&m, 0.5, 2).unwrap();
-    let (stretch, hops) = nav.measured_stretch_and_hops(&m);
+    let (stretch, hops) = nav.measured_stretch_and_hops(&m).unwrap();
     assert!(hops <= 2);
     assert!(stretch.is_finite() && stretch <= 8.0, "stretch {stretch}");
 }
