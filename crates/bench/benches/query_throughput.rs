@@ -1,0 +1,111 @@
+//! Criterion benches for the dense-layout query path: the allocating
+//! `find_path`/`route` wrappers against their buffer-reuse `_into`
+//! variants, on the same workloads E22 measures (see
+//! `EXPERIMENTS.md` §E22 for the committed baseline numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hopspan_bench::rng;
+use hopspan_core::MetricNavigator;
+use hopspan_metric::gen;
+use hopspan_routing::{MetricRoutingScheme, RouteTrace, TreeRoutingScheme};
+use hopspan_tree_spanner::TreeHopSpanner;
+use rand::Rng;
+
+/// Seeded query pairs, matching the E22 pair-generation scheme.
+fn pairs(n: usize, count: usize, tag: u64) -> Vec<(usize, usize)> {
+    let mut r = rng(0xE22_0000 ^ tag ^ (n as u64));
+    (0..count)
+        .map(|_| (r.gen_range(0..n), r.gen_range(0..n)))
+        .collect()
+}
+
+fn bench_metric_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metric_query");
+    for &n in &[256usize, 1024] {
+        let m = gen::uniform_points(n, 2, &mut rng(0xE22_0001 ^ (n as u64)));
+        let (nav, _gamma) =
+            MetricNavigator::general_budgeted(&m, 12, 3, &mut rng(0xE22_0002 ^ (n as u64)))
+                .unwrap();
+        let rs = MetricRoutingScheme::general(&m, 2, &mut rng(0xE22_0003 ^ (n as u64))).unwrap();
+        let qs = pairs(n, 4096, 0x11);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("find_path", n), |b| {
+            b.iter(|| {
+                let (u, v) = qs[i % qs.len()];
+                i += 1;
+                nav.find_path(u, v).unwrap()
+            })
+        });
+        let mut i = 0usize;
+        let mut buf = Vec::new();
+        group.bench_function(BenchmarkId::new("find_path_into", n), |b| {
+            b.iter(|| {
+                let (u, v) = qs[i % qs.len()];
+                i += 1;
+                nav.find_path_into(u, v, &mut buf).unwrap();
+                buf.len()
+            })
+        });
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("route", n), |b| {
+            b.iter(|| {
+                let (u, v) = qs[i % qs.len()];
+                i += 1;
+                rs.route(u, v).unwrap()
+            })
+        });
+        let mut i = 0usize;
+        let mut trace = RouteTrace::default();
+        group.bench_function(BenchmarkId::new("route_into", n), |b| {
+            b.iter(|| {
+                let (u, v) = qs[i % qs.len()];
+                i += 1;
+                rs.route_into(u, v, &mut trace).unwrap();
+                trace.path.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_query");
+    for &n in &[256usize, 1024] {
+        let t = gen::random_tree(n, &mut rng(0xE22_0007 ^ (n as u64)));
+        let sp = TreeHopSpanner::new(&t, 4).unwrap();
+        let trs = TreeRoutingScheme::new(&t, &mut rng(0xE22_0008 ^ (n as u64))).unwrap();
+        let qs = pairs(n, 4096, 0x33);
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("find_path_k4", n), |b| {
+            b.iter(|| {
+                let (u, v) = qs[i % qs.len()];
+                i += 1;
+                sp.find_path(u, v).unwrap()
+            })
+        });
+        let mut i = 0usize;
+        let mut buf = Vec::new();
+        group.bench_function(BenchmarkId::new("find_path_into_k4", n), |b| {
+            b.iter(|| {
+                let (u, v) = qs[i % qs.len()];
+                i += 1;
+                sp.find_path_into(u, v, &mut buf).unwrap();
+                buf.len()
+            })
+        });
+        let mut i = 0usize;
+        let mut trace = RouteTrace::default();
+        group.bench_function(BenchmarkId::new("route_into_k2", n), |b| {
+            b.iter(|| {
+                let (u, v) = qs[i % qs.len()];
+                i += 1;
+                trs.route_into(u, v, &mut trace).unwrap();
+                trace.path.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metric_queries, bench_tree_queries);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E22 runner: query throughput across workloads, written to
+//! `BENCH_query.json`. Unlike `exp_all`, this binary installs a
+//! counting global allocator so the allocs-per-query column is
+//! measured rather than reported as unavailable.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// System allocator wrapper that counts allocations into the
+/// `hopspan_bench::allocs` hook. `dealloc` is pass-through: E22 reports
+/// allocation *events* per query, which is the metric the zero-alloc
+/// query API is judged by.
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter update is a relaxed
+// atomic increment and cannot re-enter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        hopspan_bench::allocs::record();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        hopspan_bench::allocs::record();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    println!("## E22: Query throughput: dense layouts + zero-allocation queries\n");
+    println!("{}", hopspan_bench::experiments::e22_query_throughput());
+}

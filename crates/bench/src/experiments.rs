@@ -16,7 +16,7 @@ use hopspan_metric::{
     gen, minimum_spanning_tree, mst_weight, spanner_lightness, spanner_max_stretch, GraphMetric,
     Metric,
 };
-use hopspan_routing::{FtMetricRoutingScheme, MetricRoutingScheme, TreeRoutingScheme};
+use hopspan_routing::{FtMetricRoutingScheme, MetricRoutingScheme, RouteTrace, TreeRoutingScheme};
 use hopspan_tree_cover::{
     substituted_path_weight, NetHierarchy, PairingCover, RamseyTreeCover, RobustTreeCover,
     SeparatorTreeCover,
@@ -118,6 +118,11 @@ pub fn all() -> Vec<Experiment> {
             "E21",
             "Parallel preprocessing pipeline telemetry",
             e21_parallel_build,
+        ),
+        (
+            "E22",
+            "Query throughput: dense layouts + zero-allocation queries",
+            e22_query_throughput,
         ),
     ]
 }
@@ -1207,4 +1212,445 @@ fn workspace_lint_clean() -> bool {
         .nth(2)
         .expect("crates/bench sits two levels below the workspace root");
     matches!(hopspan_lint::analyze_workspace(root), Ok(f) if f.is_empty())
+}
+
+// --------------------------------------------------------------- E22
+
+/// Pre-refactor query throughput (queries/sec), measured on this
+/// container at commit 9496430 — immediately before the dense-layout
+/// query-path overhaul (BTreeMap navigation tables, per-query
+/// allocations, per-query base-case Bellman–Ford). Keyed by
+/// `(workload, n, op)`. E22 reports current-vs-baseline speedups
+/// against these numbers; buffer-reuse ops (`find_path_into`,
+/// `route_into`) compare against the allocating pre-refactor op of the
+/// same name without the `_into` suffix.
+const E22_BASELINE_QPS: &[(&str, usize, &str, f64)] = &[
+    ("uniform", 256, "find_path", 2_825_220.0),
+    ("uniform", 256, "approx_distance", 48_389_183.0),
+    ("uniform", 256, "route", 6_943_460.0),
+    ("uniform", 1024, "find_path", 2_000_899.0),
+    ("uniform", 1024, "approx_distance", 31_204_424.0),
+    ("uniform", 1024, "route", 2_343_243.0),
+    ("uniform", 4096, "find_path", 1_318_175.0),
+    ("uniform", 4096, "approx_distance", 16_936_899.0),
+    ("uniform", 4096, "route", 609_465.0),
+    ("clustered", 256, "find_path", 1_579_003.0),
+    ("clustered", 256, "approx_distance", 5_348_418.0),
+    ("clustered", 256, "route", 4_263_816.0),
+    ("clustered", 1024, "find_path", 868_213.0),
+    ("clustered", 1024, "approx_distance", 2_386_328.0),
+    ("clustered", 1024, "route", 2_279_588.0),
+    ("clustered", 4096, "find_path", 419_924.0),
+    ("clustered", 4096, "approx_distance", 1_438_708.0),
+    ("clustered", 4096, "route", 618_406.0),
+    ("tree", 256, "find_path", 3_525_351.0),
+    ("tree", 256, "route", 7_068_293.0),
+    ("tree", 1024, "find_path", 2_641_656.0),
+    ("tree", 1024, "route", 3_313_945.0),
+    ("tree", 4096, "find_path", 1_811_557.0),
+    ("tree", 4096, "route", 820_728.0),
+];
+
+fn e22_baseline_qps(workload: &str, n: usize, op: &str) -> Option<f64> {
+    let key_op = op.strip_suffix("_into").unwrap_or(op);
+    E22_BASELINE_QPS
+        .iter()
+        .find(|(w, nn, o, _)| *w == workload && *nn == n && *o == key_op)
+        .map(|&(_, _, _, q)| q)
+}
+
+/// One measured cell of the query-throughput matrix.
+struct E22Cell {
+    workload: &'static str,
+    n: usize,
+    op: &'static str,
+    qps: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    allocs_per_query: Option<f64>,
+}
+
+struct E22Cfg {
+    ns: Vec<usize>,
+    pairs: usize,
+    sample: usize,
+    min_batch_secs: f64,
+    smoke: bool,
+}
+
+impl E22Cfg {
+    fn from_env() -> Self {
+        let smoke = std::env::var("HOPSPAN_E22_SMOKE").is_ok();
+        if smoke {
+            E22Cfg {
+                ns: vec![256],
+                pairs: 2_000,
+                sample: 1_000,
+                min_batch_secs: 0.02,
+                smoke,
+            }
+        } else {
+            E22Cfg {
+                ns: vec![256, 1024, 4096],
+                pairs: 40_000,
+                sample: 20_000,
+                min_batch_secs: 0.25,
+                smoke,
+            }
+        }
+    }
+}
+
+/// Seeded query pairs for one cell.
+fn e22_pairs(n: usize, count: usize, tag: u64) -> Vec<(usize, usize)> {
+    let mut r = rng(0xE22_0000 ^ tag ^ (n as u64));
+    (0..count)
+        .map(|_| (r.gen_range(0..n), r.gen_range(0..n)))
+        .collect()
+}
+
+/// Measures one query op over a fixed pair set: warm-up, batch
+/// throughput, per-query p50/p99, and (when a counting allocator is
+/// installed) allocations per query.
+fn e22_measure(
+    workload: &'static str,
+    n: usize,
+    op: &'static str,
+    cfg: &E22Cfg,
+    pairs: &[(usize, usize)],
+    mut f: impl FnMut(usize, usize) -> usize,
+) -> E22Cell {
+    let mut sink = 0usize;
+    // Warm-up: touch every code path and fault in the tables.
+    for &(u, v) in pairs.iter().take(2_000) {
+        sink = sink.wrapping_add(f(u, v));
+    }
+    // Allocations per query, only when a counting allocator is present.
+    let allocs_per_query = if crate::allocs::probe_active() {
+        let before = crate::allocs::count();
+        for &(u, v) in pairs {
+            sink = sink.wrapping_add(f(u, v));
+        }
+        Some((crate::allocs::count() - before) as f64 / pairs.len() as f64)
+    } else {
+        None
+    };
+    // Batch throughput: whole passes over the pair set until the clock
+    // budget is spent.
+    let start = std::time::Instant::now();
+    let mut total = 0usize;
+    loop {
+        for &(u, v) in pairs {
+            sink = sink.wrapping_add(f(u, v));
+        }
+        total += pairs.len();
+        if start.elapsed().as_secs_f64() >= cfg.min_batch_secs {
+            break;
+        }
+    }
+    let qps = total as f64 / start.elapsed().as_secs_f64();
+    // Per-query latency distribution on a prefix of the pairs.
+    let mut lat: Vec<u64> = Vec::with_capacity(cfg.sample.min(pairs.len()));
+    for &(u, v) in pairs.iter().take(cfg.sample) {
+        let t0 = std::time::Instant::now();
+        sink = sink.wrapping_add(std::hint::black_box(f(u, v)));
+        lat.push(t0.elapsed().as_nanos() as u64);
+    }
+    lat.sort_unstable();
+    let p50_ns = lat[lat.len() / 2];
+    let p99_ns = lat[(lat.len() * 99 / 100).min(lat.len() - 1)];
+    std::hint::black_box(sink);
+    E22Cell {
+        workload,
+        n,
+        op,
+        qps,
+        p50_ns,
+        p99_ns,
+        allocs_per_query,
+    }
+}
+
+fn e22_json(cells: &[E22Cell], cfg: &E22Cfg, alloc_counter: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E22\",\n");
+    out.push_str(&format!("  \"seed\": \"{:#x}\",\n", crate::SEED));
+    out.push_str(&format!("  \"smoke\": {},\n", cfg.smoke));
+    out.push_str(&format!("  \"alloc_counter\": {alloc_counter},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let baseline = e22_baseline_qps(c.workload, c.n, c.op);
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"n\": {}, \"op\": \"{}\", \
+             \"qps\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \
+             \"allocs_per_query\": {}, \"baseline_qps\": {}, \
+             \"speedup\": {}}}{}\n",
+            c.workload,
+            c.n,
+            c.op,
+            c.qps,
+            c.p50_ns,
+            c.p99_ns,
+            c.allocs_per_query
+                .map_or_else(|| "null".into(), |a| format!("{a:.2}")),
+            baseline.map_or_else(|| "null".into(), |b| format!("{b:.0}")),
+            baseline.map_or_else(|| "null".into(), |b| format!("{:.2}", c.qps / b)),
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// E22: query throughput across workloads — the benchmark baseline for
+/// the dense-layout query-path overhaul. Writes `BENCH_query.json` to
+/// the workspace root (override with `HOPSPAN_BENCH_OUT`).
+pub fn e22_query_throughput() -> String {
+    let cfg = E22Cfg::from_env();
+    let mut cells: Vec<E22Cell> = Vec::new();
+
+    for &n in &cfg.ns {
+        // Uniform 2D points; ζ pinned by a budgeted Ramsey cover so the
+        // measurement tracks navigation cost, not cover size.
+        let m = gen::uniform_points(n, 2, &mut rng(0xE22_0001 ^ (n as u64)));
+        let (nav, _gamma) =
+            MetricNavigator::general_budgeted(&m, 12, 3, &mut rng(0xE22_0002 ^ (n as u64)))
+                .expect("budgeted ramsey navigator builds");
+        let rs = MetricRoutingScheme::general(&m, 2, &mut rng(0xE22_0003 ^ (n as u64)))
+            .expect("ramsey routing scheme builds");
+        let pairs = e22_pairs(n, cfg.pairs, 0x11);
+        cells.push(e22_measure(
+            "uniform",
+            n,
+            "find_path",
+            &cfg,
+            &pairs,
+            |u, v| nav.find_path(u, v).expect("covered pair").len(),
+        ));
+        let mut buf = Vec::new();
+        cells.push(e22_measure(
+            "uniform",
+            n,
+            "find_path_into",
+            &cfg,
+            &pairs,
+            |u, v| {
+                nav.find_path_into(u, v, &mut buf).expect("covered pair");
+                buf.len()
+            },
+        ));
+        cells.push(e22_measure(
+            "uniform",
+            n,
+            "approx_distance",
+            &cfg,
+            &pairs,
+            |u, v| nav.approx_distance(u, v).expect("covered pair") as usize,
+        ));
+        cells.push(e22_measure("uniform", n, "route", &cfg, &pairs, |u, v| {
+            rs.route(u, v).expect("routable pair").path.len()
+        }));
+        let mut trace = RouteTrace::default();
+        cells.push(e22_measure(
+            "uniform",
+            n,
+            "route_into",
+            &cfg,
+            &pairs,
+            |u, v| {
+                rs.route_into(u, v, &mut trace).expect("routable pair");
+                trace.path.len()
+            },
+        ));
+    }
+
+    for &n in &cfg.ns {
+        // Clustered 2D points, no home trees: exercises the O(ζ)
+        // min-distance tree selection scan.
+        let m = gen::clustered_points(n, 2, 8, 0.05, &mut rng(0xE22_0004 ^ (n as u64)));
+        let (cover, _gamma) = hopspan_tree_cover::RamseyTreeCover::with_tree_budget(
+            &m,
+            12,
+            &mut rng(0xE22_0005 ^ (n as u64)),
+        )
+        .expect("budgeted ramsey cover builds");
+        let nav = MetricNavigator::from_cover(&m, cover.into_cover().into_trees(), None, 3)
+            .expect("navigator from cover builds");
+        let rs = MetricRoutingScheme::general(&m, 2, &mut rng(0xE22_0006 ^ (n as u64)))
+            .expect("ramsey routing scheme builds");
+        let pairs = e22_pairs(n, cfg.pairs, 0x22);
+        cells.push(e22_measure(
+            "clustered",
+            n,
+            "find_path",
+            &cfg,
+            &pairs,
+            |u, v| nav.find_path(u, v).expect("covered pair").len(),
+        ));
+        let mut buf = Vec::new();
+        cells.push(e22_measure(
+            "clustered",
+            n,
+            "find_path_into",
+            &cfg,
+            &pairs,
+            |u, v| {
+                nav.find_path_into(u, v, &mut buf).expect("covered pair");
+                buf.len()
+            },
+        ));
+        cells.push(e22_measure(
+            "clustered",
+            n,
+            "approx_distance",
+            &cfg,
+            &pairs,
+            |u, v| nav.approx_distance(u, v).expect("covered pair") as usize,
+        ));
+        cells.push(e22_measure(
+            "clustered",
+            n,
+            "route",
+            &cfg,
+            &pairs,
+            |u, v| rs.route(u, v).expect("routable pair").path.len(),
+        ));
+        let mut trace = RouteTrace::default();
+        cells.push(e22_measure(
+            "clustered",
+            n,
+            "route_into",
+            &cfg,
+            &pairs,
+            |u, v| {
+                rs.route_into(u, v, &mut trace).expect("routable pair");
+                trace.path.len()
+            },
+        ));
+    }
+
+    for &n in &cfg.ns {
+        // Tree metric: Theorem 1.1 navigation directly (k = 4 exercises
+        // the recursive sub-hierarchy arm) and tree routing (k = 2).
+        let t = gen::random_tree(n, &mut rng(0xE22_0007 ^ (n as u64)));
+        let sp = TreeHopSpanner::new(&t, 4).expect("tree spanner builds");
+        let trs = TreeRoutingScheme::new(&t, &mut rng(0xE22_0008 ^ (n as u64)))
+            .expect("tree routing scheme builds");
+        let pairs = e22_pairs(n, cfg.pairs, 0x33);
+        cells.push(e22_measure("tree", n, "find_path", &cfg, &pairs, |u, v| {
+            sp.find_path(u, v).expect("required pair").len()
+        }));
+        let mut buf = Vec::new();
+        cells.push(e22_measure(
+            "tree",
+            n,
+            "find_path_into",
+            &cfg,
+            &pairs,
+            |u, v| {
+                sp.find_path_into(u, v, &mut buf).expect("required pair");
+                buf.len()
+            },
+        ));
+        cells.push(e22_measure("tree", n, "route", &cfg, &pairs, |u, v| {
+            trs.route(u, v).expect("routable pair").path.len()
+        }));
+        let mut trace = RouteTrace::default();
+        cells.push(e22_measure(
+            "tree",
+            n,
+            "route_into",
+            &cfg,
+            &pairs,
+            |u, v| {
+                trs.route_into(u, v, &mut trace).expect("routable pair");
+                trace.path.len()
+            },
+        ));
+    }
+
+    let alloc_counter = crate::allocs::probe_active();
+    if std::env::var("HOPSPAN_E22_PRINT_BASELINE").is_ok() {
+        eprintln!("// E22 baseline constants (qps), paste into E22_BASELINE_QPS:");
+        for c in &cells {
+            eprintln!(
+                "    (\"{}\", {}, \"{}\", {:.0}.0),",
+                c.workload, c.n, c.op, c.qps
+            );
+        }
+    }
+
+    let json = e22_json(&cells, &cfg, alloc_counter);
+    let out_path = std::env::var("HOPSPAN_BENCH_OUT").map_or_else(
+        |_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench sits two levels below the workspace root")
+                .join("BENCH_query.json")
+        },
+        std::path::PathBuf::from,
+    );
+    // Report only the file name on success — the absolute path would
+    // leak a machine-local prefix into the committed EXPERIMENTS.md.
+    let json_note = match std::fs::write(&out_path, &json) {
+        Ok(()) => {
+            let shown = out_path.file_name().map_or_else(
+                || out_path.display().to_string(),
+                |f| f.to_string_lossy().into_owned(),
+            );
+            format!("Machine-readable results: `{shown}`.")
+        }
+        Err(e) => format!("(could not write {}: {e})", out_path.display()),
+    };
+
+    let mut rows = Vec::new();
+    for c in &cells {
+        let baseline = e22_baseline_qps(c.workload, c.n, c.op);
+        rows.push(vec![
+            c.workload.to_string(),
+            c.n.to_string(),
+            c.op.to_string(),
+            format!("{:.0}", c.qps),
+            c.p50_ns.to_string(),
+            c.p99_ns.to_string(),
+            c.allocs_per_query
+                .map_or_else(|| "n/a".into(), |a| format!("{a:.2}")),
+            baseline.map_or_else(|| "-".into(), |b| format!("x{:.2}", c.qps / b)),
+        ]);
+    }
+    let table = md_table(
+        &[
+            "workload",
+            "n",
+            "op",
+            "q/s",
+            "p50 ns",
+            "p99 ns",
+            "allocs/q",
+            "vs baseline",
+        ],
+        &rows,
+    );
+    let headline = cells
+        .iter()
+        .filter(|c| c.workload == "uniform" && c.n == 4096 && c.op.starts_with("find_path"))
+        .filter_map(|c| e22_baseline_qps(c.workload, c.n, c.op).map(|b| (c.op, c.qps / b)))
+        .map(|(op, s)| format!("{op} x{s:.2}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let headline = if headline.is_empty() {
+        "no baseline constants recorded yet".to_string()
+    } else {
+        format!("n = 4096 uniform speedup vs pre-refactor baseline: {headline}")
+    };
+    format!(
+        "Query throughput after the dense-layout overhaul: flat `Vec` \
+         navigation tables, precomputed base-case paths, buffer-reuse \
+         query APIs. Workloads: uniform 2D (budgeted Ramsey cover, ζ = \
+         12, home trees), clustered 2D (same cover, min-distance \
+         selection scan), random tree metrics (k = 4). Latencies are \
+         per-query wall clock; allocs/q requires the counting allocator \
+         of `exp_query`. {headline}. {json_note}\n\n{table}\n",
+    )
 }

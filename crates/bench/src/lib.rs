@@ -52,3 +52,37 @@ pub fn md_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 pub fn ms(d: Duration) -> String {
     format!("{:.2}", d.as_secs_f64() * 1e3)
 }
+
+/// Heap-allocation counting hook for the query-throughput experiment
+/// (E22). The library itself installs no allocator; the `exp_query`
+/// binary (and the `tests/query_allocs.rs` integration test) wrap the
+/// system allocator and call [`allocs::record`] on every allocation, so
+/// E22 can report measured allocs-per-query. When no counting allocator
+/// is installed the probe stays silent and E22 reports the metric as
+/// unavailable instead of a misleading zero.
+pub mod allocs {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNT: AtomicU64 = AtomicU64::new(0);
+
+    /// Called by a wrapping global allocator on every `alloc`/`realloc`.
+    #[inline]
+    pub fn record() {
+        COUNT.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total allocations recorded so far.
+    #[inline]
+    pub fn count() -> u64 {
+        COUNT.load(Ordering::Relaxed)
+    }
+
+    /// Whether a counting allocator is actually installed: allocates a
+    /// box and checks that the counter moved.
+    pub fn probe_active() -> bool {
+        let before = count();
+        let b = std::hint::black_box(Box::new(0xA5u8));
+        drop(std::hint::black_box(b));
+        count() != before
+    }
+}

@@ -297,6 +297,32 @@ impl FaultTolerantSpanner {
         v: usize,
         faulty: &HashSet<usize>,
     ) -> Result<Vec<usize>, FtError> {
+        let mut out = Vec::with_capacity(self.k + 1);
+        let mut scratch = Vec::with_capacity(self.k + 1);
+        self.find_path_avoiding_into(metric, u, v, faulty, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Buffer-reuse variant of
+    /// [`FaultTolerantSpanner::find_path_avoiding`]: writes the best
+    /// surviving path into `out` and uses `scratch` as the per-tree
+    /// working buffer (both cleared first). With warmed buffers the
+    /// query performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`FaultTolerantSpanner::find_path_avoiding`];
+    /// `out` is left cleared on error.
+    pub fn find_path_avoiding_into<M: Metric>(
+        &self,
+        metric: &M,
+        u: usize,
+        v: usize,
+        faulty: &HashSet<usize>,
+        out: &mut Vec<usize>,
+        scratch: &mut Vec<usize>,
+    ) -> Result<(), FtError> {
+        out.clear();
         if faulty.len() > self.f {
             return Err(FtError::TooManyFaults {
                 got: faulty.len(),
@@ -310,30 +336,39 @@ impl FaultTolerantSpanner {
             return Err(FtError::BadEndpoint { point: v });
         }
         if u == v {
-            return Ok(vec![u]);
+            out.push(u);
+            return Ok(());
         }
-        let mut best: Option<(f64, Vec<usize>)> = None;
+        let mut best: Option<f64> = None;
         for t in &self.trees {
-            let Some(tree_path) = t.nav.tree_vertex_path(u, v).map_err(FtError::Spanner)? else {
+            if !t
+                .nav
+                .tree_vertex_path_into(u, v, scratch)
+                .map_err(FtError::Spanner)?
+            {
                 continue;
-            };
-            // Substitute every vertex by a non-faulty candidate; endpoints
-            // substitute to themselves (their candidate set contains them
-            // only when small, but endpoints are leaves anyway).
-            let mut pts = Vec::with_capacity(tree_path.len());
+            }
+            // Substitute every vertex by a non-faulty candidate, in place
+            // over the tree-vertex path (slot `i` is only read before it
+            // is overwritten, and the pick for slot `i` depends only on
+            // the already-substituted slot `i - 1`). Endpoints substitute
+            // to themselves (their candidate set contains them only when
+            // small, but endpoints are leaves anyway).
+            let len = scratch.len();
             let mut ok = true;
-            // The endpoint pushed below seeds `prev`, so inner vertices
+            // The endpoint written below seeds `prev`, so inner vertices
             // always have a predecessor without unwrapping.
             let mut prev = u;
-            for (i, &tv) in tree_path.iter().enumerate() {
+            for i in 0..len {
                 if i == 0 {
-                    pts.push(u);
+                    scratch[i] = u;
                     continue;
                 }
-                if i + 1 == tree_path.len() {
-                    pts.push(v);
+                if i + 1 == len {
+                    scratch[i] = v;
                     continue;
                 }
+                let tv = scratch[i];
                 let cand = &t.candidates[tv];
                 // Any non-faulty candidate is valid (robustness); pick the
                 // one closest to the previous path point to keep the
@@ -350,7 +385,7 @@ impl FaultTolerantSpanner {
                     });
                 match pick {
                     Some(p) => {
-                        pts.push(p);
+                        scratch[i] = p;
                         prev = p;
                     }
                     None => {
@@ -358,7 +393,7 @@ impl FaultTolerantSpanner {
                         // ancestors of u or v; fall back to the endpoints.
                         if cand.len() <= self.f {
                             let fallback = if cand.contains(&u) { u } else { v };
-                            pts.push(fallback);
+                            scratch[i] = fallback;
                             prev = fallback;
                         } else {
                             ok = false;
@@ -370,38 +405,47 @@ impl FaultTolerantSpanner {
             if !ok {
                 continue;
             }
-            pts.dedup();
-            let w: f64 = pts.windows(2).map(|p| metric.dist(p[0], p[1])).sum();
-            if best.as_ref().is_none_or(|(bw, _)| w < *bw) {
-                best = Some((w, pts));
+            scratch.dedup();
+            let w: f64 = scratch.windows(2).map(|p| metric.dist(p[0], p[1])).sum();
+            if best.is_none_or(|bw| w < bw) {
+                best = Some(w);
+                std::mem::swap(out, scratch);
             }
         }
-        best.map(|(_, pts)| pts)
-            .ok_or(FtError::NoSurvivingPath { u, v })
+        best.map(|_| ()).ok_or(FtError::NoSurvivingPath { u, v })
     }
 
-    /// Measures worst-case stretch and hops over all non-faulty pairs for
-    /// a given faulty set (for tests and experiments).
+    /// Measures worst-case stretch and hops over all non-faulty pairs
+    /// for a given faulty set (for tests and experiments). Rows of the
+    /// pair triangle fan out across the preprocessing worker pool; each
+    /// worker reuses one pair of path buffers, and the per-row
+    /// `(max, max)` partials are folded in row order, so the result is
+    /// identical for every worker count.
     ///
     /// # Errors
     ///
     /// Propagates [`FtError`] if any non-faulty pair fails to resolve.
-    pub fn measured_stretch_and_hops<M: Metric>(
+    /// With several failing rows, the lowest row's error is returned.
+    pub fn measured_stretch_and_hops<M: Metric + Sync>(
         &self,
         metric: &M,
         faulty: &HashSet<usize>,
     ) -> Result<(f64, usize), FtError> {
-        let mut worst = 1.0f64;
-        let mut hops = 0;
-        for u in 0..self.n {
+        let workers = hopspan_pipeline::resolve_workers(None);
+        let rows: Vec<usize> = (0..self.n).collect();
+        let partials = hopspan_pipeline::parallel_map(workers, &rows, |_, &u| {
+            let mut worst = 1.0f64;
+            let mut hops = 0;
             if faulty.contains(&u) {
-                continue;
+                return Ok((worst, hops));
             }
+            let mut path = Vec::with_capacity(self.k + 1);
+            let mut scratch = Vec::with_capacity(self.k + 1);
             for v in (u + 1)..self.n {
                 if faulty.contains(&v) {
                     continue;
                 }
-                let path = self.find_path_avoiding(metric, u, v, faulty)?;
+                self.find_path_avoiding_into(metric, u, v, faulty, &mut path, &mut scratch)?;
                 for &p in &path {
                     assert!(!faulty.contains(&p), "path uses faulty point {p}");
                 }
@@ -412,6 +456,14 @@ impl FaultTolerantSpanner {
                 }
                 hops = hops.max(path.len() - 1);
             }
+            Ok::<_, FtError>((worst, hops))
+        });
+        let mut worst = 1.0f64;
+        let mut hops = 0;
+        for row in partials {
+            let (w, h) = row?;
+            worst = worst.max(w);
+            hops = hops.max(h);
         }
         Ok((worst, hops))
     }

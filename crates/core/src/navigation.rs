@@ -90,19 +90,56 @@ impl NavTree {
         Ok(NavTree { dom, spanner })
     }
 
-    /// The k-hop tree-vertex path between the leaves of two points.
-    /// `Ok(None)` when the tree does not contain one of the points;
-    /// spanner-level failures (a corrupted navigation structure) are
-    /// propagated instead of panicking.
-    pub(crate) fn tree_vertex_path(
+    /// The k-hop tree-vertex path between the leaves of two points,
+    /// written into `out` (cleared first); returns whether the tree
+    /// contains both points. Spanner-level failures (a corrupted
+    /// navigation structure) are propagated instead of panicking.
+    pub(crate) fn tree_vertex_path_into(
         &self,
         p: usize,
         q: usize,
-    ) -> Result<Option<Vec<usize>>, TreeSpannerError> {
+        out: &mut Vec<usize>,
+    ) -> Result<bool, TreeSpannerError> {
         let (Some(a), Some(b)) = (self.dom.leaf_of(p), self.dom.leaf_of(q)) else {
-            return Ok(None);
+            out.clear();
+            return Ok(false);
         };
-        Ok(Some(self.spanner.find_path(a, b)?))
+        self.spanner.find_path_into(a, b, out)?;
+        Ok(true)
+    }
+}
+
+/// Per-tree point-membership bitmask: one bit per point, set when the
+/// tree has a leaf for that point. Lets tree selection skip a
+/// non-covering tree on one word load instead of two `leaf_of` probes.
+#[derive(Debug)]
+struct Membership {
+    words: Vec<u64>,
+}
+
+impl Membership {
+    fn build(dom: &DominatingTree, n: usize) -> Self {
+        let mut words = vec![0u64; n.div_ceil(64)];
+        for p in 0..n {
+            if dom.leaf_of(p).is_some() {
+                words[p / 64] |= 1u64 << (p % 64);
+            }
+        }
+        Membership { words }
+    }
+
+    /// Whether the tree contains both points (single fused test when the
+    /// two points share a word).
+    #[inline]
+    fn contains_pair(&self, u: usize, v: usize) -> bool {
+        let (wu, bu) = (u / 64, u % 64);
+        let (wv, bv) = (v / 64, v % 64);
+        if wu == wv {
+            let need = (1u64 << bu) | (1u64 << bv);
+            self.words[wu] & need == need
+        } else {
+            self.words[wu] >> bu & 1 == 1 && self.words[wv] >> bv & 1 == 1
+        }
     }
 }
 
@@ -111,6 +148,8 @@ impl NavTree {
 #[derive(Debug)]
 pub struct MetricNavigator {
     trees: Vec<NavTree>,
+    /// Point-membership bitmask per tree, parallel to `trees`.
+    masks: Vec<Membership>,
     /// Ramsey home tree per point, when available.
     home: Option<Vec<usize>>,
     k: usize,
@@ -293,9 +332,11 @@ impl MetricNavigator {
         });
         stats.edge_instances = instances;
         stats.edges_after_dedup = edges.len();
+        let masks = trees.iter().map(|t| Membership::build(&t.dom, n)).collect();
         Ok((
             MetricNavigator {
                 trees,
+                masks,
                 home,
                 k,
                 n,
@@ -346,6 +387,9 @@ impl MetricNavigator {
         }
         let mut best: Option<(usize, f64)> = None;
         for (i, t) in self.trees.iter().enumerate() {
+            if !self.masks[i].contains_pair(u, v) {
+                continue;
+            }
             if let Some(d) = t.dom.distance(u, v) {
                 if best.is_none_or(|(_, bd)| d < bd) {
                     best = Some((i, d));
@@ -353,6 +397,18 @@ impl MetricNavigator {
             }
         }
         best
+    }
+
+    /// Like [`MetricNavigator::select_tree`], but skips computing the
+    /// tree distance on the O(1) home-tree arm — the arm `find_path`
+    /// takes, where the distance would be discarded. The scan arm must
+    /// still rank trees by distance to pick the same tree.
+    fn select_tree_index(&self, u: usize, v: usize) -> Option<usize> {
+        if let Some(home) = &self.home {
+            let t = home[u];
+            return self.masks[t].contains_pair(u, v).then_some(t);
+        }
+        self.select_tree(u, v).map(|(t, _)| t)
     }
 
     /// Approximate distance oracle interface (the paper's Question 1.2):
@@ -375,6 +431,28 @@ impl MetricNavigator {
     /// [`NavigationError::PairNotCovered`] if no cover tree contains
     /// both points (never the case for the built-in constructions).
     pub fn find_path(&self, u: usize, v: usize) -> Result<Vec<usize>, NavigationError> {
+        let mut out = Vec::with_capacity(self.k + 1);
+        self.find_path_into(u, v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Buffer-reuse variant of [`MetricNavigator::find_path`]: writes
+    /// the path into `out` (cleared first) instead of allocating. With a
+    /// warmed buffer the query performs no heap allocation. The tree
+    /// selection skips the discarded distance computation on the
+    /// home-tree arm.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MetricNavigator::find_path`]; `out` is left
+    /// cleared on error.
+    pub fn find_path_into(
+        &self,
+        u: usize,
+        v: usize,
+        out: &mut Vec<usize>,
+    ) -> Result<(), NavigationError> {
+        out.clear();
         if u >= self.n {
             return Err(NavigationError::PointOutOfRange { point: u });
         }
@@ -382,18 +460,23 @@ impl MetricNavigator {
             return Err(NavigationError::PointOutOfRange { point: v });
         }
         if u == v {
-            return Ok(vec![u]);
+            out.push(u);
+            return Ok(());
         }
-        let (ti, _) = self
-            .select_tree(u, v)
+        let ti = self
+            .select_tree_index(u, v)
             .ok_or(NavigationError::PairNotCovered { u, v })?;
         let t = &self.trees[ti];
-        let tree_path = t
-            .tree_vertex_path(u, v)?
-            .ok_or(NavigationError::PairNotCovered { u, v })?;
-        let mut path: Vec<usize> = tree_path.iter().map(|&tv| t.dom.point_of(tv)).collect();
-        path.dedup();
-        Ok(path)
+        if !t.tree_vertex_path_into(u, v, out)? {
+            return Err(NavigationError::PairNotCovered { u, v });
+        }
+        // Map tree vertices to their points in place, then compress the
+        // runs a shared point between adjacent tree vertices produces.
+        for tv in out.iter_mut() {
+            *tv = t.dom.point_of(*tv);
+        }
+        out.dedup();
+        Ok(())
     }
 
     /// The weight of a point path under `metric`.
@@ -402,28 +485,44 @@ impl MetricNavigator {
     }
 
     /// Measures the realized worst-case stretch and hop count over all
-    /// pairs (O(n²·(k+ζ)); for tests and experiments).
+    /// pairs (O(n²·(k+ζ)) work; for tests and experiments). Rows of the
+    /// pair triangle fan out across the preprocessing worker pool; each
+    /// worker reuses one path buffer, and the per-row `(max, max)`
+    /// partials are folded in row order, so the result is identical for
+    /// every worker count.
     ///
     /// # Errors
     ///
     /// Propagates [`NavigationError`] if any pair fails to resolve —
-    /// which would indicate a broken cover invariant.
-    pub fn measured_stretch_and_hops<M: Metric>(
+    /// which would indicate a broken cover invariant. With several
+    /// failing rows, the lowest row's error is returned.
+    pub fn measured_stretch_and_hops<M: Metric + Sync>(
         &self,
         metric: &M,
     ) -> Result<(f64, usize), NavigationError> {
-        let mut worst = 1.0f64;
-        let mut hops = 0usize;
-        for u in 0..self.n {
+        let workers = hopspan_pipeline::resolve_workers(None);
+        let rows: Vec<usize> = (0..self.n).collect();
+        let partials = hopspan_pipeline::parallel_map(workers, &rows, |_, &u| {
+            let mut worst = 1.0f64;
+            let mut hops = 0usize;
+            let mut path = Vec::with_capacity(self.k + 1);
             for v in (u + 1)..self.n {
                 let d = metric.dist(u, v);
-                let path = self.find_path(u, v)?;
+                self.find_path_into(u, v, &mut path)?;
                 let w = Self::path_weight(metric, &path);
                 if d > 0.0 {
                     worst = worst.max(w / d);
                 }
                 hops = hops.max(path.len() - 1);
             }
+            Ok::<_, NavigationError>((worst, hops))
+        });
+        let mut worst = 1.0f64;
+        let mut hops = 0usize;
+        for row in partials {
+            let (w, h) = row?;
+            worst = worst.max(w);
+            hops = hops.max(h);
         }
         Ok((worst, hops))
     }
@@ -458,7 +557,7 @@ mod tests {
         ChaCha8Rng::seed_from_u64(99)
     }
 
-    fn verify_spanner_paths<M: Metric>(nav: &MetricNavigator, metric: &M, budget: f64) {
+    fn verify_spanner_paths<M: Metric + Sync>(nav: &MetricNavigator, metric: &M, budget: f64) {
         // Every returned path uses only H_X edges.
         let mut edge_set = std::collections::HashSet::new();
         for &(a, b, _) in nav.spanner_edges() {

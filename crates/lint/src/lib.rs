@@ -17,6 +17,11 @@
 //!   path dep (the vendored-compat policy; crates.io is unreachable).
 //! * **R5 `pub-undocumented`** — public items of `hopspan-core` and
 //!   `hopspan-tree-spanner` carry doc comments.
+//! * **R6 `map-on-query-path`** — no keyed-container lookups
+//!   (`.get(&…)`, `[&…]`, `.contains_key(…)`) inside query-path
+//!   functions (`find_path*` / `route*` / `locate*`) of the query
+//!   crates: query tables are dense `Vec`/CSR layouts, built once at
+//!   preprocessing time.
 //!
 //! Findings can be suppressed inline, one line up or on the offending
 //! line, with a mandatory reason:
@@ -53,6 +58,11 @@ pub const LIB_POLICY_CRATES: [&str; 7] = [
 /// Crates whose public items must be documented (R5).
 pub const DOC_POLICY_CRATES: [&str; 2] = ["hopspan-core", "hopspan-tree-spanner"];
 
+/// Crates whose query-path functions must stay free of keyed-container
+/// lookups (R6) — the crates implementing `FindPath` and routing.
+pub const QUERY_POLICY_CRATES: [&str; 3] =
+    ["hopspan-core", "hopspan-routing", "hopspan-tree-spanner"];
+
 /// One diagnostic produced by the analyzer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -85,9 +95,10 @@ pub fn analyze_source(label: &str, source: &str, active_rules: &[&str]) -> Vec<F
 }
 
 /// Analyzes the whole workspace rooted at `root`: R4 on every member
-/// manifest, R1–R3 on the `src/` trees of [`LIB_POLICY_CRATES`], and
-/// R5 on [`DOC_POLICY_CRATES`]. Findings come back in a deterministic
-/// order (members sorted, files sorted, lines ascending).
+/// manifest, R1–R3 on the `src/` trees of [`LIB_POLICY_CRATES`], R5 on
+/// [`DOC_POLICY_CRATES`], and R6 on [`QUERY_POLICY_CRATES`]. Findings
+/// come back in a deterministic order (members sorted, files sorted,
+/// lines ascending).
 pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     let manifest_path = root.join("Cargo.toml");
     let manifest = std::fs::read_to_string(&manifest_path)
@@ -121,6 +132,9 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         }
         if DOC_POLICY_CRATES.contains(&name.as_str()) {
             active.push(rules::R5_PUB_UNDOCUMENTED);
+        }
+        if QUERY_POLICY_CRATES.contains(&name.as_str()) {
+            active.push(rules::R6_MAP_ON_QUERY_PATH);
         }
         if active.is_empty() {
             continue;

@@ -1,8 +1,8 @@
 //! The per-file rule engine: R1 `panic-in-lib`, R2
 //! `nondeterministic-iteration`, R3 `float-eq`, R5 `pub-undocumented`,
-//! plus suppression-pragma validation (`bad-pragma`). R4
-//! `offline-deps` lives in [`crate::toml_scan`] because it reads
-//! manifests, not Rust source.
+//! R6 `map-on-query-path`, plus suppression-pragma validation
+//! (`bad-pragma`). R4 `offline-deps` lives in [`crate::toml_scan`]
+//! because it reads manifests, not Rust source.
 
 use std::collections::BTreeSet;
 
@@ -19,16 +19,26 @@ pub const R3_FLOAT_EQ: &str = "float-eq";
 pub const R4_OFFLINE_DEPS: &str = "offline-deps";
 /// R5: public items need doc comments.
 pub const R5_PUB_UNDOCUMENTED: &str = "pub-undocumented";
+/// R6: no map lookups (`.get(&…)`, `[&…]`, `.contains_key(…)`) inside
+/// query-path functions (`find_path*` / `route*` / `locate*`) — query
+/// tables must be dense `Vec`/CSR layouts.
+pub const R6_MAP_ON_QUERY_PATH: &str = "map-on-query-path";
 /// Meta-rule: malformed `hopspan:allow` pragmas (never suppressible).
 pub const BAD_PRAGMA: &str = "bad-pragma";
 
 /// All source-code rules (R4 is manifest-level and handled separately).
-pub const CODE_RULES: [&str; 4] = [
+pub const CODE_RULES: [&str; 5] = [
     R1_PANIC_IN_LIB,
     R2_NONDET_ITERATION,
     R3_FLOAT_EQ,
     R5_PUB_UNDOCUMENTED,
+    R6_MAP_ON_QUERY_PATH,
 ];
+
+/// Function-name prefixes that mark the hot query path (R6). Membership
+/// tests via `.contains(…)` are deliberately not flagged — a
+/// `HashSet<usize>` fault set is O(1) per probe and order-free.
+const QUERY_FN_PREFIXES: [&str; 3] = ["find_path", "route", "locate"];
 
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
@@ -72,6 +82,9 @@ pub fn run_rules(label: &str, lexed: &Lexed, rules: &[&str]) -> Vec<Finding> {
     }
     if rules.contains(&R5_PUB_UNDOCUMENTED) {
         rule_pub_undocumented(label, lexed, &in_test, &mut findings);
+    }
+    if rules.contains(&R6_MAP_ON_QUERY_PATH) {
+        rule_map_on_query_path(label, toks, &in_test, &mut findings);
     }
 
     // A pragma on line L suppresses same-rule findings on L and L+1
@@ -485,6 +498,82 @@ fn rule_pub_undocumented(
                 line: toks[i].line,
                 message: format!("public {kind} `{name}` has no doc comment"),
             });
+        }
+    }
+}
+
+/// Token ranges of the bodies of query-path functions: `fn` whose name
+/// starts with one of [`QUERY_FN_PREFIXES`], mapped to the span from
+/// its signature to the `}` closing its body.
+fn query_fn_bodies(toks: &[Tok]) -> Vec<(usize, usize, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "fn" {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != TokKind::Ident
+            || !QUERY_FN_PREFIXES
+                .iter()
+                .any(|p| name_tok.text.starts_with(p))
+        {
+            continue;
+        }
+        if let Some(end) = brace_block_after(toks, i + 2) {
+            out.push((i + 2, end, name_tok.text.clone()));
+        }
+    }
+    out
+}
+
+/// R6: flags keyed-container lookups inside query-path function bodies.
+/// The token shapes `.get(&…)`, `[&…]` and `.contains_key(…)` are how
+/// `BTreeMap`/`HashMap` reads look; dense `Vec`/slice reads (`[i]`,
+/// `.get(i)`) index by value and stay silent.
+fn rule_map_on_query_path(
+    label: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let bodies = query_fn_bodies(toks);
+    let flag = |out: &mut Vec<Finding>, line: u32, what: &str, fn_name: &str| {
+        out.push(Finding {
+            rule: R6_MAP_ON_QUERY_PATH.to_string(),
+            file: label.to_string(),
+            line,
+            message: format!(
+                "{what} in query fn `{fn_name}`: map lookups on the query \
+                 path defeat the dense-layout guarantee; use a Vec/CSR \
+                 table or add a reasoned hopspan:allow"
+            ),
+        });
+    };
+    for (start, end, fn_name) in bodies {
+        let mut i = start;
+        while i <= end.min(toks.len().saturating_sub(1)) {
+            if in_test(i) {
+                i += 1;
+                continue;
+            }
+            let text = toks[i].text.as_str();
+            let next = toks.get(i + 1).map(|t| t.text.as_str());
+            if toks[i].kind == TokKind::Ident
+                && i > start
+                && toks[i - 1].text == "."
+                && next == Some("(")
+            {
+                if text == "get" && toks.get(i + 2).map(|t| t.text.as_str()) == Some("&") {
+                    flag(out, toks[i].line, "`.get(&…)`", &fn_name);
+                } else if text == "contains_key" {
+                    flag(out, toks[i].line, "`.contains_key(…)`", &fn_name);
+                }
+            } else if text == "[" && next == Some("&") {
+                flag(out, toks[i].line, "`[&…]` indexing", &fn_name);
+            }
+            i += 1;
         }
     }
 }

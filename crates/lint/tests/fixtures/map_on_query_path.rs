@@ -1,0 +1,54 @@
+//! Fixture for R6 `map-on-query-path`: keyed-container lookups inside
+//! `find_path*` / `route*` / `locate*` bodies are flagged; dense
+//! reads, membership probes, and non-query functions stay silent.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+struct Nav {
+    home: BTreeMap<usize, usize>,
+    table: HashMap<(usize, usize), Vec<usize>>,
+    dense: Vec<usize>,
+}
+
+impl Nav {
+    fn find_path(&self, u: usize, v: usize) -> Vec<usize> {
+        let h = self.home.get(&u).copied().unwrap_or(0);
+        if self.table.contains_key(&(u, v)) {
+            return self.table[&(u, v)].clone();
+        }
+        vec![h, self.dense[v]]
+    }
+
+    fn locate_contracted(&self, u: usize) -> usize {
+        *self.home.get(&u).expect("homed")
+    }
+
+    fn route_avoiding(&self, u: usize, faulty: &HashSet<usize>) -> Option<usize> {
+        if faulty.contains(&u) {
+            return None;
+        }
+        self.dense.get(u).copied()
+    }
+
+    fn route_legacy(&self, u: usize) -> usize {
+        // hopspan:allow(map-on-query-path) -- legacy path, measured cold
+        self.home.get(&u).copied().unwrap_or(u)
+    }
+
+    fn build_tables(&mut self, pairs: &[(usize, usize)]) -> usize {
+        pairs.iter().filter(|p| self.table.contains_key(p)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn query_fns_in_tests_are_exempt() {
+        use std::collections::BTreeMap;
+        fn find_path_toy(m: &BTreeMap<usize, usize>, u: usize) -> usize {
+            *m.get(&u).unwrap()
+        }
+        let m: BTreeMap<usize, usize> = [(1, 2)].into_iter().collect();
+        assert_eq!(find_path_toy(&m, 1), 2);
+    }
+}

@@ -4,7 +4,7 @@
 
 use hopspan_lint::rules::{
     BAD_PRAGMA, R1_PANIC_IN_LIB, R2_NONDET_ITERATION, R3_FLOAT_EQ, R4_OFFLINE_DEPS,
-    R5_PUB_UNDOCUMENTED,
+    R5_PUB_UNDOCUMENTED, R6_MAP_ON_QUERY_PATH,
 };
 use hopspan_lint::{analyze_source, to_json, toml_scan, Finding};
 
@@ -49,6 +49,31 @@ fn nondet_iteration_fixture_exact_lines() {
         "got: {:#?}",
         findings
     );
+}
+
+#[test]
+fn map_on_query_path_fixture_exact_lines() {
+    let src = include_str!("fixtures/map_on_query_path.rs");
+    let findings = analyze_source(
+        "fixtures/map_on_query_path.rs",
+        src,
+        &[R6_MAP_ON_QUERY_PATH],
+    );
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (R6_MAP_ON_QUERY_PATH, 15), // home.get(&u) in find_path
+            (R6_MAP_ON_QUERY_PATH, 16), // table.contains_key(…)
+            (R6_MAP_ON_QUERY_PATH, 17), // table[&(u, v)]
+            (R6_MAP_ON_QUERY_PATH, 23), // home.get(&u) in locate_contracted
+        ],
+        "got: {:#?}",
+        findings
+    );
+    // Silent by design: `faulty.contains(&u)` (membership probe),
+    // `dense.get(u)` (by-value slice read), the allow-suppressed
+    // `route_legacy`, the non-query `build_tables`, and the
+    // #[cfg(test)] module.
 }
 
 #[test]

@@ -17,7 +17,7 @@ use hopspan_treealg::DistanceLabeling;
 use rand::Rng;
 
 use crate::network::{Header, Network, RouteTrace};
-use crate::scheme::{route_on_tree, PerTreeScheme, RoutingError, SchemeStats};
+use crate::scheme::{route_on_tree_into, PerTreeScheme, RoutingError, SchemeStats};
 use crate::NavBuildError;
 
 /// An f-fault-tolerant 2-hop routing scheme for doubling metrics.
@@ -223,6 +223,31 @@ impl FtMetricRoutingScheme {
         v: usize,
         faulty: &HashSet<usize>,
     ) -> Result<RouteTrace, RoutingError> {
+        let mut trace = RouteTrace::default();
+        let mut order = Vec::with_capacity(self.trees.len());
+        self.route_avoiding_into(u, v, faulty, &mut trace, &mut order)?;
+        Ok(trace)
+    }
+
+    /// Like [`FtMetricRoutingScheme::route_avoiding`], but writes into a
+    /// caller-owned trace and reuses `order` as scratch for the
+    /// distance-sorted tree order, so a warm caller pays no per-query
+    /// allocation. The trace is reset first; on error its contents are
+    /// unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RoutingError`] for invalid/faulty endpoints or when
+    /// more than `f` faults break every tree (cannot happen for
+    /// `|faulty| ≤ f`).
+    pub fn route_avoiding_into(
+        &self,
+        u: usize,
+        v: usize,
+        faulty: &HashSet<usize>,
+        trace: &mut RouteTrace,
+        order: &mut Vec<(usize, f64)>,
+    ) -> Result<(), RoutingError> {
         if u >= self.n || faulty.contains(&u) {
             return Err(RoutingError::BadEndpoint { node: u });
         }
@@ -230,32 +255,37 @@ impl FtMetricRoutingScheme {
             return Err(RoutingError::BadEndpoint { node: v });
         }
         if u == v {
-            return Ok(RouteTrace {
-                path: vec![u],
-                max_header_bits: 0,
-                decision_steps: 0,
-            });
+            trace.path.clear();
+            trace.path.push(u);
+            trace.max_header_bits = 0;
+            trace.decision_steps = 0;
+            return Ok(());
         }
         // Order trees by decoded tree distance.
-        let mut order: Vec<(usize, f64)> = self
-            .trees
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| {
-                let (lu, lv) = (t.dom.leaf_of(u)?, t.dom.leaf_of(v)?);
-                Some((i, t.labeling.distance(lu, lv)))
-            })
-            .collect();
-        order.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        order.clear();
+        for (i, t) in self.trees.iter().enumerate() {
+            let (Some(lu), Some(lv)) = (t.dom.leaf_of(u), t.dom.leaf_of(v)) else {
+                continue;
+            };
+            order.push((i, t.labeling.distance(lu, lv)));
+        }
+        // Unstable sort with an index tiebreaker: allocation-free, and
+        // identical to a stable sort on distance alone because indices
+        // are distinct.
+        order.sort_unstable_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
         let mut extra_steps = order.len();
-        for (ti, _) in order {
-            match route_on_tree(&self.trees[ti].scheme, &self.net, u, v, faulty) {
-                Ok(mut trace) => {
+        for &(ti, _) in order.iter() {
+            match route_on_tree_into(&self.trees[ti].scheme, &self.net, u, v, faulty, trace) {
+                Ok(()) => {
                     if trace.path.iter().any(|p| faulty.contains(p)) {
                         continue;
                     }
                     trace.decision_steps += extra_steps;
-                    return Ok(trace);
+                    return Ok(());
                 }
                 Err(RoutingError::Undeliverable) => {
                     extra_steps += 1;
@@ -269,25 +299,36 @@ impl FtMetricRoutingScheme {
 
     /// Measured stretch/hops over all non-faulty pairs.
     ///
+    /// Source rows fan out over scoped workers; each worker reuses one
+    /// trace and one order-scratch buffer, and the per-row `(max, max)`
+    /// results are folded in row order, so the outcome is identical for
+    /// every worker count.
+    ///
     /// # Errors
     ///
-    /// Propagates [`RoutingError`] if any non-faulty pair fails to route.
-    pub fn measured_stretch_and_hops<M: Metric>(
+    /// Propagates [`RoutingError`] if any non-faulty pair fails to
+    /// route; with multiple failures, the one from the lowest source row
+    /// wins.
+    pub fn measured_stretch_and_hops<M: Metric + Sync>(
         &self,
         metric: &M,
         faulty: &HashSet<usize>,
     ) -> Result<(f64, usize), RoutingError> {
-        let mut worst = 1.0f64;
-        let mut hops = 0usize;
-        for u in 0..self.n {
+        let rows: Vec<usize> = (0..self.n).collect();
+        let workers = hopspan_pipeline::resolve_workers(None);
+        let per_row = hopspan_pipeline::parallel_map(workers, &rows, |_, &u| {
+            let mut worst = 1.0f64;
+            let mut hops = 0usize;
             if faulty.contains(&u) {
-                continue;
+                return Ok::<_, RoutingError>((worst, hops));
             }
+            let mut trace = RouteTrace::default();
+            let mut order = Vec::with_capacity(self.trees.len());
             for v in 0..self.n {
                 if u == v || faulty.contains(&v) {
                     continue;
                 }
-                let trace = self.route_avoiding(u, v, faulty)?;
+                self.route_avoiding_into(u, v, faulty, &mut trace, &mut order)?;
                 assert_eq!(trace.path.last(), Some(&v));
                 for p in &trace.path {
                     assert!(!faulty.contains(p), "routed through a faulty node");
@@ -299,6 +340,14 @@ impl FtMetricRoutingScheme {
                 }
                 hops = hops.max(trace.hops());
             }
+            Ok((worst, hops))
+        });
+        let mut worst = 1.0f64;
+        let mut hops = 0usize;
+        for row in per_row {
+            let (w, h) = row?;
+            worst = worst.max(w);
+            hops = hops.max(h);
         }
         Ok((worst, hops))
     }

@@ -18,7 +18,7 @@ use hopspan_treealg::DistanceLabeling;
 use rand::Rng;
 
 use crate::network::{Header, Network, RouteTrace};
-use crate::scheme::{route_on_tree, PerTreeScheme, RoutingError, SchemeStats};
+use crate::scheme::{route_on_tree_into, PerTreeScheme, RoutingError, SchemeStats};
 use crate::NavBuildError;
 
 /// How the query selects the tree to route on.
@@ -314,6 +314,25 @@ impl MetricRoutingScheme {
     ///
     /// Returns a [`RoutingError`] for invalid endpoints.
     pub fn route(&self, u: usize, v: usize) -> Result<RouteTrace, RoutingError> {
+        let mut trace = RouteTrace::default();
+        self.route_into(u, v, &mut trace)?;
+        Ok(trace)
+    }
+
+    /// Like [`MetricRoutingScheme::route`], but writes into a
+    /// caller-owned trace whose path buffer is reused across queries (no
+    /// per-query allocation once the buffer is warm). The trace is reset
+    /// first; on error its contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RoutingError`] for invalid endpoints.
+    pub fn route_into(
+        &self,
+        u: usize,
+        v: usize,
+        trace: &mut RouteTrace,
+    ) -> Result<(), RoutingError> {
         if u >= self.n {
             return Err(RoutingError::BadEndpoint { node: u });
         }
@@ -321,40 +340,55 @@ impl MetricRoutingScheme {
             return Err(RoutingError::BadEndpoint { node: v });
         }
         if u == v {
-            return Ok(RouteTrace {
-                path: vec![u],
-                max_header_bits: 0,
-                decision_steps: 0,
-            });
+            trace.path.clear();
+            trace.path.push(u);
+            trace.max_header_bits = 0;
+            trace.decision_steps = 0;
+            return Ok(());
         }
         let ti = self
             .select_tree(u, v)
             .ok_or(RoutingError::BadEndpoint { node: v })?;
-        let mut trace = route_on_tree(&self.trees[ti].scheme, &self.net, u, v, &HashSet::new())?;
+        route_on_tree_into(
+            &self.trees[ti].scheme,
+            &self.net,
+            u,
+            v,
+            &HashSet::new(),
+            trace,
+        )?;
         if self.selection == TreeSelection::MinDistanceLabel {
             // Account for the ζ label decodes of the selection step.
             trace.decision_steps += self.trees.len();
         }
-        Ok(trace)
+        Ok(())
     }
 
     /// Measured stretch/hops over all pairs (tests and experiments).
     ///
+    /// Source rows fan out over scoped workers; each worker reuses one
+    /// trace buffer, and the per-row `(max, max)` results are folded in
+    /// row order, so the outcome is identical for every worker count.
+    ///
     /// # Errors
     ///
-    /// Propagates [`RoutingError`] if any pair fails to route.
-    pub fn measured_stretch_and_hops<M: Metric>(
+    /// Propagates [`RoutingError`] if any pair fails to route; with
+    /// multiple failures, the one from the lowest source row wins.
+    pub fn measured_stretch_and_hops<M: Metric + Sync>(
         &self,
         metric: &M,
     ) -> Result<(f64, usize), RoutingError> {
-        let mut worst = 1.0f64;
-        let mut hops = 0usize;
-        for u in 0..self.n {
+        let rows: Vec<usize> = (0..self.n).collect();
+        let workers = hopspan_pipeline::resolve_workers(None);
+        let per_row = hopspan_pipeline::parallel_map(workers, &rows, |_, &u| {
+            let mut trace = RouteTrace::default();
+            let mut worst = 1.0f64;
+            let mut hops = 0usize;
             for v in 0..self.n {
                 if u == v {
                     continue;
                 }
-                let trace = self.route(u, v)?;
+                self.route_into(u, v, &mut trace)?;
                 assert_eq!(trace.path.last(), Some(&v), "misrouted ({u},{v})");
                 let w: f64 = trace.path.windows(2).map(|x| metric.dist(x[0], x[1])).sum();
                 let d = metric.dist(u, v);
@@ -363,6 +397,14 @@ impl MetricRoutingScheme {
                 }
                 hops = hops.max(trace.hops());
             }
+            Ok::<_, RoutingError>((worst, hops))
+        });
+        let mut worst = 1.0f64;
+        let mut hops = 0usize;
+        for row in per_row {
+            let (w, h) = row?;
+            worst = worst.max(w);
+            hops = hops.max(h);
         }
         Ok((worst, hops))
     }

@@ -122,7 +122,7 @@ pub(crate) fn bits_for(x: usize) -> usize {
 }
 
 /// The trace of one delivered packet.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct RouteTrace {
     /// Nodes visited, source first, destination last.
     pub path: Vec<usize>,

@@ -517,43 +517,46 @@ fn best_base_route(spanner: &TreeHopSpanner, a: usize, b: usize) -> BasePath {
         .1
 }
 
-/// Drives a packet through the network using one tree's scheme.
-pub(crate) fn route_on_tree(
+/// Drives a packet through the network using one tree's scheme,
+/// writing into a caller-owned trace whose path buffer is reused across
+/// queries. The trace is reset first; on error its contents are
+/// unspecified.
+pub(crate) fn route_on_tree_into(
     scheme: &PerTreeScheme,
     net: &Network,
     u: usize,
     v: usize,
     faulty: &HashSet<usize>,
-) -> Result<RouteTrace, RoutingError> {
+    trace: &mut RouteTrace,
+) -> Result<(), RoutingError> {
+    trace.path.clear();
     let label = scheme.labels[v]
         .as_ref()
         .ok_or(RoutingError::BadEndpoint { node: v })?;
     let mut steps = 0usize;
-    let mut path = vec![u];
+    trace.path.push(u);
     let mut header_bits = Header::Empty.bits(net.id_bits(), net.port_bits());
     match scheme.decide(u, label, faulty, &mut steps)? {
         None => {}
         Some((port, header)) => {
             header_bits = header_bits.max(header.bits(net.id_bits(), net.port_bits()));
             let mid = net.target(u, port);
-            path.push(mid);
+            trace.path.push(mid);
             match header {
                 Header::Empty => {}
                 Header::PortHint(p) => {
                     // The intermediate's decision is a single port read.
                     steps += 1;
                     let dest = net.target(mid, p);
-                    path.push(dest);
+                    trace.path.push(dest);
                 }
             }
         }
     }
-    if path.last() != Some(&v) {
+    if trace.path.last() != Some(&v) {
         return Err(RoutingError::Undeliverable);
     }
-    Ok(RouteTrace {
-        path,
-        max_header_bits: header_bits,
-        decision_steps: steps,
-    })
+    trace.max_header_bits = header_bits;
+    trace.decision_steps = steps;
+    Ok(())
 }

@@ -12,7 +12,7 @@ use hopspan_treealg::RootedTree;
 use rand::Rng;
 
 use crate::network::{Header, Network, RouteTrace};
-use crate::scheme::{route_on_tree, PerTreeScheme, RoutingError, SchemeStats};
+use crate::scheme::{route_on_tree_into, PerTreeScheme, RoutingError, SchemeStats};
 
 /// A 2-hop routing scheme for a tree metric in the labeled fixed-port
 /// model.
@@ -87,10 +87,29 @@ impl TreeRoutingScheme {
     ///
     /// Returns a [`RoutingError`] for invalid endpoints.
     pub fn route(&self, u: usize, v: usize) -> Result<RouteTrace, RoutingError> {
+        let mut trace = RouteTrace::default();
+        self.route_into(u, v, &mut trace)?;
+        Ok(trace)
+    }
+
+    /// Like [`TreeRoutingScheme::route`], but writes into a caller-owned
+    /// trace whose path buffer is reused across queries (no per-query
+    /// allocation once the buffer is warm). The trace is reset first; on
+    /// error its contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RoutingError`] for invalid endpoints.
+    pub fn route_into(
+        &self,
+        u: usize,
+        v: usize,
+        trace: &mut RouteTrace,
+    ) -> Result<(), RoutingError> {
         if u >= self.n {
             return Err(RoutingError::BadEndpoint { node: u });
         }
-        route_on_tree(&self.scheme, &self.net, u, v, &HashSet::new())
+        route_on_tree_into(&self.scheme, &self.net, u, v, &HashSet::new(), trace)
     }
 
     /// Size statistics (bits).

@@ -6,6 +6,12 @@
 //! for `k ≥ 4`, every non-base Φ node also owns a boxed sub-[`Navigator`]
 //! for the `(k-2)`-construction over the pruned copy `T'` whose required
 //! vertices are the cut vertices (paper line 10 of Algorithm 1).
+//!
+//! All query-time tables are dense `Vec`s indexed by contracted id, Φ
+//! node id, or home slot — the `BTreeMap`s used during construction
+//! never survive into the query path. Base-case paths are precomputed
+//! here (all ordered pairs per `HandleBaseCase` leaf), so queries never
+//! run the per-pair BFS + Bellman–Ford; see [`BaseTable`].
 
 use std::collections::BTreeMap;
 
@@ -14,17 +20,26 @@ use hopspan_treealg::{Lca, LevelAncestor, RootedTree};
 use crate::ackermann::alpha_prime;
 use crate::local_tree::LocalTree;
 
-/// Role of a contracted-tree vertex.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum ContractedKind {
-    /// Represents a whole component `T_i` of `T ∖ CV`.
-    Rep,
-    /// A cut vertex; carries the original vertex id.
-    Cut(usize),
-}
+/// A vertex's navigation pointer: its home Φ node and its slot within
+/// that node's `inner` list (`u.ptr(Φ).h` in the paper, plus the dense
+/// index replacing per-query map lookups).
+pub(crate) type HomeRef = (usize, u32);
+
+/// Build-time map from original vertex id to [`HomeRef`]; the public
+/// wrapper densifies the top-level one, and `build_call` folds each
+/// sub-navigator's map into its parent's [`Contracted::cut_sub_home`].
+pub(crate) type HomeMap = BTreeMap<usize, HomeRef>;
+
+/// Build-time base adjacency (original ids), kept only so the public
+/// wrapper can expose a CSR view; queries use [`BaseTable`] instead.
+pub(crate) type BaseAdj = BTreeMap<usize, Vec<(usize, f64)>>;
 
 /// The contracted tree 𝒯_β of a non-base Φ node (`k ≥ 3` only): the
 /// quotient of the call tree by its components, preprocessed for LCA/LA.
+///
+/// Contracted ids are laid out densely: `[0, rep_count)` are component
+/// representatives (id = component index), `[rep_count, ..)` are cut
+/// vertices (id = `rep_count` + slot in the owning node's `inner`).
 #[derive(Debug)]
 pub(crate) struct Contracted {
     /// The quotient tree itself (unit weights).
@@ -33,12 +48,38 @@ pub(crate) struct Contracted {
     pub lca: Lca,
     /// Level-ancestor structure over [`Contracted::tree`].
     pub la: LevelAncestor,
-    /// Per-vertex classification: component representative or cut vertex.
-    pub kind: Vec<ContractedKind>,
-    /// Φ child id -> contracted representative vertex of its component.
-    pub rep_of_child: BTreeMap<usize, usize>,
-    /// Original cut-vertex id -> contracted vertex id.
-    pub cut_id: BTreeMap<usize, usize>,
+    /// Number of component representatives; every contracted id at or
+    /// above this is a cut vertex.
+    pub rep_count: usize,
+    /// Cut slot -> original vertex id.
+    pub cut_orig: Vec<usize>,
+    /// Cut slot -> home pointer inside the sub-navigator (`k ≥ 4` only;
+    /// empty for `k = 3`, which connects cut vertices by a clique).
+    pub cut_sub_home: Vec<HomeRef>,
+}
+
+/// Precomputed base-case paths: for a `HandleBaseCase` leaf with `m`
+/// required members, the min-weight (then min-hop) path for every
+/// ordered member pair, flattened. The paths are produced at build time
+/// by the exact BFS + lexicographic Bellman–Ford the queries used to
+/// run, so lookups are bit-identical to the former per-query search.
+#[derive(Debug)]
+pub(crate) struct BaseTable {
+    /// Number of required members (`inner.len()` of the owning node).
+    m: usize,
+    /// `m² + 1` offsets into [`BaseTable::verts`].
+    offsets: Vec<u32>,
+    /// Concatenated paths (original vertex ids).
+    verts: Vec<usize>,
+}
+
+impl BaseTable {
+    /// The path between member slots `su` and `sv`.
+    #[inline]
+    pub fn path(&self, su: u32, sv: u32) -> &[usize] {
+        let cell = su as usize * self.m + sv as usize;
+        &self.verts[self.offsets[cell] as usize..self.offsets[cell + 1] as usize]
+    }
 }
 
 /// One node of the augmented recursion tree Φ.
@@ -47,15 +88,28 @@ pub(crate) struct PhiNode {
     /// Inner vertices (original ids): the cut vertices of this call, or
     /// the required vertices of a base case.
     pub inner: Vec<usize>,
-    /// Whether this node is a `HandleBaseCase` leaf.
-    pub is_base: bool,
+    /// All-pairs path table (`HandleBaseCase` leaves only).
+    pub base: Option<BaseTable>,
     /// Contracted tree (`k ≥ 3`, non-base nodes).
     pub contracted: Option<Contracted>,
     /// Sub-navigator for the `(k-2)`-construction (`k ≥ 4`, non-base).
     pub sub: Option<Box<Navigator>>,
 }
 
+impl PhiNode {
+    /// Whether this node is a `HandleBaseCase` leaf.
+    #[inline]
+    pub fn is_base(&self) -> bool {
+        self.base.is_some()
+    }
+}
+
 /// A complete navigation structure for one same-`k` recursion hierarchy.
+///
+/// Homes are not stored here: the caller passes each endpoint's
+/// [`HomeRef`] into the query (densified at the top level, read from
+/// [`Contracted::cut_sub_home`] when recursing), so sub-navigators carry
+/// no per-vertex tables at all.
 #[derive(Debug)]
 pub(crate) struct Navigator {
     /// Hop budget of this construction level.
@@ -68,23 +122,25 @@ pub(crate) struct Navigator {
     pub phi_lca: Lca,
     /// Level-ancestor structure over Φ.
     pub phi_la: LevelAncestor,
-    /// Required original id -> home Φ node (`u.ptr(Φ).h` in the paper).
-    pub home: BTreeMap<usize, usize>,
-    /// Base-case adjacency (original ids) for the BFS of Algorithm 2.
-    pub base_adj: BTreeMap<usize, Vec<(usize, f64)>>,
+    /// Φ node id -> index of its component within the parent's
+    /// contracted tree (= its representative's contracted id);
+    /// `usize::MAX` for the root.
+    pub comp_of_node: Vec<usize>,
 }
 
 #[derive(Default)]
 struct Builder {
     parents: Vec<Option<usize>>,
+    comp_of_node: Vec<usize>,
     nodes: Vec<PhiNode>,
-    home: BTreeMap<usize, usize>,
-    base_adj: BTreeMap<usize, Vec<(usize, f64)>>,
+    home: HomeMap,
+    base_adj: BaseAdj,
 }
 
 impl Builder {
     fn new_node(&mut self, node: PhiNode) -> usize {
         self.parents.push(None);
+        self.comp_of_node.push(usize::MAX);
         self.nodes.push(node);
         self.nodes.len() - 1
     }
@@ -92,12 +148,14 @@ impl Builder {
 
 /// Builds a navigator (and appends spanner edges) for `tree` with
 /// hop-diameter `k ≥ 2`. Returns `None` when the tree has no required
-/// vertices.
+/// vertices; otherwise also returns the home map over the required
+/// vertices and the base-case adjacency (both build-time artifacts for
+/// the caller to densify or fold into its own tables).
 pub(crate) fn build_navigator(
     tree: LocalTree,
     k: usize,
     edges: &mut Vec<(usize, usize, f64)>,
-) -> Option<Navigator> {
+) -> Option<(Navigator, HomeMap, BaseAdj)> {
     debug_assert!(k >= 2);
     let mut b = Builder::default();
     let root = build_call(&mut b, tree, k, edges)?;
@@ -108,15 +166,18 @@ pub(crate) fn build_navigator(
         .expect("recursion tree parents are consistent");
     let phi_lca = Lca::new(&phi);
     let phi_la = LevelAncestor::new(&phi);
-    Some(Navigator {
-        k,
-        nodes: b.nodes,
-        phi,
-        phi_lca,
-        phi_la,
-        home: b.home,
-        base_adj: b.base_adj,
-    })
+    Some((
+        Navigator {
+            k,
+            nodes: b.nodes,
+            phi,
+            phi_lca,
+            phi_la,
+            comp_of_node: b.comp_of_node,
+        },
+        b.home,
+        b.base_adj,
+    ))
 }
 
 /// One recursive call of `PreprocessTree`. Returns the Φ node id for the
@@ -138,13 +199,15 @@ fn build_call(
     debug_assert!(!cuts.is_empty(), "n_req > ℓ forces at least one cut");
     let beta = b.new_node(PhiNode {
         inner: cuts.iter().map(|&c| t.orig[c]).collect(),
-        is_base: false,
+        base: None,
         contracted: None,
         sub: None,
     });
-    for &c in &cuts {
+    for (i, &c) in cuts.iter().enumerate() {
         if t.required[c] {
-            b.home.insert(t.orig[c], beta);
+            // hopspan:allow(panic-in-lib) -- |CV| ≤ n/2 < 2³² for any feasible input
+            let slot = u32::try_from(i).expect("slot fits u32");
+            b.home.insert(t.orig[c], (beta, slot));
         }
     }
     let mut is_cut = vec![false; t.len()];
@@ -167,6 +230,7 @@ fn build_call(
 
     // E' (lines 6-10): interconnect the cut vertices.
     let mut sub = None;
+    let mut sub_home = HomeMap::new();
     if k >= 3 {
         let mut t_cv = t.clone();
         t_cv.required.copy_from_slice(&is_cut);
@@ -188,19 +252,23 @@ fn build_call(
                 }
             }
         } else {
-            // Recursive (k-2)-construction over the pruned copy.
-            sub = build_navigator(t_cv, k - 2, edges).map(Box::new);
+            // Recursive (k-2)-construction over the pruned copy. The
+            // sub-hierarchy's base adjacency is a build-time artifact
+            // with no query-path consumer, so it is dropped here.
+            if let Some((nav, homes, _)) = build_navigator(t_cv, k - 2, edges) {
+                sub = Some(Box::new(nav));
+                sub_home = homes;
+            }
         }
     }
 
     // Components of T ∖ CV, recursed with the same k (line 14).
     let (comp_id, comps) = t.components(&cuts);
     let comp_count = comps.len();
-    let mut child_of_comp: Vec<Option<usize>> = vec![None; comp_count];
     for (i, comp) in comps.into_iter().enumerate() {
         if let Some(child) = build_call(b, comp, k, edges) {
             b.parents[child] = Some(beta);
-            child_of_comp[i] = Some(child);
+            b.comp_of_node[child] = i;
         }
     }
 
@@ -237,25 +305,23 @@ fn build_call(
             .expect("quotient of a tree is a tree");
         let lca = Lca::new(&ct_tree);
         let la = LevelAncestor::new(&ct_tree);
-        let mut kind = vec![ContractedKind::Rep; p + cuts.len()];
-        let mut cut_id = BTreeMap::new();
-        for (i, &c) in cuts.iter().enumerate() {
-            kind[p + i] = ContractedKind::Cut(t.orig[c]);
-            cut_id.insert(t.orig[c], p + i);
-        }
-        let mut rep_of_child = BTreeMap::new();
-        for (i, child) in child_of_comp.iter().enumerate() {
-            if let Some(ch) = child {
-                rep_of_child.insert(*ch, i);
-            }
-        }
+        let cut_orig: Vec<usize> = cuts.iter().map(|&c| t.orig[c]).collect();
+        let cut_sub_home: Vec<HomeRef> = if sub.is_some() {
+            cut_orig
+                .iter()
+                // hopspan:allow(panic-in-lib) -- every cut is required in the sub-construction, hence homed
+                .map(|o| *sub_home.get(o).expect("cut vertex is homed in sub"))
+                .collect()
+        } else {
+            Vec::new()
+        };
         b.nodes[beta].contracted = Some(Contracted {
             tree: ct_tree,
             lca,
             la,
-            kind,
-            rep_of_child,
-            cut_id,
+            rep_count: p,
+            cut_orig,
+            cut_sub_home,
         });
     }
     b.nodes[beta].sub = sub;
@@ -264,7 +330,8 @@ fn build_call(
 
 /// `HandleBaseCase` (lines 18-23): spanner edges are the (pruned) tree
 /// edges, plus the root shortcut when `n = k + 1` and the root has exactly
-/// two children. Records the base adjacency used by the query BFS.
+/// two children. Records the base adjacency and precomputes the all-pairs
+/// path table consumed by queries.
 fn handle_base_case(
     b: &mut Builder,
     t: &LocalTree,
@@ -283,29 +350,128 @@ fn handle_base_case(
         let (u, v) = (children[t.root][0], children[t.root][1]);
         local_edges.push((t.orig[u], t.orig[v], t.weight[u] + t.weight[v]));
     }
+    // Base cases of one navigator are vertex-disjoint, so this local
+    // adjacency sees exactly the entries (in exactly the push order) the
+    // former navigator-global map held for these vertices.
+    let mut adj: BaseAdj = BaseAdj::new();
     for &(u, v, w) in &local_edges {
         edges.push((u, v, w));
-        b.base_adj.entry(u).or_default().push((v, w));
-        b.base_adj.entry(v).or_default().push((u, w));
+        adj.entry(u).or_default().push((v, w));
+        adj.entry(v).or_default().push((u, w));
     }
     // Ensure every base vertex (even isolated singletons) has an entry.
     for v in 0..t.len() {
-        b.base_adj.entry(t.orig[v]).or_default();
+        adj.entry(t.orig[v]).or_default();
     }
     let inner: Vec<usize> = (0..t.len())
         .filter(|&v| t.required[v])
         .map(|v| t.orig[v])
         .collect();
+    let base = base_table(&inner, &adj);
+    for (u, nbrs) in adj {
+        b.base_adj.entry(u).or_default().extend(nbrs);
+    }
     let node = b.new_node(PhiNode {
         inner: inner.clone(),
-        is_base: true,
+        base: Some(base),
         contracted: None,
         sub: None,
     });
-    for u in inner {
-        b.home.insert(u, node);
+    for (i, u) in inner.into_iter().enumerate() {
+        // hopspan:allow(panic-in-lib) -- base cases have ≤ k + 1 members, far below 2³²
+        let slot = u32::try_from(i).expect("slot fits u32");
+        b.home.insert(u, (node, slot));
     }
     node
+}
+
+/// Precomputes the min-weight (then min-hop) path for every ordered pair
+/// of base members, via the same BFS + lexicographic Bellman–Ford the
+/// query path used to run per pair (`O(k)`-vertex graphs, so the whole
+/// table costs O(k⁴) per base case).
+fn base_table(inner: &[usize], adj: &BaseAdj) -> BaseTable {
+    let m = inner.len();
+    let mut offsets = Vec::with_capacity(m * m + 1);
+    let mut verts = Vec::new();
+    offsets.push(0u32);
+    for &u in inner {
+        for &v in inner {
+            base_path(u, v, adj, &mut verts);
+            // hopspan:allow(panic-in-lib) -- ≤ (k+1)² paths of ≤ 2k+1 vertices each
+            offsets.push(u32::try_from(verts.len()).expect("base table fits u32"));
+        }
+    }
+    BaseTable { m, offsets, verts }
+}
+
+/// Appends the min-weight (then min-hop) path between two vertices of
+/// the same base case to `out`, over the O(k)-vertex base subgraph.
+fn base_path(u: usize, v: usize, base_adj: &BaseAdj, out: &mut Vec<usize>) {
+    // Collect the base component by BFS over the base adjacency.
+    let mut verts = vec![u];
+    let mut index: BTreeMap<usize, usize> = BTreeMap::new();
+    index.insert(u, 0);
+    let mut head = 0;
+    while head < verts.len() {
+        let w = verts[head];
+        head += 1;
+        for &(x, _) in &base_adj[&w] {
+            if let std::collections::btree_map::Entry::Vacant(e) = index.entry(x) {
+                e.insert(verts.len());
+                verts.push(x);
+            }
+        }
+    }
+    let m = verts.len();
+    let src = 0usize;
+    let dst = index[&v];
+    // Lexicographic (weight, hops) Bellman–Ford; graphs here have O(k)
+    // vertices so the O(m²·deg) cost is constant-bounded.
+    let mut dist = vec![(f64::INFINITY, usize::MAX); m];
+    let mut pred = vec![usize::MAX; m];
+    dist[src] = (0.0, 0);
+    for _ in 0..m {
+        let mut changed = false;
+        for a in 0..m {
+            let (da, ha) = dist[a];
+            if !da.is_finite() {
+                continue;
+            }
+            for &(x, w) in &base_adj[&verts[a]] {
+                let bidx = index[&x];
+                let cand = (da + w, ha + 1);
+                if lex_better(cand, dist[bidx]) {
+                    dist[bidx] = cand;
+                    pred[bidx] = a;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    debug_assert!(dist[dst].0.is_finite(), "base case is connected");
+    let at = out.len();
+    out.push(verts[dst]);
+    let mut cur = dst;
+    while cur != src {
+        cur = pred[cur];
+        out.push(verts[cur]);
+    }
+    out[at..].reverse();
+}
+
+/// Epsilon-aware lexicographic comparison of (weight, hops).
+fn lex_better(a: (f64, usize), b: (f64, usize)) -> bool {
+    let eps = 1e-9 * a.0.abs().max(b.0.abs()).max(1.0);
+    if a.0 < b.0 - eps {
+        true
+    } else if a.0 > b.0 + eps {
+        false
+    } else {
+        a.1 < b.1
+    }
 }
 
 /// DFS from `src` that does not expand past `blocked` vertices; returns

@@ -94,6 +94,18 @@ pub struct TreeHopSpanner {
     required: Vec<bool>,
     edges: Vec<(usize, usize, f64)>,
     nav: Navigator,
+    /// Dense home table: vertex -> home Φ node (`usize::MAX` when the
+    /// vertex is Steiner or out of range).
+    home_node: Vec<usize>,
+    /// Dense home slot: vertex -> index within its home node's `inner`.
+    home_slot: Vec<u32>,
+    /// CSR offsets into [`TreeHopSpanner::base_nbr`] (`n + 1` entries).
+    base_off: Vec<u32>,
+    /// Concatenated base-case adjacency lists `(neighbor, weight)`.
+    base_nbr: Vec<(usize, f64)>,
+    /// Whether a vertex belongs to a base case (distinguishes an empty
+    /// adjacency from "not a base vertex").
+    base_member: Vec<bool>,
 }
 
 impl TreeHopSpanner {
@@ -135,7 +147,7 @@ impl TreeHopSpanner {
             root: tree.root(),
         };
         let mut edges = Vec::new();
-        let nav = construct::build_navigator(local, k, &mut edges)
+        let (nav, home, base_adj) = construct::build_navigator(local, k, &mut edges)
             .ok_or(TreeSpannerError::NoRequiredVertices)?;
         // Deduplicate edges that can be produced by several recursion
         // levels (identical weight either way); BTreeMap iteration
@@ -146,12 +158,37 @@ impl TreeHopSpanner {
         }
         let edges: Vec<(usize, usize, f64)> =
             seen.into_iter().map(|((u, v), w)| (u, v, w)).collect();
+        // Densify the build-time maps into flat per-vertex tables.
+        let n = tree.len();
+        let mut home_node = vec![usize::MAX; n];
+        let mut home_slot = vec![0u32; n];
+        for (v, (h, s)) in home {
+            home_node[v] = h;
+            home_slot[v] = s;
+        }
+        let mut base_off = Vec::with_capacity(n + 1);
+        let mut base_nbr = Vec::new();
+        let mut base_member = vec![false; n];
+        base_off.push(0u32);
+        for v in 0..n {
+            if let Some(nbrs) = base_adj.get(&v) {
+                base_member[v] = true;
+                base_nbr.extend_from_slice(nbrs);
+            }
+            // hopspan:allow(panic-in-lib) -- ≤ 2·edge_count entries, far below 2³² for feasible n
+            base_off.push(u32::try_from(base_nbr.len()).expect("adjacency fits u32"));
+        }
         Ok(TreeHopSpanner {
             k,
-            n: tree.len(),
+            n,
             required: required.to_vec(),
             edges,
             nav,
+            home_node,
+            home_slot,
+            base_off,
+            base_nbr,
+            base_member,
         })
     }
 
@@ -210,13 +247,46 @@ impl TreeHopSpanner {
     /// Returns [`TreeSpannerError::NotRequired`] if an endpoint is out of
     /// range or not required.
     pub fn find_path(&self, u: usize, v: usize) -> Result<Vec<usize>, TreeSpannerError> {
+        let mut out = Vec::with_capacity(self.k + 1);
+        self.find_path_into(u, v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Buffer-reuse variant of [`TreeHopSpanner::find_path`]: writes the
+    /// path into `out` (cleared first) instead of allocating. With a
+    /// warmed buffer the query performs no heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeSpannerError::NotRequired`] if an endpoint is out of
+    /// range or not required; `out` is left cleared in that case.
+    pub fn find_path_into(
+        &self,
+        u: usize,
+        v: usize,
+        out: &mut Vec<usize>,
+    ) -> Result<(), TreeSpannerError> {
+        out.clear();
         if !self.is_required(u) {
             return Err(TreeSpannerError::NotRequired { vertex: u });
         }
         if !self.is_required(v) {
             return Err(TreeSpannerError::NotRequired { vertex: v });
         }
-        Ok(self.nav.find_path(u, v))
+        // Required vertices always receive a home during construction.
+        let hu = navigate::Homed {
+            vertex: u,
+            node: self.home_node[u],
+            slot: self.home_slot[u],
+        };
+        let hv = navigate::Homed {
+            vertex: v,
+            node: self.home_node[v],
+            slot: self.home_slot[v],
+        };
+        debug_assert!(hu.node != usize::MAX && hv.node != usize::MAX);
+        self.nav.find_path_into(hu, hv, out);
+        Ok(())
     }
 
     /// Depth of the augmented recursion tree Φ (Observation 3.1 bounds
@@ -237,7 +307,10 @@ impl TreeHopSpanner {
     /// (which only need `k = 2`, where Φ has no contracted trees or
     /// sub-hierarchies).
     pub fn home_node(&self, v: usize) -> Option<usize> {
-        self.nav.home.get(&v).copied()
+        match self.home_node.get(v) {
+            Some(&h) if h != usize::MAX => Some(h),
+            _ => None,
+        }
     }
 
     /// Parent of a Φ node (None for the root).
@@ -252,7 +325,7 @@ impl TreeHopSpanner {
 
     /// Whether a Φ node is a `HandleBaseCase` leaf.
     pub fn phi_is_base(&self, node: usize) -> bool {
-        self.nav.nodes[node].is_base
+        self.nav.nodes[node].is_base()
     }
 
     /// The inner vertices of a Φ node: its cut vertices (a single one for
@@ -269,7 +342,10 @@ impl TreeHopSpanner {
     /// The base-case spanner adjacency of vertex `v` (present for
     /// vertices that belong to a base case), as `(neighbor, weight)`.
     pub fn base_neighbors(&self, v: usize) -> Option<&[(usize, f64)]> {
-        self.nav.base_adj.get(&v).map(|x| x.as_slice())
+        if !self.base_member.get(v).copied().unwrap_or(false) {
+            return None;
+        }
+        Some(&self.base_nbr[self.base_off[v] as usize..self.base_off[v + 1] as usize])
     }
 
     /// Total number of recursion-tree nodes, including the nested `(k-2)`

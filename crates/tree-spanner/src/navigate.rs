@@ -1,135 +1,119 @@
 //! `FindPath` (Algorithm 2): O(k)-time queries for k-hop 1-spanner paths.
+//!
+//! The query path is allocation-free and map-free: every table consulted
+//! here is a dense `Vec` built by `construct` (contracted ids, component
+//! indices, precomputed base-case paths), and the output is appended to
+//! a caller-owned buffer. Each endpoint's home pointer is supplied by
+//! the caller — densified at the top level, read from
+//! [`Contracted::cut_sub_home`] when recursing into a sub-navigator.
 
-use std::collections::BTreeMap;
+use crate::construct::{Contracted, Navigator};
 
-use crate::construct::{Contracted, ContractedKind, Navigator};
+/// A query endpoint with its home pointer: the original vertex id, its
+/// home Φ node and its home slot within that node.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Homed {
+    /// Original vertex id.
+    pub vertex: usize,
+    /// Home Φ node index.
+    pub node: usize,
+    /// Slot of the vertex within its home node.
+    pub slot: u32,
+}
 
 impl Navigator {
-    /// Returns a 1-spanner path (original vertex ids, endpoints included)
-    /// between required vertices `u` and `v` with at most `k` hops.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u` or `v` is not a required vertex of this navigator
-    /// (the public wrapper validates first).
-    pub(crate) fn find_path(&self, u: usize, v: usize) -> Vec<usize> {
-        if u == v {
-            return vec![u];
+    /// Appends a 1-spanner path (original vertex ids, endpoints
+    /// included) between required vertices `u` and `v` with at most `k`
+    /// hops to `out`, which is cleared first.
+    pub(crate) fn find_path_into(&self, u: Homed, v: Homed, out: &mut Vec<usize>) {
+        out.clear();
+        self.find_path_inner(u, v, out);
+        // A single final pass: consecutive-duplicate removal distributes
+        // over concatenation, so deduping once here is exactly the
+        // former per-recursion-level dedup.
+        out.dedup();
+    }
+
+    /// The recursive arm: appends the (not yet deduplicated) path.
+    fn find_path_inner(&self, u: Homed, v: Homed, out: &mut Vec<usize>) {
+        if u.vertex == v.vertex {
+            out.push(u.vertex);
+            return;
         }
-        // hopspan:allow(panic-in-lib) -- documented # Panics: the public wrapper validates required vertices
-        let hu = *self.home.get(&u).expect("u must be required");
-        // hopspan:allow(panic-in-lib) -- documented # Panics: the public wrapper validates required vertices
-        let hv = *self.home.get(&v).expect("v must be required");
+        let node_u = &self.nodes[u.node];
         // Base case: both endpoints in the same HandleBaseCase leaf.
-        if hu == hv && self.nodes[hu].is_base {
-            return self.base_path(u, v);
+        if u.node == v.node {
+            if let Some(base) = &node_u.base {
+                out.extend_from_slice(base.path(u.slot, v.slot));
+                return;
+            }
         }
-        let beta = self.phi_lca.lca(hu, hv);
+        let beta = self.phi_lca.lca(u.node, v.node);
         let node = &self.nodes[beta];
         if self.k == 2 {
             // β corresponds to a single cut vertex (|CV| = 1 for k = 2).
-            return dedup(vec![u, node.inner[0], v]);
+            out.push(u.vertex);
+            out.push(node.inner[0]);
+            out.push(v.vertex);
+            return;
         }
         let ct = node
             .contracted
             .as_ref()
             // hopspan:allow(panic-in-lib) -- build_call always attaches a contracted tree for k ≥ 3
             .expect("non-base node with k >= 3 has a contracted tree");
-        let u_cv = self.locate_contracted(u, hu, beta, ct);
-        let v_cv = self.locate_contracted(v, hv, beta, ct);
+        let u_cv = self.locate_contracted(u.node, u.slot, beta, ct);
+        let v_cv = self.locate_contracted(v.node, v.slot, beta, ct);
         debug_assert_ne!(
             u_cv, v_cv,
             "distinct homes map to distinct quotient vertices"
         );
         let c = ct.lca.lca(u_cv, v_cv);
-        let x_cv = find_cut(hu, beta, u_cv, v_cv, ct, c);
-        let y_cv = find_cut(hv, beta, v_cv, u_cv, ct, c);
-        let x = cut_orig(ct, x_cv);
-        let y = cut_orig(ct, y_cv);
+        let x_cv = find_cut(u.node, beta, u_cv, v_cv, ct, c);
+        let y_cv = find_cut(v.node, beta, v_cv, u_cv, ct, c);
+        let x = ct.cut_orig[x_cv - ct.rep_count];
+        let y = ct.cut_orig[y_cv - ct.rep_count];
         if self.k == 3 {
-            dedup(vec![u, x, y, v])
+            out.push(u.vertex);
+            out.push(x);
+            out.push(y);
+            out.push(v.vertex);
         } else {
             let sub = node
                 .sub
                 .as_ref()
                 // hopspan:allow(panic-in-lib) -- build_call always attaches a sub-navigator for k ≥ 4
                 .expect("non-base node with k >= 4 has a sub-navigator");
-            let mut path = Vec::with_capacity(self.k + 1);
-            path.push(u);
-            path.extend(sub.find_path(x, y));
-            path.push(v);
-            dedup(path)
+            let (hx, sx) = ct.cut_sub_home[x_cv - ct.rep_count];
+            let (hy, sy) = ct.cut_sub_home[y_cv - ct.rep_count];
+            out.push(u.vertex);
+            sub.find_path_inner(
+                Homed {
+                    vertex: x,
+                    node: hx,
+                    slot: sx,
+                },
+                Homed {
+                    vertex: y,
+                    node: hy,
+                    slot: sy,
+                },
+                out,
+            );
+            out.push(v.vertex);
         }
     }
 
     /// `LocateContracted` (Algorithm 2): the vertex of 𝒯_β corresponding
     /// to `u` — its cut vertex if `u` is an inner vertex of β, otherwise
     /// the representative of the component containing `u`.
-    fn locate_contracted(&self, u: usize, hu: usize, beta: usize, ct: &Contracted) -> usize {
+    fn locate_contracted(&self, hu: usize, su: u32, beta: usize, ct: &Contracted) -> usize {
         if hu == beta {
-            ct.cut_id[&u]
+            ct.rep_count + su as usize
         } else {
             let child = self.phi_la.level_ancestor(hu, self.phi.depth(beta) + 1);
-            ct.rep_of_child[&child]
+            self.comp_of_node[child]
         }
-    }
-
-    /// Min-weight (then min-hop) path between two vertices of the same
-    /// base case, over the O(k)-vertex base subgraph.
-    fn base_path(&self, u: usize, v: usize) -> Vec<usize> {
-        // Collect the base component by BFS over the base adjacency.
-        let mut verts = vec![u];
-        let mut index: BTreeMap<usize, usize> = BTreeMap::new();
-        index.insert(u, 0);
-        let mut head = 0;
-        while head < verts.len() {
-            let w = verts[head];
-            head += 1;
-            for &(x, _) in &self.base_adj[&w] {
-                if let std::collections::btree_map::Entry::Vacant(e) = index.entry(x) {
-                    e.insert(verts.len());
-                    verts.push(x);
-                }
-            }
-        }
-        let m = verts.len();
-        let src = 0usize;
-        let dst = index[&v];
-        // Lexicographic (weight, hops) Bellman–Ford; graphs here have O(k)
-        // vertices so the O(m²·deg) cost is constant-bounded.
-        let mut dist = vec![(f64::INFINITY, usize::MAX); m];
-        let mut pred = vec![usize::MAX; m];
-        dist[src] = (0.0, 0);
-        for _ in 0..m {
-            let mut changed = false;
-            for a in 0..m {
-                let (da, ha) = dist[a];
-                if !da.is_finite() {
-                    continue;
-                }
-                for &(x, w) in &self.base_adj[&verts[a]] {
-                    let bidx = index[&x];
-                    let cand = (da + w, ha + 1);
-                    if lex_better(cand, dist[bidx]) {
-                        dist[bidx] = cand;
-                        pred[bidx] = a;
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                break;
-            }
-        }
-        debug_assert!(dist[dst].0.is_finite(), "base case is connected");
-        let mut path = vec![verts[dst]];
-        let mut cur = dst;
-        while cur != src {
-            cur = pred[cur];
-            path.push(verts[cur]);
-        }
-        path.reverse();
-        path
     }
 }
 
@@ -146,34 +130,8 @@ fn find_cut(hu: usize, beta: usize, u_cv: usize, v_cv: usize, ct: &Contracted, c
         ct.tree.parent(u_cv).expect("non-LCA vertex has a parent")
     };
     debug_assert!(
-        matches!(ct.kind[first], ContractedKind::Cut(_)),
+        first >= ct.rep_count,
         "representatives are only adjacent to cut vertices"
     );
     first
-}
-
-fn cut_orig(ct: &Contracted, cv: usize) -> usize {
-    match ct.kind[cv] {
-        ContractedKind::Cut(orig) => orig,
-        // hopspan:allow(panic-in-lib) -- FindCut lands on cut vertices by Lemma 2.4's invariant
-        ContractedKind::Rep => unreachable!("FindCut returns cut vertices"),
-    }
-}
-
-/// Epsilon-aware lexicographic comparison of (weight, hops).
-fn lex_better(a: (f64, usize), b: (f64, usize)) -> bool {
-    let eps = 1e-9 * a.0.abs().max(b.0.abs()).max(1.0);
-    if a.0 < b.0 - eps {
-        true
-    } else if a.0 > b.0 + eps {
-        false
-    } else {
-        a.1 < b.1
-    }
-}
-
-/// Removes consecutive duplicate vertices (the paper's "braces" notation).
-fn dedup(mut path: Vec<usize>) -> Vec<usize> {
-    path.dedup();
-    path
 }

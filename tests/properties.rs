@@ -181,4 +181,61 @@ proptest! {
             prop_assert!((w - want).abs() <= 1e-6 * want.max(1.0));
         }
     }
+
+    /// The buffer-reuse query APIs are bit-identical to their allocating
+    /// wrappers: `find_path_into` emits exactly `find_path`'s path on
+    /// tree spanners, even when the buffer carries a stale previous
+    /// answer.
+    #[test]
+    fn tree_find_path_into_matches_find_path(tree in tree_strategy(100), k in 2usize..6) {
+        let sp = TreeHopSpanner::new(&tree, k).unwrap();
+        let n = tree.len();
+        let mut buf = Vec::new();
+        for step in 0..n.min(20) {
+            let (u, v) = ((step * 13 + 2) % n, (step * 5) % n);
+            let want = sp.find_path(u, v).unwrap();
+            sp.find_path_into(u, v, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &want, "({}, {}) diverged", u, v);
+        }
+    }
+
+    /// Same contract on the metric navigator (Theorem 1.2) and on the
+    /// fault-tolerant spanner (Theorem 4.2).
+    #[test]
+    fn metric_find_path_into_matches_find_path(m in points_strategy(18)) {
+        let nav = MetricNavigator::doubling(&m, 0.5, 3).unwrap();
+        // f must leave at least two live points (f ≤ n - 2).
+        let f = 1usize.min(m.len().saturating_sub(2));
+        let ft = FaultTolerantSpanner::new(&m, 0.5, f, 2).unwrap();
+        let faulty = std::collections::HashSet::new();
+        let n = m.len();
+        let (mut buf, mut scratch) = (Vec::new(), Vec::new());
+        for u in 0..n {
+            let v = (u * 7 + 1) % n;
+            let want = nav.find_path(u, v).unwrap();
+            nav.find_path_into(u, v, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &want, "nav ({}, {}) diverged", u, v);
+            let want = ft.find_path_avoiding(&m, u, v, &faulty).unwrap();
+            ft.find_path_avoiding_into(&m, u, v, &faulty, &mut buf, &mut scratch).unwrap();
+            prop_assert_eq!(&buf, &want, "ft ({}, {}) diverged", u, v);
+        }
+    }
+
+    /// Same contract on tree routing: `route_into` reproduces `route`'s
+    /// full trace (path, header bits, decision steps).
+    #[test]
+    fn route_into_matches_route(tree in tree_strategy(60), seed in 0u64..1000) {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let rs = TreeRoutingScheme::new(&tree, &mut rng).unwrap();
+        let n = tree.len();
+        let mut trace = hopspan::routing::RouteTrace::default();
+        for u in 0..n.min(12) {
+            let v = (u * 11 + 3) % n;
+            let want = rs.route(u, v).unwrap();
+            rs.route_into(u, v, &mut trace).unwrap();
+            prop_assert_eq!(&trace.path, &want.path);
+            prop_assert_eq!(trace.max_header_bits, want.max_header_bits);
+            prop_assert_eq!(trace.decision_steps, want.decision_steps);
+        }
+    }
 }

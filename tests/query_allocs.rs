@@ -1,0 +1,171 @@
+//! Zero-allocation guarantee of the buffer-reuse query APIs.
+//!
+//! Installs a counting global allocator (per-thread counters, so the
+//! libtest harness threads cannot pollute the measurement) and asserts
+//! that after one warm-up sweep, `find_path_into` /
+//! `find_path_avoiding_into` / `route_into` / `route_avoiding_into`
+//! perform **zero** heap allocations per query. The allocating wrappers
+//! (`find_path`, `route`) are exercised alongside as a sanity check that
+//! the counter itself works.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::collections::HashSet;
+
+use hopspan::core::{FaultTolerantSpanner, MetricNavigator};
+use hopspan::metric::gen;
+use hopspan::routing::{FtMetricRoutingScheme, MetricRoutingScheme, RouteTrace, TreeRoutingScheme};
+use hopspan::tree_spanner::TreeHopSpanner;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+thread_local! {
+    /// Allocation events on this thread (alloc + realloc, not dealloc).
+    static ALLOC_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// System allocator wrapper counting allocation events per thread.
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is a const-initialized
+// thread-local `Cell` update and cannot re-enter the allocator
+// (`try_with` tolerates TLS teardown).
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_EVENTS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOC_EVENTS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn alloc_events() -> u64 {
+    ALLOC_EVENTS.with(|c| c.get())
+}
+
+/// Runs `f` over every ordered pair of `0..n` and returns the number of
+/// allocation events the sweep performed on this thread.
+fn count_sweep(n: usize, mut f: impl FnMut(usize, usize)) -> u64 {
+    let before = alloc_events();
+    for u in 0..n {
+        for v in 0..n {
+            f(u, v);
+        }
+    }
+    alloc_events() - before
+}
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+#[test]
+fn query_into_apis_do_not_allocate_after_warmup() {
+    // --- Theorem 1.1: tree spanner, k = 4 (recursive sub-navigators).
+    let edges: Vec<(usize, usize, f64)> = (1..96)
+        .map(|v| ((v * 7 + 3) % v, v, 1.0 + (v % 5) as f64))
+        .collect();
+    let tree = hopspan::treealg::RootedTree::from_edges(96, 0, &edges).unwrap();
+    let sp = TreeHopSpanner::new(&tree, 4).unwrap();
+    let mut buf = Vec::new();
+    let warm = count_sweep(96, |u, v| {
+        sp.find_path_into(u, v, &mut buf).unwrap();
+    });
+    let cold = count_sweep(96, |u, v| {
+        sp.find_path_into(u, v, &mut buf).unwrap();
+    });
+    assert_eq!(cold, 0, "tree find_path_into allocated (warm-up: {warm})");
+    let alloc_api = count_sweep(96, |u, v| {
+        std::hint::black_box(sp.find_path(u, v).unwrap());
+    });
+    assert!(alloc_api > 0, "counter failed to observe find_path allocs");
+
+    // --- Theorem 1.2: metric navigator over a Ramsey cover (home-tree
+    // selection) on uniform points.
+    let m = gen::uniform_points(48, 2, &mut rng(71));
+    let (nav, _gamma) = MetricNavigator::general_budgeted(&m, 8, 3, &mut rng(72)).unwrap();
+    count_sweep(48, |u, v| {
+        nav.find_path_into(u, v, &mut buf).unwrap();
+    });
+    let cold = count_sweep(48, |u, v| {
+        nav.find_path_into(u, v, &mut buf).unwrap();
+    });
+    assert_eq!(cold, 0, "metric find_path_into allocated");
+
+    // --- Doubling cover (min-distance tree selection scan).
+    let (nav_d, _stats) = MetricNavigator::doubling_with_stats(&m, 0.5, 2, Some(1)).unwrap();
+    count_sweep(48, |u, v| {
+        nav_d.find_path_into(u, v, &mut buf).unwrap();
+    });
+    let cold = count_sweep(48, |u, v| {
+        nav_d.find_path_into(u, v, &mut buf).unwrap();
+    });
+    assert_eq!(cold, 0, "doubling find_path_into allocated");
+
+    // --- Theorem 4.1: fault-tolerant spanner, one faulty point.
+    let ft = FaultTolerantSpanner::new(&m, 0.5, 1, 2).unwrap();
+    let faulty: HashSet<usize> = [7usize].into_iter().collect();
+    let mut scratch = Vec::new();
+    let ok = |u: usize, v: usize| u != 7 && v != 7;
+    count_sweep(48, |u, v| {
+        if ok(u, v) {
+            ft.find_path_avoiding_into(&m, u, v, &faulty, &mut buf, &mut scratch)
+                .unwrap();
+        }
+    });
+    let cold = count_sweep(48, |u, v| {
+        if ok(u, v) {
+            ft.find_path_avoiding_into(&m, u, v, &faulty, &mut buf, &mut scratch)
+                .unwrap();
+        }
+    });
+    assert_eq!(cold, 0, "find_path_avoiding_into allocated");
+
+    // --- Theorem 5.1: tree routing (k = 2 overlay).
+    let trs = TreeRoutingScheme::new(&tree, &mut rng(73)).unwrap();
+    let mut trace = RouteTrace::default();
+    count_sweep(96, |u, v| {
+        trs.route_into(u, v, &mut trace).unwrap();
+    });
+    let cold = count_sweep(96, |u, v| {
+        trs.route_into(u, v, &mut trace).unwrap();
+    });
+    assert_eq!(cold, 0, "tree route_into allocated");
+
+    // --- Theorem 1.3: metric routing over a Ramsey cover.
+    let rs = MetricRoutingScheme::general(&m, 2, &mut rng(74)).unwrap();
+    count_sweep(48, |u, v| {
+        rs.route_into(u, v, &mut trace).unwrap();
+    });
+    let cold = count_sweep(48, |u, v| {
+        rs.route_into(u, v, &mut trace).unwrap();
+    });
+    assert_eq!(cold, 0, "metric route_into allocated");
+
+    // --- Theorem 5.2: fault-tolerant routing with an order scratch.
+    let ftr = FtMetricRoutingScheme::new(&m, 0.5, 1, &mut rng(75)).unwrap();
+    let mut order = Vec::new();
+    count_sweep(48, |u, v| {
+        if ok(u, v) {
+            ftr.route_avoiding_into(u, v, &faulty, &mut trace, &mut order)
+                .unwrap();
+        }
+    });
+    let cold = count_sweep(48, |u, v| {
+        if ok(u, v) {
+            ftr.route_avoiding_into(u, v, &faulty, &mut trace, &mut order)
+                .unwrap();
+        }
+    });
+    assert_eq!(cold, 0, "route_avoiding_into allocated");
+}
