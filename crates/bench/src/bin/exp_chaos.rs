@@ -1,0 +1,8 @@
+//! E23 runner: the deterministic chaos campaign, written to
+//! `BENCH_chaos.json`. Smoke variant: `HOPSPAN_E23_SMOKE=1` (still
+//! ≥ 200 scenarios).
+
+fn main() {
+    println!("## E23: Chaos campaign: fault injection, degradation, panic containment\n");
+    println!("{}", hopspan_bench::experiments::e23_chaos());
+}

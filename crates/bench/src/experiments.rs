@@ -124,6 +124,11 @@ pub fn all() -> Vec<Experiment> {
             "Query throughput: dense layouts + zero-allocation queries",
             e22_query_throughput,
         ),
+        (
+            "E23",
+            "Chaos campaign: fault injection, degradation, panic containment",
+            e23_chaos,
+        ),
     ]
 }
 
@@ -1652,5 +1657,275 @@ pub fn e22_query_throughput() -> String {
          selection scan), random tree metrics (k = 4). Latencies are \
          per-query wall clock; allocs/q requires the counting allocator \
          of `exp_query`. {headline}. {json_note}\n\n{table}\n",
+    )
+}
+
+// --------------------------------------------------------------- E23
+
+/// Aggregated fault-scenario cell of the E23 chaos campaign: one
+/// (fault budget, adversary strategy) pair.
+struct E23Group {
+    f: usize,
+    strategy: String,
+    in_total: usize,
+    in_full: usize,
+    in_max_stretch: f64,
+    over_total: usize,
+    over_typed: usize,
+    over_degraded: usize,
+    degraded_max_stretch: f64,
+}
+
+fn e23_fault_groups(report: &hopspan_chaos::CampaignReport) -> Vec<E23Group> {
+    use hopspan_chaos::{OutcomeKind, ScenarioKind};
+    let mut groups: Vec<E23Group> = Vec::new();
+    for s in &report.scenarios {
+        let over = match s.kind {
+            ScenarioKind::InContractFaults => false,
+            ScenarioKind::OverBudgetFaults => true,
+            _ => continue,
+        };
+        let g = match groups
+            .iter_mut()
+            .find(|g| g.f == s.f_budget && g.strategy == s.tag)
+        {
+            Some(g) => g,
+            None => {
+                groups.push(E23Group {
+                    f: s.f_budget,
+                    strategy: s.tag.to_string(),
+                    in_total: 0,
+                    in_full: 0,
+                    in_max_stretch: 1.0,
+                    over_total: 0,
+                    over_typed: 0,
+                    over_degraded: 0,
+                    degraded_max_stretch: 1.0,
+                });
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        if over {
+            g.over_total += 1;
+            match s.outcome {
+                OutcomeKind::TypedError => g.over_typed += 1,
+                OutcomeKind::Degraded => {
+                    g.over_degraded += 1;
+                    g.degraded_max_stretch = g.degraded_max_stretch.max(s.max_stretch);
+                }
+                _ => {}
+            }
+        } else {
+            g.in_total += 1;
+            if s.outcome == OutcomeKind::Full {
+                g.in_full += 1;
+            }
+            g.in_max_stretch = g.in_max_stretch.max(s.max_stretch);
+        }
+    }
+    groups.sort_by(|a, b| a.f.cmp(&b.f).then(a.strategy.cmp(&b.strategy)));
+    groups
+}
+
+/// Per-tag (outcome kind) counts for the corrupt-metric and
+/// panic-injection families.
+fn e23_tag_counts(
+    report: &hopspan_chaos::CampaignReport,
+    kind: hopspan_chaos::ScenarioKind,
+) -> Vec<(String, usize, usize, usize)> {
+    use hopspan_chaos::OutcomeKind;
+    let mut rows: Vec<(String, usize, usize, usize)> = Vec::new();
+    for s in report.scenarios.iter().filter(|s| s.kind == kind) {
+        let row = match rows.iter_mut().find(|r| r.0 == s.tag) {
+            Some(r) => r,
+            None => {
+                rows.push((s.tag.to_string(), 0, 0, 0));
+                rows.last_mut().expect("just pushed")
+            }
+        };
+        row.3 += 1;
+        match s.outcome {
+            OutcomeKind::TypedError => row.1 += 1,
+            OutcomeKind::Full | OutcomeKind::Degraded => row.2 += 1,
+            _ => {}
+        }
+    }
+    rows
+}
+
+fn e23_json(
+    report: &hopspan_chaos::CampaignReport,
+    cfg: &hopspan_chaos::CampaignConfig,
+    smoke: bool,
+    groups: &[E23Group],
+) -> String {
+    use hopspan_chaos::ScenarioKind;
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E23\",\n");
+    out.push_str(&format!("  \"seed\": \"{:#x}\",\n", cfg.seed));
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str(&format!(
+        "  \"scenarios\": {},\n  \"escaped_panics\": {},\n  \
+         \"violations\": {},\n  \"survival_rate\": {:.4},\n  \
+         \"max_in_contract_stretch\": {:.6},\n  \
+         \"stretch_bound\": {:.2},\n  \"degraded_hash\": \"{:#018x}\",\n",
+        report.scenarios.len(),
+        report.escaped_panics,
+        report.violations().len(),
+        report.survival_rate(),
+        report.max_in_contract_stretch(),
+        cfg.stretch_bound,
+        report.degraded_hash(),
+    ));
+    out.push_str("  \"fault_groups\": [\n");
+    for (i, g) in groups.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"f\": {}, \"strategy\": \"{}\", \"in_full\": {}, \
+             \"in_total\": {}, \"in_max_stretch\": {:.6}, \
+             \"over_typed\": {}, \"over_degraded\": {}, \
+             \"over_total\": {}, \"degraded_max_stretch\": {:.6}}}{}\n",
+            g.f,
+            g.strategy,
+            g.in_full,
+            g.in_total,
+            g.in_max_stretch,
+            g.over_typed,
+            g.over_degraded,
+            g.over_total,
+            g.degraded_max_stretch,
+            if i + 1 < groups.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    for (key, kind) in [
+        ("corrupt_metrics", ScenarioKind::CorruptMetric),
+        ("panic_injection", ScenarioKind::PanicInjection),
+    ] {
+        let rows = e23_tag_counts(report, kind);
+        out.push_str(&format!("  \"{key}\": [\n"));
+        for (i, (tag, typed, survived, total)) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"tag\": \"{tag}\", \"typed_errors\": {typed}, \
+                 \"survived\": {survived}, \"total\": {total}}}{}\n",
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(if key == "panic_injection" {
+            "  ]\n"
+        } else {
+            "  ],\n"
+        });
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// E23: the chaos campaign — deterministic fault injection across the
+/// query stack (adversarial fault sets, corrupted metrics, injected
+/// worker panics). Writes `BENCH_chaos.json` to the workspace root
+/// (override with `HOPSPAN_BENCH_OUT`). The smoke variant
+/// (`HOPSPAN_E23_SMOKE=1`) still runs ≥ 200 scenarios.
+pub fn e23_chaos() -> String {
+    use hopspan_chaos::{run_campaign, CampaignConfig, ScenarioKind};
+    let smoke = std::env::var("HOPSPAN_E23_SMOKE").is_ok();
+    let cfg = if smoke {
+        CampaignConfig::smoke(crate::SEED)
+    } else {
+        CampaignConfig {
+            seed: crate::SEED,
+            ..CampaignConfig::default()
+        }
+    };
+    let report = run_campaign(&cfg);
+    let groups = e23_fault_groups(&report);
+
+    let json = e23_json(&report, &cfg, smoke, &groups);
+    let out_path = std::env::var("HOPSPAN_BENCH_OUT").map_or_else(
+        |_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench sits two levels below the workspace root")
+                .join("BENCH_chaos.json")
+        },
+        std::path::PathBuf::from,
+    );
+    let json_note = match std::fs::write(&out_path, &json) {
+        Ok(()) => {
+            let shown = out_path.file_name().map_or_else(
+                || out_path.display().to_string(),
+                |f| f.to_string_lossy().into_owned(),
+            );
+            format!("Machine-readable results: `{shown}`.")
+        }
+        Err(e) => format!("(could not write {}: {e})", out_path.display()),
+    };
+
+    let fault_rows: Vec<Vec<String>> = groups
+        .iter()
+        .map(|g| {
+            vec![
+                g.f.to_string(),
+                g.strategy.clone(),
+                format!("{}/{}", g.in_full, g.in_total),
+                format!("{:.4}", g.in_max_stretch),
+                format!("{}/{}", g.over_typed, g.over_total),
+                format!("{}/{}", g.over_degraded, g.over_total),
+                format!("{:.4}", g.degraded_max_stretch),
+            ]
+        })
+        .collect();
+    let fault_table = md_table(
+        &[
+            "f",
+            "adversary",
+            "in-contract full",
+            "in max stretch",
+            "over-budget typed",
+            "over-budget degraded",
+            "degraded max stretch",
+        ],
+        &fault_rows,
+    );
+
+    let mut family_rows = Vec::new();
+    for (family, kind) in [
+        ("corrupt metric", ScenarioKind::CorruptMetric),
+        ("panic injection", ScenarioKind::PanicInjection),
+    ] {
+        for (tag, typed, survived, total) in e23_tag_counts(&report, kind) {
+            family_rows.push(vec![
+                family.to_string(),
+                tag,
+                typed.to_string(),
+                survived.to_string(),
+                total.to_string(),
+            ]);
+        }
+    }
+    let family_table = md_table(
+        &["family", "tag", "typed errors", "survived", "total"],
+        &family_rows,
+    );
+
+    let violations = report.violations();
+    format!(
+        "Chaos campaign over the full query stack, seeded and \
+         bit-replayable: {} scenarios, {} escaped panics, {} contract \
+         violations. In-contract queries stayed within the §6 bound \
+         (max stretch {:.4} ≤ {:.1}); over-budget fault sets resolved \
+         as typed `TooManyFaults` under `Strict` and as deterministic \
+         `Degraded` deliveries under `BestEffort` (golden hash \
+         {:#018x}); corrupted metrics were rejected typed wherever the \
+         damage is observable; injected worker panics never escaped \
+         the pipeline. Survival rate over fault scenarios: {:.1}%. \
+         {json_note}\n\n{fault_table}\n{family_table}\n",
+        report.scenarios.len(),
+        report.escaped_panics,
+        violations.len(),
+        report.max_in_contract_stretch(),
+        cfg.stretch_bound,
+        report.degraded_hash(),
+        report.survival_rate() * 100.0,
     )
 }

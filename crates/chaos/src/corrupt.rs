@@ -1,0 +1,149 @@
+//! Corrupted-metric generators.
+//!
+//! Each [`CorruptKind`] starts from a clean random Euclidean distance
+//! matrix and injects one class of damage. The campaign then feeds the
+//! result to every constructor that accepts distances and demands a
+//! typed rejection (or, for the merely-hazardous kinds, a successful
+//! but finite build).
+
+use hopspan_metric::Metric;
+use rand::rngs::Pcg32;
+use rand::Rng;
+
+/// One class of metric damage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CorruptKind {
+    /// A NaN distance entry (mirrored).
+    Nan,
+    /// An infinite distance entry (mirrored).
+    Infinite,
+    /// A negative distance entry (mirrored).
+    Negative,
+    /// `d(i, j) != d(j, i)` for one pair.
+    Asymmetric,
+    /// One distance grossly larger than any two-leg detour.
+    TriangleViolation,
+    /// Two points collapsed to (near-)zero distance.
+    NearDuplicate,
+}
+
+impl CorruptKind {
+    /// All kinds, in campaign order.
+    pub const ALL: [CorruptKind; 6] = [
+        CorruptKind::Nan,
+        CorruptKind::Infinite,
+        CorruptKind::Negative,
+        CorruptKind::Asymmetric,
+        CorruptKind::TriangleViolation,
+        CorruptKind::NearDuplicate,
+    ];
+
+    /// Short stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CorruptKind::Nan => "nan",
+            CorruptKind::Infinite => "infinite",
+            CorruptKind::Negative => "negative",
+            CorruptKind::Asymmetric => "asymmetric",
+            CorruptKind::TriangleViolation => "triangle",
+            CorruptKind::NearDuplicate => "near-duplicate",
+        }
+    }
+
+    /// Whether this damage must be *rejected* by the matrix-level
+    /// constructors ([`hopspan_metric::MatrixMetric::new`] and the
+    /// audit), vs. merely flagged as hazardous.
+    pub fn must_reject(&self) -> bool {
+        !matches!(
+            self,
+            CorruptKind::NearDuplicate | CorruptKind::TriangleViolation
+        )
+    }
+
+    /// Whether a structure constructor taking `&M: Metric` can even
+    /// *observe* this damage. Asymmetry is invisible there by design:
+    /// the [`Metric`] contract requires symmetric implementations, and
+    /// constructors read each pair in one orientation only — the
+    /// defense for asymmetric inputs is the matrix-level rejection.
+    pub fn detectable_via_metric(&self) -> bool {
+        matches!(
+            self,
+            CorruptKind::Nan | CorruptKind::Infinite | CorruptKind::Negative
+        )
+    }
+}
+
+/// Builds an `n × n` distance matrix with exactly one class of damage,
+/// deterministically from `rng`. The pre-damage matrix is a valid
+/// Euclidean metric over random points.
+pub fn corrupt_matrix(n: usize, kind: CorruptKind, rng: &mut Pcg32) -> Vec<Vec<f64>> {
+    let space = hopspan_metric::gen::uniform_points(n, 2, rng);
+    let mut rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| space.dist(i, j)).collect())
+        .collect();
+    // A deterministic off-diagonal target pair.
+    let i = rng.gen_range(0..n);
+    let j = (i + 1 + rng.gen_range(0..n - 1)) % n;
+    let (i, j) = (i.min(j), i.max(j));
+    match kind {
+        CorruptKind::Nan => {
+            rows[i][j] = f64::NAN;
+            rows[j][i] = f64::NAN;
+        }
+        CorruptKind::Infinite => {
+            rows[i][j] = f64::INFINITY;
+            rows[j][i] = f64::INFINITY;
+        }
+        CorruptKind::Negative => {
+            rows[i][j] = -rows[i][j] - 1.0;
+            rows[j][i] = rows[i][j];
+        }
+        CorruptKind::Asymmetric => {
+            rows[j][i] = rows[i][j] + 0.5;
+        }
+        CorruptKind::TriangleViolation => {
+            // Larger than any two-leg detour: points live in [0, 1]²,
+            // so every detour is at most 2·√2.
+            rows[i][j] = 100.0;
+            rows[j][i] = 100.0;
+        }
+        CorruptKind::NearDuplicate => {
+            for k in 0..n {
+                if k != i && k != j {
+                    rows[j][k] = rows[i][k];
+                    rows[k][j] = rows[k][i];
+                }
+            }
+            rows[i][j] = 1e-15;
+            rows[j][i] = 1e-15;
+        }
+    }
+    rows
+}
+
+/// A [`Metric`] adapter over a raw matrix that performs **no
+/// validation** — the delivery vehicle for corrupted distances into
+/// constructors that take `&M: Metric` (and therefore never see the
+/// matrix-level checks).
+#[derive(Debug, Clone)]
+pub struct PoisonedMetric {
+    rows: Vec<Vec<f64>>,
+}
+
+impl PoisonedMetric {
+    /// Wraps a raw (possibly damaged) square matrix.
+    pub fn new(rows: Vec<Vec<f64>>) -> Self {
+        PoisonedMetric { rows }
+    }
+}
+
+impl Metric for PoisonedMetric {
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.rows[i][j]
+    }
+}

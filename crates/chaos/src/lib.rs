@@ -1,0 +1,86 @@
+//! Deterministic fault-injection campaigns against the hopspan query
+//! stack.
+//!
+//! Every other crate of the workspace promises the same thing from a
+//! different angle: **no panic, no abort — every failure is a typed
+//! `Result`, and every in-contract query meets the paper's §6
+//! stretch/hop bound**. This crate is the adversary that tries to break
+//! that promise, deterministically:
+//!
+//! * **Adversarial fault sets** ([`FaultStrategy`]): random baselines,
+//!   greedy hub targeting (highest spanner degree), separator targeting
+//!   (most frequent path intermediates), and over-budget `> f` sets that
+//!   step outside the Theorem 4.2 contract on purpose.
+//! * **Corrupted metrics** ([`CorruptKind`]): NaN/∞/negative entries,
+//!   asymmetry, triangle-inequality violations and near-duplicate
+//!   points, thrown at every constructor in the stack.
+//! * **Injected worker panics**: seeded transient and persistent panics
+//!   inside `hopspan-pipeline` fan-outs, which must surface as
+//!   [`hopspan_pipeline::PipelineError`] — never as a process abort.
+//!
+//! A campaign ([`run_campaign`]) is named by a single `u64` seed and is
+//! bit-replayable: the same seed yields the same scenarios, the same
+//! outcomes and the same [`CampaignReport::degraded_hash`], for any
+//! `HOPSPAN_WORKERS` setting. Scenario randomness comes from the
+//! PCG32 generator (`rand::rngs::Pcg32`), whose two-word state makes
+//! `(seed, stream)` a complete scenario id.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod campaign;
+mod corrupt;
+mod panics;
+mod strategies;
+
+pub use campaign::{
+    run_campaign, CampaignConfig, CampaignReport, OutcomeKind, ScenarioKind, ScenarioOutcome,
+};
+pub use corrupt::{corrupt_matrix, CorruptKind, PoisonedMetric};
+pub use panics::{panic_injection_scenario, PanicInjection, PanicOutcome};
+pub use strategies::FaultStrategy;
+
+/// FNV-1a offset basis (the workspace's golden-hash convention).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a over bytes; the workspace's golden-hash function.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` as `u64`.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Absorbs an `f64` by bit pattern (bit-exact, NaN-safe).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}

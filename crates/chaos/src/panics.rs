@@ -1,0 +1,142 @@
+//! Injected worker panics against `hopspan-pipeline`.
+//!
+//! Scenarios seed a subset of work units to panic — once (transient) or
+//! always (persistent) — and assert the pipeline's containment
+//! contract: a transient panic is retried to success on the calling
+//! thread, a persistent one surfaces as a typed
+//! [`hopspan_pipeline::PipelineError`] naming the lowest failing unit,
+//! and in neither case does a panic escape or the process abort. The
+//! outcome must be identical for every worker count.
+
+use std::collections::BTreeSet;
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rand::rngs::Pcg32;
+use rand::Rng;
+
+/// A seeded panic-injection scenario.
+#[derive(Debug, Clone)]
+pub struct PanicInjection {
+    /// Number of work units.
+    pub units: usize,
+    /// Units that panic.
+    pub failing: BTreeSet<usize>,
+    /// `true`: each failing unit panics only on its first attempt
+    /// (recovered by the retry). `false`: it always panics (surfaces as
+    /// a typed error).
+    pub transient: bool,
+}
+
+impl PanicInjection {
+    /// Draws a scenario: 1–3 failing units among `units`.
+    pub fn draw(units: usize, transient: bool, rng: &mut Pcg32) -> Self {
+        let mut failing = BTreeSet::new();
+        let k = 1 + rng.gen_range(0..3usize);
+        while failing.len() < k.min(units) {
+            failing.insert(rng.gen_range(0..units));
+        }
+        PanicInjection {
+            units,
+            failing,
+            transient,
+        }
+    }
+}
+
+/// What a panic-injection scenario observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PanicOutcome {
+    /// All units completed (transient panics were retried).
+    Recovered,
+    /// A typed [`hopspan_pipeline::PipelineError`] naming this unit.
+    TypedError {
+        /// The failing unit the error names.
+        unit: usize,
+        /// Whether the error records a retry attempt.
+        retried: bool,
+    },
+    /// The containment contract was violated (wrong results, wrong
+    /// unit attribution, or a worker-count-dependent outcome).
+    ContractViolation(String),
+}
+
+/// Serializes scenarios so the process-global panic hook swap below
+/// never interleaves with another campaign thread.
+static HOOK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs one injection under the given worker counts and checks that
+/// every count yields the same, correct outcome. Never panics.
+pub fn panic_injection_scenario(inj: &PanicInjection, worker_counts: &[usize]) -> PanicOutcome {
+    let guard = HOOK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = run_injection(inj, worker_counts);
+    panic::set_hook(prev);
+    drop(guard);
+    result
+}
+
+fn run_injection(inj: &PanicInjection, worker_counts: &[usize]) -> PanicOutcome {
+    if worker_counts.is_empty() {
+        return PanicOutcome::Recovered;
+    }
+    let items: Vec<usize> = (0..inj.units).collect();
+    let mut outcomes: Vec<PanicOutcome> = Vec::new();
+    for &workers in worker_counts {
+        // Fresh first-attempt tracking per worker count.
+        let attempts: Vec<AtomicUsize> = (0..inj.units).map(|_| AtomicUsize::new(0)).collect();
+        let run = hopspan_pipeline::try_parallel_map(workers, &items, |i, &x| {
+            let attempt = attempts[i].fetch_add(1, Ordering::SeqCst);
+            if inj.failing.contains(&i) && (!inj.transient || attempt == 0) {
+                panic!("injected fault in unit {i}");
+            }
+            x * 2
+        });
+        let outcome = match run {
+            Ok(values) => {
+                if inj.transient || inj.failing.is_empty() {
+                    if values == items.iter().map(|&x| x * 2).collect::<Vec<_>>() {
+                        PanicOutcome::Recovered
+                    } else {
+                        PanicOutcome::ContractViolation(format!(
+                            "wrong results with {workers} workers"
+                        ))
+                    }
+                } else {
+                    PanicOutcome::ContractViolation(format!(
+                        "persistent panic swallowed with {workers} workers"
+                    ))
+                }
+            }
+            Err(e) => {
+                if inj.transient {
+                    PanicOutcome::ContractViolation(format!(
+                        "transient panic not retried with {workers} workers: {e}"
+                    ))
+                } else if Some(&e.unit) == inj.failing.iter().next() {
+                    PanicOutcome::TypedError {
+                        unit: e.unit,
+                        retried: e.retried,
+                    }
+                } else {
+                    PanicOutcome::ContractViolation(format!(
+                        "error names unit {} but lowest failing unit is {:?}",
+                        e.unit,
+                        inj.failing.iter().next()
+                    ))
+                }
+            }
+        };
+        outcomes.push(outcome);
+    }
+    let first = outcomes[0].clone();
+    if outcomes.iter().any(|o| *o != first) {
+        return PanicOutcome::ContractViolation(format!(
+            "outcome differs across worker counts: {outcomes:?}"
+        ));
+    }
+    first
+}

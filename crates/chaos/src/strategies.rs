@@ -1,0 +1,102 @@
+//! Adversarial fault-set selection.
+//!
+//! A fault set is chosen *against* a built [`FaultTolerantSpanner`]:
+//! the adversary inspects the public structure (edges, paths) and takes
+//! out the points whose loss should hurt the most. All selection is
+//! deterministic given the scenario generator.
+
+use std::collections::BTreeSet;
+
+use hopspan_core::FaultTolerantSpanner;
+use hopspan_metric::Metric;
+use rand::rngs::Pcg32;
+use rand::Rng;
+
+/// How a scenario picks which points to kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultStrategy {
+    /// Uniformly random distinct points (the baseline adversary).
+    Random,
+    /// The points with the highest degree in the spanner's edge set —
+    /// the hubs the biclique overlay leans on.
+    GreedyHub,
+    /// The points that appear most often as *intermediate* vertices of
+    /// fault-free paths over sampled pairs — empirical separators.
+    SeparatorTargeted,
+}
+
+impl FaultStrategy {
+    /// All strategies, in campaign order.
+    pub const ALL: [FaultStrategy; 3] = [
+        FaultStrategy::Random,
+        FaultStrategy::GreedyHub,
+        FaultStrategy::SeparatorTargeted,
+    ];
+
+    /// Short stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultStrategy::Random => "random",
+            FaultStrategy::GreedyHub => "greedy-hub",
+            FaultStrategy::SeparatorTargeted => "separator",
+        }
+    }
+
+    /// Selects `count` distinct faulty points of `0..n`, never more
+    /// than `n - 2` so a query pair always survives.
+    pub(crate) fn select<M: Metric>(
+        &self,
+        spanner: &FaultTolerantSpanner,
+        metric: &M,
+        count: usize,
+        rng: &mut Pcg32,
+    ) -> BTreeSet<usize> {
+        let n = metric.len();
+        let count = count.min(n.saturating_sub(2));
+        let scored: Vec<usize> = match self {
+            FaultStrategy::Random => {
+                let mut picked = BTreeSet::new();
+                while picked.len() < count {
+                    picked.insert(rng.gen_range(0..n));
+                }
+                return picked;
+            }
+            FaultStrategy::GreedyHub => {
+                let mut degree = vec![0usize; n];
+                for &(u, v, _) in spanner.edges() {
+                    degree[u] += 1;
+                    degree[v] += 1;
+                }
+                rank_desc(&degree)
+            }
+            FaultStrategy::SeparatorTargeted => {
+                let mut freq = vec![0usize; n];
+                let empty = std::collections::HashSet::new();
+                let pairs = (4 * n).min(512);
+                for _ in 0..pairs {
+                    let u = rng.gen_range(0..n);
+                    let v = rng.gen_range(0..n);
+                    if u == v {
+                        continue;
+                    }
+                    if let Ok(path) = spanner.find_path_avoiding(metric, u, v, &empty) {
+                        for &w in &path[1..path.len().saturating_sub(1)] {
+                            freq[w] += 1;
+                        }
+                    }
+                }
+                rank_desc(&freq)
+            }
+        };
+        scored.into_iter().take(count).collect()
+    }
+}
+
+/// Indices sorted by score descending, index ascending on ties — a
+/// deterministic ranking.
+fn rank_desc(score: &[usize]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..score.len()).collect();
+    idx.sort_by(|&a, &b| score[b].cmp(&score[a]).then(a.cmp(&b)));
+    idx
+}

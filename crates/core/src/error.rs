@@ -1,0 +1,101 @@
+//! The unified error taxonomy of the workspace.
+//!
+//! Every layer of the stack reports failures through its own typed enum
+//! — [`MetricError`] (metric axioms), [`CoverError`] (tree covers),
+//! [`TreeSpannerError`] (Theorem 1.1 spanners), [`NavigationError`]
+//! (Theorem 1.2 navigation), [`FtError`] (§6 fault-tolerant queries) and
+//! [`PipelineError`] (contained worker panics). [`HopspanError`] wraps
+//! all of them so applications can hold a single error type end-to-end;
+//! `From` impls make `?` flow without manual mapping. All of these
+//! enums are `#[non_exhaustive]`: downstream matches need a wildcard
+//! arm, which lets the taxonomy grow without a breaking change.
+
+use std::fmt;
+
+use hopspan_metric::MetricError;
+use hopspan_pipeline::PipelineError;
+use hopspan_tree_cover::CoverError;
+use hopspan_tree_spanner::TreeSpannerError;
+
+use crate::fault_tolerant::FtError;
+use crate::navigation::NavigationError;
+
+/// Top-level error of the hopspan stack: any layer's typed failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HopspanError {
+    /// A metric-space axiom or input check failed.
+    Metric(MetricError),
+    /// Tree-cover construction or validation failed.
+    Cover(CoverError),
+    /// Tree 1-spanner construction or navigation failed.
+    Spanner(TreeSpannerError),
+    /// Metric navigation (Theorem 1.2) failed.
+    Navigation(NavigationError),
+    /// A fault-tolerant query (§6) failed.
+    Ft(FtError),
+    /// A contained worker panic in the parallel pipeline.
+    Pipeline(PipelineError),
+}
+
+impl fmt::Display for HopspanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HopspanError::Metric(e) => write!(f, "metric: {e}"),
+            HopspanError::Cover(e) => write!(f, "tree cover: {e}"),
+            HopspanError::Spanner(e) => write!(f, "tree spanner: {e}"),
+            HopspanError::Navigation(e) => write!(f, "navigation: {e}"),
+            HopspanError::Ft(e) => write!(f, "fault-tolerant query: {e}"),
+            HopspanError::Pipeline(e) => write!(f, "pipeline: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HopspanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HopspanError::Metric(e) => Some(e),
+            HopspanError::Cover(e) => Some(e),
+            HopspanError::Spanner(e) => Some(e),
+            HopspanError::Navigation(e) => Some(e),
+            HopspanError::Ft(e) => Some(e),
+            HopspanError::Pipeline(e) => Some(e),
+        }
+    }
+}
+
+impl From<MetricError> for HopspanError {
+    fn from(e: MetricError) -> Self {
+        HopspanError::Metric(e)
+    }
+}
+
+impl From<CoverError> for HopspanError {
+    fn from(e: CoverError) -> Self {
+        HopspanError::Cover(e)
+    }
+}
+
+impl From<TreeSpannerError> for HopspanError {
+    fn from(e: TreeSpannerError) -> Self {
+        HopspanError::Spanner(e)
+    }
+}
+
+impl From<NavigationError> for HopspanError {
+    fn from(e: NavigationError) -> Self {
+        HopspanError::Navigation(e)
+    }
+}
+
+impl From<FtError> for HopspanError {
+    fn from(e: FtError) -> Self {
+        HopspanError::Ft(e)
+    }
+}
+
+impl From<PipelineError> for HopspanError {
+    fn from(e: PipelineError) -> Self {
+        HopspanError::Pipeline(e)
+    }
+}

@@ -60,8 +60,105 @@ struct FtTree {
     candidates: Vec<Vec<usize>>,
 }
 
+/// How the fault-tolerant query path behaves outside the §6 contract
+/// (more than `f` faults, an uncovered pair, or a broken invariant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradationPolicy {
+    /// Fail closed: anything outside the contract is a typed [`FtError`]
+    /// (the historical behavior, and the default).
+    #[default]
+    Strict,
+    /// Fail open: return the best surviving path as a
+    /// [`FtPath::Degraded`] result instead of erroring, flagging that the
+    /// stretch/hop guarantee no longer applies.
+    BestEffort,
+}
+
+/// Why a best-effort result is degraded rather than in-contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradeReason {
+    /// More than `f` faults were supplied, so Theorem 4.2 no longer
+    /// guarantees stretch or hop bounds for the returned path.
+    BudgetExceeded {
+        /// Number of faults supplied.
+        got: usize,
+        /// The tolerance the spanner was built for.
+        f: usize,
+    },
+    /// No cover tree contains both endpoints; the returned path is the
+    /// direct metric edge, which is not a spanner path.
+    Uncovered,
+    /// Trees cover the pair but every candidate substitution was wiped
+    /// out by the fault set; the returned path is the direct metric
+    /// edge, which is not a spanner path.
+    NoSurvivingTree,
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradeReason::BudgetExceeded { got, f: tol } => {
+                write!(f, "{got} faults exceed the f = {tol} budget")
+            }
+            DegradeReason::Uncovered => write!(f, "no cover tree contains the pair"),
+            DegradeReason::NoSurvivingTree => {
+                write!(f, "the fault set wiped out every covering tree")
+            }
+        }
+    }
+}
+
+/// Outcome of a policy-aware buffer-reuse query: the path itself is in
+/// the caller's `out` buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FtPathOutcome {
+    /// The path is in contract: ≤ k hops, stretch within the §6 bound.
+    Full,
+    /// The path avoids every fault but carries no guarantee.
+    Degraded {
+        /// Why the contract does not apply.
+        reason: DegradeReason,
+        /// Realized stretch of the returned path (path weight over
+        /// metric distance; `1.0` for coincident or direct-edge pairs).
+        achieved_stretch: f64,
+    },
+}
+
+/// Owned result of a policy-aware query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtPath {
+    /// An in-contract k-hop path.
+    Full(Vec<usize>),
+    /// A best-effort path outside the §6 contract.
+    Degraded {
+        /// The fault-avoiding path (endpoints included).
+        path: Vec<usize>,
+        /// Why the contract does not apply.
+        reason: DegradeReason,
+        /// Realized stretch of `path`.
+        achieved_stretch: f64,
+    },
+}
+
+impl FtPath {
+    /// The path, regardless of contract status.
+    pub fn path(&self) -> &[usize] {
+        match self {
+            FtPath::Full(p) => p,
+            FtPath::Degraded { path, .. } => path,
+        }
+    }
+
+    /// Whether the §6 stretch/hop guarantee applies to [`FtPath::path`].
+    pub fn is_full(&self) -> bool {
+        matches!(self, FtPath::Full(_))
+    }
+}
+
 /// Error type for fault-tolerant queries.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum FtError {
     /// A query endpoint is faulty or out of range.
     BadEndpoint {
@@ -87,6 +184,9 @@ pub enum FtError {
         /// Second endpoint.
         v: usize,
     },
+    /// A parallel build or measurement unit panicked and could not be
+    /// recovered; the contained failure names the tree or row index.
+    Pipeline(hopspan_pipeline::PipelineError),
 }
 
 impl fmt::Display for FtError {
@@ -105,11 +205,26 @@ impl fmt::Display for FtError {
                     "no cover tree survives the fault set for pair ({u}, {v})"
                 )
             }
+            FtError::Pipeline(e) => write!(f, "parallel work failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for FtError {}
+impl std::error::Error for FtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FtError::Spanner(e) => Some(e),
+            FtError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hopspan_pipeline::PipelineError> for FtError {
+    fn from(e: hopspan_pipeline::PipelineError) -> Self {
+        FtError::Pipeline(e)
+    }
+}
 
 /// `R(v)`: the vertex's associated point first (the robust-cover anchor,
 /// which is always a descendant leaf), then up to `f` other distinct
@@ -185,7 +300,7 @@ impl FaultTolerantSpanner {
         // materialization below, where distances are attached to the
         // deduplicated pairs in tree order.
         let built: Vec<(FtTree, Vec<(usize, usize)>)> = stats.phase("spanners", || {
-            hopspan_pipeline::parallel_map_owned(workers, doms, |_, dom| {
+            hopspan_pipeline::try_parallel_map_owned(workers, doms, |_, dom| {
                 let nav = NavTree::new(dom, k)?;
                 let m = nav.dom.tree().len();
                 let candidates: Vec<Vec<usize>> =
@@ -203,8 +318,10 @@ impl FaultTolerantSpanner {
                 }
                 Ok((FtTree { nav, candidates }, pairs))
             })
+            .map_err(NavigationError::Pipeline)?
             .into_iter()
             .collect::<Result<_, hopspan_tree_spanner::TreeSpannerError>>()
+            .map_err(NavigationError::Spanner)
         })?;
         stats.tree_count = built.len();
         stats.per_tree_spanner_edges = built
@@ -322,8 +439,87 @@ impl FaultTolerantSpanner {
         out: &mut Vec<usize>,
         scratch: &mut Vec<usize>,
     ) -> Result<(), FtError> {
+        self.find_path_avoiding_policy_into(
+            metric,
+            u,
+            v,
+            faulty,
+            DegradationPolicy::Strict,
+            out,
+            scratch,
+        )
+        .map(|_| ())
+    }
+
+    /// Policy-aware navigation: like
+    /// [`FaultTolerantSpanner::find_path_avoiding`], but under
+    /// [`DegradationPolicy::BestEffort`] an out-of-contract query (more
+    /// than `f` faults, an uncovered pair, or a wiped-out tree set)
+    /// returns [`FtPath::Degraded`] — the best surviving-tree path, or
+    /// the direct metric edge as a last resort — instead of an error.
+    /// The result is deterministic: the tree scan order is fixed and
+    /// independent of worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`FtError::BadEndpoint`] under both policies (a faulty endpoint
+    /// cannot be routed for); under [`DegradationPolicy::Strict`], the
+    /// same contract as [`FaultTolerantSpanner::find_path_avoiding`].
+    pub fn find_path_avoiding_with_policy<M: Metric>(
+        &self,
+        metric: &M,
+        u: usize,
+        v: usize,
+        faulty: &HashSet<usize>,
+        policy: DegradationPolicy,
+    ) -> Result<FtPath, FtError> {
+        let mut out = Vec::with_capacity(self.k + 1);
+        let mut scratch = Vec::with_capacity(self.k + 1);
+        match self.find_path_avoiding_policy_into(
+            metric,
+            u,
+            v,
+            faulty,
+            policy,
+            &mut out,
+            &mut scratch,
+        )? {
+            FtPathOutcome::Full => Ok(FtPath::Full(out)),
+            FtPathOutcome::Degraded {
+                reason,
+                achieved_stretch,
+            } => Ok(FtPath::Degraded {
+                path: out,
+                reason,
+                achieved_stretch,
+            }),
+        }
+    }
+
+    /// Buffer-reuse variant of
+    /// [`FaultTolerantSpanner::find_path_avoiding_with_policy`]: the
+    /// path is written into `out` and the outcome tells whether the §6
+    /// contract applies to it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as
+    /// [`FaultTolerantSpanner::find_path_avoiding_with_policy`]; `out`
+    /// is left cleared on error.
+    #[allow(clippy::too_many_arguments)]
+    pub fn find_path_avoiding_policy_into<M: Metric>(
+        &self,
+        metric: &M,
+        u: usize,
+        v: usize,
+        faulty: &HashSet<usize>,
+        policy: DegradationPolicy,
+        out: &mut Vec<usize>,
+        scratch: &mut Vec<usize>,
+    ) -> Result<FtPathOutcome, FtError> {
         out.clear();
-        if faulty.len() > self.f {
+        let over_budget = faulty.len() > self.f;
+        if over_budget && policy == DegradationPolicy::Strict {
             return Err(FtError::TooManyFaults {
                 got: faulty.len(),
                 f: self.f,
@@ -337,9 +533,10 @@ impl FaultTolerantSpanner {
         }
         if u == v {
             out.push(u);
-            return Ok(());
+            return Ok(FtPathOutcome::Full);
         }
         let mut best: Option<f64> = None;
+        let mut covered = false;
         for t in &self.trees {
             if !t
                 .nav
@@ -348,6 +545,7 @@ impl FaultTolerantSpanner {
             {
                 continue;
             }
+            covered = true;
             // Substitute every vertex by a non-faulty candidate, in place
             // over the tree-vertex path (slot `i` is only read before it
             // is overwritten, and the pick for slot `i` depends only on
@@ -412,7 +610,40 @@ impl FaultTolerantSpanner {
                 std::mem::swap(out, scratch);
             }
         }
-        best.map(|_| ()).ok_or(FtError::NoSurvivingPath { u, v })
+        match best {
+            Some(_) if !over_budget => Ok(FtPathOutcome::Full),
+            Some(w) => {
+                // A surviving-tree path exists, but the fault budget was
+                // exceeded, so Theorem 4.2's guarantee is void.
+                let d = metric.dist(u, v);
+                Ok(FtPathOutcome::Degraded {
+                    reason: DegradeReason::BudgetExceeded {
+                        got: faulty.len(),
+                        f: self.f,
+                    },
+                    achieved_stretch: if d > 0.0 { w / d } else { 1.0 },
+                })
+            }
+            None if policy == DegradationPolicy::Strict => Err(FtError::NoSurvivingPath { u, v }),
+            None => {
+                // Last-resort fallback: the direct metric edge. Both
+                // endpoints are non-faulty (checked above), so the
+                // one-hop path avoids every fault; it is just not a
+                // spanner path, which the reason records.
+                out.clear();
+                out.push(u);
+                out.push(v);
+                let reason = if covered {
+                    DegradeReason::NoSurvivingTree
+                } else {
+                    DegradeReason::Uncovered
+                };
+                Ok(FtPathOutcome::Degraded {
+                    reason,
+                    achieved_stretch: 1.0,
+                })
+            }
+        }
     }
 
     /// Measures worst-case stretch and hops over all non-faulty pairs
@@ -433,7 +664,7 @@ impl FaultTolerantSpanner {
     ) -> Result<(f64, usize), FtError> {
         let workers = hopspan_pipeline::resolve_workers(None);
         let rows: Vec<usize> = (0..self.n).collect();
-        let partials = hopspan_pipeline::parallel_map(workers, &rows, |_, &u| {
+        let partials = hopspan_pipeline::try_parallel_map(workers, &rows, |_, &u| {
             let mut worst = 1.0f64;
             let mut hops = 0;
             if faulty.contains(&u) {
@@ -457,7 +688,8 @@ impl FaultTolerantSpanner {
                 hops = hops.max(path.len() - 1);
             }
             Ok::<_, FtError>((worst, hops))
-        });
+        })
+        .map_err(FtError::Pipeline)?;
         let mut worst = 1.0f64;
         let mut hops = 0;
         for row in partials {
@@ -569,6 +801,84 @@ mod tests {
             FaultTolerantSpanner::new(&m, 0.5, 9, 2),
             Err(NavigationError::Cover(_))
         ));
+    }
+
+    #[test]
+    fn best_effort_degrades_over_budget_instead_of_erroring() {
+        let m = gen::uniform_points(18, 2, &mut rng());
+        let f = 1;
+        let sp = FaultTolerantSpanner::new(&m, 0.5, f, 2).unwrap();
+        let faulty: HashSet<usize> = [2usize, 7, 11].into_iter().collect();
+        // Strict: typed error.
+        assert!(matches!(
+            sp.find_path_avoiding(&m, 0, 17, &faulty),
+            Err(FtError::TooManyFaults { got: 3, f: 1 })
+        ));
+        // BestEffort: a degraded path that still avoids every fault.
+        match sp
+            .find_path_avoiding_with_policy(&m, 0, 17, &faulty, DegradationPolicy::BestEffort)
+            .unwrap()
+        {
+            FtPath::Degraded {
+                path,
+                reason,
+                achieved_stretch,
+            } => {
+                assert_eq!(path.first(), Some(&0));
+                assert_eq!(path.last(), Some(&17));
+                assert!(path.iter().all(|p| !faulty.contains(p)));
+                assert!(matches!(
+                    reason,
+                    DegradeReason::BudgetExceeded { got: 3, f: 1 } | DegradeReason::NoSurvivingTree
+                ));
+                assert!(achieved_stretch >= 1.0 - 1e-12);
+            }
+            FtPath::Full(_) => panic!("over-budget query must be degraded"),
+        }
+    }
+
+    #[test]
+    fn best_effort_matches_strict_in_contract() {
+        let m = gen::uniform_points(16, 2, &mut rng());
+        let sp = FaultTolerantSpanner::new(&m, 0.5, 2, 2).unwrap();
+        let faulty: HashSet<usize> = [3usize, 9].into_iter().collect();
+        for u in 0..16 {
+            for v in 0..16 {
+                if faulty.contains(&u) || faulty.contains(&v) {
+                    continue;
+                }
+                let strict = sp.find_path_avoiding(&m, u, v, &faulty).unwrap();
+                let policy = sp
+                    .find_path_avoiding_with_policy(
+                        &m,
+                        u,
+                        v,
+                        &faulty,
+                        DegradationPolicy::BestEffort,
+                    )
+                    .unwrap();
+                match policy {
+                    FtPath::Full(path) => assert_eq!(path, strict, "pair ({u},{v})"),
+                    FtPath::Degraded { .. } => {
+                        panic!("in-contract pair ({u},{v}) must stay full")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_effort_is_deterministic() {
+        let m = gen::uniform_points(20, 2, &mut rng());
+        let sp = FaultTolerantSpanner::new(&m, 0.5, 1, 2).unwrap();
+        let faulty: HashSet<usize> = [1usize, 4, 8, 13].into_iter().collect();
+        let a = sp
+            .find_path_avoiding_with_policy(&m, 0, 19, &faulty, DegradationPolicy::BestEffort)
+            .unwrap();
+        let b = sp
+            .find_path_avoiding_with_policy(&m, 0, 19, &faulty, DegradationPolicy::BestEffort)
+            .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

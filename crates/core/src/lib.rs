@@ -38,11 +38,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod error;
 mod fault_tolerant;
 mod navigation;
 
-pub use fault_tolerant::{FaultTolerantSpanner, FtError};
+pub use error::HopspanError;
+pub use fault_tolerant::{
+    DegradationPolicy, DegradeReason, FaultTolerantSpanner, FtError, FtPath, FtPathOutcome,
+};
 pub use navigation::{MetricNavigator, NavigationError};
+
+/// Contained parallel-pipeline failure, re-exported from the pipeline
+/// crate for error matching without a direct dependency.
+pub use hopspan_pipeline::PipelineError;
 
 /// Build telemetry produced by the `_with_stats` constructors,
 /// re-exported from the pipeline crate.

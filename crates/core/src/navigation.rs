@@ -24,11 +24,15 @@ use rand::Rng;
 
 /// Error type for [`MetricNavigator`].
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum NavigationError {
     /// The underlying tree cover could not be built.
     Cover(CoverError),
     /// The underlying tree spanner could not be built.
     Spanner(TreeSpannerError),
+    /// A parallel build unit panicked and could not be recovered; the
+    /// contained failure names the tree index.
+    Pipeline(hopspan_pipeline::PipelineError),
     /// A query endpoint is out of range.
     PointOutOfRange {
         /// The offending point id.
@@ -49,6 +53,7 @@ impl fmt::Display for NavigationError {
         match self {
             NavigationError::Cover(e) => write!(f, "tree cover construction failed: {e}"),
             NavigationError::Spanner(e) => write!(f, "tree spanner construction failed: {e}"),
+            NavigationError::Pipeline(e) => write!(f, "parallel build failed: {e}"),
             NavigationError::PointOutOfRange { point } => {
                 write!(f, "point {point} out of range")
             }
@@ -59,7 +64,22 @@ impl fmt::Display for NavigationError {
     }
 }
 
-impl std::error::Error for NavigationError {}
+impl std::error::Error for NavigationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NavigationError::Cover(e) => Some(e),
+            NavigationError::Spanner(e) => Some(e),
+            NavigationError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hopspan_pipeline::PipelineError> for NavigationError {
+    fn from(e: hopspan_pipeline::PipelineError) -> Self {
+        NavigationError::Pipeline(e)
+    }
+}
 
 impl From<CoverError> for NavigationError {
     fn from(e: CoverError) -> Self {
@@ -303,9 +323,11 @@ impl MetricNavigator {
         // Per-tree spanner builds touch only their own dominating tree
         // (never the metric), so they fan out without an `M: Sync` bound.
         let trees: Vec<NavTree> = stats.phase("spanners", || {
-            hopspan_pipeline::parallel_map_owned(workers, doms, |_, dom| NavTree::new(dom, k))
+            hopspan_pipeline::try_parallel_map_owned(workers, doms, |_, dom| NavTree::new(dom, k))
+                .map_err(NavigationError::Pipeline)?
                 .into_iter()
-                .collect::<Result<_, _>>()
+                .collect::<Result<_, TreeSpannerError>>()
+                .map_err(NavigationError::Spanner)
         })?;
         stats.tree_count = trees.len();
         stats.per_tree_spanner_edges = trees.iter().map(|t| t.spanner.edges().len()).collect();
@@ -502,7 +524,7 @@ impl MetricNavigator {
     ) -> Result<(f64, usize), NavigationError> {
         let workers = hopspan_pipeline::resolve_workers(None);
         let rows: Vec<usize> = (0..self.n).collect();
-        let partials = hopspan_pipeline::parallel_map(workers, &rows, |_, &u| {
+        let partials = hopspan_pipeline::try_parallel_map(workers, &rows, |_, &u| {
             let mut worst = 1.0f64;
             let mut hops = 0usize;
             let mut path = Vec::with_capacity(self.k + 1);
@@ -516,7 +538,8 @@ impl MetricNavigator {
                 hops = hops.max(path.len() - 1);
             }
             Ok::<_, NavigationError>((worst, hops))
-        });
+        })
+        .map_err(NavigationError::Pipeline)?;
         let mut worst = 1.0f64;
         let mut hops = 0usize;
         for row in partials {

@@ -22,6 +22,10 @@
 //!   functions (`find_path*` / `route*` / `locate*`) of the query
 //!   crates: query tables are dense `Vec`/CSR layouts, built once at
 //!   preprocessing time.
+//! * **R7 `swallowed-result`** — no `let _ = <call>;` in library
+//!   crates: discarding a call's result swallows typed errors exactly
+//!   where the panic-free policy (R1) depends on them being handled.
+//!   Bare-identifier discards (`let _ = lambda;`) stay silent.
 //!
 //! Findings can be suppressed inline, one line up or on the offending
 //! line, with a mandatory reason:
@@ -43,8 +47,8 @@ pub mod toml_scan;
 
 use std::path::Path;
 
-/// Crates whose `src/` must satisfy R1–R3 (the library crates on the
-/// spanner/label/route materialization paths).
+/// Crates whose `src/` must satisfy R1–R3 and R7 (the library crates
+/// on the spanner/label/route materialization paths).
 pub const LIB_POLICY_CRATES: [&str; 7] = [
     "hopspan-core",
     "hopspan-routing",
@@ -95,7 +99,8 @@ pub fn analyze_source(label: &str, source: &str, active_rules: &[&str]) -> Vec<F
 }
 
 /// Analyzes the whole workspace rooted at `root`: R4 on every member
-/// manifest, R1–R3 on the `src/` trees of [`LIB_POLICY_CRATES`], R5 on
+/// manifest, R1–R3 and R7 on the `src/` trees of
+/// [`LIB_POLICY_CRATES`], R5 on
 /// [`DOC_POLICY_CRATES`], and R6 on [`QUERY_POLICY_CRATES`]. Findings
 /// come back in a deterministic order (members sorted, files sorted,
 /// lines ascending).
@@ -128,6 +133,7 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
                 rules::R1_PANIC_IN_LIB,
                 rules::R2_NONDET_ITERATION,
                 rules::R3_FLOAT_EQ,
+                rules::R7_SWALLOWED_RESULT,
             ]);
         }
         if DOC_POLICY_CRATES.contains(&name.as_str()) {

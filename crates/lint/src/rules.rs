@@ -23,16 +23,21 @@ pub const R5_PUB_UNDOCUMENTED: &str = "pub-undocumented";
 /// query-path functions (`find_path*` / `route*` / `locate*`) — query
 /// tables must be dense `Vec`/CSR layouts.
 pub const R6_MAP_ON_QUERY_PATH: &str = "map-on-query-path";
+/// R7: no `let _ = <call>;` in library code — discarding a call's
+/// result swallows `Result`s (and every other must-use value) without
+/// a trace; bind a name, `?` the error, or match on it.
+pub const R7_SWALLOWED_RESULT: &str = "swallowed-result";
 /// Meta-rule: malformed `hopspan:allow` pragmas (never suppressible).
 pub const BAD_PRAGMA: &str = "bad-pragma";
 
 /// All source-code rules (R4 is manifest-level and handled separately).
-pub const CODE_RULES: [&str; 5] = [
+pub const CODE_RULES: [&str; 6] = [
     R1_PANIC_IN_LIB,
     R2_NONDET_ITERATION,
     R3_FLOAT_EQ,
     R5_PUB_UNDOCUMENTED,
     R6_MAP_ON_QUERY_PATH,
+    R7_SWALLOWED_RESULT,
 ];
 
 /// Function-name prefixes that mark the hot query path (R6). Membership
@@ -85,6 +90,9 @@ pub fn run_rules(label: &str, lexed: &Lexed, rules: &[&str]) -> Vec<Finding> {
     }
     if rules.contains(&R6_MAP_ON_QUERY_PATH) {
         rule_map_on_query_path(label, toks, &in_test, &mut findings);
+    }
+    if rules.contains(&R7_SWALLOWED_RESULT) {
+        rule_swallowed_result(label, toks, &in_test, &mut findings);
     }
 
     // A pragma on line L suppresses same-rule findings on L and L+1
@@ -526,6 +534,58 @@ fn query_fn_bodies(toks: &[Tok]) -> Vec<(usize, usize, String)> {
         }
     }
     out
+}
+
+/// R7: flags `let _ = <expr>;` statements whose right-hand side
+/// performs a call — the token shape of a discarded `Result` (or any
+/// other must-use value). Plain re-binds of an already-computed value
+/// (`let _ = lambda;`, a bare identifier with no `(`) carry no
+/// swallowed effect and stay silent.
+fn rule_swallowed_result(
+    label: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    for i in 0..toks.len() {
+        if in_test(i)
+            || toks[i].text != "let"
+            || toks.get(i + 1).map(|t| t.text.as_str()) != Some("_")
+            || toks.get(i + 2).map(|t| t.text.as_str()) != Some("=")
+        {
+            continue;
+        }
+        // Scan the right-hand side up to the statement's `;` (at
+        // bracket depth zero); any `(` on the way marks a call (or a
+        // tuple/parenthesized expression — also an effectful discard).
+        let mut depth = 0usize;
+        let mut has_call = false;
+        let mut j = i + 3;
+        while let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                "(" => {
+                    depth += 1;
+                    has_call = true;
+                }
+                "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth = depth.saturating_sub(1),
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if has_call {
+            out.push(Finding {
+                rule: R7_SWALLOWED_RESULT.to_string(),
+                file: label.to_string(),
+                line: toks[i].line,
+                message: "`let _ = <call>;` discards the call's result; bind a \
+                          name, propagate with `?`, or add a reasoned \
+                          hopspan:allow"
+                    .to_string(),
+            });
+        }
+    }
 }
 
 /// R6: flags keyed-container lookups inside query-path function bodies.

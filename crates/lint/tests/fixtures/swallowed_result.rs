@@ -1,0 +1,27 @@
+//! Fixture for R7 `swallowed-result`: `let _ = <call>;` discards are
+//! flagged; bare-identifier discards, named bindings, allow-suppressed
+//! sites, and test modules stay silent.
+
+fn fallible() -> Result<u32, String> {
+    Ok(7)
+}
+
+fn exercise(sender: std::sync::mpsc::Sender<u32>) -> u32 {
+    let _ = fallible();
+    let _ = sender.send(3);
+    let _ = (fallible(), 1);
+    let lambda = 42;
+    let _ = lambda;
+    let ok = fallible();
+    // hopspan:allow(swallowed-result) -- best-effort wake-up; the receiver may be gone
+    let _ = sender.send(4);
+    ok.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn discards_in_tests_are_exempt() {
+        let _ = super::fallible();
+    }
+}

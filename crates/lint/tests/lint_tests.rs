@@ -4,7 +4,7 @@
 
 use hopspan_lint::rules::{
     BAD_PRAGMA, R1_PANIC_IN_LIB, R2_NONDET_ITERATION, R3_FLOAT_EQ, R4_OFFLINE_DEPS,
-    R5_PUB_UNDOCUMENTED, R6_MAP_ON_QUERY_PATH,
+    R5_PUB_UNDOCUMENTED, R6_MAP_ON_QUERY_PATH, R7_SWALLOWED_RESULT,
 };
 use hopspan_lint::{analyze_source, to_json, toml_scan, Finding};
 
@@ -103,6 +103,25 @@ fn pub_undocumented_fixture_exact_lines() {
         "got: {:#?}",
         findings
     );
+}
+
+#[test]
+fn swallowed_result_fixture_exact_lines() {
+    let src = include_str!("fixtures/swallowed_result.rs");
+    let findings = analyze_source("fixtures/swallowed_result.rs", src, &[R7_SWALLOWED_RESULT]);
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (R7_SWALLOWED_RESULT, 10), // let _ = fallible();
+            (R7_SWALLOWED_RESULT, 11), // let _ = sender.send(3);
+            (R7_SWALLOWED_RESULT, 12), // let _ = (fallible(), 1);
+        ],
+        "got: {:#?}",
+        findings
+    );
+    // Silent by design: `let _ = lambda;` (bare identifier, no call),
+    // the named `let ok = …` binding, the allow-suppressed send, and
+    // the #[cfg(test)] module.
 }
 
 #[test]

@@ -1,0 +1,461 @@
+//! Pre-construction metric auditing.
+//!
+//! The constructors of the stack ([`MatrixMetric::new`] and friends)
+//! reject inputs that break the metric axioms, but they stop at the
+//! *first* violation and some checks (the triangle inequality) are too
+//! expensive to run unconditionally. [`MetricAudit`] is the offline
+//! companion: it scans a metric (or a raw matrix that never made it
+//! into one) and reports *all* the ways it is broken, capped and
+//! deterministic, so chaos harnesses and data-ingestion pipelines can
+//! explain a rejection instead of merely observing it.
+//!
+//! The audit never panics and never constructs anything: it only reads
+//! distances.
+
+use std::fmt;
+
+use crate::space::{exactly_zero, MatrixMetric, Metric};
+
+/// Findings are capped at this many entries; the cap keeps audits of
+/// pathological inputs (e.g. an all-NaN matrix) small and cheap.
+pub const MAX_AUDIT_FINDINGS: usize = 64;
+
+/// The triangle inequality is O(n³); audits skip it above this size
+/// unless forced via [`MetricAudit::of_metric_with_triangle`].
+pub const TRIANGLE_AUDIT_LIMIT: usize = 256;
+
+/// Two points closer than `dmax * NEAR_DUPLICATE_REL` are flagged as
+/// near-duplicates: legal, but a numerical hazard for net hierarchies
+/// (the scale range grows with log(Φ)).
+pub const NEAR_DUPLICATE_REL: f64 = 1e-9;
+
+/// One way an input fails (or endangers) the metric contract.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AuditFinding {
+    /// A row has a different length than the matrix (raw matrices only).
+    RaggedRow {
+        /// The offending row.
+        row: usize,
+        /// Its length.
+        len: usize,
+        /// The expected length (the number of rows).
+        expected: usize,
+    },
+    /// An entry is NaN or infinite.
+    NonFinite {
+        /// Row of the offending entry.
+        i: usize,
+        /// Column of the offending entry.
+        j: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An entry is negative.
+    Negative {
+        /// Row of the offending entry.
+        i: usize,
+        /// Column of the offending entry.
+        j: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// `d(i, i) != 0`.
+    NonZeroDiagonal {
+        /// The offending index.
+        i: usize,
+        /// The diagonal value.
+        value: f64,
+    },
+    /// `d(i, j) != d(j, i)` beyond tolerance.
+    Asymmetry {
+        /// Row index.
+        i: usize,
+        /// Column index.
+        j: usize,
+        /// `|d(i, j) - d(j, i)|`.
+        delta: f64,
+    },
+    /// `d(i, k) > d(i, j) + d(j, k)` beyond tolerance.
+    TriangleViolation {
+        /// First endpoint.
+        i: usize,
+        /// The intermediate point.
+        j: usize,
+        /// Second endpoint.
+        k: usize,
+        /// `d(i, k) - (d(i, j) + d(j, k))`.
+        excess: f64,
+    },
+    /// Two distinct points at distance zero.
+    DuplicatePoints {
+        /// One of the coinciding points.
+        i: usize,
+        /// The other.
+        j: usize,
+    },
+    /// Two distinct points much closer than the diameter
+    /// (see [`NEAR_DUPLICATE_REL`]): legal but numerically hazardous.
+    NearDuplicate {
+        /// One of the close points.
+        i: usize,
+        /// The other.
+        j: usize,
+        /// Their distance.
+        dist: f64,
+    },
+}
+
+impl fmt::Display for AuditFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuditFinding::RaggedRow { row, len, expected } => {
+                write!(f, "row {row} has length {len}, expected {expected}")
+            }
+            AuditFinding::NonFinite { i, j, value } => {
+                write!(f, "d({i}, {j}) = {value} is not finite")
+            }
+            AuditFinding::Negative { i, j, value } => {
+                write!(f, "d({i}, {j}) = {value} is negative")
+            }
+            AuditFinding::NonZeroDiagonal { i, value } => {
+                write!(f, "d({i}, {i}) = {value} is not zero")
+            }
+            AuditFinding::Asymmetry { i, j, delta } => {
+                write!(f, "d({i}, {j}) and d({j}, {i}) differ by {delta}")
+            }
+            AuditFinding::TriangleViolation { i, j, k, excess } => {
+                write!(
+                    f,
+                    "d({i}, {k}) exceeds d({i}, {j}) + d({j}, {k}) by {excess}"
+                )
+            }
+            AuditFinding::DuplicatePoints { i, j } => {
+                write!(f, "points {i} and {j} coincide")
+            }
+            AuditFinding::NearDuplicate { i, j, dist } => {
+                write!(f, "points {i} and {j} are near-duplicates (d = {dist})")
+            }
+        }
+    }
+}
+
+/// The result of auditing a metric (or raw matrix): every violation
+/// found in deterministic scan order, capped at [`MAX_AUDIT_FINDINGS`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricAudit {
+    /// The findings, in scan order (entry checks first, then pairwise
+    /// duplicates, then triangles).
+    pub findings: Vec<AuditFinding>,
+    /// True if the cap was hit and further findings were dropped.
+    pub truncated: bool,
+    /// Whether the O(n³) triangle scan ran (skipped above
+    /// [`TRIANGLE_AUDIT_LIMIT`] points unless forced).
+    pub triangle_checked: bool,
+}
+
+impl MetricAudit {
+    /// Audits a metric via its [`Metric`] interface. The triangle scan
+    /// runs only for `metric.len() <= TRIANGLE_AUDIT_LIMIT`.
+    pub fn of_metric<M: Metric>(metric: &M) -> Self {
+        Self::audit_dist(metric.len(), |i, j| metric.dist(i, j), None)
+    }
+
+    /// Like [`MetricAudit::of_metric`], with the triangle scan forced on
+    /// or off regardless of size.
+    pub fn of_metric_with_triangle<M: Metric>(metric: &M, triangle: bool) -> Self {
+        Self::audit_dist(metric.len(), |i, j| metric.dist(i, j), Some(triangle))
+    }
+
+    /// Audits a raw square-ish matrix of distances — the form an input
+    /// takes *before* [`MatrixMetric::new`] accepts or rejects it.
+    /// Ragged rows are reported as findings and their missing entries
+    /// skipped rather than panicking on an out-of-bounds index.
+    pub fn of_matrix(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        let mut audit = MetricAudit::default();
+        for (row, r) in rows.iter().enumerate() {
+            if r.len() != n {
+                audit.push(AuditFinding::RaggedRow {
+                    row,
+                    len: r.len(),
+                    expected: n,
+                });
+            }
+        }
+        if audit.findings.is_empty() {
+            return Self::audit_dist(n, |i, j| rows[i][j], None);
+        }
+        // Ragged input: audit only the rectangular prefix that exists.
+        let m = rows.iter().map(Vec::len).min().unwrap_or(0).min(n);
+        let mut rest = Self::audit_dist(m, |i, j| rows[i][j], None);
+        audit.truncated |= rest.truncated;
+        audit.triangle_checked = rest.triangle_checked;
+        for finding in rest.findings.drain(..) {
+            audit.push(finding);
+        }
+        audit
+    }
+
+    /// True when no findings were recorded (and nothing was truncated).
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && !self.truncated
+    }
+
+    fn push(&mut self, finding: AuditFinding) -> bool {
+        if self.findings.len() >= MAX_AUDIT_FINDINGS {
+            self.truncated = true;
+            return false;
+        }
+        self.findings.push(finding);
+        true
+    }
+
+    fn audit_dist(n: usize, dist: impl Fn(usize, usize) -> f64, triangle: Option<bool>) -> Self {
+        let mut audit = MetricAudit::default();
+        let tol = 1e-12;
+        // Pass 1: per-entry checks, row-major.
+        'entries: for i in 0..n {
+            for j in 0..n {
+                let d = dist(i, j);
+                let ok = if !d.is_finite() {
+                    audit.push(AuditFinding::NonFinite { i, j, value: d })
+                } else if d < 0.0 {
+                    audit.push(AuditFinding::Negative { i, j, value: d })
+                } else if i == j && !exactly_zero(d) {
+                    audit.push(AuditFinding::NonZeroDiagonal { i, value: d })
+                } else if i < j {
+                    let back = dist(j, i);
+                    let delta = (d - back).abs();
+                    // A NaN delta (finite d, NaN back) is asymmetric
+                    // corruption too, so it must take this branch.
+                    if delta.is_nan() || delta > tol {
+                        audit.push(AuditFinding::Asymmetry { i, j, delta })
+                    } else {
+                        true
+                    }
+                } else {
+                    true
+                };
+                if !ok {
+                    break 'entries;
+                }
+            }
+        }
+        // Pass 2: duplicates and near-duplicates over finite entries.
+        let mut dmax: f64 = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(i, j);
+                if d.is_finite() {
+                    dmax = dmax.max(d);
+                }
+            }
+        }
+        'dups: for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(i, j);
+                let ok = if exactly_zero(d) {
+                    audit.push(AuditFinding::DuplicatePoints { i, j })
+                } else if d > 0.0 && d.is_finite() && d < dmax * NEAR_DUPLICATE_REL {
+                    audit.push(AuditFinding::NearDuplicate { i, j, dist: d })
+                } else {
+                    true
+                };
+                if !ok {
+                    break 'dups;
+                }
+            }
+        }
+        // Pass 3: triangle inequality, gated by size (O(n³)). NaN
+        // comparisons are false, so poisoned entries never double-report
+        // here.
+        let run_triangle = triangle.unwrap_or(n <= TRIANGLE_AUDIT_LIMIT);
+        audit.triangle_checked = run_triangle;
+        if run_triangle {
+            'tri: for i in 0..n {
+                for k in 0..n {
+                    if i == k {
+                        continue;
+                    }
+                    let dik = dist(i, k);
+                    for j in 0..n {
+                        if j == i || j == k {
+                            continue;
+                        }
+                        let excess = dik - (dist(i, j) + dist(j, k));
+                        if excess > tol
+                            && !audit.push(AuditFinding::TriangleViolation { i, j, k, excess })
+                        {
+                            break 'tri;
+                        }
+                    }
+                }
+            }
+        }
+        audit
+    }
+}
+
+/// Convenience: audits, and if clean builds the [`MatrixMetric`].
+///
+/// # Errors
+///
+/// Returns the full audit when the matrix is not a clean metric, so the
+/// caller can report *every* violation instead of the first.
+pub fn audited_matrix_metric(rows: &[Vec<f64>]) -> Result<MatrixMetric, MetricAudit> {
+    let audit = MetricAudit::of_matrix(rows);
+    let fatal = audit.truncated
+        || audit
+            .findings
+            .iter()
+            .any(|f| !matches!(f, AuditFinding::NearDuplicate { .. }));
+    if fatal {
+        return Err(audit);
+    }
+    let n = rows.len();
+    let flat: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+    match MatrixMetric::new(n, flat) {
+        Ok(m) => Ok(m),
+        // A clean audit that still fails construction would be an
+        // internal inconsistency; surface it as the (empty) audit.
+        Err(_) => Err(audit),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix_of(points: &[(f64, f64)]) -> Vec<Vec<f64>> {
+        points
+            .iter()
+            .map(|&(x1, y1)| {
+                points
+                    .iter()
+                    .map(|&(x2, y2)| ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_metric_audits_clean() {
+        let rows = matrix_of(&[(0.0, 0.0), (1.0, 0.0), (0.0, 2.0), (3.0, 3.0)]);
+        let audit = MetricAudit::of_matrix(&rows);
+        assert!(audit.is_clean(), "findings: {:?}", audit.findings);
+        assert!(audit.triangle_checked);
+        assert!(audited_matrix_metric(&rows).is_ok());
+    }
+
+    #[test]
+    fn every_corruption_kind_is_reported() {
+        let mut rows = matrix_of(&[(0.0, 0.0), (1.0, 0.0), (0.0, 2.0), (3.0, 3.0)]);
+        rows[0][1] = f64::NAN;
+        rows[2][3] = -1.0;
+        rows[1][1] = 0.5;
+        rows[0][3] += 0.25;
+        let audit = MetricAudit::of_matrix(&rows);
+        assert!(!audit.is_clean());
+        let has = |pred: &dyn Fn(&AuditFinding) -> bool| audit.findings.iter().any(pred);
+        assert!(has(&|f| matches!(
+            f,
+            AuditFinding::NonFinite { i: 0, j: 1, .. }
+        )));
+        assert!(has(&|f| matches!(
+            f,
+            AuditFinding::Negative { i: 2, j: 3, .. }
+        )));
+        assert!(has(&|f| matches!(
+            f,
+            AuditFinding::NonZeroDiagonal { i: 1, .. }
+        )));
+        assert!(has(&|f| matches!(
+            f,
+            AuditFinding::Asymmetry { i: 0, j: 3, .. }
+        )));
+        assert!(audited_matrix_metric(&rows).is_err());
+    }
+
+    #[test]
+    fn triangle_violations_and_duplicates_are_found() {
+        // d(0, 2) = 10 but d(0, 1) + d(1, 2) = 2: a gross violation.
+        let rows = vec![
+            vec![0.0, 1.0, 10.0],
+            vec![1.0, 0.0, 1.0],
+            vec![10.0, 1.0, 0.0],
+        ];
+        let audit = MetricAudit::of_matrix(&rows);
+        assert!(audit.findings.iter().any(|f| matches!(
+            f,
+            AuditFinding::TriangleViolation {
+                i: 0,
+                j: 1,
+                k: 2,
+                ..
+            }
+        )));
+
+        let dup = vec![
+            vec![0.0, 0.0, 1.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let audit = MetricAudit::of_matrix(&dup);
+        assert!(audit
+            .findings
+            .iter()
+            .any(|f| matches!(f, AuditFinding::DuplicatePoints { i: 0, j: 1 })));
+    }
+
+    #[test]
+    fn near_duplicates_warn_but_do_not_reject() {
+        let rows = vec![
+            vec![0.0, 1e-13, 1.0],
+            vec![1e-13, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ];
+        let audit = MetricAudit::of_matrix(&rows);
+        assert!(audit
+            .findings
+            .iter()
+            .any(|f| matches!(f, AuditFinding::NearDuplicate { i: 0, j: 1, .. })));
+        // Near-duplicates alone are advisory: construction still works.
+        assert!(audited_matrix_metric(&rows).is_ok());
+    }
+
+    #[test]
+    fn ragged_matrices_are_reported_not_panicked_on() {
+        let rows = vec![vec![0.0, 1.0, 2.0], vec![1.0, 0.0], vec![2.0, 1.0, 0.0]];
+        let audit = MetricAudit::of_matrix(&rows);
+        assert!(audit.findings.iter().any(|f| matches!(
+            f,
+            AuditFinding::RaggedRow {
+                row: 1,
+                len: 2,
+                expected: 3
+            }
+        )));
+    }
+
+    #[test]
+    fn findings_are_capped_and_flagged() {
+        let n = 24;
+        let rows = vec![vec![f64::NAN; n]; n];
+        let audit = MetricAudit::of_matrix(&rows);
+        assert_eq!(audit.findings.len(), MAX_AUDIT_FINDINGS);
+        assert!(audit.truncated);
+        assert!(!audit.is_clean());
+    }
+
+    #[test]
+    fn audit_is_deterministic() {
+        let mut rows = matrix_of(&[(0.0, 0.0), (1.0, 0.0), (0.0, 2.0), (3.0, 3.0)]);
+        rows[0][1] = f64::INFINITY;
+        rows[1][0] = f64::INFINITY;
+        let a = MetricAudit::of_matrix(&rows);
+        let b = MetricAudit::of_matrix(&rows);
+        assert_eq!(a.findings, b.findings);
+        assert_eq!(a.truncated, b.truncated);
+    }
+}

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod audit;
 pub mod gen;
 mod graph;
 mod mst;
@@ -36,6 +37,10 @@ mod mst;
 mod serde_impl;
 mod space;
 
+pub use audit::{
+    audited_matrix_metric, AuditFinding, MetricAudit, MAX_AUDIT_FINDINGS, NEAR_DUPLICATE_REL,
+    TRIANGLE_AUDIT_LIMIT,
+};
 pub use graph::{Graph, GraphError};
 pub use mst::{minimum_spanning_tree, mst_weight, spanner_lightness, spanner_max_stretch};
 pub use space::{

@@ -8,6 +8,7 @@ use crate::graph::Graph;
 
 /// Error produced when constructing or validating a metric space.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum MetricError {
     /// A distance entry was negative, NaN or infinite.
     InvalidDistance {

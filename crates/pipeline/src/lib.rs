@@ -11,6 +11,12 @@
 //!   output always holds `f(i, items[i])`, so downstream merges (edge
 //!   dedup, overlay assembly) see the same sequence regardless of worker
 //!   count — parallel builds are bit-identical to sequential ones.
+//! * [`try_parallel_map`] / [`try_parallel_map_owned`] — panic-contained
+//!   variants: every work unit runs under `catch_unwind`, a panicking
+//!   unit is retried once on the calling thread (deterministically, in
+//!   unit order), and a persistent failure surfaces as a structured
+//!   [`PipelineError`] naming the failing unit instead of unwinding
+//!   through `thread::scope` and aborting the build.
 //! * [`resolve_workers`] / [`auto_workers`] — worker-count selection:
 //!   an explicit request wins, then the `HOPSPAN_WORKERS` environment
 //!   variable, then [`std::thread::available_parallelism`].
@@ -25,9 +31,61 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// A contained failure of the parallel pipeline: work unit `unit` (the
+/// tree index in the per-tree fan-outs) panicked, and — for the borrowed
+/// variants — its deterministic same-thread retry panicked again.
+///
+/// With several failing units, the error always reports the lowest unit
+/// index, so the outcome is identical for every worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct PipelineError {
+    /// Index of the failing work unit.
+    pub unit: usize,
+    /// The panic payload rendered to text (`&str`/`String` payloads are
+    /// quoted verbatim; anything else becomes a placeholder).
+    pub message: String,
+    /// Whether the unit was retried on the calling thread before the
+    /// failure was reported (`false` for the owned variant, whose items
+    /// are consumed by the first attempt).
+    pub retried: bool,
+    /// The unit whose panic poisoned the shared result-slot mutex, when
+    /// that happened — recorded instead of silently clearing the poison.
+    pub poisoned_by: Option<usize>,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline work unit {} panicked", self.unit)?;
+        if self.retried {
+            write!(f, " (and its same-thread retry panicked again)")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(p) = self.poisoned_by {
+            write!(f, "; unit {p} poisoned the result-slot mutex")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Renders a caught panic payload for [`PipelineError::message`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Environment variable overriding the automatic worker count.
 pub const WORKERS_ENV: &str = "HOPSPAN_WORKERS";
@@ -71,14 +129,64 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    match try_parallel_map(workers, items, f) {
+        Ok(out) => out,
+        // hopspan:allow(panic-in-lib) -- legacy untyped API: re-raise the contained worker panic for callers that did not opt into PipelineError
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Panic-contained [`parallel_map`]: every work unit runs under
+/// `catch_unwind`. A unit that panics on a worker thread is retried
+/// exactly once on the calling thread after all workers have joined;
+/// retries run in ascending unit order, so the first persistently
+/// failing unit is the one reported and the outcome is identical for
+/// every worker count. Successful results are returned in input order,
+/// exactly like [`parallel_map`].
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] naming the lowest-indexed unit whose
+/// work panicked on both the worker thread and the same-thread retry.
+pub fn try_parallel_map<T, R, F>(workers: usize, items: &[T], f: F) -> Result<Vec<R>, PipelineError>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
     if workers <= 1 || n < 2 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, t) in items.iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                Ok(r) => out.push(r),
+                // Deterministic same-thread retry: transient failures
+                // (e.g. environmental) get one more chance before the
+                // unit is reported.
+                Err(_first) => match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                    Ok(r) => out.push(r),
+                    Err(payload) => {
+                        return Err(PipelineError {
+                            unit: i,
+                            message: panic_message(payload.as_ref()),
+                            retried: true,
+                            poisoned_by: None,
+                        })
+                    }
+                },
+            }
+        }
+        return Ok(out);
     }
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = Vec::new();
     out.resize_with(n, || None);
     let slots = Mutex::new(&mut out);
+    // Failed units, recorded for the post-join retry pass; claim order
+    // is nondeterministic, so the list is sorted before retrying.
+    let failed: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    // Unit whose panic poisoned `slots` (stored as unit + 1; 0 = none).
+    let poisoner = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             scope.spawn(|| loop {
@@ -86,20 +194,61 @@ where
                 if i >= n {
                     break;
                 }
-                let r = f(i, &items[i]);
-                lock_resilient(&slots)[i] = Some(r);
+                // The slot write happens inside the contained closure, so
+                // a panic while holding the slot mutex is caught here and
+                // attributed below instead of tearing down the scope.
+                let unit = catch_unwind(AssertUnwindSafe(|| {
+                    let r = f(i, &items[i]);
+                    lock_resilient(&slots)[i] = Some(r);
+                }));
+                if unit.is_err() {
+                    if slots.is_poisoned() {
+                        // Record which unit poisoned the slot mutex
+                        // (first poisoner wins) instead of clearing the
+                        // poison silently.
+                        poisoner
+                            .compare_exchange(0, i + 1, Ordering::SeqCst, Ordering::SeqCst)
+                            .ok();
+                    }
+                    lock_resilient(&failed).push(i);
+                }
             });
         }
     });
-    out.into_iter()
-        // hopspan:allow(panic-in-lib) -- the scope joins all workers, so every slot was written
+    let poisoned_by = match poisoner.load(Ordering::SeqCst) {
+        0 => None,
+        p => Some(p - 1),
+    };
+    let mut failed = failed
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    failed.sort_unstable();
+    for i in failed {
+        match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+            Ok(r) => out[i] = Some(r),
+            Err(payload) => {
+                return Err(PipelineError {
+                    unit: i,
+                    message: panic_message(payload.as_ref()),
+                    retried: true,
+                    poisoned_by,
+                })
+            }
+        }
+    }
+    Ok(out
+        .into_iter()
+        // hopspan:allow(panic-in-lib) -- every slot was written by a joined worker or the retry pass above
         .map(|r| r.expect("every slot filled"))
-        .collect()
+        .collect())
 }
 
 /// Acquires a mutex, recovering from poisoning: the protected data is
 /// an index-addressed slot vector that stays consistent even if a
-/// sibling worker panicked while holding the lock.
+/// sibling worker panicked while holding the lock. The panicking unit
+/// is attributed by the caller (see `poisoner` in [`try_parallel_map`])
+/// and surfaced through [`PipelineError::poisoned_by`]; this helper
+/// only recovers the guard.
 fn lock_resilient<T: ?Sized>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
@@ -113,19 +262,57 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    match try_parallel_map_owned(workers, items, f) {
+        Ok(out) => out,
+        // hopspan:allow(panic-in-lib) -- legacy untyped API: re-raise the contained worker panic for callers that did not opt into PipelineError
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Panic-contained [`parallel_map_owned`]. Unlike [`try_parallel_map`]
+/// there is no retry: the failed call consumed its item, so the unit is
+/// reported immediately (`retried = false`). With several failing units
+/// the lowest index is reported, for worker-count independence.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] naming the lowest-indexed unit whose
+/// work panicked.
+pub fn try_parallel_map_owned<T, R, F>(
+    workers: usize,
+    items: Vec<T>,
+    f: F,
+) -> Result<Vec<R>, PipelineError>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     let n = items.len();
     if workers <= 1 || n < 2 {
-        return items
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| f(i, t))
-            .collect();
+        let mut out = Vec::with_capacity(n);
+        for (i, t) in items.into_iter().enumerate() {
+            match catch_unwind(AssertUnwindSafe(|| f(i, t))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    return Err(PipelineError {
+                        unit: i,
+                        message: panic_message(payload.as_ref()),
+                        retried: false,
+                        poisoned_by: None,
+                    })
+                }
+            }
+        }
+        return Ok(out);
     }
     let input: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let next = AtomicUsize::new(0);
     let mut out: Vec<Option<R>> = Vec::new();
     out.resize_with(n, || None);
     let slots = Mutex::new(&mut out);
+    let failed: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    let poisoner = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             scope.spawn(|| loop {
@@ -133,19 +320,48 @@ where
                 if i >= n {
                     break;
                 }
-                let item = lock_resilient(&input[i])
-                    .take()
-                    // hopspan:allow(panic-in-lib) -- the atomic counter hands each index to exactly one worker
-                    .expect("each index claimed once");
-                let r = f(i, item);
-                lock_resilient(&slots)[i] = Some(r);
+                let unit = catch_unwind(AssertUnwindSafe(|| {
+                    let item = lock_resilient(&input[i])
+                        .take()
+                        // hopspan:allow(panic-in-lib) -- the atomic counter hands each index to exactly one worker
+                        .expect("each index claimed once");
+                    let r = f(i, item);
+                    lock_resilient(&slots)[i] = Some(r);
+                }));
+                if let Err(payload) = unit {
+                    if slots.is_poisoned() || input[i].is_poisoned() {
+                        poisoner
+                            .compare_exchange(0, i + 1, Ordering::SeqCst, Ordering::SeqCst)
+                            .ok();
+                    }
+                    lock_resilient(&failed).push((i, panic_message(payload.as_ref())));
+                }
             });
         }
     });
-    out.into_iter()
-        // hopspan:allow(panic-in-lib) -- the scope joins all workers, so every slot was written
+    let poisoned_by = match poisoner.load(Ordering::SeqCst) {
+        0 => None,
+        p => Some(p - 1),
+    };
+    let mut failed = failed
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some((unit, message)) = {
+        failed.sort_unstable_by_key(|a| a.0);
+        failed.into_iter().next()
+    } {
+        return Err(PipelineError {
+            unit,
+            message,
+            retried: false,
+            poisoned_by,
+        });
+    }
+    Ok(out
+        .into_iter()
+        // hopspan:allow(panic-in-lib) -- the scope joins all workers and no unit failed, so every slot was written
         .map(|r| r.expect("every slot filled"))
-        .collect()
+        .collect())
 }
 
 /// One timed phase of a build.
@@ -331,6 +547,98 @@ mod tests {
         let seq = parallel_map(1, &items, slow_square);
         let par = parallel_map(8, &items, slow_square);
         assert_eq!(seq, par);
+    }
+
+    /// Runs `f` with the default panic hook silenced, so intentionally
+    /// injected panics do not spam test output. The hook is process
+    /// global; the mutex serializes hook swaps across tests.
+    fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        static HOOK: Mutex<()> = Mutex::new(());
+        let _guard = HOOK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let old = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = f();
+        std::panic::set_hook(old);
+        r
+    }
+
+    #[test]
+    fn transient_panic_is_retried_on_the_calling_thread() {
+        let items: Vec<usize> = (0..20).collect();
+        for workers in [1usize, 4] {
+            let attempts: Vec<AtomicUsize> = (0..20).map(|_| AtomicUsize::new(0)).collect();
+            let out = quiet_panics(|| {
+                try_parallel_map(workers, &items, |i, &x| {
+                    if i == 7 && attempts[i].fetch_add(1, Ordering::SeqCst) == 0 {
+                        panic!("transient failure in unit 7");
+                    }
+                    x * 2
+                })
+            })
+            .expect("retry should recover the transient failure");
+            assert_eq!(out, (0..20).map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(attempts[7].load(Ordering::SeqCst), 2, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn persistent_panic_reports_lowest_unit_for_any_worker_count() {
+        let items: Vec<usize> = (0..30).collect();
+        for workers in [1usize, 2, 8] {
+            let err = quiet_panics(|| {
+                try_parallel_map(workers, &items, |i, &x| {
+                    if i == 23 || i == 11 {
+                        panic!("injected failure in unit {i}");
+                    }
+                    x
+                })
+            })
+            .expect_err("persistent panics must surface");
+            assert_eq!(err.unit, 11, "workers={workers}");
+            assert!(err.retried);
+            assert!(err.message.contains("unit 11"), "got: {}", err.message);
+            assert_eq!(err.poisoned_by, None);
+            assert!(err.to_string().contains("work unit 11"));
+        }
+    }
+
+    #[test]
+    fn owned_variant_reports_without_retry() {
+        let items: Vec<String> = (0..12).map(|i| i.to_string()).collect();
+        for workers in [1usize, 4] {
+            let err = quiet_panics(|| {
+                try_parallel_map_owned(workers, items.clone(), |i, s| {
+                    if i == 5 {
+                        panic!("cannot build tree {i}");
+                    }
+                    s
+                })
+            })
+            .expect_err("unit 5 always fails");
+            assert_eq!(err.unit, 5, "workers={workers}");
+            assert!(!err.retried);
+            assert!(err.message.contains("tree 5"));
+        }
+    }
+
+    #[test]
+    fn legacy_api_still_panics_with_the_structured_message() {
+        let items: Vec<usize> = (0..8).collect();
+        let payload = quiet_panics(|| {
+            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                parallel_map(4, &items, |i, &x| {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                    x
+                })
+            }))
+        })
+        .expect_err("legacy API re-raises");
+        let msg = panic_message(payload.as_ref());
+        assert!(msg.contains("work unit 3"), "got: {msg}");
     }
 
     #[test]

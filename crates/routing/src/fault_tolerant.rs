@@ -9,6 +9,7 @@
 
 use std::collections::{BTreeSet, HashSet};
 
+use hopspan_core::{DegradationPolicy, DegradeReason, FtPathOutcome};
 use hopspan_metric::Metric;
 use hopspan_pipeline::BuildStats;
 use hopspan_tree_cover::{DominatingTree, RobustTreeCover};
@@ -79,7 +80,7 @@ impl FtMetricRoutingScheme {
         // tree-index order so the network is worker-count independent.
         type FtBuilt = (TreeHopSpanner, Vec<Vec<usize>>, Vec<(usize, usize)>);
         let built: Vec<FtBuilt> = stats.phase("spanners", || {
-            hopspan_pipeline::parallel_map(workers, &doms, |_, dom| {
+            hopspan_pipeline::try_parallel_map(workers, &doms, |_, dom| {
                 let tree = dom.tree();
                 let required: Vec<bool> =
                     (0..tree.len()).map(|v| tree.child_count(v) == 0).collect();
@@ -114,8 +115,10 @@ impl FtMetricRoutingScheme {
                 }
                 Ok((spanner, cands, pairs))
             })
+            .map_err(NavBuildError::Pipeline)?
             .into_iter()
             .collect::<Result<_, hopspan_tree_spanner::TreeSpannerError>>()
+            .map_err(NavBuildError::Spanner)
         })?;
         stats.tree_count = built.len();
         stats.per_tree_spanner_edges = built.iter().map(|(s, _, _)| s.edges().len()).collect();
@@ -297,6 +300,84 @@ impl FtMetricRoutingScheme {
         Err(RoutingError::Undeliverable)
     }
 
+    /// Like [`FtMetricRoutingScheme::route_avoiding`], but under an
+    /// explicit [`DegradationPolicy`], with the metric supplied so a
+    /// degraded delivery can report its achieved stretch.
+    ///
+    /// Under [`DegradationPolicy::Strict`], a fault set larger than the
+    /// budget `f` is rejected up front with
+    /// [`RoutingError::TooManyFaults`]; in-contract queries behave
+    /// exactly like [`FtMetricRoutingScheme::route_avoiding`]. Under
+    /// [`DegradationPolicy::BestEffort`], over-budget fault sets are
+    /// still attempted: a surviving delivery is reported as
+    /// [`FtPathOutcome::Degraded`] with
+    /// [`DegradeReason::BudgetExceeded`] and the measured stretch of the
+    /// delivered route. Unlike the spanner-level
+    /// `find_path_avoiding_with_policy`, routing cannot fabricate a
+    /// direct fallback edge — packets only travel the overlay network —
+    /// so an undeliverable pair stays [`RoutingError::Undeliverable`]
+    /// under both policies.
+    ///
+    /// # Errors
+    ///
+    /// [`RoutingError`] for invalid/faulty endpoints, strict-mode budget
+    /// violations, or undeliverable pairs.
+    pub fn route_avoiding_with_policy<M: Metric>(
+        &self,
+        metric: &M,
+        u: usize,
+        v: usize,
+        faulty: &HashSet<usize>,
+        policy: DegradationPolicy,
+    ) -> Result<(RouteTrace, FtPathOutcome), RoutingError> {
+        let mut trace = RouteTrace::default();
+        let mut order = Vec::with_capacity(self.trees.len());
+        let outcome =
+            self.route_avoiding_policy_into(metric, u, v, faulty, policy, &mut trace, &mut order)?;
+        Ok((trace, outcome))
+    }
+
+    /// Allocation-reusing form of
+    /// [`FtMetricRoutingScheme::route_avoiding_with_policy`]; the trace
+    /// is reset first and on error its contents are unspecified.
+    ///
+    /// # Errors
+    ///
+    /// [`RoutingError`] for invalid/faulty endpoints, strict-mode budget
+    /// violations, or undeliverable pairs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_avoiding_policy_into<M: Metric>(
+        &self,
+        metric: &M,
+        u: usize,
+        v: usize,
+        faulty: &HashSet<usize>,
+        policy: DegradationPolicy,
+        trace: &mut RouteTrace,
+        order: &mut Vec<(usize, f64)>,
+    ) -> Result<FtPathOutcome, RoutingError> {
+        let over_budget = faulty.len() > self.f;
+        if over_budget && policy == DegradationPolicy::Strict {
+            return Err(RoutingError::TooManyFaults {
+                got: faulty.len(),
+                f: self.f,
+            });
+        }
+        self.route_avoiding_into(u, v, faulty, trace, order)?;
+        if !over_budget {
+            return Ok(FtPathOutcome::Full);
+        }
+        let w: f64 = trace.path.windows(2).map(|x| metric.dist(x[0], x[1])).sum();
+        let d = metric.dist(u, v);
+        Ok(FtPathOutcome::Degraded {
+            reason: DegradeReason::BudgetExceeded {
+                got: faulty.len(),
+                f: self.f,
+            },
+            achieved_stretch: if d > 0.0 { w / d } else { 1.0 },
+        })
+    }
+
     /// Measured stretch/hops over all non-faulty pairs.
     ///
     /// Source rows fan out over scoped workers; each worker reuses one
@@ -316,7 +397,7 @@ impl FtMetricRoutingScheme {
     ) -> Result<(f64, usize), RoutingError> {
         let rows: Vec<usize> = (0..self.n).collect();
         let workers = hopspan_pipeline::resolve_workers(None);
-        let per_row = hopspan_pipeline::parallel_map(workers, &rows, |_, &u| {
+        let per_row = hopspan_pipeline::try_parallel_map(workers, &rows, |_, &u| {
             let mut worst = 1.0f64;
             let mut hops = 0usize;
             if faulty.contains(&u) {
@@ -341,7 +422,8 @@ impl FtMetricRoutingScheme {
                 hops = hops.max(trace.hops());
             }
             Ok((worst, hops))
-        });
+        })
+        .map_err(RoutingError::Pipeline)?;
         let mut worst = 1.0f64;
         let mut hops = 0usize;
         for row in per_row {
@@ -409,6 +491,52 @@ mod tests {
             rs.route_avoiding(2, 5, &faulty),
             Err(RoutingError::BadEndpoint { node: 2 })
         ));
+    }
+
+    #[test]
+    fn strict_policy_rejects_over_budget_fault_sets() {
+        let m = gen::uniform_points(14, 2, &mut rng());
+        let rs = FtMetricRoutingScheme::new(&m, 0.25, 1, &mut rng()).unwrap();
+        let faulty: HashSet<usize> = [3usize, 7, 9].into_iter().collect();
+        assert!(matches!(
+            rs.route_avoiding_with_policy(&m, 0, 1, &faulty, DegradationPolicy::Strict),
+            Err(RoutingError::TooManyFaults { got: 3, f: 1 })
+        ));
+        // In-contract queries match the policy-free entry point.
+        let small: HashSet<usize> = [3usize].into_iter().collect();
+        let (trace, outcome) = rs
+            .route_avoiding_with_policy(&m, 0, 1, &small, DegradationPolicy::Strict)
+            .unwrap();
+        assert_eq!(outcome, FtPathOutcome::Full);
+        assert_eq!(trace.path, rs.route_avoiding(0, 1, &small).unwrap().path);
+    }
+
+    #[test]
+    fn best_effort_reports_degraded_delivery_over_budget() {
+        let m = gen::uniform_points(14, 2, &mut rng());
+        let rs = FtMetricRoutingScheme::new(&m, 0.25, 1, &mut rng()).unwrap();
+        let faulty: HashSet<usize> = [3usize, 7, 9].into_iter().collect();
+        let mut delivered = 0usize;
+        for (u, v) in [(0usize, 1usize), (2, 5), (10, 13)] {
+            match rs.route_avoiding_with_policy(&m, u, v, &faulty, DegradationPolicy::BestEffort) {
+                Ok((trace, outcome)) => {
+                    delivered += 1;
+                    assert_eq!(trace.path.last(), Some(&v));
+                    assert!(trace.path.iter().all(|p| !faulty.contains(p)));
+                    match outcome {
+                        FtPathOutcome::Degraded {
+                            reason: DegradeReason::BudgetExceeded { got: 3, f: 1 },
+                            achieved_stretch,
+                        } => assert!(achieved_stretch >= 1.0 - 1e-12),
+                        other => panic!("expected a budget-exceeded degrade, got {other:?}"),
+                    }
+                }
+                Err(RoutingError::Undeliverable) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        // On this seed at least one over-budget pair still delivers.
+        assert!(delivered > 0);
     }
 
     #[test]

@@ -178,7 +178,7 @@ impl MetricRoutingScheme {
         // over scoped workers; the overlay is merged sequentially in
         // tree-index order, so it is identical for every worker count.
         let built: Vec<(TreeHopSpanner, Vec<(usize, usize)>)> = stats.phase("spanners", || {
-            hopspan_pipeline::parallel_map(workers, &doms, |_, dom| {
+            hopspan_pipeline::try_parallel_map(workers, &doms, |_, dom| {
                 let tree = dom.tree();
                 let required: Vec<bool> =
                     (0..tree.len()).map(|v| tree.child_count(v) == 0).collect();
@@ -192,8 +192,10 @@ impl MetricRoutingScheme {
                 }
                 Ok((spanner, pairs))
             })
+            .map_err(NavBuildError::Pipeline)?
             .into_iter()
             .collect::<Result<_, hopspan_tree_spanner::TreeSpannerError>>()
+            .map_err(NavBuildError::Spanner)
         })?;
         stats.tree_count = built.len();
         stats.per_tree_spanner_edges = built.iter().map(|(s, _)| s.edges().len()).collect();
@@ -380,7 +382,7 @@ impl MetricRoutingScheme {
     ) -> Result<(f64, usize), RoutingError> {
         let rows: Vec<usize> = (0..self.n).collect();
         let workers = hopspan_pipeline::resolve_workers(None);
-        let per_row = hopspan_pipeline::parallel_map(workers, &rows, |_, &u| {
+        let per_row = hopspan_pipeline::try_parallel_map(workers, &rows, |_, &u| {
             let mut trace = RouteTrace::default();
             let mut worst = 1.0f64;
             let mut hops = 0usize;
@@ -398,7 +400,8 @@ impl MetricRoutingScheme {
                 hops = hops.max(trace.hops());
             }
             Ok::<_, RoutingError>((worst, hops))
-        });
+        })
+        .map_err(RoutingError::Pipeline)?;
         let mut worst = 1.0f64;
         let mut hops = 0usize;
         for row in per_row {

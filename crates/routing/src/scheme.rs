@@ -27,6 +27,7 @@ use crate::network::{Header, Network, RouteTrace};
 
 /// Error type for routing queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RoutingError {
     /// An endpoint is out of range, unlabeled, or faulty.
     BadEndpoint {
@@ -35,6 +36,16 @@ pub enum RoutingError {
     },
     /// Delivery failed (should not happen for valid inputs).
     Undeliverable,
+    /// A fault set larger than the scheme's budget was rejected under
+    /// [`hopspan_core::DegradationPolicy::Strict`].
+    TooManyFaults {
+        /// The size of the submitted fault set.
+        got: usize,
+        /// The scheme's fault-tolerance budget.
+        f: usize,
+    },
+    /// A contained worker panic in a parallel measurement fan-out.
+    Pipeline(hopspan_pipeline::PipelineError),
 }
 
 impl fmt::Display for RoutingError {
@@ -42,19 +53,40 @@ impl fmt::Display for RoutingError {
         match self {
             RoutingError::BadEndpoint { node } => write!(f, "bad endpoint {node}"),
             RoutingError::Undeliverable => write!(f, "packet could not be delivered"),
+            RoutingError::TooManyFaults { got, f: budget } => write!(
+                f,
+                "fault set of size {got} exceeds the scheme's budget f = {budget}"
+            ),
+            RoutingError::Pipeline(e) => write!(f, "pipeline: {e}"),
         }
     }
 }
 
-impl std::error::Error for RoutingError {}
+impl std::error::Error for RoutingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RoutingError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hopspan_pipeline::PipelineError> for RoutingError {
+    fn from(e: hopspan_pipeline::PipelineError) -> Self {
+        RoutingError::Pipeline(e)
+    }
+}
 
 /// Error from building a routing scheme (cover or spanner failure).
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum NavBuildError {
     /// The tree cover could not be built.
     Cover(hopspan_tree_cover::CoverError),
     /// The tree spanner could not be built.
     Spanner(hopspan_tree_spanner::TreeSpannerError),
+    /// A contained worker panic in the parallel build fan-out.
+    Pipeline(hopspan_pipeline::PipelineError),
 }
 
 impl fmt::Display for NavBuildError {
@@ -62,11 +94,26 @@ impl fmt::Display for NavBuildError {
         match self {
             NavBuildError::Cover(e) => write!(f, "cover construction failed: {e}"),
             NavBuildError::Spanner(e) => write!(f, "spanner construction failed: {e}"),
+            NavBuildError::Pipeline(e) => write!(f, "build pipeline failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for NavBuildError {}
+impl std::error::Error for NavBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NavBuildError::Cover(e) => Some(e),
+            NavBuildError::Spanner(e) => Some(e),
+            NavBuildError::Pipeline(e) => Some(e),
+        }
+    }
+}
+
+impl From<hopspan_pipeline::PipelineError> for NavBuildError {
+    fn from(e: hopspan_pipeline::PipelineError) -> Self {
+        NavBuildError::Pipeline(e)
+    }
+}
 
 impl From<hopspan_tree_cover::CoverError> for NavBuildError {
     fn from(e: hopspan_tree_cover::CoverError) -> Self {

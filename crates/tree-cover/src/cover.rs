@@ -7,6 +7,7 @@ use hopspan_treealg::{Lca, RootedTree};
 
 /// Error produced by tree-cover constructions.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoverError {
     /// The metric has two points at distance zero (duplicate points), so
     /// no net hierarchy exists.
@@ -30,6 +31,22 @@ pub enum CoverError {
         /// First offending pair.
         pair: (usize, usize),
     },
+    /// A distance was NaN, infinite or negative, so no net hierarchy
+    /// (and hence no cover) exists for the metric.
+    BadDistance {
+        /// Row of the offending entry.
+        i: usize,
+        /// Column of the offending entry.
+        j: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A deep structural self-check found an internal inconsistency
+    /// (see [`TreeCover::validate_structure`]).
+    Corrupt {
+        /// Which invariant failed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for CoverError {
@@ -43,6 +60,13 @@ impl fmt::Display for CoverError {
             CoverError::NotDominating { tree, pair } => {
                 write!(f, "tree {tree} not dominating on pair {pair:?}")
             }
+            CoverError::BadDistance { i, j, value } => {
+                write!(
+                    f,
+                    "distance d({i}, {j}) = {value} is not finite non-negative"
+                )
+            }
+            CoverError::Corrupt { what } => write!(f, "corrupt cover structure: {what}"),
         }
     }
 }
@@ -173,6 +197,62 @@ impl DominatingTree {
         &self.leaf_order[s..e]
     }
 
+    /// Deep structural self-check of the dense layouts that queries
+    /// trust blindly: the DFS leaf order, the per-vertex descendant-leaf
+    /// spans, the leaf↔point pointers and the edge weights. O(tree
+    /// size); intended for chaos harnesses and post-transport integrity
+    /// checks, not the query hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::Corrupt`] naming the first violated
+    /// invariant.
+    pub fn validate_structure(&self) -> Result<(), CoverError> {
+        let n = self.tree.len();
+        let corrupt = |what| Err(CoverError::Corrupt { what });
+        if self.point_of.len() != n || self.span.len() != n {
+            return corrupt("per-vertex table length mismatch");
+        }
+        for v in 0..n {
+            if !self.tree.parent_weight(v).is_finite() || self.tree.parent_weight(v) < 0.0 {
+                return corrupt("tree edge weight not finite non-negative");
+            }
+            let (s, e) = self.span[v];
+            if s > e || e > self.leaf_order.len() {
+                return corrupt("descendant-leaf span out of range");
+            }
+            if self.tree.children(v).is_empty() {
+                if e != s + 1 || self.leaf_order[s] != v {
+                    return corrupt("leaf vertex span must be exactly itself");
+                }
+                let p = self.point_of[v];
+                if self.leaf_of.get(p).copied().flatten() != Some(v) {
+                    return corrupt("leaf vertex not registered under its point");
+                }
+            }
+        }
+        let mut leaves = 0usize;
+        for (p, &lv) in self.leaf_of.iter().enumerate() {
+            let Some(v) = lv else { continue };
+            leaves += 1;
+            if v >= n || !self.tree.children(v).is_empty() {
+                return corrupt("leaf pointer at a non-leaf vertex");
+            }
+            if self.point_of[v] != p {
+                return corrupt("leaf pointer disagrees with the vertex's point");
+            }
+        }
+        if leaves != self.leaf_order.len() {
+            return corrupt("leaf order length disagrees with the leaf count");
+        }
+        for &v in &self.leaf_order {
+            if v >= n {
+                return corrupt("leaf order entry out of range");
+            }
+        }
+        Ok(())
+    }
+
     /// Checks domination: `δ_T(p, q) ≥ δ_X(p, q)` for all covered pairs.
     ///
     /// # Errors
@@ -269,6 +349,21 @@ impl TreeCover {
             if let Err(pair) = t.validate_dominating(metric) {
                 return Err(CoverError::NotDominating { tree: i, pair });
             }
+        }
+        Ok(())
+    }
+
+    /// Deep structural self-check of every tree's dense layouts
+    /// (see [`DominatingTree::validate_structure`]); unlike
+    /// [`TreeCover::validate`] this needs no metric and runs in
+    /// O(total tree vertices).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::Corrupt`] for the first offending tree.
+    pub fn validate_structure(&self) -> Result<(), CoverError> {
+        for t in &self.trees {
+            t.validate_structure()?;
         }
         Ok(())
     }
@@ -423,6 +518,43 @@ mod tests {
         // d(1, 2) + d(2, 2) = 2.
         let w = substituted_path_weight(&m, &t, 1, 2, |_| 2).unwrap();
         assert!((w - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_structure_accepts_and_detects() {
+        let m = line3();
+        let fresh = || star_tree(&m);
+        fresh().validate_structure().unwrap();
+        TreeCover::new(vec![fresh(), fresh()])
+            .validate_structure()
+            .unwrap();
+
+        let what = |t: DominatingTree| match t.validate_structure() {
+            Err(CoverError::Corrupt { what }) => what,
+            other => panic!("corruption went undetected: {other:?}"),
+        };
+
+        let mut t = fresh();
+        let leaf = t.leaf_of(1).unwrap();
+        t.span[leaf] = (0, t.leaf_order.len());
+        assert_eq!(what(t), "leaf vertex span must be exactly itself");
+
+        let mut t = fresh();
+        t.span[0] = (2, 1);
+        assert_eq!(what(t), "descendant-leaf span out of range");
+
+        let mut t = fresh();
+        let leaf = t.leaf_of(0).unwrap();
+        t.point_of[leaf] = 2;
+        assert_eq!(what(t), "leaf vertex not registered under its point");
+
+        let mut t = fresh();
+        t.leaf_of[1] = t.leaf_of[0];
+        assert_eq!(what(t), "leaf vertex not registered under its point");
+
+        let mut t = fresh();
+        t.leaf_order.push(0);
+        assert_eq!(what(t), "leaf order length disagrees with the leaf count");
     }
 
     #[test]

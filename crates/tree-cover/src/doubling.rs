@@ -160,6 +160,12 @@ impl RobustTreeCover {
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = metric.dist(i, j);
+                if !d.is_finite() || d < 0.0 {
+                    // NaN slips past both comparisons below and an
+                    // infinite dmax overflows the scale exponents; fail
+                    // typed before any arithmetic sees the value.
+                    return Err(CoverError::BadDistance { i, j, value: d });
+                }
                 if d < dmin {
                     dmin = d;
                     closest = (i, j);

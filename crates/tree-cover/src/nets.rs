@@ -6,7 +6,7 @@
 //! `2^i`-net, for all scales `i` in a range wide enough for both the
 //! pairing covers and the pair-level equation (2) of the paper.
 
-use hopspan_metric::Metric;
+use hopspan_metric::{exactly_zero, Metric};
 
 use crate::CoverError;
 
@@ -38,8 +38,10 @@ impl NetHierarchy {
     /// # Errors
     ///
     /// Returns [`CoverError::Empty`] for an empty metric,
-    /// [`CoverError::DuplicatePoints`] if two points coincide, and
-    /// [`CoverError::InvalidParameter`] for a reversed range.
+    /// [`CoverError::DuplicatePoints`] if two points coincide,
+    /// [`CoverError::BadDistance`] for a NaN, infinite or negative
+    /// distance, and [`CoverError::InvalidParameter`] for a reversed
+    /// range.
     pub fn new<M: Metric>(metric: &M, low_exp: i32, high_exp: i32) -> Result<Self, CoverError> {
         let n = metric.len();
         if n == 0 {
@@ -52,7 +54,13 @@ impl NetHierarchy {
         }
         for i in 0..n {
             for j in (i + 1)..n {
-                if metric.dist(i, j) <= 0.0 {
+                let d = metric.dist(i, j);
+                // NaN fails `is_finite`; a plain `<= 0.0` would let it
+                // through and poison every radius comparison below.
+                if !d.is_finite() || d < 0.0 {
+                    return Err(CoverError::BadDistance { i, j, value: d });
+                }
+                if exactly_zero(d) {
                     return Err(CoverError::DuplicatePoints { i, j });
                 }
             }
@@ -128,6 +136,12 @@ impl NetHierarchy {
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = metric.dist(i, j);
+                // Reject NaN/∞/negative entries up front: an infinite
+                // dmax would overflow the i32 exponent arithmetic below,
+                // and NaN slips past every ordered comparison.
+                if !d.is_finite() || d < 0.0 {
+                    return Err(CoverError::BadDistance { i, j, value: d });
+                }
                 if d < dmin {
                     dmin = d;
                     closest = (i, j);
@@ -143,7 +157,7 @@ impl NetHierarchy {
                 j: closest.1,
             });
         }
-        if n == 1 || !dmin.is_finite() {
+        if n == 1 {
             // Single point: one trivial level.
             return NetHierarchy::new(metric, 0, 0);
         }
@@ -259,5 +273,36 @@ mod tests {
         let h = NetHierarchy::for_epsilon(&m, 0.5, 2).unwrap();
         assert_eq!(h.levels().len(), 1);
         assert_eq!(h.levels()[0].points, vec![0]);
+    }
+
+    #[test]
+    fn rejects_non_finite_and_negative_distances() {
+        struct Bad(f64);
+        impl hopspan_metric::Metric for Bad {
+            fn len(&self) -> usize {
+                3
+            }
+            fn dist(&self, i: usize, j: usize) -> f64 {
+                if i == j {
+                    0.0
+                } else if i.min(j) == 0 && i.max(j) == 2 {
+                    self.0
+                } else {
+                    1.0
+                }
+            }
+        }
+        for bad in [f64::NAN, f64::INFINITY, -1.0] {
+            // `for_epsilon` must reject before its exponent arithmetic
+            // (an ∞ diameter would overflow the i32 scale range).
+            assert!(matches!(
+                NetHierarchy::for_epsilon(&Bad(bad), 0.5, 2),
+                Err(CoverError::BadDistance { i: 0, j: 2, .. })
+            ));
+            assert!(matches!(
+                NetHierarchy::new(&Bad(bad), 0, 1),
+                Err(CoverError::BadDistance { i: 0, j: 2, .. })
+            ));
+        }
     }
 }

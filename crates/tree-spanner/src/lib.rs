@@ -50,6 +50,7 @@ use local_tree::LocalTree;
 
 /// Error type for [`TreeHopSpanner`] construction and queries.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TreeSpannerError {
     /// The hop-diameter parameter must be at least 2.
     InvalidK {
@@ -65,6 +66,12 @@ pub enum TreeSpannerError {
         /// The offending vertex.
         vertex: usize,
     },
+    /// A deep structural self-check found an internal inconsistency
+    /// (see [`TreeHopSpanner::validate`]).
+    Corrupt {
+        /// Which invariant failed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for TreeSpannerError {
@@ -77,6 +84,9 @@ impl fmt::Display for TreeSpannerError {
             }
             TreeSpannerError::NotRequired { vertex } => {
                 write!(f, "vertex {vertex} is not a required vertex")
+            }
+            TreeSpannerError::Corrupt { what } => {
+                write!(f, "corrupt spanner structure: {what}")
             }
         }
     }
@@ -286,6 +296,87 @@ impl TreeHopSpanner {
         };
         debug_assert!(hu.node != usize::MAX && hv.node != usize::MAX);
         self.nav.find_path_into(hu, hv, out);
+        Ok(())
+    }
+
+    /// Deep structural self-check of the dense query-path layouts: the
+    /// CSR base-case adjacency, the home-pointer tables and the edge
+    /// list. O(n + m); intended for chaos harnesses and post-transport
+    /// integrity checks (e.g. after deserializing a spanner), not for
+    /// the query hot path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeSpannerError::Corrupt`] naming the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), TreeSpannerError> {
+        let n = self.n;
+        let corrupt = |what| Err(TreeSpannerError::Corrupt { what });
+        if self.required.len() != n
+            || self.home_node.len() != n
+            || self.home_slot.len() != n
+            || self.base_member.len() != n
+        {
+            return corrupt("per-vertex table length mismatch");
+        }
+        if self.base_off.len() != n + 1 {
+            return corrupt("CSR offset table must have n + 1 entries");
+        }
+        if self.base_off[0] != 0 {
+            return corrupt("CSR offsets must start at 0");
+        }
+        for v in 0..n {
+            if self.base_off[v] > self.base_off[v + 1] {
+                return corrupt("CSR offsets must be monotonically non-decreasing");
+            }
+            if !self.base_member[v] && self.base_off[v] != self.base_off[v + 1] {
+                return corrupt("non-base vertex with a non-empty adjacency range");
+            }
+        }
+        if self.base_off[n] as usize != self.base_nbr.len() {
+            return corrupt("CSR offsets must end at the adjacency length");
+        }
+        for &(nbr, w) in &self.base_nbr {
+            if nbr >= n {
+                return corrupt("base adjacency neighbor out of range");
+            }
+            if !w.is_finite() || w < 0.0 {
+                return corrupt("base adjacency weight not finite non-negative");
+            }
+        }
+        for v in 0..n {
+            let h = self.home_node[v];
+            if h == usize::MAX {
+                if self.required[v] {
+                    return corrupt("required vertex without a home");
+                }
+                continue;
+            }
+            let Some(node) = self.nav.nodes.get(h) else {
+                return corrupt("home node out of range");
+            };
+            match node.inner.get(self.home_slot[v] as usize) {
+                Some(&stored) if stored == v => {}
+                Some(_) => return corrupt("home slot points at a different vertex"),
+                None => return corrupt("home slot out of range"),
+            }
+        }
+        let mut prev: Option<(usize, usize)> = None;
+        for &(u, v, w) in &self.edges {
+            if u >= n || v >= n {
+                return corrupt("edge endpoint out of range");
+            }
+            if u >= v {
+                return corrupt("edges must be stored with u < v");
+            }
+            if !w.is_finite() || w < 0.0 {
+                return corrupt("edge weight not finite non-negative");
+            }
+            if prev.is_some_and(|p| p >= (u, v)) {
+                return corrupt("edges must be strictly sorted by (u, v)");
+            }
+            prev = Some((u, v));
+        }
         Ok(())
     }
 
@@ -636,5 +727,58 @@ mod tests {
         for k in 2..=4 {
             all_required(&t, k);
         }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_spanners() {
+        for k in 2..=5 {
+            for n in [1usize, 2, 7, 40, 130] {
+                let sp = TreeHopSpanner::new(&random_tree(n, 42 + n as u64), k).unwrap();
+                sp.validate().unwrap_or_else(|e| panic!("n={n} k={k}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn validate_detects_structural_corruption() {
+        let fresh = || TreeHopSpanner::new(&random_tree(40, 9), 2).unwrap();
+        let what = |sp: TreeHopSpanner| match sp.validate() {
+            Err(TreeSpannerError::Corrupt { what }) => what,
+            other => panic!("corruption went undetected: {other:?}"),
+        };
+
+        let mut sp = fresh();
+        sp.base_nbr[0].0 = usize::MAX;
+        assert_eq!(what(sp), "base adjacency neighbor out of range");
+
+        let mut sp = fresh();
+        sp.base_nbr[1].1 = f64::NAN;
+        assert_eq!(what(sp), "base adjacency weight not finite non-negative");
+
+        let mut sp = fresh();
+        sp.base_off[3] = u32::MAX;
+        // Which CSR invariant trips first depends on whether vertex 2 is
+        // a base member; either way the corruption is caught.
+        let w = what(sp);
+        assert!(
+            w.starts_with("CSR offsets") || w == "non-base vertex with a non-empty adjacency range",
+            "unexpected finding: {w}"
+        );
+
+        let mut sp = fresh();
+        sp.home_node[5] = usize::MAX;
+        assert_eq!(what(sp), "required vertex without a home");
+
+        let mut sp = fresh();
+        sp.home_slot[5] = u32::MAX;
+        assert_eq!(what(sp), "home slot out of range");
+
+        let mut sp = fresh();
+        sp.edges[2].2 = f64::INFINITY;
+        assert_eq!(what(sp), "edge weight not finite non-negative");
+
+        let mut sp = fresh();
+        sp.edges.swap(0, 1);
+        assert_eq!(what(sp), "edges must be strictly sorted by (u, v)");
     }
 }

@@ -239,3 +239,112 @@ proptest! {
         }
     }
 }
+
+/// A `Metric` adapter over a raw (possibly damaged) matrix — performs
+/// no validation, so the damage reaches the constructors unfiltered.
+#[derive(Debug, Clone)]
+struct RawMatrix(Vec<Vec<f64>>);
+
+impl Metric for RawMatrix {
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        self.0[i][j]
+    }
+}
+
+/// Strategy: a valid Euclidean distance matrix with one seeded class
+/// of damage. Returns `(rows, kind)`; kinds 0–2 (NaN, ∞, negative) are
+/// observable through single-orientation `Metric` reads, 3–5
+/// (asymmetry, triangle violation, near-duplicate) are matrix-level
+/// hazards.
+fn damaged_matrix_strategy() -> impl Strategy<Value = (Vec<Vec<f64>>, usize)> {
+    (points_strategy(16), 0usize..6, 0usize..1_000_000).prop_map(|(space, kind, pick)| {
+        let n = space.len();
+        let mut rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..n).map(|j| space.dist(i, j)).collect())
+            .collect();
+        let i = pick % n;
+        let j = (i + 1 + (pick / n) % (n - 1)) % n;
+        let (i, j) = (i.min(j), i.max(j));
+        match kind {
+            0 => {
+                rows[i][j] = f64::NAN;
+                rows[j][i] = f64::NAN;
+            }
+            1 => {
+                rows[i][j] = f64::INFINITY;
+                rows[j][i] = f64::INFINITY;
+            }
+            2 => {
+                rows[i][j] = -1.0 - rows[i][j];
+                rows[j][i] = rows[i][j];
+            }
+            3 => rows[j][i] = rows[i][j] + 0.5,
+            4 => {
+                // Grid points live in [0, 50]²; 10⁴ beats any detour.
+                rows[i][j] = 1e4;
+                rows[j][i] = 1e4;
+            }
+            _ => {
+                for k in 0..n {
+                    if k != i && k != j {
+                        rows[j][k] = rows[i][k];
+                        rows[k][j] = rows[k][i];
+                    }
+                }
+                rows[i][j] = 1e-13;
+                rows[j][i] = 1e-13;
+            }
+        }
+        (rows, kind)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Robustness: every constructor fed an adversarial matrix returns
+    /// a typed `Result` — never a panic. Observable damage (NaN, ∞,
+    /// negative) must additionally be *rejected* everywhere; matrix-
+    /// level hazards must at least be caught by `MatrixMetric::new`
+    /// (asymmetry) or the audit.
+    #[test]
+    fn adversarial_matrices_err_but_never_panic(case in damaged_matrix_strategy()) {
+        use hopspan::metric::{MatrixMetric, MetricAudit};
+        let (rows, kind) = case;
+        let n = rows.len();
+
+        let audit = MetricAudit::of_matrix(&rows);
+        prop_assert!(!audit.is_clean(), "audit missed damage kind {}", kind);
+
+        let flat: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        let matrix = std::panic::catch_unwind(|| MatrixMetric::new(n, flat))
+            .expect("MatrixMetric::new must not panic");
+        if kind <= 3 {
+            prop_assert!(matrix.is_err(), "kind {} must be rejected at matrix level", kind);
+        }
+
+        let raw = RawMatrix(rows);
+        let detectable = kind <= 2;
+        let cover = std::panic::catch_unwind(|| {
+            RobustTreeCover::new(&raw, 0.5).map(|_| ())
+        })
+        .expect("RobustTreeCover::new must not panic");
+        let nav = std::panic::catch_unwind(|| {
+            MetricNavigator::doubling(&raw, 0.5, 2).map(|_| ())
+        })
+        .expect("MetricNavigator::doubling must not panic");
+        let ft = std::panic::catch_unwind(|| {
+            FaultTolerantSpanner::new(&raw, 0.5, 1, 2).map(|_| ())
+        })
+        .expect("FaultTolerantSpanner::new must not panic");
+        if detectable {
+            prop_assert!(cover.is_err(), "cover accepted damage kind {}", kind);
+            prop_assert!(nav.is_err(), "navigator accepted damage kind {}", kind);
+            prop_assert!(ft.is_err(), "ft spanner accepted damage kind {}", kind);
+        }
+    }
+}
