@@ -1,0 +1,39 @@
+//! E24 runner: closed-loop serving throughput against `hopspan-serve`,
+//! written to `BENCH_serve.json`. Installs a counting global allocator
+//! so the allocs-per-query column is measured rather than reported as
+//! unavailable (the serve steady state must stay at zero). Smoke
+//! variant: `HOPSPAN_E24_SMOKE=1`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// System allocator wrapper that counts allocation events into the
+/// `hopspan_bench::allocs` hook. `dealloc` is pass-through: E24 reports
+/// allocation *events* per query, the metric the zero-alloc serving
+/// path is judged by.
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter update is a relaxed
+// atomic increment and cannot re-enter the allocator.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        hopspan_bench::allocs::record();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        hopspan_bench::allocs::record();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn main() {
+    println!("## E24: Serving throughput: sharded batching, admission control (hopspan-serve)\n");
+    println!("{}", hopspan_bench::experiments::e24_serve());
+}

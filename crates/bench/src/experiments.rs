@@ -5,18 +5,24 @@
 //! concatenates them into `EXPERIMENTS.md`.
 
 use std::collections::HashSet;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use hopspan_apps::{approximate_mst, approximate_spt, sparsify, MstVerifier, TreeProduct};
 use hopspan_baselines::{
     greedy_spanner, stretch_and_hops, theta_graph, DijkstraNavigator, TzOracle,
 };
 use hopspan_core::ackermann::{alpha, alpha_one, alpha_prime};
-use hopspan_core::{FaultTolerantSpanner, MetricNavigator};
+use hopspan_core::{DegradationPolicy, FaultTolerantSpanner, MetricNavigator};
 use hopspan_metric::{
     gen, minimum_spanning_tree, mst_weight, spanner_lightness, spanner_max_stretch, GraphMetric,
     Metric,
 };
 use hopspan_routing::{FtMetricRoutingScheme, MetricRoutingScheme, RouteTrace, TreeRoutingScheme};
+use hopspan_serve::{
+    quantile_from_counts, Backend as ServeBackend, BackendParams, DegradeCode, MetricsSnapshot, Op,
+    Pending, QueryOutcome, ServeConfig, ServeError, ShardedNavigator, LATENCY_BUCKETS,
+};
 use hopspan_tree_cover::{
     substituted_path_weight, NetHierarchy, PairingCover, RamseyTreeCover, RobustTreeCover,
     SeparatorTreeCover,
@@ -128,6 +134,11 @@ pub fn all() -> Vec<Experiment> {
             "E23",
             "Chaos campaign: fault injection, degradation, panic containment",
             e23_chaos,
+        ),
+        (
+            "E24",
+            "Serving throughput: sharded batching, admission control (hopspan-serve)",
+            e24_serve,
         ),
     ]
 }
@@ -1800,6 +1811,7 @@ fn e23_json(
     for (key, kind) in [
         ("corrupt_metrics", ScenarioKind::CorruptMetric),
         ("panic_injection", ScenarioKind::PanicInjection),
+        ("serve_panic", ScenarioKind::ServePanic),
     ] {
         let rows = e23_tag_counts(report, kind);
         out.push_str(&format!("  \"{key}\": [\n"));
@@ -1810,7 +1822,7 @@ fn e23_json(
                 if i + 1 < rows.len() { "," } else { "" },
             ));
         }
-        out.push_str(if key == "panic_injection" {
+        out.push_str(if key == "serve_panic" {
             "  ]\n"
         } else {
             "  ],\n"
@@ -1892,6 +1904,7 @@ pub fn e23_chaos() -> String {
     for (family, kind) in [
         ("corrupt metric", ScenarioKind::CorruptMetric),
         ("panic injection", ScenarioKind::PanicInjection),
+        ("serve layer", ScenarioKind::ServePanic),
     ] {
         for (tag, typed, survived, total) in e23_tag_counts(&report, kind) {
             family_rows.push(vec![
@@ -1918,7 +1931,10 @@ pub fn e23_chaos() -> String {
          `Degraded` deliveries under `BestEffort` (golden hash \
          {:#018x}); corrupted metrics were rejected typed wherever the \
          damage is observable; injected worker panics never escaped \
-         the pipeline. Survival rate over fault scenarios: {:.1}%. \
+         the pipeline; the serve-layer probes (worker panics behind a \
+         live TCP front, malformed/truncated/corrupted frames) all \
+         resolved typed without hanging a connection. Survival rate \
+         over fault scenarios: {:.1}%. \
          {json_note}\n\n{fault_table}\n{family_table}\n",
         report.scenarios.len(),
         report.escaped_panics,
@@ -1927,5 +1943,558 @@ pub fn e23_chaos() -> String {
         cfg.stretch_bound,
         report.degraded_hash(),
         report.survival_rate() * 100.0,
+    )
+}
+
+// --------------------------------------------------------------- E24
+
+/// E24 configuration (smoke variant: `HOPSPAN_E24_SMOKE=1`).
+struct E24Cfg {
+    n: usize,
+    pairs: usize,
+    clients: usize,
+    warmup_passes: usize,
+    passes: usize,
+    smoke: bool,
+}
+
+impl E24Cfg {
+    fn from_env() -> Self {
+        let smoke = std::env::var("HOPSPAN_E24_SMOKE").is_ok();
+        if smoke {
+            E24Cfg {
+                n: 512,
+                pairs: 256,
+                clients: 2,
+                warmup_passes: 1,
+                passes: 2,
+                smoke,
+            }
+        } else {
+            E24Cfg {
+                n: 4096,
+                pairs: 2048,
+                clients: 2,
+                warmup_passes: 1,
+                passes: 2,
+                smoke,
+            }
+        }
+    }
+}
+
+/// One cell of the E24 serving sweep.
+struct E24Cell {
+    shards: usize,
+    batch: usize,
+    policy: &'static str,
+    queries: u64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    mean_batch: f64,
+    shed: u64,
+    errors: u64,
+    allocs_per_query: Option<f64>,
+}
+
+/// Counters sampled at the warmup/measure barriers of one cell.
+struct E24Sample {
+    wall: Duration,
+    lat0: [u64; LATENCY_BUCKETS],
+    lat1: [u64; LATENCY_BUCKETS],
+    snap0: MetricsSnapshot,
+    snap1: MetricsSnapshot,
+    allocs: u64,
+}
+
+fn e24_policy_tag(policy: DegradationPolicy) -> &'static str {
+    match policy {
+        DegradationPolicy::Strict => "strict",
+        DegradationPolicy::BestEffort => "best-effort",
+    }
+}
+
+/// Random distinct query pairs over `0..n`.
+fn e24_pairs(n: usize, count: usize, salt: u64) -> Vec<(u32, u32)> {
+    let mut r = rng(0xE24_0002 ^ salt);
+    (0..count)
+        .map(|_| {
+            let u = r.gen_range(0..n);
+            let mut v = r.gen_range(0..n);
+            if v == u {
+                v = (v + 1) % n;
+            }
+            (u as u32, v as u32)
+        })
+        .collect()
+}
+
+/// One client's closed loop: replay the per-shard pair lists in
+/// submission windows of `window` requests, waiting out the whole
+/// window before opening the next (`window == 1` is pure
+/// request–response). Windows are shard-affine — every request in a
+/// window targets the same shard, exactly what the wire server's
+/// affinity dispatch produces — so a window fills a worker batch
+/// instead of scattering partial batches that sit out the flush
+/// deadline. The pending vector and the path buffer are caller-owned
+/// so the measured passes reuse the capacity the warmup passes grew.
+fn e24_client_pass<'e>(
+    engine: &'e ShardedNavigator,
+    by_shard: &[Vec<(u32, u32)>],
+    client: usize,
+    window: usize,
+    passes: usize,
+    pending: &mut Vec<Pending<'e>>,
+    out: &mut Vec<usize>,
+) {
+    for _ in 0..passes {
+        for s in 0..by_shard.len() {
+            // Clients start on different shards so they mostly drive
+            // disjoint queues.
+            let list = &by_shard[(s + client) % by_shard.len()];
+            for chunk in list.chunks(window) {
+                for &(u, v) in chunk {
+                    match engine.try_submit(Op::FindPath { u, v }) {
+                        Ok(p) => pending.push(p),
+                        Err(_) => {
+                            // Only reachable if the sweep's depth
+                            // sizing is wrong for this cell: drain the
+                            // window, then serve through the
+                            // policy-aware front door.
+                            for p in pending.drain(..) {
+                                let _ = p.wait_into(out);
+                            }
+                            let _ = engine.call(Op::FindPath { u, v }, out);
+                        }
+                    }
+                }
+                for p in pending.drain(..) {
+                    let _ = p.wait_into(out);
+                }
+            }
+        }
+    }
+}
+
+/// Runs warmup + measured passes against `engine`, sampling latency
+/// buckets, counters and the allocation hook exactly around the
+/// measured phase (clients park on a barrier while the parent reads
+/// the counters, so warmup traffic never leaks into the window).
+fn e24_drive(
+    engine: &ShardedNavigator,
+    by_shard: &[Vec<(u32, u32)>],
+    cfg: &E24Cfg,
+    window: usize,
+) -> E24Sample {
+    let barrier = Barrier::new(cfg.clients + 1);
+    let mut sample = E24Sample {
+        wall: Duration::ZERO,
+        lat0: [0; LATENCY_BUCKETS],
+        lat1: [0; LATENCY_BUCKETS],
+        snap0: MetricsSnapshot::default(),
+        snap1: MetricsSnapshot::default(),
+        allocs: 0,
+    };
+    std::thread::scope(|s| {
+        for c in 0..cfg.clients {
+            let barrier = &barrier;
+            s.spawn(move || {
+                let mut out: Vec<usize> = Vec::with_capacity(256);
+                let mut pending: Vec<Pending<'_>> = Vec::with_capacity(window);
+                e24_client_pass(
+                    engine,
+                    by_shard,
+                    c,
+                    window,
+                    cfg.warmup_passes,
+                    &mut pending,
+                    &mut out,
+                );
+                barrier.wait(); // warmup drained
+                barrier.wait(); // parent sampled the start counters
+                e24_client_pass(
+                    engine,
+                    by_shard,
+                    c,
+                    window,
+                    cfg.passes,
+                    &mut pending,
+                    &mut out,
+                );
+                barrier.wait(); // measured passes drained
+            });
+        }
+        barrier.wait();
+        sample.lat0 = engine.metrics().latency.counts();
+        sample.snap0 = engine.snapshot();
+        let allocs0 = crate::allocs::count();
+        let t0 = Instant::now();
+        barrier.wait();
+        barrier.wait();
+        sample.wall = t0.elapsed();
+        sample.allocs = crate::allocs::count() - allocs0;
+        sample.lat1 = engine.metrics().latency.counts();
+        sample.snap1 = engine.snapshot();
+    });
+    sample
+}
+
+fn e24_cell(
+    backend: &Arc<ServeBackend>,
+    shards: usize,
+    batch: usize,
+    policy: DegradationPolicy,
+    pairs: &[(u32, u32)],
+    cfg: &E24Cfg,
+    alloc_counter: bool,
+) -> E24Cell {
+    let serve_cfg = ServeConfig {
+        shards,
+        workers_per_shard: 1,
+        max_batch: batch,
+        // Matched to µs-scale queries: full batches flush immediately,
+        // so the deadline only prices the partial tail of a pair list.
+        batch_deadline: Duration::from_micros(25),
+        // Sized so the closed-loop windows never hit admission: the
+        // sweep measures throughput, the overload probe measures
+        // shedding.
+        queue_depth: (cfg.clients * batch * 4).max(64),
+        policy,
+        chaos_panic_period: None,
+    };
+    let engine =
+        ShardedNavigator::shared(Arc::clone(backend), serve_cfg).expect("serve engine starts");
+    // Pre-partition the pair stream by serving shard (FNV-1a affinity
+    // on the first endpoint), mirroring the wire server's dispatch.
+    let mut by_shard: Vec<Vec<(u32, u32)>> = vec![Vec::new(); shards];
+    for &(u, v) in pairs {
+        by_shard[hopspan_serve::shard_of_point(u, shards)].push((u, v));
+    }
+    let sample = e24_drive(&engine, &by_shard, cfg, batch);
+    let queries = (cfg.clients * cfg.passes * pairs.len()) as u64;
+    let mut window = [0u64; LATENCY_BUCKETS];
+    for i in 0..LATENCY_BUCKETS {
+        window[i] = sample.lat1[i].saturating_sub(sample.lat0[i]);
+    }
+    let batches = sample.snap1.batches.saturating_sub(sample.snap0.batches);
+    let jobs = sample
+        .snap1
+        .batched_jobs
+        .saturating_sub(sample.snap0.batched_jobs);
+    E24Cell {
+        shards,
+        batch,
+        policy: e24_policy_tag(policy),
+        queries,
+        qps: queries as f64 / sample.wall.as_secs_f64().max(1e-9),
+        p50_us: quantile_from_counts(&window, 0.50) as f64 / 1e3,
+        p99_us: quantile_from_counts(&window, 0.99) as f64 / 1e3,
+        mean_batch: if batches == 0 {
+            0.0
+        } else {
+            jobs as f64 / batches as f64
+        },
+        shed: sample.snap1.shed.saturating_sub(sample.snap0.shed),
+        errors: sample.snap1.errors.saturating_sub(sample.snap0.errors),
+        allocs_per_query: alloc_counter.then(|| sample.allocs as f64 / queries as f64),
+    }
+}
+
+/// One row of the E24 overload probe.
+struct E24Overload {
+    policy: &'static str,
+    admitted: usize,
+    offered_over: usize,
+    typed_shed: usize,
+    inline_degraded: usize,
+    shed_counter: u64,
+    inline_counter: u64,
+}
+
+/// Fills a 1-shard engine to its admission limit (the long batch
+/// deadline keeps the worker from flushing while the burst lands),
+/// then offers an over-limit burst through the policy-aware front
+/// door: `Strict` must shed every one typed, `BestEffort` must answer
+/// every one inline-degraded with the shed counter staying at zero.
+fn e24_overload_probe(backend: &Arc<ServeBackend>, policy: DegradationPolicy) -> E24Overload {
+    let depth = 8usize;
+    let over = 16usize;
+    let serve_cfg = ServeConfig {
+        shards: 1,
+        workers_per_shard: 1,
+        max_batch: depth + over,
+        batch_deadline: Duration::from_millis(40),
+        queue_depth: depth,
+        policy,
+        chaos_panic_period: None,
+    };
+    let engine =
+        ShardedNavigator::shared(Arc::clone(backend), serve_cfg).expect("overload engine starts");
+    let n = backend.len() as u32;
+    let mut pending = Vec::with_capacity(depth);
+    for i in 0..depth as u32 {
+        let op = Op::FindPath {
+            u: i % n,
+            v: (i + 1) % n,
+        };
+        if let Ok(p) = engine.try_submit(op) {
+            pending.push(p);
+        }
+    }
+    let admitted = pending.len();
+    let mut typed_shed = 0;
+    let mut inline_degraded = 0;
+    let mut out = Vec::new();
+    for i in 0..over as u32 {
+        let op = Op::FindPath {
+            u: (7 * i) % n,
+            v: (7 * i + 3) % n,
+        };
+        match engine.call(op, &mut out) {
+            Err(ServeError::Overloaded { .. }) => typed_shed += 1,
+            Ok(QueryOutcome::Degraded {
+                reason: DegradeCode::Overload,
+                ..
+            }) => inline_degraded += 1,
+            _ => {}
+        }
+    }
+    for p in pending.drain(..) {
+        let _ = p.wait_into(&mut out);
+    }
+    let snap = engine.snapshot();
+    E24Overload {
+        policy: e24_policy_tag(policy),
+        admitted,
+        offered_over: over,
+        typed_shed,
+        inline_degraded,
+        shed_counter: snap.shed,
+        inline_counter: snap.inline_served,
+    }
+}
+
+fn e24_json(
+    cells: &[E24Cell],
+    overloads: &[E24Overload],
+    headline: Option<f64>,
+    cfg: &E24Cfg,
+    alloc_counter: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E24\",\n");
+    out.push_str(&format!("  \"seed\": \"{:#x}\",\n", crate::SEED));
+    out.push_str(&format!("  \"smoke\": {},\n", cfg.smoke));
+    out.push_str(&format!(
+        "  \"n\": {},\n  \"clients\": {},\n  \"alloc_counter\": {alloc_counter},\n",
+        cfg.n, cfg.clients,
+    ));
+    out.push_str(&format!(
+        "  \"headline_speedup_4x64_vs_1x1\": {},\n",
+        headline.map_or_else(|| "null".to_string(), |h| format!("{h:.4}")),
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"batch\": {}, \"policy\": \"{}\", \
+             \"queries\": {}, \"qps\": {:.1}, \"p50_us\": {:.3}, \
+             \"p99_us\": {:.3}, \"mean_batch\": {:.2}, \"shed\": {}, \
+             \"errors\": {}, \"allocs_per_query\": {}}}{}\n",
+            c.shards,
+            c.batch,
+            c.policy,
+            c.queries,
+            c.qps,
+            c.p50_us,
+            c.p99_us,
+            c.mean_batch,
+            c.shed,
+            c.errors,
+            c.allocs_per_query
+                .map_or_else(|| "null".to_string(), |a| format!("{a:.4}")),
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"overload\": [\n");
+    for (i, o) in overloads.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"admitted\": {}, \"offered_over\": {}, \
+             \"typed_shed\": {}, \"inline_degraded\": {}, \"shed_counter\": {}, \
+             \"inline_counter\": {}}}{}\n",
+            o.policy,
+            o.admitted,
+            o.offered_over,
+            o.typed_shed,
+            o.inline_degraded,
+            o.shed_counter,
+            o.inline_counter,
+            if i + 1 < overloads.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// E24: closed-loop load against `hopspan-serve` — shards × batch
+/// window × degradation policy, plus an overload probe per policy.
+/// Writes `BENCH_serve.json` to the workspace root (override with
+/// `HOPSPAN_BENCH_OUT`). Smoke variant: `HOPSPAN_E24_SMOKE=1`.
+/// Allocs/query requires the counting allocator of `exp_serve`.
+pub fn e24_serve() -> String {
+    let cfg = E24Cfg::from_env();
+    let alloc_counter = crate::allocs::probe_active();
+    let points = gen::uniform_points(cfg.n, 2, &mut rng(0xE24_0001));
+    let params = BackendParams {
+        seed: crate::SEED,
+        tree_budget: 12,
+        k: 3,
+        eps: 0.5,
+        f: 1,
+        build_router: false,
+        build_ft: false,
+    };
+    let (backend, build) = time(|| {
+        ServeBackend::build(&points, &params)
+            .map(Arc::new)
+            .expect("serve backend builds")
+    });
+    let pairs = e24_pairs(cfg.n, cfg.pairs, 0x51);
+
+    let mut cells = Vec::new();
+    for &policy in &[DegradationPolicy::Strict, DegradationPolicy::BestEffort] {
+        for &shards in &[1usize, 2, 4, 8] {
+            for &batch in &[1usize, 16, 64] {
+                cells.push(e24_cell(
+                    &backend,
+                    shards,
+                    batch,
+                    policy,
+                    &pairs,
+                    &cfg,
+                    alloc_counter,
+                ));
+            }
+        }
+    }
+    let overloads = [
+        e24_overload_probe(&backend, DegradationPolicy::Strict),
+        e24_overload_probe(&backend, DegradationPolicy::BestEffort),
+    ];
+
+    let qps_of = |shards: usize, batch: usize| {
+        cells
+            .iter()
+            .find(|c| c.shards == shards && c.batch == batch && c.policy == "strict")
+            .map(|c| c.qps)
+    };
+    let headline = match (qps_of(4, 64), qps_of(1, 1)) {
+        (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+        _ => None,
+    };
+
+    let json = e24_json(&cells, &overloads, headline, &cfg, alloc_counter);
+    let out_path = std::env::var("HOPSPAN_BENCH_OUT").map_or_else(
+        |_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench sits two levels below the workspace root")
+                .join("BENCH_serve.json")
+        },
+        std::path::PathBuf::from,
+    );
+    let json_note = match std::fs::write(&out_path, &json) {
+        Ok(()) => {
+            let shown = out_path.file_name().map_or_else(
+                || out_path.display().to_string(),
+                |f| f.to_string_lossy().into_owned(),
+            );
+            format!("Machine-readable results: `{shown}`.")
+        }
+        Err(e) => format!("(could not write {}: {e})", out_path.display()),
+    };
+
+    let sweep_rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.shards.to_string(),
+                c.batch.to_string(),
+                c.policy.to_string(),
+                format!("{:.0}", c.qps),
+                format!("{:.1}", c.p50_us),
+                format!("{:.1}", c.p99_us),
+                format!("{:.1}", c.mean_batch),
+                c.shed.to_string(),
+                c.errors.to_string(),
+                c.allocs_per_query
+                    .map_or_else(|| "n/a".into(), |a| format!("{a:.2}")),
+            ]
+        })
+        .collect();
+    let sweep_table = md_table(
+        &[
+            "shards",
+            "batch",
+            "policy",
+            "q/s",
+            "p50 µs",
+            "p99 µs",
+            "mean batch",
+            "shed",
+            "errors",
+            "allocs/q",
+        ],
+        &sweep_rows,
+    );
+    let overload_rows: Vec<Vec<String>> = overloads
+        .iter()
+        .map(|o| {
+            vec![
+                o.policy.to_string(),
+                o.admitted.to_string(),
+                o.offered_over.to_string(),
+                o.typed_shed.to_string(),
+                o.inline_degraded.to_string(),
+                o.shed_counter.to_string(),
+                o.inline_counter.to_string(),
+            ]
+        })
+        .collect();
+    let overload_table = md_table(
+        &[
+            "policy",
+            "admitted",
+            "over-limit offered",
+            "typed shed",
+            "inline degraded",
+            "shed counter",
+            "inline counter",
+        ],
+        &overload_rows,
+    );
+    let headline_note = headline.map_or_else(
+        || "headline cells missing".to_string(),
+        |h| format!("4 shards × batch 64 vs 1 shard × batch 1 (Strict): x{h:.2}"),
+    );
+    format!(
+        "Closed-loop load against the `hopspan-serve` engine: {} uniform \
+         2D points (backend built once in {} ms, shared across shards), \
+         {} clients each replaying {} `FindPath` pairs per pass in \
+         submission windows equal to the batch size. On this single-core \
+         runner the speedup comes from batching amortization — a full \
+         window rides one worker wakeup instead of paying a \
+         submit/wake/deliver cycle per query — not from shard \
+         parallelism. {headline_note}. Shed stays 0 below the admission \
+         limit in every sweep cell; the overload probe shows `Strict` \
+         shedding every over-limit request typed and `BestEffort` \
+         answering them all inline-degraded (shed counter 0). \
+         {json_note}\n\n{sweep_table}\n{overload_table}\n",
+        cfg.n,
+        ms(build),
+        cfg.clients,
+        pairs.len(),
     )
 }

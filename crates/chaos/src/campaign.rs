@@ -31,6 +31,9 @@ use rand::Rng;
 
 use crate::corrupt::{corrupt_matrix, CorruptKind, PoisonedMetric};
 use crate::panics::{panic_injection_scenario, PanicInjection, PanicOutcome};
+use crate::serve::{
+    build_serve_backend, start_wire_server, wire_fault_probe, worker_panic_probe, WireFaultKind,
+};
 use crate::strategies::FaultStrategy;
 use crate::Fnv1a;
 
@@ -59,6 +62,11 @@ pub struct CampaignConfig {
     pub corrupt_per_kind: usize,
     /// Panic-injection scenarios per (transient, persistent) mode.
     pub panic_per_mode: usize,
+    /// Worker-panic scenarios against a live `hopspan-serve` server.
+    pub serve_panic_scenarios: usize,
+    /// Malformed-frame scenarios per [`crate::WireFaultKind`], against
+    /// a live server.
+    pub serve_wire_per_kind: usize,
     /// Worker counts each panic scenario must agree across.
     pub panic_worker_counts: Vec<usize>,
     /// The §6 stretch bound in-contract queries must meet (the paper's
@@ -81,6 +89,8 @@ impl Default for CampaignConfig {
             corrupt_per_kind: 16,
             panic_per_mode: 36,
             panic_worker_counts: vec![1, 4, 16],
+            serve_panic_scenarios: 6,
+            serve_wire_per_kind: 4,
             stretch_bound: 8.0,
         }
     }
@@ -100,6 +110,8 @@ impl CampaignConfig {
             corrupt_per_kind: 12,
             panic_per_mode: 30,
             panic_worker_counts: vec![1, 4],
+            serve_panic_scenarios: 4,
+            serve_wire_per_kind: 2,
             ..CampaignConfig::default()
         }
     }
@@ -109,6 +121,8 @@ impl CampaignConfig {
         self.f_values.len() * FaultStrategy::ALL.len() * self.scenarios_per_cell * 2
             + CorruptKind::ALL.len() * self.corrupt_per_kind
             + 2 * self.panic_per_mode
+            + self.serve_panic_scenarios
+            + WireFaultKind::ALL.len() * self.serve_wire_per_kind
     }
 }
 
@@ -124,6 +138,9 @@ pub enum ScenarioKind {
     CorruptMetric,
     /// Injected worker panics inside a pipeline fan-out.
     PanicInjection,
+    /// Worker panics and malformed frames against a live
+    /// `hopspan-serve` TCP server.
+    ServePanic,
 }
 
 impl ScenarioKind {
@@ -134,6 +151,7 @@ impl ScenarioKind {
             ScenarioKind::OverBudgetFaults => "over-budget",
             ScenarioKind::CorruptMetric => "corrupt-metric",
             ScenarioKind::PanicInjection => "panic-injection",
+            ScenarioKind::ServePanic => "serve-panic",
         }
     }
 }
@@ -293,6 +311,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     run_fault_scenarios(cfg, &mut report, &mut id);
     run_corrupt_scenarios(cfg, &mut report, &mut id);
     run_panic_scenarios(cfg, &mut report, &mut id);
+    run_serve_scenarios(cfg, &mut report, &mut id);
     report
 }
 
@@ -484,6 +503,90 @@ fn fault_scenario(
     out.max_hops = max_hops;
     out.detail = detail;
     out
+}
+
+/// Serve-layer scenarios: worker panics behind a live TCP server, then
+/// malformed frames against a shared healthy server. Each probe must
+/// resolve every connection with a typed error frame — a hang or an
+/// escaped panic is a violation.
+fn run_serve_scenarios(cfg: &CampaignConfig, report: &mut CampaignReport, id: &mut usize) {
+    if cfg.serve_panic_scenarios == 0 && cfg.serve_wire_per_kind == 0 {
+        return;
+    }
+    let template = |id: usize, tag: &'static str, faults: usize| ScenarioOutcome {
+        id,
+        kind: ScenarioKind::ServePanic,
+        tag,
+        f_budget: 0,
+        fault_count: faults,
+        outcome: OutcomeKind::Violation,
+        max_stretch: 1.0,
+        max_hops: 0,
+        detail: String::new(),
+    };
+    let backend = match build_serve_backend(cfg.n.max(16), cfg.seed) {
+        Ok(b) => b,
+        Err(detail) => {
+            // One violation record stands in for the whole family.
+            report.scenarios.push(ScenarioOutcome {
+                detail,
+                ..template(*id, "serve-build", 0)
+            });
+            *id += cfg.serve_panic_scenarios + WireFaultKind::ALL.len() * cfg.serve_wire_per_kind;
+            return;
+        }
+    };
+    let n = backend.len();
+
+    for rep in 0..cfg.serve_panic_scenarios {
+        let mut rng = scenario_rng(cfg.seed, 5, 0, rep as u64);
+        let period = 2 + rng.gen_range(0..4u64);
+        let queries = 8 + rng.gen_range(0..9u64);
+        let t = template(*id, "worker-panic", 1);
+        let b = &backend;
+        contained(report, t.clone(), move || {
+            let (outcome, detail) = worker_panic_probe(b, period, queries);
+            ScenarioOutcome {
+                outcome,
+                detail,
+                ..t
+            }
+        });
+        *id += 1;
+    }
+
+    if cfg.serve_wire_per_kind == 0 {
+        return;
+    }
+    let server = match start_wire_server(&backend) {
+        Ok(pair) => pair,
+        Err(detail) => {
+            report.scenarios.push(ScenarioOutcome {
+                detail,
+                ..template(*id, "serve-build", 0)
+            });
+            *id += WireFaultKind::ALL.len() * cfg.serve_wire_per_kind;
+            return;
+        }
+    };
+    let addr = server.1.local_addr();
+    for (ki, kind) in WireFaultKind::ALL.iter().enumerate() {
+        for rep in 0..cfg.serve_wire_per_kind {
+            let mut rng = scenario_rng(cfg.seed, 5, 1 + ki as u64, rep as u64);
+            let request_id = rng.gen_range(0..u64::MAX / 2) * 2;
+            let t = template(*id, kind.tag(), 1);
+            contained(report, t.clone(), move || {
+                let (outcome, detail) = wire_fault_probe(addr, n, *kind, request_id);
+                ScenarioOutcome {
+                    outcome,
+                    detail,
+                    ..t
+                }
+            });
+            *id += 1;
+        }
+    }
+    server.1.shutdown();
 }
 
 fn run_corrupt_scenarios(cfg: &CampaignConfig, report: &mut CampaignReport, id: &mut usize) {

@@ -17,6 +17,10 @@
 //! * **Injected worker panics**: seeded transient and persistent panics
 //!   inside `hopspan-pipeline` fan-outs, which must surface as
 //!   [`hopspan_pipeline::PipelineError`] — never as a process abort.
+//! * **Serve-layer probes** ([`WireFaultKind`]): shard-worker panics
+//!   and malformed/truncated/bad-checksum frames thrown at a *live*
+//!   `hopspan-serve` TCP server; every connection must get a typed
+//!   error frame and the server must keep serving.
 //!
 //! A campaign ([`run_campaign`]) is named by a single `u64` seed and is
 //! bit-replayable: the same seed yields the same scenarios, the same
@@ -31,6 +35,7 @@
 mod campaign;
 mod corrupt;
 mod panics;
+mod serve;
 mod strategies;
 
 pub use campaign::{
@@ -38,6 +43,7 @@ pub use campaign::{
 };
 pub use corrupt::{corrupt_matrix, CorruptKind, PoisonedMetric};
 pub use panics::{panic_injection_scenario, PanicInjection, PanicOutcome};
+pub use serve::WireFaultKind;
 pub use strategies::FaultStrategy;
 
 /// FNV-1a offset basis (the workspace's golden-hash convention).

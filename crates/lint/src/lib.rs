@@ -26,6 +26,11 @@
 //!   crates: discarding a call's result swallows typed errors exactly
 //!   where the panic-free policy (R1) depends on them being handled.
 //!   Bare-identifier discards (`let _ = lambda;`) stay silent.
+//! * **R8 `blocking-io-on-query-path`** — no `std::net` / `std::fs`
+//!   paths, socket/file type names, or `.lock(…)` calls inside
+//!   query-path functions of the query crates: queries are
+//!   microsecond-scale pure reads; sockets and queue locks belong to
+//!   the `hopspan-serve` dispatcher, which is exempt.
 //!
 //! Findings can be suppressed inline, one line up or on the offending
 //! line, with a mandatory reason:
@@ -48,8 +53,9 @@ pub mod toml_scan;
 use std::path::Path;
 
 /// Crates whose `src/` must satisfy R1–R3 and R7 (the library crates
-/// on the spanner/label/route materialization paths).
-pub const LIB_POLICY_CRATES: [&str; 7] = [
+/// on the spanner/label/route materialization paths, plus the serving
+/// layer).
+pub const LIB_POLICY_CRATES: [&str; 8] = [
     "hopspan-core",
     "hopspan-routing",
     "hopspan-tree-spanner",
@@ -57,13 +63,16 @@ pub const LIB_POLICY_CRATES: [&str; 7] = [
     "hopspan-treealg",
     "hopspan-metric",
     "hopspan-pipeline",
+    "hopspan-serve",
 ];
 
 /// Crates whose public items must be documented (R5).
 pub const DOC_POLICY_CRATES: [&str; 2] = ["hopspan-core", "hopspan-tree-spanner"];
 
 /// Crates whose query-path functions must stay free of keyed-container
-/// lookups (R6) — the crates implementing `FindPath` and routing.
+/// lookups (R6) and blocking I/O / lock acquisition (R8) — the crates
+/// implementing `FindPath` and routing. `hopspan-serve` is deliberately
+/// absent: its dispatcher owns sockets and queue locks by design.
 pub const QUERY_POLICY_CRATES: [&str; 3] =
     ["hopspan-core", "hopspan-routing", "hopspan-tree-spanner"];
 
@@ -101,7 +110,7 @@ pub fn analyze_source(label: &str, source: &str, active_rules: &[&str]) -> Vec<F
 /// Analyzes the whole workspace rooted at `root`: R4 on every member
 /// manifest, R1–R3 and R7 on the `src/` trees of
 /// [`LIB_POLICY_CRATES`], R5 on
-/// [`DOC_POLICY_CRATES`], and R6 on [`QUERY_POLICY_CRATES`]. Findings
+/// [`DOC_POLICY_CRATES`], and R6 + R8 on [`QUERY_POLICY_CRATES`]. Findings
 /// come back in a deterministic order (members sorted, files sorted,
 /// lines ascending).
 pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
@@ -140,7 +149,7 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
             active.push(rules::R5_PUB_UNDOCUMENTED);
         }
         if QUERY_POLICY_CRATES.contains(&name.as_str()) {
-            active.push(rules::R6_MAP_ON_QUERY_PATH);
+            active.extend([rules::R6_MAP_ON_QUERY_PATH, rules::R8_BLOCKING_IO]);
         }
         if active.is_empty() {
             continue;

@@ -1,6 +1,7 @@
 //! The per-file rule engine: R1 `panic-in-lib`, R2
 //! `nondeterministic-iteration`, R3 `float-eq`, R5 `pub-undocumented`,
-//! R6 `map-on-query-path`, plus suppression-pragma validation
+//! R6 `map-on-query-path`, R7 `swallowed-result`, R8
+//! `blocking-io-on-query-path`, plus suppression-pragma validation
 //! (`bad-pragma`). R4 `offline-deps` lives in [`crate::toml_scan`]
 //! because it reads manifests, not Rust source.
 
@@ -27,23 +28,44 @@ pub const R6_MAP_ON_QUERY_PATH: &str = "map-on-query-path";
 /// result swallows `Result`s (and every other must-use value) without
 /// a trace; bind a name, `?` the error, or match on it.
 pub const R7_SWALLOWED_RESULT: &str = "swallowed-result";
+/// R8: no blocking I/O or lock acquisition inside query-path functions
+/// (`find_path*` / `route*` / `locate*`): no `std::net` / `std::fs`
+/// paths, no socket/file type names, no `.lock(…)` calls. Queries are
+/// microsecond-scale pure reads over prebuilt tables; a blocking
+/// syscall or mutex wait hidden inside one wrecks tail latency and
+/// can deadlock batch workers. The serving layer's dispatcher
+/// (`hopspan-serve`) owns sockets and queue locks by design and is
+/// exempt via the crate policy lists.
+pub const R8_BLOCKING_IO: &str = "blocking-io-on-query-path";
 /// Meta-rule: malformed `hopspan:allow` pragmas (never suppressible).
 pub const BAD_PRAGMA: &str = "bad-pragma";
 
 /// All source-code rules (R4 is manifest-level and handled separately).
-pub const CODE_RULES: [&str; 6] = [
+pub const CODE_RULES: [&str; 7] = [
     R1_PANIC_IN_LIB,
     R2_NONDET_ITERATION,
     R3_FLOAT_EQ,
     R5_PUB_UNDOCUMENTED,
     R6_MAP_ON_QUERY_PATH,
     R7_SWALLOWED_RESULT,
+    R8_BLOCKING_IO,
 ];
 
 /// Function-name prefixes that mark the hot query path (R6). Membership
 /// tests via `.contains(…)` are deliberately not flagged — a
 /// `HashSet<usize>` fault set is O(1) per probe and order-free.
 const QUERY_FN_PREFIXES: [&str; 3] = ["find_path", "route", "locate"];
+
+/// Type names whose mere appearance in a query-path body marks
+/// blocking I/O (R8) — sockets and files, whether `use`-imported or
+/// path-qualified.
+const BLOCKING_TYPES: [&str; 5] = [
+    "TcpStream",
+    "TcpListener",
+    "UdpSocket",
+    "File",
+    "OpenOptions",
+];
 
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
@@ -93,6 +115,9 @@ pub fn run_rules(label: &str, lexed: &Lexed, rules: &[&str]) -> Vec<Finding> {
     }
     if rules.contains(&R7_SWALLOWED_RESULT) {
         rule_swallowed_result(label, toks, &in_test, &mut findings);
+    }
+    if rules.contains(&R8_BLOCKING_IO) {
+        rule_blocking_io_on_query_path(label, toks, &in_test, &mut findings);
     }
 
     // A pragma on line L suppresses same-rule findings on L and L+1
@@ -632,6 +657,56 @@ fn rule_map_on_query_path(
                 }
             } else if text == "[" && next == Some("&") {
                 flag(out, toks[i].line, "`[&…]` indexing", &fn_name);
+            }
+            i += 1;
+        }
+    }
+}
+
+/// R8: flags blocking I/O and lock acquisition inside query-path
+/// function bodies. Three token shapes: `std :: net`/`std :: fs` path
+/// segments, the socket/file type names of [`BLOCKING_TYPES`], and
+/// `.lock(` method calls (`Mutex`/`RwLock` acquisition — a queue wait
+/// on the query path).
+fn rule_blocking_io_on_query_path(
+    label: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let bodies = query_fn_bodies(toks);
+    let flag = |out: &mut Vec<Finding>, line: u32, what: &str, fn_name: &str| {
+        out.push(Finding {
+            rule: R8_BLOCKING_IO.to_string(),
+            file: label.to_string(),
+            line,
+            message: format!(
+                "{what} in query fn `{fn_name}`: queries must not block on \
+                 sockets, files, or locks; hoist the I/O to the serving \
+                 layer or add a reasoned hopspan:allow"
+            ),
+        });
+    };
+    for (start, end, fn_name) in bodies {
+        let mut i = start;
+        while i <= end.min(toks.len().saturating_sub(1)) {
+            if in_test(i) || toks[i].kind != TokKind::Ident {
+                i += 1;
+                continue;
+            }
+            let text = toks[i].text.as_str();
+            let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+            let next = toks.get(i + 1).map(|t| t.text.as_str());
+            if matches!(text, "net" | "fs")
+                && prev == Some("::")
+                && i >= 2
+                && toks[i - 2].text == "std"
+            {
+                flag(out, toks[i].line, &format!("`std::{text}`"), &fn_name);
+            } else if BLOCKING_TYPES.contains(&text) && prev != Some(".") {
+                flag(out, toks[i].line, &format!("`{text}`"), &fn_name);
+            } else if text == "lock" && prev == Some(".") && next == Some("(") {
+                flag(out, toks[i].line, "`.lock(…)`", &fn_name);
             }
             i += 1;
         }

@@ -1,0 +1,70 @@
+//! Fixture for R8 `blocking-io-on-query-path`: `std::net`/`std::fs`
+//! paths, socket/file type names, and `.lock(…)` calls inside
+//! `find_path*` / `route*` / `locate*` bodies are flagged; the same
+//! shapes in non-query functions, `try_lock`, clock reads, and
+//! `#[cfg(test)]` code stay silent.
+
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+struct Nav {
+    cache: Mutex<Vec<usize>>,
+    dense: Vec<usize>,
+}
+
+impl Nav {
+    fn find_path(&self, u: usize) -> usize {
+        let cached = self.cache.lock().map(|c| c.get(u).copied());
+        if let Ok(Some(Some(hit))) = cached {
+            return hit;
+        }
+        self.dense[u]
+    }
+
+    fn route_with_telemetry(&self, u: usize) -> std::io::Result<usize> {
+        let mut log = std::fs::File::create("/tmp/route.log")?;
+        use std::io::Write as _;
+        writeln!(log, "route {u}")?;
+        Ok(self.dense[u])
+    }
+
+    fn locate_remote(&self, u: usize) -> std::io::Result<usize> {
+        let _probe = TcpStream::connect("127.0.0.1:9999")?;
+        Ok(self.dense[u])
+    }
+
+    fn route_checked(&self, u: usize) -> Option<usize> {
+        // `try_lock` never blocks; only `.lock(` is the R8 shape.
+        let guard = self.cache.try_lock().ok()?;
+        guard.get(u).copied()
+    }
+
+    fn route_legacy(&self, u: usize) -> usize {
+        // hopspan:allow(blocking-io-on-query-path) -- cold fallback, measured
+        let held = self.cache.lock();
+        held.map(|c| c.first().copied().unwrap_or(u)).unwrap_or(u)
+    }
+
+    fn warm_cache(&self, source: &str) -> std::io::Result<usize> {
+        // Preprocessing may do I/O freely: not a query fn.
+        let bytes = std::fs::read(source)?;
+        let mut cache = self.cache.lock().map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::Other, "poisoned")
+        })?;
+        cache.extend(bytes.iter().map(|&b| b as usize));
+        Ok(cache.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn query_fns_in_tests_are_exempt() {
+        use std::sync::Mutex;
+        fn find_path_toy(m: &Mutex<Vec<usize>>, u: usize) -> usize {
+            m.lock().map(|v| v[u]).unwrap_or(0)
+        }
+        let m = Mutex::new(vec![7]);
+        assert_eq!(find_path_toy(&m, 0), 7);
+    }
+}

@@ -4,7 +4,7 @@
 
 use hopspan_lint::rules::{
     BAD_PRAGMA, R1_PANIC_IN_LIB, R2_NONDET_ITERATION, R3_FLOAT_EQ, R4_OFFLINE_DEPS,
-    R5_PUB_UNDOCUMENTED, R6_MAP_ON_QUERY_PATH, R7_SWALLOWED_RESULT,
+    R5_PUB_UNDOCUMENTED, R6_MAP_ON_QUERY_PATH, R7_SWALLOWED_RESULT, R8_BLOCKING_IO,
 };
 use hopspan_lint::{analyze_source, to_json, toml_scan, Finding};
 
@@ -122,6 +122,30 @@ fn swallowed_result_fixture_exact_lines() {
     // Silent by design: `let _ = lambda;` (bare identifier, no call),
     // the named `let ok = …` binding, the allow-suppressed send, and
     // the #[cfg(test)] module.
+}
+
+#[test]
+fn blocking_io_on_query_path_fixture_exact_lines() {
+    let src = include_str!("fixtures/blocking_io_on_query_path.rs");
+    let findings = analyze_source(
+        "fixtures/blocking_io_on_query_path.rs",
+        src,
+        &[R8_BLOCKING_IO],
+    );
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (R8_BLOCKING_IO, 17), // self.cache.lock() in find_path
+            (R8_BLOCKING_IO, 25), // std::fs path in route_with_telemetry…
+            (R8_BLOCKING_IO, 25), // …and the File type name on the same line
+            (R8_BLOCKING_IO, 32), // TcpStream::connect in locate_remote
+        ],
+        "got: {:#?}",
+        findings
+    );
+    // Silent by design: `try_lock` (non-blocking), the allow-suppressed
+    // `route_legacy`, the non-query `warm_cache` (I/O at preprocessing
+    // time is fine), and the #[cfg(test)] module.
 }
 
 #[test]

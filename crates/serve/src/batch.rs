@@ -1,0 +1,190 @@
+//! Deadline-aware request batching.
+//!
+//! A [`BatchQueue`] is a bounded MPMC queue of jobs with a
+//! batch-collecting consumer side: a worker blocks until at least one
+//! job is queued, then keeps accumulating until either the batch is
+//! full or the *oldest* queued job has waited past the flush deadline.
+//! Deadline math uses the monotonic clock exclusively
+//! ([`std::time::Instant`]); `SystemTime` can step backwards under NTP
+//! and must never decide a flush.
+//!
+//! The queue's backing `VecDeque` is allocated once at the bound and
+//! never grows (admission is capped by the shard's slot table, which is
+//! the same bound), so pushes and batch drains are allocation-free.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::Op;
+
+/// Recovers a mutex guard from a poisoned lock: queue state is a
+/// `VecDeque` plus a flag, and every mutation below is
+/// panic-atomic, so the contents stay coherent even if a holder died.
+fn lock_resilient<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One queued request: which response slot it answers into, what to
+/// do, and when it arrived (monotonic).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Job {
+    /// Index into the shard's slot table.
+    pub slot: u32,
+    /// The request.
+    pub op: Op,
+    /// Monotonic enqueue time: drives both the flush deadline and the
+    /// reported latency.
+    pub enqueued: Instant,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+/// A bounded queue of requests with deadline-aware batch draining.
+#[derive(Debug)]
+pub struct BatchQueue {
+    state: Mutex<QueueState>,
+    arrived: Condvar,
+}
+
+impl BatchQueue {
+    /// A queue whose backing buffer holds `bound` jobs without
+    /// reallocating.
+    pub(crate) fn bounded(bound: usize) -> Self {
+        BatchQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(bound),
+                open: true,
+            }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job; returns `false` when the queue is closed (the
+    /// service is draining). Never blocks and never reallocates: the
+    /// caller holds a slot, and slots bound the depth.
+    pub(crate) fn push(&self, job: Job) -> bool {
+        let mut st = lock_resilient(&self.state);
+        if !st.open {
+            return false;
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.arrived.notify_one();
+        true
+    }
+
+    /// The current queue depth (diagnostic; racy by nature).
+    pub fn depth(&self) -> usize {
+        lock_resilient(&self.state).jobs.len()
+    }
+
+    /// Closes the queue: no further pushes are admitted, and workers
+    /// return from [`BatchQueue::next_batch`] once the backlog drains.
+    pub(crate) fn close(&self) {
+        lock_resilient(&self.state).open = false;
+        self.arrived.notify_all();
+    }
+
+    /// Blocks for the next batch and drains it into `out` (cleared
+    /// first): up to `max_batch` jobs, flushing early once the oldest
+    /// queued job has waited `deadline`. Returns `false` when the
+    /// queue is closed and fully drained — the worker should exit.
+    pub(crate) fn next_batch(
+        &self,
+        max_batch: usize,
+        deadline: Duration,
+        out: &mut Vec<Job>,
+    ) -> bool {
+        out.clear();
+        let mut st = lock_resilient(&self.state);
+        loop {
+            if st.jobs.len() >= max_batch {
+                break;
+            }
+            match st.jobs.front() {
+                None => {
+                    if !st.open {
+                        return false;
+                    }
+                    st = self
+                        .arrived
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                Some(oldest) => {
+                    let age = oldest.enqueued.elapsed();
+                    if age >= deadline || !st.open {
+                        break;
+                    }
+                    let (guard, _timeout) = self
+                        .arrived
+                        .wait_timeout(st, deadline - age)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    st = guard;
+                }
+            }
+        }
+        for _ in 0..max_batch {
+            match st.jobs.pop_front() {
+                Some(j) => out.push(j),
+                None => break,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(slot: u32) -> Job {
+        Job {
+            slot,
+            op: Op::Stats,
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn full_batch_flushes_without_waiting_for_the_deadline() {
+        let q = BatchQueue::bounded(8);
+        for s in 0..4 {
+            assert!(q.push(job(s)));
+        }
+        let mut out = Vec::new();
+        let t0 = Instant::now();
+        assert!(q.next_batch(4, Duration::from_secs(5), &mut out));
+        assert_eq!(out.len(), 4);
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "a full batch must not sit out the deadline"
+        );
+    }
+
+    #[test]
+    fn deadline_flushes_a_partial_batch() {
+        let q = BatchQueue::bounded(8);
+        assert!(q.push(job(0)));
+        let mut out = Vec::new();
+        assert!(q.next_batch(64, Duration::from_millis(20), &mut out));
+        assert_eq!(out.len(), 1, "the deadline must flush a partial batch");
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BatchQueue::bounded(8);
+        assert!(q.push(job(0)));
+        q.close();
+        assert!(!q.push(job(1)), "a closed queue admits nothing");
+        let mut out = Vec::new();
+        assert!(q.next_batch(4, Duration::from_secs(5), &mut out));
+        assert_eq!(out.len(), 1, "the backlog drains before exit");
+        assert!(!q.next_batch(4, Duration::from_secs(5), &mut out));
+    }
+}

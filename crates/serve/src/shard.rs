@@ -1,0 +1,807 @@
+//! Sharded execution: backends, response slots, worker pools and the
+//! [`ShardedNavigator`] front door.
+//!
+//! ## Request lifecycle (steady state, zero allocations)
+//!
+//! 1. Admission pops a response slot off the shard's free list and
+//!    enqueues a fixed-size job on the shard's [`BatchQueue`] — no
+//!    heap.
+//! 2. A shard worker drains a batch (bounded, buffer reused), executes
+//!    each job through its per-worker [`Scratch`] via the `_into`
+//!    query kernels, and hands the result path to the slot by
+//!    `mem::swap` — the slot's previous buffer becomes the worker's
+//!    next result buffer, so path buffers *circulate* instead of being
+//!    allocated.
+//! 3. The submitter wakes on the slot's condvar, copies the path into
+//!    its own reused buffer, and pushes the slot back on the free
+//!    list.
+//!
+//! The slot table bounds admission: no free slot means the shard is at
+//! depth, and the request is shed typed ([`ServeError::Overloaded`])
+//! under `Strict` or served inline-degraded under `BestEffort`.
+//!
+//! ## Shard affinity
+//!
+//! [`shard_of_point`] hashes the query's first endpoint with the
+//! workspace's FNV-1a. The function is pure and seed-free, so a replay
+//! of a recorded campaign dispatches every request to the same shard
+//! in every process — `std::collections::hash_map::DefaultHasher`
+//! would not (its keys are randomized per process).
+
+use std::collections::HashSet;
+use std::mem;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use hopspan_core::{
+    DegradationPolicy, FaultTolerantSpanner, FtError, FtPathOutcome, HopspanError, MetricNavigator,
+    NavigationError,
+};
+use hopspan_metric::{EuclideanSpace, Metric};
+use hopspan_routing::{MetricRoutingScheme, NavBuildError, RouteTrace, RoutingError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::batch::{BatchQueue, Job};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::{DegradeCode, Op, QueryOutcome, ServeError};
+
+/// Recovers a mutex guard from a poisoned lock: state under every lock
+/// here is written panic-atomically, so a poisoned guard is safe to
+/// adopt.
+fn lock_resilient<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Seed-stable shard affinity: FNV-1a over the point id's
+/// little-endian bytes, reduced mod `shards`. Identical in every
+/// process, on every platform, for every `HOPSPAN_WORKERS` setting.
+pub fn shard_of_point(point: u32, shards: usize) -> usize {
+    let h = crate::wire::fnv1a(&point.to_le_bytes());
+    (h % shards.max(1) as u64) as usize
+}
+
+/// Construction parameters for a [`Backend`].
+#[derive(Debug, Clone)]
+pub struct BackendParams {
+    /// Seed for the backend's deterministic build RNG.
+    pub seed: u64,
+    /// Ramsey-cover tree budget ζ for the navigator.
+    pub tree_budget: usize,
+    /// Hop bound k.
+    pub k: usize,
+    /// Cover parameter ε for the fault-tolerant spanner.
+    pub eps: f64,
+    /// Fault tolerance f (0 disables the FT structure unless
+    /// `build_ft` forces it).
+    pub f: usize,
+    /// Whether to build the Theorem 1.3 routing scheme (`Route`).
+    pub build_router: bool,
+    /// Whether to build the §6 FT spanner (`RouteAvoiding`).
+    pub build_ft: bool,
+}
+
+impl Default for BackendParams {
+    fn default() -> Self {
+        BackendParams {
+            seed: 0xE24,
+            tree_budget: 12,
+            k: 3,
+            eps: 0.5,
+            f: 1,
+            build_router: true,
+            build_ft: true,
+        }
+    }
+}
+
+/// One shard's prebuilt query structures: the navigator plus the
+/// optional routing scheme and fault-tolerant spanner.
+pub struct Backend {
+    metric: EuclideanSpace,
+    nav: MetricNavigator,
+    router: Option<MetricRoutingScheme>,
+    ft: Option<FaultTolerantSpanner>,
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backend")
+            .field("n", &self.metric.len())
+            .field("router", &self.router.is_some())
+            .field("ft", &self.ft.is_some())
+            .finish()
+    }
+}
+
+impl Backend {
+    /// Builds a backend replica for `points`. The build is
+    /// deterministic in `params.seed` (and independent of
+    /// `HOPSPAN_WORKERS`), so every replica of a shard set is
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying construction failures as
+    /// [`BuildError`].
+    pub fn build(points: &EuclideanSpace, params: &BackendParams) -> Result<Self, BuildError> {
+        let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+        let (nav, _realized) =
+            MetricNavigator::general_budgeted(points, params.tree_budget, params.k, &mut rng)
+                .map_err(|e| BuildError::Backend(HopspanError::from(e)))?;
+        let router = if params.build_router {
+            let mut rrng = ChaCha8Rng::seed_from_u64(params.seed ^ 0x5eed_0001);
+            Some(MetricRoutingScheme::general(points, 2, &mut rrng).map_err(BuildError::Router)?)
+        } else {
+            None
+        };
+        let ft = if params.build_ft {
+            Some(
+                FaultTolerantSpanner::new(points, params.eps, params.f, params.k)
+                    .map_err(|e| BuildError::Backend(HopspanError::from(e)))?,
+            )
+        } else {
+            None
+        };
+        Ok(Backend {
+            metric: points.clone(),
+            nav,
+            router,
+            ft,
+        })
+    }
+
+    /// Number of points the backend serves.
+    pub fn len(&self) -> usize {
+        self.metric.len()
+    }
+
+    /// Whether the backend serves an empty point set.
+    pub fn is_empty(&self) -> bool {
+        self.metric.len() == 0
+    }
+
+    /// Executes one request through the caller's scratch buffers. The
+    /// answer path lands in `scratch.out`.
+    fn execute(
+        &self,
+        op: &Op,
+        policy: DegradationPolicy,
+        scratch: &mut Scratch,
+    ) -> Result<QueryOutcome, ServeError> {
+        match *op {
+            Op::FindPath { u, v } => {
+                self.nav
+                    .find_path_into(u as usize, v as usize, &mut scratch.out)
+                    .map_err(map_nav)?;
+                Ok(QueryOutcome::Full)
+            }
+            Op::Route { u, v } => {
+                let router = self.router.as_ref().ok_or(ServeError::Unsupported {
+                    opcode: crate::wire::opcode::ROUTE,
+                })?;
+                router
+                    .route_into(u as usize, v as usize, &mut scratch.trace)
+                    .map_err(map_route)?;
+                scratch.out.clear();
+                scratch.out.extend_from_slice(&scratch.trace.path);
+                Ok(QueryOutcome::Full)
+            }
+            Op::RouteAvoiding { u, v, faults } => {
+                let ft = self.ft.as_ref().ok_or(ServeError::Unsupported {
+                    opcode: crate::wire::opcode::ROUTE_AVOIDING,
+                })?;
+                scratch.fault_set.clear();
+                for &p in faults.as_slice() {
+                    scratch.fault_set.insert(p as usize);
+                }
+                let outcome = ft
+                    .find_path_avoiding_policy_into(
+                        &self.metric,
+                        u as usize,
+                        v as usize,
+                        &scratch.fault_set,
+                        policy,
+                        &mut scratch.out,
+                        &mut scratch.tree,
+                    )
+                    .map_err(map_ft)?;
+                Ok(match outcome {
+                    FtPathOutcome::Full => QueryOutcome::Full,
+                    FtPathOutcome::Degraded {
+                        reason,
+                        achieved_stretch,
+                    } => QueryOutcome::Degraded {
+                        reason: DegradeCode::from(reason),
+                        achieved_stretch,
+                    },
+                })
+            }
+            Op::Stats => {
+                scratch.out.clear();
+                Ok(QueryOutcome::Stats)
+            }
+        }
+    }
+}
+
+fn map_nav(e: NavigationError) -> ServeError {
+    match e {
+        NavigationError::PointOutOfRange { point } => ServeError::BadEndpoint {
+            point: point as u32,
+        },
+        NavigationError::PairNotCovered { u, v } => ServeError::Uncovered {
+            u: u as u32,
+            v: v as u32,
+        },
+        _ => ServeError::Internal,
+    }
+}
+
+fn map_route(e: RoutingError) -> ServeError {
+    match e {
+        RoutingError::BadEndpoint { node } => ServeError::BadEndpoint { point: node as u32 },
+        RoutingError::TooManyFaults { got, f } => ServeError::TooManyFaults {
+            got: got as u32,
+            limit: f as u32,
+        },
+        _ => ServeError::Internal,
+    }
+}
+
+fn map_ft(e: FtError) -> ServeError {
+    match e {
+        FtError::BadEndpoint { point } => ServeError::BadEndpoint {
+            point: point as u32,
+        },
+        FtError::TooManyFaults { got, f } => ServeError::TooManyFaults {
+            got: got as u32,
+            limit: f as u32,
+        },
+        FtError::NoSurvivingPath { u, v } => ServeError::Uncovered {
+            u: u as u32,
+            v: v as u32,
+        },
+        _ => ServeError::Internal,
+    }
+}
+
+/// Per-worker reusable buffers: one of each `_into` kernel's scratch
+/// needs. After warmup no query touches the allocator.
+struct Scratch {
+    out: Vec<usize>,
+    tree: Vec<usize>,
+    trace: RouteTrace,
+    fault_set: HashSet<usize>,
+}
+
+impl Scratch {
+    fn new() -> Self {
+        Scratch {
+            out: Vec::with_capacity(64),
+            tree: Vec::with_capacity(64),
+            trace: RouteTrace::default(),
+            fault_set: HashSet::with_capacity(crate::MAX_WIRE_FAULTS * 4),
+        }
+    }
+}
+
+/// One response slot: the rendezvous between a submitter and the
+/// worker that answers it.
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    done_cv: Condvar,
+}
+
+#[derive(Debug)]
+struct SlotState {
+    done: bool,
+    outcome: Result<QueryOutcome, ServeError>,
+    path: Vec<usize>,
+    stats: MetricsSnapshot,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState {
+                done: false,
+                outcome: Err(ServeError::Internal),
+                path: Vec::with_capacity(64),
+                stats: MetricsSnapshot::default(),
+            }),
+            done_cv: Condvar::new(),
+        }
+    }
+}
+
+/// Per-shard state shared between submitters and the shard's workers.
+#[derive(Debug)]
+struct ShardInner {
+    backend: Arc<Backend>,
+    queue: BatchQueue,
+    slots: Vec<Slot>,
+    free: Mutex<Vec<u32>>,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shards.
+    pub shards: usize,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Maximum jobs a worker executes per batch flush.
+    pub max_batch: usize,
+    /// Maximum time the oldest queued request waits before a partial
+    /// batch flushes (monotonic clock).
+    pub batch_deadline: Duration,
+    /// Response slots per shard — the admission limit.
+    pub queue_depth: usize,
+    /// What happens past the admission limit, and how over-budget
+    /// fault sets are answered.
+    pub policy: DegradationPolicy,
+    /// Chaos hook: when `Some(p)`, every p-th job across the service
+    /// panics inside the worker before executing (the panic must be
+    /// contained and surfaced as [`ServeError::WorkerPanicked`]).
+    pub chaos_panic_period: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 1,
+            workers_per_shard: 1,
+            max_batch: 16,
+            batch_deadline: Duration::from_micros(200),
+            queue_depth: 256,
+            policy: DegradationPolicy::Strict,
+            chaos_panic_period: None,
+        }
+    }
+}
+
+/// Service construction failures.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A navigator or fault-tolerant structure failed to build.
+    Backend(HopspanError),
+    /// The routing scheme failed to build.
+    Router(NavBuildError),
+    /// A worker thread could not be spawned.
+    Spawn(std::io::Error),
+    /// The configuration is structurally invalid.
+    Config(&'static str),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Backend(e) => write!(f, "backend build failed: {e}"),
+            BuildError::Router(e) => write!(f, "routing scheme build failed: {e}"),
+            BuildError::Spawn(e) => write!(f, "worker spawn failed: {e}"),
+            BuildError::Config(why) => write!(f, "invalid serve config: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Backend(e) => Some(e),
+            BuildError::Router(e) => Some(e),
+            BuildError::Spawn(e) => Some(e),
+            BuildError::Config(_) => None,
+        }
+    }
+}
+
+/// The sharded, batched, admission-controlled query service.
+///
+/// See the [module docs](self) for the request lifecycle. Dropping the
+/// service closes every shard queue, drains the backlog and joins all
+/// workers.
+#[derive(Debug)]
+pub struct ShardedNavigator {
+    shards: Vec<Arc<ShardInner>>,
+    metrics: Arc<ServeMetrics>,
+    cfg: ServeConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardedNavigator {
+    /// Builds `cfg.shards` independent backend replicas of `points`
+    /// and starts the worker pools. Replica builds are deterministic,
+    /// so all replicas are bit-identical; the replication buys
+    /// isolation (per-shard queues and workers), not divergence.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] on invalid configuration, backend build failure
+    /// or thread-spawn failure.
+    pub fn replicated(
+        points: &EuclideanSpace,
+        params: &BackendParams,
+        cfg: ServeConfig,
+    ) -> Result<Self, BuildError> {
+        validate(&cfg)?;
+        let mut backends = Vec::with_capacity(cfg.shards);
+        for _ in 0..cfg.shards {
+            backends.push(Arc::new(Backend::build(points, params)?));
+        }
+        Self::from_backends(backends, cfg)
+    }
+
+    /// Starts the service with every shard serving the same shared
+    /// backend. Query structures are immutable after construction, so
+    /// sharing a replica across shards is safe and trades the
+    /// replicated memory footprint for none of the queue/worker
+    /// isolation.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError`] on invalid configuration or thread-spawn
+    /// failure.
+    pub fn shared(backend: Arc<Backend>, cfg: ServeConfig) -> Result<Self, BuildError> {
+        validate(&cfg)?;
+        let backends = (0..cfg.shards).map(|_| Arc::clone(&backend)).collect();
+        Self::from_backends(backends, cfg)
+    }
+
+    fn from_backends(backends: Vec<Arc<Backend>>, cfg: ServeConfig) -> Result<Self, BuildError> {
+        let metrics = Arc::new(ServeMetrics::default());
+        let panic_counter = Arc::new(AtomicU64::new(0));
+        let mut shards = Vec::with_capacity(cfg.shards);
+        for backend in backends {
+            let slots = (0..cfg.queue_depth).map(|_| Slot::new()).collect();
+            let free = (0..cfg.queue_depth as u32).rev().collect();
+            shards.push(Arc::new(ShardInner {
+                backend,
+                queue: BatchQueue::bounded(cfg.queue_depth),
+                slots,
+                free: Mutex::new(free),
+            }));
+        }
+        let mut workers = Vec::with_capacity(cfg.shards * cfg.workers_per_shard);
+        for (si, shard) in shards.iter().enumerate() {
+            for wi in 0..cfg.workers_per_shard {
+                let shard = Arc::clone(shard);
+                let metrics = Arc::clone(&metrics);
+                let wcfg = cfg.clone();
+                let counter = Arc::clone(&panic_counter);
+                let handle = std::thread::Builder::new()
+                    .name(format!("hopspan-serve-{si}-{wi}"))
+                    .spawn(move || worker_loop(&shard, &metrics, &wcfg, &counter))
+                    .map_err(BuildError::Spawn)?;
+                workers.push(handle);
+            }
+        }
+        Ok(ShardedNavigator {
+            shards,
+            metrics,
+            cfg,
+            workers,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of points each shard serves.
+    pub fn points(&self) -> usize {
+        self.shards.first().map_or(0, |s| s.backend.len())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// The service's live metrics.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time metrics snapshot (what the `Stats` opcode
+    /// ships).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The shard that serves `op` (FNV-1a affinity on the first
+    /// endpoint).
+    pub fn shard_for(&self, op: &Op) -> usize {
+        shard_of_point(op.affinity_point(), self.shards.len())
+    }
+
+    /// Submits a request for batched execution. Returns a
+    /// [`Pending`] handle to wait on, or [`ServeError::Overloaded`]
+    /// when the target shard is at depth — regardless of policy; use
+    /// [`ShardedNavigator::call`] for the policy-aware front door.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] at the admission limit,
+    /// [`ServeError::ShuttingDown`] once the service is draining.
+    pub fn try_submit(&self, op: Op) -> Result<Pending<'_>, ServeError> {
+        ServeMetrics::bump(&self.metrics.submitted);
+        let si = self.shard_for(&op);
+        let shard = &self.shards[si];
+        let slot = lock_resilient(&shard.free).pop();
+        let Some(slot) = slot else {
+            ServeMetrics::bump(&self.metrics.shed);
+            return Err(ServeError::Overloaded {
+                depth: self.cfg.queue_depth as u32,
+            });
+        };
+        let job = Job {
+            slot,
+            op,
+            enqueued: Instant::now(),
+        };
+        if !shard.queue.push(job) {
+            lock_resilient(&shard.free).push(slot);
+            return Err(ServeError::ShuttingDown);
+        }
+        Ok(Pending {
+            engine: self,
+            shard: si as u32,
+            slot,
+        })
+    }
+
+    /// Executes `op` inline on the calling thread, bypassing the
+    /// queue. The answer is marked [`DegradeCode::Overload`] — the
+    /// path may be in contract, but the service's batching/latency
+    /// contract was not. This is the `BestEffort` overload escape
+    /// hatch; it allocates (fresh scratch) and is deliberately *not*
+    /// on the zero-alloc steady-state path.
+    ///
+    /// # Errors
+    ///
+    /// The same typed errors a queued execution can produce.
+    pub fn call_inline(&self, op: Op, out: &mut Vec<usize>) -> Result<QueryOutcome, ServeError> {
+        ServeMetrics::bump(&self.metrics.inline_served);
+        let shard = &self.shards[self.shard_for(&op)];
+        let mut scratch = Scratch::new();
+        let outcome = shard.backend.execute(&op, self.cfg.policy, &mut scratch);
+        out.clear();
+        out.extend_from_slice(&scratch.out);
+        match outcome {
+            Ok(QueryOutcome::Stats) => Ok(QueryOutcome::Stats),
+            Ok(_) => {
+                ServeMetrics::bump(&self.metrics.completed);
+                ServeMetrics::bump(&self.metrics.degraded);
+                Ok(QueryOutcome::Degraded {
+                    reason: DegradeCode::Overload,
+                    achieved_stretch: realized_stretch(&shard.backend.metric, out),
+                })
+            }
+            Err(e) => {
+                ServeMetrics::bump(&self.metrics.completed);
+                ServeMetrics::bump(&self.metrics.errors);
+                Err(e)
+            }
+        }
+    }
+
+    /// The policy-aware front door: queue the request, wait for the
+    /// batched answer, and on overload either shed typed (`Strict`)
+    /// or fall back to a degraded inline answer (`BestEffort`).
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ServeError`]s; under `Strict`,
+    /// [`ServeError::Overloaded`] past the admission limit.
+    pub fn call(&self, op: Op, out: &mut Vec<usize>) -> Result<QueryOutcome, ServeError> {
+        match self.try_submit(op) {
+            Ok(pending) => pending.wait_into(out),
+            Err(ServeError::Overloaded { .. })
+                if self.cfg.policy == DegradationPolicy::BestEffort =>
+            {
+                // The rejection is recovered inline, so it was not
+                // actually shed; undo try_submit's shed bump.
+                ServeMetrics::unbump(&self.metrics.shed);
+                self.call_inline(op, out)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Releases a slot back to its shard's free list.
+    fn release(&self, shard: u32, slot: u32) {
+        lock_resilient(&self.shards[shard as usize].free).push(slot);
+    }
+}
+
+impl Drop for ShardedNavigator {
+    fn drop(&mut self) {
+        for shard in &self.shards {
+            shard.queue.close();
+        }
+        for handle in self.workers.drain(..) {
+            // A worker's unwind already surfaced as `WorkerPanicked`
+            // on the affected slots; nothing is left to report here.
+            let _join = handle.join();
+        }
+    }
+}
+
+fn validate(cfg: &ServeConfig) -> Result<(), BuildError> {
+    if cfg.shards == 0 {
+        return Err(BuildError::Config("shards must be >= 1"));
+    }
+    if cfg.workers_per_shard == 0 {
+        return Err(BuildError::Config("workers_per_shard must be >= 1"));
+    }
+    if cfg.max_batch == 0 {
+        return Err(BuildError::Config("max_batch must be >= 1"));
+    }
+    if cfg.queue_depth == 0 {
+        return Err(BuildError::Config("queue_depth must be >= 1"));
+    }
+    if cfg.queue_depth > u32::MAX as usize {
+        return Err(BuildError::Config("queue_depth exceeds u32"));
+    }
+    Ok(())
+}
+
+/// A submitted request: wait on it to collect the answer. Dropping a
+/// `Pending` without waiting leaks its slot for the service's
+/// lifetime, so every submit should be paired with a wait.
+#[must_use = "a Pending that is never waited on leaks its response slot"]
+#[derive(Debug)]
+pub struct Pending<'a> {
+    engine: &'a ShardedNavigator,
+    shard: u32,
+    slot: u32,
+}
+
+impl Pending<'_> {
+    /// Blocks until the answer lands, copies the path into `out`
+    /// (cleared first) and releases the slot.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`ServeError`] the worker recorded, if any.
+    pub fn wait_into(self, out: &mut Vec<usize>) -> Result<QueryOutcome, ServeError> {
+        let (outcome, _) = self.wait_raw(out);
+        outcome
+    }
+
+    /// Blocks until the answer lands and returns the stats snapshot a
+    /// [`Op::Stats`] request produced.
+    ///
+    /// # Errors
+    ///
+    /// The typed [`ServeError`] the worker recorded, if any;
+    /// [`ServeError::BadRequest`] when the request was not `Stats`.
+    pub fn wait_stats(self) -> Result<MetricsSnapshot, ServeError> {
+        let mut sink = Vec::new();
+        let (outcome, stats) = self.wait_raw(&mut sink);
+        match outcome? {
+            QueryOutcome::Stats => Ok(stats),
+            _ => Err(ServeError::BadRequest),
+        }
+    }
+
+    fn wait_raw(self, out: &mut Vec<usize>) -> (Result<QueryOutcome, ServeError>, MetricsSnapshot) {
+        let shard = &self.engine.shards[self.shard as usize];
+        let slot = &shard.slots[self.slot as usize];
+        let mut st = lock_resilient(&slot.state);
+        while !st.done {
+            st = slot
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.done = false;
+        let outcome = st.outcome;
+        let stats = st.stats;
+        out.clear();
+        out.extend_from_slice(&st.path);
+        drop(st);
+        self.engine.release(self.shard, self.slot);
+        (outcome, stats)
+    }
+}
+
+/// Realized stretch of a path under `metric` (`1.0` for degenerate
+/// pairs), for marking inline answers.
+fn realized_stretch<M: Metric>(metric: &M, path: &[usize]) -> f64 {
+    let (Some(&u), Some(&v)) = (path.first(), path.last()) else {
+        return 1.0;
+    };
+    let d = metric.dist(u, v);
+    if d <= 0.0 {
+        return 1.0;
+    }
+    let w: f64 = path.windows(2).map(|w| metric.dist(w[0], w[1])).sum();
+    (w / d).max(1.0)
+}
+
+/// The shard worker: drain a batch, execute each job through the
+/// reused scratch, deliver by buffer swap, repeat until the queue
+/// closes.
+fn worker_loop(
+    shard: &ShardInner,
+    metrics: &ServeMetrics,
+    cfg: &ServeConfig,
+    panic_counter: &AtomicU64,
+) {
+    let mut scratch = Scratch::new();
+    let mut batch: Vec<Job> = Vec::with_capacity(cfg.max_batch);
+    while shard
+        .queue
+        .next_batch(cfg.max_batch, cfg.batch_deadline, &mut batch)
+    {
+        if batch.is_empty() {
+            continue;
+        }
+        ServeMetrics::bump(&metrics.batches);
+        ServeMetrics::add(&metrics.batched_jobs, batch.len() as u64);
+        for job in &batch {
+            run_job(shard, metrics, cfg, panic_counter, job, &mut scratch);
+        }
+    }
+}
+
+fn run_job(
+    shard: &ShardInner,
+    metrics: &ServeMetrics,
+    cfg: &ServeConfig,
+    panic_counter: &AtomicU64,
+    job: &Job,
+    scratch: &mut Scratch,
+) {
+    let inject = cfg
+        .chaos_panic_period
+        .is_some_and(|p| (panic_counter.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(p));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if inject {
+            // hopspan:allow(panic-in-lib) -- deterministic chaos-injection hook; contained by the catch_unwind above
+            panic!("injected worker panic (chaos_panic_period)");
+        }
+        shard.backend.execute(&job.op, cfg.policy, scratch)
+    }));
+    let outcome = match result {
+        Ok(r) => r,
+        Err(_) => {
+            // The panic may have left scratch buffers mid-write; clear
+            // them so the next job starts clean.
+            scratch.out.clear();
+            scratch.tree.clear();
+            scratch.fault_set.clear();
+            Err(ServeError::WorkerPanicked)
+        }
+    };
+    ServeMetrics::bump(&metrics.completed);
+    match &outcome {
+        Ok(QueryOutcome::Degraded { .. }) => ServeMetrics::bump(&metrics.degraded),
+        Ok(_) => {}
+        Err(_) => ServeMetrics::bump(&metrics.errors),
+    }
+    let stats = if matches!(job.op, Op::Stats) {
+        metrics.snapshot()
+    } else {
+        MetricsSnapshot::default()
+    };
+    let slot = &shard.slots[job.slot as usize];
+    let mut st = lock_resilient(&slot.state);
+    mem::swap(&mut st.path, &mut scratch.out);
+    st.outcome = outcome;
+    st.stats = stats;
+    st.done = true;
+    drop(st);
+    slot.done_cv.notify_one();
+    metrics
+        .latency
+        .record_ns(job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+}

@@ -22,6 +22,7 @@
 //! | [`tree_cover`] | robust/Ramsey/separator tree covers, pairing covers | §2.1, Theorem 4.1 |
 //! | [`core`] | metric navigation, fault-tolerant spanners | Theorems 1.2, 4.2 |
 //! | [`routing`] | compact 2-hop routing schemes (fixed-port model) | Theorems 1.3, 5.1, 5.2 |
+//! | [`serve`] | sharded batch query service: admission control, binary wire protocol, TCP front | engineering layer |
 //! | [`apps`] | sparsification, approximate SPT/MST, tree products, MST verification | §5.3–5.6 |
 //! | [`baselines`] | greedy spanner, Θ-graph, Thorup–Zwick oracle, Dijkstra navigation | §1.1 |
 //!
@@ -56,6 +57,7 @@ pub use hopspan_core as core;
 pub use hopspan_metric as metric;
 pub use hopspan_pipeline as pipeline;
 pub use hopspan_routing as routing;
+pub use hopspan_serve as serve;
 pub use hopspan_tree_cover as tree_cover;
 pub use hopspan_tree_spanner as tree_spanner;
 pub use hopspan_treealg as treealg;
