@@ -1,0 +1,7 @@
+//! E25 runner: snapshot boot-vs-rebuild against `hopspan-store`,
+//! written to `BENCH_store.json`. Smoke variant: `HOPSPAN_E25_SMOKE=1`.
+
+fn main() {
+    println!("## E25: Snapshot boot: versioned `HSNP` store vs rebuild (hopspan-store)\n");
+    println!("{}", hopspan_bench::experiments::e25_store());
+}

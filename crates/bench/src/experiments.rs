@@ -23,6 +23,7 @@ use hopspan_serve::{
     quantile_from_counts, Backend as ServeBackend, BackendParams, DegradeCode, MetricsSnapshot, Op,
     Pending, QueryOutcome, ServeConfig, ServeError, ShardedNavigator, LATENCY_BUCKETS,
 };
+use hopspan_store as store;
 use hopspan_tree_cover::{
     substituted_path_weight, NetHierarchy, PairingCover, RamseyTreeCover, RobustTreeCover,
     SeparatorTreeCover,
@@ -139,6 +140,11 @@ pub fn all() -> Vec<Experiment> {
             "E24",
             "Serving throughput: sharded batching, admission control (hopspan-serve)",
             e24_serve,
+        ),
+        (
+            "E25",
+            "Snapshot boot: versioned `HSNP` store vs rebuild (hopspan-store)",
+            e25_store,
         ),
     ]
 }
@@ -2496,5 +2502,188 @@ pub fn e24_serve() -> String {
         ms(build),
         cfg.clients,
         pairs.len(),
+    )
+}
+
+/// E25 configuration (smoke variant: `HOPSPAN_E25_SMOKE=1`).
+struct E25Cfg {
+    sizes: Vec<usize>,
+    smoke: bool,
+}
+
+impl E25Cfg {
+    fn from_env() -> Self {
+        let smoke = std::env::var("HOPSPAN_E25_SMOKE").is_ok();
+        let sizes = if smoke {
+            vec![256, 1024]
+        } else {
+            vec![1024, 4096, 16384]
+        };
+        E25Cfg { sizes, smoke }
+    }
+}
+
+/// One row of the E25 snapshot-boot sweep.
+struct E25Cell {
+    n: usize,
+    build: Duration,
+    write: Duration,
+    load: Duration,
+    snapshot_bytes: u64,
+    live_bytes: u64,
+    checksum: u64,
+    speedup: f64,
+    hx_match: bool,
+}
+
+fn e25_cell(n: usize) -> E25Cell {
+    let points = gen::uniform_points(n, 2, &mut rng(0xE25_0001 ^ n as u64));
+    // The rebuild baseline is the serve boot path: the budgeted
+    // general-metric navigator `Backend::build` uses (tree budget 12,
+    // k = 3), so the speedup below is what a restarting server gains.
+    let (nav, build) = time(|| {
+        let mut brng = rng(crate::SEED ^ n as u64);
+        MetricNavigator::general_budgeted(&points, 12, 3, &mut brng)
+            .expect("budgeted navigator builds")
+            .0
+    });
+    let path = std::env::temp_dir().join(format!("hopspan-e25-{}-{n}.hsnp", std::process::id()));
+    let (digest, write) =
+        time(|| store::write_snapshot_file(&path, &points, &nav, None).expect("snapshot writes"));
+    let ((snap, read_digest), load) =
+        time(|| store::read_snapshot_file(&path).expect("snapshot reads back"));
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(digest, read_digest, "write/read digests must agree");
+    let hx_match = store::hx_hash(&snap.navigator) == store::hx_hash(&nav);
+    let live_bytes = store::flat_live_bytes(&nav.to_parts());
+    let speedup = build.as_secs_f64() / load.as_secs_f64().max(1e-9);
+    E25Cell {
+        n,
+        build,
+        write,
+        load,
+        snapshot_bytes: digest.bytes,
+        live_bytes,
+        checksum: digest.checksum,
+        speedup,
+        hx_match,
+    }
+}
+
+fn e25_json(cells: &[E25Cell], cfg: &E25Cfg) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E25\",\n");
+    out.push_str(&format!("  \"seed\": \"{:#x}\",\n", crate::SEED));
+    out.push_str(&format!("  \"smoke\": {},\n", cfg.smoke));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"build_ms\": {:.3}, \"write_ms\": {:.3}, \
+             \"load_ms\": {:.3}, \"snapshot_bytes\": {}, \"live_bytes\": {}, \
+             \"checksum\": \"{:#018x}\", \"boot_speedup\": {:.2}, \
+             \"hx_match\": {}}}{}\n",
+            c.n,
+            c.build.as_secs_f64() * 1e3,
+            c.write.as_secs_f64() * 1e3,
+            c.load.as_secs_f64() * 1e3,
+            c.snapshot_bytes,
+            c.live_bytes,
+            c.checksum,
+            c.speedup,
+            c.hx_match,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// E25: boot-from-snapshot vs rebuild. Per size, builds the serve
+/// layer's budgeted navigator (the rebuild baseline), writes it
+/// through the versioned `HSNP` codec, boots it back with full deep
+/// validation, and pins the loaded navigator's `H_X` hash against the
+/// live one. Writes
+/// `BENCH_store.json` to the workspace root (override with
+/// `HOPSPAN_BENCH_OUT`). Smoke variant: `HOPSPAN_E25_SMOKE=1`.
+pub fn e25_store() -> String {
+    let cfg = E25Cfg::from_env();
+    let cells: Vec<E25Cell> = cfg.sizes.iter().map(|&n| e25_cell(n)).collect();
+    assert!(
+        cells.iter().all(|c| c.hx_match),
+        "snapshot-loaded navigator must hash identically to the live one"
+    );
+
+    let json = e25_json(&cells, &cfg);
+    let out_path = std::env::var("HOPSPAN_BENCH_OUT").map_or_else(
+        |_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench sits two levels below the workspace root")
+                .join("BENCH_store.json")
+        },
+        std::path::PathBuf::from,
+    );
+    let json_note = match std::fs::write(&out_path, &json) {
+        Ok(()) => {
+            let shown = out_path.file_name().map_or_else(
+                || out_path.display().to_string(),
+                |f| f.to_string_lossy().into_owned(),
+            );
+            format!("Machine-readable results: `{shown}`.")
+        }
+        Err(e) => format!("(could not write {}: {e})", out_path.display()),
+    };
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.n.to_string(),
+                ms(c.build),
+                ms(c.write),
+                ms(c.load),
+                c.snapshot_bytes.to_string(),
+                c.live_bytes.to_string(),
+                format!("x{:.1}", c.speedup),
+                if c.hx_match { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    let table = md_table(
+        &[
+            "n",
+            "build ms",
+            "write ms",
+            "load ms",
+            "snapshot B",
+            "live B",
+            "boot speedup",
+            "H_X match",
+        ],
+        &rows,
+    );
+    let headline = cells
+        .iter()
+        .find(|c| c.n == 4096)
+        .map_or_else(String::new, |c| {
+            format!(
+                " At n = 4096 boot-from-snapshot is x{:.1} faster than \
+                 rebuilding from points.",
+                c.speedup
+            )
+        });
+    format!(
+        "Versioned `HSNP` snapshots (`hopspan-store`) against the rebuild \
+         baseline: per size, the serve layer's budgeted navigator (tree \
+         budget 12, k = 3 — the `Backend::build` boot path) is built once \
+         from points (`build`), serialized with a whole-file FNV-1a \
+         checksum (`write`), and booted back through the fully-validating \
+         loader (`load`). Every loaded navigator hashes bit-identically to the \
+         live one (`H_X match`), so the boot path serves the exact \
+         structure the builder produced.{headline} Snapshot bytes sit \
+         close to the flat live footprint — the format stores the same \
+         CSR arrays plus a fixed header/section-table overhead. \
+         {json_note}\n\n{table}\n",
     )
 }

@@ -34,6 +34,7 @@ use crate::panics::{panic_injection_scenario, PanicInjection, PanicOutcome};
 use crate::serve::{
     build_serve_backend, start_wire_server, wire_fault_probe, worker_panic_probe, WireFaultKind,
 };
+use crate::snapshot::{build_snapshot_target, snapshot_fault_probe, SnapshotFaultKind};
 use crate::strategies::FaultStrategy;
 use crate::Fnv1a;
 
@@ -67,6 +68,8 @@ pub struct CampaignConfig {
     /// Malformed-frame scenarios per [`crate::WireFaultKind`], against
     /// a live server.
     pub serve_wire_per_kind: usize,
+    /// Corrupted-snapshot scenarios per [`crate::SnapshotFaultKind`].
+    pub snapshot_per_kind: usize,
     /// Worker counts each panic scenario must agree across.
     pub panic_worker_counts: Vec<usize>,
     /// The §6 stretch bound in-contract queries must meet (the paper's
@@ -91,6 +94,7 @@ impl Default for CampaignConfig {
             panic_worker_counts: vec![1, 4, 16],
             serve_panic_scenarios: 6,
             serve_wire_per_kind: 4,
+            snapshot_per_kind: 8,
             stretch_bound: 8.0,
         }
     }
@@ -112,6 +116,7 @@ impl CampaignConfig {
             panic_worker_counts: vec![1, 4],
             serve_panic_scenarios: 4,
             serve_wire_per_kind: 2,
+            snapshot_per_kind: 4,
             ..CampaignConfig::default()
         }
     }
@@ -123,6 +128,7 @@ impl CampaignConfig {
             + 2 * self.panic_per_mode
             + self.serve_panic_scenarios
             + WireFaultKind::ALL.len() * self.serve_wire_per_kind
+            + SnapshotFaultKind::ALL.len() * self.snapshot_per_kind
     }
 }
 
@@ -141,6 +147,8 @@ pub enum ScenarioKind {
     /// Worker panics and malformed frames against a live
     /// `hopspan-serve` TCP server.
     ServePanic,
+    /// A damaged `HSNP` snapshot file thrown at the store loader.
+    CorruptSnapshot,
 }
 
 impl ScenarioKind {
@@ -152,6 +160,7 @@ impl ScenarioKind {
             ScenarioKind::CorruptMetric => "corrupt-metric",
             ScenarioKind::PanicInjection => "panic-injection",
             ScenarioKind::ServePanic => "serve-panic",
+            ScenarioKind::CorruptSnapshot => "corrupt-snapshot",
         }
     }
 }
@@ -312,6 +321,7 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     run_corrupt_scenarios(cfg, &mut report, &mut id);
     run_panic_scenarios(cfg, &mut report, &mut id);
     run_serve_scenarios(cfg, &mut report, &mut id);
+    run_snapshot_scenarios(cfg, &mut report, &mut id);
     report
 }
 
@@ -587,6 +597,55 @@ fn run_serve_scenarios(cfg: &CampaignConfig, report: &mut CampaignReport, id: &m
         }
     }
     server.1.shutdown();
+}
+
+/// Snapshot-corruption scenarios: one pristine `HSNP` encoding per
+/// campaign, corrupted a different way per scenario. Every damaged file
+/// must be rejected typed — a panic or a silently-accepted load is a
+/// violation.
+fn run_snapshot_scenarios(cfg: &CampaignConfig, report: &mut CampaignReport, id: &mut usize) {
+    if cfg.snapshot_per_kind == 0 {
+        return;
+    }
+    let template = |id: usize, tag: &'static str| ScenarioOutcome {
+        id,
+        kind: ScenarioKind::CorruptSnapshot,
+        tag,
+        f_budget: 0,
+        fault_count: 1,
+        outcome: OutcomeKind::Violation,
+        max_stretch: 1.0,
+        max_hops: 0,
+        detail: String::new(),
+    };
+    let target = match build_snapshot_target(cfg.corrupt_n.max(12), cfg.seed) {
+        Ok(t) => t,
+        Err(detail) => {
+            // One violation record stands in for the whole family.
+            report.scenarios.push(ScenarioOutcome {
+                detail,
+                ..template(*id, "snap-build")
+            });
+            *id += SnapshotFaultKind::ALL.len() * cfg.snapshot_per_kind;
+            return;
+        }
+    };
+    for (ki, kind) in SnapshotFaultKind::ALL.iter().enumerate() {
+        for rep in 0..cfg.snapshot_per_kind {
+            let mut rng = scenario_rng(cfg.seed, 6, ki as u64, rep as u64);
+            let t = template(*id, kind.tag());
+            let target = &target;
+            contained(report, t.clone(), move || {
+                let (outcome, detail) = snapshot_fault_probe(target, *kind, &mut rng);
+                ScenarioOutcome {
+                    outcome,
+                    detail,
+                    ..t
+                }
+            });
+            *id += 1;
+        }
+    }
 }
 
 fn run_corrupt_scenarios(cfg: &CampaignConfig, report: &mut CampaignReport, id: &mut usize) {

@@ -21,6 +21,11 @@
 //!   and malformed/truncated/bad-checksum frames thrown at a *live*
 //!   `hopspan-serve` TCP server; every connection must get a typed
 //!   error frame and the server must keep serving.
+//! * **Corrupted snapshots** ([`SnapshotFaultKind`]): truncated,
+//!   bit-flipped, checksum-damaged, version-skewed and
+//!   checksum-valid-but-structurally-corrupt `HSNP` boot files thrown
+//!   at the `hopspan-store` loader; every one must be rejected with a
+//!   typed [`hopspan_store::StoreError`], never a panic.
 //!
 //! A campaign ([`run_campaign`]) is named by a single `u64` seed and is
 //! bit-replayable: the same seed yields the same scenarios, the same
@@ -36,6 +41,7 @@ mod campaign;
 mod corrupt;
 mod panics;
 mod serve;
+mod snapshot;
 mod strategies;
 
 pub use campaign::{
@@ -44,6 +50,7 @@ pub use campaign::{
 pub use corrupt::{corrupt_matrix, CorruptKind, PoisonedMetric};
 pub use panics::{panic_injection_scenario, PanicInjection, PanicOutcome};
 pub use serve::WireFaultKind;
+pub use snapshot::SnapshotFaultKind;
 pub use strategies::FaultStrategy;
 
 /// FNV-1a offset basis (the workspace's golden-hash convention).

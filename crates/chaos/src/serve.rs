@@ -43,16 +43,21 @@ pub enum WireFaultKind {
     /// Length prefix beyond `MAX_FRAME` → `ERR_WIRE`, close, without
     /// the server ever buffering the claimed length.
     Oversized,
+    /// The worst-case hostile prefix, `u32::MAX` (≈ 4 GiB claimed) →
+    /// `ERR_WIRE`, close, and the rejection must precede any
+    /// allocation.
+    OversizedHuge,
 }
 
 impl WireFaultKind {
     /// Every malformed-frame kind, in campaign order.
-    pub const ALL: [WireFaultKind; 5] = [
+    pub const ALL: [WireFaultKind; 6] = [
         WireFaultKind::BadMagic,
         WireFaultKind::BadChecksum,
         WireFaultKind::Truncated,
         WireFaultKind::UnknownOpcode,
         WireFaultKind::Oversized,
+        WireFaultKind::OversizedHuge,
     ];
 
     /// Short stable tag for reports.
@@ -63,6 +68,7 @@ impl WireFaultKind {
             WireFaultKind::Truncated => "truncated",
             WireFaultKind::UnknownOpcode => "unknown-opcode",
             WireFaultKind::Oversized => "oversized",
+            WireFaultKind::OversizedHuge => "oversized-huge",
         }
     }
 
@@ -289,6 +295,10 @@ fn malformed_frame(kind: WireFaultKind, request_id: u64, n: usize) -> (Vec<u8>, 
         }
         WireFaultKind::Oversized => {
             let f = (wire::MAX_FRAME + 1).to_le_bytes().to_vec();
+            (f, status::ERR_WIRE)
+        }
+        WireFaultKind::OversizedHuge => {
+            let f = u32::MAX.to_le_bytes().to_vec();
             (f, status::ERR_WIRE)
         }
     }

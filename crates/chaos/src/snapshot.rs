@@ -1,0 +1,176 @@
+//! Chaos probes against the `HSNP` snapshot codec: every way a boot
+//! file can rot on disk — truncation, flipped bits, checksum damage,
+//! version skew, and checksum-*valid* structural corruption — must be
+//! answered with a typed [`hopspan_store::StoreError`], never a panic
+//! and never a silently-wrong navigator.
+//!
+//! The probes are deterministic: one pristine snapshot is encoded per
+//! campaign, and each scenario derives its corruption from the
+//! campaign's seeded PCG32 stream.
+
+use hopspan_core::{MetricNavigator, MetricNavigatorParts};
+use hopspan_metric::EuclideanSpace;
+use hopspan_store as store;
+use rand::rngs::Pcg32;
+use rand::Rng;
+
+use crate::OutcomeKind;
+
+/// The snapshot-corruption sub-family: each kind is one specific way a
+/// boot file can be damaged, with the typed rejection the loader must
+/// produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotFaultKind {
+    /// The file is cut short at a random byte → a typed frame error.
+    Truncated,
+    /// One random bit is flipped anywhere in the file → typed
+    /// rejection (usually the whole-file checksum).
+    FlippedByte,
+    /// A byte of the trailing FNV-1a checksum is damaged →
+    /// [`store::StoreError::BadChecksum`] exactly.
+    BadChecksum,
+    /// The format version is rewritten (checksum re-fixed, so only the
+    /// version check can catch it) → [`store::StoreError::BadVersion`].
+    WrongVersion,
+    /// Checksum-valid structural corruption: an out-of-bounds index is
+    /// planted in the navigator parts before encoding, so the frame
+    /// layer is clean and only deep validation can reject it.
+    OobCsr,
+}
+
+impl SnapshotFaultKind {
+    /// Every snapshot-corruption kind, in campaign order.
+    pub const ALL: [SnapshotFaultKind; 5] = [
+        SnapshotFaultKind::Truncated,
+        SnapshotFaultKind::FlippedByte,
+        SnapshotFaultKind::BadChecksum,
+        SnapshotFaultKind::WrongVersion,
+        SnapshotFaultKind::OobCsr,
+    ];
+
+    /// Short stable tag for reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SnapshotFaultKind::Truncated => "snap-truncated",
+            SnapshotFaultKind::FlippedByte => "snap-flipped-byte",
+            SnapshotFaultKind::BadChecksum => "snap-bad-checksum",
+            SnapshotFaultKind::WrongVersion => "snap-wrong-version",
+            SnapshotFaultKind::OobCsr => "snap-oob-csr",
+        }
+    }
+}
+
+/// The pristine snapshot every probe of a campaign corrupts a copy of.
+pub(crate) struct SnapshotTarget {
+    points: EuclideanSpace,
+    parts: MetricNavigatorParts,
+    bytes: Vec<u8>,
+}
+
+/// Builds the shared probe target: a small navigator, its parts, and
+/// its clean `HSNP` encoding (verified to decode before any probe
+/// corrupts it).
+pub(crate) fn build_snapshot_target(n: usize, seed: u64) -> Result<SnapshotTarget, String> {
+    let mut rng = Pcg32::new(seed, 0x5470);
+    let points = hopspan_metric::gen::uniform_points(n, 2, &mut rng);
+    let nav = MetricNavigator::doubling(&points, 0.5, 2)
+        .map_err(|e| format!("snapshot target build failed: {e}"))?;
+    let bytes = store::encode_snapshot(&points, &nav, None);
+    store::decode_snapshot(&bytes)
+        .map_err(|e| format!("pristine snapshot failed to decode: {e}"))?;
+    Ok(SnapshotTarget {
+        points,
+        parts: nav.to_parts(),
+        bytes,
+    })
+}
+
+/// One corruption scenario: apply `kind`'s damage to a copy of the
+/// pristine snapshot and demand a typed rejection.
+pub(crate) fn snapshot_fault_probe(
+    target: &SnapshotTarget,
+    kind: SnapshotFaultKind,
+    rng: &mut Pcg32,
+) -> (OutcomeKind, String) {
+    match snapshot_fault_probe_inner(target, kind, rng) {
+        Ok(detail) => (OutcomeKind::TypedError, detail),
+        Err(detail) => (OutcomeKind::Violation, detail),
+    }
+}
+
+fn snapshot_fault_probe_inner(
+    target: &SnapshotTarget,
+    kind: SnapshotFaultKind,
+    rng: &mut Pcg32,
+) -> Result<String, String> {
+    let tag = kind.tag();
+    let bytes = match kind {
+        SnapshotFaultKind::Truncated => {
+            let cut = rng.gen_range(0..target.bytes.len());
+            target.bytes[..cut].to_vec()
+        }
+        SnapshotFaultKind::FlippedByte => {
+            let mut b = target.bytes.clone();
+            let at = rng.gen_range(0..b.len());
+            b[at] ^= 1u8 << rng.gen_range(0..8u32);
+            b
+        }
+        SnapshotFaultKind::BadChecksum => {
+            let mut b = target.bytes.clone();
+            let at = b.len() - 8 + rng.gen_range(0..8usize);
+            b[at] ^= 1u8 << rng.gen_range(0..8u32);
+            b
+        }
+        SnapshotFaultKind::WrongVersion => {
+            let mut b = target.bytes.clone();
+            // Bytes 4..6 hold the format version; skew it to any other
+            // value, then re-fix the trailing checksum so only the
+            // version check stands between the file and the decoder.
+            let skew = (2 + rng.gen_range(0..u32::from(u16::MAX) - 2)) as u16;
+            b[4..6].copy_from_slice(&skew.to_le_bytes());
+            let cs_at = b.len() - 8;
+            let cs = store::fnv1a(&b[..cs_at]);
+            b[cs_at..].copy_from_slice(&cs.to_le_bytes());
+            b
+        }
+        SnapshotFaultKind::OobCsr => {
+            let mut parts = target.parts.clone();
+            // Plant an out-of-bounds index behind a valid checksum.
+            if parts.edges.is_empty() {
+                return Err(format!("{tag}: target navigator has no edges to corrupt"));
+            }
+            let at = rng.gen_range(0..parts.edges.len());
+            if rng.gen_range(0..2u32) == 0 {
+                parts.edges[at].0 = usize::MAX;
+            } else {
+                parts.edges[at].1 = parts.n + rng.gen_range(1..1024usize);
+            }
+            store::encode_snapshot_parts(&target.points, &parts, None)
+        }
+    };
+    match store::decode_snapshot(&bytes) {
+        Ok(_) => Err(format!("{tag}: corrupted snapshot was accepted")),
+        Err(e) => {
+            // Kind-specific taxonomy pins: damage that only one check
+            // can catch must be caught by exactly that check.
+            let fits = match kind {
+                SnapshotFaultKind::BadChecksum => {
+                    matches!(e, store::StoreError::BadChecksum { .. })
+                }
+                SnapshotFaultKind::WrongVersion => {
+                    matches!(e, store::StoreError::BadVersion { .. })
+                }
+                SnapshotFaultKind::OobCsr => matches!(
+                    e,
+                    store::StoreError::Corrupt { .. } | store::StoreError::Malformed { .. }
+                ),
+                SnapshotFaultKind::Truncated | SnapshotFaultKind::FlippedByte => true,
+            };
+            if fits {
+                Ok(format!("{tag}: typed rejection ({e})"))
+            } else {
+                Err(format!("{tag}: wrong error class ({e})"))
+            }
+        }
+    }
+}

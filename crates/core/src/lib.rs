@@ -46,7 +46,14 @@ pub use error::HopspanError;
 pub use fault_tolerant::{
     DegradationPolicy, DegradeReason, FaultTolerantSpanner, FtError, FtPath, FtPathOutcome,
 };
-pub use navigation::{MetricNavigator, NavigationError};
+pub use navigation::{MetricNavigator, MetricNavigatorParts, NavTreeParts, NavigationError};
+
+/// Flat serialization parts of the per-tree spanner structures,
+/// re-exported from the tree-spanner crate so snapshot layers can
+/// traverse [`MetricNavigatorParts`] without a direct dependency.
+pub use hopspan_tree_spanner::{
+    BaseTableParts, ContractedParts, NavigatorParts, PhiNodeParts, SpannerParts, TreeParts,
+};
 
 /// Contained parallel-pipeline failure, re-exported from the pipeline
 /// crate for error matching without a direct dependency.

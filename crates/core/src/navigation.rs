@@ -19,7 +19,8 @@ use hopspan_pipeline::BuildStats;
 use hopspan_tree_cover::{
     CoverError, DominatingTree, RamseyTreeCover, RobustTreeCover, SeparatorTreeCover, TreeCover,
 };
-use hopspan_tree_spanner::{TreeHopSpanner, TreeSpannerError};
+use hopspan_tree_spanner::{SpannerParts, TreeHopSpanner, TreeSpannerError};
+use hopspan_treealg::RootedTree;
 use rand::Rng;
 
 /// Error type for [`MetricNavigator`].
@@ -46,6 +47,12 @@ pub enum NavigationError {
         /// Second query point.
         v: usize,
     },
+    /// Deserialized navigator parts violate a structural invariant
+    /// (see [`MetricNavigator::from_parts`]).
+    Corrupt {
+        /// Which invariant failed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for NavigationError {
@@ -59,6 +66,9 @@ impl fmt::Display for NavigationError {
             }
             NavigationError::PairNotCovered { u, v } => {
                 write!(f, "no cover tree contains both {u} and {v}")
+            }
+            NavigationError::Corrupt { what } => {
+                write!(f, "corrupt navigator structure: {what}")
             }
         }
     }
@@ -161,6 +171,44 @@ impl Membership {
             self.words[wu] >> bu & 1 == 1 && self.words[wv] >> bv & 1 == 1
         }
     }
+}
+
+/// Flat serialization parts of one cover tree with its spanner: the
+/// dominating tree as parent pointers plus the spanner's own parts.
+/// Derived structures (LCA, leaf spans, membership) are rebuilt on load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NavTreeParts {
+    /// Root vertex of the dominating tree.
+    pub root: usize,
+    /// Parent of each tree vertex (`None` exactly for the root).
+    pub parent: Vec<Option<usize>>,
+    /// Weight of the edge to the parent (ignored for the root).
+    pub weight: Vec<f64>,
+    /// Point id carried by each tree vertex.
+    pub point_of: Vec<usize>,
+    /// The Theorem 1.1 spanner over the tree, in flat form.
+    pub spanner: SpannerParts,
+}
+
+/// The complete flat form of a [`MetricNavigator`]: everything needed
+/// to reassemble it without touching the metric or re-running any
+/// cover/spanner construction. Produced by
+/// [`MetricNavigator::to_parts`], consumed (with full revalidation) by
+/// [`MetricNavigator::from_parts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricNavigatorParts {
+    /// The hop bound `k`.
+    pub k: usize,
+    /// Number of points of the metric.
+    pub n: usize,
+    /// The `H_X` edges, strictly sorted by `(u, v)` with `u < v`.
+    pub edges: Vec<(usize, usize, f64)>,
+    /// Ramsey home tree per point, when available.
+    pub home: Option<Vec<usize>>,
+    /// One entry per cover tree.
+    pub trees: Vec<NavTreeParts>,
+    /// Per-tree point-membership bitmask words, parallel to `trees`.
+    pub masks: Vec<Vec<u64>>,
 }
 
 /// The navigation scheme of Theorem 1.2: k-hop approximate paths on a
@@ -366,6 +414,118 @@ impl MetricNavigator {
             },
             stats,
         ))
+    }
+
+    /// Extracts the flat serialization parts of this navigator: the
+    /// `H_X` edge list, the optional home table, and per tree the
+    /// dominating tree (as parent pointers), its point mapping, its
+    /// membership bitmask and the spanner parts. The inverse of
+    /// [`MetricNavigator::from_parts`].
+    pub fn to_parts(&self) -> MetricNavigatorParts {
+        MetricNavigatorParts {
+            k: self.k,
+            n: self.n,
+            edges: self.edges.clone(),
+            home: self.home.clone(),
+            trees: self
+                .trees
+                .iter()
+                .map(|t| {
+                    let tree = t.dom.tree();
+                    NavTreeParts {
+                        root: tree.root(),
+                        parent: (0..tree.len()).map(|v| tree.parent(v)).collect(),
+                        weight: (0..tree.len()).map(|v| tree.parent_weight(v)).collect(),
+                        point_of: (0..tree.len()).map(|v| t.dom.point_of(v)).collect(),
+                        spanner: t.spanner.to_parts(),
+                    }
+                })
+                .collect(),
+            masks: self.masks.iter().map(|m| m.words.clone()).collect(),
+        }
+    }
+
+    /// Reassembles a navigator from parts produced by
+    /// [`MetricNavigator::to_parts`] (typically after a round trip
+    /// through a snapshot file), revalidating everything: the cover
+    /// trees are rebuilt through checking constructors, the spanners go
+    /// through [`TreeHopSpanner::from_parts`]' deep validation, the
+    /// membership bitmasks are re-derived and compared against the
+    /// stored words, and the `H_X` edge list is bounds-checked. All
+    /// derived structures (LCA tables, leaf spans) are recomputed, so
+    /// the result is bit-identical to the originally built navigator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NavigationError::Corrupt`] (or the wrapped
+    /// cover/spanner corruption error) naming the first violated
+    /// invariant.
+    pub fn from_parts(parts: MetricNavigatorParts) -> Result<Self, NavigationError> {
+        let corrupt = |what: &'static str| NavigationError::Corrupt { what };
+        let n = parts.n;
+        if parts.masks.len() != parts.trees.len() {
+            return Err(corrupt("membership mask count mismatch"));
+        }
+        let mut trees = Vec::with_capacity(parts.trees.len());
+        for tp in parts.trees {
+            let tree = RootedTree::from_parents(tp.root, &tp.parent, &tp.weight)
+                .map_err(|_| corrupt("cover tree parents do not form a tree"))?;
+            let dom = DominatingTree::try_new(tree, tp.point_of, n)?;
+            if tp.spanner.k != parts.k {
+                return Err(corrupt("tree spanner hop budget mismatch"));
+            }
+            let spanner = TreeHopSpanner::from_parts(tp.spanner)?;
+            let tree = dom.tree();
+            if spanner.vertex_count() != tree.len() {
+                return Err(corrupt("spanner size does not match its cover tree"));
+            }
+            for v in 0..tree.len() {
+                if spanner.is_required(v) != (tree.child_count(v) == 0) {
+                    return Err(corrupt(
+                        "spanner required mask disagrees with the tree leaves",
+                    ));
+                }
+            }
+            trees.push(NavTree { dom, spanner });
+        }
+        let masks: Vec<Membership> = trees.iter().map(|t| Membership::build(&t.dom, n)).collect();
+        for (rebuilt, stored) in masks.iter().zip(&parts.masks) {
+            if rebuilt.words != *stored {
+                return Err(corrupt("membership mask does not match its tree"));
+            }
+        }
+        if let Some(home) = &parts.home {
+            if home.len() != n {
+                return Err(corrupt("home table length mismatch"));
+            }
+            if home.iter().any(|&t| t >= trees.len()) {
+                return Err(corrupt("home tree index out of range"));
+            }
+        }
+        let mut prev: Option<(usize, usize)> = None;
+        for &(u, v, w) in &parts.edges {
+            if u >= n || v >= n {
+                return Err(corrupt("H_X edge endpoint out of range"));
+            }
+            if u >= v {
+                return Err(corrupt("H_X edges must be stored with u < v"));
+            }
+            if !w.is_finite() || w < 0.0 {
+                return Err(corrupt("H_X edge weight not finite non-negative"));
+            }
+            if prev.is_some_and(|p| p >= (u, v)) {
+                return Err(corrupt("H_X edges must be strictly sorted by (u, v)"));
+            }
+            prev = Some((u, v));
+        }
+        Ok(MetricNavigator {
+            trees,
+            masks,
+            home: parts.home,
+            k: parts.k,
+            n,
+            edges: parts.edges,
+        })
     }
 
     /// The hop bound `k`.
@@ -703,5 +863,98 @@ mod tests {
         let m = gen::uniform_points(10, 2, &mut rng());
         let nav = MetricNavigator::doubling(&m, 0.5, 2).unwrap();
         assert_eq!(nav.find_path(4, 4).unwrap(), vec![4]);
+    }
+
+    /// Parts round trip: the reassembled navigator is bit-identical
+    /// (same parts, same answers) to the originally built one, for both
+    /// scan-selection (doubling) and home-tree (Ramsey) navigators.
+    #[test]
+    fn parts_round_trip_is_identity() {
+        let m = gen::uniform_points(30, 2, &mut rng());
+        let built = MetricNavigator::doubling(&m, 0.5, 3).unwrap();
+        let parts = built.to_parts();
+        let loaded = MetricNavigator::from_parts(parts.clone()).unwrap();
+        assert_eq!(loaded.to_parts(), parts);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for u in 0..30 {
+            for v in 0..30 {
+                built.find_path_into(u, v, &mut a).unwrap();
+                loaded.find_path_into(u, v, &mut b).unwrap();
+                assert_eq!(a, b, "pair ({u},{v})");
+            }
+        }
+
+        let gm = gen::random_graph_metric(22, 12, &mut rng());
+        let built = MetricNavigator::general(&gm, 2, 3, &mut rng()).unwrap();
+        let loaded = MetricNavigator::from_parts(built.to_parts()).unwrap();
+        assert_eq!(loaded.to_parts(), built.to_parts());
+        for u in 0..22 {
+            for v in 0..22 {
+                assert_eq!(
+                    loaded.find_path(u, v).unwrap(),
+                    built.find_path(u, v).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_corruption() {
+        let m = gen::uniform_points(20, 2, &mut rng());
+        let fresh = || MetricNavigator::doubling(&m, 0.5, 2).unwrap().to_parts();
+        let what = |r: Result<MetricNavigator, NavigationError>| match r {
+            Err(NavigationError::Corrupt { what }) => what,
+            other => panic!("corruption went undetected: {other:?}"),
+        };
+
+        let mut p = fresh();
+        p.masks.pop();
+        assert_eq!(
+            what(MetricNavigator::from_parts(p)),
+            "membership mask count mismatch"
+        );
+
+        let mut p = fresh();
+        p.masks[0][0] ^= 1;
+        assert_eq!(
+            what(MetricNavigator::from_parts(p)),
+            "membership mask does not match its tree"
+        );
+
+        let mut p = fresh();
+        p.trees[0].parent[0] = Some(0); // self-loop
+        assert_eq!(
+            what(MetricNavigator::from_parts(p)),
+            "cover tree parents do not form a tree"
+        );
+
+        let mut p = fresh();
+        p.edges[0].0 = usize::MAX;
+        let w = what(MetricNavigator::from_parts(p));
+        assert!(w.starts_with("H_X edge"), "unexpected finding: {w}");
+
+        let mut p = fresh();
+        p.edges[1].2 = -1.0;
+        assert_eq!(
+            what(MetricNavigator::from_parts(p)),
+            "H_X edge weight not finite non-negative"
+        );
+
+        let mut p = fresh();
+        p.home = Some(vec![usize::MAX; 20]);
+        assert_eq!(
+            what(MetricNavigator::from_parts(p)),
+            "home tree index out of range"
+        );
+
+        // Corruption inside a tree's spanner parts surfaces as the
+        // wrapped spanner error.
+        let mut p = fresh();
+        p.trees[0].spanner.home_slot[0] = u32::MAX;
+        match MetricNavigator::from_parts(p) {
+            Err(NavigationError::Spanner(TreeSpannerError::Corrupt { .. })) => {}
+            other => panic!("spanner corruption went undetected: {other:?}"),
+        }
     }
 }

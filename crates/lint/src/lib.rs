@@ -31,6 +31,11 @@
 //!   query-path functions of the query crates: queries are
 //!   microsecond-scale pure reads; sockets and queue locks belong to
 //!   the `hopspan-serve` dispatcher, which is exempt.
+//! * **R9 `unversioned-serialization`** — no raw `to_le_bytes` /
+//!   `from_le_bytes` in `hopspan-store` outside `src/section.rs`:
+//!   every byte of an `HSNP` snapshot flows through the versioned
+//!   `ByteWriter`/`ByteReader` codec, so the format version and the
+//!   whole-file checksum cover it.
 //!
 //! Findings can be suppressed inline, one line up or on the offending
 //! line, with a mandatory reason:
@@ -54,8 +59,8 @@ use std::path::Path;
 
 /// Crates whose `src/` must satisfy R1–R3 and R7 (the library crates
 /// on the spanner/label/route materialization paths, plus the serving
-/// layer).
-pub const LIB_POLICY_CRATES: [&str; 8] = [
+/// layer and the snapshot store).
+pub const LIB_POLICY_CRATES: [&str; 9] = [
     "hopspan-core",
     "hopspan-routing",
     "hopspan-tree-spanner",
@@ -64,6 +69,7 @@ pub const LIB_POLICY_CRATES: [&str; 8] = [
     "hopspan-metric",
     "hopspan-pipeline",
     "hopspan-serve",
+    "hopspan-store",
 ];
 
 /// Crates whose public items must be documented (R5).
@@ -75,6 +81,11 @@ pub const DOC_POLICY_CRATES: [&str; 2] = ["hopspan-core", "hopspan-tree-spanner"
 /// absent: its dispatcher owns sockets and queue locks by design.
 pub const QUERY_POLICY_CRATES: [&str; 3] =
     ["hopspan-core", "hopspan-routing", "hopspan-tree-spanner"];
+
+/// Crates whose byte-level (de)serialization must flow through their
+/// versioned section codec (R9) — the snapshot crates, where an ad-hoc
+/// `to_le_bytes` is a field the `HSNP` version gate cannot see.
+pub const SERIALIZATION_POLICY_CRATES: [&str; 1] = ["hopspan-store"];
 
 /// One diagnostic produced by the analyzer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,10 +120,10 @@ pub fn analyze_source(label: &str, source: &str, active_rules: &[&str]) -> Vec<F
 
 /// Analyzes the whole workspace rooted at `root`: R4 on every member
 /// manifest, R1–R3 and R7 on the `src/` trees of
-/// [`LIB_POLICY_CRATES`], R5 on
-/// [`DOC_POLICY_CRATES`], and R6 + R8 on [`QUERY_POLICY_CRATES`]. Findings
-/// come back in a deterministic order (members sorted, files sorted,
-/// lines ascending).
+/// [`LIB_POLICY_CRATES`], R5 on [`DOC_POLICY_CRATES`], R6 + R8 on
+/// [`QUERY_POLICY_CRATES`], and R9 on [`SERIALIZATION_POLICY_CRATES`].
+/// Findings come back in a deterministic order (members sorted, files
+/// sorted, lines ascending).
 pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
     let manifest_path = root.join("Cargo.toml");
     let manifest = std::fs::read_to_string(&manifest_path)
@@ -150,6 +161,9 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         }
         if QUERY_POLICY_CRATES.contains(&name.as_str()) {
             active.extend([rules::R6_MAP_ON_QUERY_PATH, rules::R8_BLOCKING_IO]);
+        }
+        if SERIALIZATION_POLICY_CRATES.contains(&name.as_str()) {
+            active.push(rules::R9_UNVERSIONED_SERIALIZATION);
         }
         if active.is_empty() {
             continue;

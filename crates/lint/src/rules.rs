@@ -1,9 +1,10 @@
 //! The per-file rule engine: R1 `panic-in-lib`, R2
 //! `nondeterministic-iteration`, R3 `float-eq`, R5 `pub-undocumented`,
 //! R6 `map-on-query-path`, R7 `swallowed-result`, R8
-//! `blocking-io-on-query-path`, plus suppression-pragma validation
-//! (`bad-pragma`). R4 `offline-deps` lives in [`crate::toml_scan`]
-//! because it reads manifests, not Rust source.
+//! `blocking-io-on-query-path`, R9 `unversioned-serialization`, plus
+//! suppression-pragma validation (`bad-pragma`). R4 `offline-deps`
+//! lives in [`crate::toml_scan`] because it reads manifests, not Rust
+//! source.
 
 use std::collections::BTreeSet;
 
@@ -37,11 +38,19 @@ pub const R7_SWALLOWED_RESULT: &str = "swallowed-result";
 /// (`hopspan-serve`) owns sockets and queue locks by design and is
 /// exempt via the crate policy lists.
 pub const R8_BLOCKING_IO: &str = "blocking-io-on-query-path";
+/// R9: no raw little-endian (de)serialization — `to_le_bytes` /
+/// `from_le_bytes` — outside the section codec (`src/section.rs`) of a
+/// snapshot crate. Every byte of an `HSNP` snapshot must flow through
+/// the versioned `ByteWriter`/`ByteReader` layer so the format version
+/// and the whole-file checksum cover it; an ad-hoc `to_le_bytes` call
+/// elsewhere is a field the version gate cannot see and a silent
+/// format fork waiting to happen.
+pub const R9_UNVERSIONED_SERIALIZATION: &str = "unversioned-serialization";
 /// Meta-rule: malformed `hopspan:allow` pragmas (never suppressible).
 pub const BAD_PRAGMA: &str = "bad-pragma";
 
 /// All source-code rules (R4 is manifest-level and handled separately).
-pub const CODE_RULES: [&str; 7] = [
+pub const CODE_RULES: [&str; 8] = [
     R1_PANIC_IN_LIB,
     R2_NONDET_ITERATION,
     R3_FLOAT_EQ,
@@ -49,6 +58,7 @@ pub const CODE_RULES: [&str; 7] = [
     R6_MAP_ON_QUERY_PATH,
     R7_SWALLOWED_RESULT,
     R8_BLOCKING_IO,
+    R9_UNVERSIONED_SERIALIZATION,
 ];
 
 /// Function-name prefixes that mark the hot query path (R6). Membership
@@ -118,6 +128,9 @@ pub fn run_rules(label: &str, lexed: &Lexed, rules: &[&str]) -> Vec<Finding> {
     }
     if rules.contains(&R8_BLOCKING_IO) {
         rule_blocking_io_on_query_path(label, toks, &in_test, &mut findings);
+    }
+    if rules.contains(&R9_UNVERSIONED_SERIALIZATION) {
+        rule_unversioned_serialization(label, toks, &in_test, &mut findings);
     }
 
     // A pragma on line L suppresses same-rule findings on L and L+1
@@ -659,6 +672,44 @@ fn rule_map_on_query_path(
                 flag(out, toks[i].line, "`[&…]` indexing", &fn_name);
             }
             i += 1;
+        }
+    }
+}
+
+/// The raw byte-order primitives R9 confines to the section codec.
+const SERIALIZATION_PRIMITIVES: [&str; 2] = ["to_le_bytes", "from_le_bytes"];
+
+/// R9: flags `to_le_bytes` / `from_le_bytes` anywhere except the
+/// section codec itself (`src/section.rs`), where the versioned
+/// `ByteWriter`/`ByteReader` layer is implemented. The exemption is
+/// path-based: the codec has to touch the primitives to exist; every
+/// other file of a snapshot crate must go through it.
+fn rule_unversioned_serialization(
+    label: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if label.ends_with("src/section.rs") {
+        return;
+    }
+    for i in 0..toks.len() {
+        if in_test(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if SERIALIZATION_PRIMITIVES.contains(&name) {
+            out.push(Finding {
+                rule: R9_UNVERSIONED_SERIALIZATION.to_string(),
+                file: label.to_string(),
+                line: toks[i].line,
+                message: format!(
+                    "raw `{name}` outside the section codec; route bytes \
+                     through `src/section.rs` (ByteWriter/ByteReader) so the \
+                     format version and checksum cover them, or add a \
+                     reasoned hopspan:allow"
+                ),
+            });
         }
     }
 }

@@ -1,0 +1,33 @@
+//! Fixture for R9 `unversioned-serialization`: raw `to_le_bytes` /
+//! `from_le_bytes` calls are flagged anywhere outside `src/section.rs`
+//! (the versioned codec itself is exempt by path); reasoned allows and
+//! `#[cfg(test)]` code stay silent. A doc comment naming to_le_bytes
+//! must not trip the lexer either.
+
+fn encode_header(version: u16, count: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&version.to_le_bytes());
+    out.extend_from_slice(&count.to_le_bytes());
+    out
+}
+
+fn decode_count(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]])
+}
+
+fn checksum_trailer(cs: u64, out: &mut Vec<u8>) {
+    // hopspan:allow(unversioned-serialization) -- fixture: a reasoned allow suppresses the next line
+    out.extend_from_slice(&cs.to_le_bytes());
+}
+
+fn big_endian_is_not_the_shape(v: u32) -> [u8; 4] {
+    v.to_be_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        assert_eq!(7u16.to_le_bytes(), [7, 0]);
+    }
+}

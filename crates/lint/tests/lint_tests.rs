@@ -5,6 +5,7 @@
 use hopspan_lint::rules::{
     BAD_PRAGMA, R1_PANIC_IN_LIB, R2_NONDET_ITERATION, R3_FLOAT_EQ, R4_OFFLINE_DEPS,
     R5_PUB_UNDOCUMENTED, R6_MAP_ON_QUERY_PATH, R7_SWALLOWED_RESULT, R8_BLOCKING_IO,
+    R9_UNVERSIONED_SERIALIZATION,
 };
 use hopspan_lint::{analyze_source, to_json, toml_scan, Finding};
 
@@ -146,6 +147,44 @@ fn blocking_io_on_query_path_fixture_exact_lines() {
     // Silent by design: `try_lock` (non-blocking), the allow-suppressed
     // `route_legacy`, the non-query `warm_cache` (I/O at preprocessing
     // time is fine), and the #[cfg(test)] module.
+}
+
+#[test]
+fn unversioned_serialization_fixture_exact_lines() {
+    let src = include_str!("fixtures/unversioned_serialization.rs");
+    let findings = analyze_source(
+        "crates/store/src/codec.rs",
+        src,
+        &[R9_UNVERSIONED_SERIALIZATION],
+    );
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (R9_UNVERSIONED_SERIALIZATION, 9),  // version.to_le_bytes()
+            (R9_UNVERSIONED_SERIALIZATION, 10), // count.to_le_bytes()
+            (R9_UNVERSIONED_SERIALIZATION, 15), // u32::from_le_bytes(…)
+        ],
+        "got: {:#?}",
+        findings
+    );
+    // Silent by design: `to_be_bytes` (not a little-endian snapshot
+    // shape), the allow-suppressed checksum trailer, and the
+    // #[cfg(test)] module.
+}
+
+#[test]
+fn the_section_codec_is_exempt_from_r9_by_path() {
+    let src = include_str!("fixtures/unversioned_serialization.rs");
+    let findings = analyze_source(
+        "crates/store/src/section.rs",
+        src,
+        &[R9_UNVERSIONED_SERIALIZATION],
+    );
+    assert!(
+        findings.is_empty(),
+        "src/section.rs implements the codec and may touch the raw \
+         primitives: {findings:#?}"
+    );
 }
 
 #[test]

@@ -233,44 +233,24 @@ impl MetricRoutingScheme {
                 labeling,
             });
         }
-        let (id_bits, port_bits) = (net.id_bits(), net.port_bits());
-        let mut scheme_stats = SchemeStats {
-            header_bits: Header::PortHint(0).bits(id_bits, port_bits),
-            ..Default::default()
+        let header_bits = Header::PortHint(0).bits(net.id_bits(), net.port_bits());
+        let mut scheme = MetricRoutingScheme {
+            net,
+            trees,
+            selection,
+            home,
+            n,
+            stats: SchemeStats {
+                header_bits,
+                ..Default::default()
+            },
         };
-        for p in 0..n {
-            let mut label = 0usize;
-            let mut table = 0usize;
-            for t in &trees {
-                label += t.scheme.label_bits(p, id_bits, port_bits);
-                table += t.scheme.table_bits(p, id_bits, port_bits);
-                if let Some(leaf) = t.dom.leaf_of(p) {
-                    // The distance label rides along in both (paper
-                    // §5.1.2: "each node stores ζ distance labels, one per
-                    // tree, both as part of its routing table and label").
-                    let dl = t.labeling.label_bits(leaf);
-                    label += dl;
-                    table += dl;
-                }
-            }
-            if home.is_some() {
-                label += id_bits; // home tree index
-            }
-            scheme_stats.max_label_bits = scheme_stats.max_label_bits.max(label);
-            scheme_stats.max_table_bits = scheme_stats.max_table_bits.max(table);
+        for (label, table) in scheme.per_point_bits() {
+            scheme.stats.max_label_bits = scheme.stats.max_label_bits.max(label);
+            scheme.stats.max_table_bits = scheme.stats.max_table_bits.max(table);
         }
         stats.record_phase("schemes", schemes_start.elapsed());
-        Ok((
-            MetricRoutingScheme {
-                net,
-                trees,
-                selection,
-                home,
-                n,
-                stats: scheme_stats,
-            },
-            stats,
-        ))
+        Ok((scheme, stats))
     }
 
     /// Number of trees ζ.
@@ -281,6 +261,40 @@ impl MetricRoutingScheme {
     /// Size statistics (bits), including the distance labels.
     pub fn stats(&self) -> SchemeStats {
         self.stats
+    }
+
+    /// The §5 bit budget per point: for each point, its total
+    /// `(label_bits, table_bits)` summed across the scheme's trees —
+    /// the per-tree routing label/table, the distance label riding
+    /// along in both (paper §5.1.2), and the home-tree index in the
+    /// label for Ramsey covers. [`MetricRoutingScheme::stats`] reports
+    /// the maxima of exactly these values; this accessor exposes the
+    /// full distribution for accounting and persistence.
+    pub fn per_point_bits(&self) -> Vec<(usize, usize)> {
+        let (id_bits, port_bits) = (self.net.id_bits(), self.net.port_bits());
+        (0..self.n)
+            .map(|p| {
+                let mut label = 0usize;
+                let mut table = 0usize;
+                for t in &self.trees {
+                    label += t.scheme.label_bits(p, id_bits, port_bits);
+                    table += t.scheme.table_bits(p, id_bits, port_bits);
+                    if let Some(leaf) = t.dom.leaf_of(p) {
+                        // The distance label rides along in both (paper
+                        // §5.1.2: "each node stores ζ distance labels,
+                        // one per tree, both as part of its routing
+                        // table and label").
+                        let dl = t.labeling.label_bits(leaf);
+                        label += dl;
+                        table += dl;
+                    }
+                }
+                if self.home.is_some() {
+                    label += id_bits; // home tree index
+                }
+                (label, table)
+            })
+            .collect()
     }
 
     /// The overlay network (the spanner `H_X` with ports).

@@ -14,7 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of power-of-two latency buckets: bucket `i` holds samples in
 /// `[2^(i-1), 2^i)` ns (bucket 0 holds `0..1` ns), so the top bucket
-/// covers everything ≥ ~9.2 minutes.
+/// clamps everything ≥ 2^38 ns ≈ 4.6 minutes.
 pub const LATENCY_BUCKETS: usize = 40;
 
 /// A fixed-size log-spaced histogram of nanosecond latencies.
@@ -210,6 +210,48 @@ mod tests {
         assert_eq!(h.quantile_ns(0.99), 128);
         assert_eq!(h.quantile_ns(1.0), 1 << 20);
         assert_eq!(LatencyHistogram::default().quantile_ns(0.5), 0);
+    }
+
+    /// The bucket a single sample lands in.
+    fn bucket_of(ns: u64) -> usize {
+        let h = LatencyHistogram::default();
+        h.record_ns(ns);
+        let counts = h.counts();
+        let idx = counts.iter().position(|&c| c == 1).unwrap();
+        assert_eq!(counts.iter().sum::<u64>(), 1);
+        idx
+    }
+
+    #[test]
+    fn exact_bucket_boundaries() {
+        // Bucket 0 holds only ns = 0; bucket i (i >= 1) holds
+        // [2^(i-1), 2^i). Every boundary sample must land on the
+        // documented side.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        for i in 2..38 {
+            assert_eq!(bucket_of((1u64 << i) - 1), i, "2^{i} - 1");
+            assert_eq!(bucket_of(1u64 << i), i + 1, "2^{i}");
+        }
+        // Top-bucket clamp: everything >= 2^38 ns (~4.6 min) lands in
+        // bucket 39, including the extremes.
+        assert_eq!(bucket_of((1u64 << 38) - 1), 38);
+        assert_eq!(bucket_of(1u64 << 38), 39);
+        assert_eq!(bucket_of(1u64 << 39), 39);
+        assert_eq!(bucket_of(u64::MAX), 39);
+    }
+
+    #[test]
+    fn quantile_of_boundary_samples() {
+        let h = LatencyHistogram::default();
+        h.record_ns(0);
+        assert_eq!(h.quantile_ns(1.0), 1, "bucket 0 upper bound is 1 ns");
+        let h = LatencyHistogram::default();
+        h.record_ns(u64::MAX);
+        assert_eq!(h.quantile_ns(0.5), 1u64 << 39, "clamped top bucket");
     }
 
     #[test]

@@ -44,12 +44,19 @@ const READ_TIMEOUT: Duration = Duration::from_millis(200);
 /// resized, capacity reused). Returns `Ok(false)` on clean EOF before
 /// a prefix byte.
 ///
+/// The length prefix is validated against [`wire::MAX_FRAME`] *before*
+/// `body` is resized, so a hostile prefix (up to `u32::MAX`) can never
+/// drive an allocation — the ordering is pinned by unit tests below.
+///
+/// Generic over `Read` so the check can be exercised against in-memory
+/// cursors, not just live sockets.
+///
 /// # Errors
 ///
-/// * `Err(ReadFrameError::Io)` on socket errors (including timeouts);
+/// * `Err(ReadFrameError::Io)` on stream errors (including timeouts);
 /// * `Err(ReadFrameError::Oversized)` when the prefix exceeds
 ///   [`wire::MAX_FRAME`] — the stream is unrecoverable after this.
-pub fn read_frame(stream: &mut TcpStream, body: &mut Vec<u8>) -> Result<bool, ReadFrameError> {
+pub fn read_frame<R: Read>(stream: &mut R, body: &mut Vec<u8>) -> Result<bool, ReadFrameError> {
     let mut prefix = [0u8; 4];
     match stream.read(&mut prefix) {
         Ok(0) => return Ok(false),
@@ -289,6 +296,39 @@ fn answer_frame(
             return false;
         }
     };
+    // Snapshot opcodes are answered at the dispatch layer, like
+    // `Stats`: they touch the filesystem and the whole engine, not a
+    // single shard queue, and they are not part of the [`Op`] request
+    // enum (which models per-point queries).
+    if view.opcode == wire::opcode::SNAPSHOT || view.opcode == wire::opcode::LOAD_SNAPSHOT {
+        if !view.payload.is_empty() {
+            wire::encode_error_response_into(
+                view.request_id,
+                view.opcode,
+                ServeError::BadRequest,
+                frame_out,
+            );
+            return true;
+        }
+        let result = if view.opcode == wire::opcode::SNAPSHOT {
+            engine.write_snapshot()
+        } else {
+            engine.load_snapshot_verify()
+        };
+        match result {
+            Ok(digest) => wire::encode_snapshot_response_into(
+                view.request_id,
+                view.opcode,
+                digest.bytes,
+                digest.checksum,
+                frame_out,
+            ),
+            Err(e) => {
+                wire::encode_error_response_into(view.request_id, view.opcode, e, frame_out);
+            }
+        }
+        return true;
+    }
     let op = match wire::decode_request(&view) {
         Ok(op) => op,
         Err(WireError::UnknownOpcode { got }) => {
@@ -339,4 +379,91 @@ fn answer_frame(
         },
     }
     true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that yields at most `chunk` bytes per `read`, to drive
+    /// the partial-prefix path.
+    struct Chunked {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Chunked {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.chunk).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn read_frame_round_trips_a_small_frame() {
+        let mut data = 3u32.to_le_bytes().to_vec();
+        data.extend_from_slice(&[0xAA, 0xBB, 0xCC]);
+        let mut cur = Cursor::new(data);
+        let mut body = Vec::new();
+        assert!(read_frame(&mut cur, &mut body).unwrap());
+        assert_eq!(body, [0xAA, 0xBB, 0xCC]);
+        // Next read sees clean EOF.
+        assert!(!read_frame(&mut cur, &mut body).unwrap());
+    }
+
+    #[test]
+    fn read_frame_reassembles_a_split_prefix() {
+        let mut data = 2u32.to_le_bytes().to_vec();
+        data.extend_from_slice(&[1, 2]);
+        let mut r = Chunked {
+            data,
+            pos: 0,
+            chunk: 1,
+        };
+        let mut body = Vec::new();
+        assert!(read_frame(&mut r, &mut body).unwrap());
+        assert_eq!(body, [1, 2]);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_the_buffer_grows() {
+        // A hostile length prefix must be rejected *before* `body` is
+        // resized: the buffer's capacity stays untouched, proving no
+        // attacker-sized allocation happened.
+        for hostile in [wire::MAX_FRAME + 1, u32::MAX] {
+            let mut cur = Cursor::new(hostile.to_le_bytes().to_vec());
+            let mut body = Vec::new();
+            match read_frame(&mut cur, &mut body) {
+                Err(ReadFrameError::Oversized { len }) => assert_eq!(len, hostile),
+                other => panic!("expected Oversized, got {other:?}"),
+            }
+            assert_eq!(body.capacity(), 0, "rejection must precede the resize");
+        }
+    }
+
+    #[test]
+    fn max_frame_exactly_is_accepted() {
+        let mut data = wire::MAX_FRAME.to_le_bytes().to_vec();
+        data.extend(std::iter::repeat_n(0u8, wire::MAX_FRAME as usize));
+        let mut cur = Cursor::new(data);
+        let mut body = Vec::new();
+        assert!(read_frame(&mut cur, &mut body).unwrap());
+        assert_eq!(body.len(), wire::MAX_FRAME as usize);
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        let mut data = 8u32.to_le_bytes().to_vec();
+        data.extend_from_slice(&[1, 2, 3]); // 3 of the promised 8
+        let mut cur = Cursor::new(data);
+        let mut body = Vec::new();
+        assert!(matches!(
+            read_frame(&mut cur, &mut body),
+            Err(ReadFrameError::Io(_))
+        ));
+    }
 }

@@ -55,6 +55,13 @@ pub mod opcode {
     pub const ROUTE_AVOIDING: u8 = 2;
     /// Metrics snapshot.
     pub const STATS: u8 = 3;
+    /// Write an `HSNP` structure snapshot to the server's configured
+    /// path. Handled at the connection layer (not a batched query);
+    /// the response carries the written size and checksum.
+    pub const SNAPSHOT: u8 = 4;
+    /// Re-load and verify the configured structure snapshot against
+    /// the live backend. Same response payload as `SNAPSHOT`.
+    pub const LOAD_SNAPSHOT: u8 = 5;
 }
 
 /// Response status bytes. `0`/`1` carry answers; `2..` carry typed
@@ -380,6 +387,28 @@ pub fn encode_path_response_into(
     end_frame(start, out);
 }
 
+/// Encodes a structure-snapshot request ([`opcode::SNAPSHOT`] or
+/// [`opcode::LOAD_SNAPSHOT`]): empty payload.
+pub fn encode_snapshot_request_into(request_id: u64, op: u8, out: &mut Vec<u8>) {
+    let start = begin_frame(op, status::OK, request_id, out);
+    end_frame(start, out);
+}
+
+/// Encodes a structure-snapshot response: status [`status::OK`],
+/// payload `bytes u64 · checksum u64` (the snapshot file's digest).
+pub fn encode_snapshot_response_into(
+    request_id: u64,
+    op: u8,
+    bytes: u64,
+    checksum: u64,
+    out: &mut Vec<u8>,
+) {
+    let start = begin_frame(op, status::OK, request_id, out);
+    out.extend_from_slice(&bytes.to_le_bytes());
+    out.extend_from_slice(&checksum.to_le_bytes());
+    end_frame(start, out);
+}
+
 /// Encodes a stats response: status [`status::OK`], payload 10 × `u64`.
 pub fn encode_stats_response_into(request_id: u64, snap: &MetricsSnapshot, out: &mut Vec<u8>) {
     let start = begin_frame(opcode::STATS, status::OK, request_id, out);
@@ -419,6 +448,14 @@ pub enum Response {
     },
     /// A stats snapshot.
     Stats(MetricsSnapshot),
+    /// A structure-snapshot digest (answers [`opcode::SNAPSHOT`] and
+    /// [`opcode::LOAD_SNAPSHOT`]).
+    Snapshot {
+        /// Snapshot file size in bytes.
+        bytes: u64,
+        /// The snapshot's trailing FNV-1a checksum.
+        checksum: u64,
+    },
     /// A typed service failure.
     Error(ServeError),
     /// The peer could not decode our request frame.
@@ -443,6 +480,15 @@ pub fn decode_response(frame: &FrameView<'_>) -> Result<Response, WireError> {
                 *f = read_u64(p, 8 * i)?;
             }
             Ok(Response::Stats(MetricsSnapshot::from_wire_fields(&fields)))
+        }
+        status::OK if frame.opcode == opcode::SNAPSHOT || frame.opcode == opcode::LOAD_SNAPSHOT => {
+            if p.len() != 16 {
+                return Err(WireError::BadPayload);
+            }
+            Ok(Response::Snapshot {
+                bytes: read_u64(p, 0)?,
+                checksum: read_u64(p, 8)?,
+            })
         }
         status::OK | status::OK_DEGRADED => {
             if p.len() < 13 {

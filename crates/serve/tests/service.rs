@@ -11,8 +11,8 @@ use hopspan_core::DegradationPolicy;
 use hopspan_metric::gen;
 use hopspan_serve::wire::{self, Response};
 use hopspan_serve::{
-    Backend, BackendParams, DegradeCode, FaultSet, Op, QueryOutcome, ServeConfig, ServeError,
-    Server, ShardedNavigator,
+    shard_of_point, Backend, BackendParams, DegradeCode, FaultSet, Op, QueryOutcome, ServeConfig,
+    ServeError, Server, ShardedNavigator,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -309,4 +309,148 @@ fn tcp_front_serves_the_wire_protocol() {
     assert_eq!(view.status, wire::status::OK);
 
     server.shutdown();
+}
+
+#[test]
+#[should_panic(expected = "shard_of_point requires shards >= 1")]
+fn zero_shard_dispatch_panics_instead_of_masking() {
+    // A zero shard count used to be silently masked to one shard;
+    // construction-side validation rejects it typed, so dispatch now
+    // treats it as the bug it is.
+    let _ = shard_of_point(7, 0);
+}
+
+/// A unique temp file for one test's snapshot.
+fn temp_snapshot_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("hopspan-serve-{tag}-{}.hsnp", std::process::id()))
+}
+
+#[test]
+fn snapshot_boot_answers_match_the_live_engine() {
+    let live = engine(ServeConfig {
+        shards: 2,
+        ..ServeConfig::default()
+    });
+    let path = temp_snapshot_path("boot");
+    live.set_snapshot_path(&path);
+    let digest = live.write_snapshot().expect("snapshot writes");
+    assert!(digest.bytes > 0);
+    assert_eq!(
+        live.load_snapshot_verify().expect("snapshot verifies"),
+        digest,
+        "verify must report the same digest the write did"
+    );
+
+    let cfg = || ServeConfig {
+        shards: 2,
+        ..ServeConfig::default()
+    };
+    let booted = [
+        ShardedNavigator::replicated_from_snapshot(&path, cfg()).expect("replicated boot"),
+        ShardedNavigator::shared_from_snapshot(&path, cfg()).expect("shared boot"),
+    ];
+    let mut got = Vec::new();
+    let mut want = Vec::new();
+    for engine in &booted {
+        assert_eq!(engine.points(), N);
+        for u in (0..N as u32).step_by(11) {
+            let v = (u + 17) % N as u32;
+            if u == v {
+                continue;
+            }
+            let outcome = engine
+                .call(Op::FindPath { u, v }, &mut got)
+                .expect("booted engine serves");
+            assert_eq!(outcome, QueryOutcome::Full);
+            let live_outcome = live
+                .call(Op::FindPath { u, v }, &mut want)
+                .expect("live engine serves");
+            assert_eq!(live_outcome, QueryOutcome::Full);
+            assert_eq!(got, want, "snapshot boot diverged for ({u}, {v})");
+        }
+        // The routing scheme is not part of the snapshot, so a booted
+        // engine answers Route with a typed Unsupported.
+        assert!(matches!(
+            engine.call(Op::Route { u: 1, v: 2 }, &mut got),
+            Err(ServeError::Unsupported { .. })
+        ));
+        // Boot constructors remember their source file.
+        assert_eq!(engine.snapshot_path().as_deref(), Some(path.as_path()));
+    }
+    let _cleanup = std::fs::remove_file(&path);
+}
+
+#[test]
+fn snapshot_opcodes_serve_over_tcp() {
+    use std::io::Write;
+
+    let engine = Arc::new(engine(ServeConfig {
+        shards: 1,
+        ..ServeConfig::default()
+    }));
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("server binds");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("client connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("client timeout");
+    let mut frame = Vec::new();
+    let mut body = Vec::new();
+
+    // Without a configured path the opcode answers typed Unsupported —
+    // and the connection stays open (the frame was sound).
+    wire::encode_snapshot_request_into(1, wire::opcode::SNAPSHOT, &mut frame);
+    stream.write_all(&frame).expect("client writes");
+    assert!(hopspan_serve::read_frame(&mut stream, &mut body).expect("reply arrives"));
+    let view = wire::decode_frame(&body).expect("reply decodes");
+    assert_eq!(view.request_id, 1);
+    assert!(matches!(
+        wire::decode_response(&view).expect("reply parses"),
+        Response::Error(ServeError::Unsupported { .. })
+    ));
+
+    // With a path: SNAPSHOT writes and reports a digest, LOAD_SNAPSHOT
+    // re-reads, revalidates against the live engine and echoes it.
+    let path = temp_snapshot_path("tcp");
+    engine.set_snapshot_path(&path);
+    let mut digest = (0u64, 0u64);
+    for (id, op) in [
+        (2, wire::opcode::SNAPSHOT),
+        (3, wire::opcode::LOAD_SNAPSHOT),
+    ] {
+        frame.clear();
+        wire::encode_snapshot_request_into(id, op, &mut frame);
+        stream.write_all(&frame).expect("client writes");
+        assert!(hopspan_serve::read_frame(&mut stream, &mut body).expect("reply arrives"));
+        let view = wire::decode_frame(&body).expect("reply decodes");
+        assert_eq!(view.request_id, id);
+        match wire::decode_response(&view).expect("reply parses") {
+            Response::Snapshot { bytes, checksum } => {
+                assert!(bytes > 0);
+                if op == wire::opcode::SNAPSHOT {
+                    digest = (bytes, checksum);
+                } else {
+                    assert_eq!((bytes, checksum), digest, "load must echo the write digest");
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    // A snapshot request with a non-empty payload is a BadRequest.
+    frame.clear();
+    wire::encode_request_into(4, &Op::FindPath { u: 0, v: 1 }, &mut frame);
+    frame[10] = wire::opcode::SNAPSHOT; // opcode byte: 4B length prefix + 4B magic + 2B version
+    let cs_at = frame.len() - 8;
+    let cs = wire::fnv1a(&frame[4..cs_at]);
+    frame[cs_at..].copy_from_slice(&cs.to_le_bytes());
+    stream.write_all(&frame).expect("client writes");
+    assert!(hopspan_serve::read_frame(&mut stream, &mut body).expect("reply arrives"));
+    let view = wire::decode_frame(&body).expect("reply decodes");
+    assert!(matches!(
+        wire::decode_response(&view).expect("reply parses"),
+        Response::Error(ServeError::BadRequest)
+    ));
+
+    server.shutdown();
+    let _cleanup = std::fs::remove_file(&path);
 }

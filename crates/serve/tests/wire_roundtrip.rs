@@ -212,6 +212,68 @@ fn golden_frames_per_opcode() {
             216, 243, 62, 126,
         ]
     );
+
+    // Snapshot request, id 7 (empty payload).
+    let mut f = Vec::new();
+    wire::encode_snapshot_request_into(7, opcode::SNAPSHOT, &mut f);
+    assert_eq!(
+        f,
+        [
+            24, 0, 0, 0, b'H', b'S', b'P', b'N', 1, 0, 4, 0, 7, 0, 0, 0, 0, 0, 0, 0, 220, 113, 198,
+            137, 221, 153, 148, 132,
+        ]
+    );
+
+    // LoadSnapshot request, id 8 (empty payload).
+    let mut f = Vec::new();
+    wire::encode_snapshot_request_into(8, opcode::LOAD_SNAPSHOT, &mut f);
+    assert_eq!(
+        f,
+        [
+            24, 0, 0, 0, b'H', b'S', b'P', b'N', 1, 0, 5, 0, 8, 0, 0, 0, 0, 0, 0, 0, 122, 86, 1,
+            83, 25, 234, 202, 68,
+        ]
+    );
+}
+
+/// The snapshot digest response round-trips and pins its bytes.
+#[test]
+fn snapshot_responses_round_trip() {
+    let mut f = Vec::new();
+    wire::encode_snapshot_response_into(9, opcode::SNAPSHOT, 4096, 0xABCD, &mut f);
+    assert_eq!(
+        f,
+        [
+            40, 0, 0, 0, b'H', b'S', b'P', b'N', 1, 0, 4, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 16, 0, 0,
+            0, 0, 0, 0, 205, 171, 0, 0, 0, 0, 0, 0, 178, 254, 199, 136, 133, 214, 114, 175,
+        ]
+    );
+    for op in [opcode::SNAPSHOT, opcode::LOAD_SNAPSHOT] {
+        let mut f = Vec::new();
+        wire::encode_snapshot_response_into(11, op, u64::MAX, 0x1234_5678_9ABC_DEF0, &mut f);
+        let view = wire::decode_frame(body(&f)).expect("snapshot response decodes");
+        assert_eq!(view.request_id, 11);
+        assert_eq!(view.opcode, op);
+        match wire::decode_response(&view).expect("snapshot response parses") {
+            Response::Snapshot { bytes, checksum } => {
+                assert_eq!(bytes, u64::MAX);
+                assert_eq!(checksum, 0x1234_5678_9ABC_DEF0);
+            }
+            other => panic!("wrong response kind {other:?}"),
+        }
+    }
+    // A short digest payload is a typed BadPayload, not a panic.
+    let mut f = Vec::new();
+    wire::encode_snapshot_response_into(12, opcode::SNAPSHOT, 1, 2, &mut f);
+    let mut b = body(&f).to_vec();
+    b.truncate(b.len() - 16); // drop 8 payload bytes + re-add checksum below
+    let cs = wire::fnv1a(&b);
+    b.extend_from_slice(&cs.to_le_bytes());
+    let view = wire::decode_frame(&b).expect("truncated-payload frame decodes");
+    assert!(matches!(
+        wire::decode_response(&view),
+        Err(WireError::BadPayload)
+    ));
 }
 
 /// The headline corruption matrix, deterministic edition: truncation,

@@ -1,0 +1,504 @@
+//! Byte-level codec for the `SEC_NAVIGATOR` section: a
+//! [`MetricNavigatorParts`] tree written as length-prefixed contiguous
+//! little-endian arrays.
+//!
+//! The codec is deliberately *shallow*: it checks only what is needed
+//! to read the bytes safely (length prefixes against the remaining
+//! section, recursion depth, packed-bool stray bits, sentinel
+//! decoding). Semantic trust — "do these tables describe a real
+//! navigator?" — is established afterwards by
+//! `MetricNavigator::from_parts`, which revalidates every invariant and
+//! returns a typed error. Decoding a hostile section therefore never
+//! panics and never allocates more than the section's own size.
+
+use hopspan_core::{
+    BaseTableParts, ContractedParts, MetricNavigatorParts, NavTreeParts, NavigatorParts,
+    PhiNodeParts, SpannerParts, TreeParts,
+};
+
+use crate::section::{ByteReader, ByteWriter};
+use crate::StoreError;
+
+/// Maximum sub-navigator nesting accepted on decode. The real depth is
+/// `⌊k/2⌋` (each level drops the hop budget by 2), so 64 is far beyond
+/// any buildable structure while still bounding hostile recursion.
+const MAX_NAV_DEPTH: usize = 64;
+
+fn too_deep() -> StoreError {
+    StoreError::Malformed {
+        what: "sub-navigator nesting too deep",
+    }
+}
+
+/// `usize::MAX` is the in-memory "none" sentinel for dense index
+/// tables; on the wire it travels as the format's `u64::MAX` sentinel
+/// so 32-bit readers cannot misinterpret it.
+fn put_sentinel_usize(w: &mut ByteWriter, x: usize) {
+    w.put_opt_usize((x != usize::MAX).then_some(x));
+}
+
+fn get_sentinel_usize(r: &mut ByteReader<'_>) -> Result<usize, StoreError> {
+    Ok(r.get_opt_usize()?.unwrap_or(usize::MAX))
+}
+
+fn put_tree(w: &mut ByteWriter, tree: &TreeParts) {
+    w.put_usize(tree.root);
+    w.put_usize(tree.parent.len());
+    for &p in &tree.parent {
+        w.put_opt_usize(p);
+    }
+    w.put_usize(tree.weight.len());
+    for &wt in &tree.weight {
+        w.put_f64(wt);
+    }
+}
+
+fn get_tree(r: &mut ByteReader<'_>) -> Result<TreeParts, StoreError> {
+    let root = r.get_usize()?;
+    let n = r.get_len(8)?;
+    let mut parent = Vec::with_capacity(n);
+    for _ in 0..n {
+        parent.push(r.get_opt_usize()?);
+    }
+    let wn = r.get_len(8)?;
+    let mut weight = Vec::with_capacity(wn);
+    for _ in 0..wn {
+        weight.push(r.get_f64()?);
+    }
+    Ok(TreeParts {
+        root,
+        parent,
+        weight,
+    })
+}
+
+fn put_usizes(w: &mut ByteWriter, xs: &[usize]) {
+    w.put_usize(xs.len());
+    for &x in xs {
+        w.put_usize(x);
+    }
+}
+
+fn get_usizes(r: &mut ByteReader<'_>) -> Result<Vec<usize>, StoreError> {
+    let n = r.get_len(8)?;
+    let mut xs = Vec::with_capacity(n);
+    for _ in 0..n {
+        xs.push(r.get_usize()?);
+    }
+    Ok(xs)
+}
+
+fn put_u32s(w: &mut ByteWriter, xs: &[u32]) {
+    w.put_usize(xs.len());
+    for &x in xs {
+        w.put_u32(x);
+    }
+}
+
+fn get_u32s(r: &mut ByteReader<'_>) -> Result<Vec<u32>, StoreError> {
+    let n = r.get_len(4)?;
+    let mut xs = Vec::with_capacity(n);
+    for _ in 0..n {
+        xs.push(r.get_u32()?);
+    }
+    Ok(xs)
+}
+
+fn put_edges(w: &mut ByteWriter, edges: &[(usize, usize, f64)]) {
+    w.put_usize(edges.len());
+    for &(u, v, wt) in edges {
+        w.put_usize(u);
+        w.put_usize(v);
+        w.put_f64(wt);
+    }
+}
+
+fn get_edges(r: &mut ByteReader<'_>) -> Result<Vec<(usize, usize, f64)>, StoreError> {
+    let n = r.get_len(24)?;
+    let mut edges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u = r.get_usize()?;
+        let v = r.get_usize()?;
+        let wt = r.get_f64()?;
+        edges.push((u, v, wt));
+    }
+    Ok(edges)
+}
+
+fn put_base(w: &mut ByteWriter, b: &BaseTableParts) {
+    w.put_usize(b.m);
+    put_u32s(w, &b.offsets);
+    put_usizes(w, &b.verts);
+}
+
+fn get_base(r: &mut ByteReader<'_>) -> Result<BaseTableParts, StoreError> {
+    let m = r.get_usize()?;
+    let offsets = get_u32s(r)?;
+    let verts = get_usizes(r)?;
+    Ok(BaseTableParts { m, offsets, verts })
+}
+
+fn put_contracted(w: &mut ByteWriter, c: &ContractedParts) {
+    put_tree(w, &c.tree);
+    w.put_usize(c.rep_count);
+    put_usizes(w, &c.cut_orig);
+    w.put_usize(c.cut_sub_home.len());
+    for &(h, slot) in &c.cut_sub_home {
+        w.put_usize(h);
+        w.put_u32(slot);
+    }
+}
+
+fn get_contracted(r: &mut ByteReader<'_>) -> Result<ContractedParts, StoreError> {
+    let tree = get_tree(r)?;
+    let rep_count = r.get_usize()?;
+    let cut_orig = get_usizes(r)?;
+    let hn = r.get_len(12)?;
+    let mut cut_sub_home = Vec::with_capacity(hn);
+    for _ in 0..hn {
+        let h = r.get_usize()?;
+        let slot = r.get_u32()?;
+        cut_sub_home.push((h, slot));
+    }
+    Ok(ContractedParts {
+        tree,
+        rep_count,
+        cut_orig,
+        cut_sub_home,
+    })
+}
+
+fn put_phi_node(w: &mut ByteWriter, node: &PhiNodeParts) {
+    put_usizes(w, &node.inner);
+    let flags = u8::from(node.base.is_some())
+        | u8::from(node.contracted.is_some()) << 1
+        | u8::from(node.sub.is_some()) << 2;
+    w.put_u8(flags);
+    if let Some(b) = &node.base {
+        put_base(w, b);
+    }
+    if let Some(c) = &node.contracted {
+        put_contracted(w, c);
+    }
+    if let Some(s) = &node.sub {
+        put_navigator(w, s);
+    }
+}
+
+fn get_phi_node(r: &mut ByteReader<'_>, depth: usize) -> Result<PhiNodeParts, StoreError> {
+    let inner = get_usizes(r)?;
+    let flags = r.get_u8()?;
+    if flags & !0b111 != 0 {
+        return Err(StoreError::Malformed {
+            what: "unknown Φ node flags",
+        });
+    }
+    let base = if flags & 1 != 0 {
+        Some(get_base(r)?)
+    } else {
+        None
+    };
+    let contracted = if flags & 2 != 0 {
+        Some(get_contracted(r)?)
+    } else {
+        None
+    };
+    let sub = if flags & 4 != 0 {
+        Some(Box::new(get_navigator(r, depth + 1)?))
+    } else {
+        None
+    };
+    Ok(PhiNodeParts {
+        inner,
+        base,
+        contracted,
+        sub,
+    })
+}
+
+fn put_navigator(w: &mut ByteWriter, nav: &NavigatorParts) {
+    w.put_usize(nav.k);
+    put_tree(w, &nav.phi);
+    w.put_usize(nav.comp_of_node.len());
+    for &c in &nav.comp_of_node {
+        put_sentinel_usize(w, c);
+    }
+    w.put_usize(nav.nodes.len());
+    for node in &nav.nodes {
+        put_phi_node(w, node);
+    }
+}
+
+fn get_navigator(r: &mut ByteReader<'_>, depth: usize) -> Result<NavigatorParts, StoreError> {
+    if depth > MAX_NAV_DEPTH {
+        return Err(too_deep());
+    }
+    let k = r.get_usize()?;
+    let phi = get_tree(r)?;
+    let cn = r.get_len(8)?;
+    let mut comp_of_node = Vec::with_capacity(cn);
+    for _ in 0..cn {
+        comp_of_node.push(get_sentinel_usize(r)?);
+    }
+    let nn = r.get_len(1)?;
+    let mut nodes = Vec::with_capacity(nn);
+    for _ in 0..nn {
+        nodes.push(get_phi_node(r, depth)?);
+    }
+    Ok(NavigatorParts {
+        k,
+        phi,
+        comp_of_node,
+        nodes,
+    })
+}
+
+fn put_spanner(w: &mut ByteWriter, sp: &SpannerParts) {
+    w.put_usize(sp.k);
+    w.put_usize(sp.n);
+    w.put_bools(&sp.required);
+    put_edges(w, &sp.edges);
+    w.put_usize(sp.home_node.len());
+    for &h in &sp.home_node {
+        put_sentinel_usize(w, h);
+    }
+    put_u32s(w, &sp.home_slot);
+    put_u32s(w, &sp.base_off);
+    w.put_usize(sp.base_nbr.len());
+    for &(v, wt) in &sp.base_nbr {
+        w.put_usize(v);
+        w.put_f64(wt);
+    }
+    w.put_bools(&sp.base_member);
+    put_navigator(w, &sp.nav);
+}
+
+fn get_spanner(r: &mut ByteReader<'_>) -> Result<SpannerParts, StoreError> {
+    let k = r.get_usize()?;
+    let n = r.get_usize()?;
+    let required = r.get_bools()?;
+    let edges = get_edges(r)?;
+    let hn = r.get_len(8)?;
+    let mut home_node = Vec::with_capacity(hn);
+    for _ in 0..hn {
+        home_node.push(get_sentinel_usize(r)?);
+    }
+    let home_slot = get_u32s(r)?;
+    let base_off = get_u32s(r)?;
+    let bn = r.get_len(16)?;
+    let mut base_nbr = Vec::with_capacity(bn);
+    for _ in 0..bn {
+        let v = r.get_usize()?;
+        let wt = r.get_f64()?;
+        base_nbr.push((v, wt));
+    }
+    let base_member = r.get_bools()?;
+    let nav = get_navigator(r, 0)?;
+    Ok(SpannerParts {
+        k,
+        n,
+        required,
+        edges,
+        home_node,
+        home_slot,
+        base_off,
+        base_nbr,
+        base_member,
+        nav,
+    })
+}
+
+fn put_nav_tree(w: &mut ByteWriter, t: &NavTreeParts) {
+    put_tree(
+        w,
+        &TreeParts {
+            root: t.root,
+            parent: t.parent.clone(),
+            weight: t.weight.clone(),
+        },
+    );
+    put_usizes(w, &t.point_of);
+    put_spanner(w, &t.spanner);
+}
+
+fn get_nav_tree(r: &mut ByteReader<'_>) -> Result<NavTreeParts, StoreError> {
+    let tree = get_tree(r)?;
+    let point_of = get_usizes(r)?;
+    let spanner = get_spanner(r)?;
+    Ok(NavTreeParts {
+        root: tree.root,
+        parent: tree.parent,
+        weight: tree.weight,
+        point_of,
+        spanner,
+    })
+}
+
+/// Encodes the navigator parts as the `SEC_NAVIGATOR` section payload.
+pub(crate) fn encode_navigator(parts: &MetricNavigatorParts) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_usize(parts.k);
+    w.put_usize(parts.n);
+    put_edges(&mut w, &parts.edges);
+    match &parts.home {
+        None => w.put_u8(0),
+        Some(home) => {
+            w.put_u8(1);
+            put_usizes(&mut w, home);
+        }
+    }
+    w.put_usize(parts.trees.len());
+    for t in &parts.trees {
+        put_nav_tree(&mut w, t);
+    }
+    w.put_usize(parts.masks.len());
+    for mask in &parts.masks {
+        w.put_usize(mask.len());
+        for &word in mask {
+            w.put_u64(word);
+        }
+    }
+    w.into_inner()
+}
+
+/// Decodes a `SEC_NAVIGATOR` section payload. The payload must be
+/// consumed exactly — trailing bytes mean the section table lied about
+/// the length.
+pub(crate) fn decode_navigator(bytes: &[u8]) -> Result<MetricNavigatorParts, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let k = r.get_usize()?;
+    let n = r.get_usize()?;
+    let edges = get_edges(&mut r)?;
+    let home = match r.get_u8()? {
+        0 => None,
+        1 => Some(get_usizes(&mut r)?),
+        _ => {
+            return Err(StoreError::Malformed {
+                what: "unknown home-table flag",
+            })
+        }
+    };
+    let tn = r.get_len(1)?;
+    let mut trees = Vec::with_capacity(tn);
+    for _ in 0..tn {
+        trees.push(get_nav_tree(&mut r)?);
+    }
+    let mn = r.get_len(8)?;
+    let mut masks = Vec::with_capacity(mn);
+    for _ in 0..mn {
+        let wn = r.get_len(8)?;
+        let mut words = Vec::with_capacity(wn);
+        for _ in 0..wn {
+            words.push(r.get_u64()?);
+        }
+        masks.push(words);
+    }
+    if !r.is_empty() {
+        return Err(StoreError::Malformed {
+            what: "trailing bytes after the navigator section",
+        });
+    }
+    Ok(MetricNavigatorParts {
+        k,
+        n,
+        edges,
+        home,
+        trees,
+        masks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hopspan_core::MetricNavigator;
+    use hopspan_metric::gen;
+    use rand::SeedableRng;
+
+    fn sample_parts() -> MetricNavigatorParts {
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x57E0);
+        let points = gen::uniform_points(16, 2, &mut rng);
+        MetricNavigator::doubling(&points, 0.9, 3)
+            .unwrap()
+            .to_parts()
+    }
+
+    #[test]
+    fn navigator_codec_round_trip() {
+        let parts = sample_parts();
+        let bytes = encode_navigator(&parts);
+        let decoded = decode_navigator(&bytes).unwrap();
+        assert_eq!(decoded, parts);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let parts = sample_parts();
+        let bytes = encode_navigator(&parts);
+        // Cut the payload at a bounded spread of boundaries: every byte
+        // of the first scalar run plus ~64 positions across the rest
+        // (each decode attempt costs O(cut), so the cut count must stay
+        // small to keep the test linear-ish).
+        let step = (bytes.len() / 64).max(1);
+        let cuts: Vec<usize> = (0..32)
+            .chain((32..bytes.len()).step_by(step))
+            .chain([bytes.len() - 1])
+            .collect();
+        for cut in cuts {
+            let err = decode_navigator(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    StoreError::Truncated { .. } | StoreError::Malformed { .. }
+                ),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let parts = sample_parts();
+        let mut bytes = encode_navigator(&parts);
+        bytes.push(0);
+        assert!(matches!(
+            decode_navigator(&bytes),
+            Err(StoreError::Malformed {
+                what: "trailing bytes after the navigator section"
+            })
+        ));
+    }
+
+    #[test]
+    fn hostile_recursion_depth_is_bounded() {
+        // Hand-build a navigator whose single Φ node claims a
+        // sub-navigator, nested past MAX_NAV_DEPTH.
+        fn nest(depth: usize) -> NavigatorParts {
+            NavigatorParts {
+                k: 4,
+                phi: TreeParts {
+                    root: 0,
+                    parent: vec![None],
+                    weight: vec![0.0],
+                },
+                comp_of_node: vec![usize::MAX],
+                nodes: vec![PhiNodeParts {
+                    inner: vec![0],
+                    base: None,
+                    contracted: None,
+                    sub: (depth > 0).then(|| Box::new(nest(depth - 1))),
+                }],
+            }
+        }
+        let mut w = ByteWriter::new();
+        put_navigator(&mut w, &nest(MAX_NAV_DEPTH + 2));
+        let bytes = w.into_inner();
+        let err = get_navigator(&mut ByteReader::new(&bytes), 0).unwrap_err();
+        assert!(matches!(
+            err,
+            StoreError::Malformed {
+                what: "sub-navigator nesting too deep"
+            }
+        ));
+    }
+}

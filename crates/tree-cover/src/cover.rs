@@ -103,7 +103,33 @@ impl DominatingTree {
     /// Panics if `point_of` has the wrong length, a point id is `>=
     /// n_points`, or two leaves carry the same point.
     pub fn new(tree: RootedTree, point_of: Vec<usize>, n_points: usize) -> Self {
-        assert_eq!(point_of.len(), tree.len(), "point_of length mismatch");
+        Self::try_new(tree, point_of, n_points)
+            // hopspan:allow(panic-in-lib) -- the panicking contract is documented; builders satisfy it by construction
+            .expect("well-formed dominating tree")
+    }
+
+    /// Non-panicking variant of [`DominatingTree::new`] for rebuilding a
+    /// tree from untrusted (deserialized) data: the same derivation of
+    /// leaf pointers and descendant-leaf spans, but every precondition
+    /// violation — length mismatch, out-of-range point id (leaf *or*
+    /// internal), duplicate leaf point — is reported as
+    /// [`CoverError::Corrupt`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverError::Corrupt`] naming the violated precondition.
+    pub fn try_new(
+        tree: RootedTree,
+        point_of: Vec<usize>,
+        n_points: usize,
+    ) -> Result<Self, CoverError> {
+        let corrupt = |what| Err(CoverError::Corrupt { what });
+        if point_of.len() != tree.len() {
+            return corrupt("point_of length mismatch");
+        }
+        if point_of.iter().any(|&p| p >= n_points) {
+            return corrupt("tree vertex point id out of range");
+        }
         let lca = Lca::new(&tree);
         let mut leaf_of = vec![None; n_points];
         // DFS to compute leaf spans.
@@ -121,8 +147,9 @@ impl DominatingTree {
             let children = tree.children(v);
             if children.is_empty() {
                 let p = point_of[v];
-                assert!(p < n_points, "leaf point id {p} out of range");
-                assert!(leaf_of[p].is_none(), "point {p} appears as two leaves");
+                if leaf_of[p].is_some() {
+                    return corrupt("point appears as two leaves");
+                }
                 leaf_of[p] = Some(v);
                 leaf_order.push(v);
             } else {
@@ -131,14 +158,14 @@ impl DominatingTree {
                 }
             }
         }
-        DominatingTree {
+        Ok(DominatingTree {
             tree,
             lca,
             point_of,
             leaf_of,
             leaf_order,
             span,
-        }
+        })
     }
 
     /// The underlying rooted tree.
@@ -555,6 +582,32 @@ mod tests {
         let mut t = fresh();
         t.leaf_order.push(0);
         assert_eq!(what(t), "leaf order length disagrees with the leaf count");
+    }
+
+    #[test]
+    fn try_new_rejects_bad_preconditions() {
+        let what = |r: Result<DominatingTree, CoverError>| match r {
+            Err(CoverError::Corrupt { what }) => what,
+            other => panic!("bad precondition went undetected: {other:?}"),
+        };
+        let tree = || {
+            RootedTree::from_edges(3, 0, &[(0, 1, 1.0), (0, 2, 1.0)])
+                // three vertices: root 0 with leaves 1 and 2
+                .unwrap()
+        };
+        assert_eq!(
+            what(DominatingTree::try_new(tree(), vec![0, 1], 3)),
+            "point_of length mismatch"
+        );
+        assert_eq!(
+            what(DominatingTree::try_new(tree(), vec![0, 1, 9], 3)),
+            "tree vertex point id out of range"
+        );
+        assert_eq!(
+            what(DominatingTree::try_new(tree(), vec![0, 1, 1], 3)),
+            "point appears as two leaves"
+        );
+        assert!(DominatingTree::try_new(tree(), vec![0, 1, 2], 3).is_ok());
     }
 
     #[test]

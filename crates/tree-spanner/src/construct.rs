@@ -66,11 +66,11 @@ pub(crate) struct Contracted {
 #[derive(Debug)]
 pub(crate) struct BaseTable {
     /// Number of required members (`inner.len()` of the owning node).
-    m: usize,
+    pub m: usize,
     /// `m² + 1` offsets into [`BaseTable::verts`].
-    offsets: Vec<u32>,
+    pub offsets: Vec<u32>,
     /// Concatenated paths (original vertex ids).
-    verts: Vec<usize>,
+    pub verts: Vec<usize>,
 }
 
 impl BaseTable {

@@ -39,6 +39,11 @@ pub mod ackermann;
 mod construct;
 mod local_tree;
 mod navigate;
+mod parts;
+
+pub use parts::{
+    BaseTableParts, ContractedParts, NavigatorParts, PhiNodeParts, SpannerParts, TreeParts,
+};
 
 use std::collections::BTreeMap;
 use std::fmt;

@@ -23,6 +23,7 @@
 //! | [`core`] | metric navigation, fault-tolerant spanners | Theorems 1.2, 4.2 |
 //! | [`routing`] | compact 2-hop routing schemes (fixed-port model) | Theorems 1.3, 5.1, 5.2 |
 //! | [`serve`] | sharded batch query service: admission control, binary wire protocol, TCP front | engineering layer |
+//! | [`store`] | versioned `HSNP` snapshots: checksummed flat encoding, validated zero-rebuild boot | engineering layer |
 //! | [`apps`] | sparsification, approximate SPT/MST, tree products, MST verification | §5.3–5.6 |
 //! | [`baselines`] | greedy spanner, Θ-graph, Thorup–Zwick oracle, Dijkstra navigation | §1.1 |
 //!
@@ -58,6 +59,7 @@ pub use hopspan_metric as metric;
 pub use hopspan_pipeline as pipeline;
 pub use hopspan_routing as routing;
 pub use hopspan_serve as serve;
+pub use hopspan_store as store;
 pub use hopspan_tree_cover as tree_cover;
 pub use hopspan_tree_spanner as tree_spanner;
 pub use hopspan_treealg as treealg;

@@ -1,0 +1,91 @@
+//! Cross-process snapshot-boot fidelity: a navigator booted from an
+//! `HSNP` snapshot in a *different process* must hash bit-identically
+//! to the freshly built one. This is the end-to-end claim behind
+//! instant boot — the file on disk, not shared memory or allocator
+//! luck, carries the exact `H_X` structure.
+//!
+//! Same harness as `serve_determinism.rs`: the parent builds and
+//! writes the snapshot, then re-executes its own test binary with
+//! `HOPSPAN_STORE_BOOT_CHILD` pointing at the file; the child boots it
+//! cold and prints the loaded navigator's FNV-1a `H_X` hash on a
+//! marker line.
+
+use std::process::Command;
+
+use hopspan::core::MetricNavigator;
+use hopspan::metric::gen;
+use hopspan::store;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const CHILD_ENV: &str = "HOPSPAN_STORE_BOOT_CHILD";
+const HASH_MARKER: &str = "HOPSPAN_STORE_HX=";
+
+const N: usize = 256;
+
+#[test]
+fn snapshot_boot_hashes_bit_identical_across_processes() {
+    if let Ok(path) = std::env::var(CHILD_ENV) {
+        // Child: cold-boot the snapshot the parent wrote and report
+        // the loaded navigator's H_X hash.
+        let (snap, _digest) = store::read_snapshot_file(std::path::Path::new(&path))
+            .expect("child boots the parent's snapshot");
+        println!("{HASH_MARKER}{:016x}", store::hx_hash(&snap.navigator));
+        return;
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5704_B007);
+    let points = gen::uniform_points(N, 2, &mut rng);
+    // The serve boot path's budgeted constructor — fast enough for a
+    // test, and the structure snapshots actually carry in production.
+    let (nav, _gamma) =
+        MetricNavigator::general_budgeted(&points, 8, 3, &mut rng).expect("navigator builds");
+    let live_hx = store::hx_hash(&nav);
+
+    let path = std::env::temp_dir().join(format!("hopspan-store-boot-{}.hsnp", std::process::id()));
+    let digest = store::write_snapshot_file(&path, &points, &nav, None).expect("snapshot writes");
+    assert!(digest.bytes > 0, "snapshot must not be empty");
+
+    // Same-process control first: the loader agrees with the builder.
+    let (snap, read_digest) = store::read_snapshot_file(&path).expect("snapshot reads back");
+    assert_eq!(read_digest, digest, "write/read digests must agree");
+    assert_eq!(
+        store::hx_hash(&snap.navigator),
+        live_hx,
+        "in-process boot must reproduce H_X exactly"
+    );
+
+    let exe = std::env::current_exe().expect("test binary path");
+    let output = Command::new(&exe)
+        .args([
+            "snapshot_boot_hashes_bit_identical_across_processes",
+            "--exact",
+            "--nocapture",
+        ])
+        .env(CHILD_ENV, &path)
+        .output()
+        .expect("re-exec the test binary");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        output.status.success(),
+        "child boot failed:\n{stdout}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let child_hx = extract(&stdout, HASH_MARKER)
+        .unwrap_or_else(|| panic!("no hash marker in child output:\n{stdout}"));
+    assert_eq!(
+        child_hx,
+        format!("{live_hx:016x}"),
+        "a cold-booted process disagrees with the builder on H_X"
+    );
+}
+
+/// Finds `marker` anywhere in the output and returns the token after
+/// it (libtest may prefix the line).
+fn extract(stdout: &str, marker: &str) -> Option<String> {
+    let at = stdout.find(marker)? + marker.len();
+    let rest = &stdout[at..];
+    let end = rest.find(|c: char| c.is_whitespace()).unwrap_or(rest.len());
+    Some(rest[..end].to_string())
+}
