@@ -272,7 +272,7 @@ mod tests {
                 for v in (u + 1)..n {
                     let (direct, _) = mf.max_flow(u, v);
                     // Min edge on the tree path.
-                    let path = tree.path(u, v);
+                    let path = tree.vertex_path(u, v);
                     let via_tree = path
                         .windows(2)
                         .map(|w| {

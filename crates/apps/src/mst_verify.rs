@@ -75,7 +75,7 @@ impl MstVerifier {
         // Rank-annotate the spanner edges (integer max, no comparisons).
         let mut max_rank = HashMap::with_capacity(2 * spanner.edge_count());
         for &(a, b, _) in spanner.edges() {
-            let path = tree.path(a, b);
+            let path = tree.vertex_path(a, b);
             let mut best = 0usize;
             for w in path.windows(2) {
                 let child = if tree.parent(w[0]) == Some(w[1]) {
@@ -253,7 +253,7 @@ mod tests {
                     if u == v {
                         continue;
                     }
-                    let path = tree.path(u, v);
+                    let path = tree.vertex_path(u, v);
                     let want = path
                         .windows(2)
                         .map(|w| {

@@ -73,7 +73,7 @@ impl<T: Clone, F: Fn(&T, &T) -> T> TreeProduct<T, F> {
         let mut preprocessing_ops = 0usize;
         let mut products = HashMap::with_capacity(2 * spanner.edge_count());
         for &(a, b, _) in spanner.edges() {
-            let path = tree.path(a, b);
+            let path = tree.vertex_path(a, b);
             let fwd = fold_path(tree, &path, edge_values, &combine, &mut preprocessing_ops);
             let mut rev_path = path.clone();
             rev_path.reverse();
@@ -191,7 +191,7 @@ mod tests {
         u: usize,
         v: usize,
     ) -> Option<T> {
-        let path = tree.path(u, v);
+        let path = tree.vertex_path(u, v);
         let mut acc: Option<T> = None;
         for w in path.windows(2) {
             let child = if tree.parent(w[0]) == Some(w[1]) {

@@ -414,8 +414,8 @@ impl FaultTolerantSpanner {
         v: usize,
         faulty: &HashSet<usize>,
     ) -> Result<Vec<usize>, FtError> {
-        let mut out = Vec::with_capacity(self.k + 1);
-        let mut scratch = Vec::with_capacity(self.k + 1);
+        let mut out = Vec::with_capacity(self.k + 1); // hopspan:allow(alloc-on-query-path) -- convenience wrapper: allocates the caller-owned buffer once, then delegates to the *_into hot path
+        let mut scratch = Vec::with_capacity(self.k + 1); // hopspan:allow(alloc-on-query-path) -- convenience wrapper: allocates the caller-owned buffer once, then delegates to the *_into hot path
         self.find_path_avoiding_into(metric, u, v, faulty, &mut out, &mut scratch)?;
         Ok(out)
     }
@@ -473,8 +473,8 @@ impl FaultTolerantSpanner {
         faulty: &HashSet<usize>,
         policy: DegradationPolicy,
     ) -> Result<FtPath, FtError> {
-        let mut out = Vec::with_capacity(self.k + 1);
-        let mut scratch = Vec::with_capacity(self.k + 1);
+        let mut out = Vec::with_capacity(self.k + 1); // hopspan:allow(alloc-on-query-path) -- convenience wrapper: allocates the caller-owned buffer once, then delegates to the *_into hot path
+        let mut scratch = Vec::with_capacity(self.k + 1); // hopspan:allow(alloc-on-query-path) -- convenience wrapper: allocates the caller-owned buffer once, then delegates to the *_into hot path
         match self.find_path_avoiding_policy_into(
             metric,
             u,

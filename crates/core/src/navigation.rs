@@ -613,7 +613,7 @@ impl MetricNavigator {
     /// [`NavigationError::PairNotCovered`] if no cover tree contains
     /// both points (never the case for the built-in constructions).
     pub fn find_path(&self, u: usize, v: usize) -> Result<Vec<usize>, NavigationError> {
-        let mut out = Vec::with_capacity(self.k + 1);
+        let mut out = Vec::with_capacity(self.k + 1); // hopspan:allow(alloc-on-query-path) -- convenience wrapper: allocates the caller-owned buffer once, then delegates to the *_into hot path
         self.find_path_into(u, v, &mut out)?;
         Ok(out)
     }

@@ -1,0 +1,345 @@
+//! The conservative name-resolution call graph and the per-function
+//! facts (allocation sites, lock-acquisition sequences) the
+//! interprocedural rules consume.
+//!
+//! Resolution policy — deliberately over-approximating, never silently
+//! under-approximating:
+//!
+//! * `name(…)` resolves to **every** indexed function named `name`
+//!   (`drop(…)` excepted: `Drop::drop` cannot be called by name, so a
+//!   bare `drop` is always `std::mem::drop`).
+//! * `.method(…)` resolves to every indexed function named `method`
+//!   that takes `self`.
+//! * `Type::assoc(…)` resolves exactly: to the indexed functions named
+//!   `assoc` whose impl owner is `Type` (`Self::` uses the caller's
+//!   owner). No owner match means the qualifier is a std or derived
+//!   type (`RouteTrace::default()` on a `#[derive(Default)]` struct) —
+//!   falling back to *every* `assoc` would wire unrelated types
+//!   together and flood R10 with phantom paths, so there is no edge.
+//! * `Alloc::ctor(…)` on a known allocating container (`Vec::new`,
+//!   `Box::new`, `String::from`, …) is recorded as a **direct
+//!   allocation site**, not a call edge — so a user type's `new` is
+//!   never confused with `Vec`'s.
+//! * Macros (`name!`) are not calls; `format!` and `vec!` are direct
+//!   allocation sites.
+//!
+//! False edges are possible (same-named functions in unrelated types);
+//! the rules built on this accept them and the pragma layer
+//! (`hopspan:allow` with a mandatory reason) records why a flagged
+//! site is actually fine. What the policy rules out is the opposite
+//! failure: an allocation or lock the graph silently cannot see.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Tok, TokKind};
+use crate::symbols::SymbolIndex;
+
+/// Containers whose associated constructors allocate.
+const ALLOC_TYPES: [&str; 8] = [
+    "Vec", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
+];
+
+/// Associated-function names that, on an [`ALLOC_TYPES`] owner, mean
+/// heap allocation.
+const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
+
+/// Method names that allocate regardless of receiver.
+const ALLOC_METHODS: [&str; 2] = ["collect", "to_vec"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: [&str; 2] = ["format", "vec"];
+
+/// Keywords that look like `ident (` but are not calls.
+const NON_CALL_KEYWORDS: [&str; 12] = [
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "move", "else", "impl",
+];
+
+/// A heap-allocation site inside a function body.
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// 1-based source line.
+    pub line: u32,
+    /// What allocates (`Vec::with_capacity`, `.collect()`, `format!`…).
+    pub what: String,
+}
+
+/// One entry of a function's ordered lock/call event sequence.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A direct `Mutex`/`RwLock` acquisition: `.lock(…)`,
+    /// `.read(…)`/`.write(…)` on a lock, or a `lock_resilient(&…)`
+    /// wrapper call. The name is the last path identifier of the lock
+    /// expression — the field or binding that names the mutex.
+    Lock {
+        /// Lock identity (last path identifier).
+        name: String,
+        /// 1-based source line of the acquisition.
+        line: u32,
+    },
+    /// A resolved call: indices into [`SymbolIndex::fns`].
+    Call(Vec<usize>),
+}
+
+/// Per-function facts plus the resolved adjacency.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `edges[f]` — callee indices of function `f` (deduplicated).
+    pub edges: Vec<Vec<usize>>,
+    /// `allocs[f]` — allocation sites inside function `f`.
+    pub allocs: Vec<Vec<AllocSite>>,
+    /// `events[f]` — ordered lock/call events of function `f`.
+    pub events: Vec<Vec<Event>>,
+}
+
+impl CallGraph {
+    /// Builds the graph over `index`. `tokens_of` maps a file label to
+    /// its token stream (every indexed file must be present).
+    pub fn build(index: &SymbolIndex, tokens_of: &BTreeMap<&str, &[Tok]>) -> Self {
+        let mut g = CallGraph {
+            edges: vec![Vec::new(); index.fns.len()],
+            allocs: vec![Vec::new(); index.fns.len()],
+            events: vec![Vec::new(); index.fns.len()],
+        };
+        for (f, sym) in index.fns.iter().enumerate() {
+            let Some((start, end)) = sym.body else {
+                continue;
+            };
+            let Some(&toks) = tokens_of.get(sym.file.as_str()) else {
+                continue;
+            };
+            scan_body(index, toks, start, end, f, &mut g);
+            let mut seen = BTreeSet::new();
+            g.edges[f].retain(|&c| seen.insert(c));
+        }
+        g
+    }
+
+    /// Every function reachable from `entry` (inclusive), with the BFS
+    /// parent of each reached function for call-chain diagnostics.
+    pub fn reachable(&self, entry: usize) -> Vec<(usize, Option<usize>)> {
+        let mut parent: Vec<Option<Option<usize>>> = vec![None; self.edges.len()];
+        parent[entry] = Some(None);
+        let mut queue = std::collections::VecDeque::from([entry]);
+        let mut order = vec![(entry, None)];
+        while let Some(f) = queue.pop_front() {
+            for &c in &self.edges[f] {
+                if parent[c].is_none() {
+                    parent[c] = Some(Some(f));
+                    order.push((c, Some(f)));
+                    queue.push_back(c);
+                }
+            }
+        }
+        order
+    }
+
+    /// The call chain `entry → … → target` from a [`CallGraph::reachable`]
+    /// result, as function names.
+    pub fn chain(
+        &self,
+        index: &SymbolIndex,
+        reached: &[(usize, Option<usize>)],
+        target: usize,
+    ) -> String {
+        let mut names = vec![index.fns[target].name.clone()];
+        let mut cur = target;
+        while let Some(&(_, Some(p))) = reached.iter().find(|&&(f, _)| f == cur) {
+            names.push(index.fns[p].name.clone());
+            cur = p;
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+/// Scans one function body for calls, allocation sites and lock
+/// acquisitions, in token order.
+fn scan_body(
+    index: &SymbolIndex,
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    f: usize,
+    g: &mut CallGraph,
+) {
+    let mut i = start;
+    while i <= end.min(toks.len().saturating_sub(1)) {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = t.text.as_str();
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+
+        // Macros: never call edges; two of them allocate.
+        if next == Some("!") {
+            if ALLOC_MACROS.contains(&name) {
+                g.allocs[f].push(AllocSite {
+                    line: t.line,
+                    what: format!("{name}!"),
+                });
+            }
+            i += 1;
+            continue;
+        }
+        if next != Some("(") {
+            i += 1;
+            continue;
+        }
+
+        // `Qual::name(` — associated call, resolved by exact owner.
+        if prev == Some("::") && i >= 2 && toks[i - 2].kind == TokKind::Ident {
+            let mut qual = toks[i - 2].text.as_str();
+            if qual == "Self" {
+                qual = index.fns[f].owner.as_deref().unwrap_or("Self");
+            }
+            if ALLOC_TYPES.contains(&qual) && ALLOC_CTORS.contains(&name) {
+                g.allocs[f].push(AllocSite {
+                    line: t.line,
+                    what: format!("{qual}::{name}"),
+                });
+                i += 1;
+                continue;
+            }
+            let targets: Vec<usize> = index
+                .named(name)
+                .iter()
+                .copied()
+                .filter(|&s| index.fns[s].owner.as_deref() == Some(qual))
+                .collect();
+            if !targets.is_empty() {
+                g.edges[f].extend(&targets);
+                g.events[f].push(Event::Call(targets));
+            }
+            i += 1;
+            continue;
+        }
+
+        // `.name(` — method call.
+        if prev == Some(".") {
+            if name == "lock" || (matches!(name, "read" | "write") && receiver_is_lock(toks, i)) {
+                if let Some(lock) = receiver_name(toks, i) {
+                    g.events[f].push(Event::Lock { name: lock, line: t.line });
+                    i += 1;
+                    continue;
+                }
+            }
+            if ALLOC_METHODS.contains(&name) {
+                g.allocs[f].push(AllocSite {
+                    line: t.line,
+                    what: format!(".{name}()"),
+                });
+                i += 1;
+                continue;
+            }
+            let targets: Vec<usize> = index
+                .named(name)
+                .iter()
+                .copied()
+                .filter(|&s| index.fns[s].has_self)
+                .collect();
+            if !targets.is_empty() {
+                g.edges[f].extend(&targets);
+                g.events[f].push(Event::Call(targets));
+            }
+            i += 1;
+            continue;
+        }
+
+        // Bare `name(` — free-function call. `drop` is always
+        // `std::mem::drop` (a `Drop` impl cannot be called by name).
+        if NON_CALL_KEYWORDS.contains(&name) || name == "drop" {
+            i += 1;
+            continue;
+        }
+        if name == "lock_resilient" {
+            // The workspace's poison-resilient lock wrapper: a direct
+            // acquisition of the mutex named by its argument, not a
+            // call edge (edging into the wrapper would dissolve every
+            // lock's identity into the wrapper's parameter name).
+            if let Some(lock) = last_arg_ident(toks, i + 1) {
+                g.events[f].push(Event::Lock { name: lock, line: t.line });
+            }
+            i += 1;
+            continue;
+        }
+        let targets = index.named(name).to_vec();
+        if !targets.is_empty() {
+            g.edges[f].extend(&targets);
+            g.events[f].push(Event::Call(targets));
+        }
+        i += 1;
+    }
+}
+
+/// For `recv.method(` with `method` at `i`, the last identifier of the
+/// receiver path (`self.shards[x].free.lock(` → `free`).
+fn receiver_name(toks: &[Tok], i: usize) -> Option<String> {
+    // toks[i - 1] is `.`; the receiver's last segment sits before it,
+    // possibly behind an index `[…]` or call `(…)` suffix.
+    let mut j = i.checked_sub(2)?;
+    loop {
+        match toks[j].text.as_str() {
+            "]" | ")" => {
+                // Skip the bracketed suffix to its opener.
+                let close = toks[j].text.clone();
+                let open = if close == "]" { "[" } else { "(" };
+                let mut depth = 0usize;
+                loop {
+                    if toks[j].text == close {
+                        depth += 1;
+                    } else if toks[j].text == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    j = j.checked_sub(1)?;
+                }
+                j = j.checked_sub(1)?;
+            }
+            _ => break,
+        }
+    }
+    let t = &toks[j];
+    (t.kind == TokKind::Ident).then(|| t.text.clone())
+}
+
+/// Whether `.read(`/`.write(` at `i` has a lock-like receiver: the
+/// receiver's last identifier names a known `RwLock` field shape
+/// (heuristic: the identifier ends in `_rw`, `_lock`, or is `rwlock`).
+/// Socket/file `.read(…)`/`.write(…)` calls outnumber `RwLock` uses in
+/// this workspace, so the default is *not* a lock.
+fn receiver_is_lock(toks: &[Tok], i: usize) -> bool {
+    receiver_name(toks, i).is_some_and(|n| {
+        n.ends_with("_rw") || n.ends_with("_lock") || n == "rwlock"
+    })
+}
+
+/// The last identifier inside the parenthesized argument list opening
+/// at `open` (`lock_resilient(&self.shards[i].free)` → `free`).
+fn last_arg_ident(toks: &[Tok], open: usize) -> Option<String> {
+    if toks.get(open)?.text != "(" {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut last: Option<String> = None;
+    for t in &toks[open..] {
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ if t.kind == TokKind::Ident && !matches!(t.text.as_str(), "as" | "mut" | "usize") => {
+                last = Some(t.text.clone());
+            }
+            _ => {}
+        }
+    }
+    last
+}

@@ -1,0 +1,324 @@
+//! The interprocedural rules riding the call graph: R10
+//! `alloc-on-query-path`, R11 `lock-order-inversion`, and R12
+//! `unchecked-arith-on-untrusted-input`.
+//!
+//! All three are conservative: R10 over-approximates reachability
+//! (name-level call edges), R11 over-approximates hold times (a lock
+//! is assumed held until the end of its function), and R12
+//! over-approximates taint (any statement touching an untrusted name
+//! is inspected). False positives are expected and are answered with
+//! a *reasoned* `hopspan:allow`, which documents why the site is safe
+//! — exactly the audit trail the runtime checks cannot produce.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::{CallGraph, Event};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{
+    QUERY_FN_PREFIXES, R10_ALLOC_ON_QUERY_PATH, R11_LOCK_ORDER_INVERSION, R12_UNCHECKED_ARITH,
+};
+use crate::symbols::SymbolIndex;
+use crate::{Finding, QUERY_POLICY_CRATES};
+
+/// Crates whose decode functions face untrusted bytes (R12): the
+/// snapshot store and the wire-protocol server.
+pub const DECODE_POLICY_CRATES: [&str; 2] = ["hopspan-store", "hopspan-serve"];
+
+/// Untrusted-byte reader types: a function whose signature or impl
+/// owner mentions one of these decodes attacker-controlled input.
+const UNTRUSTED_READER_TYPES: [&str; 2] = ["ByteReader", "FrameView"];
+
+/// Function-name prefixes that mark decode functions (R12).
+const DECODE_FN_PREFIXES: [&str; 3] = ["decode_", "read_", "get_"];
+
+/// Integer types an unchecked `as` cast can silently truncate into.
+const NARROW_CAST_TARGETS: [&str; 8] = [
+    "u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize",
+];
+
+/// Runs R10 + R11 over the graph and R12 over the decode crates.
+pub fn run_interproc(
+    index: &SymbolIndex,
+    graph: &CallGraph,
+    tokens_of: &BTreeMap<&str, &[Tok]>,
+) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    rule_alloc_on_query_path(index, graph, &mut findings);
+    rule_lock_order_inversion(index, graph, &mut findings);
+    rule_unchecked_arith(index, tokens_of, &mut findings);
+    findings
+}
+
+/// R10: transitive reachability from query entry points
+/// (`find_path*`/`route*`/`locate*` in the query crates) to
+/// allocating constructs, reported at the allocation site with the
+/// call chain that reaches it.
+fn rule_alloc_on_query_path(index: &SymbolIndex, graph: &CallGraph, out: &mut Vec<Finding>) {
+    let mut reported: BTreeSet<(String, u32, String)> = BTreeSet::new();
+    for (entry, sym) in index.fns.iter().enumerate() {
+        if !QUERY_POLICY_CRATES.contains(&sym.crate_name.as_str())
+            || !QUERY_FN_PREFIXES.iter().any(|p| sym.name.starts_with(p))
+        {
+            continue;
+        }
+        let reached = graph.reachable(entry);
+        for &(f, _) in &reached {
+            for site in &graph.allocs[f] {
+                let key = (index.fns[f].file.clone(), site.line, site.what.clone());
+                if !reported.insert(key) {
+                    continue;
+                }
+                let chain = graph.chain(index, &reached, f);
+                out.push(Finding {
+                    rule: R10_ALLOC_ON_QUERY_PATH.to_string(),
+                    file: index.fns[f].file.clone(),
+                    line: site.line,
+                    message: format!(
+                        "`{}` allocates on the query path (reachable via {chain}); \
+                         hoist into caller-owned scratch (`*_into` family) or add \
+                         a reasoned hopspan:allow",
+                        site.what
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// R11: pairwise lock-order consistency. Each function contributes
+/// ordered pairs `(A, B)` — lock `A` directly acquired, then lock `B`
+/// acquired later in the same body (directly, or anywhere inside a
+/// callee, transitively). Two functions observing opposite orders of
+/// the same pair are flagged at both acquisition sites.
+///
+/// Over-approximations, by design: a lock is assumed held until its
+/// function returns (explicit `drop(guard)` is invisible at token
+/// level), and lock identity is the last path identifier of the lock
+/// expression — two mutexes sharing a field name collide. The cure
+/// for a collision is renaming one field, which is cheap and makes
+/// the ordering auditable by grep.
+fn rule_lock_order_inversion(index: &SymbolIndex, graph: &CallGraph, out: &mut Vec<Finding>) {
+    // Transitive lock sets: names a call into `f` may acquire.
+    let n = index.fns.len();
+    let mut lock_sets: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+    for f in 0..n {
+        for ev in &graph.events[f] {
+            if let Event::Lock { name, .. } = ev {
+                lock_sets[f].insert(name.clone());
+            }
+        }
+    }
+    loop {
+        let mut changed = false;
+        for f in 0..n {
+            for c in graph.edges[f].clone() {
+                if !lock_sets[c].is_subset(&lock_sets[f]) {
+                    let add: Vec<String> = lock_sets[c].iter().cloned().collect();
+                    lock_sets[f].extend(add);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Ordered pairs with their observation sites.
+    type Site = (usize, u32); // (fn index, line of the first acquisition)
+    let mut pairs: BTreeMap<(String, String), Vec<Site>> = BTreeMap::new();
+    for f in 0..n {
+        let events = &graph.events[f];
+        for (i, first) in events.iter().enumerate() {
+            let Event::Lock { name: a, line } = first else {
+                continue;
+            };
+            let mut later: BTreeSet<String> = BTreeSet::new();
+            for ev in &events[i + 1..] {
+                match ev {
+                    Event::Lock { name: b, .. } => {
+                        later.insert(b.clone());
+                    }
+                    Event::Call(ts) => {
+                        for &t in ts {
+                            later.extend(lock_sets[t].iter().cloned());
+                        }
+                    }
+                }
+            }
+            for b in later {
+                if b != *a {
+                    pairs
+                        .entry((a.clone(), b.clone()))
+                        .or_default()
+                        .push((f, *line));
+                }
+            }
+        }
+    }
+
+    let mut reported: BTreeSet<(String, u32)> = BTreeSet::new();
+    for ((a, b), sites) in &pairs {
+        let Some(rev_sites) = pairs.get(&(b.clone(), a.clone())) else {
+            continue;
+        };
+        let (of, oline) = rev_sites[0];
+        let other = &index.fns[of];
+        for &(f, line) in sites {
+            let sym = &index.fns[f];
+            if !reported.insert((sym.file.clone(), line)) {
+                continue;
+            }
+            out.push(Finding {
+                rule: R11_LOCK_ORDER_INVERSION.to_string(),
+                file: sym.file.clone(),
+                line,
+                message: format!(
+                    "fn `{}` acquires `{a}` before `{b}`, but fn `{}` ({}:{oline}) \
+                     acquires `{b}` before `{a}` — a potential deadlock; pick one \
+                     global order for these locks",
+                    sym.name, other.name, other.file
+                ),
+            });
+        }
+    }
+}
+
+/// R12: in decode functions of the store/serve crates, unchecked
+/// `+`/`*`/`<<` arithmetic and bare narrowing `as` casts on values
+/// that originate from untrusted bytes must go through
+/// `checked_*`/`try_from`.
+///
+/// Taint is file-local and statement-granular: the seeds are the
+/// decode function's own parameters (they *are* the untrusted input),
+/// results of `get_*`/`read_*`/`decode_*`/`from_le_bytes` calls, and
+/// `.payload` field reads; `let` and `for` bindings whose right-hand
+/// side touches a tainted name propagate it.
+fn rule_unchecked_arith(
+    index: &SymbolIndex,
+    tokens_of: &BTreeMap<&str, &[Tok]>,
+    out: &mut Vec<Finding>,
+) {
+    for sym in &index.fns {
+        if !DECODE_POLICY_CRATES.contains(&sym.crate_name.as_str()) {
+            continue;
+        }
+        let Some((start, end)) = sym.body else {
+            continue;
+        };
+        let Some(&toks) = tokens_of.get(sym.file.as_str()) else {
+            continue;
+        };
+        let is_decode = DECODE_FN_PREFIXES.iter().any(|p| sym.name.starts_with(p))
+            || sym
+                .owner
+                .as_deref()
+                .is_some_and(|o| UNTRUSTED_READER_TYPES.contains(&o))
+            || sym.sig_mentions(toks, &UNTRUSTED_READER_TYPES);
+        if !is_decode {
+            continue;
+        }
+        let mut tainted: BTreeSet<String> = sym.param_names(toks).into_iter().collect();
+        // Walk statements (separated by `;`, `{`, `}`), propagating
+        // taint forward and flagging raw arithmetic in tainted ones.
+        let mut stmt_start = start + 1;
+        let mut i = stmt_start;
+        while i <= end {
+            if matches!(toks[i].text.as_str(), ";" | "{" | "}") {
+                check_statement(sym, toks, stmt_start, i, &mut tainted, out);
+                stmt_start = i + 1;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Whether the call name at a `name (` site is a taint seed.
+fn is_seed_call(name: &str) -> bool {
+    name == "from_le_bytes"
+        || DECODE_FN_PREFIXES
+            .iter()
+            .any(|p| name.starts_with(p) || name == &p[..p.len() - 1])
+}
+
+/// Examines one statement: decides if it touches tainted data,
+/// propagates taint into its bindings, and flags raw arithmetic.
+fn check_statement(
+    sym: &crate::symbols::FnSym,
+    toks: &[Tok],
+    start: usize,
+    end: usize,
+    tainted: &mut BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    if start >= end {
+        return;
+    }
+    let stmt = &toks[start..end];
+    let touches = stmt.iter().enumerate().any(|(k, t)| {
+        if t.kind != TokKind::Ident {
+            return false;
+        }
+        if tainted.contains(&t.text) {
+            return true;
+        }
+        // A seed call used inline: `exact(read_u32(p, 0)? + 8)`.
+        let calls = stmt.get(k + 1).is_some_and(|n| n.text == "(");
+        (calls && is_seed_call(&t.text))
+            || (t.text == "payload" && k > 0 && stmt[k - 1].text == ".")
+    });
+    if !touches {
+        return;
+    }
+
+    // Propagate: `let [mut] NAME = …` and `for PAT in …`.
+    let mut bind_names = |from: usize, until: &str| {
+        let mut k = from;
+        while k < stmt.len() && stmt[k].text != until {
+            if stmt[k].kind == TokKind::Ident && !matches!(stmt[k].text.as_str(), "mut" | "ref") {
+                tainted.insert(stmt[k].text.clone());
+            }
+            k += 1;
+        }
+    };
+    if stmt.first().is_some_and(|t| t.text == "let") {
+        bind_names(1, "=");
+    } else if stmt.first().is_some_and(|t| t.text == "for") {
+        bind_names(1, "in");
+    }
+
+    // Flag raw arithmetic and narrowing casts.
+    for (k, t) in stmt.iter().enumerate() {
+        let (op, remedy) = match t.text.as_str() {
+            "+" => ("+", "checked_add"),
+            "*" if k > 0
+                && (matches!(stmt[k - 1].kind, TokKind::Ident | TokKind::IntLit)
+                    && stmt[k - 1].text != "as"
+                    || matches!(stmt[k - 1].text.as_str(), ")" | "]" | "?")) =>
+            {
+                ("*", "checked_mul")
+            }
+            "<" if stmt.get(k + 1).is_some_and(|n| n.text == "<") => ("<<", "checked_shl"),
+            "<" if k > 0 && stmt[k - 1].text == "<" => continue, // second half of `<<`
+            "as" if t.kind == TokKind::Ident
+                && stmt
+                    .get(k + 1)
+                    .is_some_and(|n| NARROW_CAST_TARGETS.contains(&n.text.as_str())) =>
+            {
+                ("as", "try_from / a widening From")
+            }
+            _ => continue,
+        };
+        out.push(Finding {
+            rule: R12_UNCHECKED_ARITH.to_string(),
+            file: sym.file.clone(),
+            line: t.line,
+            message: format!(
+                "unchecked `{op}` on untrusted input in decode fn `{}`; a forged \
+                 length/offset can overflow or truncate here — use {remedy} and \
+                 return a typed error",
+                sym.name
+            ),
+        });
+    }
+}

@@ -51,10 +51,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
+pub mod interproc;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
 pub mod toml_scan;
 
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Crates whose `src/` must satisfy R1–R3 and R7 (the library crates
@@ -112,19 +116,37 @@ impl Finding {
 }
 
 /// Analyzes a single Rust source string under the given rules.
-/// `label` is the file path used in diagnostics.
+/// `label` is the file path used in diagnostics. Per-file only: the
+/// interprocedural rules (R10–R12) and `stale-pragma` need the whole
+/// workspace and run via [`analyze_files`].
 pub fn analyze_source(label: &str, source: &str, active_rules: &[&str]) -> Vec<Finding> {
     let lexed = lexer::lex(source);
     rules::run_rules(label, &lexed, active_rules)
 }
 
-/// Analyzes the whole workspace rooted at `root`: R4 on every member
-/// manifest, R1–R3 and R7 on the `src/` trees of
-/// [`LIB_POLICY_CRATES`], R5 on [`DOC_POLICY_CRATES`], R6 + R8 on
-/// [`QUERY_POLICY_CRATES`], and R9 on [`SERIALIZATION_POLICY_CRATES`].
-/// Findings come back in a deterministic order (members sorted, files
-/// sorted, lines ascending).
-pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+/// One collected workspace source file, ready for analysis. Holding
+/// sources in memory (rather than re-reading inside the engine) lets
+/// tests mutate a real workspace copy and re-analyze — the
+/// sensitivity pins in `tests/mutation_sensitivity.rs` depend on it.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFile {
+    /// Package name of the owning crate (`hopspan-core`, …).
+    pub crate_name: String,
+    /// Diagnostic label (path relative to the workspace root).
+    pub label: String,
+    /// Full source text.
+    pub source: String,
+}
+
+/// Reads the workspace rooted at `root`: scans every member manifest
+/// (R4) and collects the `src/` sources of every crate any policy
+/// applies to. Returns the manifest findings plus the collected files.
+///
+/// # Errors
+///
+/// A human-readable message when the root manifest is missing,
+/// unreadable, or not a workspace, or a member source is unreadable.
+pub fn collect_workspace(root: &Path) -> Result<(Vec<Finding>, Vec<WorkspaceFile>), String> {
     let manifest_path = root.join("Cargo.toml");
     let manifest = std::fs::read_to_string(&manifest_path)
         .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
@@ -135,46 +157,156 @@ pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
         ));
     }
 
-    let mut findings = Vec::new();
+    let mut manifest_findings = Vec::new();
+    let mut files = Vec::new();
     for member in toml_scan::workspace_members(root, &manifest) {
         let member_manifest_path = member.join("Cargo.toml");
         let Ok(member_manifest) = std::fs::read_to_string(&member_manifest_path) else {
             continue;
         };
         let label = rel_label(root, &member_manifest_path);
-        findings.extend(toml_scan::scan_manifest(&label, &member_manifest));
+        manifest_findings.extend(toml_scan::scan_manifest(&label, &member_manifest));
 
         let Some(name) = toml_scan::package_name(&member_manifest) else {
             continue;
         };
-        let mut active: Vec<&str> = Vec::new();
-        if LIB_POLICY_CRATES.contains(&name.as_str()) {
-            active.extend([
-                rules::R1_PANIC_IN_LIB,
-                rules::R2_NONDET_ITERATION,
-                rules::R3_FLOAT_EQ,
-                rules::R7_SWALLOWED_RESULT,
-            ]);
-        }
-        if DOC_POLICY_CRATES.contains(&name.as_str()) {
-            active.push(rules::R5_PUB_UNDOCUMENTED);
-        }
-        if QUERY_POLICY_CRATES.contains(&name.as_str()) {
-            active.extend([rules::R6_MAP_ON_QUERY_PATH, rules::R8_BLOCKING_IO]);
-        }
-        if SERIALIZATION_POLICY_CRATES.contains(&name.as_str()) {
-            active.push(rules::R9_UNVERSIONED_SERIALIZATION);
-        }
-        if active.is_empty() {
+        if !LIB_POLICY_CRATES.contains(&name.as_str())
+            && !DOC_POLICY_CRATES.contains(&name.as_str())
+        {
             continue;
         }
         for file in rust_sources(&member.join("src")) {
             let src = std::fs::read_to_string(&file)
                 .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
-            findings.extend(analyze_source(&rel_label(root, &file), &src, &active));
+            files.push(WorkspaceFile {
+                crate_name: name.clone(),
+                label: rel_label(root, &file),
+                source: src,
+            });
         }
     }
-    Ok(findings)
+    Ok((manifest_findings, files))
+}
+
+/// The active per-file rules for a crate, from the policy lists.
+fn active_rules_for(crate_name: &str) -> Vec<&'static str> {
+    let mut active: Vec<&str> = Vec::new();
+    if LIB_POLICY_CRATES.contains(&crate_name) {
+        active.extend([
+            rules::R1_PANIC_IN_LIB,
+            rules::R2_NONDET_ITERATION,
+            rules::R3_FLOAT_EQ,
+            rules::R7_SWALLOWED_RESULT,
+        ]);
+    }
+    if DOC_POLICY_CRATES.contains(&crate_name) {
+        active.push(rules::R5_PUB_UNDOCUMENTED);
+    }
+    if QUERY_POLICY_CRATES.contains(&crate_name) {
+        active.extend([rules::R6_MAP_ON_QUERY_PATH, rules::R8_BLOCKING_IO]);
+    }
+    if SERIALIZATION_POLICY_CRATES.contains(&crate_name) {
+        active.push(rules::R9_UNVERSIONED_SERIALIZATION);
+    }
+    active
+}
+
+/// The pure analysis pass over collected sources: per-file rules
+/// (R1–R3, R5–R9), the symbol index + call graph over
+/// [`LIB_POLICY_CRATES`], the interprocedural rules (R10–R12),
+/// suppression with used-pragma tracking, and `stale-pragma` for
+/// well-formed allows that suppressed nothing. Findings come back
+/// sorted by (file, line, rule).
+pub fn analyze_files(manifest_findings: Vec<Finding>, files: &[WorkspaceFile]) -> Vec<Finding> {
+    // Lex everything once; per-file products feed both rule layers.
+    let lexed: Vec<lexer::Lexed> = files.iter().map(|f| lexer::lex(&f.source)).collect();
+
+    let mut findings = manifest_findings;
+    let mut allows_by_file: BTreeMap<&str, Vec<rules::Allow>> = BTreeMap::new();
+
+    let mut index = symbols::SymbolIndex::default();
+    for (wf, lx) in files.iter().zip(&lexed) {
+        let active = active_rules_for(&wf.crate_name);
+        let (raw, allows) = rules::run_rules_raw(&wf.label, lx, &active);
+        findings.extend(raw);
+        allows_by_file.insert(wf.label.as_str(), allows);
+        if LIB_POLICY_CRATES.contains(&wf.crate_name.as_str()) {
+            let ranges = rules::test_ranges_of(&lx.tokens);
+            index.index_file(&wf.crate_name, &wf.label, lx, &ranges);
+        }
+    }
+
+    let tokens_of: BTreeMap<&str, &[lexer::Tok]> = files
+        .iter()
+        .zip(&lexed)
+        .map(|(f, lx)| (f.label.as_str(), lx.tokens.as_slice()))
+        .collect();
+    let graph = callgraph::CallGraph::build(&index, &tokens_of);
+    findings.extend(interproc::run_interproc(&index, &graph, &tokens_of));
+
+    // Deferred suppression: pragmas cover per-file *and*
+    // interprocedural findings; every pragma that covers at least one
+    // finding is "used", the rest are stale.
+    let mut used: BTreeMap<(String, u32, String), bool> = BTreeMap::new();
+    for (file, allows) in &allows_by_file {
+        for a in allows {
+            used.insert(((*file).to_string(), a.line, a.rule.clone()), false);
+        }
+    }
+    findings.retain(|f| {
+        if rules::is_unsuppressible(&f.rule) {
+            return true;
+        }
+        let Some(allows) = allows_by_file.get(f.file.as_str()) else {
+            return true;
+        };
+        let mut suppressed = false;
+        for a in allows {
+            if a.covers(f) {
+                suppressed = true;
+                if let Some(u) = used.get_mut(&(f.file.clone(), a.line, a.rule.clone())) {
+                    *u = true;
+                }
+            }
+        }
+        !suppressed
+    });
+    for ((file, line, rule), was_used) in &used {
+        if !was_used {
+            findings.push(Finding {
+                rule: rules::STALE_PRAGMA.to_string(),
+                file: file.clone(),
+                line: *line,
+                message: format!(
+                    "hopspan:allow({rule}) suppresses nothing on this line or the \
+                     next; the code it excused was fixed or moved — delete the \
+                     pragma"
+                ),
+            });
+        }
+    }
+
+    findings.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(&b.rule))
+    });
+    findings
+}
+
+/// Analyzes the whole workspace rooted at `root`:
+/// [`collect_workspace`] followed by [`analyze_files`] — R4 on every
+/// member manifest, the per-file rules per the policy lists, and the
+/// interprocedural rules (R10–R12 + `stale-pragma`) over the library
+/// crates' call graph.
+///
+/// # Errors
+///
+/// Propagates [`collect_workspace`] errors.
+pub fn analyze_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let (manifest_findings, files) = collect_workspace(root)?;
+    Ok(analyze_files(manifest_findings, &files))
 }
 
 /// All `.rs` files under `dir`, recursively, in sorted order.
@@ -246,4 +378,223 @@ fn json_str(out: &mut String, s: &str) {
         }
     }
     out.push('"');
+}
+
+/// Parses a findings document produced by [`to_json`] (the baseline
+/// file format). Hand-rolled to match the hand-rolled serializer: it
+/// accepts exactly the object/array/string/number shapes [`to_json`]
+/// emits plus arbitrary whitespace, and decodes the same escapes
+/// [`json_str`] encodes.
+///
+/// # Errors
+///
+/// A human-readable message on any malformed construct.
+pub fn parse_findings_json(src: &str) -> Result<Vec<Finding>, String> {
+    let mut p = JsonParser {
+        chars: src.chars().collect(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut findings = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.peek() == Some('}') {
+            p.pos += 1;
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "count" => {
+                p.number()?; // advisory; the findings array is the truth
+            }
+            "findings" => {
+                p.expect('[')?;
+                loop {
+                    p.skip_ws();
+                    if p.peek() == Some(']') {
+                        p.pos += 1;
+                        break;
+                    }
+                    findings.push(p.finding()?);
+                    p.skip_ws();
+                    if p.peek() == Some(',') {
+                        p.pos += 1;
+                    }
+                }
+            }
+            other => return Err(format!("unexpected key {other:?} in findings document")),
+        }
+        p.skip_ws();
+        if p.peek() == Some(',') {
+            p.pos += 1;
+        }
+    }
+    Ok(findings)
+}
+
+struct JsonParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl JsonParser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {c:?} at offset {}, found {:?}",
+                self.pos,
+                self.peek()
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".to_string());
+            };
+            self.pos += 1;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err("unterminated escape".to_string());
+                    };
+                    self.pos += 1;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            let hex: String =
+                                self.chars.iter().skip(self.pos).take(4).collect();
+                            if hex.len() != 4 {
+                                return Err("truncated \\u escape".to_string());
+                            }
+                            self.pos += 4;
+                            let code = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad codepoint \\u{hex}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{other}")),
+                    }
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at offset {start}"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse().map_err(|_| format!("bad number {text:?}"))
+    }
+
+    fn finding(&mut self) -> Result<Finding, String> {
+        self.expect('{')?;
+        let mut rule = None;
+        let mut file = None;
+        let mut line = None;
+        let mut message = None;
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('}') {
+                self.pos += 1;
+                break;
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "rule" => rule = Some(self.string()?),
+                "file" => file = Some(self.string()?),
+                "message" => message = Some(self.string()?),
+                "line" => {
+                    let n = self.number()?;
+                    line = Some(
+                        u32::try_from(n).map_err(|_| format!("line {n} out of range"))?,
+                    );
+                }
+                other => return Err(format!("unexpected finding key {other:?}")),
+            }
+            self.skip_ws();
+            if self.peek() == Some(',') {
+                self.pos += 1;
+            }
+        }
+        Ok(Finding {
+            rule: rule.ok_or("finding missing \"rule\"")?,
+            file: file.ok_or("finding missing \"file\"")?,
+            line: line.ok_or("finding missing \"line\"")?,
+            message: message.unwrap_or_default(),
+        })
+    }
+}
+
+/// The result of comparing current findings against a baseline: the
+/// ratchet's three buckets.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings not in the baseline — these fail the build.
+    pub new: Vec<Finding>,
+    /// Findings present in both — tolerated, but not forgotten.
+    pub grandfathered: Vec<Finding>,
+    /// Baseline entries no findings match anymore — the baseline can
+    /// (and should) be tightened by rewriting it.
+    pub resolved: Vec<Finding>,
+}
+
+/// Splits `findings` against `baseline` by the identity key
+/// `(rule, file, line)`. Messages are ignored: wording improvements
+/// must not un-grandfather a finding.
+pub fn diff_against_baseline(findings: &[Finding], baseline: &[Finding]) -> BaselineDiff {
+    let key = |f: &Finding| (f.rule.clone(), f.file.clone(), f.line);
+    let base: std::collections::BTreeSet<_> = baseline.iter().map(key).collect();
+    let cur: std::collections::BTreeSet<_> = findings.iter().map(key).collect();
+    let mut diff = BaselineDiff::default();
+    for f in findings {
+        if base.contains(&key(f)) {
+            diff.grandfathered.push(f.clone());
+        } else {
+            diff.new.push(f.clone());
+        }
+    }
+    for b in baseline {
+        if !cur.contains(&key(b)) {
+            diff.resolved.push(b.clone());
+        }
+    }
+    diff
 }

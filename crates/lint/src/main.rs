@@ -2,10 +2,19 @@
 //!
 //! ```text
 //! hopspan-lint [--root <path>] [--format human|json] [--deny-all]
+//!              [--baseline <path>] [--write-baseline] [--explain <rule>]
 //! ```
 //!
+//! Without `--baseline`, every finding counts. With it, findings are
+//! diffed against the baseline file by `(rule, file, line)`:
+//! grandfathered findings are reported but tolerated, *new* findings
+//! fail the build under `--deny-all`, and resolved baseline entries are
+//! announced so the baseline can be tightened (`--write-baseline`
+//! rewrites it to the current findings — the ratchet only turns one
+//! way by convention: review the diff before committing it).
+//!
 //! Exit codes: 0 — clean (or findings reported without `--deny-all`);
-//! 1 — findings present under `--deny-all`; 2 — usage or I/O error.
+//! 1 — blocking findings under `--deny-all`; 2 — usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,6 +23,8 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Human;
     let mut deny_all = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline = false;
 
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -34,12 +45,40 @@ fn main() -> ExitCode {
                 }
             },
             "--deny-all" => deny_all = true,
+            "--baseline" => {
+                let Some(p) = argv.next() else {
+                    return usage("--baseline requires a path");
+                };
+                baseline_path = Some(PathBuf::from(p));
+            }
+            "--write-baseline" => write_baseline = true,
+            "--explain" => {
+                let Some(rule) = argv.next() else {
+                    return usage("--explain requires a rule name");
+                };
+                return match hopspan_lint::rules::explain(&rule) {
+                    Some(text) => {
+                        println!("{rule}\n\n{text}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!(
+                            "hopspan-lint: unknown rule `{rule}`; known rules: {}",
+                            hopspan_lint::rules::CODE_RULES.join(", ")
+                        );
+                        ExitCode::from(2)
+                    }
+                };
+            }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown argument `{other}`")),
         }
+    }
+    if write_baseline && baseline_path.is_none() {
+        return usage("--write-baseline requires --baseline <path>");
     }
 
     let root = match root {
@@ -61,24 +100,110 @@ fn main() -> ExitCode {
         }
     };
 
-    match format {
-        Format::Json => println!("{}", hopspan_lint::to_json(&findings)),
-        Format::Human => {
-            for f in &findings {
-                println!("{}", f.render());
+    // Resolve the baseline (relative paths are workspace-root-relative
+    // so CI and local runs agree regardless of cwd).
+    let baseline = match &baseline_path {
+        None => None,
+        Some(p) => {
+            let path = if p.is_absolute() { p.clone() } else { root.join(p) };
+            if write_baseline {
+                if let Err(e) = std::fs::write(&path, hopspan_lint::to_json(&findings)) {
+                    eprintln!("hopspan-lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+                eprintln!(
+                    "hopspan-lint: wrote {} finding(s) to {}",
+                    findings.len(),
+                    path.display()
+                );
             }
-            println!(
-                "hopspan-lint: {} finding{} across the workspace",
-                findings.len(),
-                if findings.len() == 1 { "" } else { "s" }
-            );
+            let src = match std::fs::read_to_string(&path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("hopspan-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match hopspan_lint::parse_findings_json(&src) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("hopspan-lint: bad baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let blocking: Vec<&hopspan_lint::Finding>;
+    match &baseline {
+        None => {
+            emit(format, &findings, findings.iter().collect(), &[]);
+            blocking = findings.iter().collect();
+        }
+        Some(base) => {
+            let diff = hopspan_lint::diff_against_baseline(&findings, base);
+            emit(format, &findings, diff.new.iter().collect(), &diff.grandfathered);
+            if !diff.resolved.is_empty() {
+                eprintln!(
+                    "hopspan-lint: {} baseline entr{} resolved — tighten the \
+                     baseline with --write-baseline",
+                    diff.resolved.len(),
+                    if diff.resolved.len() == 1 { "y" } else { "ies" }
+                );
+                for r in &diff.resolved {
+                    eprintln!("  resolved: {}:{}: [{}]", r.file, r.line, r.rule);
+                }
+            }
+            blocking = findings
+                .iter()
+                .filter(|f| {
+                    diff.new
+                        .iter()
+                        .any(|n| n.rule == f.rule && n.file == f.file && n.line == f.line)
+                })
+                .collect();
         }
     }
 
-    if deny_all && !findings.is_empty() {
+    if deny_all && !blocking.is_empty() {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Prints the findings report. `new` are the blocking findings (all of
+/// them when no baseline is in play); `grandfathered` are baselined.
+fn emit(
+    format: Format,
+    all: &[hopspan_lint::Finding],
+    new: Vec<&hopspan_lint::Finding>,
+    grandfathered: &[hopspan_lint::Finding],
+) {
+    match format {
+        Format::Json => println!("{}", hopspan_lint::to_json(all)),
+        Format::Human => {
+            for f in &new {
+                println!("{}", f.render());
+            }
+            for f in grandfathered {
+                println!("{} (baselined)", f.render());
+            }
+            println!(
+                "hopspan-lint: {} finding{} across the workspace{}",
+                all.len(),
+                if all.len() == 1 { "" } else { "s" },
+                if grandfathered.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        " ({} new, {} baselined)",
+                        new.len(),
+                        grandfathered.len()
+                    )
+                }
+            );
+        }
     }
 }
 
@@ -88,7 +213,8 @@ enum Format {
     Json,
 }
 
-const USAGE: &str = "usage: hopspan-lint [--root <path>] [--format human|json] [--deny-all]";
+const USAGE: &str = "usage: hopspan-lint [--root <path>] [--format human|json] [--deny-all] \
+                     [--baseline <path>] [--write-baseline] [--explain <rule>]";
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("hopspan-lint: {msg}\n{USAGE}");

@@ -46,11 +46,33 @@ pub const R8_BLOCKING_IO: &str = "blocking-io-on-query-path";
 /// elsewhere is a field the version gate cannot see and a silent
 /// format fork waiting to happen.
 pub const R9_UNVERSIONED_SERIALIZATION: &str = "unversioned-serialization";
+/// R10: no allocating construct (`Vec::new`, `.collect()`, `format!`,
+/// …) transitively reachable from a query entry point
+/// (`find_path*`/`route*`/`locate*`) through the workspace call graph.
+/// The per-file R6/R8 view sees only the entry function's own body;
+/// R10 statically shadows the counting-allocator runtime check by
+/// walking every callee, across crates.
+pub const R10_ALLOC_ON_QUERY_PATH: &str = "alloc-on-query-path";
+/// R11: every pair of locks must be acquired in one global order.
+/// Per-function acquisition sequences are propagated through the call
+/// graph; two functions observing opposite orders of the same pair are
+/// flagged at both sites as a potential deadlock.
+pub const R11_LOCK_ORDER_INVERSION: &str = "lock-order-inversion";
+/// R12: in decode functions of the store/serve crates, `+`/`*`/`<<`
+/// and bare `as` narrowing on values originating from
+/// `ByteReader`/frame reads must go through `checked_*`/`try_from` —
+/// a forged length or offset must land in a typed error, never in an
+/// overflow or truncation.
+pub const R12_UNCHECKED_ARITH: &str = "unchecked-arith-on-untrusted-input";
 /// Meta-rule: malformed `hopspan:allow` pragmas (never suppressible).
 pub const BAD_PRAGMA: &str = "bad-pragma";
+/// Meta-rule: a well-formed `hopspan:allow` that no longer suppresses
+/// any finding (the code it excused was fixed or moved). Stale allows
+/// are latent blind spots and must be deleted. Never suppressible.
+pub const STALE_PRAGMA: &str = "stale-pragma";
 
 /// All source-code rules (R4 is manifest-level and handled separately).
-pub const CODE_RULES: [&str; 8] = [
+pub const CODE_RULES: [&str; 11] = [
     R1_PANIC_IN_LIB,
     R2_NONDET_ITERATION,
     R3_FLOAT_EQ,
@@ -59,12 +81,15 @@ pub const CODE_RULES: [&str; 8] = [
     R7_SWALLOWED_RESULT,
     R8_BLOCKING_IO,
     R9_UNVERSIONED_SERIALIZATION,
+    R10_ALLOC_ON_QUERY_PATH,
+    R11_LOCK_ORDER_INVERSION,
+    R12_UNCHECKED_ARITH,
 ];
 
-/// Function-name prefixes that mark the hot query path (R6). Membership
-/// tests via `.contains(…)` are deliberately not flagged — a
+/// Function-name prefixes that mark the hot query path (R6, R8, R10).
+/// Membership tests via `.contains(…)` are deliberately not flagged — a
 /// `HashSet<usize>` fault set is O(1) per probe and order-free.
-const QUERY_FN_PREFIXES: [&str; 3] = ["find_path", "route", "locate"];
+pub const QUERY_FN_PREFIXES: [&str; 3] = ["find_path", "route", "locate"];
 
 /// Type names whose mere appearance in a query-path body marks
 /// blocking I/O (R8) — sockets and files, whether `use`-imported or
@@ -92,14 +117,44 @@ const ITER_METHODS: [&str; 9] = [
 ];
 
 /// A parsed `// hopspan:allow(<rule>) -- <reason>` pragma.
-struct Allow {
-    rule: String,
-    line: u32,
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule the pragma suppresses.
+    pub rule: String,
+    /// 1-based line the pragma sits on (it covers this line and the
+    /// next).
+    pub line: u32,
+}
+
+impl Allow {
+    /// Whether this pragma suppresses `f`: same rule, and the pragma
+    /// sits on the finding's line or the line directly above.
+    pub fn covers(&self, f: &Finding) -> bool {
+        self.rule == f.rule && (self.line == f.line || self.line + 1 == f.line)
+    }
+}
+
+/// Rules whose findings no pragma can silence: the meta-rules about
+/// the pragma layer itself.
+pub fn is_unsuppressible(rule: &str) -> bool {
+    rule == BAD_PRAGMA || rule == STALE_PRAGMA
 }
 
 /// Runs the requested source rules over one lexed file and applies
 /// suppression pragmas. `label` is the path reported in diagnostics.
 pub fn run_rules(label: &str, lexed: &Lexed, rules: &[&str]) -> Vec<Finding> {
+    let (mut findings, allows) = run_rules_raw(label, lexed, rules);
+    findings.retain(|f| is_unsuppressible(&f.rule) || !allows.iter().any(|a| a.covers(f)));
+    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
+    findings
+}
+
+/// Runs the requested source rules over one lexed file **without**
+/// applying suppression, returning the raw findings plus the parsed
+/// pragmas. The workspace engine uses this so pragmas can also cover
+/// interprocedural findings and so unused pragmas can be detected
+/// (`stale-pragma`).
+pub fn run_rules_raw(label: &str, lexed: &Lexed, rules: &[&str]) -> (Vec<Finding>, Vec<Allow>) {
     let toks = &lexed.tokens;
     let skip = test_ranges(toks);
     let in_test = |i: usize| skip.iter().any(|&(lo, hi)| i >= lo && i <= hi);
@@ -132,17 +187,14 @@ pub fn run_rules(label: &str, lexed: &Lexed, rules: &[&str]) -> Vec<Finding> {
     if rules.contains(&R9_UNVERSIONED_SERIALIZATION) {
         rule_unversioned_serialization(label, toks, &in_test, &mut findings);
     }
+    (findings, allows)
+}
 
-    // A pragma on line L suppresses same-rule findings on L and L+1
-    // (i.e. it may sit on the offending line or the line above).
-    findings.retain(|f| {
-        f.rule == BAD_PRAGMA
-            || !allows
-                .iter()
-                .any(|a| a.rule == f.rule && (a.line == f.line || a.line + 1 == f.line))
-    });
-    findings.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(&b.rule)));
-    findings
+/// Token-index ranges `#[cfg(test)]`/`#[test]` items cover in `toks`
+/// — re-exported for the symbol indexer, which applies the same
+/// exclusion.
+pub fn test_ranges_of(toks: &[Tok]) -> Vec<(usize, usize)> {
+    test_ranges(toks)
 }
 
 /// Extracts `hopspan:allow` pragmas from comments; malformed ones
@@ -712,6 +764,104 @@ fn rule_unversioned_serialization(
             });
         }
     }
+}
+
+/// Long-form documentation for `--explain <rule>`: what the rule
+/// checks, why it exists, and how to fix or suppress a finding.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        R1_PANIC_IN_LIB => {
+            "R1 panic-in-lib: library crates must propagate typed errors instead of\n\
+             panicking (`unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`). The\n\
+             workspace contract is panic-free serving; a panic in a worker thread\n\
+             turns into `WorkerPanicked` at best, an abort at worst.\n\
+             Fix: return a typed error. Suppress: a reasoned hopspan:allow when the\n\
+             invariant is proven by construction."
+        }
+        R2_NONDET_ITERATION => {
+            "R2 nondeterministic-iteration: no iteration over HashMap/HashSet on\n\
+             paths that materialize spanner edges, labels, or routes — iteration\n\
+             order would leak into the output and break bit-identical `H_X` builds.\n\
+             Fix: BTreeMap/BTreeSet or an explicit sort."
+        }
+        R3_FLOAT_EQ => {
+            "R3 float-eq: no `==`/`!=` against float expressions outside a\n\
+             documented exactness contract. Fix: epsilon comparison or a documented\n\
+             bit-exact helper."
+        }
+        R4_OFFLINE_DEPS => {
+            "R4 offline-deps: every manifest dependency must be a workspace path\n\
+             dep (vendored-compat policy; crates.io is unreachable in this\n\
+             environment). Fix: vendor under crates/compat-* and reference by path."
+        }
+        R5_PUB_UNDOCUMENTED => {
+            "R5 pub-undocumented: public items of the core/tree-spanner crates\n\
+             carry doc comments. Fix: write the doc comment."
+        }
+        R6_MAP_ON_QUERY_PATH => {
+            "R6 map-on-query-path: no keyed-container lookups (`.get(&…)`, `[&…]`,\n\
+             `.contains_key`) inside query-path functions — query tables are dense\n\
+             Vec/CSR layouts built at preprocessing time. Fix: densify the table."
+        }
+        R7_SWALLOWED_RESULT => {
+            "R7 swallowed-result: no `let _ = <call>;` in library crates —\n\
+             discarding a call's result swallows the typed errors R1 depends on.\n\
+             Fix: bind a name, `?` the error, or match on it."
+        }
+        R8_BLOCKING_IO => {
+            "R8 blocking-io-on-query-path: no sockets, files, or `.lock(…)` inside\n\
+             query-path functions; queries are microsecond-scale pure reads. The\n\
+             serve dispatcher owns sockets and queue locks and is exempt by crate."
+        }
+        R9_UNVERSIONED_SERIALIZATION => {
+            "R9 unversioned-serialization: no raw to_le_bytes/from_le_bytes in the\n\
+             store crate outside src/section.rs — every snapshot byte flows through\n\
+             the versioned ByteWriter/ByteReader codec so the format version and\n\
+             whole-file checksum cover it."
+        }
+        R10_ALLOC_ON_QUERY_PATH => {
+            "R10 alloc-on-query-path: no allocating construct (Vec::new,\n\
+             with_capacity, collect, to_vec, format!, Box::new, String::from,\n\
+             vec!) transitively reachable from a query entry point (find_path*/\n\
+             route*/locate*) through the workspace call graph. This statically\n\
+             shadows the counting-allocator runtime check: the graph walks every\n\
+             callee, across crates, so a Vec::new two calls below find_path_into\n\
+             is found at analysis time. Resolution is conservative name-level\n\
+             matching — false positives are expected and answered with a reasoned\n\
+             hopspan:allow at the allocation site.\n\
+             Fix: hoist the allocation into caller-owned scratch (*_into family)."
+        }
+        R11_LOCK_ORDER_INVERSION => {
+            "R11 lock-order-inversion: every pair of locks must be acquired in one\n\
+             global order. Per-function Mutex/RwLock acquisition sequences\n\
+             (including the lock_resilient wrapper) are propagated through the\n\
+             call graph; functions observing opposite orders of a pair are flagged\n\
+             at both sites. Over-approximations: a lock is assumed held until its\n\
+             function returns, and lock identity is the last path identifier —\n\
+             two mutexes sharing a field name collide (rename one; grep-auditable\n\
+             naming is the point).\n\
+             Fix: pick one global acquisition order and restructure."
+        }
+        R12_UNCHECKED_ARITH => {
+            "R12 unchecked-arith-on-untrusted-input: in decode functions of the\n\
+             store/serve crates (decode_*/read_*/get_* names, ByteReader/FrameView\n\
+             signatures), raw `+`/`*`/`<<` and bare `as` narrowing on values\n\
+             originating from untrusted bytes must go through checked_*/try_from\n\
+             with a typed error. A forged length or offset must never overflow,\n\
+             truncate, or drive an attacker-sized allocation.\n\
+             Fix: checked_add/checked_mul/usize::try_from + typed error."
+        }
+        BAD_PRAGMA => {
+            "bad-pragma (meta): a hopspan:allow pragma that is malformed — missing\n\
+             rule, unknown rule, or missing `-- <reason>`. Never suppressible."
+        }
+        STALE_PRAGMA => {
+            "stale-pragma (meta): a well-formed hopspan:allow that no longer\n\
+             suppresses any finding — the code it excused was fixed or moved.\n\
+             Stale allows are latent blind spots; delete them. Never suppressible."
+        }
+        _ => return None,
+    })
 }
 
 /// R8: flags blocking I/O and lock acquisition inside query-path

@@ -1,0 +1,263 @@
+//! The workspace symbol index: every `fn` item of the library crates,
+//! with its crate, file, name, impl owner and body token range.
+//!
+//! Built on the hand-rolled lexer (no `syn`, no crates.io), the index
+//! is deliberately *name-level*: it does not resolve paths, generics
+//! or trait dispatch. The call-graph layer on top compensates by
+//! over-approximating — a call edge goes to every function the name
+//! could plausibly mean. See DESIGN.md §7 for the conservatism policy.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One indexed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnSym {
+    /// Name of the crate the function lives in (`hopspan-…`).
+    pub crate_name: String,
+    /// Diagnostic label of the defining file.
+    pub file: String,
+    /// The function's bare name (`find_path_into`, `lock`, …).
+    pub name: String,
+    /// The surrounding `impl` block's type name, when the function is
+    /// a method or associated function (`ByteReader`, `Navigator`, …).
+    pub owner: Option<String>,
+    /// Whether the first parameter is (some form of) `self`.
+    pub has_self: bool,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token range `[sig_start, body_open)` of the signature, where
+    /// `sig_start` is the `fn` token's index.
+    pub sig: (usize, usize),
+    /// Inclusive token range of the `{ … }` body; `None` for bodyless
+    /// declarations (trait methods, extern items).
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnSym {
+    /// Parameter names of the signature (excluding `self`): identifiers
+    /// directly followed by `:` at parenthesis depth 1.
+    pub fn param_names(&self, toks: &[Tok]) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut depth = 0usize;
+        let mut i = self.sig.0;
+        while i < self.sig.1 {
+            match toks[i].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                ":" if depth == 1 => {
+                    if let Some(p) = i.checked_sub(1) {
+                        let t = &toks[p];
+                        if t.kind == TokKind::Ident && t.text != "self" {
+                            names.push(t.text.clone());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        names
+    }
+
+    /// Whether the signature mentions any of `types` (e.g. a
+    /// `&mut ByteReader` parameter).
+    pub fn sig_mentions(&self, toks: &[Tok], types: &[&str]) -> bool {
+        toks[self.sig.0..self.sig.1]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && types.contains(&t.text.as_str()))
+    }
+}
+
+/// The whole-workspace function index.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Every indexed function, in (file, token) order.
+    pub fns: Vec<FnSym>,
+    /// Name → indices into [`SymbolIndex::fns`].
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolIndex {
+    /// Adds every non-test `fn` item of one lexed file to the index.
+    /// `test_ranges` are the token ranges `#[cfg(test)]`/`#[test]`
+    /// items cover (the same exclusion the per-file rules use).
+    pub fn index_file(
+        &mut self,
+        crate_name: &str,
+        label: &str,
+        lexed: &Lexed,
+        test_ranges: &[(usize, usize)],
+    ) {
+        let toks = &lexed.tokens;
+        let in_test = |i: usize| test_ranges.iter().any(|&(lo, hi)| i >= lo && i <= hi);
+        let impls = impl_blocks(toks);
+        let mut i = 0;
+        while i < toks.len() {
+            let t = &toks[i];
+            if in_test(i) || t.kind != TokKind::Ident || t.text != "fn" {
+                i += 1;
+                continue;
+            }
+            // `fn` in a function-pointer type (`fn(usize) -> u8`) has no
+            // name; a declaration's name is the next identifier.
+            let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+                i += 1;
+                continue;
+            };
+            let (sig_end, body) = match fn_extent(toks, i + 2) {
+                Some(e) => e,
+                None => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let owner = impls
+                .iter()
+                .filter(|b| b.body.0 <= i && i <= b.body.1)
+                .min_by_key(|b| b.body.1 - b.body.0)
+                .map(|b| b.owner.clone());
+            let sym = FnSym {
+                crate_name: crate_name.to_string(),
+                file: label.to_string(),
+                name: name_tok.text.clone(),
+                owner,
+                has_self: first_param_is_self(toks, i + 2, sig_end),
+                line: t.line,
+                sig: (i, sig_end),
+                body,
+            };
+            self.by_name
+                .entry(sym.name.clone())
+                .or_default()
+                .push(self.fns.len());
+            self.fns.push(sym);
+            i = body.map_or(sig_end, |(_, e)| e) + 1;
+        }
+    }
+
+    /// All functions whose name equals `name`.
+    pub fn named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// The extent of a `fn` item starting just after its name: the index
+/// of the token opening the body (`{`) or ending the declaration
+/// (`;`), plus the inclusive body range when there is one.
+#[allow(clippy::type_complexity)]
+fn fn_extent(toks: &[Tok], from: usize) -> Option<(usize, Option<(usize, usize)>)> {
+    // Scan to the first `{` or `;` at brace/paren/bracket depth 0.
+    // Angle depth is ignored: `{` cannot appear inside generics in a
+    // signature, and where-clauses close before the body opens.
+    let mut depth = 0usize;
+    let mut j = from;
+    loop {
+        let t = toks.get(j)?;
+        match t.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => {
+                let close = matching_brace(toks, j)?;
+                return Some((j, Some((j, close))));
+            }
+            ";" if depth == 0 => return Some((j, None)),
+            _ => {}
+        }
+        j += 1;
+    }
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn first_param_is_self(toks: &[Tok], from: usize, to: usize) -> bool {
+    let Some(open) = toks[from..to.min(toks.len())]
+        .iter()
+        .position(|t| t.text == "(")
+        .map(|p| p + from)
+    else {
+        return false;
+    };
+    let mut j = open + 1;
+    while toks
+        .get(j)
+        .is_some_and(|t| matches!(t.text.as_str(), "&" | "mut") || t.kind == TokKind::Lifetime)
+    {
+        j += 1;
+    }
+    toks.get(j).is_some_and(|t| t.text == "self")
+}
+
+struct ImplBlock {
+    owner: String,
+    body: (usize, usize),
+}
+
+/// Every `impl` block of the file with its owner type: the last
+/// angle-depth-0 path identifier before the body's `{` — after `for`
+/// when present (`impl Trait for Type`), so trait impls resolve to the
+/// implementing type.
+fn impl_blocks(toks: &[Tok]) -> Vec<ImplBlock> {
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind != TokKind::Ident || toks[i].text != "impl" {
+            i += 1;
+            continue;
+        }
+        let mut angle = 0usize;
+        let mut owner: Option<String> = None;
+        let mut in_where = false;
+        let mut j = i + 1;
+        let mut open = None;
+        while let Some(t) = toks.get(j) {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle = angle.saturating_sub(1),
+                "{" if angle == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                "for" if angle == 0 => owner = None, // restart after `for`
+                "where" if angle == 0 => in_where = true,
+                _ if t.kind == TokKind::Ident && angle == 0 && !in_where => {
+                    // Skip keywords that can precede the type path.
+                    if !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "unsafe") {
+                        owner = Some(t.text.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let (Some(open), Some(owner)) = (open, owner) else {
+            i = j.max(i + 1);
+            continue;
+        };
+        if let Some(close) = matching_brace(toks, open) {
+            blocks.push(ImplBlock {
+                owner,
+                body: (open, close),
+            });
+        }
+        i = open + 1;
+    }
+    blocks
+}

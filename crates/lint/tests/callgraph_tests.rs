@@ -1,0 +1,235 @@
+//! Unit tests for the symbol index and the conservative call graph:
+//! resolution policy, cycles, method-name collisions, cross-crate
+//! edges, and lock/alloc event extraction.
+
+use std::collections::BTreeMap;
+
+use hopspan_lint::callgraph::{CallGraph, Event};
+use hopspan_lint::lexer::{self, Lexed, Tok};
+use hopspan_lint::rules::test_ranges_of;
+use hopspan_lint::symbols::SymbolIndex;
+
+/// Builds an index + graph over (crate, label, source) fixtures.
+fn build(files: &[(&str, &str, &str)]) -> (SymbolIndex, CallGraph, Vec<Lexed>) {
+    let lexed: Vec<Lexed> = files.iter().map(|(_, _, src)| lexer::lex(src)).collect();
+    let mut index = SymbolIndex::default();
+    for ((crate_name, label, _), lx) in files.iter().zip(&lexed) {
+        let ranges = test_ranges_of(&lx.tokens);
+        index.index_file(crate_name, label, lx, &ranges);
+    }
+    let tokens_of: BTreeMap<&str, &[Tok]> = files
+        .iter()
+        .zip(&lexed)
+        .map(|((_, label, _), lx)| (*label, lx.tokens.as_slice()))
+        .collect();
+    let graph = CallGraph::build(&index, &tokens_of);
+    (index, graph, lexed)
+}
+
+fn fn_idx(index: &SymbolIndex, name: &str) -> usize {
+    let hits = index.named(name);
+    assert_eq!(hits.len(), 1, "expected exactly one fn named {name}");
+    hits[0]
+}
+
+#[test]
+fn bare_calls_resolve_and_bfs_reaches_transitively() {
+    let (index, graph, _) = build(&[(
+        "hopspan-core",
+        "a.rs",
+        "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+    )]);
+    let top = fn_idx(&index, "top");
+    let leaf = fn_idx(&index, "leaf");
+    let reached: Vec<usize> = graph.reachable(top).iter().map(|&(f, _)| f).collect();
+    assert!(reached.contains(&leaf), "leaf must be transitively reachable");
+    assert_eq!(reached.len(), 3);
+}
+
+#[test]
+fn cycles_terminate_and_report_each_fn_once() {
+    let (index, graph, _) = build(&[(
+        "hopspan-core",
+        "cyc.rs",
+        "fn ping() { pong(); }\nfn pong() { ping(); }\n",
+    )]);
+    let ping = fn_idx(&index, "ping");
+    let reached = graph.reachable(ping);
+    assert_eq!(reached.len(), 2, "a 2-cycle reaches exactly 2 fns");
+    let chain = graph.chain(&index, &reached, fn_idx(&index, "pong"));
+    assert_eq!(chain, "ping -> pong");
+}
+
+#[test]
+fn method_name_collisions_over_approximate() {
+    // Two unrelated types both define `.refresh(&self)`; a method call
+    // cannot be typed at token level, so it must edge to both.
+    let (index, graph, _) = build(&[(
+        "hopspan-core",
+        "coll.rs",
+        "struct A; impl A { fn refresh(&self) {} }\n\
+         struct B; impl B { fn refresh(&self) { helper(); } }\n\
+         fn helper() {}\n\
+         fn caller(a: &A) { a.refresh(); }\n",
+    )]);
+    let caller = fn_idx(&index, "caller");
+    let helper = fn_idx(&index, "helper");
+    let reached: Vec<usize> = graph.reachable(caller).iter().map(|&(f, _)| f).collect();
+    assert!(
+        reached.contains(&helper),
+        "collision must conservatively reach B::refresh's callee"
+    );
+}
+
+#[test]
+fn cross_crate_edges_resolve_by_name() {
+    let (index, graph, _) = build(&[
+        (
+            "hopspan-routing",
+            "crates/routing/src/lib.rs",
+            "pub fn route_entry() { tree_walk(); }\n",
+        ),
+        (
+            "hopspan-treealg",
+            "crates/treealg/src/lib.rs",
+            "pub fn tree_walk() {}\n",
+        ),
+    ]);
+    let entry = fn_idx(&index, "route_entry");
+    let walk = fn_idx(&index, "tree_walk");
+    assert!(
+        graph.edges[entry].contains(&walk),
+        "bare-name resolution must cross crate boundaries"
+    );
+    assert_eq!(index.fns[walk].crate_name, "hopspan-treealg");
+}
+
+#[test]
+fn qualified_calls_resolve_exactly_or_not_at_all() {
+    let (index, graph, _) = build(&[(
+        "hopspan-core",
+        "qual.rs",
+        "struct Codec; impl Codec { fn decode() {} }\n\
+         struct Other; impl Other { fn decode() { fresh(); } }\n\
+         fn fresh() {}\n\
+         fn exact_call() { Codec::decode(); }\n\
+         fn derived_call() { Snapshot::default(); }\n",
+    )]);
+    // Exact owner match: only Codec::decode, never Other::decode.
+    let exact = fn_idx(&index, "exact_call");
+    let fresh = fn_idx(&index, "fresh");
+    let reached: Vec<usize> = graph.reachable(exact).iter().map(|&(f, _)| f).collect();
+    assert!(
+        !reached.contains(&fresh),
+        "Codec::decode must not edge into Other::decode"
+    );
+    // Unknown owner (a derived/std type): no edge at all.
+    let derived = fn_idx(&index, "derived_call");
+    assert!(
+        graph.edges[derived].is_empty(),
+        "a qualifier with no indexed impl must produce no edges"
+    );
+}
+
+#[test]
+fn self_qualifier_uses_the_callers_impl_owner() {
+    let (index, graph, _) = build(&[(
+        "hopspan-core",
+        "selfq.rs",
+        "struct Nav; impl Nav { fn build() { Self::seed(); } fn seed() {} }\n\
+         struct Imp; impl Imp { fn seed() {} }\n",
+    )]);
+    let build_fn = fn_idx(&index, "build");
+    let seeds = index.named("seed");
+    assert_eq!(seeds.len(), 2);
+    let nav_seed = *seeds
+        .iter()
+        .find(|&&s| index.fns[s].owner.as_deref() == Some("Nav"))
+        .unwrap();
+    assert_eq!(
+        graph.edges[build_fn],
+        vec![nav_seed],
+        "Self:: must resolve against the caller's own impl block"
+    );
+}
+
+#[test]
+fn alloc_ctors_are_sites_not_edges_and_user_new_still_resolves() {
+    let (index, graph, _) = build(&[(
+        "hopspan-core",
+        "alloc.rs",
+        "struct Pool; impl Pool { fn new() {} }\n\
+         fn make(n: usize) {\n\
+             let v = Vec::with_capacity(n);\n\
+             let p = Pool::new();\n\
+             let s = format!(\"x\");\n\
+         }\n",
+    )]);
+    let make = fn_idx(&index, "make");
+    let whats: Vec<&str> = graph.allocs[make].iter().map(|a| a.what.as_str()).collect();
+    assert_eq!(whats, ["Vec::with_capacity", "format!"]);
+    let pool_new = fn_idx(&index, "new");
+    assert!(
+        graph.edges[make].contains(&pool_new),
+        "a user type's `new` is a call edge, not an allocation"
+    );
+}
+
+#[test]
+fn lock_events_record_the_field_name_in_order() {
+    let (index, graph, _) = build(&[(
+        "hopspan-serve",
+        "locks.rs",
+        "struct S; impl S {\n\
+             fn seq(&self) {\n\
+                 let a = self.alpha.lock();\n\
+                 let b = lock_resilient(&self.beta);\n\
+             }\n\
+         }\n",
+    )]);
+    let seq = fn_idx(&index, "seq");
+    let locks: Vec<&str> = graph.events[seq]
+        .iter()
+        .filter_map(|e| match e {
+            Event::Lock { name, .. } => Some(name.as_str()),
+            Event::Call(_) => None,
+        })
+        .collect();
+    assert_eq!(locks, ["alpha", "beta"], "both .lock() and lock_resilient count");
+}
+
+#[test]
+fn test_code_is_excluded_from_the_index() {
+    let (index, _, _) = build(&[(
+        "hopspan-core",
+        "tested.rs",
+        "fn real() {}\n\
+         #[cfg(test)]\n\
+         mod tests {\n\
+             #[test]\n\
+             fn phantom() { super::real(); }\n\
+         }\n",
+    )]);
+    assert_eq!(index.named("real").len(), 1);
+    assert!(index.named("phantom").is_empty(), "#[cfg(test)] fns are invisible");
+}
+
+#[test]
+fn trait_impl_owner_is_the_implementing_type() {
+    let (index, _, _) = build(&[(
+        "hopspan-core",
+        "impls.rs",
+        "struct Wide<T> { x: T }\n\
+         impl<T> Iterator for Wide<T> where T: Clone {\n\
+             type Item = T;\n\
+             fn next(&mut self) -> Option<T> { None }\n\
+         }\n",
+    )]);
+    let next = fn_idx(&index, "next");
+    assert_eq!(
+        index.fns[next].owner.as_deref(),
+        Some("Wide"),
+        "owner must be the implementing type, not the trait or a where-clause ident"
+    );
+    assert!(index.fns[next].has_self);
+}

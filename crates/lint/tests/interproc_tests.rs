@@ -1,0 +1,309 @@
+//! Fixture tests for the interprocedural rules (R10–R12) and the
+//! stale-pragma audit, with exact `file:line` assertions — the rules
+//! are only useful if their anchors are predictable.
+
+use hopspan_lint::{analyze_files, Finding, WorkspaceFile};
+
+fn wf(crate_name: &str, label: &str, source: &str) -> WorkspaceFile {
+    WorkspaceFile {
+        crate_name: crate_name.to_string(),
+        label: label.to_string(),
+        source: source.to_string(),
+    }
+}
+
+/// `(rule, file, line)` triples of every finding, for exact matching.
+fn keys(findings: &[Finding]) -> Vec<(String, String, u32)> {
+    findings
+        .iter()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.line))
+        .collect()
+}
+
+#[test]
+fn r10_flags_a_transitive_alloc_with_the_call_chain() {
+    let files = [
+        wf(
+            "hopspan-routing",
+            "routing.rs",
+            "pub fn route_pair(n: usize) {\n\
+             \x20   helper(n);\n\
+             }\n",
+        ),
+        wf(
+            "hopspan-treealg",
+            "alg.rs",
+            "pub fn helper(n: usize) {\n\
+             \x20   let v = Vec::with_capacity(n);\n\
+             \x20   drop(v);\n\
+             }\n",
+        ),
+    ];
+    let findings = analyze_files(Vec::new(), &files);
+    assert_eq!(
+        keys(&findings),
+        [(
+            "alloc-on-query-path".to_string(),
+            "alg.rs".to_string(),
+            2
+        )]
+    );
+    assert!(
+        findings[0].message.contains("route_pair -> helper"),
+        "the message must carry the call chain: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn r10_ignores_allocs_unreachable_from_query_entries() {
+    let files = [wf(
+        "hopspan-routing",
+        "cold.rs",
+        "pub fn build_tables(n: usize) {\n\
+         \x20   let v = Vec::with_capacity(n);\n\
+         \x20   drop(v);\n\
+         }\n\
+         pub fn route_pair(_n: usize) {}\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    assert!(
+        findings.is_empty(),
+        "build-time allocation must not be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn r10_is_satisfied_by_a_reasoned_allow() {
+    let files = [wf(
+        "hopspan-routing",
+        "allowed.rs",
+        "pub fn route_pair(n: usize) {\n\
+         \x20   // hopspan:allow(alloc-on-query-path) -- output buffer, allocated once\n\
+         \x20   let v = Vec::with_capacity(n);\n\
+         \x20   drop(v);\n\
+         }\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    assert!(findings.is_empty(), "a reasoned allow must suppress R10: {findings:?}");
+}
+
+#[test]
+fn r11_flags_both_sides_of_a_direct_inversion() {
+    let files = [wf(
+        "hopspan-serve",
+        "locks.rs",
+        "struct S;\n\
+         impl S {\n\
+         \x20   fn submit(&self) {\n\
+         \x20       let a = self.alpha.lock();\n\
+         \x20       let b = self.beta.lock();\n\
+         \x20   }\n\
+         \x20   fn drain(&self) {\n\
+         \x20       let b = self.beta.lock();\n\
+         \x20       let a = self.alpha.lock();\n\
+         \x20   }\n\
+         }\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    assert_eq!(
+        keys(&findings),
+        [
+            (
+                "lock-order-inversion".to_string(),
+                "locks.rs".to_string(),
+                4
+            ),
+            (
+                "lock-order-inversion".to_string(),
+                "locks.rs".to_string(),
+                8
+            ),
+        ],
+        "both acquisition sites must be anchored: {findings:?}"
+    );
+}
+
+#[test]
+fn r11_sees_inversions_through_callees() {
+    let files = [wf(
+        "hopspan-serve",
+        "indirect.rs",
+        "struct S;\n\
+         impl S {\n\
+         \x20   fn submit(&self) {\n\
+         \x20       let a = self.alpha.lock();\n\
+         \x20       self.tail();\n\
+         \x20   }\n\
+         \x20   fn tail(&self) {\n\
+         \x20       let b = self.beta.lock();\n\
+         \x20   }\n\
+         \x20   fn drain(&self) {\n\
+         \x20       let b = self.beta.lock();\n\
+         \x20       let a = self.alpha.lock();\n\
+         \x20   }\n\
+         }\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    let k = keys(&findings);
+    assert!(
+        k.contains(&(
+            "lock-order-inversion".to_string(),
+            "indirect.rs".to_string(),
+            4
+        )),
+        "the (alpha, beta) order observed through a callee must be flagged: {findings:?}"
+    );
+    assert!(
+        k.contains(&(
+            "lock-order-inversion".to_string(),
+            "indirect.rs".to_string(),
+            11
+        )),
+        "the reverse order must be flagged at its own site: {findings:?}"
+    );
+}
+
+#[test]
+fn r11_stays_quiet_on_a_consistent_global_order() {
+    let files = [wf(
+        "hopspan-serve",
+        "ordered.rs",
+        "struct S;\n\
+         impl S {\n\
+         \x20   fn submit(&self) {\n\
+         \x20       let a = self.alpha.lock();\n\
+         \x20       let b = self.beta.lock();\n\
+         \x20   }\n\
+         \x20   fn drain(&self) {\n\
+         \x20       let a = self.alpha.lock();\n\
+         \x20       let b = self.beta.lock();\n\
+         \x20   }\n\
+         }\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    assert!(findings.is_empty(), "one global order is clean: {findings:?}");
+}
+
+#[test]
+fn r12_flags_unchecked_arith_and_narrowing_in_decode_fns() {
+    let files = [wf(
+        "hopspan-store",
+        "dec.rs",
+        "pub fn decode_header(p: &[u8]) -> usize {\n\
+         \x20   let len = p[0] as usize;\n\
+         \x20   let total = len * 4;\n\
+         \x20   let shifted = len << 2;\n\
+         \x20   total + shifted\n\
+         }\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    assert_eq!(
+        keys(&findings),
+        [
+            ("unchecked-arith-on-untrusted-input".to_string(), "dec.rs".to_string(), 2),
+            ("unchecked-arith-on-untrusted-input".to_string(), "dec.rs".to_string(), 3),
+            ("unchecked-arith-on-untrusted-input".to_string(), "dec.rs".to_string(), 4),
+            ("unchecked-arith-on-untrusted-input".to_string(), "dec.rs".to_string(), 5),
+        ],
+        "as-narrowing, *, << and + must each anchor to their own line: {findings:?}"
+    );
+}
+
+#[test]
+fn r12_classifies_reader_methods_by_impl_owner() {
+    // `fn take` matches no decode prefix; the ByteReader owner is what
+    // puts it in scope, and its parameters are untrusted seeds.
+    let files = [wf(
+        "hopspan-store",
+        "reader.rs",
+        "struct ByteReader { pos: usize }\n\
+         impl ByteReader {\n\
+         \x20   fn take(&mut self, n: usize) -> usize {\n\
+         \x20       let end = self.pos + n;\n\
+         \x20       end\n\
+         \x20   }\n\
+         }\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    assert_eq!(
+        keys(&findings),
+        [(
+            "unchecked-arith-on-untrusted-input".to_string(),
+            "reader.rs".to_string(),
+            4
+        )]
+    );
+}
+
+#[test]
+fn r12_does_not_taint_untouched_statements() {
+    let files = [wf(
+        "hopspan-store",
+        "clean.rs",
+        "pub fn decode_header(p: &[u8]) -> usize {\n\
+         \x20   let untainted = 2 + 2;\n\
+         \x20   drop(p);\n\
+         \x20   untainted\n\
+         }\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    assert!(
+        findings.is_empty(),
+        "arithmetic on constants must not be flagged: {findings:?}"
+    );
+}
+
+#[test]
+fn r12_exempts_non_decode_crates() {
+    let files = [wf(
+        "hopspan-treealg",
+        "math.rs",
+        "pub fn read_weights(p: &[u8]) -> usize {\n\
+         \x20   p.len() + 1\n\
+         }\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    assert!(findings.is_empty(), "R12 is scoped to store/serve: {findings:?}");
+}
+
+#[test]
+fn stale_pragmas_are_flagged_and_used_ones_are_not() {
+    let files = [wf(
+        "hopspan-treealg",
+        "pragmas.rs",
+        "pub fn quiet() -> usize {\n\
+         \x20   // hopspan:allow(panic-in-lib) -- nothing panics here anymore\n\
+         \x20   41\n\
+         }\n\
+         pub fn loud(v: &[usize]) -> usize {\n\
+         \x20   // hopspan:allow(panic-in-lib) -- length checked by the caller\n\
+         \x20   *v.first().unwrap()\n\
+         }\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    assert_eq!(
+        keys(&findings),
+        [("stale-pragma".to_string(), "pragmas.rs".to_string(), 2)],
+        "only the pragma that suppresses nothing is stale: {findings:?}"
+    );
+}
+
+#[test]
+fn stale_pragma_is_not_suppressible_by_itself() {
+    let files = [wf(
+        "hopspan-treealg",
+        "meta.rs",
+        "pub fn quiet() -> usize {\n\
+         \x20   // hopspan:allow(stale-pragma) -- please ignore the audit\n\
+         \x20   // hopspan:allow(panic-in-lib) -- nothing panics here\n\
+         \x20   41\n\
+         }\n",
+    )];
+    let findings = analyze_files(Vec::new(), &files);
+    let rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    assert!(
+        rules.contains(&"stale-pragma"),
+        "the audit itself cannot be silenced: {findings:?}"
+    );
+}

@@ -1,35 +1,73 @@
 //! The analyzer run against its own workspace: the hopspan repo must
 //! be lint-clean. This is the test CI's `hopspan-lint` job relies on —
-//! if a panic site, hash iteration, or undocumented public item sneaks
-//! into a policy crate, this fails with the exact diagnostics.
+//! if a panic site, hash iteration, undocumented public item, or
+//! query-path allocation sneaks into a policy crate, this fails with
+//! the exact diagnostics.
+//!
+//! The mutation-sensitivity tests are the proof the interprocedural
+//! rules actually guard anything: they re-analyze the real workspace
+//! with a deliberate regression spliced into a collected source and
+//! assert the engine catches it. If a refactor silently disconnects
+//! the call graph, these fail before the rules go blind in CI.
 
 use std::path::Path;
+use std::time::Instant;
+
+use hopspan_lint::{analyze_files, collect_workspace, Finding};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+}
+
+fn render_all(findings: &[Finding]) -> String {
+    findings
+        .iter()
+        .map(Finding::render)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
 
 #[test]
 fn workspace_is_lint_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/lint sits two levels below the workspace root");
-    let findings = hopspan_lint::analyze_workspace(root).expect("workspace analysis runs");
+    let findings =
+        hopspan_lint::analyze_workspace(workspace_root()).expect("workspace analysis runs");
     assert!(
         findings.is_empty(),
         "workspace has {} lint finding(s):\n{}",
         findings.len(),
-        findings
-            .iter()
-            .map(hopspan_lint::Finding::render)
-            .collect::<Vec<_>>()
-            .join("\n")
+        render_all(&findings)
     );
 }
 
 #[test]
+fn baseline_is_empty_and_nothing_is_grandfathered() {
+    // The ratchet starts fully tightened: the shipped baseline holds
+    // zero findings, so every future finding is "new" and blocking.
+    let root = workspace_root();
+    let baseline_src =
+        std::fs::read_to_string(root.join("lint-baseline.json")).expect("baseline exists");
+    let baseline =
+        hopspan_lint::parse_findings_json(&baseline_src).expect("baseline parses");
+    assert!(
+        baseline.is_empty(),
+        "the shipped baseline must stay empty; tighten instead of grandfathering: {baseline:?}"
+    );
+    let findings = hopspan_lint::analyze_workspace(root).expect("workspace analysis runs");
+    let diff = hopspan_lint::diff_against_baseline(&findings, &baseline);
+    assert!(
+        diff.new.is_empty(),
+        "non-baselined finding(s):\n{}",
+        render_all(&diff.new)
+    );
+    assert!(diff.resolved.is_empty(), "an empty baseline has nothing to resolve");
+}
+
+#[test]
 fn workspace_members_are_discovered() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root");
+    let root = workspace_root();
     let manifest = std::fs::read_to_string(root.join("Cargo.toml")).expect("root manifest");
     let members = hopspan_lint::toml_scan::workspace_members(root, &manifest);
     // The root package plus every crates/* member, lint included.
@@ -41,4 +79,146 @@ fn workspace_members_are_discovered() {
         members.len() > 8,
         "expected the root package and all crates/* members, got {members:?}"
     );
+}
+
+/// Splices `insert` into the collected copy of `label` right after the
+/// first occurrence of `anchor`, then re-analyzes the whole workspace.
+fn analyze_with_mutation(label: &str, anchor: &str, insert: &str) -> Vec<Finding> {
+    let (manifest_findings, mut files) =
+        collect_workspace(workspace_root()).expect("workspace collects");
+    let wf = files
+        .iter_mut()
+        .find(|f| f.label == label)
+        .unwrap_or_else(|| panic!("{label} is a collected workspace file"));
+    let at = wf
+        .source
+        .find(anchor)
+        .unwrap_or_else(|| panic!("anchor {anchor:?} exists in {label}"))
+        + anchor.len();
+    wf.source.insert_str(at, insert);
+    analyze_files(manifest_findings, &files)
+}
+
+#[test]
+fn r10_catches_an_alloc_spliced_into_a_query_hot_path() {
+    // Delete the scratch-reuse discipline in the 1-spanner navigator's
+    // `find_path_into` and the self-check must go red.
+    let findings = analyze_with_mutation(
+        "crates/tree-spanner/src/navigate.rs",
+        "out.clear();",
+        "\n        let spliced_regression = Vec::with_capacity(16);\n        drop(spliced_regression);",
+    );
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "alloc-on-query-path" && f.file == "crates/tree-spanner/src/navigate.rs"
+        }),
+        "the spliced allocation must be caught:\n{}",
+        render_all(&findings)
+    );
+}
+
+#[test]
+fn r11_catches_a_swapped_lock_order_spliced_into_the_dispatcher() {
+    // `run_job` takes the slot's `state` lock; grabbing the shard's
+    // `free` list around it reverses wait_raw's state-then-free order.
+    let findings = analyze_with_mutation(
+        "crates/serve/src/shard.rs",
+        "let slot = &shard.slots[job.slot as usize];",
+        "\n    let spliced_guard = lock_resilient(&shard.free);",
+    );
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "lock-order-inversion" && f.file == "crates/serve/src/shard.rs"
+        }),
+        "the spliced inversion must be caught:\n{}",
+        render_all(&findings)
+    );
+}
+
+#[test]
+fn r12_catches_unchecked_arith_spliced_into_a_decode_fn() {
+    let findings = analyze_with_mutation(
+        "crates/serve/src/wire.rs",
+        "let nf = usize::from(p[8]);",
+        "\n            let spliced_total = nf * 4 + 9;\n            drop(spliced_total);",
+    );
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "unchecked-arith-on-untrusted-input"
+                && f.file == "crates/serve/src/wire.rs"
+        }),
+        "the spliced unchecked arithmetic must be caught:\n{}",
+        render_all(&findings)
+    );
+}
+
+#[test]
+fn full_analysis_stays_fast_enough_for_ci() {
+    // The CI job budgets 5 seconds for the whole-workspace run (debug
+    // profile). Symbol indexing + call graph must not regress past it.
+    let t0 = Instant::now();
+    let findings =
+        hopspan_lint::analyze_workspace(workspace_root()).expect("workspace analysis runs");
+    let elapsed = t0.elapsed();
+    assert!(findings.is_empty(), "clean workspace expected");
+    assert!(
+        elapsed.as_secs_f64() < 5.0,
+        "whole-workspace analysis took {elapsed:?}, budget is 5s"
+    );
+}
+
+#[test]
+fn baseline_json_round_trips() {
+    let findings = vec![
+        Finding {
+            rule: "panic-in-lib".to_string(),
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            message: "don't \"panic\" — use\na typed\terror \\ instead".to_string(),
+        },
+        Finding {
+            rule: "lock-order-inversion".to_string(),
+            file: "crates/y/src/lib.rs".to_string(),
+            line: 4242,
+            message: String::new(),
+        },
+    ];
+    let json = hopspan_lint::to_json(&findings);
+    let back = hopspan_lint::parse_findings_json(&json).expect("own output parses");
+    assert_eq!(findings, back);
+}
+
+#[test]
+fn baseline_diff_buckets_by_rule_file_line() {
+    let f = |rule: &str, line: u32| Finding {
+        rule: rule.to_string(),
+        file: "a.rs".to_string(),
+        line,
+        message: "current wording".to_string(),
+    };
+    let current = vec![f("panic-in-lib", 1), f("float-eq", 2)];
+    let mut grandfathered = f("panic-in-lib", 1);
+    // Message drift must not un-grandfather a finding.
+    grandfathered.message = "older wording".to_string();
+    let baseline = vec![grandfathered, f("swallowed-result", 9)];
+    let diff = hopspan_lint::diff_against_baseline(&current, &baseline);
+    assert_eq!(diff.new.len(), 1);
+    assert_eq!(diff.new[0].rule, "float-eq");
+    assert_eq!(diff.grandfathered.len(), 1);
+    assert_eq!(diff.grandfathered[0].rule, "panic-in-lib");
+    assert_eq!(diff.resolved.len(), 1);
+    assert_eq!(diff.resolved[0].rule, "swallowed-result");
+}
+
+#[test]
+fn every_code_rule_has_an_explainer() {
+    for rule in hopspan_lint::rules::CODE_RULES {
+        assert!(
+            hopspan_lint::rules::explain(rule).is_some(),
+            "--explain {rule} must have prose"
+        );
+    }
+    assert!(hopspan_lint::rules::explain("stale-pragma").is_some());
+    assert!(hopspan_lint::rules::explain("bad-pragma").is_some());
+    assert!(hopspan_lint::rules::explain("no-such-rule").is_none());
 }

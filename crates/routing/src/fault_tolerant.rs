@@ -227,7 +227,7 @@ impl FtMetricRoutingScheme {
         faulty: &HashSet<usize>,
     ) -> Result<RouteTrace, RoutingError> {
         let mut trace = RouteTrace::default();
-        let mut order = Vec::with_capacity(self.trees.len());
+        let mut order = Vec::with_capacity(self.trees.len()); // hopspan:allow(alloc-on-query-path) -- convenience wrapper: allocates the caller-owned buffer once, then delegates to the *_into hot path
         self.route_avoiding_into(u, v, faulty, &mut trace, &mut order)?;
         Ok(trace)
     }
@@ -331,7 +331,7 @@ impl FtMetricRoutingScheme {
         policy: DegradationPolicy,
     ) -> Result<(RouteTrace, FtPathOutcome), RoutingError> {
         let mut trace = RouteTrace::default();
-        let mut order = Vec::with_capacity(self.trees.len());
+        let mut order = Vec::with_capacity(self.trees.len()); // hopspan:allow(alloc-on-query-path) -- convenience wrapper: allocates the caller-owned buffer once, then delegates to the *_into hot path
         let outcome =
             self.route_avoiding_policy_into(metric, u, v, faulty, policy, &mut trace, &mut order)?;
         Ok((trace, outcome))

@@ -370,7 +370,7 @@ impl MetricRoutingScheme {
             &self.net,
             u,
             v,
-            &HashSet::new(),
+            &HashSet::new(), // hopspan:allow(alloc-on-query-path) -- an empty HashSet never heap-allocates; this path routes with a vacuously empty fault set
             trace,
         )?;
         if self.selection == TreeSelection::MinDistanceLabel {

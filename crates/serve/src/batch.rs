@@ -47,7 +47,7 @@ struct QueueState {
 /// A bounded queue of requests with deadline-aware batch draining.
 #[derive(Debug)]
 pub struct BatchQueue {
-    state: Mutex<QueueState>,
+    pending: Mutex<QueueState>,
     arrived: Condvar,
 }
 
@@ -56,7 +56,7 @@ impl BatchQueue {
     /// reallocating.
     pub(crate) fn bounded(bound: usize) -> Self {
         BatchQueue {
-            state: Mutex::new(QueueState {
+            pending: Mutex::new(QueueState {
                 jobs: VecDeque::with_capacity(bound),
                 open: true,
             }),
@@ -68,7 +68,7 @@ impl BatchQueue {
     /// service is draining). Never blocks and never reallocates: the
     /// caller holds a slot, and slots bound the depth.
     pub(crate) fn push(&self, job: Job) -> bool {
-        let mut st = lock_resilient(&self.state);
+        let mut st = lock_resilient(&self.pending);
         if !st.open {
             return false;
         }
@@ -80,13 +80,13 @@ impl BatchQueue {
 
     /// The current queue depth (diagnostic; racy by nature).
     pub fn depth(&self) -> usize {
-        lock_resilient(&self.state).jobs.len()
+        lock_resilient(&self.pending).jobs.len()
     }
 
     /// Closes the queue: no further pushes are admitted, and workers
     /// return from [`BatchQueue::next_batch`] once the backlog drains.
     pub(crate) fn close(&self) {
-        lock_resilient(&self.state).open = false;
+        lock_resilient(&self.pending).open = false;
         self.arrived.notify_all();
     }
 
@@ -101,7 +101,7 @@ impl BatchQueue {
         out: &mut Vec<Job>,
     ) -> bool {
         out.clear();
-        let mut st = lock_resilient(&self.state);
+        let mut st = lock_resilient(&self.pending);
         loop {
             if st.jobs.len() >= max_batch {
                 break;

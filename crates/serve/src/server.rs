@@ -72,8 +72,9 @@ pub fn read_frame<R: Read>(stream: &mut R, body: &mut Vec<u8>) -> Result<bool, R
     if len > wire::MAX_FRAME {
         return Err(ReadFrameError::Oversized { len });
     }
+    let body_len = usize::try_from(len).map_err(|_| ReadFrameError::Oversized { len })?;
     body.clear();
-    body.resize(len as usize, 0);
+    body.resize(body_len, 0);
     stream.read_exact(body).map_err(ReadFrameError::Io)?;
     Ok(true)
 }

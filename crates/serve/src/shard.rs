@@ -70,7 +70,6 @@ fn lock_resilient<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// mapping it to one shard (as this function once did) would let a
 /// misconfigured caller route queries to a shard that does not exist.
 pub fn shard_of_point(point: u32, shards: usize) -> usize {
-    // hopspan:allow(panic-in-lib) -- documented precondition; ServeConfig validation rejects shards == 0 before any dispatch
     assert!(shards > 0, "shard_of_point requires shards >= 1");
     let h = crate::wire::fnv1a(&point.to_le_bytes());
     (h % shards as u64) as usize

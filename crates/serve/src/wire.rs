@@ -289,14 +289,16 @@ pub fn encode_request_into(request_id: u64, op: &Op, out: &mut Vec<u8>) {
 }
 
 fn read_u32(b: &[u8], at: usize) -> Result<u32, WireError> {
-    b.get(at..at + 4)
+    at.checked_add(4)
+        .and_then(|end| b.get(at..end))
         .and_then(|s| s.try_into().ok())
         .map(u32::from_le_bytes)
         .ok_or(WireError::BadPayload)
 }
 
 fn read_u64(b: &[u8], at: usize) -> Result<u64, WireError> {
-    b.get(at..at + 8)
+    at.checked_add(8)
+        .and_then(|end| b.get(at..end))
         .and_then(|s| s.try_into().ok())
         .map(u64::from_le_bytes)
         .ok_or(WireError::BadPayload)
@@ -336,14 +338,18 @@ pub fn decode_request(frame: &FrameView<'_>) -> Result<Op, WireError> {
             if p.len() < 9 {
                 return Err(WireError::BadPayload);
             }
-            let nf = p[8] as usize;
+            let nf = usize::from(p[8]);
             if nf > crate::MAX_WIRE_FAULTS {
                 return Err(WireError::BadPayload);
             }
-            exact(9 + 4 * nf)?;
+            let want = nf
+                .checked_mul(4)
+                .and_then(|n| n.checked_add(9))
+                .ok_or(WireError::BadPayload)?;
+            exact(want)?;
             let mut ids = [0u32; crate::MAX_WIRE_FAULTS];
-            for (i, slot) in ids.iter_mut().enumerate().take(nf) {
-                *slot = read_u32(p, 9 + 4 * i)?;
+            for (slot, raw) in ids.iter_mut().zip(p[9..want].chunks_exact(4)) {
+                *slot = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]);
             }
             let faults = FaultSet::new(&ids[..nf]).map_err(|_| WireError::BadPayload)?;
             Ok(Op::RouteAvoiding {
@@ -472,12 +478,15 @@ pub fn decode_response(frame: &FrameView<'_>) -> Result<Response, WireError> {
     let p = frame.payload;
     match frame.status {
         status::OK if frame.opcode == opcode::STATS => {
-            if p.len() != 8 * MetricsSnapshot::WIRE_FIELDS {
+            let mut chunks = p.chunks_exact(8);
+            if chunks.len() != MetricsSnapshot::WIRE_FIELDS || !chunks.remainder().is_empty() {
                 return Err(WireError::BadPayload);
             }
             let mut fields = [0u64; MetricsSnapshot::WIRE_FIELDS];
-            for (i, f) in fields.iter_mut().enumerate() {
-                *f = read_u64(p, 8 * i)?;
+            for (f, raw) in fields.iter_mut().zip(&mut chunks) {
+                *f = u64::from_le_bytes([
+                    raw[0], raw[1], raw[2], raw[3], raw[4], raw[5], raw[6], raw[7],
+                ]);
             }
             Ok(Response::Stats(MetricsSnapshot::from_wire_fields(&fields)))
         }
@@ -496,13 +505,17 @@ pub fn decode_response(frame: &FrameView<'_>) -> Result<Response, WireError> {
             }
             let reason = p[0];
             let stretch = f64::from_bits(read_u64(p, 1)?);
-            let len = read_u32(p, 9)? as usize;
-            if p.len() != 13 + 4 * len {
+            let len = usize::try_from(read_u32(p, 9)?).map_err(|_| WireError::BadPayload)?;
+            let want = len
+                .checked_mul(4)
+                .and_then(|n| n.checked_add(13))
+                .ok_or(WireError::BadPayload)?;
+            if p.len() != want {
                 return Err(WireError::BadPayload);
             }
             let mut path = Vec::with_capacity(len);
-            for i in 0..len {
-                path.push(read_u32(p, 13 + 4 * i)?);
+            for raw in p[13..want].chunks_exact(4) {
+                path.push(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]));
             }
             let outcome = if frame.status == status::OK {
                 QueryOutcome::Full

@@ -204,6 +204,7 @@ fn get_phi_node(r: &mut ByteReader<'_>, depth: usize) -> Result<PhiNodeParts, St
         None
     };
     let sub = if flags & 4 != 0 {
+        // hopspan:allow(unchecked-arith-on-untrusted-input) -- depth <= MAX_NAV_DEPTH here (checked by get_navigator before every call into this fn), so +1 cannot overflow
         Some(Box::new(get_navigator(r, depth + 1)?))
     } else {
         None

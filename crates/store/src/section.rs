@@ -122,14 +122,16 @@ impl<'a> ByteReader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
-        if self.remaining() < n {
-            return Err(StoreError::Truncated {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or(StoreError::Truncated {
                 need: n,
                 got: self.remaining(),
-            });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+            })?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
@@ -201,9 +203,9 @@ impl<'a> ByteReader<'a> {
             });
         }
         let mut bits = Vec::with_capacity(count);
-        for w in 0..words {
+        for _ in 0..words {
             let word = self.get_u64()?;
-            let in_word = (count - w * 64).min(64);
+            let in_word = (count - bits.len()).min(64);
             for b in 0..in_word {
                 bits.push(word >> b & 1 == 1);
             }

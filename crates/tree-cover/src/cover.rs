@@ -213,7 +213,7 @@ impl DominatingTree {
     /// The tree path (vertex ids) between the leaves of `p` and `q`.
     pub fn tree_path(&self, p: usize, q: usize) -> Option<Vec<usize>> {
         let (a, b) = (self.leaf_of(p)?, self.leaf_of(q)?);
-        Some(self.tree.path(a, b))
+        Some(self.tree.vertex_path(a, b))
     }
 
     /// Descendant leaves of vertex `v` (tree vertex ids, contiguous DFS

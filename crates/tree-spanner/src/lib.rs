@@ -262,7 +262,7 @@ impl TreeHopSpanner {
     /// Returns [`TreeSpannerError::NotRequired`] if an endpoint is out of
     /// range or not required.
     pub fn find_path(&self, u: usize, v: usize) -> Result<Vec<usize>, TreeSpannerError> {
-        let mut out = Vec::with_capacity(self.k + 1);
+        let mut out = Vec::with_capacity(self.k + 1); // hopspan:allow(alloc-on-query-path) -- convenience wrapper: allocates the caller-owned buffer once, then delegates to the *_into hot path
         self.find_path_into(u, v, &mut out)?;
         Ok(out)
     }

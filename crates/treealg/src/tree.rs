@@ -315,7 +315,7 @@ impl RootedTree {
 
     /// The unique tree path from `u` to `v` as a vertex sequence
     /// (inclusive). O(path length).
-    pub fn path(&self, u: usize, v: usize) -> Vec<usize> {
+    pub fn vertex_path(&self, u: usize, v: usize) -> Vec<usize> {
         // Walk both endpoints up to their LCA without auxiliary structures.
         let mut a = u;
         let mut b = v;
@@ -473,7 +473,7 @@ mod tests {
     fn singleton() {
         let t = RootedTree::from_edges(1, 0, &[]).unwrap();
         assert_eq!(t.len(), 1);
-        assert_eq!(t.path(0, 0), vec![0]);
+        assert_eq!(t.vertex_path(0, 0), vec![0]);
         assert_eq!(t.distance_slow(0, 0), 0.0);
     }
 
@@ -490,9 +490,9 @@ mod tests {
     #[test]
     fn paths_and_distances() {
         let t = sample();
-        assert_eq!(t.path(3, 4), vec![3, 1, 0, 2, 4]);
-        assert_eq!(t.path(3, 3), vec![3]);
-        assert_eq!(t.path(0, 4), vec![0, 2, 4]);
+        assert_eq!(t.vertex_path(3, 4), vec![3, 1, 0, 2, 4]);
+        assert_eq!(t.vertex_path(3, 3), vec![3]);
+        assert_eq!(t.vertex_path(0, 4), vec![0, 2, 4]);
         assert_eq!(t.distance_slow(3, 4), 8.0);
         assert_eq!(t.distance_slow(0, 3), 3.0);
     }

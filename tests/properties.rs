@@ -155,7 +155,7 @@ proptest! {
         for u in 0..n.min(10) {
             let v = (u * 17 + 5) % n;
             if u == v { continue; }
-            let path = tree.path(u, v);
+            let path = tree.vertex_path(u, v);
             let want = path.windows(2).map(|w| {
                 let c = if tree.parent(w[0]) == Some(w[1]) { w[0] } else { w[1] };
                 vals[c]
