@@ -1,0 +1,10 @@
+//! E26 runner: the self-healing serve layer under scripted shard
+//! outages — availability/p99 with {0, 1, 2} of 4 shards down, the
+//! timed quarantine→respawn→re-admission round trip, and the
+//! outage-only chaos campaign. Written to `BENCH_resilience.json`.
+//! Smoke variant: `HOPSPAN_E26_SMOKE=1`.
+
+fn main() {
+    println!("## E26: Resilience: availability under shard outages, recovery, outage campaign\n");
+    println!("{}", hopspan_bench::experiments::e26_resilience());
+}

@@ -21,7 +21,7 @@ use hopspan_metric::{
 use hopspan_routing::{FtMetricRoutingScheme, MetricRoutingScheme, RouteTrace, TreeRoutingScheme};
 use hopspan_serve::{
     quantile_from_counts, Backend as ServeBackend, BackendParams, DegradeCode, MetricsSnapshot, Op,
-    Pending, QueryOutcome, ServeConfig, ServeError, ShardedNavigator, LATENCY_BUCKETS,
+    Pending, QueryOutcome, ServeConfig, ServeError, ShardHealth, ShardedNavigator, LATENCY_BUCKETS,
 };
 use hopspan_store as store;
 use hopspan_tree_cover::{
@@ -145,6 +145,11 @@ pub fn all() -> Vec<Experiment> {
             "E25",
             "Snapshot boot: versioned `HSNP` store vs rebuild (hopspan-store)",
             e25_store,
+        ),
+        (
+            "E26",
+            "Resilience: availability under shard outages, recovery, outage campaign",
+            e26_resilience,
         ),
     ]
 }
@@ -2167,7 +2172,7 @@ fn e24_cell(
         // shedding.
         queue_depth: (cfg.clients * batch * 4).max(64),
         policy,
-        chaos_panic_period: None,
+        ..ServeConfig::default()
     };
     let engine =
         ShardedNavigator::shared(Arc::clone(backend), serve_cfg).expect("serve engine starts");
@@ -2233,7 +2238,7 @@ fn e24_overload_probe(backend: &Arc<ServeBackend>, policy: DegradationPolicy) ->
         batch_deadline: Duration::from_millis(40),
         queue_depth: depth,
         policy,
-        chaos_panic_period: None,
+        ..ServeConfig::default()
     };
     let engine =
         ShardedNavigator::shared(Arc::clone(backend), serve_cfg).expect("overload engine starts");
@@ -2685,5 +2690,383 @@ pub fn e25_store() -> String {
          close to the flat live footprint — the format stores the same \
          CSR arrays plus a fixed header/section-table overhead. \
          {json_note}\n\n{table}\n",
+    )
+}
+
+// --------------------------------------------------------------- E26
+
+/// E26 configuration (smoke variant: `HOPSPAN_E26_SMOKE=1`). The
+/// outage campaign stays ≥ 100 scenarios even in smoke — 4 kinds ×
+/// `outage_per_kind` is the floor the CI resilience-smoke job asserts.
+struct E26Cfg {
+    n: usize,
+    passes: usize,
+    outage_per_kind: usize,
+    smoke: bool,
+}
+
+impl E26Cfg {
+    fn from_env() -> Self {
+        let smoke = std::env::var("HOPSPAN_E26_SMOKE").is_ok();
+        if smoke {
+            E26Cfg {
+                n: 96,
+                passes: 6,
+                outage_per_kind: 25,
+                smoke,
+            }
+        } else {
+            E26Cfg {
+                n: 192,
+                passes: 16,
+                outage_per_kind: 30,
+                smoke,
+            }
+        }
+    }
+}
+
+/// One availability cell: `down` of 4 replicated shards scripted
+/// `Down` for the whole measured window.
+struct E26Cell {
+    down: usize,
+    queries: u64,
+    full: u64,
+    typed: u64,
+    availability: f64,
+    p99_us: f64,
+    failovers: u64,
+    ownership_restored: bool,
+}
+
+fn e26_cell(points: &hopspan_metric::EuclideanSpace, cfg: &E26Cfg, down: usize) -> E26Cell {
+    let engine = ShardedNavigator::replicated(
+        points,
+        &BackendParams::default(),
+        ServeConfig {
+            shards: 4,
+            workers_per_shard: 2,
+            max_batch: 8,
+            batch_deadline: Duration::from_micros(50),
+            queue_depth: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("replicated engine starts");
+    for d in 0..down {
+        engine.set_health(d, ShardHealth::Down);
+    }
+    let n = points.len() as u32;
+    let mut out = Vec::new();
+    // Warmup pass grows every reusable buffer; the measured window
+    // starts after it so the p99 prices the steady state.
+    for u in 0..n {
+        let _ = engine.call(Op::FindPath { u, v: (u + 7) % n }, &mut out);
+    }
+    let lat0 = engine.metrics().latency.counts();
+    let snap0 = engine.snapshot();
+    let (mut full, mut typed) = (0u64, 0u64);
+    for pass in 0..cfg.passes as u32 {
+        for u in 0..n {
+            // 3 + pass < n for every configuration, so v ≠ u always.
+            let v = (u + 3 + pass) % n;
+            match engine.call(Op::FindPath { u, v }, &mut out) {
+                Ok(QueryOutcome::Full) => full += 1,
+                Ok(_) | Err(_) => typed += 1,
+            }
+        }
+    }
+    let lat1 = engine.metrics().latency.counts();
+    let snap1 = engine.snapshot();
+    let mut window = [0u64; LATENCY_BUCKETS];
+    for i in 0..LATENCY_BUCKETS {
+        window[i] = lat1[i].saturating_sub(lat0[i]);
+    }
+    // Scripted outage over: restore the killed shards and check that
+    // recovery hands ownership straight back — failover is a pure
+    // function of the health configuration, nothing sticks.
+    for d in 0..down {
+        engine.set_health(d, ShardHealth::Healthy);
+    }
+    let ownership_restored = (0..n)
+        .map(|u| Op::FindPath { u, v: (u + 1) % n })
+        .all(|op| engine.dispatch_for(&op) == engine.shard_for(&op));
+    let queries = full + typed;
+    E26Cell {
+        down,
+        queries,
+        full,
+        typed,
+        availability: full as f64 / (queries as f64).max(1.0),
+        p99_us: quantile_from_counts(&window, 0.99) as f64 / 1e3,
+        failovers: snap1.failovers.saturating_sub(snap0.failovers),
+        ownership_restored,
+    }
+}
+
+/// The self-healing round trip, timed: an injected worker panic
+/// quarantines the (snapshot-booted, witness-armed) shard and the
+/// supervisor rebuilds it from disk and re-admits it through a probe.
+struct E26Recovery {
+    recovery_ms: f64,
+    respawns: u64,
+    down_events: u64,
+    readmitted: bool,
+}
+
+fn e26_recovery(points: &hopspan_metric::EuclideanSpace) -> E26Recovery {
+    let path = std::env::temp_dir().join(format!("hopspan-e26-{}.hsnp", std::process::id()));
+    let seed_engine = ShardedNavigator::replicated(
+        points,
+        &BackendParams::default(),
+        ServeConfig {
+            shards: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("seed engine starts");
+    seed_engine.set_snapshot_path(&path);
+    seed_engine.write_snapshot().expect("snapshot writes");
+    drop(seed_engine);
+
+    let engine = ShardedNavigator::replicated_from_snapshot(
+        &path,
+        ServeConfig {
+            shards: 1,
+            chaos_panic_period: Some(4),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("snapshot boot");
+    let n = points.len() as u32;
+    let mut out = Vec::new();
+    let mut started = None;
+    for i in 0..64u32 {
+        if let Err(ServeError::WorkerPanicked) = engine.call(
+            Op::FindPath {
+                u: i % n,
+                v: (i + 9) % n,
+            },
+            &mut out,
+        ) {
+            started = Some(Instant::now());
+            break;
+        }
+    }
+    let started = started.expect("chaos_panic_period must fire within 64 jobs");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut readmitted = false;
+    while Instant::now() < deadline {
+        if engine.snapshot().respawns >= 1 && engine.health(0) == ShardHealth::Healthy {
+            readmitted = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let recovery = started.elapsed();
+    let snap = engine.snapshot();
+    drop(engine);
+    let _ = std::fs::remove_file(&path);
+    E26Recovery {
+        recovery_ms: recovery.as_secs_f64() * 1e3,
+        respawns: snap.respawns,
+        down_events: snap.shard_down_events,
+        readmitted,
+    }
+}
+
+fn e26_json(
+    cells: &[E26Cell],
+    recovery: &E26Recovery,
+    report: &hopspan_chaos::CampaignReport,
+    tags: &[(String, usize, usize, usize)],
+    cfg: &E26Cfg,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E26\",\n");
+    out.push_str(&format!("  \"seed\": \"{:#x}\",\n", crate::SEED));
+    out.push_str(&format!("  \"smoke\": {},\n", cfg.smoke));
+    out.push_str("  \"availability\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards_down\": {}, \"queries\": {}, \"full\": {}, \
+             \"typed\": {}, \"availability\": {:.6}, \"p99_us\": {:.3}, \
+             \"failovers\": {}, \"ownership_restored\": {}}}{}\n",
+            c.down,
+            c.queries,
+            c.full,
+            c.typed,
+            c.availability,
+            c.p99_us,
+            c.failovers,
+            c.ownership_restored,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"recovery\": {{\"recovery_ms\": {:.3}, \"respawns\": {}, \
+         \"shard_down_events\": {}, \"readmitted\": {}}},\n",
+        recovery.recovery_ms, recovery.respawns, recovery.down_events, recovery.readmitted,
+    ));
+    out.push_str(&format!(
+        "  \"campaign\": {{\"scenarios\": {}, \"escaped_panics\": {}, \
+         \"violations\": {}, \"by_tag\": [\n",
+        report.scenarios.len(),
+        report.escaped_panics,
+        report.violations().len(),
+    ));
+    for (i, (tag, typed, survived, total)) in tags.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"tag\": \"{tag}\", \"typed\": {typed}, \"survived\": {survived}, \
+             \"total\": {total}}}{}\n",
+            if i + 1 < tags.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]}\n}\n");
+    out
+}
+
+/// E26: the self-healing serve layer under scripted shard outages.
+/// Availability and p99 with {0, 1, 2} of 4 replicated shards `Down`
+/// (failover must answer everything in full contract), the timed
+/// quarantine→respawn→re-admission round trip from an `HSNP`
+/// snapshot, and an outage-only chaos campaign
+/// (kill/slow/flapping/corrupt-respawn) that must finish with zero
+/// escaped panics and zero contract violations. Writes
+/// `BENCH_resilience.json` to the workspace root (override with
+/// `HOPSPAN_BENCH_OUT`). Smoke variant: `HOPSPAN_E26_SMOKE=1`.
+pub fn e26_resilience() -> String {
+    use hopspan_chaos::{run_campaign, CampaignConfig, ScenarioKind};
+    let cfg = E26Cfg::from_env();
+    let points = gen::uniform_points(cfg.n, 2, &mut rng(0xE26_0001));
+
+    let cells: Vec<E26Cell> = [0usize, 1, 2]
+        .iter()
+        .map(|&down| e26_cell(&points, &cfg, down))
+        .collect();
+    let recovery = e26_recovery(&points);
+
+    let campaign_cfg = CampaignConfig {
+        seed: crate::SEED,
+        scenarios_per_cell: 0,
+        corrupt_per_kind: 0,
+        panic_per_mode: 0,
+        serve_panic_scenarios: 0,
+        serve_wire_per_kind: 0,
+        snapshot_per_kind: 0,
+        outage_per_kind: cfg.outage_per_kind,
+        ..CampaignConfig::default()
+    };
+    let report = run_campaign(&campaign_cfg);
+    let tags = e23_tag_counts(&report, ScenarioKind::Outage);
+    let violations = report.violations();
+
+    // The acceptance gate: outages are absorbed, never escalated.
+    assert_eq!(
+        report.escaped_panics, 0,
+        "an outage scenario let a panic escape"
+    );
+    assert!(
+        violations.is_empty(),
+        "outage campaign produced contract violations: {violations:?}"
+    );
+    assert!(
+        report.scenarios.len() >= 100,
+        "the outage campaign must run ≥ 100 scenarios, got {}",
+        report.scenarios.len()
+    );
+    let one_down = &cells[1];
+    assert!(
+        one_down.availability >= 0.99,
+        "availability with 1/4 shards down must be ≥ 0.99, got {:.4}",
+        one_down.availability
+    );
+    assert!(
+        recovery.readmitted,
+        "the quarantined shard was not re-admitted to Healthy"
+    );
+
+    let json = e26_json(&cells, &recovery, &report, &tags, &cfg);
+    let out_path = std::env::var("HOPSPAN_BENCH_OUT").map_or_else(
+        |_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench sits two levels below the workspace root")
+                .join("BENCH_resilience.json")
+        },
+        std::path::PathBuf::from,
+    );
+    let json_note = match std::fs::write(&out_path, &json) {
+        Ok(()) => {
+            let shown = out_path.file_name().map_or_else(
+                || out_path.display().to_string(),
+                |f| f.to_string_lossy().into_owned(),
+            );
+            format!("Machine-readable results: `{shown}`.")
+        }
+        Err(e) => format!("(could not write {}: {e})", out_path.display()),
+    };
+
+    let cell_rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}/4", c.down),
+                c.queries.to_string(),
+                format!("{:.4}", c.availability),
+                format!("{:.1}", c.p99_us),
+                c.failovers.to_string(),
+                if c.ownership_restored { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    let cell_table = md_table(
+        &[
+            "shards down",
+            "queries",
+            "availability",
+            "p99 µs",
+            "failovers",
+            "ownership restored",
+        ],
+        &cell_rows,
+    );
+    let tag_rows: Vec<Vec<String>> = tags
+        .iter()
+        .map(|(tag, typed, survived, total)| {
+            vec![
+                tag.clone(),
+                typed.to_string(),
+                survived.to_string(),
+                total.to_string(),
+            ]
+        })
+        .collect();
+    let tag_table = md_table(
+        &["outage kind", "typed errors", "survived", "total"],
+        &tag_rows,
+    );
+
+    format!(
+        "Self-healing serve layer under scripted outages: with 1 and 2 \
+         of 4 replicated shards `Down`, every query owned by a dead \
+         shard fails over deterministically to a live replica \
+         (availability {:.4} and {:.4}; ≥ 0.99 required at 1/4), and \
+         restoring health hands ownership straight back. The timed \
+         self-healing round trip — injected worker panic, quarantine, \
+         supervisor rebuild from the `HSNP` snapshot behind the \
+         boot-fidelity witness, probe, re-admission — took {:.1} ms. \
+         The outage-only chaos campaign ({} scenarios: kill-shard, \
+         slow-shard, flapping, corrupt-respawn) finished with {} \
+         escaped panics and {} contract violations; a corrupt snapshot \
+         was never re-admitted. {json_note}\n\n{cell_table}\n{tag_table}\n",
+        cells[1].availability,
+        cells[2].availability,
+        recovery.recovery_ms,
+        report.scenarios.len(),
+        report.escaped_panics,
+        violations.len(),
     )
 }

@@ -30,6 +30,7 @@ use rand::rngs::Pcg32;
 use rand::Rng;
 
 use crate::corrupt::{corrupt_matrix, CorruptKind, PoisonedMetric};
+use crate::outage::{outage_points, outage_probe, OutageKind};
 use crate::panics::{panic_injection_scenario, PanicInjection, PanicOutcome};
 use crate::serve::{
     build_serve_backend, start_wire_server, wire_fault_probe, worker_panic_probe, WireFaultKind,
@@ -70,6 +71,9 @@ pub struct CampaignConfig {
     pub serve_wire_per_kind: usize,
     /// Corrupted-snapshot scenarios per [`crate::SnapshotFaultKind`].
     pub snapshot_per_kind: usize,
+    /// Shard-outage scenarios per [`crate::OutageKind`], against live
+    /// replicated engines (kill/slow/flapping/corrupt-respawn).
+    pub outage_per_kind: usize,
     /// Worker counts each panic scenario must agree across.
     pub panic_worker_counts: Vec<usize>,
     /// The §6 stretch bound in-contract queries must meet (the paper's
@@ -95,6 +99,7 @@ impl Default for CampaignConfig {
             serve_panic_scenarios: 6,
             serve_wire_per_kind: 4,
             snapshot_per_kind: 8,
+            outage_per_kind: 6,
             stretch_bound: 8.0,
         }
     }
@@ -117,6 +122,7 @@ impl CampaignConfig {
             serve_panic_scenarios: 4,
             serve_wire_per_kind: 2,
             snapshot_per_kind: 4,
+            outage_per_kind: 2,
             ..CampaignConfig::default()
         }
     }
@@ -129,6 +135,7 @@ impl CampaignConfig {
             + self.serve_panic_scenarios
             + WireFaultKind::ALL.len() * self.serve_wire_per_kind
             + SnapshotFaultKind::ALL.len() * self.snapshot_per_kind
+            + OutageKind::ALL.len() * self.outage_per_kind
     }
 }
 
@@ -149,6 +156,9 @@ pub enum ScenarioKind {
     ServePanic,
     /// A damaged `HSNP` snapshot file thrown at the store loader.
     CorruptSnapshot,
+    /// A scripted shard outage (kill/slow/flapping/corrupt-respawn)
+    /// against a live replicated engine.
+    Outage,
 }
 
 impl ScenarioKind {
@@ -161,6 +171,7 @@ impl ScenarioKind {
             ScenarioKind::PanicInjection => "panic-injection",
             ScenarioKind::ServePanic => "serve-panic",
             ScenarioKind::CorruptSnapshot => "corrupt-snapshot",
+            ScenarioKind::Outage => "outage",
         }
     }
 }
@@ -322,6 +333,9 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     run_panic_scenarios(cfg, &mut report, &mut id);
     run_serve_scenarios(cfg, &mut report, &mut id);
     run_snapshot_scenarios(cfg, &mut report, &mut id);
+    // Outage scenarios run LAST so every earlier family keeps its
+    // scenario ids — the golden degraded hash is pinned to them.
+    run_outage_scenarios(cfg, &mut report, &mut id);
     report
 }
 
@@ -725,6 +739,44 @@ fn corrupt_scenario(
     };
     out.detail = format!("{errors}/3 constructors rejected typed");
     out
+}
+
+/// Shard-outage scenarios against live replicated engines: scripted
+/// kills, wedged-slow shards, flapping and corrupt-snapshot respawns.
+/// Outage scenarios never produce `Degraded` outcomes (failover
+/// answers in full contract; refusals are typed), so the golden
+/// degraded hash is invariant to this family.
+fn run_outage_scenarios(cfg: &CampaignConfig, report: &mut CampaignReport, id: &mut usize) {
+    if cfg.outage_per_kind == 0 {
+        return;
+    }
+    let points = outage_points(cfg.n.max(16), cfg.seed);
+    for (ki, kind) in OutageKind::ALL.iter().enumerate() {
+        for rep in 0..cfg.outage_per_kind {
+            let mut rng = scenario_rng(cfg.seed, 7, ki as u64, rep as u64);
+            let template = ScenarioOutcome {
+                id: *id,
+                kind: ScenarioKind::Outage,
+                tag: kind.tag(),
+                f_budget: 0,
+                fault_count: 1,
+                outcome: OutcomeKind::Violation,
+                max_stretch: 1.0,
+                max_hops: 0,
+                detail: String::new(),
+            };
+            let points = &points;
+            contained(report, template.clone(), move || {
+                let (outcome, detail) = outage_probe(points, cfg.seed, *kind, &mut rng);
+                ScenarioOutcome {
+                    outcome,
+                    detail,
+                    ..template
+                }
+            });
+            *id += 1;
+        }
+    }
 }
 
 fn run_panic_scenarios(cfg: &CampaignConfig, report: &mut CampaignReport, id: &mut usize) {

@@ -26,6 +26,11 @@
 //!   checksum-valid-but-structurally-corrupt `HSNP` boot files thrown
 //!   at the `hopspan-store` loader; every one must be rejected with a
 //!   typed [`hopspan_store::StoreError`], never a panic.
+//! * **Shard outages** ([`OutageKind`]): scripted shard kills, wedged
+//!   slow shards, health flapping and corrupt-snapshot respawn attempts
+//!   against live replicated engines; replicated traffic must fail over
+//!   in full contract, demotions must be automatic, and a corrupt
+//!   snapshot must never be re-admitted.
 //!
 //! A campaign ([`run_campaign`]) is named by a single `u64` seed and is
 //! bit-replayable: the same seed yields the same scenarios, the same
@@ -39,6 +44,7 @@
 
 mod campaign;
 mod corrupt;
+mod outage;
 mod panics;
 mod serve;
 mod snapshot;
@@ -48,6 +54,7 @@ pub use campaign::{
     run_campaign, CampaignConfig, CampaignReport, OutcomeKind, ScenarioKind, ScenarioOutcome,
 };
 pub use corrupt::{corrupt_matrix, CorruptKind, PoisonedMetric};
+pub use outage::OutageKind;
 pub use panics::{panic_injection_scenario, PanicInjection, PanicOutcome};
 pub use serve::WireFaultKind;
 pub use snapshot::SnapshotFaultKind;

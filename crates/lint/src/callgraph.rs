@@ -221,7 +221,10 @@ fn scan_body(
         if prev == Some(".") {
             if name == "lock" || (matches!(name, "read" | "write") && receiver_is_lock(toks, i)) {
                 if let Some(lock) = receiver_name(toks, i) {
-                    g.events[f].push(Event::Lock { name: lock, line: t.line });
+                    g.events[f].push(Event::Lock {
+                        name: lock,
+                        line: t.line,
+                    });
                     i += 1;
                     continue;
                 }
@@ -260,7 +263,10 @@ fn scan_body(
             // call edge (edging into the wrapper would dissolve every
             // lock's identity into the wrapper's parameter name).
             if let Some(lock) = last_arg_ident(toks, i + 1) {
-                g.events[f].push(Event::Lock { name: lock, line: t.line });
+                g.events[f].push(Event::Lock {
+                    name: lock,
+                    line: t.line,
+                });
             }
             i += 1;
             continue;
@@ -280,28 +286,23 @@ fn receiver_name(toks: &[Tok], i: usize) -> Option<String> {
     // toks[i - 1] is `.`; the receiver's last segment sits before it,
     // possibly behind an index `[…]` or call `(…)` suffix.
     let mut j = i.checked_sub(2)?;
-    loop {
-        match toks[j].text.as_str() {
-            "]" | ")" => {
-                // Skip the bracketed suffix to its opener.
-                let close = toks[j].text.clone();
-                let open = if close == "]" { "[" } else { "(" };
-                let mut depth = 0usize;
-                loop {
-                    if toks[j].text == close {
-                        depth += 1;
-                    } else if toks[j].text == open {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    j = j.checked_sub(1)?;
+    while let "]" | ")" = toks[j].text.as_str() {
+        // Skip the bracketed suffix to its opener.
+        let close = toks[j].text.clone();
+        let open = if close == "]" { "[" } else { "(" };
+        let mut depth = 0usize;
+        loop {
+            if toks[j].text == close {
+                depth += 1;
+            } else if toks[j].text == open {
+                depth -= 1;
+                if depth == 0 {
+                    break;
                 }
-                j = j.checked_sub(1)?;
             }
-            _ => break,
+            j = j.checked_sub(1)?;
         }
+        j = j.checked_sub(1)?;
     }
     let t = &toks[j];
     (t.kind == TokKind::Ident).then(|| t.text.clone())
@@ -313,9 +314,8 @@ fn receiver_name(toks: &[Tok], i: usize) -> Option<String> {
 /// Socket/file `.read(…)`/`.write(…)` calls outnumber `RwLock` uses in
 /// this workspace, so the default is *not* a lock.
 fn receiver_is_lock(toks: &[Tok], i: usize) -> bool {
-    receiver_name(toks, i).is_some_and(|n| {
-        n.ends_with("_rw") || n.ends_with("_lock") || n == "rwlock"
-    })
+    receiver_name(toks, i)
+        .is_some_and(|n| n.ends_with("_rw") || n.ends_with("_lock") || n == "rwlock")
 }
 
 /// The last identifier inside the parenthesized argument list opening

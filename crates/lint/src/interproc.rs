@@ -32,9 +32,7 @@ const UNTRUSTED_READER_TYPES: [&str; 2] = ["ByteReader", "FrameView"];
 const DECODE_FN_PREFIXES: [&str; 3] = ["decode_", "read_", "get_"];
 
 /// Integer types an unchecked `as` cast can silently truncate into.
-const NARROW_CAST_TARGETS: [&str; 8] = [
-    "u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize",
-];
+const NARROW_CAST_TARGETS: [&str; 8] = ["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
 
 /// Runs R10 + R11 over the graph and R12 over the decode crates.
 pub fn run_interproc(

@@ -197,6 +197,7 @@ fn active_rules_for(crate_name: &str) -> Vec<&'static str> {
             rules::R2_NONDET_ITERATION,
             rules::R3_FLOAT_EQ,
             rules::R7_SWALLOWED_RESULT,
+            rules::R13_UNBOUNDED_RETRY,
         ]);
     }
     if DOC_POLICY_CRATES.contains(&crate_name) {
@@ -488,8 +489,7 @@ impl JsonParser {
                         't' => out.push('\t'),
                         'r' => out.push('\r'),
                         'u' => {
-                            let hex: String =
-                                self.chars.iter().skip(self.pos).take(4).collect();
+                            let hex: String = self.chars.iter().skip(self.pos).take(4).collect();
                             if hex.len() != 4 {
                                 return Err("truncated \\u escape".to_string());
                             }
@@ -543,9 +543,7 @@ impl JsonParser {
                 "message" => message = Some(self.string()?),
                 "line" => {
                     let n = self.number()?;
-                    line = Some(
-                        u32::try_from(n).map_err(|_| format!("line {n} out of range"))?,
-                    );
+                    line = Some(u32::try_from(n).map_err(|_| format!("line {n} out of range"))?);
                 }
                 other => return Err(format!("unexpected finding key {other:?}")),
             }

@@ -105,7 +105,11 @@ fn main() -> ExitCode {
     let baseline = match &baseline_path {
         None => None,
         Some(p) => {
-            let path = if p.is_absolute() { p.clone() } else { root.join(p) };
+            let path = if p.is_absolute() {
+                p.clone()
+            } else {
+                root.join(p)
+            };
             if write_baseline {
                 if let Err(e) = std::fs::write(&path, hopspan_lint::to_json(&findings)) {
                     eprintln!("hopspan-lint: cannot write {}: {e}", path.display());
@@ -134,15 +138,19 @@ fn main() -> ExitCode {
         }
     };
 
-    let blocking: Vec<&hopspan_lint::Finding>;
-    match &baseline {
+    let blocking: Vec<&hopspan_lint::Finding> = match &baseline {
         None => {
             emit(format, &findings, findings.iter().collect(), &[]);
-            blocking = findings.iter().collect();
+            findings.iter().collect()
         }
         Some(base) => {
             let diff = hopspan_lint::diff_against_baseline(&findings, base);
-            emit(format, &findings, diff.new.iter().collect(), &diff.grandfathered);
+            emit(
+                format,
+                &findings,
+                diff.new.iter().collect(),
+                &diff.grandfathered,
+            );
             if !diff.resolved.is_empty() {
                 eprintln!(
                     "hopspan-lint: {} baseline entr{} resolved — tighten the \
@@ -154,16 +162,16 @@ fn main() -> ExitCode {
                     eprintln!("  resolved: {}:{}: [{}]", r.file, r.line, r.rule);
                 }
             }
-            blocking = findings
+            findings
                 .iter()
                 .filter(|f| {
                     diff.new
                         .iter()
                         .any(|n| n.rule == f.rule && n.file == f.file && n.line == f.line)
                 })
-                .collect();
+                .collect()
         }
-    }
+    };
 
     if deny_all && !blocking.is_empty() {
         ExitCode::FAILURE
@@ -196,11 +204,7 @@ fn emit(
                 if grandfathered.is_empty() {
                     String::new()
                 } else {
-                    format!(
-                        " ({} new, {} baselined)",
-                        new.len(),
-                        grandfathered.len()
-                    )
+                    format!(" ({} new, {} baselined)", new.len(), grandfathered.len())
                 }
             );
         }

@@ -1,10 +1,10 @@
 //! The per-file rule engine: R1 `panic-in-lib`, R2
 //! `nondeterministic-iteration`, R3 `float-eq`, R5 `pub-undocumented`,
 //! R6 `map-on-query-path`, R7 `swallowed-result`, R8
-//! `blocking-io-on-query-path`, R9 `unversioned-serialization`, plus
-//! suppression-pragma validation (`bad-pragma`). R4 `offline-deps`
-//! lives in [`crate::toml_scan`] because it reads manifests, not Rust
-//! source.
+//! `blocking-io-on-query-path`, R9 `unversioned-serialization`, R13
+//! `unbounded-retry`, plus suppression-pragma validation
+//! (`bad-pragma`). R4 `offline-deps` lives in [`crate::toml_scan`]
+//! because it reads manifests, not Rust source.
 
 use std::collections::BTreeSet;
 
@@ -64,6 +64,15 @@ pub const R11_LOCK_ORDER_INVERSION: &str = "lock-order-inversion";
 /// a forged length or offset must land in a typed error, never in an
 /// overflow or truncation.
 pub const R12_UNCHECKED_ARITH: &str = "unchecked-arith-on-untrusted-input";
+/// R13: every loop that makes a retry-shaped call (an identifier
+/// containing `retry`/`backoff`/`resubmit` invoked as a function or
+/// method) must reference a budget identifier — one containing
+/// `deadline`/`budget`/`remaining`/`expires`/`timeout` — somewhere in
+/// its condition or body. A retry loop with no budget in sight spins
+/// forever when the fault is persistent and blows the caller's SLO
+/// when it is not; the workspace contract is deadline-budgeted
+/// retries only (`ServeConfig::retry_budget`).
+pub const R13_UNBOUNDED_RETRY: &str = "unbounded-retry";
 /// Meta-rule: malformed `hopspan:allow` pragmas (never suppressible).
 pub const BAD_PRAGMA: &str = "bad-pragma";
 /// Meta-rule: a well-formed `hopspan:allow` that no longer suppresses
@@ -72,7 +81,7 @@ pub const BAD_PRAGMA: &str = "bad-pragma";
 pub const STALE_PRAGMA: &str = "stale-pragma";
 
 /// All source-code rules (R4 is manifest-level and handled separately).
-pub const CODE_RULES: [&str; 11] = [
+pub const CODE_RULES: [&str; 12] = [
     R1_PANIC_IN_LIB,
     R2_NONDET_ITERATION,
     R3_FLOAT_EQ,
@@ -84,6 +93,7 @@ pub const CODE_RULES: [&str; 11] = [
     R10_ALLOC_ON_QUERY_PATH,
     R11_LOCK_ORDER_INVERSION,
     R12_UNCHECKED_ARITH,
+    R13_UNBOUNDED_RETRY,
 ];
 
 /// Function-name prefixes that mark the hot query path (R6, R8, R10).
@@ -186,6 +196,9 @@ pub fn run_rules_raw(label: &str, lexed: &Lexed, rules: &[&str]) -> (Vec<Finding
     }
     if rules.contains(&R9_UNVERSIONED_SERIALIZATION) {
         rule_unversioned_serialization(label, toks, &in_test, &mut findings);
+    }
+    if rules.contains(&R13_UNBOUNDED_RETRY) {
+        rule_unbounded_retry(label, toks, &in_test, &mut findings);
     }
     (findings, allows)
 }
@@ -766,6 +779,125 @@ fn rule_unversioned_serialization(
     }
 }
 
+/// Identifier fragments that mark a retry-shaped call (R13).
+const RETRY_CALL_FRAGMENTS: [&str; 3] = ["retry", "backoff", "resubmit"];
+/// Identifier fragments that prove a loop is budgeted (R13).
+const BUDGET_FRAGMENTS: [&str; 5] = ["deadline", "budget", "remaining", "expires", "timeout"];
+
+/// R13: flags loops that make retry-shaped calls without referencing
+/// a budget identifier anywhere in their extent. The check is
+/// innermost-wins: each retry call is charged to the tightest
+/// enclosing loop, and that loop's full extent — `while` condition,
+/// `for` iterator expression, body — must mention a budget name.
+fn rule_unbounded_retry(
+    label: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    // Loop extents as (keyword index, close-brace index). A `for` is
+    // only a loop when an `in` appears at bracket depth zero before
+    // the body brace — `impl X for Y {` and `for<'a>` bounds have
+    // none.
+    let mut loops: Vec<(usize, usize)> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let is_for = toks[i].text == "for";
+        if !is_for && toks[i].text != "loop" && toks[i].text != "while" {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut saw_in = false;
+        let mut j = i + 1;
+        let body_open = loop {
+            match toks.get(j) {
+                None => break None,
+                Some(t) => match t.text.as_str() {
+                    "{" if depth == 0 => break Some(j),
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        if depth == 0 {
+                            break None; // not a loop header after all
+                        }
+                        depth -= 1;
+                    }
+                    "in" if depth == 0 && t.kind == TokKind::Ident => saw_in = true,
+                    ";" if depth == 0 => break None,
+                    _ => {}
+                },
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else { continue };
+        if is_for && !saw_in {
+            continue;
+        }
+        let mut depth = 1usize;
+        let mut k = open + 1;
+        let close = loop {
+            match toks.get(k) {
+                None => break None,
+                Some(t) => match t.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break Some(k);
+                        }
+                    }
+                    _ => {}
+                },
+            }
+            k += 1;
+        };
+        if let Some(close) = close {
+            loops.push((i, close));
+        }
+    }
+
+    let mut flagged: BTreeSet<usize> = BTreeSet::new();
+    for i in 0..toks.len() {
+        if in_test(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let lower = toks[i].text.to_ascii_lowercase();
+        if !RETRY_CALL_FRAGMENTS.iter().any(|f| lower.contains(f))
+            || toks.get(i + 1).map(|t| t.text.as_str()) != Some("(")
+        {
+            continue;
+        }
+        // The tightest loop whose extent contains the call.
+        let Some(&(start, end)) = loops
+            .iter()
+            .filter(|&&(s, e)| s < i && i < e)
+            .max_by_key(|&&(s, _)| s)
+        else {
+            continue;
+        };
+        let budgeted = toks[start..=end].iter().any(|t| {
+            t.kind == TokKind::Ident && {
+                let id = t.text.to_ascii_lowercase();
+                BUDGET_FRAGMENTS.iter().any(|f| id.contains(f))
+            }
+        });
+        if !budgeted && flagged.insert(start) {
+            out.push(Finding {
+                rule: R13_UNBOUNDED_RETRY.to_string(),
+                file: label.to_string(),
+                line: toks[start].line,
+                message: format!(
+                    "loop makes a retry-shaped call (`{}`) but references no \
+                     deadline/budget identifier; bound it by a retry budget \
+                     or deadline",
+                    toks[i].text
+                ),
+            });
+        }
+    }
+}
+
 /// Long-form documentation for `--explain <rule>`: what the rule
 /// checks, why it exists, and how to fix or suppress a finding.
 pub fn explain(rule: &str) -> Option<&'static str> {
@@ -850,6 +982,17 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              with a typed error. A forged length or offset must never overflow,\n\
              truncate, or drive an attacker-sized allocation.\n\
              Fix: checked_add/checked_mul/usize::try_from + typed error."
+        }
+        R13_UNBOUNDED_RETRY => {
+            "R13 unbounded-retry: a loop that makes a retry-shaped call (an\n\
+             identifier containing retry/backoff/resubmit invoked as a call) must\n\
+             reference a budget identifier — deadline/budget/remaining/expires/\n\
+             timeout — in its condition or body. A budget-free retry loop spins\n\
+             forever under a persistent fault and blows the caller's SLO under a\n\
+             transient one; the workspace contract is deadline-budgeted retries\n\
+             (`ServeConfig::retry_budget`, monotonic Instant math).\n\
+             Fix: deduct every attempt from an explicit budget/deadline and stop\n\
+             when it runs out."
         }
         BAD_PRAGMA => {
             "bad-pragma (meta): a hopspan:allow pragma that is malformed — missing\n\

@@ -237,11 +237,13 @@ fn impl_blocks(toks: &[Tok]) -> Vec<ImplBlock> {
                 }
                 "for" if angle == 0 => owner = None, // restart after `for`
                 "where" if angle == 0 => in_where = true,
-                _ if t.kind == TokKind::Ident && angle == 0 && !in_where => {
-                    // Skip keywords that can precede the type path.
-                    if !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "unsafe") {
-                        owner = Some(t.text.clone());
-                    }
+                // Keywords that can precede the type path are skipped.
+                _ if t.kind == TokKind::Ident
+                    && angle == 0
+                    && !in_where
+                    && !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "unsafe") =>
+                {
+                    owner = Some(t.text.clone());
                 }
                 _ => {}
             }

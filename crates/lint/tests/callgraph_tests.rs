@@ -42,7 +42,10 @@ fn bare_calls_resolve_and_bfs_reaches_transitively() {
     let top = fn_idx(&index, "top");
     let leaf = fn_idx(&index, "leaf");
     let reached: Vec<usize> = graph.reachable(top).iter().map(|&(f, _)| f).collect();
-    assert!(reached.contains(&leaf), "leaf must be transitively reachable");
+    assert!(
+        reached.contains(&leaf),
+        "leaf must be transitively reachable"
+    );
     assert_eq!(reached.len(), 3);
 }
 
@@ -195,7 +198,11 @@ fn lock_events_record_the_field_name_in_order() {
             Event::Call(_) => None,
         })
         .collect();
-    assert_eq!(locks, ["alpha", "beta"], "both .lock() and lock_resilient count");
+    assert_eq!(
+        locks,
+        ["alpha", "beta"],
+        "both .lock() and lock_resilient count"
+    );
 }
 
 #[test]
@@ -211,7 +218,10 @@ fn test_code_is_excluded_from_the_index() {
          }\n",
     )]);
     assert_eq!(index.named("real").len(), 1);
-    assert!(index.named("phantom").is_empty(), "#[cfg(test)] fns are invisible");
+    assert!(
+        index.named("phantom").is_empty(),
+        "#[cfg(test)] fns are invisible"
+    );
 }
 
 #[test]

@@ -1,0 +1,100 @@
+//! Fixture for R13 `unbounded-retry`: loops making retry-shaped calls
+//! (`retry`/`backoff`/`resubmit` names invoked as calls) without a
+//! deadline/budget identifier in their extent are flagged; budgeted
+//! loops, retry-free loops, `impl … for …` blocks, allow-suppressed
+//! sites, and test modules stay silent.
+
+use std::time::{Duration, Instant};
+
+fn retry_send(x: u32) -> Result<(), u32> {
+    Err(x)
+}
+
+fn backoff_of(attempt: u32) -> Duration {
+    Duration::from_micros(u64::from(attempt))
+}
+
+fn spin_forever() {
+    loop {
+        if retry_send(1).is_ok() {
+            break;
+        }
+    }
+}
+
+fn while_unbudgeted(mut left: u32) {
+    while left > 0 {
+        let _d = backoff_of(left);
+        left -= 1;
+    }
+}
+
+fn for_unbudgeted(jobs: &[u32]) {
+    for j in jobs {
+        resubmit(*j);
+    }
+}
+
+fn resubmit(_j: u32) {}
+
+fn budgeted(budget: Duration) {
+    let started = Instant::now();
+    loop {
+        if retry_send(2).is_ok() || started.elapsed() >= budget {
+            break;
+        }
+    }
+}
+
+fn deadline_in_condition(deadline: Instant) {
+    while Instant::now() < deadline {
+        let _d = backoff_of(3);
+    }
+}
+
+fn excused() {
+    // hopspan:allow(unbounded-retry) -- bounded by the caller's watchdog
+    loop {
+        if retry_send(5).is_ok() {
+            break;
+        }
+    }
+}
+
+fn retry_free(xs: &[u32]) -> u32 {
+    let mut acc = 0;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}
+
+struct Wrapper(u32);
+
+trait Doing {
+    fn go(&self) -> u32;
+}
+
+impl Doing for Wrapper {
+    fn go(&self) -> u32 {
+        // The `for` above is a trait impl, not a loop header: this
+        // retry-shaped call must not be charged to it.
+        self.0 + retry_cost()
+    }
+}
+
+fn retry_cost() -> u32 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unbudgeted_retries_in_tests_are_exempt() {
+        loop {
+            if super::retry_send(9).is_ok() {
+                break;
+            }
+        }
+    }
+}

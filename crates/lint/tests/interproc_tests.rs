@@ -42,11 +42,7 @@ fn r10_flags_a_transitive_alloc_with_the_call_chain() {
     let findings = analyze_files(Vec::new(), &files);
     assert_eq!(
         keys(&findings),
-        [(
-            "alloc-on-query-path".to_string(),
-            "alg.rs".to_string(),
-            2
-        )]
+        [("alloc-on-query-path".to_string(), "alg.rs".to_string(), 2)]
     );
     assert!(
         findings[0].message.contains("route_pair -> helper"),
@@ -85,7 +81,10 @@ fn r10_is_satisfied_by_a_reasoned_allow() {
          }\n",
     )];
     let findings = analyze_files(Vec::new(), &files);
-    assert!(findings.is_empty(), "a reasoned allow must suppress R10: {findings:?}");
+    assert!(
+        findings.is_empty(),
+        "a reasoned allow must suppress R10: {findings:?}"
+    );
 }
 
 #[test]
@@ -182,7 +181,10 @@ fn r11_stays_quiet_on_a_consistent_global_order() {
          }\n",
     )];
     let findings = analyze_files(Vec::new(), &files);
-    assert!(findings.is_empty(), "one global order is clean: {findings:?}");
+    assert!(
+        findings.is_empty(),
+        "one global order is clean: {findings:?}"
+    );
 }
 
 #[test]
@@ -201,10 +203,26 @@ fn r12_flags_unchecked_arith_and_narrowing_in_decode_fns() {
     assert_eq!(
         keys(&findings),
         [
-            ("unchecked-arith-on-untrusted-input".to_string(), "dec.rs".to_string(), 2),
-            ("unchecked-arith-on-untrusted-input".to_string(), "dec.rs".to_string(), 3),
-            ("unchecked-arith-on-untrusted-input".to_string(), "dec.rs".to_string(), 4),
-            ("unchecked-arith-on-untrusted-input".to_string(), "dec.rs".to_string(), 5),
+            (
+                "unchecked-arith-on-untrusted-input".to_string(),
+                "dec.rs".to_string(),
+                2
+            ),
+            (
+                "unchecked-arith-on-untrusted-input".to_string(),
+                "dec.rs".to_string(),
+                3
+            ),
+            (
+                "unchecked-arith-on-untrusted-input".to_string(),
+                "dec.rs".to_string(),
+                4
+            ),
+            (
+                "unchecked-arith-on-untrusted-input".to_string(),
+                "dec.rs".to_string(),
+                5
+            ),
         ],
         "as-narrowing, *, << and + must each anchor to their own line: {findings:?}"
     );
@@ -264,7 +282,10 @@ fn r12_exempts_non_decode_crates() {
          }\n",
     )];
     let findings = analyze_files(Vec::new(), &files);
-    assert!(findings.is_empty(), "R12 is scoped to store/serve: {findings:?}");
+    assert!(
+        findings.is_empty(),
+        "R12 is scoped to store/serve: {findings:?}"
+    );
 }
 
 #[test]

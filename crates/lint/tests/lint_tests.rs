@@ -3,9 +3,9 @@
 //! exact `(rule, line)` diagnostics — nothing missing, nothing extra.
 
 use hopspan_lint::rules::{
-    BAD_PRAGMA, R1_PANIC_IN_LIB, R2_NONDET_ITERATION, R3_FLOAT_EQ, R4_OFFLINE_DEPS,
-    R5_PUB_UNDOCUMENTED, R6_MAP_ON_QUERY_PATH, R7_SWALLOWED_RESULT, R8_BLOCKING_IO,
-    R9_UNVERSIONED_SERIALIZATION,
+    BAD_PRAGMA, R13_UNBOUNDED_RETRY, R1_PANIC_IN_LIB, R2_NONDET_ITERATION, R3_FLOAT_EQ,
+    R4_OFFLINE_DEPS, R5_PUB_UNDOCUMENTED, R6_MAP_ON_QUERY_PATH, R7_SWALLOWED_RESULT,
+    R8_BLOCKING_IO, R9_UNVERSIONED_SERIALIZATION,
 };
 use hopspan_lint::{analyze_source, to_json, toml_scan, Finding};
 
@@ -123,6 +123,27 @@ fn swallowed_result_fixture_exact_lines() {
     // Silent by design: `let _ = lambda;` (bare identifier, no call),
     // the named `let ok = …` binding, the allow-suppressed send, and
     // the #[cfg(test)] module.
+}
+
+#[test]
+fn unbounded_retry_fixture_exact_lines() {
+    let src = include_str!("fixtures/unbounded_retry.rs");
+    let findings = analyze_source("fixtures/unbounded_retry.rs", src, &[R13_UNBOUNDED_RETRY]);
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (R13_UNBOUNDED_RETRY, 18), // loop { retry_send(1) … } with no budget
+            (R13_UNBOUNDED_RETRY, 26), // while left > 0 { backoff_of(left) … }
+            (R13_UNBOUNDED_RETRY, 33), // for j in jobs { resubmit(*j) }
+        ],
+        "got: {:#?}",
+        findings
+    );
+    // Silent by design: the `budget`-referencing loop, the
+    // `deadline`-conditioned while, the allow-suppressed loop, the
+    // retry-free for, the retry call under `impl Doing for Wrapper`
+    // (a trait impl is not a loop header), and the #[cfg(test)]
+    // module.
 }
 
 #[test]

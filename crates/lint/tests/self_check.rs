@@ -49,8 +49,7 @@ fn baseline_is_empty_and_nothing_is_grandfathered() {
     let root = workspace_root();
     let baseline_src =
         std::fs::read_to_string(root.join("lint-baseline.json")).expect("baseline exists");
-    let baseline =
-        hopspan_lint::parse_findings_json(&baseline_src).expect("baseline parses");
+    let baseline = hopspan_lint::parse_findings_json(&baseline_src).expect("baseline parses");
     assert!(
         baseline.is_empty(),
         "the shipped baseline must stay empty; tighten instead of grandfathering: {baseline:?}"
@@ -62,7 +61,10 @@ fn baseline_is_empty_and_nothing_is_grandfathered() {
         "non-baselined finding(s):\n{}",
         render_all(&diff.new)
     );
-    assert!(diff.resolved.is_empty(), "an empty baseline has nothing to resolve");
+    assert!(
+        diff.resolved.is_empty(),
+        "an empty baseline has nothing to resolve"
+    );
 }
 
 #[test]
@@ -123,13 +125,13 @@ fn r11_catches_a_swapped_lock_order_spliced_into_the_dispatcher() {
     // `free` list around it reverses wait_raw's state-then-free order.
     let findings = analyze_with_mutation(
         "crates/serve/src/shard.rs",
-        "let slot = &shard.slots[job.slot as usize];",
-        "\n    let spliced_guard = lock_resilient(&shard.free);",
+        "let slot = &ctx.shard.slots[job.slot as usize];",
+        "\n    let spliced_guard = lock_resilient(&ctx.shard.free);",
     );
     assert!(
-        findings.iter().any(|f| {
-            f.rule == "lock-order-inversion" && f.file == "crates/serve/src/shard.rs"
-        }),
+        findings
+            .iter()
+            .any(|f| { f.rule == "lock-order-inversion" && f.file == "crates/serve/src/shard.rs" }),
         "the spliced inversion must be caught:\n{}",
         render_all(&findings)
     );
@@ -144,8 +146,7 @@ fn r12_catches_unchecked_arith_spliced_into_a_decode_fn() {
     );
     assert!(
         findings.iter().any(|f| {
-            f.rule == "unchecked-arith-on-untrusted-input"
-                && f.file == "crates/serve/src/wire.rs"
+            f.rule == "unchecked-arith-on-untrusted-input" && f.file == "crates/serve/src/wire.rs"
         }),
         "the spliced unchecked arithmetic must be caught:\n{}",
         render_all(&findings)

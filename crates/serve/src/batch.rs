@@ -117,13 +117,20 @@ impl BatchQueue {
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
                 Some(oldest) => {
-                    let age = oldest.enqueued.elapsed();
-                    if age >= deadline || !st.open {
+                    // Saturating deadline math: a job enqueued with an
+                    // already-expired deadline (age ≥ deadline, or an
+                    // `enqueued` stamp far in the past) must flush
+                    // immediately — never underflow into a panic or a
+                    // huge wait.
+                    let remaining = deadline
+                        .checked_sub(oldest.enqueued.elapsed())
+                        .unwrap_or(Duration::ZERO);
+                    if remaining.is_zero() || !st.open {
                         break;
                     }
                     let (guard, _timeout) = self
                         .arrived
-                        .wait_timeout(st, deadline - age)
+                        .wait_timeout(st, remaining)
                         .unwrap_or_else(std::sync::PoisonError::into_inner);
                     st = guard;
                 }
@@ -174,6 +181,34 @@ mod tests {
         let mut out = Vec::new();
         assert!(q.next_batch(64, Duration::from_millis(20), &mut out));
         assert_eq!(out.len(), 1, "the deadline must flush a partial batch");
+    }
+
+    #[test]
+    fn a_deadline_already_in_the_past_flushes_instead_of_panicking() {
+        // A job stamped long before `next_batch` runs (e.g. a worker
+        // that fell behind by seconds) has age ≫ deadline; the drain
+        // must flush it immediately through the saturating path.
+        let Some(stale) = Instant::now().checked_sub(Duration::from_secs(10)) else {
+            return; // platform clock too young to back-date; nothing to pin
+        };
+        let q = BatchQueue::bounded(8);
+        assert!(q.push(Job {
+            slot: 0,
+            op: Op::Stats,
+            enqueued: stale,
+        }));
+        let mut out = Vec::new();
+        let t0 = Instant::now();
+        assert!(q.next_batch(64, Duration::from_millis(1), &mut out));
+        assert_eq!(out.len(), 1, "an expired deadline must flush, not wait");
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "the expired-deadline flush must be immediate"
+        );
+        // Zero-duration deadline on a fresh job: same saturating path.
+        assert!(q.push(job(1)));
+        assert!(q.next_batch(64, Duration::ZERO, &mut out));
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -42,18 +42,21 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod health;
 mod metrics;
 pub mod server;
 mod shard;
 pub mod wire;
 
 pub use batch::BatchQueue;
+pub use health::{HealthCell, HealthPolicy, ShardHealth};
 pub use metrics::{
     quantile_from_counts, LatencyHistogram, MetricsSnapshot, ServeMetrics, LATENCY_BUCKETS,
 };
 pub use server::{read_frame, Server, ServerHandle};
 pub use shard::{
-    shard_of_point, Backend, BackendParams, BuildError, Pending, ServeConfig, ShardedNavigator,
+    retry_backoff, shard_of_point, Backend, BackendParams, BuildError, Pending, ServeConfig,
+    ShardedNavigator,
 };
 
 use hopspan_core::DegradeReason;
@@ -192,6 +195,10 @@ pub enum DegradeCode {
     NoSurvivingTree,
     /// Served inline past the admission limit.
     Overload,
+    /// Served inline because the owning shard is `Down` (shared-mode
+    /// best-effort failover; the path itself may be in contract, but
+    /// the shard that should have batched it is quarantined).
+    ShardDown,
 }
 
 impl DegradeCode {
@@ -202,6 +209,7 @@ impl DegradeCode {
             DegradeCode::Uncovered => 2,
             DegradeCode::NoSurvivingTree => 3,
             DegradeCode::Overload => 4,
+            DegradeCode::ShardDown => 5,
         }
     }
 
@@ -212,6 +220,7 @@ impl DegradeCode {
             2 => Some(DegradeCode::Uncovered),
             3 => Some(DegradeCode::NoSurvivingTree),
             4 => Some(DegradeCode::Overload),
+            5 => Some(DegradeCode::ShardDown),
             _ => None,
         }
     }

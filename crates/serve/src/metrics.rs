@@ -92,6 +92,19 @@ pub struct ServeMetrics {
     /// Jobs carried by those flushes (`batched_jobs / batches` = mean
     /// realized batch size).
     pub batched_jobs: AtomicU64,
+    /// Requests re-routed away from a `Down` owner shard.
+    pub failovers: AtomicU64,
+    /// Retry attempts issued under the deadline budget.
+    pub retries: AtomicU64,
+    /// Transitions of any shard into the `Down` state.
+    pub shard_down_events: AtomicU64,
+    /// Shards rebuilt from snapshot and re-admitted by the supervisor.
+    pub respawns: AtomicU64,
+    /// Packed per-shard health bytes: shard `i` (for `i < 8`) occupies
+    /// byte `i` as [`crate::ShardHealth::code`]; shards beyond the
+    /// eighth are not representable here and are observed via
+    /// [`crate::ShardedNavigator::health`] instead.
+    pub shard_health: AtomicU64,
     /// Enqueue-to-completion latency of answered requests.
     pub latency: LatencyHistogram,
 }
@@ -114,6 +127,22 @@ impl ServeMetrics {
         counter.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Publishes shard `index`'s health code into its byte of the
+    /// packed [`ServeMetrics::shard_health`] word (lock-free RMW;
+    /// shards beyond the eighth are dropped, see the field docs).
+    pub(crate) fn set_health_byte(&self, index: usize, code: u8) {
+        if index >= 8 {
+            return;
+        }
+        let shift = 8 * index as u32;
+        let mask = 0xffu64 << shift;
+        self.shard_health
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |word| {
+                Some((word & !mask) | (u64::from(code) << shift))
+            })
+            .unwrap_or(0); // infallible: the closure always returns Some
+    }
+
     /// A coherent-enough point-in-time copy (each field individually
     /// relaxed-loaded; cross-field skew is bounded by in-flight work).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -128,6 +157,11 @@ impl ServeMetrics {
             batched_jobs: self.batched_jobs.load(Ordering::Relaxed),
             p50_ns: self.latency.quantile_ns(0.50),
             p99_ns: self.latency.quantile_ns(0.99),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            shard_down_events: self.shard_down_events.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            shard_health: self.shard_health.load(Ordering::Relaxed),
         }
     }
 }
@@ -155,11 +189,24 @@ pub struct MetricsSnapshot {
     pub p50_ns: u64,
     /// 99th-percentile latency (bucket upper bound).
     pub p99_ns: u64,
+    /// Requests re-routed away from a `Down` owner shard.
+    pub failovers: u64,
+    /// Retry attempts issued under the deadline budget.
+    pub retries: u64,
+    /// Transitions of any shard into the `Down` state.
+    pub shard_down_events: u64,
+    /// Shards rebuilt from snapshot and re-admitted by the supervisor.
+    pub respawns: u64,
+    /// Packed per-shard health bytes (shard `i < 8` in byte `i`).
+    pub shard_health: u64,
 }
 
 impl MetricsSnapshot {
-    /// Number of `u64` fields a snapshot occupies on the wire.
-    pub const WIRE_FIELDS: usize = 10;
+    /// Number of `u64` fields a snapshot occupies on the wire. The
+    /// jump from 10 to 15 (resilience counters) rode the frame-header
+    /// version bump to 2, so a v1 peer sees a typed `ERR_UNSUPPORTED`
+    /// rather than misparsing the longer payload.
+    pub const WIRE_FIELDS: usize = 15;
 
     /// The snapshot as its wire field array (order is part of the
     /// protocol; see the golden pin in `tests/wire_roundtrip.rs`).
@@ -175,6 +222,11 @@ impl MetricsSnapshot {
             self.batched_jobs,
             self.p50_ns,
             self.p99_ns,
+            self.failovers,
+            self.retries,
+            self.shard_down_events,
+            self.respawns,
+            self.shard_health,
         ]
     }
 
@@ -191,6 +243,11 @@ impl MetricsSnapshot {
             batched_jobs: f[7],
             p50_ns: f[8],
             p99_ns: f[9],
+            failovers: f[10],
+            retries: f[11],
+            shard_down_events: f[12],
+            respawns: f[13],
+            shard_health: f[14],
         }
     }
 }
@@ -267,7 +324,23 @@ mod tests {
             batched_jobs: 8,
             p50_ns: 9,
             p99_ns: 10,
+            failovers: 11,
+            retries: 12,
+            shard_down_events: 13,
+            respawns: 14,
+            shard_health: 0x0002_0100,
         };
         assert_eq!(MetricsSnapshot::from_wire_fields(&snap.wire_fields()), snap);
+    }
+
+    #[test]
+    fn health_bytes_pack_per_shard_and_ignore_the_ninth() {
+        let m = ServeMetrics::default();
+        m.set_health_byte(0, 2);
+        m.set_health_byte(3, 1);
+        m.set_health_byte(8, 2); // beyond the packed window: dropped
+        assert_eq!(m.snapshot().shard_health, 0x0100_0002);
+        m.set_health_byte(0, 0);
+        assert_eq!(m.snapshot().shard_health, 0x0100_0000);
     }
 }

@@ -14,9 +14,13 @@
 //! * decodes + executes → an answer or a [`ServeError`] status;
 //! * checksum-valid but unknown opcode / bad payload → the error
 //!   status, connection stays open (the frame boundary was sound);
-//! * bad magic, version skew, bad checksum, truncation, oversized
-//!   length → a [`wire::status::ERR_WIRE`] frame, then the connection
-//!   closes (the byte stream can no longer be trusted);
+//! * version skew with the frame otherwise intact → a typed
+//!   [`wire::status::ERR_UNSUPPORTED`] response and the connection
+//!   stays open — the peer is a well-formed client on another protocol
+//!   revision, not a corrupt stream;
+//! * bad magic, bad checksum, truncation, oversized length → a
+//!   [`wire::status::ERR_WIRE`] frame, then the connection closes (the
+//!   byte stream can no longer be trusted);
 //! * a panic while serving a connection is caught by the connection
 //!   thread; a best-effort `ERR_INTERNAL` frame is sent before close.
 //!
@@ -290,9 +294,28 @@ fn answer_frame(
 ) -> bool {
     let view = match wire::decode_frame(body) {
         Ok(v) => v,
+        Err(WireError::BadVersion { .. }) => {
+            // Version skew is a *protocol* mismatch, not stream
+            // corruption: the frame's length, magic and checksum all
+            // held, so the peer is a well-formed client speaking an
+            // older (or newer) revision. Answer with the typed
+            // `ERR_UNSUPPORTED` status and keep the connection open so
+            // the client can log a clean "upgrade me" error instead of
+            // a dropped socket. The request id sits at a
+            // version-invariant offset, so the reply still correlates.
+            let request_id = wire::request_id_best_effort(body);
+            let opcode = body.get(6).copied().unwrap_or(wire::opcode::STATS);
+            wire::encode_error_response_into(
+                request_id,
+                opcode,
+                ServeError::Unsupported { opcode },
+                frame_out,
+            );
+            return true;
+        }
         Err(_) => {
-            // Magic/version/checksum/truncation failure: the stream
-            // can't be trusted beyond this frame.
+            // Magic/checksum/truncation failure: the stream can't be
+            // trusted beyond this frame.
             wire::encode_wire_error_into(0, frame_out);
             return false;
         }

@@ -27,6 +27,22 @@
 //! of a recorded campaign dispatches every request to the same shard
 //! in every process — `std::collections::hash_map::DefaultHasher`
 //! would not (its keys are randomized per process).
+//!
+//! ## Self-healing
+//!
+//! Each shard carries a lock-free [`HealthCell`]
+//! (`Healthy → Suspect → Down`, see `health.rs`) fed by worker
+//! observations: caught panics, internal errors and deadline overruns
+//! demote, successes promote. Dispatch consults health with one atomic
+//! load — requests owned by a `Down` shard fail over to a live replica
+//! via a second deterministic FNV hash ([`ShardedNavigator::dispatch_for`]),
+//! and [`ShardedNavigator::call`] retries `WorkerPanicked` answers
+//! under a monotonic deadline budget with a seeded, bit-reproducible
+//! backoff schedule ([`retry_backoff`]). A panicked shard with a
+//! configured snapshot is quarantined and handed to a supervisor
+//! thread, which rebuilds it from the `HSNP` file, checks the
+//! `hx_hash` boot-fidelity witness, and re-admits it through `Suspect`
+//! after a probe query.
 
 use std::collections::HashSet;
 use std::mem;
@@ -44,10 +60,12 @@ use hopspan_core::{
 use hopspan_metric::{EuclideanSpace, Metric};
 use hopspan_routing::{MetricRoutingScheme, NavBuildError, RouteTrace, RoutingError};
 use hopspan_store as store;
-use rand::SeedableRng;
+use rand::rngs::Pcg32;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
 use crate::batch::{BatchQueue, Job};
+use crate::health::{HealthCell, HealthPolicy, ShardHealth};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::{DegradeCode, Op, QueryOutcome, ServeError};
 
@@ -347,10 +365,25 @@ impl Slot {
 /// Per-shard state shared between submitters and the shard's workers.
 #[derive(Debug)]
 struct ShardInner {
-    backend: Arc<Backend>,
+    /// This shard's index in the engine's shard table.
+    index: u32,
+    /// The query structures. Behind a mutex only so the respawn
+    /// supervisor can swap in a freshly decoded backend; workers take
+    /// one `Arc` clone per batch flush, never per job, and submitters
+    /// never touch it.
+    backend: Mutex<Arc<Backend>>,
     queue: BatchQueue,
     slots: Vec<Slot>,
     free: Mutex<Vec<u32>>,
+    /// Lock-free health state (read on every dispatch).
+    health: HealthCell,
+}
+
+impl ShardInner {
+    /// The current backend handle (one lock + `Arc` clone; no alloc).
+    fn backend_arc(&self) -> Arc<Backend> {
+        Arc::clone(&lock_resilient(&self.backend))
+    }
 }
 
 /// Service configuration.
@@ -374,6 +407,23 @@ pub struct ServeConfig {
     /// panics inside the worker before executing (the panic must be
     /// contained and surfaced as [`ServeError::WorkerPanicked`]).
     pub chaos_panic_period: Option<u64>,
+    /// Streak thresholds for the per-shard health state machine.
+    pub health: HealthPolicy,
+    /// When set, a job whose enqueue-to-completion latency exceeds
+    /// this limit counts as a health-relevant failure (deadline
+    /// overrun) even if its answer was correct.
+    pub overrun_limit: Option<Duration>,
+    /// Total monotonic time [`ShardedNavigator::call`] may spend
+    /// retrying `WorkerPanicked` answers (backoff sleeps included).
+    /// `Duration::ZERO` — the default — disables retries.
+    pub retry_budget: Duration,
+    /// Seed of the deterministic retry backoff schedule (see
+    /// [`retry_backoff`]).
+    pub retry_seed: u64,
+    /// Chaos hook: when `Some((shard, delay))`, every job executed by
+    /// that shard's workers sleeps `delay` first — a wedged/slow shard
+    /// that the overrun limit must eventually demote.
+    pub chaos_slow_shard: Option<(usize, Duration)>,
 }
 
 impl Default for ServeConfig {
@@ -386,6 +436,11 @@ impl Default for ServeConfig {
             queue_depth: 256,
             policy: DegradationPolicy::Strict,
             chaos_panic_period: None,
+            health: HealthPolicy::default(),
+            overrun_limit: None,
+            retry_budget: Duration::ZERO,
+            retry_seed: 0x5eed_0b0f,
+            chaos_slow_shard: None,
         }
     }
 }
@@ -441,7 +496,48 @@ pub struct ShardedNavigator {
     metrics: Arc<ServeMetrics>,
     cfg: ServeConfig,
     workers: Vec<JoinHandle<()>>,
+    /// Whether shards are independent replicas (failover can re-route
+    /// a `Down` shard's requests) or share one backend (failover
+    /// answers inline instead).
+    replicated: bool,
+    /// State shared with the respawn supervisor thread.
+    sup: Arc<SupervisorShared>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+/// State shared between the engine, its workers and the respawn
+/// supervisor thread.
+#[derive(Debug)]
+struct SupervisorShared {
+    /// Pending respawn requests (shard indices) plus the stop flag.
+    respawn_q: Mutex<RespawnQueue>,
+    wake: Condvar,
+    /// The file the `Snapshot`/`LoadSnapshot` opcodes and the respawn
+    /// supervisor operate on.
     snapshot_path: Mutex<Option<PathBuf>>,
+    /// `hx_hash` of the live navigator, recorded when the snapshot
+    /// path is configured — the boot-fidelity witness a respawned
+    /// backend must reproduce. `0` means "no snapshot configured"
+    /// (respawn disabled; panics fall back to streak counting).
+    witness: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct RespawnQueue {
+    respawns: Vec<u32>,
+    stop: bool,
+}
+
+/// Enqueues a respawn request for `shard` (deduplicated) and wakes the
+/// supervisor.
+fn request_respawn(sup: &SupervisorShared, shard: u32) {
+    let mut q = lock_resilient(&sup.respawn_q);
+    if q.stop || q.respawns.contains(&shard) {
+        return;
+    }
+    q.respawns.push(shard);
+    drop(q);
+    sup.wake.notify_one();
 }
 
 impl ShardedNavigator {
@@ -464,7 +560,7 @@ impl ShardedNavigator {
         for _ in 0..cfg.shards {
             backends.push(Arc::new(Backend::build(points, params)?));
         }
-        Self::from_backends(backends, cfg)
+        Self::from_backends(backends, cfg, true)
     }
 
     /// Starts the service with every shard serving the same shared
@@ -480,21 +576,36 @@ impl ShardedNavigator {
     pub fn shared(backend: Arc<Backend>, cfg: ServeConfig) -> Result<Self, BuildError> {
         validate(&cfg)?;
         let backends = (0..cfg.shards).map(|_| Arc::clone(&backend)).collect();
-        Self::from_backends(backends, cfg)
+        Self::from_backends(backends, cfg, false)
     }
 
-    fn from_backends(backends: Vec<Arc<Backend>>, cfg: ServeConfig) -> Result<Self, BuildError> {
+    fn from_backends(
+        backends: Vec<Arc<Backend>>,
+        cfg: ServeConfig,
+        replicated: bool,
+    ) -> Result<Self, BuildError> {
         let metrics = Arc::new(ServeMetrics::default());
         let panic_counter = Arc::new(AtomicU64::new(0));
+        let sup = Arc::new(SupervisorShared {
+            respawn_q: Mutex::new(RespawnQueue {
+                respawns: Vec::with_capacity(cfg.shards),
+                stop: false,
+            }),
+            wake: Condvar::new(),
+            snapshot_path: Mutex::new(None),
+            witness: AtomicU64::new(0),
+        });
         let mut shards = Vec::with_capacity(cfg.shards);
-        for backend in backends {
+        for (index, backend) in backends.into_iter().enumerate() {
             let slots = (0..cfg.queue_depth).map(|_| Slot::new()).collect();
             let free = (0..cfg.queue_depth as u32).rev().collect();
             shards.push(Arc::new(ShardInner {
-                backend,
+                index: index as u32,
+                backend: Mutex::new(backend),
                 queue: BatchQueue::bounded(cfg.queue_depth),
                 slots,
                 free: Mutex::new(free),
+                health: HealthCell::default(),
             }));
         }
         let mut workers = Vec::with_capacity(cfg.shards * cfg.workers_per_shard);
@@ -504,19 +615,32 @@ impl ShardedNavigator {
                 let metrics = Arc::clone(&metrics);
                 let wcfg = cfg.clone();
                 let counter = Arc::clone(&panic_counter);
+                let wsup = Arc::clone(&sup);
                 let handle = std::thread::Builder::new()
                     .name(format!("hopspan-serve-{si}-{wi}"))
-                    .spawn(move || worker_loop(&shard, &metrics, &wcfg, &counter))
+                    .spawn(move || worker_loop(&shard, &metrics, &wcfg, &counter, &wsup))
                     .map_err(BuildError::Spawn)?;
                 workers.push(handle);
             }
         }
+        let supervisor = {
+            let shards = shards.clone();
+            let metrics = Arc::clone(&metrics);
+            let ssup = Arc::clone(&sup);
+            let scfg = cfg.clone();
+            std::thread::Builder::new()
+                .name("hopspan-serve-supervisor".to_string())
+                .spawn(move || supervisor_loop(&shards, &metrics, &ssup, &scfg))
+                .map_err(BuildError::Spawn)?
+        };
         Ok(ShardedNavigator {
             shards,
             metrics,
             cfg,
             workers,
-            snapshot_path: Mutex::new(None),
+            replicated,
+            sup,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -542,7 +666,7 @@ impl ShardedNavigator {
                 snap.navigator,
             )));
         }
-        let engine = Self::from_backends(backends, cfg)?;
+        let engine = Self::from_backends(backends, cfg, true)?;
         engine.set_snapshot_path(path);
         Ok(engine)
     }
@@ -560,21 +684,57 @@ impl ShardedNavigator {
         let (snap, _digest) = store::read_snapshot_file(path).map_err(BuildError::Store)?;
         let backend = Arc::new(Backend::from_navigator(snap.points, snap.navigator));
         let backends = (0..cfg.shards).map(|_| Arc::clone(&backend)).collect();
-        let engine = Self::from_backends(backends, cfg)?;
+        let engine = Self::from_backends(backends, cfg, false)?;
         engine.set_snapshot_path(path);
         Ok(engine)
     }
 
     /// Configures the file the `Snapshot` / `LoadSnapshot` wire
-    /// opcodes operate on. The snapshot boot constructors set this to
-    /// the file they booted from.
+    /// opcodes and the respawn supervisor operate on. The snapshot
+    /// boot constructors set this to the file they booted from.
+    /// Setting a path also records the live navigator's `hx_hash` as
+    /// the boot-fidelity witness and arms panic quarantine + respawn.
     pub fn set_snapshot_path(&self, path: impl Into<PathBuf>) {
-        *lock_resilient(&self.snapshot_path) = Some(path.into());
+        *lock_resilient(&self.sup.snapshot_path) = Some(path.into());
+        let hx = store::hx_hash(&self.backend_of(0).nav);
+        self.sup.witness.store(hx, Ordering::Relaxed);
     }
 
     /// The configured snapshot path, if any.
     pub fn snapshot_path(&self) -> Option<PathBuf> {
-        lock_resilient(&self.snapshot_path).clone()
+        lock_resilient(&self.sup.snapshot_path).clone()
+    }
+
+    /// The current backend handle of shard `index`.
+    fn backend_of(&self, index: usize) -> Arc<Backend> {
+        self.shards[index].backend_arc()
+    }
+
+    /// Current health of shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range, like any shard indexing.
+    pub fn health(&self, index: usize) -> ShardHealth {
+        self.shards[index].health.get()
+    }
+
+    /// Forces shard `index` to `state` — the scripted failure-
+    /// injection hook chaos campaigns and the determinism pins drive.
+    /// The transition is published to the metrics health word, and a
+    /// forced demotion to `Down` counts as a down event.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range, like any shard indexing.
+    pub fn set_health(&self, index: usize, state: ShardHealth) {
+        let shard = &self.shards[index];
+        let was = shard.health.get();
+        shard.health.set(state);
+        self.metrics.set_health_byte(index, state.code());
+        if state == ShardHealth::Down && was != ShardHealth::Down {
+            ServeMetrics::bump(&self.metrics.shard_down_events);
+        }
     }
 
     /// Serializes shard 0's backend to the configured snapshot path
@@ -589,7 +749,7 @@ impl ShardedNavigator {
         let path = self.snapshot_path().ok_or(ServeError::Unsupported {
             opcode: crate::wire::opcode::SNAPSHOT,
         })?;
-        let backend = &self.shards[0].backend;
+        let backend = self.backend_of(0);
         store::write_snapshot_file(&path, &backend.metric, &backend.nav, None)
             .map_err(|_| ServeError::Internal)
     }
@@ -608,7 +768,7 @@ impl ShardedNavigator {
             opcode: crate::wire::opcode::LOAD_SNAPSHOT,
         })?;
         let (snap, digest) = store::read_snapshot_file(&path).map_err(|_| ServeError::Internal)?;
-        if store::hx_hash(&snap.navigator) != store::hx_hash(&self.shards[0].backend.nav) {
+        if store::hx_hash(&snap.navigator) != store::hx_hash(&self.backend_of(0).nav) {
             return Err(ServeError::Internal);
         }
         Ok(digest)
@@ -621,7 +781,7 @@ impl ShardedNavigator {
 
     /// Number of points each shard serves.
     pub fn points(&self) -> usize {
-        self.shards.first().map_or(0, |s| s.backend.len())
+        self.shards.first().map_or(0, |s| s.backend_arc().len())
     }
 
     /// The active configuration.
@@ -640,16 +800,59 @@ impl ShardedNavigator {
         self.metrics.snapshot()
     }
 
-    /// The shard that serves `op` (FNV-1a affinity on the first
-    /// endpoint).
+    /// The shard that *owns* `op` (FNV-1a affinity on the first
+    /// endpoint), health-blind. See
+    /// [`ShardedNavigator::dispatch_for`] for the health-aware target.
     pub fn shard_for(&self, op: &Op) -> usize {
         shard_of_point(op.affinity_point(), self.shards.len())
+    }
+
+    /// The shard `op` is actually dispatched to: the owner
+    /// ([`ShardedNavigator::shard_for`]) unless that shard is `Down`
+    /// in a replicated engine, in which case the request fails over to
+    /// the k-th healthy shard, k picked by a second FNV-1a hash over
+    /// the affinity point and the owner index. The choice is a pure
+    /// function of the health configuration — every process, at every
+    /// `HOPSPAN_WORKERS` setting, re-routes the same request to the
+    /// same replica (pinned by `tests/failover_determinism.rs`). With
+    /// zero healthy shards, or in shared mode, the owner is returned
+    /// unchanged and answers typed.
+    pub fn dispatch_for(&self, op: &Op) -> usize {
+        let owner = self.shard_for(op);
+        if !self.replicated || self.shards[owner].health.get() != ShardHealth::Down {
+            return owner;
+        }
+        let healthy = self
+            .shards
+            .iter()
+            .filter(|s| s.health.get() != ShardHealth::Down)
+            .count();
+        if healthy == 0 {
+            return owner;
+        }
+        let mut key = [0u8; 8];
+        key[..4].copy_from_slice(&op.affinity_point().to_le_bytes());
+        key[4..].copy_from_slice(&(owner as u32).to_le_bytes());
+        let pick = (crate::wire::fnv1a(&key) % healthy as u64) as usize;
+        let mut seen = 0usize;
+        for (i, s) in self.shards.iter().enumerate() {
+            if s.health.get() == ShardHealth::Down {
+                continue;
+            }
+            if seen == pick {
+                return i;
+            }
+            seen += 1;
+        }
+        owner // a shard flipped mid-scan; the owner still answers typed
     }
 
     /// Submits a request for batched execution. Returns a
     /// [`Pending`] handle to wait on, or [`ServeError::Overloaded`]
     /// when the target shard is at depth — regardless of policy; use
     /// [`ShardedNavigator::call`] for the policy-aware front door.
+    /// Requests owned by a `Down` shard fail over per
+    /// [`ShardedNavigator::dispatch_for`].
     ///
     /// # Errors
     ///
@@ -657,7 +860,11 @@ impl ShardedNavigator {
     /// [`ServeError::ShuttingDown`] once the service is draining.
     pub fn try_submit(&self, op: Op) -> Result<Pending<'_>, ServeError> {
         ServeMetrics::bump(&self.metrics.submitted);
-        let si = self.shard_for(&op);
+        let owner = self.shard_for(&op);
+        let si = self.dispatch_for(&op);
+        if si != owner {
+            ServeMetrics::bump(&self.metrics.failovers);
+        }
         let shard = &self.shards[si];
         let slot = lock_resilient(&shard.free).pop();
         let Some(slot) = slot else {
@@ -693,10 +900,22 @@ impl ShardedNavigator {
     ///
     /// The same typed errors a queued execution can produce.
     pub fn call_inline(&self, op: Op, out: &mut Vec<usize>) -> Result<QueryOutcome, ServeError> {
+        self.call_inline_with(op, out, DegradeCode::Overload)
+    }
+
+    /// Inline execution with an explicit degrade reason —
+    /// [`DegradeCode::Overload`] for the admission escape hatch,
+    /// [`DegradeCode::ShardDown`] for shared-mode failover.
+    fn call_inline_with(
+        &self,
+        op: Op,
+        out: &mut Vec<usize>,
+        reason: DegradeCode,
+    ) -> Result<QueryOutcome, ServeError> {
         ServeMetrics::bump(&self.metrics.inline_served);
-        let shard = &self.shards[self.shard_for(&op)];
+        let backend = self.backend_of(self.shard_for(&op));
         let mut scratch = Scratch::new();
-        let outcome = shard.backend.execute(&op, self.cfg.policy, &mut scratch);
+        let outcome = backend.execute(&op, self.cfg.policy, &mut scratch);
         out.clear();
         out.extend_from_slice(&scratch.out);
         match outcome {
@@ -705,8 +924,8 @@ impl ShardedNavigator {
                 ServeMetrics::bump(&self.metrics.completed);
                 ServeMetrics::bump(&self.metrics.degraded);
                 Ok(QueryOutcome::Degraded {
-                    reason: DegradeCode::Overload,
-                    achieved_stretch: realized_stretch(&shard.backend.metric, out),
+                    reason,
+                    achieved_stretch: realized_stretch(&backend.metric, out),
                 })
             }
             Err(e) => {
@@ -721,22 +940,62 @@ impl ShardedNavigator {
     /// batched answer, and on overload either shed typed (`Strict`)
     /// or fall back to a degraded inline answer (`BestEffort`).
     ///
+    /// Resilience behavior on top of that contract:
+    ///
+    /// * **Shared-mode failover** — when the owning shard is `Down`
+    ///   and there are no replicas to re-route to, `BestEffort`
+    ///   answers inline as `Degraded{ShardDown}` instead of queueing
+    ///   on the quarantined shard.
+    /// * **Deadline-budgeted retries** — a `WorkerPanicked` answer is
+    ///   retried while the backoff sleep still fits inside
+    ///   [`ServeConfig::retry_budget`] (monotonic-clock accounting;
+    ///   the budget covers sleeps *and* queue waits, so a retry can
+    ///   never blow the caller's latency budget by more than one
+    ///   batch). The schedule is deterministic — see [`retry_backoff`].
+    ///
     /// # Errors
     ///
     /// Typed [`ServeError`]s; under `Strict`,
     /// [`ServeError::Overloaded`] past the admission limit.
     pub fn call(&self, op: Op, out: &mut Vec<usize>) -> Result<QueryOutcome, ServeError> {
-        match self.try_submit(op) {
-            Ok(pending) => pending.wait_into(out),
-            Err(ServeError::Overloaded { .. })
-                if self.cfg.policy == DegradationPolicy::BestEffort =>
-            {
-                // The rejection is recovered inline, so it was not
-                // actually shed; undo try_submit's shed bump.
-                ServeMetrics::unbump(&self.metrics.shed);
-                self.call_inline(op, out)
+        if !self.replicated
+            && self.cfg.policy == DegradationPolicy::BestEffort
+            && self.shards[self.shard_for(&op)].health.get() == ShardHealth::Down
+        {
+            return self.call_inline_with(op, out, DegradeCode::ShardDown);
+        }
+        let retry_budget = self.cfg.retry_budget;
+        let started = Instant::now();
+        let mut attempt: u32 = 0;
+        loop {
+            let result = match self.try_submit(op) {
+                Ok(pending) => pending.wait_into(out),
+                Err(ServeError::Overloaded { .. })
+                    if self.cfg.policy == DegradationPolicy::BestEffort =>
+                {
+                    // The rejection is recovered inline, so it was not
+                    // actually shed; undo try_submit's shed bump.
+                    ServeMetrics::unbump(&self.metrics.shed);
+                    return self.call_inline(op, out);
+                }
+                Err(e) => Err(e),
+            };
+            if !matches!(result, Err(ServeError::WorkerPanicked)) {
+                return result;
             }
-            Err(e) => Err(e),
+            // Deadline-budgeted retry: the next backoff sleep must fit
+            // in what remains of `retry_budget` (saturating monotonic
+            // math — an exhausted budget returns the typed error).
+            attempt += 1;
+            let delay = retry_backoff(self.cfg.retry_seed, retry_key(&op), attempt);
+            let Some(remaining_budget) = retry_budget.checked_sub(started.elapsed()) else {
+                return result;
+            };
+            if delay >= remaining_budget {
+                return result;
+            }
+            ServeMetrics::bump(&self.metrics.retries);
+            std::thread::sleep(delay);
         }
     }
 
@@ -754,6 +1013,11 @@ impl Drop for ShardedNavigator {
         for handle in self.workers.drain(..) {
             // A worker's unwind already surfaced as `WorkerPanicked`
             // on the affected slots; nothing is left to report here.
+            let _join = handle.join();
+        }
+        lock_resilient(&self.sup.respawn_q).stop = true;
+        self.sup.wake.notify_all();
+        if let Some(handle) = self.supervisor.take() {
             let _join = handle.join();
         }
     }
@@ -852,6 +1116,39 @@ fn realized_stretch<M: Metric>(metric: &M, path: &[usize]) -> f64 {
     (w / d).max(1.0)
 }
 
+/// The request key feeding [`retry_backoff`]: opcode plus affinity
+/// point, so distinct requests draw from distinct PCG streams.
+fn retry_key(op: &Op) -> u64 {
+    (u64::from(op.opcode()) << 32) | u64::from(op.affinity_point())
+}
+
+/// The deterministic retry backoff schedule: attempt `attempt`
+/// (1-based) sleeps `base + jitter` where `base = 2^min(attempt, 10)`
+/// microseconds and `jitter ∈ [0, base]` µs is drawn from a PCG-32
+/// stream keyed by `(seed ^ request_key, attempt)` — the same
+/// construction as the chaos harness's `scenario_rng`, so the full
+/// retry schedule of a campaign is bit-identical in every process and
+/// at every `HOPSPAN_WORKERS` setting. Pure: no clocks, no global
+/// state, no allocation.
+#[must_use]
+pub fn retry_backoff(seed: u64, request_key: u64, attempt: u32) -> Duration {
+    let mut rng = Pcg32::new(seed ^ request_key, u64::from(attempt));
+    let base_us = 1u64 << attempt.min(10);
+    let jitter_us = rng.gen_range(0..base_us + 1);
+    Duration::from_micros(base_us + jitter_us)
+}
+
+/// Everything a worker needs to execute one job, bundled so the
+/// per-job call stays within clippy's argument budget.
+struct JobCtx<'a> {
+    shard: &'a ShardInner,
+    backend: &'a Backend,
+    metrics: &'a ServeMetrics,
+    cfg: &'a ServeConfig,
+    panic_counter: &'a AtomicU64,
+    sup: &'a SupervisorShared,
+}
+
 /// The shard worker: drain a batch, execute each job through the
 /// reused scratch, deliver by buffer swap, repeat until the queue
 /// closes.
@@ -860,6 +1157,7 @@ fn worker_loop(
     metrics: &ServeMetrics,
     cfg: &ServeConfig,
     panic_counter: &AtomicU64,
+    sup: &SupervisorShared,
 ) {
     let mut scratch = Scratch::new();
     let mut batch: Vec<Job> = Vec::with_capacity(cfg.max_batch);
@@ -872,29 +1170,39 @@ fn worker_loop(
         }
         ServeMetrics::bump(&metrics.batches);
         ServeMetrics::add(&metrics.batched_jobs, batch.len() as u64);
+        // One backend handle per flush: the supervisor may swap a
+        // respawned backend in between batches, never within one.
+        let backend = shard.backend_arc();
+        let ctx = JobCtx {
+            shard,
+            backend: &backend,
+            metrics,
+            cfg,
+            panic_counter,
+            sup,
+        };
         for job in &batch {
-            run_job(shard, metrics, cfg, panic_counter, job, &mut scratch);
+            run_job(&ctx, job, &mut scratch);
         }
     }
 }
 
-fn run_job(
-    shard: &ShardInner,
-    metrics: &ServeMetrics,
-    cfg: &ServeConfig,
-    panic_counter: &AtomicU64,
-    job: &Job,
-    scratch: &mut Scratch,
-) {
-    let inject = cfg
+fn run_job(ctx: &JobCtx<'_>, job: &Job, scratch: &mut Scratch) {
+    if let Some((target, delay)) = ctx.cfg.chaos_slow_shard {
+        if target == ctx.shard.index as usize && !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+    let inject = ctx
+        .cfg
         .chaos_panic_period
-        .is_some_and(|p| (panic_counter.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(p));
+        .is_some_and(|p| (ctx.panic_counter.fetch_add(1, Ordering::Relaxed) + 1).is_multiple_of(p));
     let result = catch_unwind(AssertUnwindSafe(|| {
         if inject {
             // hopspan:allow(panic-in-lib) -- deterministic chaos-injection hook; contained by the catch_unwind above
             panic!("injected worker panic (chaos_panic_period)");
         }
-        shard.backend.execute(&job.op, cfg.policy, scratch)
+        ctx.backend.execute(&job.op, ctx.cfg.policy, scratch)
     }));
     let outcome = match result {
         Ok(r) => r,
@@ -907,18 +1215,19 @@ fn run_job(
             Err(ServeError::WorkerPanicked)
         }
     };
-    ServeMetrics::bump(&metrics.completed);
+    record_health(ctx, job, &outcome);
+    ServeMetrics::bump(&ctx.metrics.completed);
     match &outcome {
-        Ok(QueryOutcome::Degraded { .. }) => ServeMetrics::bump(&metrics.degraded),
+        Ok(QueryOutcome::Degraded { .. }) => ServeMetrics::bump(&ctx.metrics.degraded),
         Ok(_) => {}
-        Err(_) => ServeMetrics::bump(&metrics.errors),
+        Err(_) => ServeMetrics::bump(&ctx.metrics.errors),
     }
     let stats = if matches!(job.op, Op::Stats) {
-        metrics.snapshot()
+        ctx.metrics.snapshot()
     } else {
         MetricsSnapshot::default()
     };
-    let slot = &shard.slots[job.slot as usize];
+    let slot = &ctx.shard.slots[job.slot as usize];
     let mut st = lock_resilient(&slot.state);
     mem::swap(&mut st.path, &mut scratch.out);
     st.outcome = outcome;
@@ -926,7 +1235,142 @@ fn run_job(
     st.done = true;
     drop(st);
     slot.done_cv.notify_one();
-    metrics
+    ctx.metrics
         .latency
         .record_ns(job.enqueued.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+}
+
+/// Feeds one job's outcome into the shard's health state machine.
+/// Health-relevant failures are worker panics, internal errors and
+/// deadline overruns; client-typed errors (bad endpoint, over-budget
+/// fault sets, …) prove the worker is alive and count as successes.
+fn record_health(ctx: &JobCtx<'_>, job: &Job, outcome: &Result<QueryOutcome, ServeError>) {
+    match outcome {
+        Err(ServeError::WorkerPanicked) => {
+            // A caught panic with a respawn snapshot configured is the
+            // strongest signal: quarantine immediately and hand the
+            // shard to the supervisor. Without a snapshot the panic
+            // falls back to streak counting — one contained panic
+            // among successes must not take the shard down.
+            if ctx.sup.witness.load(Ordering::Relaxed) != 0 {
+                if ctx.shard.health.quarantine() {
+                    ServeMetrics::bump(&ctx.metrics.shard_down_events);
+                }
+                ctx.metrics
+                    .set_health_byte(ctx.shard.index as usize, ShardHealth::Down.code());
+                request_respawn(ctx.sup, ctx.shard.index);
+            } else if let Some(next) = ctx.shard.health.record_failure(&ctx.cfg.health) {
+                note_transition(ctx.metrics, ctx.shard.index, next);
+            }
+        }
+        Err(ServeError::Internal) => {
+            if let Some(next) = ctx.shard.health.record_failure(&ctx.cfg.health) {
+                note_transition(ctx.metrics, ctx.shard.index, next);
+            }
+        }
+        _ => {
+            let overrun = ctx
+                .cfg
+                .overrun_limit
+                .is_some_and(|limit| job.enqueued.elapsed() > limit);
+            let change = if overrun {
+                ctx.shard.health.record_failure(&ctx.cfg.health)
+            } else {
+                ctx.shard.health.record_success(&ctx.cfg.health)
+            };
+            if let Some(next) = change {
+                note_transition(ctx.metrics, ctx.shard.index, next);
+            }
+        }
+    }
+}
+
+/// Publishes a streak-driven health transition to the metrics word.
+fn note_transition(metrics: &ServeMetrics, index: u32, next: ShardHealth) {
+    metrics.set_health_byte(index as usize, next.code());
+    if next == ShardHealth::Down {
+        ServeMetrics::bump(&metrics.shard_down_events);
+    }
+}
+
+/// The respawn supervisor: waits for quarantined shard indices and
+/// rebuilds each from the configured snapshot. One thread per engine;
+/// exits when the engine drops.
+fn supervisor_loop(
+    shards: &[Arc<ShardInner>],
+    metrics: &ServeMetrics,
+    sup: &SupervisorShared,
+    cfg: &ServeConfig,
+) {
+    loop {
+        let index = {
+            let mut q = lock_resilient(&sup.respawn_q);
+            loop {
+                if q.stop {
+                    return;
+                }
+                if let Some(i) = q.respawns.pop() {
+                    break i;
+                }
+                q = sup
+                    .wake
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        if let Some(shard) = shards.get(index as usize) {
+            respawn_shard(shard, metrics, sup, cfg);
+        }
+    }
+}
+
+/// Rebuilds one quarantined shard from the configured snapshot and
+/// re-admits it: read → decode → `hx_hash` witness check → swap the
+/// fresh backend in → `Suspect` → probe query → `Healthy`. Every
+/// failure leaves the shard `Down` (the next panic on it queues
+/// another attempt); a corrupt or divergent snapshot is never
+/// re-admitted.
+fn respawn_shard(
+    shard: &ShardInner,
+    metrics: &ServeMetrics,
+    sup: &SupervisorShared,
+    cfg: &ServeConfig,
+) {
+    let path = lock_resilient(&sup.snapshot_path).clone();
+    let Some(path) = path else { return };
+    let Ok(bytes) = store::read_snapshot_bytes(&path) else {
+        return;
+    };
+    let Ok(snap) = store::decode_snapshot(&bytes) else {
+        return;
+    };
+    let witness = sup.witness.load(Ordering::Relaxed);
+    if witness != 0 && store::hx_hash(&snap.navigator) != witness {
+        return;
+    }
+    let fresh = Arc::new(Backend::from_navigator(snap.points, snap.navigator));
+    *lock_resilient(&shard.backend) = Arc::clone(&fresh);
+    shard.health.set(ShardHealth::Suspect);
+    metrics.set_health_byte(shard.index as usize, ShardHealth::Suspect.code());
+    // Boot-fidelity probe: one real query through the fresh backend.
+    // Any outcome that is not `Internal` proves the kernel executes.
+    let mut scratch = Scratch::new();
+    let probe_ok = if fresh.is_empty() {
+        true
+    } else {
+        let v = if fresh.len() >= 2 { 1 } else { 0 };
+        let probe = Op::FindPath { u: 0, v };
+        !matches!(
+            fresh.execute(&probe, cfg.policy, &mut scratch),
+            Err(ServeError::Internal)
+        )
+    };
+    if probe_ok {
+        shard.health.set(ShardHealth::Healthy);
+        metrics.set_health_byte(shard.index as usize, ShardHealth::Healthy.code());
+        ServeMetrics::bump(&metrics.respawns);
+    } else {
+        shard.health.set(ShardHealth::Down);
+        metrics.set_health_byte(shard.index as usize, ShardHealth::Down.code());
+    }
 }

@@ -31,8 +31,11 @@ pub const MAGIC: [u8; 4] = *b"HSPN";
 
 /// Current protocol version. Bump on any layout change; golden byte
 /// pins in `tests/wire_roundtrip.rs` fail when the layout drifts
-/// without a bump.
-pub const VERSION: u16 = 1;
+/// without a bump. Version 2 widened the `Stats` payload from 10 to
+/// 15 × `u64` (resilience counters + the packed health word); a v1
+/// peer is answered with a typed `ERR_UNSUPPORTED`, never a misparsed
+/// snapshot.
+pub const VERSION: u16 = 2;
 
 /// Maximum accepted body length (excluding the 4-byte prefix). Large
 /// enough for a stats snapshot or a k-hop path at any practical k;
@@ -267,6 +270,18 @@ pub fn decode_frame(body: &[u8]) -> Result<FrameView<'_>, WireError> {
     })
 }
 
+/// Best-effort request id extraction from a frame body that failed
+/// full decoding (e.g. version skew): the header layout through the
+/// request id field is version-invariant, so a typed error reply can
+/// still echo the peer's id. Returns `0` when the body is too short.
+#[must_use]
+pub fn request_id_best_effort(body: &[u8]) -> u64 {
+    body.get(8..16)
+        .and_then(|s| s.try_into().ok())
+        .map(u64::from_le_bytes)
+        .unwrap_or(0)
+}
+
 /// Encodes a request frame for `op`.
 pub fn encode_request_into(request_id: u64, op: &Op, out: &mut Vec<u8>) {
     let start = begin_frame(op.opcode(), status::OK, request_id, out);
@@ -415,7 +430,8 @@ pub fn encode_snapshot_response_into(
     end_frame(start, out);
 }
 
-/// Encodes a stats response: status [`status::OK`], payload 10 × `u64`.
+/// Encodes a stats response: status [`status::OK`], payload
+/// [`MetricsSnapshot::WIRE_FIELDS`] × `u64`.
 pub fn encode_stats_response_into(request_id: u64, snap: &MetricsSnapshot, out: &mut Vec<u8>) {
     let start = begin_frame(opcode::STATS, status::OK, request_id, out);
     for v in snap.wire_fields() {

@@ -106,8 +106,8 @@ proptest! {
             QueryOutcome::Full
         } else {
             QueryOutcome::Degraded {
-                reason: DegradeCode::from_code((1usize..5).new_value(&mut rng) as u8)
-                    .expect("codes 1..=4 are valid"),
+                reason: DegradeCode::from_code((1usize..6).new_value(&mut rng) as u8)
+                    .expect("codes 1..=5 are valid"),
                 achieved_stretch: (1.0f64..8.0).new_value(&mut rng),
             }
         };
@@ -145,6 +145,11 @@ proptest! {
             batched_jobs: (0u64..1_000_000).new_value(&mut rng),
             p50_ns: (0u64..1_000_000).new_value(&mut rng),
             p99_ns: (0u64..10_000_000).new_value(&mut rng),
+            failovers: (0u64..1_000).new_value(&mut rng),
+            retries: (0u64..1_000).new_value(&mut rng),
+            shard_down_events: (0u64..1_000).new_value(&mut rng),
+            respawns: (0u64..1_000).new_value(&mut rng),
+            shard_health: (0u64..u64::MAX).new_value(&mut rng),
         };
         let mut sframe = Vec::new();
         wire::encode_stats_response_into(id, &snap, &mut sframe);
@@ -169,13 +174,13 @@ fn golden_frames_per_opcode() {
         [
             32, 0, 0, 0, // length prefix: 32-byte body
             b'H', b'S', b'P', b'N', // magic
-            1, 0, // version 1
+            2, 0, // version 2
             0, // opcode FIND_PATH
             0, // status OK
             7, 0, 0, 0, 0, 0, 0, 0, // request id 7
             5, 0, 0, 0, // u = 5
             40, 0, 0, 0, // v = 40
-            53, 185, 129, 132, 13, 99, 156, 206, // FNV-1a checksum
+            6, 76, 123, 104, 5, 36, 21, 196, // FNV-1a checksum
         ]
     );
 
@@ -185,8 +190,8 @@ fn golden_frames_per_opcode() {
     assert_eq!(
         f,
         [
-            32, 0, 0, 0, b'H', b'S', b'P', b'N', 1, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2,
-            0, 0, 0, 84, 18, 181, 38, 30, 252, 55, 125,
+            32, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2,
+            0, 0, 0, 183, 8, 99, 221, 92, 191, 147, 150,
         ]
     );
 
@@ -197,8 +202,8 @@ fn golden_frames_per_opcode() {
     assert_eq!(
         f,
         [
-            37, 0, 0, 0, b'H', b'S', b'P', b'N', 1, 0, 2, 0, 2, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 9,
-            0, 0, 0, 1, 4, 0, 0, 0, 120, 67, 69, 110, 152, 125, 52, 242,
+            37, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 2, 0, 2, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 9,
+            0, 0, 0, 1, 4, 0, 0, 0, 17, 122, 71, 222, 2, 118, 26, 184,
         ]
     );
 
@@ -208,8 +213,8 @@ fn golden_frames_per_opcode() {
     assert_eq!(
         f,
         [
-            24, 0, 0, 0, b'H', b'S', b'P', b'N', 1, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 4, 74, 39, 2,
-            216, 243, 62, 126,
+            24, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 167, 109, 157,
+            5, 12, 47, 83, 50,
         ]
     );
 
@@ -219,8 +224,8 @@ fn golden_frames_per_opcode() {
     assert_eq!(
         f,
         [
-            24, 0, 0, 0, b'H', b'S', b'P', b'N', 1, 0, 4, 0, 7, 0, 0, 0, 0, 0, 0, 0, 220, 113, 198,
-            137, 221, 153, 148, 132,
+            24, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 4, 0, 7, 0, 0, 0, 0, 0, 0, 0, 143, 132, 247,
+            186, 50, 185, 170, 94,
         ]
     );
 
@@ -230,8 +235,8 @@ fn golden_frames_per_opcode() {
     assert_eq!(
         f,
         [
-            24, 0, 0, 0, b'H', b'S', b'P', b'N', 1, 0, 5, 0, 8, 0, 0, 0, 0, 0, 0, 0, 122, 86, 1,
-            83, 25, 234, 202, 68,
+            24, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 5, 0, 8, 0, 0, 0, 0, 0, 0, 0, 249, 240, 54,
+            73, 63, 161, 74, 150,
         ]
     );
 }
@@ -244,8 +249,8 @@ fn snapshot_responses_round_trip() {
     assert_eq!(
         f,
         [
-            40, 0, 0, 0, b'H', b'S', b'P', b'N', 1, 0, 4, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 16, 0, 0,
-            0, 0, 0, 0, 205, 171, 0, 0, 0, 0, 0, 0, 178, 254, 199, 136, 133, 214, 114, 175,
+            40, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 4, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 16, 0, 0,
+            0, 0, 0, 0, 205, 171, 0, 0, 0, 0, 0, 0, 5, 101, 23, 178, 41, 90, 183, 69,
         ]
     );
     for op in [opcode::SNAPSHOT, opcode::LOAD_SNAPSHOT] {
