@@ -1,0 +1,9 @@
+//! E27 runner: online churn against the epoch-swapped dynamic
+//! navigator, written to `BENCH_churn.json`. Asserts availability 1.0
+//! and from-scratch `H_X` equality in every churn cell. Smoke variant:
+//! `HOPSPAN_E27_SMOKE=1`.
+
+fn main() {
+    println!("## E27: Online churn: epoch-swapped dynamic navigator under sustained mutations\n");
+    println!("{}", hopspan_bench::experiments::e27_churn());
+}

@@ -151,6 +151,11 @@ pub fn all() -> Vec<Experiment> {
             "Resilience: availability under shard outages, recovery, outage campaign",
             e26_resilience,
         ),
+        (
+            "E27",
+            "Online churn: epoch-swapped dynamic navigator under sustained mutations",
+            e27_churn,
+        ),
     ]
 }
 
@@ -3068,5 +3073,349 @@ pub fn e26_resilience() -> String {
         report.scenarios.len(),
         report.escaped_panics,
         violations.len(),
+    )
+}
+
+/// E27 configuration (smoke variant: `HOPSPAN_E27_SMOKE=1`). Three
+/// churn cells — {0.1, 1, 10}% of the point set mutated per second —
+/// share the measured window; the smoke variant shrinks the window and
+/// the point set but keeps every acceptance assert.
+struct E27Cfg {
+    n: usize,
+    window_ms: u64,
+    query_threads: usize,
+    smoke: bool,
+}
+
+impl E27Cfg {
+    fn from_env() -> Self {
+        let smoke = std::env::var("HOPSPAN_E27_SMOKE").is_ok();
+        if smoke {
+            E27Cfg {
+                n: 64,
+                window_ms: 500,
+                query_threads: 2,
+                smoke,
+            }
+        } else {
+            E27Cfg {
+                n: 192,
+                window_ms: 3000,
+                query_threads: 3,
+                smoke,
+            }
+        }
+    }
+}
+
+/// One churn cell: sustained queries against a live
+/// `hopspan-dynamic` navigator while a paced mutator inserts and
+/// retires points at the cell's rate.
+struct E27Cell {
+    rate_pct_per_s: f64,
+    queries: u64,
+    qps: f64,
+    errors: u64,
+    availability: f64,
+    inserts: u64,
+    removes: u64,
+    epochs_published: u64,
+    staleness_mean: f64,
+    staleness_max: u64,
+    rebuilds: u64,
+    rebuild_p50_ms: f64,
+    rebuild_p99_ms: f64,
+    hx_matches: bool,
+}
+
+/// The E27 equivalence oracle: the published epoch's `H_X` must equal
+/// a from-scratch build over the same live point set (same seed,
+/// budget, k) — the per-cell acceptance flag of `BENCH_churn.json`.
+fn e27_scratch_matches(
+    nav: &hopspan_dynamic::DynamicNavigator,
+    cfg: &hopspan_dynamic::DynConfig,
+) -> bool {
+    let points: Vec<Vec<f64>> = nav
+        .published_ids()
+        .iter()
+        .filter_map(|&id| nav.coords_of(id))
+        .collect();
+    let metric = hopspan_metric::EuclideanSpace::from_points(&points);
+    use rand::SeedableRng;
+    let mut r = rand_chacha::ChaCha8Rng::seed_from_u64(cfg.seed);
+    match MetricNavigator::general_budgeted(&metric, cfg.tree_budget, cfg.k, &mut r) {
+        Ok((scratch, _gamma)) => store::hx_hash(&scratch) == nav.epoch_info().hx,
+        Err(_) => false,
+    }
+}
+
+/// Quantile over sorted nanosecond samples, in milliseconds.
+fn e27_quantile_ms(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+fn e27_cell(points: &[Vec<f64>], cfg: &E27Cfg, rate_pct_per_s: f64) -> E27Cell {
+    use hopspan_dynamic::{DynConfig, DynamicNavigator};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let dyn_cfg = DynConfig::default();
+    let nav = Arc::new(DynamicNavigator::new(points, dyn_cfg).expect("dynamic build"));
+    let n = points.len() as u32;
+    let window = Duration::from_millis(cfg.window_ms);
+    // Mutations scheduled across the window at the cell's churn rate,
+    // floored at 2 so even the 0.1%/s cell exercises a swap.
+    let scheduled = ((rate_pct_per_s / 100.0) * f64::from(n) * window.as_secs_f64())
+        .round()
+        .max(2.0) as u64;
+
+    // Query threads hammer the seed ids 0..n, which the mutator never
+    // touches — so every reply must be an answer (from the current or
+    // previous epoch), and availability is exactly ok/(ok+errors).
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..cfg.query_threads)
+        .map(|t| {
+            let nav = Arc::clone(&nav);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut r = rng(0xE27_1000 + t as u64);
+                let mut out = Vec::new();
+                let (mut ok, mut errors) = (0u64, 0u64);
+                let (mut lag_sum, mut lag_max) = (0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let u = r.gen_range(0..n);
+                    let mut v = r.gen_range(0..n);
+                    if v == u {
+                        v = (v + 1) % n;
+                    }
+                    match nav.find_path_into(u, v, &mut out) {
+                        Ok(epoch) => {
+                            ok += 1;
+                            // Staleness: how many epochs behind the
+                            // published head this answer was.
+                            let lag = nav.epoch_id().saturating_sub(epoch);
+                            lag_sum += lag;
+                            lag_max = lag_max.max(lag);
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                (ok, errors, lag_sum, lag_max)
+            })
+        })
+        .collect();
+
+    // The paced mutator runs on the measuring thread: alternating
+    // inserts of fresh points and removes of previously inserted ids
+    // (the seed set stays intact, so the query contract stays Full).
+    let mut mrng = rng(0xE27_2000 ^ (rate_pct_per_s * 10.0) as u64);
+    let start = Instant::now();
+    let mut pending_ids: Vec<u32> = Vec::new();
+    let (mut inserts, mut removes) = (0u64, 0u64);
+    for m in 0..scheduled {
+        let due = start + window.mul_f64((m as f64 + 0.5) / scheduled as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        if m % 2 == 0 || pending_ids.is_empty() {
+            let p = vec![
+                100.0 + mrng.gen::<f64>() * 1000.0,
+                mrng.gen::<f64>() * 1000.0,
+            ];
+            let (id, _) = nav.insert(&p).expect("churn insert");
+            pending_ids.push(id);
+            inserts += 1;
+        } else {
+            let id = pending_ids.remove(0);
+            nav.remove(id).expect("churn remove");
+            removes += 1;
+        }
+    }
+    let leftover = window.saturating_sub(start.elapsed());
+    if !leftover.is_zero() {
+        std::thread::sleep(leftover);
+    }
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = start.elapsed();
+    let (mut ok, mut errors, mut lag_sum, mut lag_max) = (0u64, 0u64, 0u64, 0u64);
+    for w in workers {
+        let (o, e, ls, lm) = w.join().expect("query worker");
+        ok += o;
+        errors += e;
+        lag_sum += ls;
+        lag_max = lag_max.max(lm);
+    }
+
+    // Drain the log, then judge the settled epoch against from-scratch.
+    nav.flush();
+    let mut rebuild_ns = nav.drain_rebuild_nanos();
+    rebuild_ns.sort_unstable();
+    let counters = nav.counters();
+    E27Cell {
+        rate_pct_per_s,
+        queries: ok + errors,
+        qps: ok as f64 / elapsed.as_secs_f64(),
+        errors,
+        availability: ok as f64 / ((ok + errors) as f64).max(1.0),
+        inserts,
+        removes,
+        epochs_published: nav.epoch_id(),
+        staleness_mean: lag_sum as f64 / (ok as f64).max(1.0),
+        staleness_max: lag_max,
+        rebuilds: counters.rebuilds,
+        rebuild_p50_ms: e27_quantile_ms(&rebuild_ns, 0.50),
+        rebuild_p99_ms: e27_quantile_ms(&rebuild_ns, 0.99),
+        hx_matches: e27_scratch_matches(&nav, &dyn_cfg),
+    }
+}
+
+fn e27_json(cells: &[E27Cell], cfg: &E27Cfg) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E27\",\n");
+    out.push_str(&format!("  \"seed\": \"{:#x}\",\n", crate::SEED));
+    out.push_str(&format!("  \"smoke\": {},\n", cfg.smoke));
+    out.push_str(&format!("  \"n\": {},\n", cfg.n));
+    out.push_str(&format!("  \"window_ms\": {},\n", cfg.window_ms));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"churn_pct_per_s\": {}, \"queries\": {}, \"qps\": {:.1}, \
+             \"errors\": {}, \"availability\": {:.6}, \"inserts\": {}, \
+             \"removes\": {}, \"epochs_published\": {}, \
+             \"staleness_mean_epochs\": {:.6}, \"staleness_max_epochs\": {}, \
+             \"rebuilds\": {}, \"rebuild_p50_ms\": {:.3}, \
+             \"rebuild_p99_ms\": {:.3}, \"hx_matches_scratch\": {}}}{}\n",
+            c.rate_pct_per_s,
+            c.queries,
+            c.qps,
+            c.errors,
+            c.availability,
+            c.inserts,
+            c.removes,
+            c.epochs_published,
+            c.staleness_mean,
+            c.staleness_max,
+            c.rebuilds,
+            c.rebuild_p50_ms,
+            c.rebuild_p99_ms,
+            c.hx_matches,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// E27: online churn against the epoch-swapped dynamic navigator.
+/// Sustained closed-loop queries while a paced mutator inserts and
+/// retires points at {0.1, 1, 10}% of the point set per second.
+/// Acceptance (asserted): availability 1.0 in every cell — every query
+/// is answered from the current or previous epoch, never an error —
+/// and every cell's settled epoch `H_X` equals the from-scratch build
+/// hash. Writes `BENCH_churn.json` to the workspace root (override
+/// with `HOPSPAN_BENCH_OUT`). Smoke variant: `HOPSPAN_E27_SMOKE=1`.
+pub fn e27_churn() -> String {
+    let cfg = E27Cfg::from_env();
+    let points: Vec<Vec<f64>> = {
+        let mut r = rng(0xE27_0001);
+        (0..cfg.n)
+            .map(|_| (0..2).map(|_| r.gen::<f64>() * 10.0).collect())
+            .collect()
+    };
+    let cells: Vec<E27Cell> = [0.1f64, 1.0, 10.0]
+        .iter()
+        .map(|&rate| e27_cell(&points, &cfg, rate))
+        .collect();
+
+    // The acceptance gate: churn never costs an answer or determinism.
+    for c in &cells {
+        assert_eq!(
+            c.errors, 0,
+            "E27 cell {}%/s answered {} error(s); availability must be 1.0",
+            c.rate_pct_per_s, c.errors
+        );
+        assert!(
+            c.hx_matches,
+            "E27 cell {}%/s: settled epoch H_X diverged from the from-scratch build",
+            c.rate_pct_per_s
+        );
+    }
+
+    let json = e27_json(&cells, &cfg);
+    let out_path = std::env::var("HOPSPAN_BENCH_OUT").map_or_else(
+        |_| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .ancestors()
+                .nth(2)
+                .expect("crates/bench sits two levels below the workspace root")
+                .join("BENCH_churn.json")
+        },
+        std::path::PathBuf::from,
+    );
+    let json_note = match std::fs::write(&out_path, &json) {
+        Ok(()) => {
+            let shown = out_path.file_name().map_or_else(
+                || out_path.display().to_string(),
+                |f| f.to_string_lossy().into_owned(),
+            );
+            format!("Machine-readable results: `{shown}`.")
+        }
+        Err(e) => format!("(could not write {}: {e})", out_path.display()),
+    };
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{}%/s", c.rate_pct_per_s),
+                c.queries.to_string(),
+                format!("{:.0}", c.qps),
+                format!("{:.4}", c.availability),
+                format!("{}+{}", c.inserts, c.removes),
+                c.epochs_published.to_string(),
+                format!("{:.4}", c.staleness_mean),
+                c.staleness_max.to_string(),
+                format!("{:.2}/{:.2}", c.rebuild_p50_ms, c.rebuild_p99_ms),
+                if c.hx_matches { "yes" } else { "NO" }.to_string(),
+            ]
+        })
+        .collect();
+    let table = md_table(
+        &[
+            "churn rate",
+            "queries",
+            "qps",
+            "availability",
+            "ins+rem",
+            "epochs",
+            "stale mean",
+            "stale max",
+            "rebuild p50/p99 ms",
+            "H_X = scratch",
+        ],
+        &rows,
+    );
+    format!(
+        "Online insert/delete through the epoch-swapped `hopspan-dynamic` \
+         navigator: queries keep answering against the published epoch's \
+         dense layout while a builder thread applies the mutation log and \
+         swaps fresh epochs in atomically. At churn rates of 0.1%, 1% and \
+         10% of the point set per second (n = {}, {} query threads, \
+         {} ms window), availability stayed {:.1} in every cell — no \
+         query ever errored; answers came from the current or previous \
+         epoch with a mean staleness of {:.4} epochs at the highest rate \
+         — and every cell's settled epoch hashed bit-identical to a \
+         from-scratch build over the same live point set (the `H_X` \
+         witness). Rebuild tail latency is the amortization price of the \
+         per-tree dirty counters. {json_note}\n\n{table}\n",
+        cfg.n,
+        cfg.query_threads,
+        cfg.window_ms,
+        cells.iter().map(|c| c.availability).fold(1.0, f64::min),
+        cells.last().map_or(0.0, |c| c.staleness_mean),
     )
 }

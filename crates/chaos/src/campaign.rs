@@ -29,6 +29,7 @@ use hopspan_tree_cover::RobustTreeCover;
 use rand::rngs::Pcg32;
 use rand::Rng;
 
+use crate::churn::{churn_points, churn_probe, ChurnKind};
 use crate::corrupt::{corrupt_matrix, CorruptKind, PoisonedMetric};
 use crate::outage::{outage_points, outage_probe, OutageKind};
 use crate::panics::{panic_injection_scenario, PanicInjection, PanicOutcome};
@@ -74,6 +75,10 @@ pub struct CampaignConfig {
     /// Shard-outage scenarios per [`crate::OutageKind`], against live
     /// replicated engines (kill/slow/flapping/corrupt-respawn).
     pub outage_per_kind: usize,
+    /// Churn scenarios per [`crate::ChurnKind`], against live dynamic
+    /// navigators (mutate-race/kill-during-rebuild/swap-storm/
+    /// retired-query).
+    pub churn_per_kind: usize,
     /// Worker counts each panic scenario must agree across.
     pub panic_worker_counts: Vec<usize>,
     /// The §6 stretch bound in-contract queries must meet (the paper's
@@ -100,6 +105,7 @@ impl Default for CampaignConfig {
             serve_wire_per_kind: 4,
             snapshot_per_kind: 8,
             outage_per_kind: 6,
+            churn_per_kind: 16,
             stretch_bound: 8.0,
         }
     }
@@ -123,6 +129,7 @@ impl CampaignConfig {
             serve_wire_per_kind: 2,
             snapshot_per_kind: 4,
             outage_per_kind: 2,
+            churn_per_kind: 2,
             ..CampaignConfig::default()
         }
     }
@@ -136,6 +143,7 @@ impl CampaignConfig {
             + WireFaultKind::ALL.len() * self.serve_wire_per_kind
             + SnapshotFaultKind::ALL.len() * self.snapshot_per_kind
             + OutageKind::ALL.len() * self.outage_per_kind
+            + ChurnKind::ALL.len() * self.churn_per_kind
     }
 }
 
@@ -159,6 +167,9 @@ pub enum ScenarioKind {
     /// A scripted shard outage (kill/slow/flapping/corrupt-respawn)
     /// against a live replicated engine.
     Outage,
+    /// A scripted mutation storm against a live dynamic navigator
+    /// (mutate-race/kill-during-rebuild/swap-storm/retired-query).
+    Churn,
 }
 
 impl ScenarioKind {
@@ -172,6 +183,7 @@ impl ScenarioKind {
             ScenarioKind::ServePanic => "serve-panic",
             ScenarioKind::CorruptSnapshot => "corrupt-snapshot",
             ScenarioKind::Outage => "outage",
+            ScenarioKind::Churn => "churn",
         }
     }
 }
@@ -333,9 +345,12 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     run_panic_scenarios(cfg, &mut report, &mut id);
     run_serve_scenarios(cfg, &mut report, &mut id);
     run_snapshot_scenarios(cfg, &mut report, &mut id);
-    // Outage scenarios run LAST so every earlier family keeps its
-    // scenario ids — the golden degraded hash is pinned to them.
+    // Outage and churn scenarios run LAST (in that order) so every
+    // earlier family keeps its scenario ids — the golden degraded hash
+    // is pinned to them. Neither family ever produces `Degraded`
+    // outcomes, so the hash is invariant to both.
     run_outage_scenarios(cfg, &mut report, &mut id);
+    run_churn_scenarios(cfg, &mut report, &mut id);
     report
 }
 
@@ -768,6 +783,46 @@ fn run_outage_scenarios(cfg: &CampaignConfig, report: &mut CampaignReport, id: &
             let points = &points;
             contained(report, template.clone(), move || {
                 let (outcome, detail) = outage_probe(points, cfg.seed, *kind, &mut rng);
+                ScenarioOutcome {
+                    outcome,
+                    detail,
+                    ..template
+                }
+            });
+            *id += 1;
+        }
+    }
+}
+
+/// Churn scenarios against live dynamic navigators: scripted mutation
+/// storms racing queries, rebuilds killed mid-build, swap storms and
+/// retired-id probes. Every scenario re-asserts the epoch contract's
+/// bit-identity witness: the published `H_X` equals a from-scratch
+/// build over the same live point set. Churn scenarios never produce
+/// `Degraded` outcomes, so the golden degraded hash is invariant to
+/// this family.
+fn run_churn_scenarios(cfg: &CampaignConfig, report: &mut CampaignReport, id: &mut usize) {
+    if cfg.churn_per_kind == 0 {
+        return;
+    }
+    let points = churn_points(cfg.n.max(16), cfg.seed);
+    for (ki, kind) in ChurnKind::ALL.iter().enumerate() {
+        for rep in 0..cfg.churn_per_kind {
+            let mut rng = scenario_rng(cfg.seed, 8, ki as u64, rep as u64);
+            let template = ScenarioOutcome {
+                id: *id,
+                kind: ScenarioKind::Churn,
+                tag: kind.tag(),
+                f_budget: 0,
+                fault_count: 1,
+                outcome: OutcomeKind::Violation,
+                max_stretch: 1.0,
+                max_hops: 0,
+                detail: String::new(),
+            };
+            let points = &points;
+            contained(report, template.clone(), move || {
+                let (outcome, detail) = churn_probe(points, *kind, &mut rng);
                 ScenarioOutcome {
                     outcome,
                     detail,

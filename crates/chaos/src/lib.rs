@@ -31,6 +31,13 @@
 //!   against live replicated engines; replicated traffic must fail over
 //!   in full contract, demotions must be automatic, and a corrupt
 //!   snapshot must never be re-admitted.
+//! * **Mutation churn** ([`ChurnKind`]): scripted insert/remove storms
+//!   against live `hopspan-dynamic` navigators — queries racing
+//!   mutations, rebuilds killed mid-build, back-to-back epoch swaps,
+//!   retired ids thrown at the serve layer. Queries must always answer
+//!   (from the current or previous epoch) or fail typed, and every
+//!   drained epoch's `H_X` must equal a from-scratch build over the
+//!   same live point set.
 //!
 //! A campaign ([`run_campaign`]) is named by a single `u64` seed and is
 //! bit-replayable: the same seed yields the same scenarios, the same
@@ -43,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod campaign;
+mod churn;
 mod corrupt;
 mod outage;
 mod panics;
@@ -53,6 +61,7 @@ mod strategies;
 pub use campaign::{
     run_campaign, CampaignConfig, CampaignReport, OutcomeKind, ScenarioKind, ScenarioOutcome,
 };
+pub use churn::ChurnKind;
 pub use corrupt::{corrupt_matrix, CorruptKind, PoisonedMetric};
 pub use outage::OutageKind;
 pub use panics::{panic_injection_scenario, PanicInjection, PanicOutcome};

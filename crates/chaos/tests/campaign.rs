@@ -85,6 +85,40 @@ fn campaigns_are_seed_replayable() {
     assert_eq!(a.degraded_hash(), b.degraded_hash());
 }
 
+/// The churn family: every scenario must resolve Full (storm absorbed)
+/// or TypedError (contained failures / typed retired answers) — never
+/// a violation — and the full-size campaign must meet the ≥ 60 churn
+/// scenarios the E27 acceptance demands.
+#[test]
+fn churn_family_holds_the_epoch_contract() {
+    let (cfg, report) = smoke();
+    let churn: Vec<_> = report
+        .scenarios
+        .iter()
+        .filter(|s| s.kind == ScenarioKind::Churn)
+        .collect();
+    assert_eq!(
+        churn.len(),
+        hopspan_chaos::ChurnKind::ALL.len() * cfg.churn_per_kind
+    );
+    assert!(!churn.is_empty(), "the smoke campaign must exercise churn");
+    for s in &churn {
+        assert!(
+            matches!(s.outcome, OutcomeKind::Full | OutcomeKind::TypedError),
+            "churn scenario {} [{}] resolved {:?}: {}",
+            s.id,
+            s.tag,
+            s.outcome,
+            s.detail
+        );
+    }
+    let full = CampaignConfig::default();
+    assert!(
+        hopspan_chaos::ChurnKind::ALL.len() * full.churn_per_kind >= 60,
+        "the full campaign must run at least 60 churn scenarios"
+    );
+}
+
 /// The golden degraded hash: every degraded delivery of the smoke
 /// campaign (ids, degrade records, bit-exact stretches), FNV-1a. A
 /// drift here means degradation became nondeterministic or its

@@ -46,7 +46,9 @@ pub use error::HopspanError;
 pub use fault_tolerant::{
     DegradationPolicy, DegradeReason, FaultTolerantSpanner, FtError, FtPath, FtPathOutcome,
 };
-pub use navigation::{MetricNavigator, MetricNavigatorParts, NavTreeParts, NavigationError};
+pub use navigation::{
+    tree_fingerprint, MetricNavigator, MetricNavigatorParts, NavTreeParts, NavigationError,
+};
 
 /// Flat serialization parts of the per-tree spanner structures,
 /// re-exported from the tree-spanner crate so snapshot layers can

@@ -1,0 +1,250 @@
+//! Lifecycle tests of the epoch-swapped dynamic navigator: tombstone
+//! semantics, publication timing, flush, contained rebuild failures and
+//! the bit-identical-to-from-scratch equivalence witness.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hopspan_core::{MetricNavigator, NavigationError};
+use hopspan_dynamic::{DynConfig, DynError, DynamicNavigator};
+use hopspan_metric::EuclideanSpace;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn uniform(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>()).collect())
+        .collect()
+}
+
+fn cfg() -> DynConfig {
+    DynConfig {
+        dirty_threshold: 3,
+        max_pending: 16,
+        ..DynConfig::default()
+    }
+}
+
+/// From-scratch `H_X` over the exact live point set a navigator
+/// publishes (same seed, same budget, same k) — the equivalence oracle.
+fn scratch_hx(dyn_nav: &DynamicNavigator, cfg: &DynConfig) -> u64 {
+    let points: Vec<Vec<f64>> = dyn_nav
+        .published_ids()
+        .iter()
+        .map(|&id| dyn_nav.coords_of(id).expect("published id is live"))
+        .collect();
+    let metric = EuclideanSpace::from_points(&points);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let (nav, _gamma) =
+        MetricNavigator::general_budgeted(&metric, cfg.tree_budget, cfg.k, &mut rng)
+            .expect("from-scratch build");
+    hopspan_store::hx_hash(&nav)
+}
+
+#[test]
+fn initial_epoch_is_from_scratch_equivalent() {
+    let cfg = cfg();
+    let nav = DynamicNavigator::new(&uniform(40, 2, 7), cfg).expect("build");
+    let info = nav.epoch_info();
+    assert_eq!(info.id, 1);
+    assert_eq!(nav.epoch_id(), 1);
+    assert_eq!(info.published_points, 40);
+    assert_eq!(info.pending, 0);
+    assert_eq!(info.hx, scratch_hx(&nav, &cfg));
+}
+
+#[test]
+fn queries_answer_during_and_after_mutations() {
+    let cfg = cfg();
+    let nav = DynamicNavigator::new(&uniform(32, 2, 11), cfg).expect("build");
+    let mut out = Vec::new();
+    let e = nav.find_path_into(3, 17, &mut out).expect("query");
+    assert_eq!(e, 1);
+    assert_eq!(out.first(), Some(&3));
+    assert_eq!(out.last(), Some(&17));
+
+    // A fresh insert is accepted but not navigable until the next swap.
+    let (id, at_epoch) = nav.insert(&[10.5, -3.25]).expect("insert");
+    assert_eq!(id, 32);
+    assert_eq!(at_epoch, 1);
+    match nav.find_path_into(id, 3, &mut out) {
+        Err(NavigationError::PointOutOfRange { point }) => assert_eq!(point, 32),
+        other => panic!("expected PointOutOfRange before publication, got {other:?}"),
+    }
+
+    let info = nav.flush();
+    assert!(info.id >= 2, "flush publishes a fresh epoch");
+    assert_eq!(info.pending, 0);
+    assert_eq!(info.published_points, 33);
+    let e = nav
+        .find_path_into(id, 3, &mut out)
+        .expect("query after swap");
+    assert_eq!(e, info.id);
+    assert_eq!(out.first(), Some(&(id as usize)));
+    assert_eq!(out.last(), Some(&3));
+    assert_eq!(nav.epoch_info().hx, scratch_hx(&nav, &cfg));
+}
+
+#[test]
+fn tombstones_take_effect_immediately_and_survive_swaps() {
+    let cfg = cfg();
+    let nav = DynamicNavigator::new(&uniform(24, 3, 13), cfg).expect("build");
+    nav.remove(5).expect("remove");
+
+    // Retired before any rebuild: typed error, not a stale answer.
+    let mut out = Vec::new();
+    match nav.find_path_into(5, 1, &mut out) {
+        Err(NavigationError::PointRetired { point }) => assert_eq!(point, 5),
+        other => panic!("expected PointRetired, got {other:?}"),
+    }
+    match nav.find_path_into(1, 5, &mut out) {
+        Err(NavigationError::PointRetired { point }) => assert_eq!(point, 5),
+        other => panic!("expected PointRetired, got {other:?}"),
+    }
+
+    let info = nav.flush();
+    assert_eq!(info.published_points, 23);
+    // Still retired after the swap; the id is never reused.
+    match nav.find_path_into(5, 1, &mut out) {
+        Err(NavigationError::PointRetired { point }) => assert_eq!(point, 5),
+        other => panic!("expected PointRetired after swap, got {other:?}"),
+    }
+    assert_eq!(nav.epoch_info().hx, scratch_hx(&nav, &cfg));
+}
+
+#[test]
+fn mutation_validation_is_typed() {
+    let points = uniform(16, 2, 17);
+    let nav = DynamicNavigator::new(&points, cfg()).expect("build");
+
+    assert!(matches!(
+        nav.insert(&[1.0]),
+        Err(DynError::DimensionMismatch {
+            expected: 2,
+            got: 1
+        })
+    ));
+    assert!(matches!(
+        nav.insert(&[f64::NAN, 0.0]),
+        Err(DynError::NonFiniteCoordinate)
+    ));
+    assert!(matches!(
+        nav.insert(&points[4].clone()),
+        Err(DynError::DuplicatePoint { of: 4 })
+    ));
+    assert!(matches!(
+        nav.remove(99),
+        Err(DynError::UnknownId { id: 99 })
+    ));
+    nav.remove(4).expect("first remove");
+    assert!(matches!(
+        nav.remove(4),
+        Err(DynError::AlreadyRetired { id: 4 })
+    ));
+    // Once retired, the coordinates are insertable again (new id).
+    let (id, _) = nav.insert(&points[4].clone()).expect("reinsert");
+    assert_eq!(id, 16);
+
+    let two = DynamicNavigator::new(&uniform(2, 2, 18), cfg()).expect("build");
+    assert!(matches!(
+        two.remove(0),
+        Err(DynError::TooFewPoints { live: 2 })
+    ));
+}
+
+#[test]
+fn rebuild_failures_are_contained_and_counted() {
+    let cfg = cfg();
+    let nav = DynamicNavigator::new(&uniform(28, 2, 19), cfg).expect("build");
+    nav.arm_rebuild_failures(2);
+    let (id, _) = nav.insert(&[5.0, 5.0]).expect("insert");
+
+    // The flush rides over two injected rebuild panics; the old epoch
+    // stays published throughout and the third attempt lands.
+    let mut out = Vec::new();
+    nav.find_path_into(0, 1, &mut out)
+        .expect("query during churn");
+    let info = nav.flush();
+    assert_eq!(info.pending, 0);
+    nav.find_path_into(id, 0, &mut out)
+        .expect("published insert");
+    let counters = nav.counters();
+    assert_eq!(counters.failed_rebuilds, 2);
+    assert!(counters.rebuilds >= 1);
+    assert_eq!(nav.epoch_info().hx, scratch_hx(&nav, &cfg));
+}
+
+#[test]
+fn threshold_crossing_triggers_background_rebuild() {
+    let cfg = DynConfig {
+        dirty_threshold: 2,
+        max_pending: 1000,
+        ..DynConfig::default()
+    };
+    let nav = DynamicNavigator::new(&uniform(20, 2, 23), cfg).expect("build");
+    for i in 0..6 {
+        nav.insert(&[100.0 + f64::from(i), 0.5]).expect("insert");
+    }
+    // No explicit flush: the dirty counters crossed the threshold, so
+    // the builder publishes on its own. Bounded wait, no busy loop.
+    let mut waited = 0;
+    while nav.epoch_id() == 1 && waited < 2000 {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        waited += 5;
+    }
+    assert!(nav.epoch_id() >= 2, "background rebuild published");
+    nav.flush();
+    assert_eq!(nav.epoch_info().hx, scratch_hx(&nav, &cfg));
+}
+
+#[test]
+fn concurrent_queries_race_mutations_without_escaped_errors() {
+    let cfg = cfg();
+    let nav = Arc::new(DynamicNavigator::new(&uniform(48, 2, 29), cfg).expect("build"));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            let nav = Arc::clone(&nav);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut answered = 0u64;
+                let mut rng = ChaCha8Rng::seed_from_u64(1000 + r);
+                while !stop.load(Ordering::Relaxed) {
+                    let u = rng.gen_range(0..48u32);
+                    let v = rng.gen_range(0..48u32);
+                    match nav.find_path_into(u, v, &mut out) {
+                        Ok(_) => answered += 1,
+                        // The only legal failures while ids 0..48 churn:
+                        Err(NavigationError::PointRetired { .. }) => {}
+                        Err(e) => panic!("escaped query error: {e}"),
+                    }
+                }
+                answered
+            })
+        })
+        .collect();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    for _ in 0..40 {
+        if rng.gen_bool(0.5) {
+            let p = vec![rng.gen::<f64>() * 50.0, rng.gen::<f64>() * 50.0];
+            nav.insert(&p).expect("insert");
+        } else {
+            let id = rng.gen_range(0..48u32);
+            match nav.remove(id) {
+                Ok(_) | Err(DynError::AlreadyRetired { .. }) => {}
+                Err(e) => panic!("unexpected remove error: {e}"),
+            }
+        }
+    }
+    nav.flush();
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        let answered = r.join().expect("reader thread");
+        assert!(answered > 0, "reader made progress during churn");
+    }
+    assert_eq!(nav.epoch_info().hx, scratch_hx(&nav, &cfg));
+}

@@ -36,6 +36,11 @@
 //!   every byte of an `HSNP` snapshot flows through the versioned
 //!   `ByteWriter`/`ByteReader` codec, so the format version and the
 //!   whole-file checksum cover it.
+//! * **R14 `epoch-unguarded-mutation`** — in `hopspan-dynamic`, every
+//!   write to epoch-lifecycle state (published epoch, tombstones,
+//!   pending log, dirty counters) goes through the `src/epoch.rs`
+//!   funnel, so the swap-safety argument of DESIGN.md §12 only has to
+//!   audit that file.
 //!
 //! Findings can be suppressed inline, one line up or on the offending
 //! line, with a mandatory reason:
@@ -64,7 +69,7 @@ use std::path::Path;
 /// Crates whose `src/` must satisfy R1–R3 and R7 (the library crates
 /// on the spanner/label/route materialization paths, plus the serving
 /// layer and the snapshot store).
-pub const LIB_POLICY_CRATES: [&str; 9] = [
+pub const LIB_POLICY_CRATES: [&str; 10] = [
     "hopspan-core",
     "hopspan-routing",
     "hopspan-tree-spanner",
@@ -74,6 +79,7 @@ pub const LIB_POLICY_CRATES: [&str; 9] = [
     "hopspan-pipeline",
     "hopspan-serve",
     "hopspan-store",
+    "hopspan-dynamic",
 ];
 
 /// Crates whose public items must be documented (R5).
@@ -90,6 +96,11 @@ pub const QUERY_POLICY_CRATES: [&str; 3] =
 /// versioned section codec (R9) — the snapshot crates, where an ad-hoc
 /// `to_le_bytes` is a field the `HSNP` version gate cannot see.
 pub const SERIALIZATION_POLICY_CRATES: [&str; 1] = ["hopspan-store"];
+
+/// Crates whose epoch-lifecycle state must only be written through
+/// their `src/epoch.rs` funnel (R14) — the dynamic-navigator crate,
+/// where DESIGN.md §12's swap-safety argument audits exactly that file.
+pub const EPOCH_POLICY_CRATES: [&str; 1] = ["hopspan-dynamic"];
 
 /// One diagnostic produced by the analyzer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -208,6 +219,9 @@ fn active_rules_for(crate_name: &str) -> Vec<&'static str> {
     }
     if SERIALIZATION_POLICY_CRATES.contains(&crate_name) {
         active.push(rules::R9_UNVERSIONED_SERIALIZATION);
+    }
+    if EPOCH_POLICY_CRATES.contains(&crate_name) {
+        active.push(rules::R14_EPOCH_UNGUARDED_MUTATION);
     }
     active
 }

@@ -2,9 +2,10 @@
 //! `nondeterministic-iteration`, R3 `float-eq`, R5 `pub-undocumented`,
 //! R6 `map-on-query-path`, R7 `swallowed-result`, R8
 //! `blocking-io-on-query-path`, R9 `unversioned-serialization`, R13
-//! `unbounded-retry`, plus suppression-pragma validation
-//! (`bad-pragma`). R4 `offline-deps` lives in [`crate::toml_scan`]
-//! because it reads manifests, not Rust source.
+//! `unbounded-retry`, R14 `epoch-unguarded-mutation`, plus
+//! suppression-pragma validation (`bad-pragma`). R4 `offline-deps`
+//! lives in [`crate::toml_scan`] because it reads manifests, not Rust
+//! source.
 
 use std::collections::BTreeSet;
 
@@ -73,6 +74,15 @@ pub const R12_UNCHECKED_ARITH: &str = "unchecked-arith-on-untrusted-input";
 /// when it is not; the workspace contract is deadline-budgeted
 /// retries only (`ServeConfig::retry_budget`).
 pub const R13_UNBOUNDED_RETRY: &str = "unbounded-retry";
+/// R14: in the dynamic-navigator crate, every write to epoch-lifecycle
+/// state — fields rooted at `published`/`tombstone`/`pending`/`dirty`/
+/// `epoch`/`status` — must happen inside the `src/epoch.rs` funnel
+/// (`Shared`/`Ledger` methods). A field assignment or mutating
+/// container call on such state anywhere else bypasses the lock
+/// discipline the swap-safety argument audits, so a query could
+/// observe a half-swapped epoch or a tombstone could silently
+/// resurrect.
+pub const R14_EPOCH_UNGUARDED_MUTATION: &str = "epoch-unguarded-mutation";
 /// Meta-rule: malformed `hopspan:allow` pragmas (never suppressible).
 pub const BAD_PRAGMA: &str = "bad-pragma";
 /// Meta-rule: a well-formed `hopspan:allow` that no longer suppresses
@@ -81,7 +91,7 @@ pub const BAD_PRAGMA: &str = "bad-pragma";
 pub const STALE_PRAGMA: &str = "stale-pragma";
 
 /// All source-code rules (R4 is manifest-level and handled separately).
-pub const CODE_RULES: [&str; 12] = [
+pub const CODE_RULES: [&str; 13] = [
     R1_PANIC_IN_LIB,
     R2_NONDET_ITERATION,
     R3_FLOAT_EQ,
@@ -94,6 +104,7 @@ pub const CODE_RULES: [&str; 12] = [
     R11_LOCK_ORDER_INVERSION,
     R12_UNCHECKED_ARITH,
     R13_UNBOUNDED_RETRY,
+    R14_EPOCH_UNGUARDED_MUTATION,
 ];
 
 /// Function-name prefixes that mark the hot query path (R6, R8, R10).
@@ -199,6 +210,9 @@ pub fn run_rules_raw(label: &str, lexed: &Lexed, rules: &[&str]) -> (Vec<Finding
     }
     if rules.contains(&R13_UNBOUNDED_RETRY) {
         rule_unbounded_retry(label, toks, &in_test, &mut findings);
+    }
+    if rules.contains(&R14_EPOCH_UNGUARDED_MUTATION) {
+        rule_epoch_unguarded_mutation(label, toks, &in_test, &mut findings);
     }
     (findings, allows)
 }
@@ -898,6 +912,138 @@ fn rule_unbounded_retry(
     }
 }
 
+/// Identifier fragments that mark epoch-lifecycle state (R14): the
+/// published-epoch pointer, the tombstone/liveness table, the pending
+/// mutation log and the per-tree dirty counters.
+const EPOCH_STATE_ROOTS: [&str; 6] = [
+    "published",
+    "tombstone",
+    "pending",
+    "dirty",
+    "epoch",
+    "status",
+];
+
+/// Container methods that mutate their receiver in place (R14): a call
+/// to one of these on an epoch-state field is a write, same as an
+/// assignment.
+const MUTATING_METHODS: [&str; 13] = [
+    "push", "pop", "insert", "remove", "clear", "resize", "truncate", "extend", "retain", "drain",
+    "fill", "swap", "sort",
+];
+
+/// R14: flags writes to epoch-lifecycle state outside the
+/// `src/epoch.rs` funnel. A write is a field access rooted at one of
+/// [`EPOCH_STATE_ROOTS`] — optionally through an index (`[…]`) or a
+/// nested field chain — followed by `=` (or a compound `+=`-family
+/// operator), or a [`MUTATING_METHODS`] call on such a field. Reads
+/// (`.pending()`, `view.epoch.id`, `cfg.dirty_threshold`) stay silent:
+/// no assignment, no mutation. The exemption is path-based, like R9's
+/// section codec: the funnel has to write the state to exist.
+fn rule_epoch_unguarded_mutation(
+    label: &str,
+    toks: &[Tok],
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    if label.ends_with("src/epoch.rs") {
+        return;
+    }
+    for i in 0..toks.len() {
+        if in_test(i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let lower = toks[i].text.to_ascii_lowercase();
+        if i == 0 || toks[i - 1].text != "." || !EPOCH_STATE_ROOTS.iter().any(|r| lower.contains(r))
+        {
+            continue;
+        }
+        // Walk the access chain after the state root: `[index]` hops
+        // and plain nested fields (`.epoch.id`). A `(` ends the chain —
+        // that is a method call, handled below.
+        let mut j = i + 1;
+        loop {
+            match toks.get(j).map(|t| t.text.as_str()) {
+                Some("[") => {
+                    let mut depth = 0usize;
+                    while let Some(t) = toks.get(j) {
+                        match t.text.as_str() {
+                            "[" | "(" | "{" => depth += 1,
+                            "]" | ")" | "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                Some(".") => {
+                    let Some(field) = toks.get(j + 1) else { break };
+                    if field.kind != TokKind::Ident {
+                        break;
+                    }
+                    if toks.get(j + 2).map(|t| t.text.as_str()) == Some("(") {
+                        // `.state.method(…)`: a write iff the method
+                        // mutates in place; either way the chain ends.
+                        if MUTATING_METHODS.contains(&field.text.as_str()) {
+                            flag_epoch_write(
+                                label,
+                                out,
+                                toks[i].line,
+                                &toks[i].text,
+                                &format!(".{}(…)", field.text),
+                            );
+                        }
+                        j = usize::MAX; // no assignment check after a call
+                        break;
+                    }
+                    j += 2;
+                }
+                _ => break,
+            }
+        }
+        // Assignment after the chain: `=` is a real assignment (the
+        // lexer folds `==`/`=>` into single tokens), and a one-char
+        // arithmetic/bit operator directly before `=` is the compound
+        // family (`+=`, `-=`, `|=`, …).
+        let (op, assigns) = match toks.get(j).map(|t| t.text.as_str()) {
+            Some("=") => ("=", true),
+            Some(op @ ("+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"))
+                if toks.get(j + 1).map(|t| t.text.as_str()) == Some("=") =>
+            {
+                (op, true)
+            }
+            _ => ("", false),
+        };
+        if assigns {
+            let shown = if op == "=" {
+                "=".to_string()
+            } else {
+                format!("{op}=")
+            };
+            flag_epoch_write(label, out, toks[i].line, &toks[i].text, &shown);
+        }
+    }
+}
+
+fn flag_epoch_write(label: &str, out: &mut Vec<Finding>, line: u32, field: &str, how: &str) {
+    out.push(Finding {
+        rule: R14_EPOCH_UNGUARDED_MUTATION.to_string(),
+        file: label.to_string(),
+        line,
+        message: format!(
+            "`{field}` ({how}) is epoch-lifecycle state written outside the \
+             src/epoch.rs funnel; route the write through a Shared/Ledger \
+             method so the swap-safety audit covers it, or add a reasoned \
+             hopspan:allow"
+        ),
+    });
+}
+
 /// Long-form documentation for `--explain <rule>`: what the rule
 /// checks, why it exists, and how to fix or suppress a finding.
 pub fn explain(rule: &str) -> Option<&'static str> {
@@ -993,6 +1139,17 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              (`ServeConfig::retry_budget`, monotonic Instant math).\n\
              Fix: deduct every attempt from an explicit budget/deadline and stop\n\
              when it runs out."
+        }
+        R14_EPOCH_UNGUARDED_MUTATION => {
+            "R14 epoch-unguarded-mutation: in the dynamic-navigator crate, every\n\
+             write to epoch-lifecycle state (fields rooted at published/tombstone/\n\
+             pending/dirty/epoch/status) must go through the src/epoch.rs funnel —\n\
+             the Shared/Ledger methods that DESIGN.md §12's swap-safety argument\n\
+             audits. A field assignment, compound assignment, or mutating\n\
+             container call (push/insert/clear/…) on such state elsewhere bypasses\n\
+             the lock discipline: a query could observe a half-swapped epoch, or a\n\
+             tombstone could silently resurrect. Reads are always fine.\n\
+             Fix: add (or use) a Shared/Ledger method and write through it."
         }
         BAD_PRAGMA => {
             "bad-pragma (meta): a hopspan:allow pragma that is malformed — missing\n\

@@ -1,0 +1,67 @@
+//! R14 fixture: epoch-lifecycle writes outside the `src/epoch.rs`
+//! funnel. Violations on the exact lines the test pins; reads and
+//! funnel-shaped method calls stay silent.
+
+pub struct Shared {
+    pub epoch: u64,
+    pub status: Vec<u8>,
+    pub dirty: Vec<u32>,
+    pub pending_log: Vec<u64>,
+}
+
+pub fn swap_unguarded(shared: &mut Shared) {
+    shared.epoch = shared.epoch + 1; // line 13: direct epoch write
+}
+
+pub fn resurrect(shared: &mut Shared, id: usize) {
+    shared.status[id] = 0; // line 17: tombstone table write via index
+}
+
+pub fn charge(shared: &mut Shared, t: usize) {
+    shared.dirty[t] += 1; // line 21: compound assignment
+}
+
+pub fn enqueue(shared: &mut Shared, seq: u64) {
+    shared.pending_log.push(seq); // line 25: mutating container call
+}
+
+pub struct View {
+    pub epoch: Inner,
+}
+
+pub struct Inner {
+    pub id: u64,
+}
+
+pub fn swap_nested(view: &mut View) {
+    view.epoch.id = 9; // line 37: write through a nested field chain
+}
+
+pub fn reads_are_fine(shared: &Shared, view: &View, dirty_threshold: u32) -> u64 {
+    // Reads of epoch state: field reads, method-shaped reads, config
+    // fields that merely contain a root — all silent.
+    let at_epoch = view.epoch.id;
+    let hot = shared.dirty.iter().copied().max().unwrap_or(0);
+    let live = shared.status.len() as u64;
+    at_epoch + u64::from(hot >= dirty_threshold) + live + shared.pending_log.len() as u64
+}
+
+pub fn suppressed(shared: &mut Shared) {
+    // hopspan:allow(epoch-unguarded-mutation) -- fixture: reasoned escape hatch
+    shared.epoch = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn writes_in_tests_are_exempt() {
+        let mut shared = super::Shared {
+            epoch: 0,
+            status: vec![1],
+            dirty: vec![0],
+            pending_log: Vec::new(),
+        };
+        shared.epoch = 7;
+        shared.status[0] = 0;
+    }
+}

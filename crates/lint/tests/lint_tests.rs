@@ -3,9 +3,9 @@
 //! exact `(rule, line)` diagnostics — nothing missing, nothing extra.
 
 use hopspan_lint::rules::{
-    BAD_PRAGMA, R13_UNBOUNDED_RETRY, R1_PANIC_IN_LIB, R2_NONDET_ITERATION, R3_FLOAT_EQ,
-    R4_OFFLINE_DEPS, R5_PUB_UNDOCUMENTED, R6_MAP_ON_QUERY_PATH, R7_SWALLOWED_RESULT,
-    R8_BLOCKING_IO, R9_UNVERSIONED_SERIALIZATION,
+    BAD_PRAGMA, R13_UNBOUNDED_RETRY, R14_EPOCH_UNGUARDED_MUTATION, R1_PANIC_IN_LIB,
+    R2_NONDET_ITERATION, R3_FLOAT_EQ, R4_OFFLINE_DEPS, R5_PUB_UNDOCUMENTED, R6_MAP_ON_QUERY_PATH,
+    R7_SWALLOWED_RESULT, R8_BLOCKING_IO, R9_UNVERSIONED_SERIALIZATION,
 };
 use hopspan_lint::{analyze_source, to_json, toml_scan, Finding};
 
@@ -205,6 +205,46 @@ fn the_section_codec_is_exempt_from_r9_by_path() {
         findings.is_empty(),
         "src/section.rs implements the codec and may touch the raw \
          primitives: {findings:#?}"
+    );
+}
+
+#[test]
+fn epoch_unguarded_mutation_fixture_exact_lines() {
+    let src = include_str!("fixtures/epoch_unguarded_mutation.rs");
+    let findings = analyze_source(
+        "crates/dynamic/src/lib.rs",
+        src,
+        &[R14_EPOCH_UNGUARDED_MUTATION],
+    );
+    assert_eq!(
+        pairs(&findings),
+        vec![
+            (R14_EPOCH_UNGUARDED_MUTATION, 13), // shared.epoch = …
+            (R14_EPOCH_UNGUARDED_MUTATION, 17), // shared.status[id] = 0
+            (R14_EPOCH_UNGUARDED_MUTATION, 21), // shared.dirty[t] += 1
+            (R14_EPOCH_UNGUARDED_MUTATION, 25), // shared.pending_log.push(…)
+            (R14_EPOCH_UNGUARDED_MUTATION, 37), // view.epoch.id = 9
+        ],
+        "got: {:#?}",
+        findings
+    );
+    // Silent by design: the reads in `reads_are_fine` (field reads,
+    // `.iter()`/`.len()` calls, a `dirty_threshold` config read), the
+    // allow-suppressed write, and the #[cfg(test)] module.
+}
+
+#[test]
+fn the_epoch_funnel_is_exempt_from_r14_by_path() {
+    let src = include_str!("fixtures/epoch_unguarded_mutation.rs");
+    let findings = analyze_source(
+        "crates/dynamic/src/epoch.rs",
+        src,
+        &[R14_EPOCH_UNGUARDED_MUTATION],
+    );
+    assert!(
+        findings.is_empty(),
+        "src/epoch.rs is the funnel and owns every epoch-state write: \
+         {findings:#?}"
     );
 }
 

@@ -154,6 +154,24 @@ fn r12_catches_unchecked_arith_spliced_into_a_decode_fn() {
 }
 
 #[test]
+fn r14_catches_an_epoch_write_spliced_outside_the_funnel() {
+    // Bumping the published epoch id from the mutation API, outside
+    // the Shared/Ledger funnel, must go red.
+    let findings = analyze_with_mutation(
+        "crates/dynamic/src/lib.rs",
+        "let at_epoch = view.epoch.id;",
+        "\n        view.epoch.id = at_epoch + 1;",
+    );
+    assert!(
+        findings.iter().any(|f| {
+            f.rule == "epoch-unguarded-mutation" && f.file == "crates/dynamic/src/lib.rs"
+        }),
+        "the spliced epoch write must be caught:\n{}",
+        render_all(&findings)
+    );
+}
+
+#[test]
 fn full_analysis_stays_fast_enough_for_ci() {
     // The CI job budgets 5 seconds for the whole-workspace run (debug
     // profile). Symbol indexing + call graph must not regress past it.

@@ -66,6 +66,12 @@ use hopspan_core::DegradeReason;
 /// a fixed-size [`Copy`] value end-to-end.
 pub const MAX_WIRE_FAULTS: usize = 8;
 
+/// Maximum dimension of a point an `Insert` request carries inline.
+/// Like [`MAX_WIRE_FAULTS`], the inline array keeps [`Op`] a
+/// fixed-size [`Copy`] value; coordinates travel as `f64` bit patterns
+/// (`u64`) so the request stays `Eq`-comparable and byte-stable.
+pub const MAX_WIRE_DIM: usize = 8;
+
 /// A fixed-capacity, inline fault set for `RouteAvoiding` requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSet {
@@ -138,9 +144,46 @@ pub enum Op {
     },
     /// A metrics snapshot request ([`MetricsSnapshot`]).
     Stats,
+    /// An online point insert (dynamic engines only): `dim` leading
+    /// entries of `coords` are the point's coordinates as `f64` bit
+    /// patterns. Build with [`Op::insert`].
+    Insert {
+        /// Coordinates as `f64::to_bits` values; entries past `dim`
+        /// are zero.
+        coords: [u64; MAX_WIRE_DIM],
+        /// Number of meaningful coordinates.
+        dim: u8,
+    },
+    /// An online point remove by external id (dynamic engines only).
+    /// The id is tombstoned immediately and answers
+    /// [`ServeError::PointRetired`] from then on.
+    Remove {
+        /// The external id to retire.
+        id: u32,
+    },
 }
 
 impl Op {
+    /// Builds an [`Op::Insert`] from a coordinate slice.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the dimension is zero or
+    /// exceeds [`MAX_WIRE_DIM`].
+    pub fn insert(coords: &[f64]) -> Result<Self, ServeError> {
+        if coords.is_empty() || coords.len() > MAX_WIRE_DIM {
+            return Err(ServeError::BadRequest);
+        }
+        let mut bits = [0u64; MAX_WIRE_DIM];
+        for (slot, &c) in bits.iter_mut().zip(coords) {
+            *slot = c.to_bits();
+        }
+        Ok(Op::Insert {
+            coords: bits,
+            dim: coords.len() as u8,
+        })
+    }
+
     /// The wire opcode for this request.
     pub fn opcode(&self) -> u8 {
         match self {
@@ -148,15 +191,20 @@ impl Op {
             Op::Route { .. } => wire::opcode::ROUTE,
             Op::RouteAvoiding { .. } => wire::opcode::ROUTE_AVOIDING,
             Op::Stats => wire::opcode::STATS,
+            Op::Insert { .. } => wire::opcode::INSERT,
+            Op::Remove { .. } => wire::opcode::REMOVE,
         }
     }
 
     /// The point whose FNV-1a hash picks the serving shard. `Stats`
-    /// has no endpoint and pins to shard 0.
+    /// has no endpoint and pins to shard 0; so does `Insert`, whose id
+    /// does not exist yet (dynamic engines share one mutation ledger
+    /// across shards, so any shard is correct).
     pub fn affinity_point(&self) -> u32 {
         match *self {
             Op::FindPath { u, .. } | Op::Route { u, .. } | Op::RouteAvoiding { u, .. } => u,
-            Op::Stats => 0,
+            Op::Stats | Op::Insert { .. } => 0,
+            Op::Remove { id } => id,
         }
     }
 }
@@ -178,6 +226,16 @@ pub enum QueryOutcome {
     },
     /// A stats snapshot (no path payload).
     Stats,
+    /// A committed mutation (dynamic engines): the affected external
+    /// id and the epoch id current at commit time. For inserts the
+    /// point becomes navigable once query replies echo a *later*
+    /// epoch; for removes the tombstone is already in effect.
+    Mutation {
+        /// The inserted or removed external id.
+        id: u32,
+        /// The epoch id published when the mutation committed.
+        epoch: u64,
+    },
 }
 
 /// Wire-stable degradation reasons. The first three mirror
@@ -278,10 +336,23 @@ pub enum ServeError {
     /// contained and the worker survived.
     WorkerPanicked,
     /// The backend serving this shard lacks the structure for the
-    /// opcode (e.g. `Route` on a navigator-only backend).
+    /// opcode (e.g. `Route` on a navigator-only backend, or a mutation
+    /// on a static backend).
     Unsupported {
         /// The unsupported opcode.
         opcode: u8,
+    },
+    /// The point was removed from a dynamic engine; its id is
+    /// permanently tombstoned and never reused.
+    PointRetired {
+        /// The retired external id.
+        point: u32,
+    },
+    /// The inserted point coincides with a live point (distance
+    /// exactly zero).
+    Duplicate {
+        /// The colliding live external id.
+        of: u32,
     },
     /// An internal invariant failed; the connection stays usable.
     Internal,
@@ -306,6 +377,12 @@ impl std::fmt::Display for ServeError {
             ServeError::Unsupported { opcode } => {
                 write!(f, "opcode {opcode} unsupported by this backend")
             }
+            ServeError::PointRetired { point } => {
+                write!(f, "point {point} was retired from the point set")
+            }
+            ServeError::Duplicate { of } => {
+                write!(f, "point duplicates live point {of}")
+            }
             ServeError::Internal => write!(f, "internal service error"),
         }
     }
@@ -325,6 +402,8 @@ impl ServeError {
             ServeError::TooManyFaults { .. } => wire::status::ERR_TOO_MANY_FAULTS,
             ServeError::WorkerPanicked => wire::status::ERR_WORKER_PANIC,
             ServeError::Unsupported { .. } => wire::status::ERR_UNSUPPORTED,
+            ServeError::PointRetired { .. } => wire::status::ERR_RETIRED,
+            ServeError::Duplicate { .. } => wire::status::ERR_DUPLICATE,
             ServeError::Internal => wire::status::ERR_INTERNAL,
         }
     }
@@ -338,6 +417,8 @@ impl ServeError {
             ServeError::Uncovered { u, v } => (u, v),
             ServeError::TooManyFaults { got, limit } => (got, limit),
             ServeError::Unsupported { opcode } => (u32::from(opcode), 0),
+            ServeError::PointRetired { point } => (point, 0),
+            ServeError::Duplicate { of } => (of, 0),
             ServeError::ShuttingDown
             | ServeError::BadRequest
             | ServeError::WorkerPanicked
@@ -359,6 +440,8 @@ impl ServeError {
             }
             wire::status::ERR_WORKER_PANIC => Some(ServeError::WorkerPanicked),
             wire::status::ERR_UNSUPPORTED => Some(ServeError::Unsupported { opcode: a as u8 }),
+            wire::status::ERR_RETIRED => Some(ServeError::PointRetired { point: a }),
+            wire::status::ERR_DUPLICATE => Some(ServeError::Duplicate { of: a }),
             wire::status::ERR_INTERNAL => Some(ServeError::Internal),
             _ => None,
         }

@@ -105,6 +105,18 @@ pub struct ServeMetrics {
     /// eighth are not representable here and are observed via
     /// [`crate::ShardedNavigator::health`] instead.
     pub shard_health: AtomicU64,
+    /// Accepted online inserts (dynamic engines; `0` on static).
+    pub inserts: AtomicU64,
+    /// Accepted online removes (dynamic engines; `0` on static).
+    pub removes: AtomicU64,
+    /// Epoch rebuilds published by the dynamic engine's builder thread
+    /// (reconciled from the engine at snapshot time; `0` on static).
+    pub rebuilds: AtomicU64,
+    /// Packed per-shard epoch bytes, mirroring
+    /// [`ServeMetrics::shard_health`]: byte `i` (for `i < 8`) holds the
+    /// low byte of the epoch id shard `i` last answered or observed
+    /// with. All-zero on static engines.
+    pub shard_epochs: AtomicU64,
     /// Enqueue-to-completion latency of answered requests.
     pub latency: LatencyHistogram,
 }
@@ -131,16 +143,14 @@ impl ServeMetrics {
     /// packed [`ServeMetrics::shard_health`] word (lock-free RMW;
     /// shards beyond the eighth are dropped, see the field docs).
     pub(crate) fn set_health_byte(&self, index: usize, code: u8) {
-        if index >= 8 {
-            return;
-        }
-        let shift = 8 * index as u32;
-        let mask = 0xffu64 << shift;
-        self.shard_health
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |word| {
-                Some((word & !mask) | (u64::from(code) << shift))
-            })
-            .unwrap_or(0); // infallible: the closure always returns Some
+        set_packed_byte(&self.shard_health, index, code);
+    }
+
+    /// Publishes shard `index`'s epoch low byte into the packed
+    /// [`ServeMetrics::shard_epochs`] word (same layout rules as the
+    /// health word).
+    pub(crate) fn set_epoch_byte(&self, index: usize, code: u8) {
+        set_packed_byte(&self.shard_epochs, index, code);
     }
 
     /// A coherent-enough point-in-time copy (each field individually
@@ -162,8 +172,26 @@ impl ServeMetrics {
             shard_down_events: self.shard_down_events.load(Ordering::Relaxed),
             respawns: self.respawns.load(Ordering::Relaxed),
             shard_health: self.shard_health.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            removes: self.removes.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            shard_epochs: self.shard_epochs.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Writes `code` into byte `index` of a packed per-shard word
+/// (lock-free RMW; indices past the eighth byte are dropped).
+fn set_packed_byte(word: &AtomicU64, index: usize, code: u8) {
+    if index >= 8 {
+        return;
+    }
+    let shift = 8 * index as u32;
+    let mask = 0xffu64 << shift;
+    word.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |w| {
+        Some((w & !mask) | (u64::from(code) << shift))
+    })
+    .unwrap_or(0); // infallible: the closure always returns Some
 }
 
 /// The plain-value metrics view shipped by the `Stats` opcode.
@@ -199,14 +227,24 @@ pub struct MetricsSnapshot {
     pub respawns: u64,
     /// Packed per-shard health bytes (shard `i < 8` in byte `i`).
     pub shard_health: u64,
+    /// Accepted online inserts (dynamic engines).
+    pub inserts: u64,
+    /// Accepted online removes (dynamic engines).
+    pub removes: u64,
+    /// Published epoch rebuilds (dynamic engines).
+    pub rebuilds: u64,
+    /// Packed per-shard epoch low bytes (shard `i < 8` in byte `i`).
+    pub shard_epochs: u64,
 }
 
 impl MetricsSnapshot {
     /// Number of `u64` fields a snapshot occupies on the wire. The
     /// jump from 10 to 15 (resilience counters) rode the frame-header
-    /// version bump to 2, so a v1 peer sees a typed `ERR_UNSUPPORTED`
-    /// rather than misparsing the longer payload.
-    pub const WIRE_FIELDS: usize = 15;
+    /// version bump to 2; the jump from 15 to 19 (mutation counters +
+    /// the packed epoch word) rode the bump to 3 — so an older peer
+    /// sees a typed `ERR_UNSUPPORTED` rather than misparsing the
+    /// longer payload.
+    pub const WIRE_FIELDS: usize = 19;
 
     /// The snapshot as its wire field array (order is part of the
     /// protocol; see the golden pin in `tests/wire_roundtrip.rs`).
@@ -227,6 +265,10 @@ impl MetricsSnapshot {
             self.shard_down_events,
             self.respawns,
             self.shard_health,
+            self.inserts,
+            self.removes,
+            self.rebuilds,
+            self.shard_epochs,
         ]
     }
 
@@ -248,6 +290,10 @@ impl MetricsSnapshot {
             shard_down_events: f[12],
             respawns: f[13],
             shard_health: f[14],
+            inserts: f[15],
+            removes: f[16],
+            rebuilds: f[17],
+            shard_epochs: f[18],
         }
     }
 }
@@ -329,8 +375,22 @@ mod tests {
             shard_down_events: 13,
             respawns: 14,
             shard_health: 0x0002_0100,
+            inserts: 15,
+            removes: 16,
+            rebuilds: 17,
+            shard_epochs: 0x0000_0302,
         };
         assert_eq!(MetricsSnapshot::from_wire_fields(&snap.wire_fields()), snap);
+    }
+
+    #[test]
+    fn epoch_bytes_pack_per_shard_like_health() {
+        let m = ServeMetrics::default();
+        m.set_epoch_byte(0, 3);
+        m.set_epoch_byte(2, 7);
+        m.set_epoch_byte(8, 9); // beyond the packed window: dropped
+        assert_eq!(m.snapshot().shard_epochs, 0x0007_0003);
+        assert_eq!(m.snapshot().shard_health, 0, "words are independent");
     }
 
     #[test]

@@ -383,17 +383,27 @@ fn answer_frame(
             let snap = engine.snapshot();
             wire::encode_stats_response_into(view.request_id, &snap, frame_out);
         }
-        _ => match engine.call(op, path) {
-            Ok(outcome @ (QueryOutcome::Full | QueryOutcome::Degraded { .. })) => {
+        _ => match engine.call_with_epoch(op, path) {
+            Ok((outcome @ (QueryOutcome::Full | QueryOutcome::Degraded { .. }), epoch)) => {
                 wire::encode_path_response_into(
                     view.request_id,
                     view.opcode,
                     outcome,
+                    epoch,
                     path,
                     frame_out,
                 );
             }
-            Ok(QueryOutcome::Stats) => {
+            Ok((QueryOutcome::Mutation { id, epoch }, _)) => {
+                wire::encode_mutation_response_into(
+                    view.request_id,
+                    view.opcode,
+                    id,
+                    epoch,
+                    frame_out,
+                );
+            }
+            Ok((QueryOutcome::Stats, _)) => {
                 let snap = engine.snapshot();
                 wire::encode_stats_response_into(view.request_id, &snap, frame_out);
             }

@@ -57,6 +57,7 @@ use hopspan_core::{
     DegradationPolicy, FaultTolerantSpanner, FtError, FtPathOutcome, HopspanError, MetricNavigator,
     NavigationError,
 };
+use hopspan_dynamic::{DynConfig, DynError, DynamicNavigator};
 use hopspan_metric::{EuclideanSpace, Metric};
 use hopspan_routing::{MetricRoutingScheme, NavBuildError, RouteTrace, RoutingError};
 use hopspan_store as store;
@@ -127,11 +128,20 @@ impl Default for BackendParams {
     }
 }
 
+/// The query kernel behind a [`Backend`]: either an immutable
+/// navigator (the replicated/snapshot layouts) or a shared handle to
+/// the epoch-swapped dynamic navigator, which additionally accepts
+/// `Insert`/`Remove` and stamps every answer with its epoch id.
+enum Engine {
+    Static(MetricNavigator),
+    Dynamic(Arc<DynamicNavigator>),
+}
+
 /// One shard's prebuilt query structures: the navigator plus the
 /// optional routing scheme and fault-tolerant spanner.
 pub struct Backend {
     metric: EuclideanSpace,
-    nav: MetricNavigator,
+    engine: Engine,
     router: Option<MetricRoutingScheme>,
     ft: Option<FaultTolerantSpanner>,
 }
@@ -140,6 +150,7 @@ impl std::fmt::Debug for Backend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Backend")
             .field("n", &self.metric.len())
+            .field("dynamic", &matches!(self.engine, Engine::Dynamic(_)))
             .field("router", &self.router.is_some())
             .field("ft", &self.ft.is_some())
             .finish()
@@ -177,7 +188,7 @@ impl Backend {
         };
         Ok(Backend {
             metric: points.clone(),
-            nav,
+            engine: Engine::Static(nav),
             router,
             ft,
         })
@@ -191,9 +202,45 @@ impl Backend {
     pub fn from_navigator(metric: EuclideanSpace, nav: MetricNavigator) -> Self {
         Backend {
             metric,
-            nav,
+            engine: Engine::Static(nav),
             router: None,
             ft: None,
+        }
+    }
+
+    /// Wraps a shared dynamic navigator as a backend. Dynamic backends
+    /// accept `Insert`/`Remove`, stamp every reply with the serving
+    /// epoch id and answer retired ids with
+    /// [`ServeError::PointRetired`]. `Route`/`RouteAvoiding` and the
+    /// snapshot opcodes are unsupported (the routing scheme, the FT
+    /// spanner and the `HSNP` format are static-set structures).
+    pub fn from_dynamic(nav: Arc<DynamicNavigator>) -> Self {
+        let points: Vec<Vec<f64>> = nav
+            .published_ids()
+            .iter()
+            .filter_map(|&id| nav.coords_of(id))
+            .collect();
+        Backend {
+            metric: EuclideanSpace::from_points(&points),
+            engine: Engine::Dynamic(nav),
+            router: None,
+            ft: None,
+        }
+    }
+
+    /// The immutable navigator, when this backend is static.
+    fn static_nav(&self) -> Option<&MetricNavigator> {
+        match &self.engine {
+            Engine::Static(nav) => Some(nav),
+            Engine::Dynamic(_) => None,
+        }
+    }
+
+    /// The shared dynamic navigator, when this backend is dynamic.
+    fn dynamic_nav(&self) -> Option<&Arc<DynamicNavigator>> {
+        match &self.engine {
+            Engine::Static(_) => None,
+            Engine::Dynamic(nav) => Some(nav),
         }
     }
 
@@ -215,11 +262,20 @@ impl Backend {
         policy: DegradationPolicy,
         scratch: &mut Scratch,
     ) -> Result<QueryOutcome, ServeError> {
+        scratch.epoch = 0; // static engines report epoch 0 on every answer
         match *op {
             Op::FindPath { u, v } => {
-                self.nav
-                    .find_path_into(u as usize, v as usize, &mut scratch.out)
-                    .map_err(map_nav)?;
+                match &self.engine {
+                    Engine::Static(nav) => {
+                        nav.find_path_into(u as usize, v as usize, &mut scratch.out)
+                            .map_err(map_nav)?;
+                    }
+                    Engine::Dynamic(nav) => {
+                        scratch.epoch = nav
+                            .find_path_into(u, v, &mut scratch.out)
+                            .map_err(map_nav)?;
+                    }
+                }
                 Ok(QueryOutcome::Full)
             }
             Op::Route { u, v } => {
@@ -265,7 +321,33 @@ impl Backend {
             }
             Op::Stats => {
                 scratch.out.clear();
+                if let Engine::Dynamic(nav) = &self.engine {
+                    scratch.epoch = nav.epoch_id();
+                }
                 Ok(QueryOutcome::Stats)
+            }
+            Op::Insert { coords, dim } => {
+                let nav = self.dynamic_nav().ok_or(ServeError::Unsupported {
+                    opcode: crate::wire::opcode::INSERT,
+                })?;
+                let mut buf = [0f64; crate::MAX_WIRE_DIM];
+                let dim = (dim as usize).min(crate::MAX_WIRE_DIM);
+                for (slot, &bits) in buf.iter_mut().zip(&coords[..dim]) {
+                    *slot = f64::from_bits(bits);
+                }
+                let (id, epoch) = nav.insert(&buf[..dim]).map_err(map_dyn)?;
+                scratch.out.clear();
+                scratch.epoch = epoch;
+                Ok(QueryOutcome::Mutation { id, epoch })
+            }
+            Op::Remove { id } => {
+                let nav = self.dynamic_nav().ok_or(ServeError::Unsupported {
+                    opcode: crate::wire::opcode::REMOVE,
+                })?;
+                let epoch = nav.remove(id).map_err(map_dyn)?;
+                scratch.out.clear();
+                scratch.epoch = epoch;
+                Ok(QueryOutcome::Mutation { id, epoch })
             }
         }
     }
@@ -280,6 +362,25 @@ fn map_nav(e: NavigationError) -> ServeError {
             u: u as u32,
             v: v as u32,
         },
+        NavigationError::PointRetired { point } => ServeError::PointRetired {
+            point: point as u32,
+        },
+        _ => ServeError::Internal,
+    }
+}
+
+/// Maps dynamic-engine mutation failures to their wire-typed serve
+/// errors. Validation failures are the client's fault (`BadRequest` /
+/// `BadEndpoint` / `Duplicate` / `PointRetired`); only a failed
+/// navigator build is `Internal`.
+fn map_dyn(e: DynError) -> ServeError {
+    match e {
+        DynError::DuplicatePoint { of } => ServeError::Duplicate { of },
+        DynError::UnknownId { id } => ServeError::BadEndpoint { point: id },
+        DynError::AlreadyRetired { id } => ServeError::PointRetired { point: id },
+        DynError::DimensionMismatch { .. }
+        | DynError::NonFiniteCoordinate
+        | DynError::TooFewPoints { .. } => ServeError::BadRequest,
         _ => ServeError::Internal,
     }
 }
@@ -319,6 +420,9 @@ struct Scratch {
     tree: Vec<usize>,
     trace: RouteTrace,
     fault_set: HashSet<usize>,
+    /// Epoch id the dynamic engine stamped on the last answer
+    /// (`0` on static engines).
+    epoch: u64,
 }
 
 impl Scratch {
@@ -328,6 +432,7 @@ impl Scratch {
             tree: Vec::with_capacity(64),
             trace: RouteTrace::default(),
             fault_set: HashSet::with_capacity(crate::MAX_WIRE_FAULTS * 4),
+            epoch: 0,
         }
     }
 }
@@ -346,6 +451,8 @@ struct SlotState {
     outcome: Result<QueryOutcome, ServeError>,
     path: Vec<usize>,
     stats: MetricsSnapshot,
+    /// Epoch id stamped by the worker (`0` on static engines).
+    epoch: u64,
 }
 
 impl Slot {
@@ -356,6 +463,7 @@ impl Slot {
                 outcome: Err(ServeError::Internal),
                 path: Vec::with_capacity(64),
                 stats: MetricsSnapshot::default(),
+                epoch: 0,
             }),
             done_cv: Condvar::new(),
         }
@@ -424,6 +532,14 @@ pub struct ServeConfig {
     /// that shard's workers sleeps `delay` first — a wedged/slow shard
     /// that the overrun limit must eventually demote.
     pub chaos_slow_shard: Option<(usize, Duration)>,
+    /// Load easing for `Suspect` shards in a replicated engine: the
+    /// per-mille of a suspect shard's owned requests it keeps serving.
+    /// The shed fraction is re-routed to a strictly-`Healthy` replica
+    /// picked by a second FNV-1a hash, so the easing decision is a
+    /// pure function of `(affinity point, owner)` — bit-identical in
+    /// every process. `1000` (the default) keeps everything on the
+    /// owner, i.e. easing off; `0` sheds all suspect-owned traffic.
+    pub suspect_keep_permille: u16,
 }
 
 impl Default for ServeConfig {
@@ -441,6 +557,7 @@ impl Default for ServeConfig {
             retry_budget: Duration::ZERO,
             retry_seed: 0x5eed_0b0f,
             chaos_slow_shard: None,
+            suspect_keep_permille: 1000,
         }
     }
 }
@@ -459,6 +576,8 @@ pub enum BuildError {
     Config(&'static str),
     /// A boot snapshot could not be read, decoded or validated.
     Store(store::StoreError),
+    /// The dynamic navigator's initial build failed.
+    Dynamic(DynError),
 }
 
 impl std::fmt::Display for BuildError {
@@ -469,6 +588,7 @@ impl std::fmt::Display for BuildError {
             BuildError::Spawn(e) => write!(f, "worker spawn failed: {e}"),
             BuildError::Config(why) => write!(f, "invalid serve config: {why}"),
             BuildError::Store(e) => write!(f, "snapshot boot failed: {e}"),
+            BuildError::Dynamic(e) => write!(f, "dynamic engine build failed: {e}"),
         }
     }
 }
@@ -481,6 +601,7 @@ impl std::error::Error for BuildError {
             BuildError::Spawn(e) => Some(e),
             BuildError::Config(_) => None,
             BuildError::Store(e) => Some(e),
+            BuildError::Dynamic(e) => Some(e),
         }
     }
 }
@@ -577,6 +698,38 @@ impl ShardedNavigator {
         validate(&cfg)?;
         let backends = (0..cfg.shards).map(|_| Arc::clone(&backend)).collect();
         Self::from_backends(backends, cfg, false)
+    }
+
+    /// Starts the service over an online point set: every shard serves
+    /// one shared [`DynamicNavigator`], so a mutation admitted on any
+    /// shard is visible to all of them (one ledger, one epoch
+    /// sequence — replicas would diverge under concurrent mutation,
+    /// which is why dynamic engines only come in the shared layout).
+    /// `Insert`/`Remove` become servable opcodes and every reply
+    /// carries the serving epoch id.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildError::Dynamic`] when the initial build fails; the usual
+    /// [`BuildError`]s otherwise.
+    pub fn dynamic(
+        points: &[Vec<f64>],
+        dyn_cfg: DynConfig,
+        cfg: ServeConfig,
+    ) -> Result<Self, BuildError> {
+        validate(&cfg)?;
+        let nav = DynamicNavigator::new(points, dyn_cfg).map_err(BuildError::Dynamic)?;
+        let backend = Arc::new(Backend::from_dynamic(Arc::new(nav)));
+        let backends = (0..cfg.shards).map(|_| Arc::clone(&backend)).collect();
+        Self::from_backends(backends, cfg, false)
+    }
+
+    /// The shared dynamic navigator, when the engine was built with
+    /// [`ShardedNavigator::dynamic`]. Chaos campaigns and benchmarks
+    /// use this to drive mutations and read epoch/H_X witnesses
+    /// without going through the wire.
+    pub fn dynamic_handle(&self) -> Option<Arc<DynamicNavigator>> {
+        self.backend_of(0).dynamic_nav().cloned()
     }
 
     fn from_backends(
@@ -696,7 +849,10 @@ impl ShardedNavigator {
     /// the boot-fidelity witness and arms panic quarantine + respawn.
     pub fn set_snapshot_path(&self, path: impl Into<PathBuf>) {
         *lock_resilient(&self.sup.snapshot_path) = Some(path.into());
-        let hx = store::hx_hash(&self.backend_of(0).nav);
+        // Dynamic engines have no stable navigator to witness (the
+        // published epoch changes under mutation), so respawn stays
+        // disarmed there (witness 0).
+        let hx = self.backend_of(0).static_nav().map_or(0, store::hx_hash);
         self.sup.witness.store(hx, Ordering::Relaxed);
     }
 
@@ -750,7 +906,10 @@ impl ShardedNavigator {
             opcode: crate::wire::opcode::SNAPSHOT,
         })?;
         let backend = self.backend_of(0);
-        store::write_snapshot_file(&path, &backend.metric, &backend.nav, None)
+        let nav = backend.static_nav().ok_or(ServeError::Unsupported {
+            opcode: crate::wire::opcode::SNAPSHOT,
+        })?;
+        store::write_snapshot_file(&path, &backend.metric, nav, None)
             .map_err(|_| ServeError::Internal)
     }
 
@@ -768,7 +927,11 @@ impl ShardedNavigator {
             opcode: crate::wire::opcode::LOAD_SNAPSHOT,
         })?;
         let (snap, digest) = store::read_snapshot_file(&path).map_err(|_| ServeError::Internal)?;
-        if store::hx_hash(&snap.navigator) != store::hx_hash(&self.backend_of(0).nav) {
+        let backend = self.backend_of(0);
+        let nav = backend.static_nav().ok_or(ServeError::Unsupported {
+            opcode: crate::wire::opcode::LOAD_SNAPSHOT,
+        })?;
+        if store::hx_hash(&snap.navigator) != store::hx_hash(nav) {
             return Err(ServeError::Internal);
         }
         Ok(digest)
@@ -795,8 +958,18 @@ impl ShardedNavigator {
     }
 
     /// A point-in-time metrics snapshot (what the `Stats` opcode
-    /// ships).
+    /// ships). On a dynamic engine the builder-side counters (rebuild
+    /// count, per-shard epoch bytes) are reconciled first.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        if let Some(nav) = self.backend_of(0).dynamic_nav() {
+            self.metrics
+                .rebuilds
+                .store(nav.counters().rebuilds, Ordering::Relaxed);
+            let byte = (nav.epoch_id() & 0xff) as u8;
+            for i in 0..self.shards.len() {
+                self.metrics.set_epoch_byte(i, byte);
+            }
+        }
         self.metrics.snapshot()
     }
 
@@ -817,34 +990,77 @@ impl ShardedNavigator {
     /// same replica (pinned by `tests/failover_determinism.rs`). With
     /// zero healthy shards, or in shared mode, the owner is returned
     /// unchanged and answers typed.
+    ///
+    /// A `Suspect` owner additionally sheds a deterministic fraction
+    /// of its load when [`ServeConfig::suspect_keep_permille`] is
+    /// below 1000: a per-request FNV-1a roll over
+    /// `(affinity point, owner, 0x51)` decides keep-vs-shed, and shed
+    /// requests re-route to a strictly-`Healthy` replica. The easing
+    /// gives a recovering shard headroom to clear its probation streak
+    /// instead of being re-demoted by its own backlog.
     pub fn dispatch_for(&self, op: &Op) -> usize {
         let owner = self.shard_for(op);
-        if !self.replicated || self.shards[owner].health.get() != ShardHealth::Down {
+        if !self.replicated {
             return owner;
         }
-        let healthy = self
+        match self.shards[owner].health.get() {
+            ShardHealth::Down => self
+                .pick_alternate(op.affinity_point(), owner, false)
+                .unwrap_or(owner),
+            ShardHealth::Suspect if self.cfg.suspect_keep_permille < 1000 => {
+                let mut key = [0u8; 9];
+                key[..4].copy_from_slice(&op.affinity_point().to_le_bytes());
+                key[4..8].copy_from_slice(&(owner as u32).to_le_bytes());
+                key[8] = 0x51; // domain separator vs the Down-failover hash
+                let roll = (crate::wire::fnv1a(&key) % 1000) as u16;
+                if roll < self.cfg.suspect_keep_permille {
+                    owner
+                } else {
+                    self.pick_alternate(op.affinity_point(), owner, true)
+                        .unwrap_or(owner)
+                }
+            }
+            _ => owner,
+        }
+    }
+
+    /// Picks the deterministic alternate shard for a request owned by
+    /// `owner`: the k-th eligible shard, k drawn by a second FNV-1a
+    /// hash over `(point, owner)`. `strict` restricts eligibility to
+    /// `Healthy` shards (suspect easing); otherwise any non-`Down`
+    /// shard qualifies (down failover — the hash input is unchanged
+    /// from the pre-easing code, so existing failover pins hold).
+    fn pick_alternate(&self, point: u32, owner: usize, strict: bool) -> Option<usize> {
+        let eligible = |h: ShardHealth| {
+            if strict {
+                h == ShardHealth::Healthy
+            } else {
+                h != ShardHealth::Down
+            }
+        };
+        let count = self
             .shards
             .iter()
-            .filter(|s| s.health.get() != ShardHealth::Down)
+            .filter(|s| eligible(s.health.get()))
             .count();
-        if healthy == 0 {
-            return owner;
+        if count == 0 {
+            return None;
         }
         let mut key = [0u8; 8];
-        key[..4].copy_from_slice(&op.affinity_point().to_le_bytes());
+        key[..4].copy_from_slice(&point.to_le_bytes());
         key[4..].copy_from_slice(&(owner as u32).to_le_bytes());
-        let pick = (crate::wire::fnv1a(&key) % healthy as u64) as usize;
+        let pick = (crate::wire::fnv1a(&key) % count as u64) as usize;
         let mut seen = 0usize;
         for (i, s) in self.shards.iter().enumerate() {
-            if s.health.get() == ShardHealth::Down {
+            if !eligible(s.health.get()) {
                 continue;
             }
             if seen == pick {
-                return i;
+                return Some(i);
             }
             seen += 1;
         }
-        owner // a shard flipped mid-scan; the owner still answers typed
+        None // a shard flipped mid-scan; the owner still answers typed
     }
 
     /// Submits a request for batched execution. Returns a
@@ -901,38 +1117,62 @@ impl ShardedNavigator {
     /// The same typed errors a queued execution can produce.
     pub fn call_inline(&self, op: Op, out: &mut Vec<usize>) -> Result<QueryOutcome, ServeError> {
         self.call_inline_with(op, out, DegradeCode::Overload)
+            .map(|(outcome, _epoch)| outcome)
     }
 
     /// Inline execution with an explicit degrade reason —
     /// [`DegradeCode::Overload`] for the admission escape hatch,
-    /// [`DegradeCode::ShardDown`] for shared-mode failover.
+    /// [`DegradeCode::ShardDown`] for shared-mode failover. Returns
+    /// the serving epoch id alongside the outcome (`0` on static
+    /// engines).
     fn call_inline_with(
         &self,
         op: Op,
         out: &mut Vec<usize>,
         reason: DegradeCode,
-    ) -> Result<QueryOutcome, ServeError> {
+    ) -> Result<(QueryOutcome, u64), ServeError> {
         ServeMetrics::bump(&self.metrics.inline_served);
         let backend = self.backend_of(self.shard_for(&op));
         let mut scratch = Scratch::new();
         let outcome = backend.execute(&op, self.cfg.policy, &mut scratch);
+        let epoch = scratch.epoch;
         out.clear();
         out.extend_from_slice(&scratch.out);
         match outcome {
-            Ok(QueryOutcome::Stats) => Ok(QueryOutcome::Stats),
+            Ok(QueryOutcome::Stats) => Ok((QueryOutcome::Stats, epoch)),
+            Ok(m @ QueryOutcome::Mutation { .. }) => {
+                // A mutation has no batching contract to degrade: the
+                // commit is the commit, inline or queued.
+                ServeMetrics::bump(&self.metrics.completed);
+                self.note_mutation(&op);
+                Ok((m, epoch))
+            }
             Ok(_) => {
                 ServeMetrics::bump(&self.metrics.completed);
                 ServeMetrics::bump(&self.metrics.degraded);
-                Ok(QueryOutcome::Degraded {
-                    reason,
-                    achieved_stretch: realized_stretch(&backend.metric, out),
-                })
+                Ok((
+                    QueryOutcome::Degraded {
+                        reason,
+                        achieved_stretch: realized_stretch(&backend.metric, out),
+                    },
+                    epoch,
+                ))
             }
             Err(e) => {
                 ServeMetrics::bump(&self.metrics.completed);
                 ServeMetrics::bump(&self.metrics.errors);
                 Err(e)
             }
+        }
+    }
+
+    /// Bumps the mutation counters for an inline-committed mutation
+    /// (the queued path does this in `run_job`).
+    fn note_mutation(&self, op: &Op) {
+        match op {
+            Op::Insert { .. } => ServeMetrics::bump(&self.metrics.inserts),
+            Op::Remove { .. } => ServeMetrics::bump(&self.metrics.removes),
+            _ => {}
         }
     }
 
@@ -958,6 +1198,22 @@ impl ShardedNavigator {
     /// Typed [`ServeError`]s; under `Strict`,
     /// [`ServeError::Overloaded`] past the admission limit.
     pub fn call(&self, op: Op, out: &mut Vec<usize>) -> Result<QueryOutcome, ServeError> {
+        self.call_with_epoch(op, out)
+            .map(|(outcome, _epoch)| outcome)
+    }
+
+    /// [`ShardedNavigator::call`] plus the serving epoch id, for
+    /// callers (the wire front) that echo epochs in replies. Static
+    /// engines always report epoch `0`.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`ShardedNavigator::call`].
+    pub fn call_with_epoch(
+        &self,
+        op: Op,
+        out: &mut Vec<usize>,
+    ) -> Result<(QueryOutcome, u64), ServeError> {
         if !self.replicated
             && self.cfg.policy == DegradationPolicy::BestEffort
             && self.shards[self.shard_for(&op)].health.get() == ShardHealth::Down
@@ -969,14 +1225,14 @@ impl ShardedNavigator {
         let mut attempt: u32 = 0;
         loop {
             let result = match self.try_submit(op) {
-                Ok(pending) => pending.wait_into(out),
+                Ok(pending) => pending.wait_epoch_into(out),
                 Err(ServeError::Overloaded { .. })
                     if self.cfg.policy == DegradationPolicy::BestEffort =>
                 {
                     // The rejection is recovered inline, so it was not
                     // actually shed; undo try_submit's shed bump.
                     ServeMetrics::unbump(&self.metrics.shed);
-                    return self.call_inline(op, out);
+                    return self.call_inline_with(op, out, DegradeCode::Overload);
                 }
                 Err(e) => Err(e),
             };
@@ -1039,6 +1295,9 @@ fn validate(cfg: &ServeConfig) -> Result<(), BuildError> {
     if cfg.queue_depth > u32::MAX as usize {
         return Err(BuildError::Config("queue_depth exceeds u32"));
     }
+    if cfg.suspect_keep_permille > 1000 {
+        return Err(BuildError::Config("suspect_keep_permille exceeds 1000"));
+    }
     Ok(())
 }
 
@@ -1061,8 +1320,19 @@ impl Pending<'_> {
     ///
     /// The typed [`ServeError`] the worker recorded, if any.
     pub fn wait_into(self, out: &mut Vec<usize>) -> Result<QueryOutcome, ServeError> {
-        let (outcome, _) = self.wait_raw(out);
+        let (outcome, _, _) = self.wait_raw(out);
         outcome
+    }
+
+    /// Like [`Pending::wait_into`], additionally returning the serving
+    /// epoch id (`0` on static engines).
+    ///
+    /// # Errors
+    ///
+    /// The typed [`ServeError`] the worker recorded, if any.
+    pub fn wait_epoch_into(self, out: &mut Vec<usize>) -> Result<(QueryOutcome, u64), ServeError> {
+        let (outcome, _, epoch) = self.wait_raw(out);
+        outcome.map(|o| (o, epoch))
     }
 
     /// Blocks until the answer lands and returns the stats snapshot a
@@ -1074,14 +1344,17 @@ impl Pending<'_> {
     /// [`ServeError::BadRequest`] when the request was not `Stats`.
     pub fn wait_stats(self) -> Result<MetricsSnapshot, ServeError> {
         let mut sink = Vec::new();
-        let (outcome, stats) = self.wait_raw(&mut sink);
+        let (outcome, stats, _) = self.wait_raw(&mut sink);
         match outcome? {
             QueryOutcome::Stats => Ok(stats),
             _ => Err(ServeError::BadRequest),
         }
     }
 
-    fn wait_raw(self, out: &mut Vec<usize>) -> (Result<QueryOutcome, ServeError>, MetricsSnapshot) {
+    fn wait_raw(
+        self,
+        out: &mut Vec<usize>,
+    ) -> (Result<QueryOutcome, ServeError>, MetricsSnapshot, u64) {
         let shard = &self.engine.shards[self.shard as usize];
         let slot = &shard.slots[self.slot as usize];
         let mut st = lock_resilient(&slot.state);
@@ -1094,17 +1367,23 @@ impl Pending<'_> {
         st.done = false;
         let outcome = st.outcome;
         let stats = st.stats;
+        let epoch = st.epoch;
         out.clear();
         out.extend_from_slice(&st.path);
         drop(st);
         self.engine.release(self.shard, self.slot);
-        (outcome, stats)
+        (outcome, stats, epoch)
     }
 }
 
 /// Realized stretch of a path under `metric` (`1.0` for degenerate
-/// pairs), for marking inline answers.
+/// pairs), for marking inline answers. Paths from a dynamic engine
+/// can carry external ids past the initial metric's range; those
+/// report the neutral `1.0` instead of indexing out of bounds.
 fn realized_stretch<M: Metric>(metric: &M, path: &[usize]) -> f64 {
+    if path.iter().any(|&p| p >= metric.len()) {
+        return 1.0;
+    }
     let (Some(&u), Some(&v)) = (path.first(), path.last()) else {
         return 1.0;
     };
@@ -1219,10 +1498,28 @@ fn run_job(ctx: &JobCtx<'_>, job: &Job, scratch: &mut Scratch) {
     ServeMetrics::bump(&ctx.metrics.completed);
     match &outcome {
         Ok(QueryOutcome::Degraded { .. }) => ServeMetrics::bump(&ctx.metrics.degraded),
+        Ok(QueryOutcome::Mutation { .. }) => match job.op {
+            Op::Insert { .. } => ServeMetrics::bump(&ctx.metrics.inserts),
+            Op::Remove { .. } => ServeMetrics::bump(&ctx.metrics.removes),
+            _ => {}
+        },
         Ok(_) => {}
         Err(_) => ServeMetrics::bump(&ctx.metrics.errors),
     }
+    if scratch.epoch != 0 {
+        // Dynamic engine: publish the low byte of the serving epoch to
+        // this shard's slot in the packed epoch word.
+        ctx.metrics
+            .set_epoch_byte(ctx.shard.index as usize, (scratch.epoch & 0xff) as u8);
+    }
     let stats = if matches!(job.op, Op::Stats) {
+        if let Some(nav) = ctx.backend.dynamic_nav() {
+            // Rebuilds happen on the builder thread, outside any
+            // worker; reconcile the counter when stats are served.
+            ctx.metrics
+                .rebuilds
+                .store(nav.counters().rebuilds, Ordering::Relaxed);
+        }
         ctx.metrics.snapshot()
     } else {
         MetricsSnapshot::default()
@@ -1232,6 +1529,7 @@ fn run_job(ctx: &JobCtx<'_>, job: &Job, scratch: &mut Scratch) {
     mem::swap(&mut st.path, &mut scratch.out);
     st.outcome = outcome;
     st.stats = stats;
+    st.epoch = scratch.epoch;
     st.done = true;
     drop(st);
     slot.done_cv.notify_one();

@@ -32,10 +32,13 @@ pub const MAGIC: [u8; 4] = *b"HSPN";
 /// Current protocol version. Bump on any layout change; golden byte
 /// pins in `tests/wire_roundtrip.rs` fail when the layout drifts
 /// without a bump. Version 2 widened the `Stats` payload from 10 to
-/// 15 × `u64` (resilience counters + the packed health word); a v1
-/// peer is answered with a typed `ERR_UNSUPPORTED`, never a misparsed
-/// snapshot.
-pub const VERSION: u16 = 2;
+/// 15 × `u64` (resilience counters + the packed health word).
+/// Version 3 added the `Insert`/`Remove` mutation opcodes, widened
+/// `Stats` to 19 × `u64` (mutation counters + the packed epoch word)
+/// and inserted the answering epoch id into every path response — a
+/// v2 peer is answered with a typed `ERR_UNSUPPORTED`, never a
+/// misparsed frame.
+pub const VERSION: u16 = 3;
 
 /// Maximum accepted body length (excluding the 4-byte prefix). Large
 /// enough for a stats snapshot or a k-hop path at any practical k;
@@ -65,6 +68,12 @@ pub mod opcode {
     /// Re-load and verify the configured structure snapshot against
     /// the live backend. Same response payload as `SNAPSHOT`.
     pub const LOAD_SNAPSHOT: u8 = 5;
+    /// Online point insert (dynamic engines; wire v3). Payload:
+    /// `dim u8 · dim × f64-bits u64`.
+    pub const INSERT: u8 = 6;
+    /// Online point remove (dynamic engines; wire v3). Payload:
+    /// `id u32`.
+    pub const REMOVE: u8 = 7;
 }
 
 /// Response status bytes. `0`/`1` carry answers; `2..` carry typed
@@ -96,6 +105,10 @@ pub mod status {
     /// The request frame itself failed to decode; the body echoes no
     /// payload and the connection closes after this frame.
     pub const ERR_WIRE: u8 = 11;
+    /// [`crate::ServeError::PointRetired`] (wire v3).
+    pub const ERR_RETIRED: u8 = 12;
+    /// [`crate::ServeError::Duplicate`] (wire v3).
+    pub const ERR_DUPLICATE: u8 = 13;
 }
 
 /// Typed decode failures. Every corrupted, truncated or
@@ -299,6 +312,15 @@ pub fn encode_request_into(request_id: u64, op: &Op, out: &mut Vec<u8>) {
             }
         }
         Op::Stats => {}
+        Op::Insert { coords, dim } => {
+            out.push(dim);
+            for &c in coords.iter().take(usize::from(dim)) {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        Op::Remove { id } => {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
     }
     end_frame(start, out);
 }
@@ -377,17 +399,52 @@ pub fn decode_request(frame: &FrameView<'_>) -> Result<Op, WireError> {
             exact(0)?;
             Ok(Op::Stats)
         }
+        opcode::INSERT => {
+            if p.is_empty() {
+                return Err(WireError::BadPayload);
+            }
+            let dim_byte = p[0];
+            let dim = usize::from(dim_byte);
+            if dim == 0 || dim > crate::MAX_WIRE_DIM {
+                return Err(WireError::BadPayload);
+            }
+            let want = dim
+                .checked_mul(8)
+                .and_then(|n| n.checked_add(1))
+                .ok_or(WireError::BadPayload)?;
+            exact(want)?;
+            let mut coords = [0u64; crate::MAX_WIRE_DIM];
+            for (slot, raw) in coords.iter_mut().zip(p[1..want].chunks_exact(8)) {
+                *slot = u64::from_le_bytes([
+                    raw[0], raw[1], raw[2], raw[3], raw[4], raw[5], raw[6], raw[7],
+                ]);
+            }
+            Ok(Op::Insert {
+                coords,
+                dim: dim_byte,
+            })
+        }
+        opcode::REMOVE => {
+            exact(4)?;
+            Ok(Op::Remove {
+                id: read_u32(p, 0)?,
+            })
+        }
         got => Err(WireError::UnknownOpcode { got }),
     }
 }
 
 /// Encodes a successful path response: status [`status::OK`] or
 /// [`status::OK_DEGRADED`], payload `reason u8 · stretch-bits u64 ·
-/// len u32 · len × point u32`.
+/// epoch u64 · len u32 · len × point u32`. `epoch` is the id of the
+/// epoch that answered (`0` on static engines) — the staleness witness
+/// a dynamic-engine client compares against the epoch ids its
+/// mutations returned.
 pub fn encode_path_response_into(
     request_id: u64,
     op: u8,
     outcome: QueryOutcome,
+    epoch: u64,
     path: &[usize],
     out: &mut Vec<u8>,
 ) {
@@ -396,15 +453,35 @@ pub fn encode_path_response_into(
             reason,
             achieved_stretch,
         } => (status::OK_DEGRADED, reason.code(), achieved_stretch),
-        QueryOutcome::Full | QueryOutcome::Stats => (status::OK, 0u8, 1.0f64),
+        QueryOutcome::Full | QueryOutcome::Stats | QueryOutcome::Mutation { .. } => {
+            (status::OK, 0u8, 1.0f64)
+        }
     };
     let start = begin_frame(op, st, request_id, out);
     out.push(reason);
     out.extend_from_slice(&stretch.to_bits().to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
     out.extend_from_slice(&(path.len() as u32).to_le_bytes());
     for &p in path {
         out.extend_from_slice(&(p as u32).to_le_bytes());
     }
+    end_frame(start, out);
+}
+
+/// Encodes a mutation response ([`opcode::INSERT`] /
+/// [`opcode::REMOVE`]): status [`status::OK`], payload `id u32 ·
+/// epoch u64` — the affected external id and the epoch id current when
+/// the mutation committed.
+pub fn encode_mutation_response_into(
+    request_id: u64,
+    op: u8,
+    id: u32,
+    epoch: u64,
+    out: &mut Vec<u8>,
+) {
+    let start = begin_frame(op, status::OK, request_id, out);
+    out.extend_from_slice(&id.to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
     end_frame(start, out);
 }
 
@@ -465,8 +542,17 @@ pub enum Response {
     Path {
         /// Contract status of the answer.
         outcome: QueryOutcome,
+        /// Id of the epoch that answered (`0` on static engines).
+        epoch: u64,
         /// The path, source first.
         path: Vec<u32>,
+    },
+    /// A committed mutation: the affected id and its commit epoch.
+    Mutation {
+        /// The inserted or removed external id.
+        id: u32,
+        /// The epoch id current at commit time.
+        epoch: u64,
     },
     /// A stats snapshot.
     Stats(MetricsSnapshot),
@@ -515,22 +601,32 @@ pub fn decode_response(frame: &FrameView<'_>) -> Result<Response, WireError> {
                 checksum: read_u64(p, 8)?,
             })
         }
+        status::OK if frame.opcode == opcode::INSERT || frame.opcode == opcode::REMOVE => {
+            if p.len() != 12 {
+                return Err(WireError::BadPayload);
+            }
+            Ok(Response::Mutation {
+                id: read_u32(p, 0)?,
+                epoch: read_u64(p, 4)?,
+            })
+        }
         status::OK | status::OK_DEGRADED => {
-            if p.len() < 13 {
+            if p.len() < 21 {
                 return Err(WireError::BadPayload);
             }
             let reason = p[0];
             let stretch = f64::from_bits(read_u64(p, 1)?);
-            let len = usize::try_from(read_u32(p, 9)?).map_err(|_| WireError::BadPayload)?;
+            let epoch = read_u64(p, 9)?;
+            let len = usize::try_from(read_u32(p, 17)?).map_err(|_| WireError::BadPayload)?;
             let want = len
                 .checked_mul(4)
-                .and_then(|n| n.checked_add(13))
+                .and_then(|n| n.checked_add(21))
                 .ok_or(WireError::BadPayload)?;
             if p.len() != want {
                 return Err(WireError::BadPayload);
             }
             let mut path = Vec::with_capacity(len);
-            for raw in p[13..want].chunks_exact(4) {
+            for raw in p[21..want].chunks_exact(4) {
                 path.push(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]));
             }
             let outcome = if frame.status == status::OK {
@@ -541,7 +637,11 @@ pub fn decode_response(frame: &FrameView<'_>) -> Result<Response, WireError> {
                     achieved_stretch: stretch,
                 }
             };
-            Ok(Response::Path { outcome, path })
+            Ok(Response::Path {
+                outcome,
+                epoch,
+                path,
+            })
         }
         status::ERR_WIRE => {
             if p.is_empty() {

@@ -268,9 +268,14 @@ fn tcp_front_serves_the_wire_protocol() {
         let view = wire::decode_frame(&body).expect("response decodes");
         assert_eq!(view.request_id, want_id);
         match wire::decode_response(&view).expect("response parses") {
-            Response::Path { outcome, path } => {
+            Response::Path {
+                outcome,
+                path,
+                epoch,
+            } => {
                 assert_eq!(outcome, QueryOutcome::Full);
                 assert!(path.len() >= 2);
+                assert_eq!(epoch, 0, "static engines report epoch 0");
             }
             Response::Stats(snap) => {
                 assert_eq!(want_id, 3);

@@ -5,7 +5,8 @@
 
 use hopspan_serve::wire::{self, opcode, status, Response, WireError};
 use hopspan_serve::{
-    DegradeCode, FaultSet, MetricsSnapshot, Op, QueryOutcome, ServeError, MAX_WIRE_FAULTS,
+    DegradeCode, FaultSet, MetricsSnapshot, Op, QueryOutcome, ServeError, MAX_WIRE_DIM,
+    MAX_WIRE_FAULTS,
 };
 use proptest::prelude::*;
 use proptest::test_runner::TestRng;
@@ -20,7 +21,7 @@ fn body(frame: &[u8]) -> &[u8] {
 fn arb_op(rng: &mut TestRng) -> Op {
     let u = (0u32..4096).new_value(rng);
     let v = (0u32..4096).new_value(rng);
-    match (0usize..4).new_value(rng) {
+    match (0usize..6).new_value(rng) {
         0 => Op::FindPath { u, v },
         1 => Op::Route { u, v },
         2 => {
@@ -32,6 +33,14 @@ fn arb_op(rng: &mut TestRng) -> Op {
                 faults: FaultSet::new(&ids).expect("nf <= MAX_WIRE_FAULTS"),
             }
         }
+        3 => {
+            let dim = (1usize..MAX_WIRE_DIM + 1).new_value(rng);
+            let coords: Vec<f64> = (0..dim)
+                .map(|_| (-100.0f64..100.0).new_value(rng))
+                .collect();
+            Op::insert(&coords).expect("dim <= MAX_WIRE_DIM")
+        }
+        4 => Op::Remove { id: u },
         _ => Op::Stats,
     }
 }
@@ -39,7 +48,7 @@ fn arb_op(rng: &mut TestRng) -> Op {
 fn arb_error(rng: &mut TestRng) -> ServeError {
     let a = (0u32..100_000).new_value(rng);
     let b = (0u32..100_000).new_value(rng);
-    match (0usize..9).new_value(rng) {
+    match (0usize..11).new_value(rng) {
         0 => ServeError::Overloaded { depth: a },
         1 => ServeError::ShuttingDown,
         2 => ServeError::BadRequest,
@@ -50,6 +59,8 @@ fn arb_error(rng: &mut TestRng) -> ServeError {
         7 => ServeError::Unsupported {
             opcode: (a % 256) as u8,
         },
+        8 => ServeError::PointRetired { point: a },
+        9 => ServeError::Duplicate { of: a },
         _ => ServeError::Internal,
     }
 }
@@ -111,14 +122,30 @@ proptest! {
                 achieved_stretch: (1.0f64..8.0).new_value(&mut rng),
             }
         };
+        let epoch = (0u64..u64::MAX).new_value(&mut rng);
         let mut frame = Vec::new();
-        wire::encode_path_response_into(id, opcode::FIND_PATH, outcome, &path, &mut frame);
+        wire::encode_path_response_into(id, opcode::FIND_PATH, outcome, epoch, &path, &mut frame);
         let view = wire::decode_frame(body(&frame)).expect("path frame decodes");
         match wire::decode_response(&view).expect("path response parses") {
-            Response::Path { outcome: got, path: got_path } => {
+            Response::Path { outcome: got, path: got_path, epoch: got_epoch } => {
                 prop_assert_eq!(got, outcome);
+                prop_assert_eq!(got_epoch, epoch);
                 let want: Vec<u32> = path.iter().map(|&p| p as u32).collect();
                 prop_assert_eq!(got_path, want);
+            }
+            other => prop_assert!(false, "wrong response kind {other:?}"),
+        }
+
+        // Mutation response (insert/remove acks carry id + epoch).
+        let mid = (0u32..1_000_000).new_value(&mut rng);
+        let mop = if (0usize..2).new_value(&mut rng) == 0 { opcode::INSERT } else { opcode::REMOVE };
+        let mut mframe = Vec::new();
+        wire::encode_mutation_response_into(id, mop, mid, epoch, &mut mframe);
+        let mview = wire::decode_frame(body(&mframe)).expect("mutation frame decodes");
+        match wire::decode_response(&mview).expect("mutation response parses") {
+            Response::Mutation { id: got_id, epoch: got_epoch } => {
+                prop_assert_eq!(got_id, mid);
+                prop_assert_eq!(got_epoch, epoch);
             }
             other => prop_assert!(false, "wrong response kind {other:?}"),
         }
@@ -150,6 +177,10 @@ proptest! {
             shard_down_events: (0u64..1_000).new_value(&mut rng),
             respawns: (0u64..1_000).new_value(&mut rng),
             shard_health: (0u64..u64::MAX).new_value(&mut rng),
+            inserts: (0u64..1_000).new_value(&mut rng),
+            removes: (0u64..1_000).new_value(&mut rng),
+            rebuilds: (0u64..1_000).new_value(&mut rng),
+            shard_epochs: (0u64..u64::MAX).new_value(&mut rng),
         };
         let mut sframe = Vec::new();
         wire::encode_stats_response_into(id, &snap, &mut sframe);
@@ -174,13 +205,13 @@ fn golden_frames_per_opcode() {
         [
             32, 0, 0, 0, // length prefix: 32-byte body
             b'H', b'S', b'P', b'N', // magic
-            2, 0, // version 2
+            3, 0, // version 3
             0, // opcode FIND_PATH
             0, // status OK
             7, 0, 0, 0, 0, 0, 0, 0, // request id 7
             5, 0, 0, 0, // u = 5
             40, 0, 0, 0, // v = 40
-            6, 76, 123, 104, 5, 36, 21, 196, // FNV-1a checksum
+            151, 40, 103, 128, 105, 66, 59, 70, // FNV-1a checksum
         ]
     );
 
@@ -190,8 +221,8 @@ fn golden_frames_per_opcode() {
     assert_eq!(
         f,
         [
-            32, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2,
-            0, 0, 0, 183, 8, 99, 221, 92, 191, 147, 150,
+            32, 0, 0, 0, b'H', b'S', b'P', b'N', 3, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 2,
+            0, 0, 0, 246, 18, 29, 47, 123, 52, 201, 56,
         ]
     );
 
@@ -202,8 +233,8 @@ fn golden_frames_per_opcode() {
     assert_eq!(
         f,
         [
-            37, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 2, 0, 2, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 9,
-            0, 0, 0, 1, 4, 0, 0, 0, 17, 122, 71, 222, 2, 118, 26, 184,
+            37, 0, 0, 0, b'H', b'S', b'P', b'N', 3, 0, 2, 0, 2, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 9,
+            0, 0, 0, 1, 4, 0, 0, 0, 70, 15, 177, 0, 58, 247, 82, 190,
         ]
     );
 
@@ -213,8 +244,8 @@ fn golden_frames_per_opcode() {
     assert_eq!(
         f,
         [
-            24, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 167, 109, 157,
-            5, 12, 47, 83, 50,
+            24, 0, 0, 0, b'H', b'S', b'P', b'N', 3, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 198, 97, 203,
+            89, 165, 112, 76, 246,
         ]
     );
 
@@ -224,8 +255,8 @@ fn golden_frames_per_opcode() {
     assert_eq!(
         f,
         [
-            24, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 4, 0, 7, 0, 0, 0, 0, 0, 0, 0, 143, 132, 247,
-            186, 50, 185, 170, 94,
+            24, 0, 0, 0, b'H', b'S', b'P', b'N', 3, 0, 4, 0, 7, 0, 0, 0, 0, 0, 0, 0, 254, 40, 231,
+            255, 192, 174, 248, 21,
         ]
     );
 
@@ -235,8 +266,47 @@ fn golden_frames_per_opcode() {
     assert_eq!(
         f,
         [
-            24, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 5, 0, 8, 0, 0, 0, 0, 0, 0, 0, 249, 240, 54,
-            73, 63, 161, 74, 150,
+            24, 0, 0, 0, b'H', b'S', b'P', b'N', 3, 0, 5, 0, 8, 0, 0, 0, 0, 0, 0, 0, 24, 229, 100,
+            157, 216, 226, 67, 90,
+        ]
+    );
+
+    // Insert { coords: [1.5, -2.0] }, id 5 — payload is `dim u8` then
+    // dim little-endian f64 bit patterns.
+    let mut f = Vec::new();
+    wire::encode_request_into(5, &Op::insert(&[1.5, -2.0]).expect("dim 2 fits"), &mut f);
+    assert_eq!(
+        f,
+        [
+            41, 0, 0, 0, b'H', b'S', b'P', b'N', 3, 0, 6, 0, 5, 0, 0, 0, 0, 0, 0, 0, // header
+            2, // dim
+            0, 0, 0, 0, 0, 0, 248, 63, // 1.5f64
+            0, 0, 0, 0, 0, 0, 0, 192, // -2.0f64
+            145, 223, 159, 138, 172, 247, 213, 202, // checksum
+        ]
+    );
+
+    // Remove { id: 12 }, id 6.
+    let mut f = Vec::new();
+    wire::encode_request_into(6, &Op::Remove { id: 12 }, &mut f);
+    assert_eq!(
+        f,
+        [
+            28, 0, 0, 0, b'H', b'S', b'P', b'N', 3, 0, 7, 0, 6, 0, 0, 0, 0, 0, 0, 0, 12, 0, 0, 0,
+            104, 15, 185, 165, 223, 239, 126, 208,
+        ]
+    );
+
+    // Mutation response: id 33 committed at epoch 4, request id 6.
+    let mut f = Vec::new();
+    wire::encode_mutation_response_into(6, opcode::INSERT, 33, 4, &mut f);
+    assert_eq!(
+        f,
+        [
+            36, 0, 0, 0, b'H', b'S', b'P', b'N', 3, 0, 6, 0, 6, 0, 0, 0, 0, 0, 0, 0, // header
+            33, 0, 0, 0, // external id
+            4, 0, 0, 0, 0, 0, 0, 0, // epoch
+            200, 94, 129, 148, 194, 251, 116, 27, // checksum
         ]
     );
 }
@@ -249,8 +319,8 @@ fn snapshot_responses_round_trip() {
     assert_eq!(
         f,
         [
-            40, 0, 0, 0, b'H', b'S', b'P', b'N', 2, 0, 4, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 16, 0, 0,
-            0, 0, 0, 0, 205, 171, 0, 0, 0, 0, 0, 0, 5, 101, 23, 178, 41, 90, 183, 69,
+            40, 0, 0, 0, b'H', b'S', b'P', b'N', 3, 0, 4, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 16, 0, 0,
+            0, 0, 0, 0, 205, 171, 0, 0, 0, 0, 0, 0, 20, 235, 52, 65, 96, 4, 140, 244,
         ]
     );
     for op in [opcode::SNAPSHOT, opcode::LOAD_SNAPSHOT] {

@@ -21,6 +21,7 @@
 //! | [`tree_spanner`] | 1-spanners of hop-diameter k for tree metrics + O(k) navigation | Theorem 1.1 |
 //! | [`tree_cover`] | robust/Ramsey/separator tree covers, pairing covers | §2.1, Theorem 4.1 |
 //! | [`core`] | metric navigation, fault-tolerant spanners | Theorems 1.2, 4.2 |
+//! | [`dynamic`] | online insert/delete: epoch-swapped navigators, amortized rebuilds | engineering layer |
 //! | [`routing`] | compact 2-hop routing schemes (fixed-port model) | Theorems 1.3, 5.1, 5.2 |
 //! | [`serve`] | sharded batch query service: admission control, binary wire protocol, TCP front | engineering layer |
 //! | [`store`] | versioned `HSNP` snapshots: checksummed flat encoding, validated zero-rebuild boot | engineering layer |
@@ -55,6 +56,7 @@
 pub use hopspan_apps as apps;
 pub use hopspan_baselines as baselines;
 pub use hopspan_core as core;
+pub use hopspan_dynamic as dynamic;
 pub use hopspan_metric as metric;
 pub use hopspan_pipeline as pipeline;
 pub use hopspan_routing as routing;

@@ -110,7 +110,9 @@ fn serialize_outcomes() -> String {
                         achieved_stretch.to_bits()
                     ));
                 }
-                Ok(QueryOutcome::Stats) => out.push_str("unreachable\n"),
+                Ok(QueryOutcome::Stats) | Ok(QueryOutcome::Mutation { .. }) => {
+                    out.push_str("unreachable\n")
+                }
                 Err(e) => out.push_str(&format!("E {u} {v} {e}\n")),
             }
         }
